@@ -1,0 +1,209 @@
+//! The timer lemma of Appendix E: balls into bins.
+//!
+//! Theorem 4.1's proof needs to know that a state present in large count
+//! cannot be consumed too quickly. The paper reduces consumption to a
+//! balls-into-bins process:
+//!
+//! * **Lemma E.1.** Throwing `m` balls into `n` bins of which `k` start
+//!   empty, `Pr[≤ δk bins remain empty] < (2δ e m/n)^{δk}` for `δ ≤ 1/2`.
+//! * **Lemma E.2.** For a state with initial count `k`,
+//!   `Pr[∃t ∈ [0,T]: count ≤ δk] ≤ (2δ e^{3T})^{δk}` (each interaction is
+//!   dominated by throwing three balls).
+//! * **Corollary E.3.** With `δ = 1/81`, `T = 1`:
+//!   `Pr[count drops to ≤ k/81 within time 1] ≤ 2^{−k/81}`.
+//!
+//! The module provides the analytic bounds and a simulator for the
+//! worst-case consumption process (every interaction touching an agent in
+//! state `s` destroys that copy), which is what the bound must dominate.
+
+use rand::Rng;
+
+/// Lemma E.1 bound: `(2 δ e m / n)^{δk}`, clamped to [0, 1].
+pub fn lemma_e1_bound(n: u64, k: u64, m: u64, delta: f64) -> f64 {
+    assert!(delta > 0.0 && delta <= 0.5, "Lemma E.1 needs 0 < δ ≤ 1/2");
+    let base = 2.0 * delta * std::f64::consts::E * m as f64 / n as f64;
+    if base >= 1.0 {
+        return 1.0;
+    }
+    base.powf(delta * k as f64).min(1.0)
+}
+
+/// Lemma E.2 bound: `(2 δ e^{3T})^{δk}`, clamped to [0, 1].
+pub fn lemma_e2_bound(k: u64, delta: f64, t: f64) -> f64 {
+    assert!(delta > 0.0 && delta <= 0.5);
+    let base = 2.0 * delta * (3.0 * t).exp();
+    if base >= 1.0 {
+        return 1.0;
+    }
+    base.powf(delta * k as f64).min(1.0)
+}
+
+/// Corollary E.3 bound: `2^{−k/81}` for the event "count of a state with
+/// initial count `k` drops to ≤ k/81 within parallel time 1".
+pub fn corollary_e3_bound(k: u64) -> f64 {
+    2f64.powf(-(k as f64) / 81.0)
+}
+
+/// Simulates Lemma E.1's process: `n` bins, `k` initially empty, throw `m`
+/// balls; returns the number of initially-empty bins that remain empty.
+pub fn simulate_balls_bins(n: u64, k: u64, m: u64, rng: &mut impl Rng) -> u64 {
+    assert!(k <= n);
+    // Bins 0..k are the initially-empty ones; we only track those.
+    let mut empty = vec![true; k as usize];
+    let mut remaining = k;
+    for _ in 0..m {
+        let bin = rng.gen_range(0..n);
+        if bin < k && empty[bin as usize] {
+            empty[bin as usize] = false;
+            remaining -= 1;
+        }
+    }
+    remaining
+}
+
+/// Simulates the worst-case consumption process of Lemma E.2: a population
+/// of `n` agents, `k` of them in state `s`; every interaction destroys any
+/// copy of `s` it touches. Runs for `T` parallel time (`T·n` interactions)
+/// and returns the *minimum* count of `s` observed (which, as consumption is
+/// monotone, is the final count).
+pub fn simulate_worst_case_consumption(n: u64, k: u64, t: f64, rng: &mut impl Rng) -> u64 {
+    assert!(k <= n && n >= 2);
+    let interactions = (t * n as f64).ceil() as u64;
+    // Track which agents still hold s. Agents 0..k start with it.
+    let mut holds = vec![true; k as usize];
+    let mut count = k;
+    for _ in 0..interactions {
+        // Ordered pair of distinct agents.
+        let a = rng.gen_range(0..n);
+        let mut b = rng.gen_range(0..n - 1);
+        if b >= a {
+            b += 1;
+        }
+        for idx in [a, b] {
+            if idx < k && holds[idx as usize] {
+                holds[idx as usize] = false;
+                count -= 1;
+            }
+        }
+    }
+    count
+}
+
+/// The expected surviving fraction after worst-case consumption for time
+/// `T`: each agent avoids interacting with probability
+/// `≈ e^{−2T}` (it is touched by each interaction with probability `2/n`).
+pub fn expected_survival_fraction(t: f64) -> f64 {
+    (-2.0 * t).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> SmallRng {
+        SmallRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn e1_bound_clamps_and_decreases_in_k() {
+        // Small m/n: bound decreases as k grows.
+        let b1 = lemma_e1_bound(1000, 100, 50, 0.1);
+        let b2 = lemma_e1_bound(1000, 200, 50, 0.1);
+        assert!(b2 < b1);
+        // Huge m: vacuous.
+        assert_eq!(lemma_e1_bound(1000, 100, 10_000_000, 0.5), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "0 < δ ≤ 1/2")]
+    fn e1_rejects_large_delta() {
+        lemma_e1_bound(10, 5, 5, 0.75);
+    }
+
+    #[test]
+    fn e3_matches_e2_instantiation() {
+        // Corollary E.3 sets δ = 1/81, T = 1; base = 2e³/81 < 1/2, so the
+        // E.2 bound is below (1/2)^{k/81} = 2^{−k/81}.
+        for k in [81u64, 810, 8100] {
+            let e2 = lemma_e2_bound(k, 1.0 / 81.0, 1.0);
+            let e3 = corollary_e3_bound(k);
+            assert!(e2 <= e3, "k={k}: e2 {e2} > e3 {e3}");
+        }
+    }
+
+    #[test]
+    fn balls_bins_simulation_respects_e1() {
+        // n = 500 bins, k = 250 empty, m = 250 balls, δ = 0.2:
+        // bound = (2·0.2·e·0.5)^{50} = (0.5436...)^{50} — astronomically
+        // small, so the event should never occur in simulation.
+        let mut r = rng(1);
+        let (n, k, m) = (500, 250, 250);
+        let delta = 0.2;
+        let bound = lemma_e1_bound(n, k, m, delta);
+        assert!(bound < 1e-12);
+        for _ in 0..200 {
+            let remaining = simulate_balls_bins(n, k, m, &mut r);
+            assert!(
+                (remaining as f64) > delta * k as f64,
+                "event with probability {bound} occurred"
+            );
+        }
+    }
+
+    #[test]
+    fn balls_bins_mean_matches_occupancy() {
+        // Expected number of empty bins after m throws: k(1 − 1/n)^m.
+        let mut r = rng(2);
+        let (n, k, m) = (1000u64, 500u64, 2000u64);
+        let trials = 300;
+        let mean: f64 = (0..trials)
+            .map(|_| simulate_balls_bins(n, k, m, &mut r) as f64)
+            .sum::<f64>()
+            / trials as f64;
+        let expected = k as f64 * (1.0 - 1.0 / n as f64).powf(m as f64);
+        assert!(
+            (mean - expected).abs() / expected < 0.05,
+            "mean {mean} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn consumption_survival_matches_expectation() {
+        let mut r = rng(3);
+        let (n, k, t) = (2000u64, 1000u64, 1.0);
+        let trials = 100;
+        let mean: f64 = (0..trials)
+            .map(|_| simulate_worst_case_consumption(n, k, t, &mut r) as f64)
+            .sum::<f64>()
+            / trials as f64;
+        let expected = k as f64 * expected_survival_fraction(t);
+        assert!(
+            (mean - expected).abs() / expected < 0.1,
+            "mean {mean} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn consumption_never_hits_e3_threshold() {
+        // Corollary E.3: dropping to k/81 within time 1 has probability
+        // ≤ 2^{−k/81}; with k = 810 that is 2^{−10} ≈ 1e−3, and the *actual*
+        // probability is astronomically smaller (expected survival is
+        // k·e^{−2} ≈ 0.135k >> k/81). 50 trials should never see it.
+        let mut r = rng(4);
+        let (n, k) = (1620u64, 810u64);
+        for _ in 0..50 {
+            let survived = simulate_worst_case_consumption(n, k, 1.0, &mut r);
+            assert!(survived > k / 81, "count fell to {survived} ≤ k/81");
+        }
+    }
+
+    #[test]
+    fn e3_bound_shrinks_exponentially() {
+        assert!(corollary_e3_bound(81) <= 0.5);
+        assert!(corollary_e3_bound(810) <= 0.001);
+        let ratio = corollary_e3_bound(162) / corollary_e3_bound(81);
+        assert!((ratio - 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,169 @@
+//! Coupon-collector machinery (Lemma B.1 and the terminating count
+//! heuristic).
+//!
+//! Two places in the reproduction lean on coupon-collector arguments:
+//!
+//! * **Lemma B.1** — the synthetic-coin variant models "every A agent
+//!   finishes generating its geometric variable" as collecting |A| coupons
+//!   where coupon `i`'s per-interaction success probability is
+//!   `|A−(i−1)|·|F| / (n(n−1))`; the lemma bounds the completion time by
+//!   `O(log n)` w.h.p.
+//! * **Michail-style exact counting** — the leader knows it has probably
+//!   seen everyone once its run of already-marked encounters exceeds the
+//!   coupon-collector tail.
+//!
+//! This module provides the exact expectation, the standard tail bounds,
+//! and the Lemma B.1 bound itself.
+
+/// Expected draws to collect all `n` coupons: `n·H_n`.
+pub fn expected_draws(n: u64) -> f64 {
+    n as f64 * crate::harmonic::harmonic_fast(n)
+}
+
+/// Classic upper tail: `Pr[T > β·n ln n] ≤ n^{1−β}` for `β > 1`.
+pub fn tail_bound(n: u64, beta: f64) -> f64 {
+    assert!(beta > 0.0);
+    (n as f64).powf(1.0 - beta).min(1.0)
+}
+
+/// Probability that a *specific* coupon is still missing after `m` draws:
+/// `(1 − 1/n)^m`.
+pub fn missing_one_after(n: u64, m: u64) -> f64 {
+    (1.0 - 1.0 / n as f64).powf(m as f64)
+}
+
+/// Expected number of distinct coupons after `m` draws:
+/// `n(1 − (1 − 1/n)^m)`.
+pub fn expected_distinct(n: u64, m: u64) -> f64 {
+    n as f64 * (1.0 - missing_one_after(n, m))
+}
+
+/// Lemma B.1's bound: with `|A|, |F| ≥ n/3`, all A agents finish generating
+/// one geometric variable within `4α·ln n` parallel time with probability
+/// `≥ 1 − (3/n)^{α−1} − 2e^{−n/18}`.
+pub fn lemma_b1_failure(n: u64, alpha: f64) -> f64 {
+    assert!(alpha > 1.0, "Lemma B.1 needs α > 1");
+    let nf = n as f64;
+    ((3.0 / nf).powf(alpha - 1.0) + 2.0 * (-nf / 18.0).exp()).min(1.0)
+}
+
+/// The run length after which a leader that has counted `c` agents should
+/// have met an unmarked one (if any existed) with probability
+/// `≥ 1 − e^{−run/c}` — the justification of the exact-counting
+/// termination heuristic: with `run = β·c·ln c`, failure ≤ `c^{−β}`.
+pub fn exact_count_confidence(count: u64, run: u64) -> f64 {
+    if count == 0 {
+        return 1.0;
+    }
+    1.0 - (-(run as f64) / count as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn expectation_matches_simulation() {
+        let n = 200u64;
+        let mut rng = SmallRng::seed_from_u64(1);
+        let trials = 400;
+        let mut total = 0u64;
+        for _ in 0..trials {
+            let mut seen = vec![false; n as usize];
+            let mut distinct = 0u64;
+            let mut draws = 0u64;
+            while distinct < n {
+                let c = rng.gen_range(0..n) as usize;
+                draws += 1;
+                if !seen[c] {
+                    seen[c] = true;
+                    distinct += 1;
+                }
+            }
+            total += draws;
+        }
+        let mean = total as f64 / trials as f64;
+        let expected = expected_draws(n);
+        assert!(
+            (mean - expected).abs() / expected < 0.05,
+            "mean {mean} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn tail_bound_dominates_simulation() {
+        let n = 100u64;
+        let beta = 2.0;
+        let cutoff = (beta * n as f64 * (n as f64).ln()) as u64;
+        let mut rng = SmallRng::seed_from_u64(2);
+        let trials = 2_000;
+        let mut exceed = 0;
+        for _ in 0..trials {
+            let mut seen = vec![false; n as usize];
+            let mut distinct = 0u64;
+            let mut draws = 0u64;
+            while distinct < n && draws <= cutoff {
+                let c = rng.gen_range(0..n) as usize;
+                draws += 1;
+                if !seen[c] {
+                    seen[c] = true;
+                    distinct += 1;
+                }
+            }
+            if distinct < n {
+                exceed += 1;
+            }
+        }
+        let freq = exceed as f64 / trials as f64;
+        assert!(
+            freq <= tail_bound(n, beta) * 2.0 + 1e-3,
+            "freq {freq} vs bound {}",
+            tail_bound(n, beta)
+        );
+    }
+
+    #[test]
+    fn distinct_counts_formula() {
+        let n = 1000u64;
+        let mut rng = SmallRng::seed_from_u64(3);
+        let m = 1500u64;
+        let trials = 200;
+        let mut total = 0u64;
+        for _ in 0..trials {
+            let mut seen = vec![false; n as usize];
+            for _ in 0..m {
+                seen[rng.gen_range(0..n) as usize] = true;
+            }
+            total += seen.iter().filter(|&&b| b).count() as u64;
+        }
+        let mean = total as f64 / trials as f64;
+        let expected = expected_distinct(n, m);
+        assert!(
+            (mean - expected).abs() / expected < 0.02,
+            "mean {mean} vs {expected}"
+        );
+    }
+
+    #[test]
+    fn lemma_b1_shrinks_with_alpha_and_n() {
+        assert!(lemma_b1_failure(1000, 3.0) < lemma_b1_failure(1000, 2.0));
+        assert!(lemma_b1_failure(100_000, 2.0) < lemma_b1_failure(1000, 2.0));
+        assert!(lemma_b1_failure(1000, 3.0) < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "α > 1")]
+    fn lemma_b1_rejects_small_alpha() {
+        lemma_b1_failure(100, 1.0);
+    }
+
+    #[test]
+    fn confidence_rises_with_run() {
+        assert!(exact_count_confidence(100, 0) < 0.01);
+        let beta_run = (3.0 * 100.0 * 100f64.ln()) as u64;
+        assert!(exact_count_confidence(100, beta_run) > 0.999);
+        assert_eq!(exact_count_confidence(0, 10), 1.0);
+    }
+}

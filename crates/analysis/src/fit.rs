@@ -1,0 +1,155 @@
+//! Least-squares fits for scaling-law checks.
+//!
+//! Figure 2 plots convergence time against `n` on a log-x axis; the claimed
+//! scaling is `Θ(log² n)`. The harness fits the measured times to the models
+//! `t = a + b·log n` and `t = a + b·log² n` and compares R² — the quadratic
+//! model should explain the data better, and the linear-in-`log n` model
+//! should show systematic curvature.
+
+/// Result of an ordinary least-squares fit `y ≈ intercept + slope · x`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Fitted slope.
+    pub slope: f64,
+    /// Coefficient of determination R² in [0, 1] (1 = perfect).
+    pub r_squared: f64,
+}
+
+/// Fits `y ≈ a + b·x` by ordinary least squares.
+///
+/// ```
+/// use pp_analysis::fit::linear_fit;
+///
+/// let f = linear_fit(&[1.0, 2.0, 3.0], &[2.0, 4.0, 6.0]);
+/// assert!((f.slope - 2.0).abs() < 1e-12);
+/// assert!((f.r_squared - 1.0).abs() < 1e-12);
+/// ```
+///
+/// # Panics
+///
+/// Panics if fewer than 2 points or if all `x` are identical.
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> LinearFit {
+    assert_eq!(xs.len(), ys.len(), "mismatched lengths");
+    assert!(xs.len() >= 2, "need at least 2 points");
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let sxx: f64 = xs.iter().map(|x| (x - mx).powi(2)).sum();
+    assert!(sxx > 0.0, "all x values identical");
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let ss_res: f64 = xs
+        .iter()
+        .zip(ys)
+        .map(|(x, y)| (y - (intercept + slope * x)).powi(2))
+        .sum();
+    let ss_tot: f64 = ys.iter().map(|y| (y - my).powi(2)).sum();
+    let r_squared = if ss_tot == 0.0 {
+        1.0
+    } else {
+        (1.0 - ss_res / ss_tot).max(0.0)
+    };
+    LinearFit {
+        intercept,
+        slope,
+        r_squared,
+    }
+}
+
+/// Fits `time ≈ a + b·log2(n)` to `(n, time)` points.
+pub fn fit_vs_log_n(points: &[(u64, f64)]) -> LinearFit {
+    let xs: Vec<f64> = points.iter().map(|&(n, _)| (n as f64).log2()).collect();
+    let ys: Vec<f64> = points.iter().map(|&(_, t)| t).collect();
+    linear_fit(&xs, &ys)
+}
+
+/// Fits `time ≈ a + b·log2²(n)` to `(n, time)` points.
+pub fn fit_vs_log2_n(points: &[(u64, f64)]) -> LinearFit {
+    let xs: Vec<f64> = points
+        .iter()
+        .map(|&(n, _)| (n as f64).log2().powi(2))
+        .collect();
+    let ys: Vec<f64> = points.iter().map(|&(_, t)| t).collect();
+    linear_fit(&xs, &ys)
+}
+
+/// Compares the log-linear and log-quadratic models; returns
+/// `(fit_log, fit_log2)`. The Figure 2 claim is that the second explains
+/// the data at least as well.
+pub fn compare_scaling_models(points: &[(u64, f64)]) -> (LinearFit, LinearFit) {
+    (fit_vs_log_n(points), fit_vs_log2_n(points))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_recovered() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [3.0, 5.0, 7.0, 9.0];
+        let f = linear_fit(&xs, &ys);
+        assert!((f.slope - 2.0).abs() < 1e-12);
+        assert!((f.intercept - 1.0).abs() < 1e-12);
+        assert!((f.r_squared - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_line_good_r2() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|&x| 2.0 * x + 1.0 + if (x as u64).is_multiple_of(2) { 0.5 } else { -0.5 })
+            .collect();
+        let f = linear_fit(&xs, &ys);
+        assert!((f.slope - 2.0).abs() < 0.01);
+        assert!(f.r_squared > 0.99);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 points")]
+    fn one_point_panics() {
+        linear_fit(&[1.0], &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical")]
+    fn degenerate_x_panics() {
+        linear_fit(&[2.0, 2.0], &[1.0, 3.0]);
+    }
+
+    #[test]
+    fn quadratic_model_wins_on_quadratic_data() {
+        // Synthesize t = 3·log²n (the paper's scaling shape).
+        let points: Vec<(u64, f64)> = [100u64, 1_000, 10_000, 100_000, 1_000_000]
+            .iter()
+            .map(|&n| (n, 3.0 * (n as f64).log2().powi(2)))
+            .collect();
+        let (lin, quad) = compare_scaling_models(&points);
+        assert!(quad.r_squared > 0.999_999);
+        assert!((quad.slope - 3.0).abs() < 1e-9);
+        assert!(lin.r_squared < quad.r_squared);
+    }
+
+    #[test]
+    fn linear_model_wins_on_linear_data() {
+        let points: Vec<(u64, f64)> = [100u64, 1_000, 10_000, 100_000]
+            .iter()
+            .map(|&n| (n, 7.0 * (n as f64).log2()))
+            .collect();
+        let (lin, quad) = compare_scaling_models(&points);
+        assert!(lin.r_squared > 0.999_999);
+        assert!((lin.slope - 7.0).abs() < 1e-9);
+        assert!(quad.r_squared < 1.0);
+    }
+
+    #[test]
+    fn constant_y_has_r2_one() {
+        let f = linear_fit(&[1.0, 2.0, 3.0], &[5.0, 5.0, 5.0]);
+        assert_eq!(f.r_squared, 1.0);
+        assert!(f.slope.abs() < 1e-12);
+    }
+}

@@ -1,0 +1,459 @@
+//! Geometric random variables and their maxima (Appendix D.2).
+//!
+//! A `p`-geometric random variable counts flips up to and including the first
+//! heads of a coin with `Pr[H] = p`; the protocol uses `p = 1/2`. The key
+//! quantity is `M = max(G_1, ..., G_N)` over `N` i.i.d. geometrics:
+//!
+//! * `E[M] ≈ log2 N` — Eisenberg's formula (Lemma D.4) pins it between
+//!   `log N + 1` and `log N + 3/2` for `p = 1/2`.
+//! * Tail bounds — Lemma D.5 (general `p`), Corollary D.6 (the
+//!   `3.31 e^{−λ/2}` sub-exponential bound for `p = 1/2`) and Lemma D.7
+//!   (`Pr[M ≥ 2 log N] < 1/N`, `Pr[M ≤ log N − log ln N] < 1/N`).
+//!
+//! These are exactly the bounds that make the maximum of the population's
+//! `logSize2` samples a constant-factor estimate of `log n` (Lemma 3.8).
+
+use rand::Rng;
+
+/// Samples the maximum of `n` i.i.d. geometric(1/2) random variables.
+///
+/// Implemented by inversion on the exact CDF `Pr[M ≤ t] = (1 − 2^{−t})^n`
+/// rather than drawing `n` geometrics, so it is O(1) and usable for huge `n`
+/// in the Monte-Carlo verifications.
+pub fn max_geometric_sample(n: u64, rng: &mut impl Rng) -> u64 {
+    assert!(n >= 1);
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    // Find the smallest t ≥ 1 with (1 − 2^{−t})^n ≥ u, i.e.
+    // t ≥ −log2(1 − u^{1/n}).
+    let root = u.powf(1.0 / n as f64);
+    let tail = 1.0 - root;
+    if tail <= 0.0 {
+        // u^{1/n} rounded to 1.0; fall back to the asymptotic scale.
+        return ((n as f64).log2().ceil() as u64).max(1) + 64;
+    }
+    let t = (-tail.log2()).ceil();
+    (t as u64).max(1)
+}
+
+/// Samples the maximum of `n` geometrics the direct way (only for testing the
+/// inversion sampler; O(n)).
+pub fn max_geometric_sample_direct(n: u64, rng: &mut impl Rng) -> u64 {
+    (0..n)
+        .map(|_| pp_geometric_half(rng))
+        .max()
+        .expect("n >= 1")
+}
+
+/// Geometric(1/2) sampler (support `{1, 2, ...}`), duplicated here so the
+/// analysis crate has no dependency on the engine.
+pub fn pp_geometric_half(rng: &mut impl Rng) -> u64 {
+    let mut count = 1;
+    loop {
+        let block: u64 = rng.gen();
+        if block != 0 {
+            return count + block.trailing_zeros() as u64;
+        }
+        count += 64;
+    }
+}
+
+/// Eisenberg's expectation for the max of `N` geometric(p) RVs (Lemma D.4):
+/// `H_N/λ − 0.0006 ≤ E[M] − 1/2 < H_N/λ + 0.0006` with `λ = ln(1/q)`,
+/// `q = 1 − p`. Returns the point estimate `H_N/λ + 1/2`, accurate to
+/// `±0.0006` for `q ≥ 1/e`.
+pub fn expected_max_geometric(n: u64, p: f64) -> f64 {
+    assert!(n >= 1);
+    assert!(p > 0.0 && p < 1.0);
+    let q = 1.0 - p;
+    let lambda = (1.0 / q).ln();
+    crate::harmonic::harmonic_fast(n) / lambda + 0.5
+}
+
+/// The Lemma D.4 bracket for `p = 1/2`:
+/// `log N + 1 < E[M] < log N + 3/2`.
+pub fn expected_max_geometric_half_bracket(n: u64) -> (f64, f64) {
+    let l = (n as f64).log2();
+    (l + 1.0, l + 1.5)
+}
+
+/// Analytic tail bounds on `M = max of N geometric(1/2)` from the paper.
+#[derive(Debug, Clone, Copy)]
+pub struct GeometricMaxBounds {
+    /// Number of geometrics in the maximum.
+    pub n: u64,
+}
+
+impl GeometricMaxBounds {
+    /// Creates bounds for `N = n` variables.
+    pub fn new(n: u64) -> Self {
+        assert!(n >= 1);
+        Self { n }
+    }
+
+    /// Exact CDF: `Pr[M ≤ t] = (1 − 2^{−t})^N` for integer `t ≥ 0`.
+    pub fn cdf(&self, t: f64) -> f64 {
+        if t < 1.0 {
+            return 0.0;
+        }
+        let tt = t.floor();
+        (1.0 - 2f64.powf(-tt)).powf(self.n as f64)
+    }
+
+    /// Lemma D.7 upper tail: `Pr[M ≥ 2 log N] < 2/N`.
+    ///
+    /// The paper states `1/N`, using `Pr[G ≥ t] = 2^{−t}`; with the paper's
+    /// own support convention (`{1, 2, ...}`, so `Pr[G ≥ t] = 2^{−(t−1)}`)
+    /// the union bound gives `2/N`. We report the convention-consistent
+    /// constant.
+    pub fn upper_tail_bound(&self) -> f64 {
+        (2.0 / self.n as f64).min(1.0)
+    }
+
+    /// Lemma D.7 lower tail: `Pr[M ≤ log N − log ln N] < 1/N`.
+    pub fn lower_tail_bound(&self) -> f64 {
+        (1.0 / self.n as f64).min(1.0)
+    }
+
+    /// Exact probability of the Lemma D.7 upper event `M ≥ 2 log N`.
+    pub fn upper_tail_exact(&self) -> f64 {
+        let t = 2.0 * (self.n as f64).log2();
+        1.0 - self.cdf(t - 1.0)
+    }
+
+    /// Exact probability of the Lemma D.7 lower event
+    /// `M ≤ log N − log ln N`.
+    pub fn lower_tail_exact(&self) -> f64 {
+        let nf = self.n as f64;
+        let t = nf.log2() - nf.ln().log2();
+        self.cdf(t)
+    }
+
+    /// Corollary D.6 sub-exponential bound:
+    /// `Pr[|M − E[M]| ≥ λ] < 3.31 e^{−λ/2}`.
+    pub fn concentration_bound(&self, lambda: f64) -> f64 {
+        (3.31 * (-lambda / 2.0).exp()).min(1.0)
+    }
+}
+
+/// Lemma 3.8's derived band for the protocol's `logSize2` value (after the
+/// `+2` adjustment): with probability `≥ 1 − 1/n − e^{−n/18}`,
+/// `log n − log ln n ≤ logSize2 ≤ 2 log n + 1`.
+pub fn logsize2_band(n: u64) -> (f64, f64) {
+    let nf = n as f64;
+    (nf.log2() - nf.ln().log2(), 2.0 * nf.log2() + 1.0)
+}
+
+/// The general-`p` tail bounds of Lemma D.5 for `M = max of N
+/// geometric(p)` RVs, valid for `q = 1 − p ≥ 1/e` and `N ≥ 50`.
+///
+/// With `λ' = ln(1/q)`, `γ` the Euler–Mascheroni constant, `ε₂ = 0.0006`:
+///
+/// * lower tail: `Pr[E[M] − M ≥ λ] ≤ exp(−q^{1/2 + ε₂ − (γ+1)/λ' − λ}·...)`
+///   — the paper's exact expression is implemented verbatim below;
+/// * upper tail: `Pr[M − E[M] ≥ λ] ≤ q^{λ−1/2−ε₂−γ/λ'} +
+///   q^{2λ−1−2ε₂−2γ/λ'}`.
+#[derive(Debug, Clone, Copy)]
+pub struct GeneralGeometricMaxBounds {
+    /// Number of geometrics in the maximum.
+    pub n: u64,
+    /// Success probability `p` (must satisfy `1 − p ≥ 1/e`).
+    pub p: f64,
+}
+
+impl GeneralGeometricMaxBounds {
+    /// Creates the bounds; panics if `q = 1 − p < 1/e` or `n < 50` (the
+    /// lemma's hypotheses).
+    pub fn new(n: u64, p: f64) -> Self {
+        assert!(n >= 50, "Lemma D.5 requires N ≥ 50");
+        let q = 1.0 - p;
+        assert!(
+            q >= 1.0 / std::f64::consts::E,
+            "Lemma D.5 requires q = 1 − p ≥ 1/e, got q = {q}"
+        );
+        Self { n, p }
+    }
+
+    fn q(&self) -> f64 {
+        1.0 - self.p
+    }
+
+    /// Eisenberg point estimate `H_N / ln(1/q) + 1/2`.
+    pub fn expectation(&self) -> f64 {
+        expected_max_geometric(self.n, self.p)
+    }
+
+    /// Exact CDF `Pr[M ≤ t] = (1 − q^t)^N` for integer `t ≥ 0` (support
+    /// starts at 1).
+    pub fn cdf(&self, t: f64) -> f64 {
+        if t < 1.0 {
+            return 0.0;
+        }
+        (1.0 - self.q().powf(t.floor())).powf(self.n as f64)
+    }
+
+    /// Lemma D.5 lower tail `Pr[E[M] − M ≥ λ]`.
+    pub fn lower_tail(&self, lambda: f64) -> f64 {
+        const EPS2: f64 = 0.0006;
+        const GAMMA: f64 = crate::harmonic::EULER_MASCHERONI;
+        let q = self.q();
+        let lam_prime = (1.0 / q).ln();
+        let exponent = 0.5 + EPS2 + (GAMMA + 1.0) / lam_prime - lambda;
+        (-q.powf(exponent)).exp().min(1.0)
+    }
+
+    /// Lemma D.5 upper tail `Pr[M − E[M] ≥ λ]`.
+    pub fn upper_tail(&self, lambda: f64) -> f64 {
+        const EPS2: f64 = 0.0006;
+        const GAMMA: f64 = crate::harmonic::EULER_MASCHERONI;
+        let q = self.q();
+        let lam_prime = (1.0 / q).ln();
+        let t1 = q.powf(lambda - 0.5 - EPS2 - GAMMA / lam_prime);
+        let t2 = q.powf(2.0 * lambda - 1.0 - 2.0 * EPS2 - 2.0 * GAMMA / lam_prime);
+        (t1 + t2).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> SmallRng {
+        SmallRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn inversion_sampler_matches_direct_mean() {
+        let mut r = rng(1);
+        let n = 256;
+        let trials = 30_000;
+        let mean_inv: f64 = (0..trials)
+            .map(|_| max_geometric_sample(n, &mut r) as f64)
+            .sum::<f64>()
+            / trials as f64;
+        let mean_dir: f64 = (0..trials)
+            .map(|_| max_geometric_sample_direct(n, &mut r) as f64)
+            .sum::<f64>()
+            / trials as f64;
+        assert!(
+            (mean_inv - mean_dir).abs() < 0.1,
+            "inversion {mean_inv} vs direct {mean_dir}"
+        );
+    }
+
+    #[test]
+    fn eisenberg_bracket_holds_empirically() {
+        let mut r = rng(2);
+        for n in [64u64, 1024, 65_536] {
+            let trials = 40_000;
+            let mean: f64 = (0..trials)
+                .map(|_| max_geometric_sample(n, &mut r) as f64)
+                .sum::<f64>()
+                / trials as f64;
+            let (lo, hi) = expected_max_geometric_half_bracket(n);
+            assert!(
+                mean > lo - 0.05 && mean < hi + 0.05,
+                "n={n}: mean {mean} outside ({lo}, {hi})"
+            );
+        }
+    }
+
+    #[test]
+    fn point_estimate_inside_bracket() {
+        // Lemma D.4 for p = 1/2: log N + 1 < E[M] < log N + 3/2, and the
+        // Eisenberg point estimate is log N + γ/ln 2 + 1/2 ≈ log N + 1.333.
+        for n in [50u64, 500, 5_000_000] {
+            let est = expected_max_geometric(n, 0.5);
+            let (lo, hi) = expected_max_geometric_half_bracket(n);
+            assert!(est > lo && est < hi, "n={n}, est={est}, bracket ({lo},{hi})");
+        }
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_proper() {
+        let b = GeometricMaxBounds::new(1000);
+        assert_eq!(b.cdf(0.5), 0.0);
+        let mut prev = 0.0;
+        for t in 1..60 {
+            let c = b.cdf(t as f64);
+            assert!(c >= prev);
+            prev = c;
+        }
+        assert!(prev > 0.999_999);
+    }
+
+    #[test]
+    fn lemma_d7_exact_below_bound() {
+        for n in [64u64, 1024, 1_048_576] {
+            let b = GeometricMaxBounds::new(n);
+            assert!(
+                b.upper_tail_exact() <= b.upper_tail_bound(),
+                "upper tail violated at n={n}"
+            );
+            assert!(
+                b.lower_tail_exact() <= b.lower_tail_bound(),
+                "lower tail violated at n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn lemma_d7_upper_tail_empirical() {
+        let mut r = rng(3);
+        let n = 1024u64;
+        let threshold = 2.0 * (n as f64).log2(); // 20
+        let trials = 100_000;
+        let hits = (0..trials)
+            .filter(|_| max_geometric_sample(n, &mut r) as f64 >= threshold)
+            .count();
+        let freq = hits as f64 / trials as f64;
+        let bound = GeometricMaxBounds::new(n).upper_tail_bound();
+        assert!(
+            freq <= bound * 1.5,
+            "upper tail frequency {freq} vs bound {bound}"
+        );
+    }
+
+    #[test]
+    fn concentration_bound_shrinks() {
+        let b = GeometricMaxBounds::new(100);
+        assert_eq!(b.concentration_bound(0.0), 1.0);
+        assert!(b.concentration_bound(4.0) < b.concentration_bound(2.0));
+        assert!(b.concentration_bound(40.0) < 1e-8);
+    }
+
+    #[test]
+    fn concentration_holds_empirically() {
+        let mut r = rng(4);
+        let n = 4096u64;
+        let e_m = expected_max_geometric(n, 0.5);
+        let trials = 50_000;
+        for lambda in [3.0, 5.0, 8.0] {
+            let hits = (0..trials)
+                .filter(|_| {
+                    let m = max_geometric_sample(n, &mut r) as f64;
+                    (m - e_m).abs() >= lambda
+                })
+                .count();
+            let freq = hits as f64 / trials as f64;
+            let bound = GeometricMaxBounds::new(n).concentration_bound(lambda);
+            assert!(
+                freq <= bound * 1.2 + 0.005,
+                "λ={lambda}: freq {freq} vs bound {bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn logsize2_band_is_ordered() {
+        for n in [100u64, 10_000, 1_000_000] {
+            let (lo, hi) = logsize2_band(n);
+            assert!(lo < hi);
+            assert!(lo > 0.0);
+            assert!(hi < 2.5 * (n as f64).log2());
+        }
+    }
+
+    #[test]
+    fn max_sample_support_starts_at_one() {
+        let mut r = rng(5);
+        for _ in 0..1000 {
+            assert!(max_geometric_sample(1, &mut r) >= 1);
+        }
+    }
+
+    /// Direct sampler for geometric(p) maxima (test-only, O(n)).
+    fn max_geometric_p(n: u64, p: f64, rng: &mut SmallRng) -> u64 {
+        use rand::Rng;
+        (0..n)
+            .map(|_| {
+                let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                (u.ln() / (1.0 - p).ln()).ceil().max(1.0) as u64
+            })
+            .max()
+            .unwrap()
+    }
+
+    #[test]
+    fn general_bounds_construction_guards() {
+        assert!(std::panic::catch_unwind(|| GeneralGeometricMaxBounds::new(10, 0.5)).is_err());
+        assert!(std::panic::catch_unwind(|| GeneralGeometricMaxBounds::new(100, 0.8)).is_err());
+        let _ok = GeneralGeometricMaxBounds::new(100, 0.5);
+    }
+
+    #[test]
+    fn general_expectation_matches_monte_carlo() {
+        let mut r = rng(21);
+        for p in [0.3f64, 0.5, 0.6] {
+            let n = 500u64;
+            let b = GeneralGeometricMaxBounds::new(n, p);
+            let trials = 20_000;
+            let mean: f64 = (0..trials)
+                .map(|_| max_geometric_p(n, p, &mut r) as f64)
+                .sum::<f64>()
+                / trials as f64;
+            assert!(
+                (mean - b.expectation()).abs() < 0.1,
+                "p={p}: mc {mean} vs eisenberg {}",
+                b.expectation()
+            );
+        }
+    }
+
+    #[test]
+    fn general_cdf_is_proper() {
+        let b = GeneralGeometricMaxBounds::new(200, 0.3);
+        assert_eq!(b.cdf(0.0), 0.0);
+        let mut prev = 0.0;
+        for t in 1..100 {
+            let c = b.cdf(t as f64);
+            assert!(c >= prev);
+            prev = c;
+        }
+        assert!(prev > 0.999);
+    }
+
+    #[test]
+    fn general_tails_dominate_monte_carlo() {
+        let mut r = rng(22);
+        for p in [0.3f64, 0.5] {
+            let n = 1000u64;
+            let b = GeneralGeometricMaxBounds::new(n, p);
+            let e_m = b.expectation();
+            let trials = 30_000;
+            for lambda in [4.0, 7.0] {
+                let (mut up, mut down) = (0u64, 0u64);
+                for _ in 0..trials {
+                    let m = max_geometric_p(n, p, &mut r) as f64;
+                    if m - e_m >= lambda {
+                        up += 1;
+                    }
+                    if e_m - m >= lambda {
+                        down += 1;
+                    }
+                }
+                let up_freq = up as f64 / trials as f64;
+                let down_freq = down as f64 / trials as f64;
+                assert!(
+                    up_freq <= b.upper_tail(lambda) + 0.003,
+                    "p={p}, λ={lambda}: up {up_freq} vs bound {}",
+                    b.upper_tail(lambda)
+                );
+                assert!(
+                    down_freq <= b.lower_tail(lambda) + 0.003,
+                    "p={p}, λ={lambda}: down {down_freq} vs bound {}",
+                    b.lower_tail(lambda)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn general_tails_decrease_in_lambda() {
+        let b = GeneralGeometricMaxBounds::new(100, 0.5);
+        assert!(b.upper_tail(8.0) < b.upper_tail(4.0));
+        assert!(b.lower_tail(8.0) < b.lower_tail(4.0));
+        assert!(b.upper_tail(40.0) < 1e-10);
+    }
+}

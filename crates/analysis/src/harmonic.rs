@@ -1,0 +1,144 @@
+//! Harmonic numbers and related constants.
+//!
+//! The epidemic analysis (Lemma A.1) and Eisenberg's expectation for maxima
+//! of geometric random variables (Lemma D.4) are phrased in terms of the
+//! harmonic numbers `H_n = sum_{k=1..n} 1/k` and the Euler–Mascheroni
+//! constant `γ = lim (H_n − ln n) ≈ 0.5772`.
+
+/// The Euler–Mascheroni constant γ.
+pub const EULER_MASCHERONI: f64 = 0.577_215_664_901_532_9;
+
+/// `H_n = 1 + 1/2 + ... + 1/n`, computed exactly (summed smallest-first for
+/// floating-point accuracy). `H_0 = 0`.
+pub fn harmonic(n: u64) -> f64 {
+    (1..=n).rev().map(|k| 1.0 / k as f64).sum()
+}
+
+/// Asymptotic approximation `H_n ≈ ln n + γ + 1/(2n) − 1/(12n²)`.
+///
+/// Accurate to well under `1e-6` for `n ≥ 10`; used when `n` is too large to
+/// sum directly.
+pub fn harmonic_approx(n: u64) -> f64 {
+    assert!(n >= 1);
+    let nf = n as f64;
+    nf.ln() + EULER_MASCHERONI + 1.0 / (2.0 * nf) - 1.0 / (12.0 * nf * nf)
+}
+
+/// `H_n` via exact summation below a cutoff, asymptotic expansion above.
+pub fn harmonic_fast(n: u64) -> f64 {
+    if n == 0 {
+        0.0
+    } else if n <= 100_000 {
+        harmonic(n)
+    } else {
+        harmonic_approx(n)
+    }
+}
+
+/// Expected epidemic completion time from Lemma A.1:
+/// `E[T] = (n-1)/n * H_{n-1}` parallel time.
+pub fn expected_epidemic_time(n: u64) -> f64 {
+    assert!(n >= 2);
+    (n - 1) as f64 / n as f64 * harmonic_fast(n - 1)
+}
+
+/// Tail bound of Lemma A.1: `Pr[T > a·ln n] < 4·n^{−a/4+1}`.
+pub fn epidemic_upper_tail(n: u64, alpha_u: f64) -> f64 {
+    let nf = n as f64;
+    (4.0 * nf.powf(-alpha_u / 4.0 + 1.0)).min(1.0)
+}
+
+/// Subpopulation-epidemic tail bound of Corollary 3.4: for an epidemic among
+/// `a = n/c` agents, `Pr[T > α_u · ln a] < a^{−(α_u − 4c)²/(12c)}`.
+pub fn subpopulation_epidemic_tail(a: u64, c: f64, alpha_u: f64) -> f64 {
+    assert!(c >= 1.0);
+    if alpha_u <= 4.0 * c {
+        return 1.0;
+    }
+    let af = a as f64;
+    af.powf(-(alpha_u - 4.0 * c).powi(2) / (12.0 * c)).min(1.0)
+}
+
+/// Natural log base-2 conversion helper: `log2(x) = ln(x)/ln(2)`.
+#[inline]
+pub fn log2(x: f64) -> f64 {
+    x.log2()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_harmonics_exact() {
+        assert_eq!(harmonic(0), 0.0);
+        assert_eq!(harmonic(1), 1.0);
+        assert!((harmonic(2) - 1.5).abs() < 1e-15);
+        assert!((harmonic(4) - 25.0 / 12.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn approx_close_to_exact() {
+        for n in [10u64, 100, 1_000, 100_000] {
+            let exact = harmonic(n);
+            let approx = harmonic_approx(n);
+            assert!(
+                (exact - approx).abs() < 1e-6,
+                "n={n}: exact {exact} vs approx {approx}"
+            );
+        }
+    }
+
+    #[test]
+    fn fast_switches_consistently() {
+        assert_eq!(harmonic_fast(0), 0.0);
+        let at_cutoff = harmonic_fast(100_000);
+        let above = harmonic_fast(100_001);
+        assert!(above > at_cutoff);
+        assert!((above - at_cutoff) < 1e-4);
+    }
+
+    #[test]
+    fn harmonic_brackets_log() {
+        // ln n ≤ (n-1)/n · H_{n-1} ≤ 1 + ln n  (stated in the paper, §3.2).
+        for n in [10u64, 100, 10_000] {
+            let nf = n as f64;
+            let v = (n - 1) as f64 / nf * harmonic(n - 1);
+            assert!(v >= nf.ln() - 1e-9, "lower bracket fails at n={n}");
+            assert!(v <= 1.0 + nf.ln(), "upper bracket fails at n={n}");
+        }
+    }
+
+    #[test]
+    fn epidemic_expectation_matches_definition() {
+        let n = 50;
+        let direct = (n - 1) as f64 / n as f64 * harmonic(n - 1);
+        assert!((expected_epidemic_time(n) - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn epidemic_tail_is_a_probability_and_decreasing() {
+        let n = 1000;
+        let t8 = epidemic_upper_tail(n, 8.0);
+        let t16 = epidemic_upper_tail(n, 16.0);
+        let t24 = epidemic_upper_tail(n, 24.0);
+        assert!(t8 <= 1.0 && t16 < t8 && t24 < t16);
+    }
+
+    #[test]
+    fn subpopulation_tail_corollary_3_5() {
+        // Corollary 3.5: c = 3, α_u = 24 gives Pr < 27 n^{-3}; our general
+        // form at a = n/3 gives a^{-(24-12)²/36} = a^{-4}. Both tiny.
+        let tail = subpopulation_epidemic_tail(1000 / 3, 3.0, 24.0);
+        assert!(tail < 1e-9, "tail {tail}");
+        // At or below α_u = 4c the bound is vacuous.
+        assert_eq!(subpopulation_epidemic_tail(333, 3.0, 12.0), 1.0);
+    }
+
+    #[test]
+    fn gamma_constant_sanity() {
+        // H_{10^5} − ln(10^5) should be within 1e-5 of γ.
+        let diff = harmonic(100_000) - (100_000f64).ln();
+        assert!((diff - EULER_MASCHERONI).abs() < 1e-5);
+    }
+}

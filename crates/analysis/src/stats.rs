@@ -1,0 +1,210 @@
+//! Descriptive statistics for trial aggregation.
+//!
+//! Every experiment harness reports a [`Summary`] per parameter point:
+//! mean, standard deviation, min/median/max, and quantiles of the trial
+//! results, plus a normal-approximation confidence half-width.
+
+/// Summary statistics of a sample.
+///
+/// ```
+/// use pp_analysis::stats::Summary;
+///
+/// let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+/// assert_eq!(s.mean, 2.5);
+/// assert_eq!(s.median, 2.5);
+/// assert_eq!((s.min, s.max), (1.0, 4.0));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (Bessel-corrected; 0 for count < 2).
+    pub stddev: f64,
+    /// Minimum observation.
+    pub min: f64,
+    /// Median (average of middle two for even counts).
+    pub median: f64,
+    /// Maximum observation.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes summary statistics of `data`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty or contains NaN.
+    pub fn of(data: &[f64]) -> Self {
+        assert!(!data.is_empty(), "cannot summarize an empty sample");
+        assert!(data.iter().all(|x| !x.is_nan()), "sample contains NaN");
+        let count = data.len();
+        let mean = data.iter().sum::<f64>() / count as f64;
+        let var = if count > 1 {
+            data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (count - 1) as f64
+        } else {
+            0.0
+        };
+        let mut sorted = data.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        let median = if count % 2 == 1 {
+            sorted[count / 2]
+        } else {
+            (sorted[count / 2 - 1] + sorted[count / 2]) / 2.0
+        };
+        Self {
+            count,
+            mean,
+            stddev: var.sqrt(),
+            min: sorted[0],
+            median,
+            max: sorted[count - 1],
+        }
+    }
+
+    /// Standard error of the mean.
+    pub fn sem(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.stddev / (self.count as f64).sqrt()
+        }
+    }
+
+    /// Normal-approximation 95% confidence half-width (`1.96 · SEM`).
+    pub fn ci95_half_width(&self) -> f64 {
+        1.96 * self.sem()
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "mean {:.3} ± {:.3} (sd {:.3}, min {:.3}, med {:.3}, max {:.3}, n={})",
+            self.mean,
+            self.ci95_half_width(),
+            self.stddev,
+            self.min,
+            self.median,
+            self.max,
+            self.count
+        )
+    }
+}
+
+/// Empirical quantile (linear interpolation between order statistics).
+///
+/// `q` in `[0, 1]`.
+pub fn quantile(data: &[f64], q: f64) -> f64 {
+    assert!(!data.is_empty());
+    assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let w = pos - lo as f64;
+        sorted[lo] * (1.0 - w) + sorted[hi] * w
+    }
+}
+
+/// Fraction of observations satisfying a predicate (an empirical
+/// probability).
+pub fn empirical_probability(data: &[f64], pred: impl Fn(f64) -> bool) -> f64 {
+    assert!(!data.is_empty());
+    data.iter().filter(|&&x| pred(x)).count() as f64 / data.len() as f64
+}
+
+/// Simple fixed-width histogram over `[lo, hi)` with `bins` buckets;
+/// out-of-range values clamp to the end buckets.
+pub fn histogram(data: &[f64], lo: f64, hi: f64, bins: usize) -> Vec<u64> {
+    assert!(bins > 0 && hi > lo);
+    let mut counts = vec![0u64; bins];
+    let width = (hi - lo) / bins as f64;
+    for &x in data {
+        let idx = (((x - lo) / width).floor() as i64).clamp(0, bins as i64 - 1) as usize;
+        counts[idx] += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.count, 8);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        // Sample variance with Bessel: 32/7.
+        assert!((s.stddev - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert!((s.median - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_single_value() {
+        let s = Summary::of(&[3.5]);
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.median, 3.5);
+        assert_eq!(s.sem(), 0.0);
+    }
+
+    #[test]
+    fn odd_median() {
+        let s = Summary::of(&[5.0, 1.0, 3.0]);
+        assert_eq!(s.median, 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_sample_panics() {
+        Summary::of(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_panics() {
+        Summary::of(&[1.0, f64::NAN]);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let data = [0.0, 10.0];
+        assert_eq!(quantile(&data, 0.0), 0.0);
+        assert_eq!(quantile(&data, 1.0), 10.0);
+        assert_eq!(quantile(&data, 0.5), 5.0);
+        let data2 = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(quantile(&data2, 0.5), 3.0);
+        assert_eq!(quantile(&data2, 0.25), 2.0);
+    }
+
+    #[test]
+    fn empirical_probability_counts() {
+        let data = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(empirical_probability(&data, |x| x > 2.0), 0.5);
+        assert_eq!(empirical_probability(&data, |_| true), 1.0);
+    }
+
+    #[test]
+    fn histogram_bins_and_clamps() {
+        let data = [-1.0, 0.5, 1.5, 2.5, 100.0];
+        let h = histogram(&data, 0.0, 3.0, 3);
+        assert_eq!(h, vec![2, 1, 2]);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let s = Summary::of(&[1.0, 2.0, 3.0]);
+        let text = format!("{s}");
+        assert!(text.contains("mean 2.000"));
+        assert!(text.contains("n=3"));
+    }
+}

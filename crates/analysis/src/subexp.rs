@@ -1,0 +1,256 @@
+//! Sub-exponential random variables and the Chernoff bound for sums of
+//! maxima of geometrics (Appendix D.1, Lemmas D.2–D.8, Corollaries D.9–D.10).
+//!
+//! The protocol averages `K` maxima of geometric random variables. Standard
+//! Chernoff bounds for bounded variables do not apply — a max of geometrics
+//! has an exponential upper tail — so the paper routes through the theory of
+//! sub-exponential random variables:
+//!
+//! 1. **Definition D.1.** `X` is `α-β`-sub-exponential if
+//!    `Pr[|X − E[X]| ≥ λ] ≤ α e^{−λ/β}`.
+//! 2. **Lemma D.2.** Such `X` has MGF bound
+//!    `E[e^{s(X−E[X])}] ≤ 1 + 2αβ²s²` for `|s| ≤ 1/(2β)`.
+//! 3. **Lemma D.3.** For `K` i.i.d. copies,
+//!    `Pr[|S − E[S]| ≥ t] ≤ 2(1 + α/2)^K e^{−t/(2β)}`.
+//! 4. **Corollary D.6** shows the max of `N` geometric(1/2) RVs is
+//!    `3.31`-`2`-sub-exponential, giving **Lemma D.8**:
+//!    `Pr[|S − E[S]| ≥ t] ≤ 2 e^{K − t/4}`.
+//! 5. **Corollary D.9/D.10.** With `K ≥ 4 log N`, the average is within 4.7
+//!    of `log N` with probability `≥ 1 − 2/N`.
+//!
+//! This module exposes each bound as a function of its parameters, plus the
+//! protocol-level error probability of Lemma 3.11 / Theorem 3.1.
+
+use crate::harmonic::EULER_MASCHERONI;
+
+/// Parameters of a sub-exponential random variable (Definition D.1):
+/// `Pr[|X − E[X]| ≥ λ] ≤ α e^{−λ/β}`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SubExponential {
+    /// Multiplicative constant α.
+    pub alpha: f64,
+    /// Scale β.
+    pub beta: f64,
+}
+
+/// The sub-exponential parameters of a max of `N ≥ 50` geometric(1/2)
+/// random variables, per Corollary D.6.
+pub const MAX_GEOMETRIC_SUBEXP: SubExponential = SubExponential {
+    alpha: 3.31,
+    beta: 2.0,
+};
+
+impl SubExponential {
+    /// The tail bound itself: `min(1, α e^{−λ/β})`.
+    pub fn tail(&self, lambda: f64) -> f64 {
+        (self.alpha * (-lambda / self.beta).exp()).min(1.0)
+    }
+
+    /// Lemma D.2: bound on `E[e^{s(X−E[X])}]` for `|s| ≤ 1/(2β)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `|s| > 1/(2β)` — the bound is only proven there.
+    pub fn mgf_bound(&self, s: f64) -> f64 {
+        assert!(
+            s.abs() <= 1.0 / (2.0 * self.beta) + 1e-12,
+            "Lemma D.2 requires |s| <= 1/(2β)"
+        );
+        1.0 + 2.0 * self.alpha * self.beta * self.beta * s * s
+    }
+
+    /// Lemma D.3: for a sum `S` of `K` i.i.d. copies,
+    /// `Pr[|S − E[S]| ≥ t] ≤ 2 (1 + α/2)^K e^{−t/(2β)}`.
+    pub fn sum_tail(&self, k: u64, t: f64) -> f64 {
+        let log_bound =
+            (2.0f64).ln() + k as f64 * (1.0 + self.alpha / 2.0).ln() - t / (2.0 * self.beta);
+        log_bound.exp().min(1.0)
+    }
+}
+
+/// Lemma D.8: for `S` a sum of `K` maxima of `N ≥ 50` geometric(1/2) RVs,
+/// `Pr[|S − E[S]| ≥ t] ≤ 2 e^{K − t/4}`.
+pub fn lemma_d8_sum_tail(k: u64, t: f64) -> f64 {
+    ((k as f64 - t / 4.0).exp() * 2.0).min(1.0)
+}
+
+/// The centering constant of Corollary D.9:
+/// `δ₀ = 1/2 + γ/ln 2 − ε₂` with `ε₂ = 0.0006`.
+pub fn delta0() -> f64 {
+    0.5 + EULER_MASCHERONI / std::f64::consts::LN_2 - 0.0006
+}
+
+/// Corollary D.9: with `a > 4` and `K ≥ ln N / (a/4 − 1)`,
+/// `Pr[|S/K − log N − δ₀| ≥ a] ≤ 2/N`.
+///
+/// Returns the bound `2/N`; callers check the `K` hypothesis with
+/// [`d9_min_k`].
+pub fn corollary_d9_bound(n: u64) -> f64 {
+    (2.0 / n as f64).min(1.0)
+}
+
+/// The minimum `K` required by Corollary D.9 for error `a`.
+pub fn d9_min_k(n: u64, a: f64) -> u64 {
+    assert!(a > 4.0, "Corollary D.9 needs a > 4");
+    ((n as f64).ln() / (a / 4.0 - 1.0)).ceil() as u64
+}
+
+/// Corollary D.10's specialization: `a = ln 2 + 4 < 4.7` makes the minimum
+/// `K` exactly `4 log2 N`.
+pub fn d10_min_k(n: u64) -> u64 {
+    (4.0 * (n as f64).log2()).ceil() as u64
+}
+
+/// Corollary D.10: with `K ≥ 4 log N`, `Pr[|S/K − log N| ≥ 4.7] ≤ 2/N`.
+pub const D10_ADDITIVE_ERROR: f64 = 4.7;
+
+/// Lemma 3.11: the protocol averages over the role-A subpopulation whose
+/// size `a ∈ [n/2 − √(n ln n), n/2 + √(n ln n)]`, shifting `log a` at most 2
+/// below `log n`; with the output convention `sum/K + 1` this gives
+/// `Pr[|sum/K + 1 − log n| ≥ 5.7] ≤ 6/n`.
+pub const PROTOCOL_ADDITIVE_ERROR: f64 = 5.7;
+
+/// Lemma 3.11's failure bound `6/n`.
+pub fn lemma_3_11_bound(n: u64) -> f64 {
+    (6.0 / n as f64).min(1.0)
+}
+
+/// Theorem 3.1's overall failure probability for the error event:
+/// `Pr[|output − log n| ≥ 5.7] ≤ 9/n`.
+pub fn theorem_3_1_error_bound(n: u64) -> f64 {
+    (9.0 / n as f64).min(1.0)
+}
+
+/// Theorem 3.1's convergence-time guarantee: `O(log² n)` with probability
+/// `≥ 1 − 1/n²`. Returns the concrete budget used in Corollary 3.10's proof:
+/// `(11 log n + 1) · 24 ln n` parallel time.
+pub fn corollary_3_10_time_budget(n: u64) -> f64 {
+    let nf = n as f64;
+    (11.0 * nf.log2() + 1.0) * 24.0 * nf.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometric::{expected_max_geometric, max_geometric_sample};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn tail_is_clamped_and_decreasing() {
+        let x = MAX_GEOMETRIC_SUBEXP;
+        assert_eq!(x.tail(0.0), 1.0);
+        assert!(x.tail(10.0) < x.tail(5.0));
+        assert!(x.tail(100.0) < 1e-20);
+    }
+
+    #[test]
+    fn mgf_bound_at_edge() {
+        let x = MAX_GEOMETRIC_SUBEXP;
+        // s = 1/(2β) = 0.25: bound = 1 + 2·3.31·4·0.0625 = 2.655
+        let b = x.mgf_bound(0.25);
+        assert!((b - 2.655).abs() < 1e-9, "{b}");
+    }
+
+    #[test]
+    #[should_panic(expected = "Lemma D.2")]
+    fn mgf_bound_rejects_large_s() {
+        MAX_GEOMETRIC_SUBEXP.mgf_bound(0.3);
+    }
+
+    #[test]
+    fn lemma_d3_reduces_to_d8() {
+        // With α = 3.31 < 2e − 2 and β = 2, (1 + α/2) < e, so D.3's bound is
+        // below D.8's 2e^{K − t/4}.
+        for k in [10u64, 50, 200] {
+            for t in [100.0, 500.0, 2000.0] {
+                let d3 = MAX_GEOMETRIC_SUBEXP.sum_tail(k, t);
+                let d8 = lemma_d8_sum_tail(k, t);
+                assert!(d3 <= d8 + 1e-12, "K={k}, t={t}: d3 {d3} > d8 {d8}");
+            }
+        }
+    }
+
+    #[test]
+    fn d8_bound_nontrivial_for_large_t() {
+        assert_eq!(lemma_d8_sum_tail(10, 0.0), 1.0);
+        assert!(lemma_d8_sum_tail(10, 100.0) < 1.0);
+        assert!(lemma_d8_sum_tail(10, 400.0) < 1e-30);
+    }
+
+    #[test]
+    fn d9_k_thresholds() {
+        // a = ln2 + 4 => K = ln N / (ln2/4) = 4 log2 N.
+        let n = 1024;
+        let k_d9 = d9_min_k(n, std::f64::consts::LN_2 + 4.0);
+        let k_d10 = d10_min_k(n);
+        assert_eq!(k_d10, 40);
+        assert!((k_d9 as i64 - k_d10 as i64).abs() <= 1, "{k_d9} vs {k_d10}");
+    }
+
+    #[test]
+    #[should_panic(expected = "a > 4")]
+    fn d9_rejects_small_a() {
+        d9_min_k(100, 4.0);
+    }
+
+    #[test]
+    fn delta0_value() {
+        // 1/2 + 0.5772/0.6931 − 0.0006 ≈ 1.3322
+        let d = delta0();
+        assert!((d - 1.332).abs() < 0.01, "{d}");
+    }
+
+    #[test]
+    fn d10_holds_empirically() {
+        // Average K = 4 log N maxima; the average must be within 4.7 of
+        // log N nearly always (bound says failure ≤ 2/N).
+        let n = 512u64;
+        let k = d10_min_k(n); // 36
+        let mut rng = SmallRng::seed_from_u64(77);
+        let trials = 2_000;
+        let mut failures = 0;
+        for _ in 0..trials {
+            let sum: u64 = (0..k).map(|_| max_geometric_sample(n, &mut rng)).sum();
+            let avg = sum as f64 / k as f64;
+            if (avg - (n as f64).log2()).abs() >= D10_ADDITIVE_ERROR {
+                failures += 1;
+            }
+        }
+        let freq = failures as f64 / trials as f64;
+        assert!(
+            freq <= corollary_d9_bound(n) * 2.0 + 0.002,
+            "failure frequency {freq}"
+        );
+    }
+
+    #[test]
+    fn empirical_average_is_near_log_plus_delta0() {
+        // E[S/K] ≈ log N + δ₀ (Corollary D.9's centering).
+        let n = 4096u64;
+        let k = 2_000u64;
+        let mut rng = SmallRng::seed_from_u64(123);
+        let sum: u64 = (0..k).map(|_| max_geometric_sample(n, &mut rng)).sum();
+        let avg = sum as f64 / k as f64;
+        let predicted = (n as f64).log2() + delta0();
+        assert!(
+            (avg - predicted).abs() < 0.25,
+            "avg {avg} vs predicted {predicted}"
+        );
+        // Cross-check against Eisenberg's direct expectation.
+        let eisenberg = expected_max_geometric(n, 0.5);
+        assert!((avg - eisenberg).abs() < 0.35);
+    }
+
+    #[test]
+    fn protocol_level_bounds_scale() {
+        assert!(theorem_3_1_error_bound(9) == 1.0);
+        assert!(theorem_3_1_error_bound(1_000) == 0.009);
+        assert!(lemma_3_11_bound(600) == 0.01);
+        assert!(corollary_3_10_time_budget(1000) > 0.0);
+        // Budget grows ~ log² n: ratio between n=10^6 and n=10^3 ≈ 4 (log
+        // doubles, ln doubles).
+        let r = corollary_3_10_time_budget(1_000_000) / corollary_3_10_time_budget(1_000);
+        assert!(r > 3.0 && r < 5.0, "{r}");
+    }
+}

@@ -1,0 +1,135 @@
+//! The max-geometric weak estimator of Alistarh et al. \[2\].
+//!
+//! Every agent samples one geometric(1/2) random variable and the population
+//! propagates the maximum by epidemic. The settled maximum `k` satisfies
+//! `log n − log ln n ≤ k ≤ 2 log n` w.h.p. (Corollary A.2 in the paper's
+//! random-bit model; the original \[2\] analysis with synthetic coins gives
+//! the weaker `½ log n ≤ k ≤ 9 log n`). Converges in `O(log n)` time.
+//!
+//! This is the paper's *baseline*: constant multiplicative error versus the
+//! main protocol's constant additive error — and also its first stage
+//! (`logSize2`).
+
+use pp_engine::rng::{geometric_half, SimRng};
+use pp_engine::{AgentSim, Protocol};
+
+/// Per-agent state: the sampled/adopted maximum (0 = not yet sampled).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WeakState {
+    /// Current estimate: own sample merged with every partner's.
+    pub value: u64,
+    /// Whether this agent has sampled yet (sampling happens on the agent's
+    /// first interaction, keeping `initial_state` deterministic).
+    pub sampled: bool,
+}
+
+/// The weak (multiplicative-error) estimator protocol.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WeakEstimator;
+
+impl Protocol for WeakEstimator {
+    type State = WeakState;
+
+    fn initial_state(&self) -> WeakState {
+        WeakState {
+            value: 0,
+            sampled: false,
+        }
+    }
+
+    fn interact(&self, rec: &mut WeakState, sen: &mut WeakState, rng: &mut SimRng) {
+        for agent in [&mut *rec, &mut *sen] {
+            if !agent.sampled {
+                agent.sampled = true;
+                agent.value = agent.value.max(geometric_half(rng));
+            }
+        }
+        let m = rec.value.max(sen.value);
+        rec.value = m;
+        sen.value = m;
+    }
+}
+
+/// Outcome of one weak-estimation run.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct WeakOutcome {
+    /// The settled maximum `k`.
+    pub estimate: u64,
+    /// Parallel time until all agents agreed on the final maximum.
+    pub time: f64,
+}
+
+/// Runs the weak estimator to agreement.
+///
+/// ```
+/// use pp_baselines::alistarh::weak_estimate;
+///
+/// let out = weak_estimate(200, 7);
+/// // The settled max of geometrics is a constant-factor estimate of log n.
+/// assert!(out.estimate >= 1);
+/// assert!((out.estimate as f64) <= 3.0 * 200f64.log2());
+/// ```
+pub fn weak_estimate(n: usize, seed: u64) -> WeakOutcome {
+    let mut sim = AgentSim::new(WeakEstimator, n, seed);
+    let out = sim.run_until_converged(
+        |states| {
+            states.iter().all(|s| s.sampled)
+                && states.windows(2).all(|w| w[0].value == w[1].value)
+        },
+        f64::MAX,
+    );
+    debug_assert!(out.converged);
+    WeakOutcome {
+        estimate: sim.states()[0].value,
+        time: out.time,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estimate_in_multiplicative_band() {
+        for n in [100usize, 1000, 5000] {
+            let logn = (n as f64).log2();
+            let lo = logn - (n as f64).ln().log2() - 1.0;
+            let hi = 2.0 * logn + 2.0;
+            let mut in_band = 0;
+            let trials = 10;
+            for seed in 0..trials {
+                let out = weak_estimate(n, seed);
+                let k = out.estimate as f64;
+                if k >= lo && k <= hi {
+                    in_band += 1;
+                }
+            }
+            assert!(
+                in_band >= trials - 1,
+                "n={n}: only {in_band}/{trials} in [{lo:.1}, {hi:.1}]"
+            );
+        }
+    }
+
+    #[test]
+    fn converges_in_logarithmic_time() {
+        // O(log n) time: ratio of times between n=4000 and n=100 should be
+        // about ln(4000)/ln(100) ≈ 1.8, certainly below 4.
+        let t100: f64 = (0..8).map(|s| weak_estimate(100, 50 + s).time).sum::<f64>() / 8.0;
+        let t4000: f64 = (0..8).map(|s| weak_estimate(4000, 60 + s).time).sum::<f64>() / 8.0;
+        assert!(t4000 / t100 < 4.0, "t4000 {t4000} vs t100 {t100}");
+    }
+
+    #[test]
+    fn multiplicative_vs_additive_error_grows() {
+        // The point of the paper: the weak estimator's error grows with n
+        // (multiplicative), so its |k − log n| deviation at large n is
+        // typically larger than the main protocol's constant band. Just
+        // check the estimate is an integer ≥ 1 and the protocol is
+        // deterministic per seed.
+        let a = weak_estimate(500, 9);
+        let b = weak_estimate(500, 9);
+        assert_eq!(a.estimate, b.estimate);
+        assert!(a.estimate >= 1);
+    }
+}

@@ -1,0 +1,150 @@
+//! The paper's opening example (§1): function computation speed.
+//!
+//! > "the transition `x, q -> y, y` (starting with at least as many `q` as
+//! > the input state `x`) computes `f(x) = 2x` in expected time `O(log n)`,
+//! > whereas `x, x -> y, q` computes `f(x) = ⌊x/2⌋` exponentially slower:
+//! > expected time `Θ(n)`."
+//!
+//! Both protocols use the *distributed output convention*: the answer is
+//! the final count of `y` agents. Doubling is an epidemic-like branching
+//! process (every `x` or `y` meeting a blank `q` converts it — here,
+//! faithful to the rule, each `x` converts itself and one `q` into two
+//! `y`s, and `y`s take over `q`s only through... no: the rule is exactly
+//! `x, q -> y, y`, consuming one `x` and one `q` per firing, plus the
+//! produced `y`s do nothing further — so the *last* `x` must find a `q`,
+//! which is fast while `q`s are plentiful). Halving's last two `x`s must
+//! find *each other*: a `Θ(n)` wait.
+//!
+//! [`double_time`] and [`halve_time`] measure the completion times; the
+//! `table_intro_functions` harness regenerates the `O(log n)` vs `Θ(n)`
+//! contrast.
+
+use pp_engine::count_sim::{CountConfiguration, CountProtocol, CountSim};
+use pp_engine::rng::SimRng;
+
+/// States for the intro protocols.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FnState {
+    /// Input token.
+    X,
+    /// Blank / fuel agent.
+    Q,
+    /// Output token.
+    Y,
+}
+
+/// `x, q -> y, y`: computes `f(x) = 2x` (output = count of `y`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Doubling;
+
+impl CountProtocol for Doubling {
+    type State = FnState;
+
+    fn transition(&self, rec: FnState, sen: FnState, _rng: &mut SimRng) -> (FnState, FnState) {
+        use FnState::*;
+        match (rec, sen) {
+            (X, Q) | (Q, X) => (Y, Y),
+            other => other,
+        }
+    }
+}
+
+/// `x, x -> y, q`: computes `f(x) = ⌊x/2⌋` (output = count of `y`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Halving;
+
+impl CountProtocol for Halving {
+    type State = FnState;
+
+    fn transition(&self, rec: FnState, sen: FnState, _rng: &mut SimRng) -> (FnState, FnState) {
+        use FnState::*;
+        match (rec, sen) {
+            (X, X) => (Y, Q),
+            other => other,
+        }
+    }
+}
+
+/// Runs doubling with input `x` in a population of `n` (needs `n ≥ 2x`).
+/// Returns `(output, completion_time)`; correct output is `2x`.
+pub fn double_time(n: u64, x: u64, seed: u64) -> (u64, f64) {
+    assert!(n >= 2 * x, "doubling needs at least as many q as x");
+    let config = CountConfiguration::from_pairs([(FnState::X, x), (FnState::Q, n - x)]);
+    let mut sim = CountSim::new(Doubling, config, seed);
+    let out = sim.run_until(|c| c.count(&FnState::X) == 0, (n / 20).max(1), f64::MAX);
+    debug_assert!(out.converged);
+    (sim.config().count(&FnState::Y), out.time)
+}
+
+/// Runs halving with input `x` in a population of `n`. Returns
+/// `(output, completion_time)`; correct output is `⌊x/2⌋` (one `x` may
+/// remain when `x` is odd).
+pub fn halve_time(n: u64, x: u64, seed: u64) -> (u64, f64) {
+    assert!(n >= x);
+    let config = if n == x {
+        CountConfiguration::from_pairs([(FnState::X, x)])
+    } else {
+        CountConfiguration::from_pairs([(FnState::X, x), (FnState::Q, n - x)])
+    };
+    let mut sim = CountSim::new(Halving, config, seed);
+    let out = sim.run_until(|c| c.count(&FnState::X) <= 1, (n / 20).max(1), f64::MAX);
+    debug_assert!(out.converged);
+    (sim.config().count(&FnState::Y), out.time)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doubling_is_exact() {
+        for (n, x) in [(100u64, 30u64), (1000, 250), (1000, 500)] {
+            let (out, _) = double_time(n, x, n ^ x);
+            assert_eq!(out, 2 * x, "n={n}, x={x}");
+        }
+    }
+
+    #[test]
+    fn halving_is_exact() {
+        for (n, x) in [(100u64, 30u64), (1000, 251), (500, 500)] {
+            let (out, _) = halve_time(n, x, n ^ x);
+            assert_eq!(out, x / 2, "n={n}, x={x}");
+        }
+    }
+
+    #[test]
+    fn doubling_is_logarithmic_halving_is_linear() {
+        // The paper's exponential separation: at n = 4000 vs 500, doubling
+        // time grows ~log (factor < 2.5) while halving grows ~linearly
+        // (factor > 4).
+        // Doubling needs q to stay plentiful (x ≤ n/4 keeps q ≥ n/2
+        // throughout, giving exponential decay of x); with x = q = n/2 the
+        // two deplete together and the last pair takes Θ(n) to meet.
+        let trials = 6u64;
+        let avg = |f: &dyn Fn(u64) -> f64, n: u64| -> f64 {
+            (0..trials).map(|s| f(n + s)).sum::<f64>() / trials as f64
+        };
+        let d500 = avg(&|s| double_time(500, 125, s).1, 500);
+        let d4000 = avg(&|s| double_time(4000, 1000, s).1, 4000);
+        let h500 = avg(&|s| halve_time(500, 250, s).1, 500);
+        let h4000 = avg(&|s| halve_time(4000, 2000, s).1, 4000);
+        assert!(
+            d4000 / d500 < 3.0,
+            "doubling not logarithmic: {d500} -> {d4000}"
+        );
+        assert!(
+            h4000 / h500 > 4.0,
+            "halving not linear: {h500} -> {h4000}"
+        );
+        assert!(
+            h4000 > 10.0 * d4000,
+            "separation missing: halve {h4000} vs double {d4000}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least as many q")]
+    fn doubling_requires_fuel() {
+        double_time(10, 6, 0);
+    }
+}

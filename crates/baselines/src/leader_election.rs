@@ -1,0 +1,228 @@
+//! Coin-tournament leader election — the second downstream client.
+//!
+//! The fast leader-election protocols the paper cites run `Θ(log n)`
+//! synchronized rounds of coin-flip elimination. Per stage, every surviving
+//! contender flips a fair coin; the stage's maximum flip spreads by
+//! epidemic, and contenders holding a smaller flip drop out. Each stage
+//! halves the contenders in expectation and can never eliminate the last
+//! one (only an agent that flipped heads can eliminate tails-flippers, and
+//! that agent survives its own stage), so after `Θ(log n)` stages exactly
+//! one contender remains w.h.p.
+//!
+//! Implemented as a [`Downstream`] client of the composition framework, so
+//! the stage pacing comes from the uniform leaderless phase clock — the
+//! protocol never sees `n`.
+
+use pp_core::composition::Downstream;
+use pp_engine::rng::SimRng;
+use rand::Rng;
+
+/// Downstream per-agent election state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ElectionState {
+    /// Still in the running.
+    pub contender: bool,
+    /// This stage's coin flip (contenders only; 0 for spectators).
+    pub coin: u8,
+    /// Largest flip observed this stage (spread by epidemic).
+    pub best_seen: u8,
+    /// The stage the agent last re-flipped for.
+    pub flipped_for_stage: u64,
+}
+
+/// The tournament protocol.
+#[derive(Debug, Clone, Copy)]
+pub struct CoinTournament {
+    /// Stage count multiplier (stages = `stage_factor · s`; default 3 —
+    /// about `3 log n` halvings).
+    pub stage_factor: u64,
+    /// Clock multiplier per stage (default 95).
+    pub clock_factor: u64,
+}
+
+impl Default for CoinTournament {
+    fn default() -> Self {
+        Self {
+            stage_factor: 3,
+            clock_factor: 95,
+        }
+    }
+}
+
+impl CoinTournament {
+    /// Re-flip at a stage boundary.
+    fn refresh(&self, a: &mut ElectionState, stage: u64, rng: &mut SimRng) {
+        if a.flipped_for_stage != stage {
+            a.flipped_for_stage = stage;
+            a.coin = if a.contender { rng.gen_range(0..=1) } else { 0 };
+            a.best_seen = a.coin;
+        }
+    }
+}
+
+impl Downstream for CoinTournament {
+    type State = ElectionState;
+
+    fn num_stages(&self, s: u64) -> u64 {
+        self.stage_factor * s
+    }
+
+    fn stage_threshold(&self, s: u64) -> u64 {
+        self.clock_factor * s
+    }
+
+    fn fresh(&self, _s: u64, _agent_input: u64, _rng: &mut SimRng) -> ElectionState {
+        ElectionState {
+            contender: true,
+            coin: 0,
+            best_seen: 0,
+            flipped_for_stage: u64::MAX, // force a flip at stage 0
+        }
+    }
+
+    fn interact(
+        &self,
+        rec: &mut ElectionState,
+        sen: &mut ElectionState,
+        rec_stage: u64,
+        sen_stage: u64,
+        _s: u64,
+        rng: &mut SimRng,
+    ) {
+        self.refresh(rec, rec_stage, rng);
+        self.refresh(sen, sen_stage, rng);
+        if rec_stage != sen_stage {
+            return;
+        }
+        // Spread the stage maximum and eliminate low flippers.
+        let best = rec.best_seen.max(sen.best_seen);
+        rec.best_seen = best;
+        sen.best_seen = best;
+        for a in [rec, sen] {
+            if a.contender && a.coin < best {
+                a.contender = false;
+            }
+        }
+    }
+
+    fn output(&self, state: &ElectionState) -> Option<u64> {
+        Some(u64::from(state.contender))
+    }
+}
+
+/// Result of an election run.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ElectionOutcome {
+    /// Number of surviving contenders (want exactly 1).
+    pub contenders: usize,
+    /// Parallel time at which all stages completed.
+    pub time: f64,
+    /// Whether the run finished its stages within the budget.
+    pub converged: bool,
+}
+
+/// Runs the uniformized election on `n` agents.
+pub fn run_uniform_election(n: usize, seed: u64, max_time: f64) -> ElectionOutcome {
+    let tournament = CoinTournament::default();
+    let mut sim =
+        pp_core::composition::composed_population(tournament, n, seed, |_| 0);
+    let out = sim.run_until_converged(
+        |states| {
+            states
+                .iter()
+                .all(|c| c.stage >= tournament.num_stages(c.estimate))
+        },
+        max_time,
+    );
+    let contenders = sim.states().iter().filter(|c| c.inner.contender).count();
+    ElectionOutcome {
+        contenders,
+        time: out.time,
+        converged: out.converged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_engine::rng::rng_from_seed;
+
+    #[test]
+    fn elimination_requires_higher_flip() {
+        let t = CoinTournament::default();
+        let mut rng = rng_from_seed(1);
+        let mut a = ElectionState {
+            contender: true,
+            coin: 0,
+            best_seen: 0,
+            flipped_for_stage: 3,
+        };
+        let mut b = ElectionState {
+            contender: true,
+            coin: 1,
+            best_seen: 1,
+            flipped_for_stage: 3,
+        };
+        t.interact(&mut a, &mut b, 3, 3, 5, &mut rng);
+        assert!(!a.contender, "tails loses to heads");
+        assert!(b.contender, "heads survives");
+    }
+
+    #[test]
+    fn different_stages_do_not_interact() {
+        let t = CoinTournament::default();
+        let mut rng = rng_from_seed(2);
+        let mut a = ElectionState {
+            contender: true,
+            coin: 0,
+            best_seen: 0,
+            flipped_for_stage: 2,
+        };
+        let mut b = ElectionState {
+            contender: true,
+            coin: 1,
+            best_seen: 1,
+            flipped_for_stage: 3,
+        };
+        t.interact(&mut a, &mut b, 2, 3, 5, &mut rng);
+        assert!(a.contender, "cross-stage evidence must not eliminate");
+    }
+
+    #[test]
+    fn spectators_relay_evidence() {
+        let t = CoinTournament::default();
+        let mut rng = rng_from_seed(3);
+        let mut spectator = ElectionState {
+            contender: false,
+            coin: 0,
+            best_seen: 1,
+            flipped_for_stage: 4,
+        };
+        let mut victim = ElectionState {
+            contender: true,
+            coin: 0,
+            best_seen: 0,
+            flipped_for_stage: 4,
+        };
+        t.interact(&mut spectator, &mut victim, 4, 4, 5, &mut rng);
+        assert!(!victim.contender, "relayed heads should eliminate");
+    }
+
+    #[test]
+    fn election_converges_to_unique_leader() {
+        let mut unique = 0;
+        let trials = 5;
+        for seed in 0..trials {
+            let out = run_uniform_election(200, 40 + seed, 3e6);
+            assert!(out.converged, "seed {seed} did not finish stages");
+            assert!(out.contenders >= 1, "seed {seed} eliminated everyone");
+            if out.contenders == 1 {
+                unique += 1;
+            }
+        }
+        assert!(
+            unique >= trials - 1,
+            "only {unique}/{trials} elected a unique leader"
+        );
+    }
+}

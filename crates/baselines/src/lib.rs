@@ -1,0 +1,42 @@
+//! # pp-baselines — baseline and downstream population protocols
+//!
+//! The protocols the paper compares against, builds on, or motivates:
+//!
+//! * [`alistarh`] — the Alistarh–Aspnes–Eisenstat–Gelashvili–Rivest
+//!   max-geometric estimator \[2\]: `O(log n)` time, constant
+//!   *multiplicative* error on `log n` (`log n − log ln n ≤ k ≤ 2 log n`
+//!   w.h.p. in the random-bit model, Corollary A.2). The first stage of the
+//!   paper's protocol, and the baseline its `O(1)`-additive result improves
+//!   on.
+//! * [`exact_backup`] — the slow exact `l_i/f_i` binary-counter protocol of
+//!   §3.3 as a standalone count-based protocol (scales to millions of
+//!   agents): computes `⌊log2 n⌋` with probability 1 in `O(n)` time.
+//! * [`exact_leader`] — Michail-style \[32\] exact population counting with
+//!   an initial leader: the leader marks agents one meeting at a time and
+//!   terminates after a long run of already-marked encounters; exact count
+//!   w.h.p., `O(n log n)` time. The terminating baseline that needs a
+//!   leader — exactly what Theorem 4.1 says is unavoidable.
+//! * [`majority`] — cancellation/doubling majority: the representative
+//!   *nonuniform* `O(log n)`-stage protocol that consumes a `⌊log n⌋`
+//!   estimate. Provided both as a [`pp_core::composition::Downstream`]
+//!   implementation (uniformized by the paper's composition scheme) and as
+//!   a nonuniform reference with the true `log n` hardwired.
+//! * [`leader_election`] — coin-tournament leader election, the second
+//!   downstream client: contenders flip a coin per stage and drop out on
+//!   seeing heads when they flipped tails; `Θ(log n)` stages whittle the
+//!   contenders to one.
+//! * [`naive_terminating`] — uniform *dense* protocols that try to
+//!   terminate by interaction counting. Theorem 4.1 dooms them: their
+//!   signal fires at `O(1)` time regardless of `n`, and the termination
+//!   experiments use them as the demonstrator.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alistarh;
+pub mod exact_backup;
+pub mod exact_leader;
+pub mod intro_functions;
+pub mod leader_election;
+pub mod majority;
+pub mod naive_terminating;

@@ -1,0 +1,227 @@
+//! Naive terminating protocols — the demonstrators Theorem 4.1 dooms.
+//!
+//! A uniform protocol starting from a dense configuration cannot delay a
+//! termination signal beyond `O(1)` time (Theorem 4.1). These protocols try
+//! anyway, in the two natural ways, and the termination experiments show
+//! their signals fire at essentially the same parallel time for every `n`:
+//!
+//! * [`FixedCounter`] — each agent counts its own interactions to a fixed
+//!   constant `c`; the *first* agent to reach `c` raises the signal. The
+//!   minimum of `n` i.i.d. negative-binomial times concentrates at a
+//!   constant (≈ `c/2` time with a left tail), so the signal time is `O(1)`
+//!   in `n` — before any `ω(1)`-time task could have finished.
+//! * [`GeometricTimer`] — each agent samples a geometric target first and
+//!   counts to it: uniform (no constant depends on `n`), but the minimum
+//!   sampled target is 1 w.h.p., so the signal fires in `O(1)` time too.
+//!   This is exactly the failure mode that makes the main protocol
+//!   non-terminating: *some* agent's local randomness always looks
+//!   converged immediately.
+//!
+//! Both are [`CountProtocol`]s so the experiments scale to `n = 10^6`.
+
+use pp_engine::count_sim::{CountConfiguration, CountProtocol, CountSim};
+use pp_engine::rng::SimRng;
+
+/// State of the fixed-threshold counter: counting or terminated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FixedState {
+    /// Counting interactions (value so far).
+    Counting(u32),
+    /// Signal raised (spreads by epidemic).
+    Terminated,
+}
+
+/// The fixed-threshold terminating counter.
+#[derive(Debug, Clone, Copy)]
+pub struct FixedCounter {
+    /// The hardwired count each agent waits for.
+    pub threshold: u32,
+}
+
+impl CountProtocol for FixedCounter {
+    type State = FixedState;
+
+    fn transition(
+        &self,
+        rec: FixedState,
+        sen: FixedState,
+        _rng: &mut SimRng,
+    ) -> (FixedState, FixedState) {
+        use FixedState::*;
+        if rec == Terminated || sen == Terminated {
+            return (Terminated, Terminated);
+        }
+        let bump = |s: FixedState| match s {
+            Counting(k) if k + 1 >= self.threshold => Terminated,
+            Counting(k) => Counting(k + 1),
+            Terminated => Terminated,
+        };
+        (bump(rec), bump(sen))
+    }
+}
+
+/// State of the geometric-target timer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum GeoState {
+    /// Not yet sampled a target.
+    Fresh,
+    /// Counting toward `target` with `count` so far.
+    Counting {
+        /// Sampled geometric target (capped for a bounded state space).
+        target: u16,
+        /// Interactions counted so far.
+        count: u16,
+    },
+    /// Signal raised.
+    Terminated,
+}
+
+/// The geometric-target terminating timer: uniform, still doomed.
+#[derive(Debug, Clone, Copy)]
+pub struct GeometricTimer {
+    /// Multiplier applied to the sampled geometric (larger targets delay
+    /// the *typical* agent but not the population minimum).
+    pub scale: u16,
+}
+
+impl Default for GeometricTimer {
+    fn default() -> Self {
+        Self { scale: 10 }
+    }
+}
+
+impl CountProtocol for GeometricTimer {
+    type State = GeoState;
+
+    fn transition(
+        &self,
+        rec: GeoState,
+        sen: GeoState,
+        rng: &mut SimRng,
+    ) -> (GeoState, GeoState) {
+        use GeoState::*;
+        if rec == Terminated || sen == Terminated {
+            return (Terminated, Terminated);
+        }
+        let mut bump = |s: GeoState| match s {
+            Fresh => {
+                let g = pp_engine::rng::geometric_half(rng).min(32) as u16;
+                Counting {
+                    target: g * self.scale,
+                    count: 1,
+                }
+            }
+            Counting { target, count } => {
+                if count + 1 >= target {
+                    Terminated
+                } else {
+                    Counting {
+                        target,
+                        count: count + 1,
+                    }
+                }
+            }
+            Terminated => Terminated,
+        };
+        (bump(rec), bump(sen))
+    }
+}
+
+/// Time at which the first termination signal appears, for the fixed
+/// counter, on a population of size `n`.
+pub fn fixed_signal_time(n: u64, threshold: u32, seed: u64) -> f64 {
+    let config = CountConfiguration::uniform(FixedState::Counting(0), n);
+    let mut sim = CountSim::new(FixedCounter { threshold }, config, seed);
+    let out = sim.run_until(
+        |c| c.count(&FixedState::Terminated) > 0,
+        (n / 100).max(1),
+        f64::MAX,
+    );
+    debug_assert!(out.converged);
+    out.time
+}
+
+/// Time at which the first termination signal appears, for the geometric
+/// timer.
+pub fn geometric_signal_time(n: u64, scale: u16, seed: u64) -> f64 {
+    let config = CountConfiguration::uniform(GeoState::Fresh, n);
+    let mut sim = CountSim::new(GeometricTimer { scale }, config, seed);
+    let out = sim.run_until(
+        |c| c.count(&GeoState::Terminated) > 0,
+        (n / 100).max(1),
+        f64::MAX,
+    );
+    debug_assert!(out.converged);
+    out.time
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_analysis::stats::Summary;
+
+    #[test]
+    fn fixed_signal_time_is_constant_in_n() {
+        // Theorem 4.1's prediction: same threshold, wildly different n,
+        // essentially the same signal time.
+        let threshold = 40;
+        let times: Vec<f64> = [500u64, 5_000, 50_000]
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| fixed_signal_time(n, threshold, 10 + i as u64))
+            .collect();
+        let s = Summary::of(&times);
+        assert!(
+            s.max / s.min < 2.0,
+            "signal times {times:?} vary too much with n"
+        );
+        // And they sit near threshold/2 (each agent gets ~2 interactions per
+        // unit time; the *minimum* over agents is below the mean).
+        assert!(s.max < threshold as f64, "{times:?}");
+    }
+
+    #[test]
+    fn geometric_signal_fires_almost_immediately() {
+        // Min of n geometric targets is 1·scale w.h.p.: the signal fires
+        // within a few multiples of scale/2 time units, independent of n.
+        for n in [1_000u64, 100_000] {
+            let t = geometric_signal_time(n, 10, n);
+            assert!(t < 20.0, "n={n}: signal at {t}, expected O(1)");
+        }
+    }
+
+    #[test]
+    fn termination_spreads_after_signal() {
+        let config = CountConfiguration::uniform(FixedState::Counting(0), 1000);
+        let mut sim = CountSim::new(FixedCounter { threshold: 20 }, config, 3);
+        let out = sim.run_until(
+            |c| c.count(&FixedState::Terminated) == 1000,
+            100,
+            f64::MAX,
+        );
+        assert!(out.converged);
+    }
+
+    #[test]
+    fn terminated_pair_is_absorbing() {
+        let p = FixedCounter { threshold: 5 };
+        let mut rng = pp_engine::rng::rng_from_seed(0);
+        let (a, b) = p.transition(FixedState::Terminated, FixedState::Counting(0), &mut rng);
+        assert_eq!(a, FixedState::Terminated);
+        assert_eq!(b, FixedState::Terminated);
+    }
+
+    #[test]
+    fn geometric_timer_state_space_is_bounded() {
+        // Targets cap at 32·scale, so the state space stays small even on
+        // long runs (needed for CountSim efficiency).
+        let config = CountConfiguration::uniform(GeoState::Fresh, 10_000);
+        let mut sim = CountSim::new(GeometricTimer { scale: 10 }, config, 4);
+        sim.run_for_time(3.0);
+        assert!(
+            sim.config().support_size() < 400,
+            "support {} too large",
+            sim.config().support_size()
+        );
+    }
+}

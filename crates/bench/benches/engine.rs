@@ -1,0 +1,92 @@
+//! Criterion micro-benchmarks for the simulation substrate: raw interaction
+//! throughput determines how far the Figure 2 sweep can scale.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use pp_engine::count_sim::{CountConfiguration, CountSim};
+use pp_engine::epidemic::{InfectionEpidemic, MaxEpidemic};
+use pp_engine::rng::{geometric_half, rng_from_seed};
+use pp_engine::scheduler::PairScheduler;
+use pp_engine::AgentSim;
+
+fn bench_scheduler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("next_pair_n=1000", |b| {
+        let sched = PairScheduler::new(1000);
+        let mut rng = rng_from_seed(1);
+        b.iter(|| sched.next_pair(&mut rng));
+    });
+    group.finish();
+}
+
+fn bench_geometric(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rng");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("geometric_half", |b| {
+        let mut rng = rng_from_seed(2);
+        b.iter(|| geometric_half(&mut rng));
+    });
+    group.bench_function("max_geometric_inversion_n=1e6", |b| {
+        let mut rng = rng_from_seed(3);
+        b.iter(|| pp_analysis::geometric::max_geometric_sample(1_000_000, &mut rng));
+    });
+    group.finish();
+}
+
+fn bench_agent_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("agent_sim");
+    for &n in &[100usize, 10_000] {
+        group.throughput(Throughput::Elements(1000));
+        group.bench_function(format!("max_epidemic_1k_steps_n={n}"), |b| {
+            b.iter_batched_ref(
+                || {
+                    let mut sim = AgentSim::new(MaxEpidemic, n, 4);
+                    sim.set_state(0, 42);
+                    sim
+                },
+                |sim| sim.steps(1000),
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.throughput(Throughput::Elements(1000));
+    group.bench_function("log_size_protocol_1k_steps_n=1000", |b| {
+        b.iter_batched_ref(
+            || {
+                AgentSim::new(
+                    pp_core::log_size::LogSizeEstimation::paper(),
+                    1000,
+                    5,
+                )
+            },
+            |sim| sim.steps(1000),
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+fn bench_count_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("count_sim");
+    group.throughput(Throughput::Elements(1000));
+    for &n in &[10_000u64, 1_000_000] {
+        group.bench_function(format!("infection_1k_steps_n={n}"), |b| {
+            b.iter_batched_ref(
+                || {
+                    let config = CountConfiguration::from_pairs([(false, n - 1), (true, 1)]);
+                    CountSim::new(InfectionEpidemic, config, 6)
+                },
+                |sim| sim.steps(1000),
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_scheduler, bench_geometric, bench_agent_sim, bench_count_sim
+}
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion benchmarks at the protocol level: end-to-end runs at small `n`
+//! and the producibility closure of the Theorem 4.1 machinery.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pp_termination::experiment::counter_protocol;
+use pp_termination::producible_closure;
+
+fn bench_protocol_runs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocols");
+    group.sample_size(10);
+    group.bench_function("log_size_estimation_full_n=100", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            pp_core::log_size::estimate_log_size(100, seed, None)
+        });
+    });
+    group.bench_function("weak_estimator_full_n=1000", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            pp_baselines::alistarh::weak_estimate(1000, seed)
+        });
+    });
+    group.bench_function("epidemic_completion_n=10000", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            pp_engine::epidemic::epidemic_completion_time(10_000, seed)
+        });
+    });
+    group.finish();
+}
+
+fn bench_closure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("termination");
+    group.bench_function("producibility_closure_counter_64", |b| {
+        let rel = counter_protocol(64);
+        b.iter(|| producible_closure(&rel, [0u16, 1000u16], 1.0, None));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_protocol_runs, bench_closure);
+criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! **Baselines**: the estimator landscape the paper situates itself in.
+//!
+//! | protocol | error | time | leader? | terminating? |
+//! |---|---|---|---|---|
+//! | Alistarh et al. \[2\] max-geometric | multiplicative on `log n` | `O(log n)` | no | no |
+//! | **this paper's** `Log-Size-Estimation` | additive 5.7 | `O(log² n)` | no | no |
+//! | `l_i/f_i` exact backup (§3.3) | exact `⌊log n⌋` | `O(n)` | no | no |
+//! | Michail-style exact count \[32\] | exact `n` | `O(n log n)` | yes | **yes** |
+//!
+//! This harness measures all four side by side — who wins on what, at what
+//! cost — reproducing the paper's comparative claims.
+
+use pp_baselines::alistarh::weak_estimate;
+use pp_baselines::exact_backup::run_backup;
+use pp_baselines::exact_leader::run_exact_count;
+use pp_bench::{fmt, print_table, write_csv, HarnessArgs};
+use pp_core::log_size::estimate_log_size;
+use pp_engine::runner::run_trials_threaded;
+
+fn main() {
+    let args = HarnessArgs::parse(&[100, 1000, 10_000], 10);
+    println!(
+        "Estimator landscape (trials={}): error vs time across the four protocols",
+        args.trials
+    );
+
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for &n in &args.sizes {
+        let logn = (n as f64).log2();
+        let weak = run_trials_threaded(args.seed ^ n, args.trials, args.threads, |_, seed| {
+            weak_estimate(n as usize, seed)
+        });
+        let main = run_trials_threaded(args.seed ^ n ^ 3, args.trials, args.threads, |_, seed| {
+            estimate_log_size(n as usize, seed, None)
+        });
+        let backup = run_trials_threaded(args.seed ^ n ^ 4, args.trials.min(5), args.threads, |_, seed| {
+            run_backup(n, seed)
+        });
+        let exact = run_trials_threaded(args.seed ^ n ^ 6, args.trials.min(5), args.threads, |_, seed| {
+            run_exact_count(n as usize, seed, 1e9)
+        });
+
+        let weak_err: Vec<f64> = weak
+            .iter()
+            .map(|o| (o.value.estimate as f64 - logn).abs())
+            .collect();
+        let main_err: Vec<f64> = main
+            .iter()
+            .filter_map(|o| o.value.error(n).map(f64::abs))
+            .collect();
+        let weak_t: Vec<f64> = weak.iter().map(|o| o.value.time).collect();
+        let main_t: Vec<f64> = main.iter().map(|o| o.value.time).collect();
+        let backup_t: Vec<f64> = backup.iter().map(|o| o.value.silent_time).collect();
+        let exact_t: Vec<f64> = exact.iter().map(|o| o.value.time).collect();
+        let backup_exact = backup
+            .iter()
+            .filter(|o| o.value.max_level as f64 == logn.floor())
+            .count();
+        let count_exact = exact.iter().filter(|o| o.value.count == n).count();
+
+        let m = |v: &[f64]| pp_analysis::stats::Summary::of(v).mean;
+        rows.push(vec![
+            n.to_string(),
+            format!("{} / {}", fmt(m(&weak_err)), fmt(m(&weak_t))),
+            format!("{} / {}", fmt(m(&main_err)), fmt(m(&main_t))),
+            format!("{}/{} / {}", backup_exact, backup.len(), fmt(m(&backup_t))),
+            format!("{}/{} / {}", count_exact, exact.len(), fmt(m(&exact_t))),
+        ]);
+        csv.push(vec![
+            n.to_string(),
+            format!("{}", m(&weak_err)),
+            format!("{}", m(&main_err)),
+            format!("{}", m(&weak_t)),
+            format!("{}", m(&main_t)),
+            format!("{}", m(&backup_t)),
+            format!("{}", m(&exact_t)),
+        ]);
+    }
+    print_table(
+        &[
+            "n",
+            "weak[2]: |err|/time",
+            "this paper: |err|/time",
+            "l/f backup: exact/time",
+            "leader count: exact/time",
+        ],
+        &rows,
+    );
+    println!("\n(the paper's position: the weak estimator's error GROWS with n while this");
+    println!(" paper's stays <= 5.7; the exact protocols pay Omega(n) time for exactness)");
+    write_csv(
+        "table_baseline_estimators",
+        &[
+            "n",
+            "weak_abs_err",
+            "main_abs_err",
+            "weak_time",
+            "main_time",
+            "backup_time",
+            "exact_count_time",
+        ],
+        &csv,
+    );
+}

@@ -1,0 +1,71 @@
+//! **Epidemic (Lemma A.1 / Corollaries 3.4–3.5)**: epidemic completion
+//! times.
+//!
+//! Claims: full-population epidemic has `E[T] = (n−1)/n·H_{n−1}` and
+//! `Pr[T > α·ln n] < 4n^{−α/4+1}`; an epidemic confined to a subpopulation
+//! of `n/c` agents slows down by roughly `c²` per-step (Corollary 3.4), and
+//! at `c = 3`, `Pr[T > 24 ln n] < 27 n^{−3}` (Corollary 3.5).
+
+use pp_analysis::harmonic::{expected_epidemic_time, subpopulation_epidemic_tail};
+use pp_bench::{fmt, print_table, write_csv, HarnessArgs};
+use pp_engine::epidemic::{epidemic_completion_time, subpopulation_epidemic_time};
+use pp_engine::runner::run_trials_threaded;
+
+fn main() {
+    let args = HarnessArgs::parse(&[1000, 10_000, 100_000], 20);
+    println!(
+        "Lemma A.1 / Corollary 3.4 epidemics (trials={})",
+        args.trials
+    );
+
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for &n in &args.sizes {
+        let full = run_trials_threaded(args.seed ^ n, args.trials, args.threads, |_, seed| {
+            epidemic_completion_time(n, seed)
+        });
+        let sub = run_trials_threaded(args.seed ^ n ^ 0xF00, args.trials, args.threads, |_, seed| {
+            subpopulation_epidemic_time(n, n / 3, seed)
+        });
+        let full_times: Vec<f64> = full.iter().map(|o| o.value).collect();
+        let sub_times: Vec<f64> = sub.iter().map(|o| o.value).collect();
+        let sf = pp_analysis::stats::Summary::of(&full_times);
+        let ss = pp_analysis::stats::Summary::of(&sub_times);
+        let ln_n = (n as f64).ln();
+        let over_24 = sub_times.iter().filter(|&&t| t > 24.0 * ln_n).count();
+        rows.push(vec![
+            n.to_string(),
+            fmt(sf.mean),
+            fmt(expected_epidemic_time(n)),
+            fmt(sf.mean / ln_n),
+            fmt(ss.mean),
+            fmt(ss.mean / sf.mean),
+            format!("{}/{}", over_24, sub_times.len()),
+            format!("{:.1e}", subpopulation_epidemic_tail(n / 3, 3.0, 24.0)),
+        ]);
+        for (f, s) in full_times.iter().zip(&sub_times) {
+            csv.push(vec![n.to_string(), format!("{f}"), format!("{s}")]);
+        }
+    }
+    print_table(
+        &[
+            "n",
+            "full_mean",
+            "A.1_E[T]",
+            "full/ln n",
+            "sub(n/3)_mean",
+            "slowdown",
+            "sub>24ln n",
+            "C3.5_bound",
+        ],
+        &rows,
+    );
+    println!("\n(full epidemic here is one-way from a single source: ~2 ln n; A.1's form is the");
+    println!(" expected completion of its epidemic process — same Theta(log n) shape.");
+    println!(" Corollary 3.5: the subpopulation epidemic should essentially never exceed 24 ln n.)");
+    write_csv(
+        "table_epidemic",
+        &["n", "full_time", "subpopulation_time"],
+        &csv,
+    );
+}

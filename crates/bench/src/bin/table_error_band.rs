@@ -1,0 +1,58 @@
+//! **T3.1-err**: the additive-error band of Theorem 3.1.
+//!
+//! Claim: the converged output `k` satisfies `|k − log n| ≤ 5.7` with
+//! probability `≥ 1 − 9/n`; the Figure 2 caption adds that in practice the
+//! error is within 2. This harness measures the full error distribution.
+
+use pp_bench::{fmt, print_table, write_csv, HarnessArgs};
+use pp_core::log_size::estimate_log_size;
+use pp_engine::runner::run_trials_threaded;
+
+fn main() {
+    let args = HarnessArgs::parse(&[100, 500, 1000, 5000], 30);
+    println!(
+        "Theorem 3.1 error band (trials={}): |k - log n| <= 5.7 w.p. >= 1 - 9/n; <= 2 in practice",
+        args.trials
+    );
+
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for &n in &args.sizes {
+        let outcomes = run_trials_threaded(args.seed ^ n, args.trials, args.threads, |_, seed| {
+            estimate_log_size(n as usize, seed, None)
+        });
+        let errors: Vec<f64> = outcomes
+            .iter()
+            .filter_map(|o| o.value.error(n))
+            .collect();
+        let within_band = errors.iter().filter(|e| e.abs() <= 5.7).count();
+        let within_2 = errors.iter().filter(|e| e.abs() <= 2.0).count();
+        let s = pp_analysis::stats::Summary::of(&errors);
+        let bound = pp_analysis::subexp::theorem_3_1_error_bound(n);
+        rows.push(vec![
+            n.to_string(),
+            fmt(s.mean),
+            fmt(s.min),
+            fmt(s.max),
+            format!("{}/{}", within_band, errors.len()),
+            format!("{}/{}", within_2, errors.len()),
+            format!("{:.3}", 1.0 - bound),
+        ]);
+        for e in &errors {
+            csv.push(vec![n.to_string(), format!("{e}")]);
+        }
+    }
+    print_table(
+        &[
+            "n",
+            "mean_err",
+            "min_err",
+            "max_err",
+            "|err|<=5.7",
+            "|err|<=2",
+            "claimed_P",
+        ],
+        &rows,
+    );
+    write_csv("table_error_band", &["n", "signed_error"], &csv);
+}

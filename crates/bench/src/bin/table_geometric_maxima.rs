@@ -1,0 +1,85 @@
+//! **D.4/D.10**: maxima of geometric random variables and their averages.
+//!
+//! Claims: `log N + 1 < E[max of N geometrics] < log N + 3/2` (Lemma D.4);
+//! the average of `K ≥ 4 log N` such maxima is within 4.7 of `log N` with
+//! probability `≥ 1 − 2/N` (Corollary D.10); and the max is
+//! `3.31`-`2`-sub-exponential (Corollary D.6).
+
+use pp_analysis::geometric::{
+    expected_max_geometric, expected_max_geometric_half_bracket, max_geometric_sample,
+    GeometricMaxBounds,
+};
+use pp_analysis::subexp::{d10_min_k, delta0, D10_ADDITIVE_ERROR};
+use pp_bench::{fmt, print_table, write_csv, HarnessArgs};
+use pp_engine::rng::rng_from_seed;
+
+fn main() {
+    let args = HarnessArgs::parse(&[64, 1024, 65_536, 1_048_576], 50_000);
+    println!(
+        "Appendix D geometric maxima (Monte-Carlo samples per N = {})",
+        args.trials
+    );
+
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for &n in &args.sizes {
+        let mut rng = rng_from_seed(args.seed ^ n);
+        let samples: Vec<f64> = (0..args.trials)
+            .map(|_| max_geometric_sample(n, &mut rng) as f64)
+            .collect();
+        let s = pp_analysis::stats::Summary::of(&samples);
+        let (lo, hi) = expected_max_geometric_half_bracket(n);
+        let eis = expected_max_geometric(n, 0.5);
+        // Corollary D.10: average K maxima, check the 4.7 band.
+        let k = d10_min_k(n);
+        let d10_trials = 2_000;
+        let mut fails = 0;
+        for _ in 0..d10_trials {
+            let sum: u64 = (0..k).map(|_| max_geometric_sample(n, &mut rng)).sum();
+            let avg = sum as f64 / k as f64;
+            if (avg - (n as f64).log2()).abs() >= D10_ADDITIVE_ERROR {
+                fails += 1;
+            }
+        }
+        // Corollary D.6 at λ = 6.
+        let lam = 6.0;
+        let exceed = samples.iter().filter(|&&m| (m - eis).abs() >= lam).count();
+        rows.push(vec![
+            n.to_string(),
+            fmt(s.mean),
+            format!("({},{})", fmt(lo), fmt(hi)),
+            fmt(eis),
+            format!("{k}"),
+            format!("{:.4} (<= {:.4})", fails as f64 / d10_trials as f64, 2.0 / n as f64),
+            format!(
+                "{:.4} (<= {:.4})",
+                exceed as f64 / samples.len() as f64,
+                GeometricMaxBounds::new(n).concentration_bound(lam)
+            ),
+        ]);
+        csv.push(vec![
+            n.to_string(),
+            format!("{}", s.mean),
+            format!("{eis}"),
+            format!("{}", fails as f64 / d10_trials as f64),
+        ]);
+    }
+    print_table(
+        &[
+            "N",
+            "mc_E[M]",
+            "D.4_bracket",
+            "Eisenberg",
+            "K=4logN",
+            "D.10_fail (bound)",
+            "D.6_tail@6 (bound)",
+        ],
+        &rows,
+    );
+    println!("\n(delta0 = {:.4}: the centering constant E[M] - log N)", delta0());
+    write_csv(
+        "table_geometric_maxima",
+        &["N", "mc_mean", "eisenberg", "d10_fail_rate"],
+        &csv,
+    );
+}

@@ -1,0 +1,70 @@
+//! **Intro (§1)**: the exponential gap between `f(x) = 2x` and
+//! `f(x) = ⌊x/2⌋`.
+//!
+//! Paper: `x, q -> y, y` computes doubling in `O(log n)` expected time;
+//! `x, x -> y, q` computes halving in `Θ(n)` — the motivating example for
+//! why "efficient" means sublinear.
+
+use pp_baselines::intro_functions::{double_time, halve_time};
+use pp_bench::{fmt, print_table, write_csv, HarnessArgs};
+use pp_engine::runner::run_trials_threaded;
+
+fn main() {
+    // Halving takes Θ(n) *parallel* time = Θ(n²) interactions, so the
+    // default sweep stops at 3·10⁴ (≈10⁹ interactions per trial).
+    let args = HarnessArgs::parse(&[500, 5_000, 30_000], 8);
+    println!(
+        "Section 1 intro example (trials={}): doubling O(log n) vs halving Theta(n)",
+        args.trials
+    );
+
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for &n in &args.sizes {
+        // x = n/4 keeps the doubling fuel q plentiful (q ≥ n/2 throughout),
+        // which is what the paper's O(log n) claim needs; halving gets the
+        // same input size.
+        let x = n / 4;
+        let d = run_trials_threaded(args.seed ^ n, args.trials, args.threads, |_, seed| {
+            double_time(n, x, seed).1
+        });
+        let h = run_trials_threaded(args.seed ^ n ^ 1, args.trials, args.threads, |_, seed| {
+            halve_time(n, x, seed).1
+        });
+        let dt: Vec<f64> = d.iter().map(|o| o.value).collect();
+        let ht: Vec<f64> = h.iter().map(|o| o.value).collect();
+        let ds = pp_analysis::stats::Summary::of(&dt);
+        let hs = pp_analysis::stats::Summary::of(&ht);
+        rows.push(vec![
+            n.to_string(),
+            fmt(ds.mean),
+            fmt(ds.mean / (n as f64).ln()),
+            fmt(hs.mean),
+            fmt(hs.mean / n as f64),
+            fmt(hs.mean / ds.mean),
+        ]);
+        csv.push(vec![
+            n.to_string(),
+            format!("{}", ds.mean),
+            format!("{}", hs.mean),
+        ]);
+    }
+    print_table(
+        &[
+            "n",
+            "double_time",
+            "double/ln n",
+            "halve_time",
+            "halve/n",
+            "gap",
+        ],
+        &rows,
+    );
+    println!("\n(double/ln n and halve/n should both be ~constant; the gap column is the");
+    println!(" paper's 'exponentially slower' — growing like n/log n)");
+    write_csv(
+        "table_intro_functions",
+        &["n", "double_time", "halve_time"],
+        &csv,
+    );
+}

@@ -1,0 +1,72 @@
+//! **L3.2**: the role-partition balance of Lemma 3.2 / Corollary 3.3.
+//!
+//! Claim: `|A| ∈ [n/2 − a, n/2 + a]` with probability `≥ 1 − e^{−2a²/n}`
+//! (two-sided: `2e^{−2a²/n}`), and the partition finishes in `O(log n)`
+//! time. Measured: the deviation distribution at `a = √(n ln n)` and the
+//! completion times.
+
+use pp_bench::{fmt, print_table, write_csv, HarnessArgs};
+use pp_core::partition::run_partition;
+use pp_engine::runner::run_trials_threaded;
+
+fn main() {
+    let args = HarnessArgs::parse(&[1000, 10_000, 100_000], 40);
+    println!(
+        "Lemma 3.2 partition balance (trials={}): |A| in n/2 +- sqrt(n ln n) w.p. >= 1 - 2/n^2",
+        args.trials
+    );
+
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for &n in &args.sizes {
+        let outcomes = run_trials_threaded(args.seed ^ n, args.trials, args.threads, |_, seed| {
+            run_partition(n as usize, seed)
+        });
+        let devs: Vec<f64> = outcomes
+            .iter()
+            .map(|o| (o.value.a_count as f64 - n as f64 / 2.0).abs())
+            .collect();
+        let times: Vec<f64> = outcomes.iter().map(|o| o.value.time).collect();
+        let a = ((n as f64) * (n as f64).ln()).sqrt();
+        let within = devs.iter().filter(|&&d| d <= a).count();
+        let third = outcomes
+            .iter()
+            .filter(|o| {
+                let c = o.value.a_count as f64;
+                c >= n as f64 / 3.0 && c <= 2.0 * n as f64 / 3.0
+            })
+            .count();
+        let sdev = pp_analysis::stats::Summary::of(&devs);
+        let stime = pp_analysis::stats::Summary::of(&times);
+        rows.push(vec![
+            n.to_string(),
+            fmt(sdev.mean),
+            fmt(sdev.max),
+            fmt(a),
+            format!("{}/{}", within, devs.len()),
+            format!("{}/{}", third, devs.len()),
+            fmt(stime.mean),
+        ]);
+        for (d, t) in devs.iter().zip(&times) {
+            csv.push(vec![n.to_string(), format!("{d}"), format!("{t}")]);
+        }
+    }
+    print_table(
+        &[
+            "n",
+            "mean_|dev|",
+            "max_|dev|",
+            "sqrt(n ln n)",
+            "within",
+            "in [n/3,2n/3]",
+            "mean_time",
+        ],
+        &rows,
+    );
+    println!("\n(expected |dev| for a fair binomial is ~sqrt(n/2pi); O(log n) completion time)");
+    write_csv(
+        "table_partition",
+        &["n", "abs_deviation", "completion_time"],
+        &csv,
+    );
+}

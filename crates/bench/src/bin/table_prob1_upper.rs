@@ -1,0 +1,68 @@
+//! **§3.3**: the probability-1 upper bound.
+//!
+//! Claims: the reported `max(k_fast + 4, kex + 1)` is `≥ log n` with
+//! probability 1 (the `l_i/f_i` backup computes `kex = ⌊log2 n⌋` exactly),
+//! and stays `≤ log n + 9.7` w.h.p.
+
+use pp_bench::{fmt, print_table, write_csv, HarnessArgs};
+use pp_core::upper_bound::estimate_upper_bound;
+use pp_engine::runner::run_trials_threaded;
+
+fn main() {
+    let args = HarnessArgs::parse(&[100, 300, 1000], 10);
+    println!(
+        "Section 3.3 probability-1 upper bound (trials={})",
+        args.trials
+    );
+
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for &n in &args.sizes {
+        // The backup needs O(n) extra time after the fast part converges.
+        let extra = 30.0 * n as f64;
+        let outcomes = run_trials_threaded(args.seed ^ n, args.trials, args.threads, |_, seed| {
+            estimate_upper_bound(n as usize, seed, extra)
+        });
+        let logn = (n as f64).log2();
+        let reports: Vec<f64> = outcomes.iter().map(|o| o.value.report as f64).collect();
+        let at_least = reports.iter().filter(|&&r| r >= logn).count();
+        let within = reports.iter().filter(|&&r| r <= logn + 10.0).count();
+        let kex_ok = outcomes
+            .iter()
+            .filter(|o| o.value.kex == logn.floor() as u64)
+            .count();
+        let s = pp_analysis::stats::Summary::of(&reports);
+        rows.push(vec![
+            n.to_string(),
+            fmt(logn),
+            fmt(s.mean),
+            fmt(s.min),
+            fmt(s.max),
+            format!("{}/{}", at_least, reports.len()),
+            format!("{}/{}", within, reports.len()),
+            format!("{}/{}", kex_ok, reports.len()),
+        ]);
+        for o in &outcomes {
+            csv.push(vec![
+                n.to_string(),
+                o.value.report.to_string(),
+                o.value.kex.to_string(),
+            ]);
+        }
+    }
+    print_table(
+        &[
+            "n",
+            "log n",
+            "mean_report",
+            "min",
+            "max",
+            ">=log n",
+            "<=log n+10",
+            "kex exact",
+        ],
+        &rows,
+    );
+    println!("\n(>=log n must be ALL trials — it is the probability-1 guarantee)");
+    write_csv("table_prob1_upper", &["n", "report", "kex"], &csv);
+}

@@ -1,0 +1,58 @@
+//! **T3.1-time**: the `O(log² n)` convergence-time scaling (Corollary 3.10).
+//!
+//! Fits measured mean convergence times to `t = a + b·log n` and
+//! `t = a + b·log² n`; the quadratic model should dominate, and the
+//! harness also reports Corollary 3.10's explicit budget
+//! `(11 log n + 1)·24 ln n` for comparison (the proof's constant is loose
+//! by design — measured times sit far below it).
+
+use pp_bench::{fmt, print_table, write_csv, HarnessArgs};
+use pp_core::log_size::estimate_log_size;
+use pp_engine::runner::run_trials_threaded;
+
+fn main() {
+    let args = HarnessArgs::parse(&[100, 200, 400, 800, 1600, 3200, 6400], 8);
+    println!(
+        "Corollary 3.10 time scaling (trials={}): converges in O(log^2 n) w.p. >= 1 - 1/n^2",
+        args.trials
+    );
+
+    let mut rows = Vec::new();
+    let mut means = Vec::new();
+    for &n in &args.sizes {
+        let outcomes = run_trials_threaded(args.seed ^ n, args.trials, args.threads, |_, seed| {
+            estimate_log_size(n as usize, seed, None).time
+        });
+        let times: Vec<f64> = outcomes.iter().map(|o| o.value).collect();
+        let s = pp_analysis::stats::Summary::of(&times);
+        let budget = pp_analysis::subexp::corollary_3_10_time_budget(n);
+        means.push((n, s.mean));
+        rows.push(vec![
+            n.to_string(),
+            fmt(s.mean),
+            fmt(s.stddev),
+            fmt(s.mean / (n as f64).log2().powi(2)),
+            fmt(budget),
+        ]);
+    }
+    print_table(
+        &["n", "mean_time", "sd", "time/log^2(n)", "C3.10_budget"],
+        &rows,
+    );
+    let (lin, quad) = pp_analysis::fit::compare_scaling_models(&means);
+    println!("\nfit t ~ a + b*log n:   b = {:.1}, R^2 = {:.5}", lin.slope, lin.r_squared);
+    println!("fit t ~ a + b*log^2 n: b = {:.2}, R^2 = {:.5}", quad.slope, quad.r_squared);
+    println!(
+        "verdict: {} (time/log^2 column should be ~constant)",
+        if quad.r_squared >= lin.r_squared {
+            "quadratic-in-log model preferred, matching the paper"
+        } else {
+            "UNEXPECTED: linear-in-log model fit better"
+        }
+    );
+    let csv: Vec<Vec<String>> = means
+        .iter()
+        .map(|&(n, t)| vec![n.to_string(), format!("{t}")])
+        .collect();
+    write_csv("table_time_scaling", &["n", "mean_time"], &csv);
+}

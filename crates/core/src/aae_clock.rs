@@ -1,0 +1,301 @@
+//! The leader-driven phase clock of Angluin, Aspnes & Eisenstat \[9\] —
+//! the clock Theorem 3.13's proof invokes.
+//!
+//! Every agent carries a phase number. Non-leaders adopt the maximum phase
+//! they see (an epidemic per phase). The **leader** advances the clock: when
+//! it meets an agent whose phase has caught up to its own, it increments its
+//! phase. A fresh phase thus needs `Θ(log n)` time to reach a constant
+//! fraction of the population before the leader is likely to meet a
+//! caught-up agent, so each phase lasts `Θ(log n)` time w.h.p. — counting
+//! `k` phases waits `Θ(k log n)` time without any agent knowing `n`
+//! (\[9, Corollary 1\]).
+//!
+//! [`AaeTerminating`] uses this clock for a second, paper-literal
+//! implementation of Theorem 3.13: the leader terminates after
+//! `k₂ · 5 · logSize2` phases (phases ∝ `logSize2`, phase length `Θ(log n)`
+//! ⇒ total `Θ(log² n)`), to compare against the counter-driven
+//! [`crate::leader::LeaderTerminating`].
+
+use pp_engine::rng::SimRng;
+use pp_engine::{AgentSim, Protocol};
+
+use crate::log_size::LogSizeEstimation;
+use crate::state::MainState;
+
+/// Standalone AAE phase-clock state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct AaeState {
+    /// Current phase number.
+    pub phase: u64,
+    /// Whether this agent is the leader driving the clock.
+    pub is_leader: bool,
+}
+
+/// The standalone AAE phase clock (for measuring phase durations).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AaePhaseClock;
+
+/// One clock step on a pair of states; returns nothing, mutates in place.
+///
+/// Order of operations matters and follows \[9\]: the leader first checks
+/// whether its partner has caught up (phase ≥ its own), then everyone
+/// adopts the max.
+pub fn aae_step(rec: &mut AaeState, sen: &mut AaeState) {
+    let rec_before = rec.phase;
+    let sen_before = sen.phase;
+    if rec.is_leader && sen_before >= rec_before {
+        rec.phase = sen_before + 1;
+    } else if sen.is_leader && rec_before >= sen_before {
+        sen.phase = rec_before + 1;
+    }
+    // Non-leaders (and the leader, harmlessly) adopt the max.
+    let m = rec.phase.max(sen.phase);
+    if !rec.is_leader {
+        rec.phase = m;
+    }
+    if !sen.is_leader {
+        sen.phase = m;
+    }
+}
+
+impl Protocol for AaePhaseClock {
+    type State = AaeState;
+
+    fn initial_state(&self) -> AaeState {
+        AaeState {
+            phase: 0,
+            is_leader: false,
+        }
+    }
+
+    fn interact(&self, rec: &mut AaeState, sen: &mut AaeState, _rng: &mut SimRng) {
+        aae_step(rec, sen);
+    }
+}
+
+/// Measures the parallel time for the leader to advance through `phases`
+/// phases on `n` agents. \[9\]: expect `Θ(phases · log n)`.
+pub fn time_for_phases(n: usize, phases: u64, seed: u64) -> f64 {
+    let mut sim = AgentSim::new(AaePhaseClock, n, seed);
+    sim.set_state(
+        0,
+        AaeState {
+            phase: 0,
+            is_leader: true,
+        },
+    );
+    let out = sim.run_until_converged(
+        |states| states.iter().any(|s| s.is_leader && s.phase >= phases),
+        f64::MAX,
+    );
+    debug_assert!(out.converged);
+    out.time
+}
+
+/// Per-agent state of the AAE-clock-driven terminating estimator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AaeTermState {
+    /// Embedded main-protocol state.
+    pub main: MainState,
+    /// AAE clock state.
+    pub clock: AaeState,
+    /// Termination flag (epidemic; freezes agents).
+    pub terminated: bool,
+}
+
+/// Theorem 3.13 with the paper-literal AAE phase clock.
+#[derive(Debug, Clone, Copy)]
+pub struct AaeTerminating {
+    /// The embedded estimator.
+    pub fast: LogSizeEstimation,
+    /// Phase target as a multiple of `5·logSize2` (the paper's `k₂`).
+    ///
+    /// Sizing: measured phase duration is ≈ `0.48·ln n ≈ 0.33·logSize2`
+    /// time, and the main protocol converges in ≈ `240·logSize2²` time, so
+    /// convergence needs ≈ `720·logSize2` phases = `k₂·5·logSize2` with
+    /// `k₂ ≈ 145`. The default 600 leaves a ≈ 4× safety margin — the
+    /// paper's "big k₂".
+    pub k2: u64,
+}
+
+impl Default for AaeTerminating {
+    fn default() -> Self {
+        Self {
+            fast: LogSizeEstimation::paper(),
+            k2: 600,
+        }
+    }
+}
+
+impl AaeTerminating {
+    /// The paper's construction.
+    pub fn paper() -> Self {
+        Self::default()
+    }
+
+    fn phase_target(&self, s: &MainState) -> u64 {
+        self.k2 * 5 * s.log_size2
+    }
+}
+
+impl Protocol for AaeTerminating {
+    type State = AaeTermState;
+
+    fn initial_state(&self) -> AaeTermState {
+        AaeTermState {
+            main: MainState::initial(),
+            clock: AaeState {
+                phase: 0,
+                is_leader: false,
+            },
+            terminated: false,
+        }
+    }
+
+    fn interact(&self, rec: &mut AaeTermState, sen: &mut AaeTermState, rng: &mut SimRng) {
+        if rec.terminated || sen.terminated {
+            rec.terminated = true;
+            sen.terminated = true;
+            return;
+        }
+        let rec_ls = rec.main.log_size2;
+        let sen_ls = sen.main.log_size2;
+        self.fast.interact(&mut rec.main, &mut sen.main, rng);
+        // Restart the clock when the estimate improves (same rule as the
+        // counter-based variant).
+        if rec.clock.is_leader && rec.main.log_size2 != rec_ls {
+            rec.clock.phase = 0;
+        }
+        if sen.clock.is_leader && sen.main.log_size2 != sen_ls {
+            sen.clock.phase = 0;
+        }
+        aae_step(&mut rec.clock, &mut sen.clock);
+        for agent in [&mut *rec, &mut *sen] {
+            if agent.clock.is_leader && agent.clock.phase >= self.phase_target(&agent.main) {
+                agent.terminated = true;
+            }
+        }
+        if rec.terminated || sen.terminated {
+            rec.terminated = true;
+            sen.terminated = true;
+        }
+    }
+}
+
+/// Runs the AAE-clock terminating protocol (agent 0 is the leader).
+/// Returns `(termination_time, output, correct_within_band)`.
+pub fn run_aae_terminating(n: usize, seed: u64, max_time: f64) -> Option<(f64, Option<u64>, bool)> {
+    let mut sim = AgentSim::new(AaeTerminating::paper(), n, seed);
+    let mut leader = AaeTermState {
+        main: MainState::initial(),
+        clock: AaeState {
+            phase: 0,
+            is_leader: true,
+        },
+        terminated: false,
+    };
+    leader.clock.is_leader = true;
+    sim.set_state(0, leader);
+    let fired = sim.run_until_converged(|s| s.iter().any(|a| a.terminated), max_time);
+    if !fired.converged {
+        return None;
+    }
+    let mut counts = std::collections::BTreeMap::new();
+    for s in sim.states() {
+        if let Some(o) = s.main.output {
+            *counts.entry(o).or_insert(0usize) += 1;
+        }
+    }
+    let output = counts.into_iter().max_by_key(|&(_, c)| c).map(|(o, _)| o);
+    let correct = output
+        .map(|k| (k as f64 - (n as f64).log2()).abs() <= 5.7)
+        .unwrap_or(false);
+    Some((fired.time, output, correct))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leader_advances_on_caught_up_partner() {
+        let mut leader = AaeState {
+            phase: 3,
+            is_leader: true,
+        };
+        let mut follower = AaeState {
+            phase: 3,
+            is_leader: false,
+        };
+        aae_step(&mut leader, &mut follower);
+        assert_eq!(leader.phase, 4);
+        assert_eq!(follower.phase, 4, "follower adopts the new max");
+    }
+
+    #[test]
+    fn leader_waits_for_laggards() {
+        let mut leader = AaeState {
+            phase: 5,
+            is_leader: true,
+        };
+        let mut laggard = AaeState {
+            phase: 2,
+            is_leader: false,
+        };
+        aae_step(&mut leader, &mut laggard);
+        assert_eq!(leader.phase, 5, "no advance on a lagging partner");
+        assert_eq!(laggard.phase, 5, "laggard catches up");
+    }
+
+    #[test]
+    fn phase_duration_is_logarithmic() {
+        // Time for 30 phases should scale ~log n: ratio between n=2000 and
+        // n=200 should be近 ln(2000)/ln(200) ≈ 1.4, certainly < 3.
+        let t_small: f64 = (0..3).map(|s| time_for_phases(200, 30, s)).sum::<f64>() / 3.0;
+        let t_large: f64 =
+            (0..3).map(|s| time_for_phases(2000, 30, 10 + s)).sum::<f64>() / 3.0;
+        let ratio = t_large / t_small;
+        assert!(ratio < 3.0, "phase time not logarithmic: {t_small} -> {t_large}");
+        // And a phase is at least a constant fraction of ln n.
+        let per_phase = t_large / 30.0;
+        assert!(
+            per_phase > 0.2 * (2000f64).ln(),
+            "phase {per_phase} too fast for Θ(log n)"
+        );
+    }
+
+    #[test]
+    fn aae_terminating_is_correct() {
+        let n = 120;
+        let (time, output, correct) =
+            run_aae_terminating(n, 44, 1e8).expect("must terminate");
+        assert!(correct, "estimate {output:?} out of band");
+        // Must fire after the typical convergence time.
+        let conv = crate::log_size::estimate_log_size(n, 45, None);
+        assert!(
+            time > conv.time,
+            "AAE clock fired at {time} before typical convergence {}",
+            conv.time
+        );
+    }
+
+    #[test]
+    fn phases_never_decrease_for_followers() {
+        let mut sim = AgentSim::new(AaePhaseClock, 100, 3);
+        sim.set_state(
+            0,
+            AaeState {
+                phase: 0,
+                is_leader: true,
+            },
+        );
+        let mut prev_min = 0;
+        for _ in 0..50 {
+            sim.run_for_time(5.0);
+            let min = sim.states().iter().map(|s| s.phase).min().unwrap();
+            assert!(min >= prev_min, "a phase went backwards");
+            prev_min = min;
+        }
+        assert!(prev_min > 0, "clock never advanced");
+    }
+}

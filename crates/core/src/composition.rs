@@ -1,0 +1,332 @@
+//! Restart-based composition: uniformizing downstream protocols (§1.1).
+//!
+//! Many fast population protocols in the literature are *nonuniform*: they
+//! assume every agent is initialized with `⌊log n⌋`. The paper's composition
+//! scheme removes that assumption without needing a terminating size
+//! estimator (which Theorem 4.1 forbids):
+//!
+//! 1. Each agent obtains the weak estimate `s` (`logSize2`: max of
+//!    geometric+2 samples, by epidemic).
+//! 2. The downstream protocol runs in `K` stages paced by the leaderless
+//!    phase clock: each agent counts interactions up to `f(s)` per stage;
+//!    the first agent to finish a stage moves the population forward by a
+//!    max-stage epidemic.
+//! 3. Whenever an agent adopts a larger `s`, it **restarts** the entire
+//!    downstream computation — so the one surviving run is the one paced by
+//!    the settled (correct) estimate.
+//!
+//! The scheme is *converging* rather than terminating: exactly the
+//! compromise the paper shows is unavoidable.
+
+use std::fmt::Debug;
+
+use pp_engine::rng::{geometric_half, SimRng};
+use pp_engine::Protocol;
+
+/// A staged downstream protocol to be uniformized.
+///
+/// The downstream protocol receives the current size estimate `s` and the
+/// stage index on every interaction; it must behave correctly when stages
+/// are advanced by the clock and must tolerate full restarts.
+pub trait Downstream {
+    /// Downstream per-agent state.
+    type State: Clone + PartialEq + Debug;
+
+    /// Number of stages to run given estimate `s` (the paper's `K`,
+    /// e.g. `Θ(s)` for cancellation/doubling majority).
+    fn num_stages(&self, s: u64) -> u64;
+
+    /// Interactions each agent counts per stage (the paper's `f(s)`,
+    /// e.g. `95·s`).
+    fn stage_threshold(&self, s: u64) -> u64;
+
+    /// A fresh downstream state (used at start and on restart). `agent_input`
+    /// is the agent's immutable protocol input (e.g. its majority opinion),
+    /// preserved across restarts.
+    fn fresh(&self, s: u64, agent_input: u64, rng: &mut SimRng) -> Self::State;
+
+    /// One downstream interaction. `rec_stage`/`sen_stage` are the agents'
+    /// current stage indices (equal except transiently).
+    fn interact(
+        &self,
+        rec: &mut Self::State,
+        sen: &mut Self::State,
+        rec_stage: u64,
+        sen_stage: u64,
+        s: u64,
+        rng: &mut SimRng,
+    );
+
+    /// The downstream output of an agent, once meaningful.
+    fn output(&self, state: &Self::State) -> Option<u64>;
+}
+
+/// Composed per-agent state: clock fields plus the downstream state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComposedState<S> {
+    /// Weak size estimate `s` (max geometric+2, by epidemic).
+    pub estimate: u64,
+    /// Whether this agent has sampled its own estimate contribution.
+    pub seeded: bool,
+    /// Interaction count within the current stage.
+    pub count: u64,
+    /// Current stage in `0..=K` (stage `K` means "all stages done").
+    pub stage: u64,
+    /// The agent's immutable input to the downstream protocol.
+    pub input: u64,
+    /// Downstream protocol state.
+    pub inner: S,
+}
+
+/// The uniformizing wrapper around a [`Downstream`] protocol.
+#[derive(Debug, Clone)]
+pub struct Uniformize<D> {
+    /// The downstream protocol being paced.
+    pub downstream: D,
+}
+
+impl<D: Downstream> Uniformize<D> {
+    /// Wraps `downstream` in the composition scheme.
+    pub fn new(downstream: D) -> Self {
+        Self { downstream }
+    }
+
+    fn seed(&self, s: &mut ComposedState<D::State>, rng: &mut SimRng) {
+        if !s.seeded {
+            s.seeded = true;
+            let sample = geometric_half(rng) + 2;
+            if sample > s.estimate {
+                s.estimate = sample;
+                self.restart(s, rng);
+            }
+        }
+    }
+
+    fn restart(&self, s: &mut ComposedState<D::State>, rng: &mut SimRng) {
+        s.count = 0;
+        s.stage = 0;
+        s.inner = self.downstream.fresh(s.estimate, s.input, rng);
+    }
+
+    fn tick(&self, s: &mut ComposedState<D::State>) {
+        let k = self.downstream.num_stages(s.estimate);
+        if s.stage >= k {
+            return; // all stages complete
+        }
+        s.count += 1;
+        if s.count >= self.downstream.stage_threshold(s.estimate) {
+            s.stage += 1;
+            s.count = 0;
+        }
+    }
+
+    fn sync(
+        &self,
+        a: &mut ComposedState<D::State>,
+        b: &mut ComposedState<D::State>,
+        rng: &mut SimRng,
+    ) {
+        // Estimate epidemic with restart on adoption (the §1.1 rule).
+        if a.estimate < b.estimate {
+            a.estimate = b.estimate;
+            self.restart(a, rng);
+        } else if b.estimate < a.estimate {
+            b.estimate = a.estimate;
+            self.restart(b, rng);
+        }
+        // Stage epidemic.
+        if a.stage < b.stage {
+            a.stage = b.stage;
+            a.count = 0;
+        } else if b.stage < a.stage {
+            b.stage = a.stage;
+            b.count = 0;
+        }
+    }
+}
+
+impl<D: Downstream> Protocol for Uniformize<D> {
+    type State = ComposedState<D::State>;
+
+    fn initial_state(&self) -> Self::State {
+        // Inputs default to 0; harnesses that need per-agent inputs plant
+        // them with `AgentSim::set_state` before running (harness-level
+        // input assignment, as with `SeededInit`).
+        ComposedState {
+            estimate: 1,
+            seeded: false,
+            count: 0,
+            stage: 0,
+            input: 0,
+            inner: self.downstream.fresh(1, 0, &mut seedless_rng()),
+        }
+    }
+
+    fn interact(&self, rec: &mut Self::State, sen: &mut Self::State, rng: &mut SimRng) {
+        self.seed(rec, rng);
+        self.seed(sen, rng);
+        self.tick(rec);
+        self.tick(sen);
+        self.sync(rec, sen, rng);
+        self.downstream.interact(
+            &mut rec.inner,
+            &mut sen.inner,
+            rec.stage,
+            sen.stage,
+            rec.estimate.max(sen.estimate),
+            rng,
+        );
+    }
+}
+
+/// An RNG for the (deterministic) initial downstream state. `fresh` at
+/// initialization time must be deterministic — every agent starts
+/// identically in a uniform protocol — so this RNG is fixed-seed and any
+/// sampling in `fresh` repeats identically across agents.
+fn seedless_rng() -> SimRng {
+    use rand::SeedableRng;
+    SimRng::seed_from_u64(0)
+}
+
+/// Builds a composed population of size `n` where agent `i` gets downstream
+/// input `inputs(i)`, then returns the simulator ready to run.
+pub fn composed_population<D: Downstream>(
+    downstream: D,
+    n: usize,
+    seed: u64,
+    inputs: impl Fn(usize) -> u64,
+) -> pp_engine::AgentSim<Uniformize<D>> {
+    let wrapper = Uniformize::new(downstream);
+    let mut sim = pp_engine::AgentSim::new(wrapper, n, seed);
+    let mut rng = seedless_rng();
+    for i in 0..n {
+        let input = inputs(i);
+        let inner = sim.protocol().downstream.fresh(1, input, &mut rng);
+        sim.set_state(
+            i,
+            ComposedState {
+                estimate: 1,
+                seeded: false,
+                count: 0,
+                stage: 0,
+                input,
+                inner,
+            },
+        );
+    }
+    sim
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy downstream protocol: in every stage, agents add the stage index
+    /// to an accumulator exactly once. Checks that stages arrive in order
+    /// and restarts wipe partial work.
+    #[derive(Debug, Clone)]
+    struct StageRecorder;
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct RecState {
+        seen_stages: Vec<u64>,
+    }
+
+    impl Downstream for StageRecorder {
+        type State = RecState;
+
+        fn num_stages(&self, _s: u64) -> u64 {
+            4
+        }
+
+        fn stage_threshold(&self, s: u64) -> u64 {
+            95 * s
+        }
+
+        fn fresh(&self, _s: u64, _input: u64, _rng: &mut SimRng) -> RecState {
+            RecState {
+                seen_stages: Vec::new(),
+            }
+        }
+
+        fn interact(
+            &self,
+            rec: &mut RecState,
+            sen: &mut RecState,
+            rec_stage: u64,
+            sen_stage: u64,
+            _s: u64,
+            _rng: &mut SimRng,
+        ) {
+            for (state, stage) in [(rec, rec_stage), (sen, sen_stage)] {
+                if state.seen_stages.last() != Some(&stage) {
+                    state.seen_stages.push(stage);
+                }
+            }
+        }
+
+        fn output(&self, state: &RecState) -> Option<u64> {
+            state.seen_stages.last().copied()
+        }
+    }
+
+    #[test]
+    fn stages_are_seen_in_order_by_every_agent() {
+        let mut sim = composed_population(StageRecorder, 200, 5, |_| 0);
+        let out = sim.run_until_converged(
+            |states| states.iter().all(|c| c.stage >= 4),
+            1_000_000.0,
+        );
+        assert!(out.converged, "composition never finished its stages");
+        for c in sim.states() {
+            let stages = &c.inner.seen_stages;
+            assert!(
+                stages.windows(2).all(|w| w[0] < w[1]),
+                "stages out of order: {stages:?}"
+            );
+            // After the estimate settles (restart), the record starts from
+            // the then-current stage and proceeds without gaps of more
+            // than... gaps can occur transiently; the key invariant is
+            // monotonicity plus reaching the final stage.
+            assert_eq!(*stages.last().unwrap(), 4);
+        }
+    }
+
+    #[test]
+    fn estimates_converge_to_common_value() {
+        let mut sim = composed_population(StageRecorder, 300, 6, |_| 0);
+        sim.run_for_time(300.0);
+        let e0 = sim.states()[0].estimate;
+        assert!(sim.states().iter().all(|c| c.estimate == e0));
+        let n = 300f64;
+        // Lemma 3.8 band (with slack for the small population).
+        assert!(
+            (e0 as f64) >= n.log2() - n.ln().log2() - 1.0 && (e0 as f64) <= 2.0 * n.log2() + 2.0,
+            "estimate {e0} outside band for n=300"
+        );
+    }
+
+    #[test]
+    fn inputs_survive_restarts() {
+        let mut sim = composed_population(StageRecorder, 100, 7, |i| i as u64 % 2);
+        sim.run_for_time(2000.0);
+        let ones = sim.states().iter().filter(|c| c.input == 1).count();
+        assert_eq!(ones, 50, "inputs must be immutable across restarts");
+    }
+
+    #[test]
+    fn stage_skew_bounded_after_settling() {
+        let mut sim = composed_population(StageRecorder, 300, 8, |_| 0);
+        // Let the estimate settle.
+        sim.run_for_time(100.0);
+        loop {
+            sim.run_for_time(5.0);
+            let min = sim.states().iter().map(|c| c.stage).min().unwrap();
+            let max = sim.states().iter().map(|c| c.stage).max().unwrap();
+            assert!(max - min <= 1, "stage skew {} too large", max - min);
+            if min >= 4 {
+                break;
+            }
+        }
+    }
+}

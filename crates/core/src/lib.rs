@@ -1,0 +1,63 @@
+//! # pp-core — the paper's uniform size-estimation protocols
+//!
+//! This crate implements the central contribution of Doty & Eftekhari,
+//! *"Efficient size estimation and impossibility of termination in uniform
+//! dense population protocols"* (PODC 2019):
+//!
+//! * [`log_size`] — the main `Log-Size-Estimation` protocol (Protocol 1 and
+//!   Subprotocols 2–9): a uniform leaderless protocol computing
+//!   `log2(n) ± 5.7` w.h.p. in `O(log² n)` time and `O(log⁴ n)` states.
+//! * [`synthetic`] — the Appendix B variant with **no** access to random
+//!   bits: agents harvest fair coins from the scheduler's receiver/sender
+//!   choice via a dedicated flipper subpopulation (Protocols 10–19).
+//! * [`upper_bound`] — the §3.3 probability-1 upper bound: a slow exact
+//!   backup (`l_i, l_i -> l_{i+1}, f_{i+1}`) combined with the fast estimate
+//!   so the reported value is `≥ log n` with probability 1 while staying
+//!   `log n + O(1)` w.h.p.
+//! * [`leader`] — the §3.4 terminating variant with an initial leader
+//!   (Theorem 3.13): the only setting where high-probability termination is
+//!   possible (Theorem 4.1 forbids it for dense leaderless starts).
+//! * [`phase_clock`] — the leaderless phase clock (each agent counts its own
+//!   interactions against a `95·logSize2` threshold; Lemma 3.6 justifies the
+//!   constant) and the leader-driven variant.
+//! * [`composition`] — the §1.1 restart-based composition framework that
+//!   "uniformizes" downstream nonuniform protocols: run the weak size
+//!   estimate, pace the downstream protocol's stages with the leaderless
+//!   phase clock, and restart everything whenever the estimate improves.
+//! * [`state`] — the agent state record shared by the protocol variants.
+//!
+//! ## Pseudocode fidelity notes
+//!
+//! Two small repairs to the paper's pseudocode were needed to make it
+//! executable; both are behaviour the analysis assumes:
+//!
+//! 1. Subprotocol 6 tests `time = 95·logSize2` (equality), but `time` keeps
+//!    incrementing while the agent waits to deliver its `gr` to a role-S
+//!    agent (`updatedSUM` only becomes true on that later interaction), so
+//!    with strict equality the epoch can never advance. We use `>=`, which is
+//!    what the companion condition in Subprotocol 9 (`a.time ≥
+//!    95·a.logSize2`) already does.
+//! 2. Two role-S agents in the *same* epoch may hold different `sum`s
+//!    (each received its epoch-`e` delivery from a different role-A agent,
+//!    possibly before `gr` finished propagating). Subprotocol 7 only
+//!    reconciles *different* epochs; we break the tie by taking the max
+//!    `sum`, which realizes the probability-1 convergence claimed by
+//!    Lemma 3.12.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aae_clock;
+pub mod composition;
+pub mod leader;
+pub mod log_size;
+pub mod partition;
+pub mod phase_clock;
+pub mod state;
+pub mod synthetic;
+pub mod synthetic_alternating;
+pub mod trace;
+pub mod upper_bound;
+
+pub use log_size::{estimate_log_size, EstimateOutcome, LogSizeEstimation};
+pub use state::{MainState, Role};

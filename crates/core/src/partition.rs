@@ -1,0 +1,115 @@
+//! The role partition in isolation (Subprotocol 2, Lemma 3.2).
+//!
+//! Agents start as `X` and split into `A`/`S` via three rules:
+//!
+//! ```text
+//! X, X -> S, A        (receiver S, sender A — exactly half each)
+//! X, A -> S, A        (an A recruits an S)
+//! X, S -> A, S        (an S recruits an A)
+//! ```
+//!
+//! The last two rules finish the partition in `O(log n)` time and are
+//! self-balancing: conditioned on an X meeting a non-X, the probability the
+//! X becomes A is `|S|/(|A|+|S|)` — a surplus of either role steers new
+//! assignments toward the other. Lemma 3.2: `|A| ∈ [n/2 − a, n/2 + a]` with
+//! probability `≥ 1 − e^{−2a²/n}` (the deviation is stochastically dominated
+//! by a fair binomial's).
+
+use pp_engine::rng::SimRng;
+use pp_engine::{AgentSim, Protocol};
+
+use crate::state::Role;
+
+/// The partition-only protocol.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PartitionOnly;
+
+impl Protocol for PartitionOnly {
+    type State = Role;
+
+    fn initial_state(&self) -> Role {
+        Role::X
+    }
+
+    fn interact(&self, rec: &mut Role, sen: &mut Role, _rng: &mut SimRng) {
+        match (*sen, *rec) {
+            (Role::X, Role::X) => {
+                *sen = Role::A;
+                *rec = Role::S;
+            }
+            (Role::A, Role::X) => *rec = Role::S,
+            (Role::S, Role::X) => *rec = Role::A,
+            _ => {}
+        }
+    }
+}
+
+/// Result of one partition run.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PartitionOutcome {
+    /// Final count of role-A agents.
+    pub a_count: usize,
+    /// Final count of role-S agents.
+    pub s_count: usize,
+    /// Parallel time until no `X` remained.
+    pub time: f64,
+}
+
+/// Runs the partition to completion.
+pub fn run_partition(n: usize, seed: u64) -> PartitionOutcome {
+    let mut sim = AgentSim::new(PartitionOnly, n, seed);
+    let out = sim.run_until_converged(|s| s.iter().all(|&r| r != Role::X), f64::MAX);
+    debug_assert!(out.converged);
+    let a_count = sim.states().iter().filter(|&&r| r == Role::A).count();
+    PartitionOutcome {
+        a_count,
+        s_count: n - a_count,
+        time: out.time,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn everyone_gets_a_role() {
+        let out = run_partition(501, 1);
+        assert_eq!(out.a_count + out.s_count, 501);
+    }
+
+    #[test]
+    fn split_is_near_half_lemma_3_2() {
+        // a = √(n ln n): deviation beyond it has probability ≤ 2/n².
+        let n = 2_000usize;
+        let a = ((n as f64) * (n as f64).ln()).sqrt();
+        for seed in 0..10 {
+            let out = run_partition(n, 100 + seed);
+            let dev = (out.a_count as f64 - n as f64 / 2.0).abs();
+            assert!(
+                dev <= a,
+                "seed {seed}: |A| = {} deviates {dev} > {a}",
+                out.a_count
+            );
+        }
+    }
+
+    #[test]
+    fn corollary_3_3_third_bounds() {
+        for seed in 0..10 {
+            let out = run_partition(300, 200 + seed);
+            assert!(out.a_count >= 100 && out.a_count <= 200, "{}", out.a_count);
+        }
+    }
+
+    #[test]
+    fn partition_completes_in_logarithmic_time() {
+        let t_small: f64 = (0..5).map(|s| run_partition(200, s).time).sum::<f64>() / 5.0;
+        let t_large: f64 = (0..5).map(|s| run_partition(20_000, 50 + s).time).sum::<f64>() / 5.0;
+        // 100x population, O(log n) ⇒ well under 3x time.
+        assert!(
+            t_large / t_small < 3.0,
+            "partition not logarithmic: {t_small} -> {t_large}"
+        );
+    }
+}

@@ -1,0 +1,185 @@
+//! The agent state record of `Log-Size-Estimation` (Protocol 1).
+//!
+//! Each agent's memory is a constant number of integer fields — the paper's
+//! TM formalization stores them on the working tape; we store them in a
+//! struct. Lemma 3.9 bounds the range each field takes w.h.p., which is
+//! what makes the state complexity `O(log⁴ n)`:
+//!
+//! | field      | w.h.p. range            |
+//! |------------|-------------------------|
+//! | `logSize2` | `{1, ..., 2 log n + 1}` |
+//! | `gr`       | `{1, ..., 2 log n}`     |
+//! | `time`     | `{0, ..., 191 log n}`   |
+//! | `epoch`    | `{0, ..., 11 log n}`    |
+//! | `sum`      | `{0, ..., 22 log² n}`   |
+
+/// The role an agent holds after the `Partition-Into-A/S` subprotocol.
+///
+/// Role `A` agents drive the algorithm (generate geometric random variables,
+/// propagate maxima, run the phase clock); role `S` agents contribute their
+/// memory to store the running `sum` — the paper's *space multiplexing*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Role {
+    /// No role yet (every agent's initial state).
+    X,
+    /// Algorithm agent.
+    A,
+    /// Storage agent.
+    S,
+}
+
+/// Full per-agent state of the main protocol.
+///
+/// Field names follow the pseudocode (`logSize2` → `log_size2`, etc.).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MainState {
+    /// Current role (`X` until partitioned).
+    pub role: Role,
+    /// Interaction counter within the current epoch (the leaderless phase
+    /// clock).
+    pub time: u64,
+    /// Accumulated sum of per-epoch maximum geometric variables (role S).
+    pub sum: u64,
+    /// Current epoch index. For role S this counts received deliveries.
+    pub epoch: u64,
+    /// This epoch's geometric random variable (role A), merged to the
+    /// epoch maximum by `Propagate-Max-G.R.V.`.
+    pub gr: u64,
+    /// The initial size estimate: a geometric random variable plus 2
+    /// (Lemma 3.8's adjustment), merged to the population maximum.
+    pub log_size2: u64,
+    /// True once the agent has finished all `5·logSize2` epochs.
+    pub protocol_done: bool,
+    /// True once this epoch's `gr` has been delivered to (or superseded by)
+    /// a role-S agent.
+    pub updated_sum: bool,
+    /// The final output `sum/epoch + 1`, once known.
+    pub output: Option<u64>,
+}
+
+impl MainState {
+    /// The common initial state: no role, all counters zero.
+    pub fn initial() -> Self {
+        Self {
+            role: Role::X,
+            time: 0,
+            sum: 0,
+            epoch: 0,
+            gr: 1,
+            log_size2: 1,
+            protocol_done: false,
+            updated_sum: false,
+            output: None,
+        }
+    }
+
+    /// `Restart` (Subprotocol 4): resets all downstream computation after
+    /// adopting a larger `logSize2`. `gr` is resampled by the caller (it
+    /// needs the RNG).
+    pub fn restart(&mut self) {
+        self.time = 0;
+        self.sum = 0;
+        self.epoch = 0;
+        self.protocol_done = false;
+        self.updated_sum = false;
+        self.output = None;
+    }
+
+    /// The phase-clock threshold for this agent: `95 · logSize2`
+    /// (Corollary 3.7 bounds interactions per epidemic by `65 ln n ≤ 94 log
+    /// n`, rounded up to 95).
+    pub fn clock_threshold(&self, multiplier: u64) -> u64 {
+        multiplier * self.log_size2
+    }
+
+    /// The epoch target `K = 5 · logSize2` (Corollary A.4 needs `K ≥ 4 log
+    /// n`).
+    pub fn epoch_target(&self, multiplier: u64) -> u64 {
+        multiplier * self.log_size2
+    }
+
+    /// The output value from accumulated `(sum, epoch)`:
+    /// `round(sum/epoch) + 1` (Lemma 3.11's `sum/K + 1` convention).
+    /// Returns `None` when no epochs have completed.
+    pub fn computed_output(&self) -> Option<u64> {
+        if self.epoch == 0 {
+            None
+        } else {
+            let avg = self.sum as f64 / self.epoch as f64;
+            Some((avg + 1.0).round() as u64)
+        }
+    }
+}
+
+impl Default for MainState {
+    fn default() -> Self {
+        Self::initial()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_state_matches_pseudocode() {
+        let s = MainState::initial();
+        assert_eq!(s.role, Role::X);
+        assert_eq!(s.time, 0);
+        assert_eq!(s.sum, 0);
+        assert_eq!(s.epoch, 0);
+        assert_eq!(s.gr, 1);
+        assert_eq!(s.log_size2, 1);
+        assert!(!s.protocol_done);
+        assert!(s.output.is_none());
+    }
+
+    #[test]
+    fn restart_clears_downstream_but_keeps_identity() {
+        let mut s = MainState {
+            role: Role::A,
+            time: 100,
+            sum: 50,
+            epoch: 7,
+            gr: 3,
+            log_size2: 12,
+            protocol_done: true,
+            updated_sum: true,
+            output: Some(11),
+        };
+        s.restart();
+        assert_eq!(s.role, Role::A, "role survives restart");
+        assert_eq!(s.log_size2, 12, "logSize2 survives restart");
+        assert_eq!(s.time, 0);
+        assert_eq!(s.sum, 0);
+        assert_eq!(s.epoch, 0);
+        assert!(!s.protocol_done);
+        assert!(!s.updated_sum);
+        assert!(s.output.is_none());
+    }
+
+    #[test]
+    fn thresholds_scale_with_logsize2() {
+        let mut s = MainState::initial();
+        s.log_size2 = 10;
+        assert_eq!(s.clock_threshold(95), 950);
+        assert_eq!(s.epoch_target(5), 50);
+    }
+
+    #[test]
+    fn computed_output_rounds() {
+        let mut s = MainState::initial();
+        assert_eq!(s.computed_output(), None);
+        s.sum = 70;
+        s.epoch = 10;
+        assert_eq!(s.computed_output(), Some(8)); // 7 + 1
+        s.sum = 75; // 7.5 + 1 = 8.5 → rounds to 8 (ties-to-even is fine: .5
+                    // rounds away from zero with f64::round, giving 9)
+        assert_eq!(s.computed_output(), Some(9));
+    }
+
+    #[test]
+    fn roles_order_for_count_maps() {
+        assert!(Role::X < Role::A && Role::A < Role::S);
+    }
+}

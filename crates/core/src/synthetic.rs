@@ -1,0 +1,409 @@
+//! The synthetic-coin variant: size estimation with **no** random bits
+//! (Appendix B, Protocols 10–19).
+//!
+//! The main protocol assumes agents can flip fair coins. This variant
+//! derives every coin flip from the scheduler itself: the population splits
+//! into *algorithm* agents (role A) and *flipper* agents (role F); when an A
+//! meets an F, the A is the sender or the receiver with probability exactly
+//! 1/2 each — a perfect fair coin (the technique of Sudo et al. \[39\]).
+//!
+//! Geometric random variables are therefore generated *incrementally*: an A
+//! agent increments its variable each time it is the **sender** in an A–F
+//! meeting ("tails") and finalizes it the first time it is the **receiver**
+//! ("heads"). Everything else mirrors the main protocol, with two
+//! structural differences:
+//!
+//! * There are no storage agents: each A agent accumulates its **own**
+//!   `sum` of per-epoch maxima (Subprotocol 19), so per-agent outputs agree
+//!   only up to the analysis's additive band rather than exactly. The state
+//!   bound grows to `O(log⁶ n)` (Lemma B.5).
+//! * Epoch advancement needs no delivery handshake: when the timer expires
+//!   the agent adds its current `gr` to its own `sum` and moves on
+//!   (Subprotocol 17).
+
+use pp_engine::rng::SimRng;
+use pp_engine::{AgentSim, Protocol};
+
+/// Roles of the synthetic-coin protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CoinRole {
+    /// Unassigned.
+    X,
+    /// Algorithm agent.
+    A,
+    /// Flipper agent (provides coins only).
+    F,
+}
+
+/// Per-agent state of the synthetic-coin protocol (Protocol 10's fields).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SyntheticState {
+    /// Current role.
+    pub role: CoinRole,
+    /// Interaction counter within the current epoch.
+    pub time: u64,
+    /// Running sum of per-epoch maxima (kept by each A agent).
+    pub sum: u64,
+    /// Current epoch.
+    pub epoch: u64,
+    /// This epoch's geometric variable, built one coin at a time.
+    pub gr: u64,
+    /// The clock seed, built one coin at a time (`+2` applied at
+    /// completion, per Subprotocol 12).
+    pub log_size2: u64,
+    /// True once `log_size2` is finalized.
+    pub log_size2_generated: bool,
+    /// True once this epoch's `gr` is finalized.
+    pub gr_generated: bool,
+    /// True once all epochs are complete.
+    pub protocol_done: bool,
+    /// Final output `sum/epoch + 1`.
+    pub output: Option<u64>,
+}
+
+impl SyntheticState {
+    /// The common initial state.
+    pub fn initial() -> Self {
+        Self {
+            role: CoinRole::X,
+            time: 0,
+            sum: 0,
+            epoch: 0,
+            gr: 1,
+            log_size2: 1,
+            log_size2_generated: false,
+            gr_generated: false,
+            protocol_done: false,
+            output: None,
+        }
+    }
+
+    /// Subprotocol 14: `Restart`.
+    pub fn restart(&mut self) {
+        self.time = 0;
+        self.sum = 0;
+        self.epoch = 0;
+        self.gr = 1;
+        self.gr_generated = false;
+        self.protocol_done = false;
+        self.output = None;
+    }
+}
+
+/// The Appendix B protocol. The transition function is **deterministic** —
+/// `interact` never touches the RNG; all randomness comes from the
+/// scheduler's ordered pair choice.
+#[derive(Debug, Clone, Copy)]
+pub struct SyntheticCoinEstimation {
+    /// Phase-clock multiplier (paper: 95).
+    pub clock_multiplier: u64,
+    /// Epoch-count multiplier (paper: 5).
+    pub epoch_multiplier: u64,
+}
+
+impl Default for SyntheticCoinEstimation {
+    fn default() -> Self {
+        Self {
+            clock_multiplier: 95,
+            epoch_multiplier: 5,
+        }
+    }
+}
+
+impl SyntheticCoinEstimation {
+    /// The paper's configuration.
+    pub fn paper() -> Self {
+        Self::default()
+    }
+
+    /// Subprotocol 11: `Partition-Into-A/F`.
+    fn partition(&self, rec: &mut SyntheticState, sen: &mut SyntheticState) {
+        match (sen.role, rec.role) {
+            (CoinRole::X, CoinRole::X) => {
+                sen.role = CoinRole::A;
+                rec.role = CoinRole::F;
+            }
+            (CoinRole::A, CoinRole::X) => rec.role = CoinRole::F,
+            (CoinRole::F, CoinRole::X) => rec.role = CoinRole::A,
+            _ => {}
+        }
+    }
+
+    /// Subprotocol 17: `Check-if-Timer-Done-and-Increment-Epoch` (with the
+    /// same `>=` reading as the main protocol).
+    fn check_timer(&self, agent: &mut SyntheticState) {
+        if agent.time >= self.clock_multiplier * agent.log_size2 && !agent.protocol_done {
+            agent.epoch += 1;
+            self.update_sum(agent);
+            if agent.epoch >= self.epoch_multiplier * agent.log_size2 {
+                agent.protocol_done = true;
+                if agent.epoch > 0 {
+                    let avg = agent.sum as f64 / agent.epoch as f64;
+                    agent.output = Some((avg + 1.0).round() as u64);
+                }
+            }
+        }
+    }
+
+    /// Subprotocol 19: `Update-Sum` — accumulate own `gr`, reset for the
+    /// next epoch.
+    fn update_sum(&self, agent: &mut SyntheticState) {
+        agent.sum += agent.gr;
+        agent.time = 0;
+        agent.gr = 1;
+        agent.gr_generated = false;
+    }
+
+    /// Subprotocol 12: `Generate-Clock` — one synthetic coin toward
+    /// `logSize2`. `a_is_sender` is the coin: sender = tails (increment),
+    /// receiver = heads (finalize, `+2`).
+    fn generate_clock(&self, a: &mut SyntheticState, a_is_sender: bool) {
+        if a_is_sender {
+            a.log_size2 += 1;
+        } else {
+            a.log_size2_generated = true;
+            a.log_size2 += 2;
+        }
+    }
+
+    /// Subprotocol 15: `Generate-G.R.V` — one synthetic coin toward `gr`.
+    fn generate_grv(&self, a: &mut SyntheticState, a_is_sender: bool) {
+        if a_is_sender {
+            a.gr += 1;
+        } else {
+            a.gr_generated = true;
+        }
+    }
+
+    /// Subprotocol 13: `Propagate-Max-Clock-Value` (restart on adoption).
+    fn propagate_max_clock(&self, a: &mut SyntheticState, b: &mut SyntheticState) {
+        if a.log_size2 < b.log_size2 {
+            a.log_size2 = b.log_size2;
+            a.restart();
+        } else if b.log_size2 < a.log_size2 {
+            b.log_size2 = a.log_size2;
+            b.restart();
+        }
+    }
+
+    /// Subprotocol 18: `Propagate-Incremented-Epoch` — the lagging agent
+    /// banks its current `gr` and jumps forward.
+    fn propagate_epoch(&self, a: &mut SyntheticState, b: &mut SyntheticState) {
+        if a.epoch < b.epoch {
+            a.epoch = b.epoch;
+            self.update_sum(a);
+            self.finish_if_target(a);
+        } else if b.epoch < a.epoch {
+            b.epoch = a.epoch;
+            self.update_sum(b);
+            self.finish_if_target(b);
+        }
+    }
+
+    fn finish_if_target(&self, agent: &mut SyntheticState) {
+        if agent.epoch >= self.epoch_multiplier * agent.log_size2 && !agent.protocol_done {
+            agent.protocol_done = true;
+            if agent.epoch > 0 {
+                let avg = agent.sum as f64 / agent.epoch as f64;
+                agent.output = Some((avg + 1.0).round() as u64);
+            }
+        }
+    }
+
+    /// Subprotocol 16: `Propagate-Max-G.R.V.` (same epoch only).
+    fn propagate_max_grv(&self, a: &mut SyntheticState, b: &mut SyntheticState) {
+        if a.epoch == b.epoch {
+            let m = a.gr.max(b.gr);
+            a.gr = m;
+            b.gr = m;
+        }
+    }
+}
+
+impl Protocol for SyntheticCoinEstimation {
+    type State = SyntheticState;
+
+    fn initial_state(&self) -> SyntheticState {
+        SyntheticState::initial()
+    }
+
+    fn interact(&self, rec: &mut SyntheticState, sen: &mut SyntheticState, _rng: &mut SimRng) {
+        // Protocol 10, in pseudocode order. Note: no use of `_rng`.
+        self.partition(rec, sen);
+        if rec.role == CoinRole::A {
+            rec.time += 1;
+            self.check_timer(rec);
+        }
+        if sen.role == CoinRole::A {
+            sen.time += 1;
+            self.check_timer(sen);
+        }
+        // A–F meeting: harvest one synthetic coin.
+        match (rec.role, sen.role) {
+            (CoinRole::A, CoinRole::F) | (CoinRole::F, CoinRole::A) => {
+                let a_is_sender = sen.role == CoinRole::A;
+                let a = if a_is_sender { &mut *sen } else { &mut *rec };
+                if !a.log_size2_generated {
+                    self.generate_clock(a, a_is_sender);
+                } else if !a.gr_generated {
+                    self.generate_grv(a, a_is_sender);
+                }
+            }
+            (CoinRole::A, CoinRole::A) => {
+                // Propagation only among A agents whose values are final
+                // (Protocol 10's guards; the `grGenerated` guard on clock
+                // propagation reads as `logSize2Generated` — see crate
+                // docs on pseudocode repairs).
+                if rec.log_size2_generated && sen.log_size2_generated {
+                    self.propagate_max_clock(rec, sen);
+                }
+                if rec.gr_generated && sen.gr_generated {
+                    self.propagate_epoch(rec, sen);
+                    self.propagate_max_grv(rec, sen);
+                }
+            }
+            _ => {}
+        }
+        // Output epidemic: F agents (and stragglers) adopt any output.
+        if rec.output.is_none() && sen.output.is_some() && rec.role == CoinRole::F {
+            rec.output = sen.output;
+        }
+        if sen.output.is_none() && rec.output.is_some() && sen.role == CoinRole::F {
+            sen.output = rec.output;
+        }
+    }
+}
+
+/// Result of a synthetic-coin run. Outputs are per-agent (no storage agents
+/// reconcile them), so the result carries the min and max across agents.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SyntheticOutcome {
+    /// Smallest output across agents.
+    pub min_output: u64,
+    /// Largest output across agents.
+    pub max_output: u64,
+    /// Parallel time at convergence.
+    pub time: f64,
+    /// Whether every agent obtained an output within the budget.
+    pub converged: bool,
+}
+
+/// Runs the synthetic-coin protocol to convergence (every agent done/has an
+/// output).
+pub fn estimate_log_size_synthetic(n: usize, seed: u64, max_time: f64) -> SyntheticOutcome {
+    let mut sim = AgentSim::new(SyntheticCoinEstimation::paper(), n, seed);
+    let out = sim.run_until_converged(
+        |states| {
+            states.iter().all(|s| match s.role {
+                CoinRole::A => s.protocol_done && s.output.is_some(),
+                CoinRole::F => s.output.is_some(),
+                CoinRole::X => false,
+            })
+        },
+        max_time,
+    );
+    let outputs: Vec<u64> = sim.states().iter().filter_map(|s| s.output).collect();
+    let (min_output, max_output) = if outputs.is_empty() {
+        (0, 0)
+    } else {
+        (
+            *outputs.iter().min().unwrap(),
+            *outputs.iter().max().unwrap(),
+        )
+    };
+    SyntheticOutcome {
+        min_output,
+        max_output,
+        time: out.time,
+        converged: out.converged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_mirrors_main_protocol() {
+        let p = SyntheticCoinEstimation::paper();
+        let mut rec = SyntheticState::initial();
+        let mut sen = SyntheticState::initial();
+        p.partition(&mut rec, &mut sen);
+        assert_eq!(sen.role, CoinRole::A);
+        assert_eq!(rec.role, CoinRole::F);
+    }
+
+    #[test]
+    fn clock_generation_is_geometric_plus_two() {
+        let p = SyntheticCoinEstimation::paper();
+        let mut a = SyntheticState::initial();
+        a.role = CoinRole::A;
+        // Three tails then heads: logSize2 = 1 + 3 + 2 = 6 = geometric(4)+2.
+        for _ in 0..3 {
+            p.generate_clock(&mut a, true);
+        }
+        assert!(!a.log_size2_generated);
+        p.generate_clock(&mut a, false);
+        assert!(a.log_size2_generated);
+        assert_eq!(a.log_size2, 6);
+    }
+
+    #[test]
+    fn grv_generation_counts_tails() {
+        let p = SyntheticCoinEstimation::paper();
+        let mut a = SyntheticState::initial();
+        a.role = CoinRole::A;
+        p.generate_grv(&mut a, true);
+        p.generate_grv(&mut a, true);
+        p.generate_grv(&mut a, false);
+        assert!(a.gr_generated);
+        assert_eq!(a.gr, 3, "two tails + the final heads = geometric 3");
+    }
+
+    #[test]
+    fn restart_preserves_clock_seed() {
+        let mut s = SyntheticState::initial();
+        s.log_size2 = 9;
+        s.log_size2_generated = true;
+        s.sum = 40;
+        s.epoch = 6;
+        s.protocol_done = true;
+        s.restart();
+        assert_eq!(s.log_size2, 9);
+        assert!(s.log_size2_generated);
+        assert_eq!(s.sum, 0);
+        assert_eq!(s.epoch, 0);
+        assert!(!s.protocol_done);
+    }
+
+    #[test]
+    fn deterministic_transition_never_consumes_rng() {
+        // Two identical runs with different engine seeds but the same
+        // scheduler sequence would be needed to prove this directly; instead
+        // run the whole protocol and rely on the type-level fact that
+        // `interact` ignores `rng`, checking convergence and the band.
+        let n = 200;
+        let out = estimate_log_size_synthetic(n, 3, 2_000_000.0);
+        assert!(out.converged, "synthetic-coin run did not converge");
+        let logn = (n as f64).log2();
+        assert!(
+            (out.min_output as f64) >= logn - 6.7 && (out.max_output as f64) <= logn + 6.7,
+            "outputs [{}, {}] outside band around {logn}",
+            out.min_output,
+            out.max_output
+        );
+    }
+
+    #[test]
+    fn outputs_are_mutually_close() {
+        // Per-agent sums differ, but all average the same epoch maxima — the
+        // spread should be small.
+        let out = estimate_log_size_synthetic(300, 9, 2_000_000.0);
+        assert!(out.converged);
+        assert!(
+            out.max_output - out.min_output <= 4,
+            "output spread {} too wide",
+            out.max_output - out.min_output
+        );
+    }
+}

@@ -1,0 +1,149 @@
+//! Progress tracing for `Log-Size-Estimation` runs.
+//!
+//! The experiment harnesses mostly need final outcomes; this module records
+//! *trajectories* — how the epoch front, the settled `logSize2`, and the
+//! done-fraction evolve over a run — for the `trace_run` example and for
+//! tests that assert dynamic invariants (the epoch front advances, restarts
+//! only happen while `logSize2` is still rising, skew stays bounded).
+
+use pp_engine::{AgentSim, Trace};
+
+use crate::log_size::{is_converged, LogSizeEstimation};
+use crate::state::{MainState, Role};
+
+/// One sampled snapshot of population progress.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ProgressSnapshot {
+    /// Smallest epoch among role-A agents (0 if none yet).
+    pub min_epoch: u64,
+    /// Largest epoch among all agents.
+    pub max_epoch: u64,
+    /// Largest `logSize2` in the population.
+    pub log_size2: u64,
+    /// Whether all agents agree on `logSize2`.
+    pub log_size2_settled: bool,
+    /// Fraction of agents with `protocol_done`.
+    pub done_fraction: f64,
+    /// Number of distinct non-`None` outputs.
+    pub distinct_outputs: usize,
+}
+
+impl ProgressSnapshot {
+    /// Computes a snapshot from the agent states.
+    pub fn of(states: &[MainState]) -> Self {
+        let mut min_epoch = u64::MAX;
+        let mut max_epoch = 0;
+        let mut ls_min = u64::MAX;
+        let mut ls_max = 0;
+        let mut done = 0usize;
+        let mut outputs = std::collections::BTreeSet::new();
+        let mut any_a = false;
+        for s in states {
+            if s.role == Role::A {
+                any_a = true;
+                min_epoch = min_epoch.min(s.epoch);
+            }
+            max_epoch = max_epoch.max(s.epoch);
+            ls_min = ls_min.min(s.log_size2);
+            ls_max = ls_max.max(s.log_size2);
+            if s.protocol_done {
+                done += 1;
+            }
+            if let Some(o) = s.output {
+                outputs.insert(o);
+            }
+        }
+        Self {
+            min_epoch: if any_a { min_epoch } else { 0 },
+            max_epoch,
+            log_size2: ls_max,
+            log_size2_settled: ls_min == ls_max,
+            done_fraction: done as f64 / states.len() as f64,
+            distinct_outputs: outputs.len(),
+        }
+    }
+}
+
+/// Runs the protocol to convergence, sampling a [`ProgressSnapshot`] every
+/// `cadence` units of parallel time. Returns the trace and whether the run
+/// converged within `max_time`.
+pub fn run_with_trace(
+    n: usize,
+    seed: u64,
+    cadence: f64,
+    max_time: f64,
+) -> (Trace<ProgressSnapshot>, bool) {
+    assert!(cadence > 0.0);
+    let mut sim = AgentSim::new(LogSizeEstimation::paper(), n, seed);
+    let mut trace = Trace::new();
+    trace.push(0.0, ProgressSnapshot::of(sim.states()));
+    let mut converged = false;
+    while sim.time() < max_time {
+        sim.run_for_time(cadence);
+        trace.push(sim.time(), ProgressSnapshot::of(sim.states()));
+        if is_converged(sim.states()) {
+            converged = true;
+            break;
+        }
+    }
+    (trace, converged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_reaches_convergence() {
+        let (trace, converged) = run_with_trace(150, 3, 200.0, 1e7);
+        assert!(converged);
+        let last = trace.last().unwrap().value;
+        assert_eq!(last.done_fraction, 1.0);
+        assert_eq!(last.distinct_outputs, 1);
+        assert!(last.log_size2_settled);
+    }
+
+    #[test]
+    fn epoch_front_advances_once_settled() {
+        let (trace, converged) = run_with_trace(200, 5, 100.0, 1e7);
+        assert!(converged);
+        // After logSize2 settles, max_epoch must be non-decreasing.
+        let mut settled = false;
+        let mut prev = 0;
+        for p in trace.points() {
+            if settled {
+                assert!(
+                    p.value.max_epoch >= prev,
+                    "epoch front went backwards after settling"
+                );
+            }
+            if p.value.log_size2_settled {
+                settled = true;
+            }
+            prev = p.value.max_epoch;
+        }
+        assert!(settled, "logSize2 never settled");
+    }
+
+    #[test]
+    fn done_fraction_monotone_after_settling() {
+        let (trace, converged) = run_with_trace(150, 7, 100.0, 1e7);
+        assert!(converged);
+        let settle_idx = trace
+            .points()
+            .iter()
+            .position(|p| p.value.log_size2_settled)
+            .unwrap();
+        let mut prev = 0.0;
+        for p in &trace.points()[settle_idx..] {
+            assert!(p.value.done_fraction >= prev - 1e-9);
+            prev = p.value.done_fraction;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cadence")]
+    fn zero_cadence_rejected() {
+        run_with_trace(10, 0, 0.0, 10.0);
+    }
+}

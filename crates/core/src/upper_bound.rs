@@ -1,0 +1,260 @@
+//! Probability-1 upper bound on `log n` (§3.3).
+//!
+//! The fast estimator can err in either direction with small probability.
+//! For applications where an upper bound on `log n` suffices (correctness
+//! needs `k ≥ log n`; being too large only costs speed), the paper runs a
+//! slow **exact backup** alongside:
+//!
+//! ```text
+//! l_i, l_i -> l_{i+1}, f_{i+1}        (level leaders merge upward)
+//! f_i, f_j -> f_i, f_i   for j < i    (followers adopt the max index)
+//! ```
+//!
+//! starting from all `l_0`. The merge dynamics compute the binary expansion
+//! of `n`: level-`i` leaders pair up and carry; the maximum level ever
+//! created is exactly `⌊log2 n⌋`, reached with probability 1 in `O(n)`
+//! time. Every agent additionally tracks `kex` = the largest subscript it
+//! has ever observed (leader or follower), which converges to `⌊log2 n⌋`
+//! by epidemic.
+//!
+//! The combined output at any moment is `max(k_fast + 4, kex + 1)`:
+//!
+//! * `k_fast + 4` — the fast estimate shifted by the paper's 3.7 (rounded
+//!   up to the next integer), which is `≥ log n` w.h.p.;
+//! * `kex + 1 ≥ ⌊log2 n⌋ + 1 ≥ log2 n` — the probability-1 safety net.
+//!
+//! W.h.p. the reported value is also `≤ log n + 9.7` (5.7 + 4).
+
+use pp_engine::rng::SimRng;
+use pp_engine::{AgentSim, Protocol};
+
+use crate::log_size::{is_converged, LogSizeEstimation};
+use crate::state::MainState;
+
+/// Per-agent state: the main protocol's state plus the backup counter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UpperBoundState {
+    /// Embedded main-protocol state.
+    pub main: MainState,
+    /// Backup level subscript (of `l_level` or `f_level`).
+    pub level: u64,
+    /// Whether this agent has become a follower (`f`) in the backup.
+    pub follower: bool,
+    /// Largest subscript ever observed (own or partner's).
+    pub kex: u64,
+}
+
+impl UpperBoundState {
+    /// Initial state: main initial + backup `l_0`.
+    pub fn initial() -> Self {
+        Self {
+            main: MainState::initial(),
+            level: 0,
+            follower: false,
+            kex: 0,
+        }
+    }
+
+    /// The reported value `max(k_fast + 4, kex + 1)`; `kex + 1` alone until
+    /// the fast estimate exists.
+    pub fn report(&self) -> u64 {
+        let safety = self.kex + 1;
+        match self.main.output {
+            Some(k) => (k + 4).max(safety),
+            None => safety,
+        }
+    }
+}
+
+/// The §3.3 combined protocol.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UpperBoundEstimation {
+    /// The embedded fast estimator.
+    pub fast: LogSizeEstimation,
+}
+
+impl UpperBoundEstimation {
+    /// The paper's configuration.
+    pub fn paper() -> Self {
+        Self {
+            fast: LogSizeEstimation::paper(),
+        }
+    }
+
+    fn backup(&self, a: &mut UpperBoundState, b: &mut UpperBoundState) {
+        if !a.follower && !b.follower && a.level == b.level {
+            // l_i, l_i -> l_{i+1}, f_{i+1}
+            a.level += 1;
+            b.level = a.level;
+            b.follower = true;
+        } else if a.follower && b.follower && a.level != b.level {
+            // f_i, f_j -> f_i, f_i for the larger index
+            let m = a.level.max(b.level);
+            a.level = m;
+            b.level = m;
+        }
+        // kex bookkeeping: every agent remembers the largest subscript seen.
+        let m = a.kex.max(b.kex).max(a.level).max(b.level);
+        a.kex = m;
+        b.kex = m;
+    }
+}
+
+impl Protocol for UpperBoundEstimation {
+    type State = UpperBoundState;
+
+    fn initial_state(&self) -> UpperBoundState {
+        UpperBoundState::initial()
+    }
+
+    fn interact(&self, rec: &mut UpperBoundState, sen: &mut UpperBoundState, rng: &mut SimRng) {
+        self.fast.interact(&mut rec.main, &mut sen.main, rng);
+        self.backup(rec, sen);
+    }
+}
+
+/// Outcome of an upper-bound run.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct UpperBoundOutcome {
+    /// The common report `max(k_fast + 4, kex + 1)` after stabilization.
+    pub report: u64,
+    /// The settled backup value `kex` (should equal `⌊log2 n⌋`).
+    pub kex: u64,
+    /// Parallel time until the fast component converged.
+    pub fast_time: f64,
+    /// Whether the fast component converged within its budget.
+    pub fast_converged: bool,
+}
+
+/// Runs the combined protocol: the fast component to convergence, then
+/// continues until the backup stabilizes (`kex` common to all agents and
+/// unchanged over an `extra_time` window).
+pub fn estimate_upper_bound(n: usize, seed: u64, extra_time: f64) -> UpperBoundOutcome {
+    let budget = 4.0 * pp_analysis::subexp::corollary_3_10_time_budget(n as u64);
+    let mut sim = AgentSim::new(UpperBoundEstimation::paper(), n, seed);
+    let out = sim.run_until_converged(
+        |states| {
+            let mains: Vec<MainState> = states.iter().map(|s| s.main.clone()).collect();
+            is_converged(&mains)
+        },
+        budget,
+    );
+    // Let the backup finish its O(n)-time merges.
+    sim.run_for_time(extra_time);
+    let kex = sim.states().iter().map(|s| s.kex).max().unwrap_or(0);
+    let report = sim.states().iter().map(|s| s.report()).max().unwrap_or(0);
+    UpperBoundOutcome {
+        report,
+        kex,
+        fast_time: out.time,
+        fast_converged: out.converged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_engine::rng::rng_from_seed;
+
+    #[test]
+    fn backup_merge_rule() {
+        let p = UpperBoundEstimation::paper();
+        let mut a = UpperBoundState::initial();
+        let mut b = UpperBoundState::initial();
+        p.backup(&mut a, &mut b);
+        assert_eq!(a.level, 1);
+        assert!(!a.follower);
+        assert_eq!(b.level, 1);
+        assert!(b.follower);
+        assert_eq!(a.kex, 1);
+        assert_eq!(b.kex, 1);
+    }
+
+    #[test]
+    fn followers_adopt_max() {
+        let p = UpperBoundEstimation::paper();
+        let mut a = UpperBoundState::initial();
+        a.follower = true;
+        a.level = 2;
+        let mut b = UpperBoundState::initial();
+        b.follower = true;
+        b.level = 5;
+        p.backup(&mut a, &mut b);
+        assert_eq!(a.level, 5);
+        assert_eq!(b.level, 5);
+    }
+
+    #[test]
+    fn leaders_at_different_levels_do_not_merge() {
+        let p = UpperBoundEstimation::paper();
+        let mut a = UpperBoundState::initial();
+        a.level = 1;
+        let mut b = UpperBoundState::initial();
+        b.level = 2;
+        p.backup(&mut a, &mut b);
+        assert_eq!(a.level, 1);
+        assert_eq!(b.level, 2);
+        assert!(!a.follower && !b.follower);
+        assert_eq!(a.kex, 2, "kex still learns the larger subscript");
+    }
+
+    /// Run only the backup dynamics (via the full protocol, ignoring main
+    /// fields) and check `kex` converges to `⌊log2 n⌋`.
+    #[test]
+    fn backup_computes_floor_log2_n() {
+        for (n, expect) in [(64usize, 6u64), (100, 6), (200, 7)] {
+            let p = UpperBoundEstimation::paper();
+            let mut states: Vec<UpperBoundState> =
+                (0..n).map(|_| UpperBoundState::initial()).collect();
+            let mut rng = rng_from_seed(n as u64);
+            // Drive only the backup: pick random pairs directly.
+            use rand::Rng;
+            for _ in 0..(200 * n * n.ilog2() as usize) {
+                let i = rng.gen_range(0..n);
+                let mut j = rng.gen_range(0..n - 1);
+                if j >= i {
+                    j += 1;
+                }
+                let (lo, hi) = (i.min(j), i.max(j));
+                let (left, right) = states.split_at_mut(hi);
+                p.backup(&mut left[lo], &mut right[0]);
+            }
+            let kex = states.iter().map(|s| s.kex).max().unwrap();
+            assert_eq!(kex, expect, "n={n}");
+            assert!(
+                states.iter().all(|s| s.kex == expect),
+                "kex not yet common at n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn combined_report_upper_bounds_log_n() {
+        let n = 150;
+        let out = estimate_upper_bound(n, 21, 4000.0);
+        assert!(out.fast_converged);
+        let logn = (n as f64).log2();
+        assert!(
+            out.report as f64 >= logn,
+            "report {} below log n = {logn}",
+            out.report
+        );
+        assert!(
+            out.report as f64 <= logn + 10.0,
+            "report {} far above log n = {logn}",
+            out.report
+        );
+        assert_eq!(out.kex, (n as f64).log2().floor() as u64);
+    }
+
+    #[test]
+    fn report_prefers_larger_component() {
+        let mut s = UpperBoundState::initial();
+        s.kex = 10;
+        assert_eq!(s.report(), 11, "safety net alone");
+        s.main.output = Some(20);
+        assert_eq!(s.report(), 24, "fast + 4 dominates");
+        s.kex = 30;
+        assert_eq!(s.report(), 31, "safety net dominates");
+    }
+}

@@ -1,0 +1,429 @@
+//! [`CountSim`]: the configuration-vector simulator.
+//!
+//! For protocols whose reachable state space is small (epidemics, the slow
+//! exact backup counter of §3.3, the abstract protocols of the Theorem 4.1
+//! experiments), storing a count per state instead of a state per agent makes
+//! each interaction O(#states) instead of O(1)-with-huge-constants, and more
+//! importantly lets the density experiments scale to millions of agents with
+//! O(#states) memory.
+//!
+//! The simulator maintains the exact same stochastic process as
+//! [`crate::sim::AgentSim`]: an ordered pair of distinct agents is drawn
+//! uniformly; since agents in the same state are interchangeable, drawing a
+//! pair of *states* weighted by counts (without replacement) is an identical
+//! distribution.
+
+use std::collections::BTreeMap;
+
+use rand::Rng;
+
+use crate::rng::{rng_from_seed, SimRng};
+use crate::scheduler::parallel_time;
+use crate::sim::RunOutcome;
+
+/// A protocol over a small copyable state type, expressed as a transition
+/// function on (receiver, sender) state values.
+pub trait CountProtocol {
+    /// Agent state; must be orderable so configurations have a canonical form.
+    type State: Copy + Ord + std::fmt::Debug;
+
+    /// Computes the post-interaction states `(rec', sen')`.
+    fn transition(
+        &self,
+        rec: Self::State,
+        sen: Self::State,
+        rng: &mut SimRng,
+    ) -> (Self::State, Self::State);
+}
+
+/// A configuration: a multiset of states with total count `n`.
+///
+/// ```
+/// use pp_engine::count_sim::CountConfiguration;
+///
+/// let c = CountConfiguration::from_pairs([(0u8, 60), (1u8, 40)]);
+/// assert_eq!(c.population_size(), 100);
+/// assert_eq!(c.count(&0), 60);
+/// assert!(c.is_dense(0.4));   // every present state holds ≥ 40% of agents
+/// assert!(!c.is_dense(0.5));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CountConfiguration<S: Copy + Ord> {
+    counts: BTreeMap<S, u64>,
+    total: u64,
+}
+
+impl<S: Copy + Ord + std::fmt::Debug> CountConfiguration<S> {
+    /// Creates an empty configuration.
+    pub fn new() -> Self {
+        Self {
+            counts: BTreeMap::new(),
+            total: 0,
+        }
+    }
+
+    /// Creates a configuration from `(state, count)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a state appears twice.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (S, u64)>) -> Self {
+        let mut c = Self::new();
+        for (s, k) in pairs {
+            assert!(
+                c.counts.insert(s, k).is_none(),
+                "duplicate state {s:?} in configuration"
+            );
+            c.total += k;
+        }
+        c.prune();
+        c
+    }
+
+    /// All `n` agents in a single state.
+    pub fn uniform(state: S, n: u64) -> Self {
+        Self::from_pairs([(state, n)])
+    }
+
+    fn prune(&mut self) {
+        self.counts.retain(|_, &mut k| k > 0);
+    }
+
+    /// Total number of agents.
+    pub fn population_size(&self) -> u64 {
+        self.total
+    }
+
+    /// Count of a particular state (0 if absent).
+    pub fn count(&self, state: &S) -> u64 {
+        self.counts.get(state).copied().unwrap_or(0)
+    }
+
+    /// Number of distinct states present.
+    pub fn support_size(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Iterates over `(state, count)` pairs with positive count.
+    pub fn iter(&self) -> impl Iterator<Item = (&S, &u64)> {
+        self.counts.iter()
+    }
+
+    /// Adds `k` agents in `state`.
+    pub fn add(&mut self, state: S, k: u64) {
+        if k == 0 {
+            return;
+        }
+        *self.counts.entry(state).or_insert(0) += k;
+        self.total += k;
+    }
+
+    /// Removes `k` agents in `state`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `k` agents are in `state`.
+    pub fn remove(&mut self, state: S, k: u64) {
+        if k == 0 {
+            return;
+        }
+        let c = self
+            .counts
+            .get_mut(&state)
+            .unwrap_or_else(|| panic!("removing {k} of absent state {state:?}"));
+        assert!(*c >= k, "removing {k} of state {state:?} with count {c}");
+        *c -= k;
+        if *c == 0 {
+            self.counts.remove(&state);
+        }
+        self.total -= k;
+    }
+
+    /// True if every present state has count at least `alpha * n`.
+    ///
+    /// This is the paper's α-density: a configuration is α-dense when each
+    /// state present occupies at least an α fraction of the population.
+    pub fn is_dense(&self, alpha: f64) -> bool {
+        let threshold = alpha * self.total as f64;
+        self.counts.values().all(|&k| k as f64 >= threshold)
+    }
+
+    /// Samples one agent uniformly (returns its state) without removing it.
+    fn sample(&self, rng: &mut impl Rng) -> S {
+        debug_assert!(self.total > 0);
+        let mut u = rng.gen_range(0..self.total);
+        for (&s, &k) in &self.counts {
+            if u < k {
+                return s;
+            }
+            u -= k;
+        }
+        unreachable!("sample index exceeded total count")
+    }
+}
+
+impl<S: Copy + Ord + std::fmt::Debug> Default for CountConfiguration<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Simulator over a [`CountConfiguration`].
+pub struct CountSim<P: CountProtocol> {
+    protocol: P,
+    config: CountConfiguration<P::State>,
+    rng: SimRng,
+    interactions: u64,
+    n: u64,
+}
+
+impl<P: CountProtocol> CountSim<P> {
+    /// Creates a simulator from an initial configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has fewer than 2 agents.
+    pub fn new(protocol: P, config: CountConfiguration<P::State>, seed: u64) -> Self {
+        let n = config.population_size();
+        assert!(n >= 2, "population must have at least 2 agents, got {n}");
+        Self {
+            protocol,
+            config,
+            rng: rng_from_seed(seed),
+            interactions: 0,
+            n,
+        }
+    }
+
+    /// Current configuration.
+    pub fn config(&self) -> &CountConfiguration<P::State> {
+        &self.config
+    }
+
+    /// Population size.
+    pub fn population_size(&self) -> u64 {
+        self.n
+    }
+
+    /// Parallel time elapsed.
+    pub fn time(&self) -> f64 {
+        parallel_time(self.interactions, self.n as usize)
+    }
+
+    /// Total interactions executed.
+    pub fn interactions(&self) -> u64 {
+        self.interactions
+    }
+
+    /// Executes one interaction.
+    pub fn step(&mut self) {
+        self.step_observed();
+    }
+
+    /// Executes one interaction and reports it as
+    /// `(rec, sen, rec', sen')` — used by the Theorem 4.1 witness
+    /// extraction, which needs the actual transitions of an execution.
+    pub fn step_observed(&mut self) -> (P::State, P::State, P::State, P::State) {
+        // Draw the receiver, remove it, draw the sender from the remaining
+        // n-1 agents: exactly the uniform ordered-pair distribution.
+        let rec = self.config.sample(&mut self.rng);
+        self.config.remove(rec, 1);
+        let sen = self.config.sample(&mut self.rng);
+        self.config.remove(sen, 1);
+        let (rec2, sen2) = self.protocol.transition(rec, sen, &mut self.rng);
+        self.config.add(rec2, 1);
+        self.config.add(sen2, 1);
+        self.interactions += 1;
+        (rec, sen, rec2, sen2)
+    }
+
+    /// Executes `k` interactions.
+    pub fn steps(&mut self, k: u64) {
+        for _ in 0..k {
+            self.step();
+        }
+    }
+
+    /// Runs for `t` units of parallel time.
+    pub fn run_for_time(&mut self, t: f64) {
+        let target = (t * self.n as f64).ceil() as u64;
+        self.steps(target);
+    }
+
+    /// Runs until `predicate(config)` holds, checking every `check_every`
+    /// interactions, within a parallel-time budget.
+    pub fn run_until(
+        &mut self,
+        mut predicate: impl FnMut(&CountConfiguration<P::State>) -> bool,
+        check_every: u64,
+        max_time: f64,
+    ) -> RunOutcome {
+        assert!(check_every > 0, "check_every must be positive");
+        let max_interactions = (max_time * self.n as f64).ceil() as u64;
+        if predicate(&self.config) {
+            return RunOutcome {
+                converged: true,
+                time: self.time(),
+                interactions: self.interactions,
+            };
+        }
+        while self.interactions < max_interactions {
+            let burst = check_every.min(max_interactions - self.interactions);
+            self.steps(burst);
+            if predicate(&self.config) {
+                return RunOutcome {
+                    converged: true,
+                    time: self.time(),
+                    interactions: self.interactions,
+                };
+            }
+        }
+        RunOutcome {
+            converged: false,
+            time: self.time(),
+            interactions: self.interactions,
+        }
+    }
+}
+
+impl<P: CountProtocol> std::fmt::Debug for CountSim<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CountSim")
+            .field("n", &self.n)
+            .field("support", &self.config.support_size())
+            .field("interactions", &self.interactions)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One-way epidemic over {0 = susceptible, 1 = infected}.
+    struct Epidemic;
+
+    impl CountProtocol for Epidemic {
+        type State = u8;
+
+        fn transition(&self, rec: u8, sen: u8, _rng: &mut SimRng) -> (u8, u8) {
+            (rec.max(sen & 1), sen)
+        }
+    }
+
+    #[test]
+    fn configuration_bookkeeping() {
+        let mut c = CountConfiguration::from_pairs([(0u8, 5), (1u8, 3)]);
+        assert_eq!(c.population_size(), 8);
+        assert_eq!(c.count(&0), 5);
+        assert_eq!(c.count(&2), 0);
+        c.add(2, 4);
+        c.remove(0, 5);
+        assert_eq!(c.population_size(), 7);
+        assert_eq!(c.count(&0), 0);
+        assert_eq!(c.support_size(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "removing")]
+    fn remove_too_many_panics() {
+        let mut c = CountConfiguration::from_pairs([(0u8, 2)]);
+        c.remove(0, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate state")]
+    fn duplicate_states_rejected() {
+        CountConfiguration::from_pairs([(0u8, 2), (0u8, 3)]);
+    }
+
+    #[test]
+    fn density_check() {
+        let c = CountConfiguration::from_pairs([(0u8, 50), (1u8, 50)]);
+        assert!(c.is_dense(0.5));
+        assert!(c.is_dense(0.3));
+        let d = CountConfiguration::from_pairs([(0u8, 99), (1u8, 1)]);
+        assert!(!d.is_dense(0.1));
+        assert!(d.is_dense(0.01));
+    }
+
+    #[test]
+    fn epidemic_infects_all() {
+        let config = CountConfiguration::from_pairs([(0u8, 999), (1u8, 1)]);
+        let mut sim = CountSim::new(Epidemic, config, 5);
+        let out = sim.run_until(|c| c.count(&1) == 1000, 100, 100.0);
+        assert!(out.converged);
+        assert_eq!(sim.config().population_size(), 1000);
+    }
+
+    #[test]
+    fn population_size_is_conserved() {
+        let config = CountConfiguration::from_pairs([(0u8, 500), (1u8, 500)]);
+        let mut sim = CountSim::new(Epidemic, config, 6);
+        for _ in 0..10 {
+            sim.steps(100);
+            assert_eq!(sim.config().population_size(), 1000);
+        }
+    }
+
+    #[test]
+    fn count_and_agent_sims_agree_statistically() {
+        // Epidemic completion time distribution should match between the two
+        // simulators (they realize the same process). Compare means loosely.
+        let n = 500u64;
+        let trials = 12;
+        let mut count_mean = 0.0;
+        for t in 0..trials {
+            let config = CountConfiguration::from_pairs([(0u8, n - 1), (1u8, 1)]);
+            let mut sim = CountSim::new(Epidemic, config, 1000 + t);
+            let out = sim.run_until(|c| c.count(&1) == n, 50, 200.0);
+            assert!(out.converged);
+            count_mean += out.time;
+        }
+        count_mean /= trials as f64;
+        let ln_n = (n as f64).ln();
+        // E[T] ≈ 2 H_{n-1} ≈ 2 ln n for the one-way epidemic.
+        assert!(
+            count_mean > ln_n && count_mean < 4.0 * ln_n,
+            "mean {count_mean}, ln n {ln_n}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let config = CountConfiguration::from_pairs([(0u8, 99), (1u8, 1)]);
+            let mut sim = CountSim::new(Epidemic, config, seed);
+            sim.run_until(|c| c.count(&1) == 100, 10, 100.0).interactions
+        };
+        assert_eq!(run(42), run(42));
+    }
+
+    /// Randomized protocol: receiver flips to sender's state with prob 1/2.
+    struct LazyCopy;
+
+    impl CountProtocol for LazyCopy {
+        type State = u8;
+
+        fn transition(&self, rec: u8, sen: u8, rng: &mut SimRng) -> (u8, u8) {
+            if rng.gen::<bool>() {
+                (sen, sen)
+            } else {
+                (rec, sen)
+            }
+        }
+    }
+
+    #[test]
+    fn randomized_count_protocol_runs() {
+        let config = CountConfiguration::from_pairs([(0u8, 50), (1u8, 50)]);
+        let mut sim = CountSim::new(LazyCopy, config, 9);
+        // Lazy copying is a consensus process; eventually one opinion wins.
+        let out = sim.run_until(
+            |c| c.count(&0) == 100 || c.count(&1) == 100,
+            100,
+            10_000.0,
+        );
+        assert!(out.converged);
+    }
+}

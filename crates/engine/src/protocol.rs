@@ -1,0 +1,113 @@
+//! The [`Protocol`] trait: a uniform transition algorithm.
+//!
+//! Uniformity — the central hypothesis of the paper — is captured
+//! structurally: the transition receives only the two interacting states and a
+//! source of random bits. There is no channel through which the population
+//! size `n` (or any function of it) could reach the transition logic, so every
+//! implementation of this trait is a uniform protocol by construction.
+
+use crate::rng::SimRng;
+
+/// A uniform population protocol over states of type `Self::State`.
+///
+/// The two interacting agents are presented in the paper's `(rec, sen)`
+/// order: the *receiver* first, the *sender* second. Protocols that do not
+/// care about the order (symmetric transitions) simply treat them alike;
+/// Appendix B's synthetic-coin protocols use the order as a fair coin flip.
+pub trait Protocol {
+    /// Per-agent state. For the paper's protocols this is a struct of integer
+    /// fields mirroring the pseudocode.
+    type State: Clone + PartialEq + std::fmt::Debug;
+
+    /// The common initial state of every agent in a *leaderless* start.
+    ///
+    /// Leader-driven variants (Theorem 3.13) plant the leader afterwards via
+    /// [`crate::sim::AgentSim::set_state`].
+    fn initial_state(&self) -> Self::State;
+
+    /// Applies one interaction, mutating both agents in place.
+    ///
+    /// `rng` supplies the uniform random bits of the paper's randomized
+    /// transition-relation model. Deterministic protocols ignore it.
+    fn interact(&self, rec: &mut Self::State, sen: &mut Self::State, rng: &mut SimRng);
+}
+
+/// A protocol whose initial states are sampled rather than identical.
+///
+/// The paper's main protocols start all agents in one state, but some
+/// baselines (e.g. majority with an input split) initialize agents from an
+/// input distribution. `SeededInit` expresses "the i-th agent of n starts in
+/// state f(i)" *for the experiment harness only* — the transition algorithm
+/// itself remains uniform.
+pub trait SeededInit: Protocol {
+    /// State of agent `index` in a population of `n` agents.
+    ///
+    /// This is harness-level initialization (choosing the protocol's *input*),
+    /// not part of the transition algorithm, so it does not violate
+    /// uniformity.
+    fn init_state(&self, index: usize, n: usize) -> Self::State;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    /// A toy protocol: both agents adopt the max of their values.
+    struct MaxProtocol;
+
+    impl Protocol for MaxProtocol {
+        type State = u32;
+
+        fn initial_state(&self) -> u32 {
+            0
+        }
+
+        fn interact(&self, rec: &mut u32, sen: &mut u32, _rng: &mut SimRng) {
+            let m = (*rec).max(*sen);
+            *rec = m;
+            *sen = m;
+        }
+    }
+
+    /// A toy randomized protocol: receiver re-rolls a coin.
+    struct CoinProtocol;
+
+    impl Protocol for CoinProtocol {
+        type State = bool;
+
+        fn initial_state(&self) -> bool {
+            false
+        }
+
+        fn interact(&self, rec: &mut bool, _sen: &mut bool, rng: &mut SimRng) {
+            *rec = rng.gen();
+        }
+    }
+
+    #[test]
+    fn max_protocol_propagates() {
+        let p = MaxProtocol;
+        let mut a = 3;
+        let mut b = 7;
+        let mut rng = crate::rng::rng_from_seed(0);
+        p.interact(&mut a, &mut b, &mut rng);
+        assert_eq!((a, b), (7, 7));
+    }
+
+    #[test]
+    fn coin_protocol_uses_randomness() {
+        let p = CoinProtocol;
+        let mut rng = crate::rng::rng_from_seed(1);
+        let mut heads = 0;
+        for _ in 0..1000 {
+            let mut rec = false;
+            let mut sen = false;
+            p.interact(&mut rec, &mut sen, &mut rng);
+            if rec {
+                heads += 1;
+            }
+        }
+        assert!((400..600).contains(&heads), "heads {heads} not near 500");
+    }
+}

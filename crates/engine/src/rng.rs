@@ -1,0 +1,165 @@
+//! Deterministic random-number utilities.
+//!
+//! Every public entry point in this workspace takes a `u64` seed; all
+//! randomness flows from it so experiments are exactly reproducible. Seeds for
+//! independent streams (per trial, per component) are derived with a SplitMix64
+//! mixer, the standard way to expand one seed into many decorrelated ones.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The RNG type used throughout the simulators.
+///
+/// `SmallRng` is a fast non-cryptographic generator; population-protocol
+/// simulations draw billions of variates, so speed matters and cryptographic
+/// strength does not. The paper's model assumes agents read *uniform random
+/// bits*; `SmallRng` is the engine's stand-in for that random tape.
+pub type SimRng = SmallRng;
+
+/// Creates the simulation RNG for a given seed.
+pub fn rng_from_seed(seed: u64) -> SimRng {
+    SimRng::seed_from_u64(seed)
+}
+
+/// SplitMix64 finalizer: a bijective mixer with good avalanche behaviour.
+///
+/// Used to derive decorrelated child seeds from `(base, stream)` pairs.
+#[inline]
+pub fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Derives an independent child seed from a base seed and a stream index.
+///
+/// `derive_seed(s, i) != derive_seed(s, j)` for `i != j` (the mixer is a
+/// bijection applied to distinct inputs), so trials never share a stream.
+pub fn derive_seed(base: u64, stream: u64) -> u64 {
+    splitmix64(base ^ splitmix64(stream.wrapping_add(0xA076_1D64_78BD_642F)))
+}
+
+/// Samples a geometric random variable with success probability 1/2.
+///
+/// Defined as in the paper: the number of fair-coin flips up to and including
+/// the first heads, so the support is `{1, 2, 3, ...}` and the expectation
+/// is 2. This is the distribution every agent samples for `logSize2` and `gr`.
+pub fn geometric_half(rng: &mut impl Rng) -> u64 {
+    let mut count = 1;
+    // Draw 64 coin flips at a time; the position of the first set bit is the
+    // number of failures observed in this block.
+    loop {
+        let block: u64 = rng.gen();
+        if block != 0 {
+            return count + block.trailing_zeros() as u64;
+        }
+        count += 64;
+    }
+}
+
+/// Samples a geometric random variable with success probability `p` in (0,1].
+///
+/// Support `{1, 2, ...}`; expectation `1/p`. Used by the analysis crate's
+/// Monte-Carlo checks of the general tail bounds (Lemma D.5).
+pub fn geometric(p: f64, rng: &mut impl Rng) -> u64 {
+    assert!(p > 0.0 && p <= 1.0, "p must be in (0, 1], got {p}");
+    if p >= 1.0 {
+        return 1;
+    }
+    // Inversion method: ceil(ln U / ln(1-p)) is geometric on {1, 2, ...}.
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let g = (u.ln() / (1.0 - p).ln()).ceil();
+    if g < 1.0 {
+        1
+    } else {
+        g as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derive_seed_distinct_streams() {
+        let base = 42;
+        let seeds: Vec<u64> = (0..100).map(|i| derive_seed(base, i)).collect();
+        for i in 0..seeds.len() {
+            for j in (i + 1)..seeds.len() {
+                assert_ne!(seeds[i], seeds[j], "streams {i} and {j} collide");
+            }
+        }
+    }
+
+    #[test]
+    fn derive_seed_distinct_bases() {
+        assert_ne!(derive_seed(1, 0), derive_seed(2, 0));
+    }
+
+    #[test]
+    fn splitmix_is_not_identity() {
+        assert_ne!(splitmix64(0), 0);
+        assert_ne!(splitmix64(1), 1);
+    }
+
+    #[test]
+    fn geometric_half_mean_is_two() {
+        let mut rng = rng_from_seed(7);
+        let trials = 200_000;
+        let sum: u64 = (0..trials).map(|_| geometric_half(&mut rng)).sum();
+        let mean = sum as f64 / trials as f64;
+        assert!((mean - 2.0).abs() < 0.02, "mean {mean} far from 2");
+    }
+
+    #[test]
+    fn geometric_half_support_starts_at_one() {
+        let mut rng = rng_from_seed(3);
+        for _ in 0..10_000 {
+            assert!(geometric_half(&mut rng) >= 1);
+        }
+    }
+
+    #[test]
+    fn geometric_general_matches_half() {
+        let mut rng = rng_from_seed(11);
+        let trials = 200_000;
+        let sum: u64 = (0..trials).map(|_| geometric(0.5, &mut rng)).sum();
+        let mean = sum as f64 / trials as f64;
+        assert!((mean - 2.0).abs() < 0.02, "mean {mean} far from 2");
+    }
+
+    #[test]
+    fn geometric_general_mean_one_over_p() {
+        let mut rng = rng_from_seed(13);
+        let p = 0.2;
+        let trials = 200_000;
+        let sum: u64 = (0..trials).map(|_| geometric(p, &mut rng)).sum();
+        let mean = sum as f64 / trials as f64;
+        assert!((mean - 5.0).abs() < 0.06, "mean {mean} far from 5");
+    }
+
+    #[test]
+    fn geometric_p_one_is_always_one() {
+        let mut rng = rng_from_seed(17);
+        for _ in 0..100 {
+            assert_eq!(geometric(1.0, &mut rng), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "p must be in (0, 1]")]
+    fn geometric_rejects_zero_p() {
+        let mut rng = rng_from_seed(19);
+        geometric(0.0, &mut rng);
+    }
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = rng_from_seed(5);
+        let mut b = rng_from_seed(5);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! The uniform random pairwise scheduler.
+//!
+//! At each step the scheduler selects an ordered pair of *distinct* agents
+//! uniformly at random: the first component is the **receiver**, the second
+//! the **sender** (the paper's `(rec, sen)` convention). Equivalently, an
+//! unordered pair is chosen uniformly from the `n(n-1)/2` pairs and then a
+//! fair coin orders it; Appendix B's synthetic-coin protocols exploit exactly
+//! this fair ordering coin.
+
+use rand::Rng;
+
+/// An ordered interaction pair: indices of the receiver and the sender.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct OrderedPair {
+    /// Index of the receiving agent.
+    pub receiver: usize,
+    /// Index of the sending agent.
+    pub sender: usize,
+}
+
+/// Uniform random pair scheduler over a population of fixed size.
+#[derive(Debug, Clone)]
+pub struct PairScheduler {
+    n: usize,
+}
+
+impl PairScheduler {
+    /// Creates a scheduler for a population of `n >= 2` agents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`; a single agent can never interact.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2, "population must have at least 2 agents, got {n}");
+        Self { n }
+    }
+
+    /// Population size.
+    pub fn population_size(&self) -> usize {
+        self.n
+    }
+
+    /// Draws one ordered pair of distinct agents uniformly at random.
+    #[inline]
+    pub fn next_pair(&self, rng: &mut impl Rng) -> OrderedPair {
+        let receiver = rng.gen_range(0..self.n);
+        // Sample the sender from the remaining n-1 agents by drawing from
+        // [0, n-1) and skipping over the receiver. Each of the n(n-1) ordered
+        // pairs is produced with probability exactly 1/(n(n-1)).
+        let mut sender = rng.gen_range(0..self.n - 1);
+        if sender >= receiver {
+            sender += 1;
+        }
+        OrderedPair { receiver, sender }
+    }
+}
+
+/// Converts an interaction count to parallel time for a population of size `n`.
+///
+/// Parallel time is defined throughout the paper as interactions divided by
+/// `n`: each agent expects `Theta(1)` interactions per unit of time.
+#[inline]
+pub fn parallel_time(interactions: u64, n: usize) -> f64 {
+    interactions as f64 / n as f64
+}
+
+/// Converts a parallel-time budget to an interaction budget (rounding up).
+#[inline]
+pub fn interactions_for_time(time: f64, n: usize) -> u64 {
+    (time * n as f64).ceil() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng_from_seed;
+
+    #[test]
+    fn pairs_are_distinct() {
+        let sched = PairScheduler::new(5);
+        let mut rng = rng_from_seed(1);
+        for _ in 0..10_000 {
+            let p = sched.next_pair(&mut rng);
+            assert_ne!(p.receiver, p.sender);
+            assert!(p.receiver < 5 && p.sender < 5);
+        }
+    }
+
+    #[test]
+    fn pairs_are_uniform_over_ordered_pairs() {
+        let n = 4;
+        let sched = PairScheduler::new(n);
+        let mut rng = rng_from_seed(2);
+        let mut counts = vec![vec![0u64; n]; n];
+        let trials = 240_000;
+        for _ in 0..trials {
+            let p = sched.next_pair(&mut rng);
+            counts[p.receiver][p.sender] += 1;
+        }
+        let expected = trials as f64 / (n * (n - 1)) as f64;
+        for (r, row) in counts.iter().enumerate() {
+            for (s, &c) in row.iter().enumerate() {
+                if r == s {
+                    assert_eq!(c, 0);
+                } else {
+                    let dev = (c as f64 - expected).abs() / expected;
+                    assert!(dev < 0.05, "pair ({r},{s}) count {c} deviates {dev}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn two_agent_population_works() {
+        let sched = PairScheduler::new(2);
+        let mut rng = rng_from_seed(3);
+        let mut saw_01 = false;
+        let mut saw_10 = false;
+        for _ in 0..100 {
+            let p = sched.next_pair(&mut rng);
+            match (p.receiver, p.sender) {
+                (0, 1) => saw_01 = true,
+                (1, 0) => saw_10 = true,
+                other => panic!("impossible pair {other:?}"),
+            }
+        }
+        assert!(saw_01 && saw_10, "both orderings should occur");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 agents")]
+    fn rejects_singleton_population() {
+        PairScheduler::new(1);
+    }
+
+    #[test]
+    fn parallel_time_roundtrip() {
+        assert_eq!(parallel_time(1000, 100), 10.0);
+        assert_eq!(interactions_for_time(10.0, 100), 1000);
+        assert_eq!(interactions_for_time(0.015, 1000), 15);
+    }
+}

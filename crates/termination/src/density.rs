@@ -1,0 +1,137 @@
+//! α-dense configurations (§4).
+//!
+//! A configuration `~c` is α-dense when every state present has count
+//! ≥ α·n. A protocol is *i.o.-dense* when infinitely many of its valid
+//! initial configurations are α-dense for some fixed α > 0 — the hypothesis
+//! of Theorem 4.1. (An initial leader breaks density: a count-1 state has
+//! fraction 1/n → 0.)
+
+use pp_engine::count_sim::CountConfiguration;
+
+/// Builds the α-dense configuration that splits `n` agents evenly over the
+/// given states (remainder spread over the first states).
+///
+/// # Panics
+///
+/// Panics if `states` is empty or `n < states.len()`.
+pub fn even_dense_config<S: Copy + Ord + std::fmt::Debug>(
+    states: &[S],
+    n: u64,
+) -> CountConfiguration<S> {
+    assert!(!states.is_empty(), "need at least one state");
+    assert!(
+        n >= states.len() as u64,
+        "population {n} smaller than state count {}",
+        states.len()
+    );
+    let k = states.len() as u64;
+    let base = n / k;
+    let rem = n % k;
+    CountConfiguration::from_pairs(
+        states
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (s, base + u64::from((i as u64) < rem))),
+    )
+}
+
+/// Builds a dense configuration with explicit fractions (summing to 1, up to
+/// rounding; the remainder goes to the first state).
+pub fn weighted_dense_config<S: Copy + Ord + std::fmt::Debug>(
+    weights: &[(S, f64)],
+    n: u64,
+) -> CountConfiguration<S> {
+    assert!(!weights.is_empty());
+    let total: f64 = weights.iter().map(|&(_, w)| w).sum();
+    assert!(
+        (total - 1.0).abs() < 1e-9,
+        "weights must sum to 1, got {total}"
+    );
+    let mut counts: Vec<(S, u64)> = weights
+        .iter()
+        .map(|&(s, w)| (s, (w * n as f64).floor() as u64))
+        .collect();
+    let assigned: u64 = counts.iter().map(|&(_, c)| c).sum();
+    counts[0].1 += n - assigned;
+    CountConfiguration::from_pairs(counts)
+}
+
+/// The density α of a configuration: the minimum fraction over present
+/// states (0 for an empty configuration).
+pub fn density<S: Copy + Ord + std::fmt::Debug>(config: &CountConfiguration<S>) -> f64 {
+    let n = config.population_size();
+    if n == 0 {
+        return 0.0;
+    }
+    config
+        .iter()
+        .map(|(_, &k)| k as f64 / n as f64)
+        .fold(1.0, f64::min)
+}
+
+/// A configuration with a planted leader: one agent in `leader`, the rest
+/// evenly over `states`. Its density is `1/n` → not i.o.-dense; the
+/// complement case of Theorem 4.1.
+pub fn leader_config<S: Copy + Ord + std::fmt::Debug>(
+    leader: S,
+    states: &[S],
+    n: u64,
+) -> CountConfiguration<S> {
+    assert!(n >= 2);
+    let mut config = even_dense_config(states, n - 1);
+    config.add(leader, 1);
+    config
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_split_is_dense() {
+        let c = even_dense_config(&[0u8, 1, 2], 100);
+        assert_eq!(c.population_size(), 100);
+        assert_eq!(c.count(&0), 34);
+        assert_eq!(c.count(&1), 33);
+        assert_eq!(c.count(&2), 33);
+        assert!(c.is_dense(0.3));
+        assert!((density(&c) - 0.33).abs() < 0.01);
+    }
+
+    #[test]
+    fn weighted_split_respects_fractions() {
+        let c = weighted_dense_config(&[(0u8, 0.25), (1u8, 0.75)], 1000);
+        assert_eq!(c.population_size(), 1000);
+        assert_eq!(c.count(&0), 250);
+        assert_eq!(c.count(&1), 750);
+        assert!((density(&c) - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn bad_weights_rejected() {
+        weighted_dense_config(&[(0u8, 0.5), (1u8, 0.6)], 100);
+    }
+
+    #[test]
+    fn leader_config_is_not_dense() {
+        let c = leader_config(99u8, &[0u8, 1], 1001);
+        assert_eq!(c.population_size(), 1001);
+        assert_eq!(c.count(&99), 1);
+        assert!(density(&c) < 0.001);
+        assert!(!c.is_dense(0.01));
+    }
+
+    #[test]
+    fn density_of_singleton_state() {
+        let c = even_dense_config(&[7u8], 50);
+        assert_eq!(density(&c), 1.0);
+        assert!(c.is_dense(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "smaller than state count")]
+    fn too_small_population_rejected() {
+        even_dense_config(&[0u8, 1, 2, 3], 3);
+    }
+}

@@ -1,0 +1,211 @@
+//! The `Λ^m_ρ` producibility closure (§4).
+//!
+//! For a state set `Γ` and threshold `ρ`, `PROD_ρ(Γ)` is the set of states
+//! producible by a *single* transition with rate ≥ ρ whose inputs both lie
+//! in `Γ`. Iterating `Λ^i_ρ = Λ^{i-1}_ρ ∪ PROD_ρ(Λ^{i-1}_ρ)` from the
+//! states present in an initial configuration gives the states
+//! *m-ρ-producible* from it.
+//!
+//! The proof of Theorem 4.1 uses the closure like this: a terminating
+//! execution from a dense configuration `~c_0` has finite length `m` and
+//! minimum rate `ρ`, so the terminated state is in `Λ^m_ρ`; Lemma 4.2 then
+//! forces that state to appear in bulk, in constant time, from every larger
+//! dense configuration `~c_ℓ ≥ ~c_0` — producing the termination signal at
+//! time `O(1)`.
+
+use std::collections::BTreeSet;
+
+use crate::relation::TransitionRelation;
+
+/// Result of a producibility closure computation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClosureResult<S: Copy + Ord> {
+    /// `levels[i]` is `Λ^i_ρ` (so `levels[0]` is the initial state set).
+    pub levels: Vec<BTreeSet<S>>,
+}
+
+impl<S: Copy + Ord> ClosureResult<S> {
+    /// The final set `Λ^m_ρ`.
+    pub fn final_set(&self) -> &BTreeSet<S> {
+        self.levels.last().expect("closure has at least level 0")
+    }
+
+    /// Number of iterations actually performed (may be fewer than requested
+    /// if a fixpoint was reached).
+    pub fn depth(&self) -> usize {
+        self.levels.len() - 1
+    }
+
+    /// The first level at which `state` appears, if any — the `m` needed to
+    /// produce it.
+    pub fn level_of(&self, state: &S) -> Option<usize> {
+        self.levels.iter().position(|l| l.contains(state))
+    }
+
+    /// Whether the closure reached a fixpoint (no growth in the last step).
+    pub fn is_fixpoint(&self) -> bool {
+        match self.levels.len() {
+            0 | 1 => false,
+            k => self.levels[k - 1] == self.levels[k - 2],
+        }
+    }
+}
+
+/// Computes `Λ^m_ρ` from `initial` under `relation`, stopping early at a
+/// fixpoint. `max_depth = None` iterates to the fixpoint (guaranteed to
+/// exist for finite relations).
+///
+/// ```
+/// use pp_termination::relation::{Transition, TransitionRelation};
+/// use pp_termination::producible::producible_closure;
+///
+/// // 0,0 -> 1,1 then 1,1 -> 2,2: state 2 needs two transition types.
+/// let rel = TransitionRelation::new([
+///     Transition::new(0u8, 0, 1, 1),
+///     Transition::new(1u8, 1, 2, 2),
+/// ]);
+/// let closure = producible_closure(&rel, [0u8], 1.0, None);
+/// assert_eq!(closure.level_of(&2), Some(2));
+/// assert!(closure.is_fixpoint());
+/// ```
+pub fn producible_closure<S: Copy + Ord + std::fmt::Debug>(
+    relation: &TransitionRelation<S>,
+    initial: impl IntoIterator<Item = S>,
+    rho: f64,
+    max_depth: Option<usize>,
+) -> ClosureResult<S> {
+    let mut levels = vec![initial.into_iter().collect::<BTreeSet<S>>()];
+    let transitions = relation.transitions();
+    loop {
+        if let Some(m) = max_depth {
+            if levels.len() > m {
+                break;
+            }
+        }
+        let prev = levels.last().expect("non-empty");
+        let mut next = prev.clone();
+        for t in &transitions {
+            if t.rate >= rho && prev.contains(&t.a) && prev.contains(&t.b) {
+                next.insert(t.c);
+                next.insert(t.d);
+            }
+        }
+        let grew = &next != prev;
+        levels.push(next);
+        if !grew {
+            break;
+        }
+    }
+    ClosureResult { levels }
+}
+
+/// Convenience: whether any state satisfying `is_terminated` is
+/// m-ρ-producible from `initial` — the hypothesis under which Theorem 4.1
+/// forces constant-time termination.
+pub fn termination_is_producible<S: Copy + Ord + std::fmt::Debug>(
+    relation: &TransitionRelation<S>,
+    initial: impl IntoIterator<Item = S>,
+    rho: f64,
+    is_terminated: impl Fn(&S) -> bool,
+) -> Option<usize> {
+    let closure = producible_closure(relation, initial, rho, None);
+    closure
+        .final_set()
+        .iter()
+        .filter(|s| is_terminated(s))
+        .filter_map(|s| closure.level_of(s))
+        .min()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::Transition;
+
+    /// The paper's Figure 1 counter protocol: c_i, x -> c_{i+1}, x up to a
+    /// terminal t after 6 increments.
+    fn counter_relation() -> TransitionRelation<u8> {
+        const X: u8 = 100;
+        const T: u8 = 200;
+        let mut ts = Vec::new();
+        for i in 0..5u8 {
+            ts.push(Transition::new(i, X, i + 1, X));
+        }
+        ts.push(Transition::new(5, X, T, X));
+        // Termination epidemic.
+        ts.push(Transition::new(X, T, T, T));
+        ts.push(Transition::new(0, T, T, T));
+        TransitionRelation::new(ts)
+    }
+
+    #[test]
+    fn counter_closure_reaches_termination() {
+        let rel = counter_relation();
+        let closure = producible_closure(&rel, [0u8, 100u8], 1.0, None);
+        assert!(closure.final_set().contains(&200), "t must be producible");
+        // c1 at level 1, c2 at 2, ..., t at level 6.
+        assert_eq!(closure.level_of(&1), Some(1));
+        assert_eq!(closure.level_of(&5), Some(5));
+        assert_eq!(closure.level_of(&200), Some(6));
+        assert!(closure.is_fixpoint());
+    }
+
+    #[test]
+    fn depth_limit_truncates() {
+        let rel = counter_relation();
+        let closure = producible_closure(&rel, [0u8, 100u8], 1.0, Some(3));
+        assert!(closure.final_set().contains(&3));
+        assert!(!closure.final_set().contains(&200));
+    }
+
+    #[test]
+    fn rho_threshold_excludes_rare_transitions() {
+        let rel = TransitionRelation::new([
+            Transition::with_rate(0u8, 0u8, 1u8, 1u8, 0.01),
+            Transition::new(1u8, 1u8, 2u8, 2u8),
+        ]);
+        let with_rare = producible_closure(&rel, [0u8], 0.001, None);
+        assert!(with_rare.final_set().contains(&2));
+        let without = producible_closure(&rel, [0u8], 0.5, None);
+        assert_eq!(without.final_set().iter().count(), 1);
+        assert!(!without.final_set().contains(&1));
+    }
+
+    #[test]
+    fn termination_producibility_helper() {
+        let rel = counter_relation();
+        let m = termination_is_producible(&rel, [0u8, 100u8], 1.0, |&s| s == 200);
+        assert_eq!(m, Some(6));
+        // Without x present, the counter can never advance.
+        let m2 = termination_is_producible(&rel, [0u8], 1.0, |&s| s == 200);
+        assert_eq!(m2, None);
+    }
+
+    #[test]
+    fn closure_from_empty_is_empty() {
+        let rel = counter_relation();
+        let closure = producible_closure(&rel, std::iter::empty::<u8>(), 1.0, None);
+        assert!(closure.final_set().is_empty());
+    }
+
+    #[test]
+    fn nonuniform_counter_intuition() {
+        // The paper's discussion after Theorem 4.1: in a *nonuniform*
+        // protocol for larger n, the transition c5, x -> t, x is replaced by
+        // c5, x -> c6, x — the closure then no longer contains t with the
+        // same depth, illustrating why the proof needs uniformity.
+        const X: u8 = 100;
+        const T: u8 = 200;
+        let mut ts = Vec::new();
+        for i in 0..10u8 {
+            ts.push(Transition::new(i, X, i + 1, X));
+        }
+        ts.push(Transition::new(10, X, T, X));
+        let rel = TransitionRelation::new(ts);
+        let closure = producible_closure(&rel, [0u8, X], 1.0, Some(6));
+        assert!(
+            !closure.final_set().contains(&T),
+            "larger-n protocol's t is not 6-producible"
+        );
+    }
+}

@@ -1,0 +1,30 @@
+//! # uniform-sizeest — workspace facade
+//!
+//! Reproduction of Doty & Eftekhari, *"Efficient size estimation and
+//! impossibility of termination in uniform dense population protocols"*
+//! (PODC 2019). This crate re-exports the workspace members under one roof
+//! so examples and downstream users can depend on a single crate:
+//!
+//! * [`engine`] — the population-protocol simulation substrate.
+//! * [`analysis`] — the probability toolkit (Appendix D/E lemmas).
+//! * [`protocols`] — the paper's size-estimation protocols (the core
+//!   contribution).
+//! * [`baselines`] — comparison protocols and downstream clients.
+//! * [`termination`] — Theorem 4.1 machinery (producibility, density).
+//!
+//! # Example
+//!
+//! ```
+//! use uniform_sizeest::protocols::log_size::estimate_log_size;
+//!
+//! let outcome = estimate_log_size(100, 42, None);
+//! assert!(outcome.converged);
+//! let k = outcome.output.unwrap() as f64;
+//! assert!((k - 100f64.log2()).abs() <= 5.7); // Theorem 3.1's band
+//! ```
+
+pub use pp_analysis as analysis;
+pub use pp_baselines as baselines;
+pub use pp_core as protocols;
+pub use pp_engine as engine;
+pub use pp_termination as termination;
