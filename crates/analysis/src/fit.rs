@@ -102,7 +102,15 @@ mod tests {
         let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
         let ys: Vec<f64> = xs
             .iter()
-            .map(|&x| 2.0 * x + 1.0 + if (x as u64).is_multiple_of(2) { 0.5 } else { -0.5 })
+            .map(|&x| {
+                2.0 * x
+                    + 1.0
+                    + if (x as u64).is_multiple_of(2) {
+                        0.5
+                    } else {
+                        -0.5
+                    }
+            })
             .collect();
         let f = linear_fit(&xs, &ys);
         assert!((f.slope - 2.0).abs() < 0.01);

@@ -266,7 +266,10 @@ mod tests {
         for n in [50u64, 500, 5_000_000] {
             let est = expected_max_geometric(n, 0.5);
             let (lo, hi) = expected_max_geometric_half_bracket(n);
-            assert!(est > lo && est < hi, "n={n}, est={est}, bracket ({lo},{hi})");
+            assert!(
+                est > lo && est < hi,
+                "n={n}, est={est}, bracket ({lo},{hi})"
+            );
         }
     }
 

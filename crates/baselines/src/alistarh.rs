@@ -73,8 +73,7 @@ pub fn weak_estimate(n: usize, seed: u64) -> WeakOutcome {
     let mut sim = AgentSim::new(WeakEstimator, n, seed);
     let out = sim.run_until_converged(
         |states| {
-            states.iter().all(|s| s.sampled)
-                && states.windows(2).all(|w| w[0].value == w[1].value)
+            states.iter().all(|s| s.sampled) && states.windows(2).all(|w| w[0].value == w[1].value)
         },
         f64::MAX,
     );
@@ -116,7 +115,10 @@ mod tests {
         // O(log n) time: ratio of times between n=4000 and n=100 should be
         // about ln(4000)/ln(100) ≈ 1.8, certainly below 4.
         let t100: f64 = (0..8).map(|s| weak_estimate(100, 50 + s).time).sum::<f64>() / 8.0;
-        let t4000: f64 = (0..8).map(|s| weak_estimate(4000, 60 + s).time).sum::<f64>() / 8.0;
+        let t4000: f64 = (0..8)
+            .map(|s| weak_estimate(4000, 60 + s).time)
+            .sum::<f64>()
+            / 8.0;
         assert!(t4000 / t100 < 4.0, "t4000 {t4000} vs t100 {t100}");
     }
 

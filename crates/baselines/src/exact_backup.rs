@@ -167,9 +167,13 @@ mod tests {
         // O(n) time: mean silent time at n=2000 should be several times the
         // n=250 one (≈ 8x for linear scaling; accept > 3x to be robust).
         let trials = 6;
-        let t_small: f64 = (0..trials).map(|s| run_backup(250, 100 + s).silent_time).sum::<f64>()
+        let t_small: f64 = (0..trials)
+            .map(|s| run_backup(250, 100 + s).silent_time)
+            .sum::<f64>()
             / trials as f64;
-        let t_large: f64 = (0..trials).map(|s| run_backup(2000, 200 + s).silent_time).sum::<f64>()
+        let t_large: f64 = (0..trials)
+            .map(|s| run_backup(2000, 200 + s).silent_time)
+            .sum::<f64>()
             / trials as f64;
         assert!(
             t_large / t_small > 3.0,

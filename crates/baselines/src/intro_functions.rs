@@ -132,10 +132,7 @@ mod tests {
             d4000 / d500 < 3.0,
             "doubling not logarithmic: {d500} -> {d4000}"
         );
-        assert!(
-            h4000 / h500 > 4.0,
-            "halving not linear: {h500} -> {h4000}"
-        );
+        assert!(h4000 / h500 > 4.0, "halving not linear: {h500} -> {h4000}");
         assert!(
             h4000 > 10.0 * d4000,
             "separation missing: halve {h4000} vs double {d4000}"

@@ -124,8 +124,7 @@ pub struct ElectionOutcome {
 /// Runs the uniformized election on `n` agents.
 pub fn run_uniform_election(n: usize, seed: u64, max_time: f64) -> ElectionOutcome {
     let tournament = CoinTournament::default();
-    let mut sim =
-        pp_core::composition::composed_population(tournament, n, seed, |_| 0);
+    let mut sim = pp_core::composition::composed_population(tournament, n, seed, |_| 0);
     let out = sim.run_until_converged(
         |states| {
             states

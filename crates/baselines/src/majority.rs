@@ -217,12 +217,10 @@ pub struct MajorityOutcome {
 /// `ones` of the `n` agents start with opinion 1.
 pub fn run_uniform_majority(n: usize, ones: usize, seed: u64, max_time: f64) -> MajorityOutcome {
     assert!(ones <= n);
-    let mut sim = pp_core::composition::composed_population(
-        MajorityDownstream::default(),
-        n,
-        seed,
-        |i| u64::from(i < ones),
-    );
+    let mut sim =
+        pp_core::composition::composed_population(MajorityDownstream::default(), n, seed, |i| {
+            u64::from(i < ones)
+        });
     let out = sim.run_until_converged(
         |states| {
             let k = |c: &pp_core::composition::ComposedState<MajorityState>| {
@@ -248,12 +246,7 @@ pub fn run_uniform_majority(n: usize, ones: usize, seed: u64, max_time: f64) -> 
 }
 
 /// Runs the **nonuniform** reference with hardwired `⌊log n⌋`.
-pub fn run_nonuniform_majority(
-    n: usize,
-    ones: usize,
-    seed: u64,
-    max_time: f64,
-) -> MajorityOutcome {
+pub fn run_nonuniform_majority(n: usize, ones: usize, seed: u64, max_time: f64) -> MajorityOutcome {
     assert!(ones <= n);
     let protocol = NonuniformMajority::for_population(n);
     let k = protocol.stage_factor * protocol.log_n;

@@ -93,12 +93,7 @@ impl Default for GeometricTimer {
 impl CountProtocol for GeometricTimer {
     type State = GeoState;
 
-    fn transition(
-        &self,
-        rec: GeoState,
-        sen: GeoState,
-        rng: &mut SimRng,
-    ) -> (GeoState, GeoState) {
+    fn transition(&self, rec: GeoState, sen: GeoState, rng: &mut SimRng) -> (GeoState, GeoState) {
         use GeoState::*;
         if rec == Terminated || sen == Terminated {
             return (Terminated, Terminated);
@@ -194,11 +189,7 @@ mod tests {
     fn termination_spreads_after_signal() {
         let config = CountConfiguration::uniform(FixedState::Counting(0), 1000);
         let mut sim = CountSim::new(FixedCounter { threshold: 20 }, config, 3);
-        let out = sim.run_until(
-            |c| c.count(&FixedState::Terminated) == 1000,
-            100,
-            f64::MAX,
-        );
+        let out = sim.run_until(|c| c.count(&FixedState::Terminated) == 1000, 100, f64::MAX);
         assert!(out.converged);
     }
 

@@ -52,13 +52,7 @@ fn bench_agent_sim(c: &mut Criterion) {
     group.throughput(Throughput::Elements(1000));
     group.bench_function("log_size_protocol_1k_steps_n=1000", |b| {
         b.iter_batched_ref(
-            || {
-                AgentSim::new(
-                    pp_core::log_size::LogSizeEstimation::paper(),
-                    1000,
-                    5,
-                )
-            },
+            || AgentSim::new(pp_core::log_size::LogSizeEstimation::paper(), 1000, 5),
             |sim| sim.steps(1000),
             BatchSize::SmallInput,
         );

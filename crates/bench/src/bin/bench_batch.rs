@@ -1,0 +1,129 @@
+//! `BENCH_batch.json` emitter: sequential vs batched simulator throughput.
+//!
+//! Two one-way-epidemic workloads at `n ∈ {10⁴, 10⁶, 10⁷}`, single infected
+//! source, both engines seeded identically:
+//!
+//! * **`fixed_time`** (primary): simulate exactly `8·ln n` parallel time —
+//!   the paper's `Θ(log n)`-time experiment shape (the epidemic completes
+//!   w.h.p. within it; Lemma A.1 gives `Pr[T > a ln n] < 4n^{-a/4+1}`).
+//!   Both engines execute exactly `⌈8 n ln n⌉` interactions.
+//! * **`completion`**: run until every agent is infected (no silent phase).
+//!
+//! Interactions per second and the batched/sequential speedup are recorded
+//! per workload so future PRs have a perf trajectory. Results land in
+//! `BENCH_batch.json` in the current directory.
+//!
+//! Usage: `cargo run --release --bin bench_batch [-- --quick]`
+//! (`--quick` drops `n = 10⁷`, whose sequential fixed-time run takes ~10 s).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use pp_engine::batch::BatchedCountSim;
+use pp_engine::count_sim::{CountConfiguration, CountSim};
+use pp_engine::epidemic::InfectionEpidemic;
+use pp_engine::rng::derive_seed;
+
+struct Measurement {
+    trials: u64,
+    interactions: u64,
+    seconds: f64,
+}
+
+impl Measurement {
+    fn rate(&self) -> f64 {
+        self.interactions as f64 / self.seconds
+    }
+}
+
+fn epidemic_config(n: u64) -> CountConfiguration<bool> {
+    CountConfiguration::from_pairs([(false, n - 1), (true, 1)])
+}
+
+/// Runs `trials` epidemics on the chosen engine; `fixed_time` selects the
+/// `8 ln n`-parallel-time workload, otherwise run-to-completion.
+fn run(n: u64, trials: u64, batched: bool, fixed_time: bool, base_seed: u64) -> Measurement {
+    let sim_time = 8.0 * (n as f64).ln();
+    let start = Instant::now();
+    let mut interactions = 0;
+    for t in 0..trials {
+        let seed = derive_seed(base_seed, t);
+        let done = if batched {
+            let mut sim = BatchedCountSim::new(InfectionEpidemic, epidemic_config(n), seed);
+            if fixed_time {
+                sim.run_for_time(sim_time);
+            } else {
+                let out = sim.run_until(|c| c.count(&true) == n, (n / 8).max(1), f64::MAX);
+                assert!(out.converged);
+            }
+            sim.interactions()
+        } else {
+            let mut sim = CountSim::new(InfectionEpidemic, epidemic_config(n), seed);
+            if fixed_time {
+                sim.run_for_time(sim_time);
+            } else {
+                let out = sim.run_until(|c| c.count(&true) == n, (n / 8).max(1), f64::MAX);
+                assert!(out.converged);
+            }
+            sim.interactions()
+        };
+        interactions += done;
+    }
+    Measurement {
+        trials,
+        interactions,
+        seconds: start.elapsed().as_secs_f64(),
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    // (n, sequential trials, batched trials)
+    let sizes: &[(u64, u64, u64)] = if quick {
+        &[(10_000, 20, 200), (1_000_000, 2, 100)]
+    } else {
+        &[(10_000, 50, 400), (1_000_000, 3, 200), (10_000_000, 1, 40)]
+    };
+
+    let mut rows = Vec::new();
+    for &(n, seq_trials, batch_trials) in sizes {
+        for (workload, fixed_time) in [("fixed_time", true), ("completion", false)] {
+            let seq = run(n, seq_trials, false, fixed_time, 0xB0BA);
+            let bat = run(n, batch_trials, true, fixed_time, 0xB0BA);
+            eprintln!(
+                "n = {:>9} {:>11}: sequential {:>12.0} int/s ({:.3}s) | batched {:>13.0} int/s ({:.3}s) | speedup {:.1}x",
+                n,
+                workload,
+                seq.rate(),
+                seq.seconds,
+                bat.rate(),
+                bat.seconds,
+                bat.rate() / seq.rate()
+            );
+            rows.push((n, workload, seq, bat));
+        }
+    }
+
+    let mut json = String::from(
+        "{\n  \"benchmark\": \"one_way_epidemic\",\n  \"unit\": \"interactions_per_second\",\n  \
+         \"primary_workload\": \"fixed_time\",\n  \"results\": [\n",
+    );
+    for (i, (n, workload, seq, bat)) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"n\": {}, \"workload\": \"{}\", \"sequential\": {:.1}, \"batched\": {:.1}, \
+             \"speedup\": {:.2}, \"sequential_trials\": {}, \"batched_trials\": {}}}",
+            n,
+            workload,
+            seq.rate(),
+            bat.rate(),
+            bat.rate() / seq.rate(),
+            seq.trials,
+            bat.trials
+        );
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_batch.json", &json).expect("write BENCH_batch.json");
+    println!("{json}");
+}

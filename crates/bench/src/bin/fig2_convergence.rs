@@ -18,7 +18,10 @@ fn main() {
     if args.full && !args.sizes.contains(&100_000) {
         args.sizes.push(100_000);
     }
-    println!("Figure 2: Log-Size-Estimation convergence time (trials={})", args.trials);
+    println!(
+        "Figure 2: Log-Size-Estimation convergence time (trials={})",
+        args.trials
+    );
     println!("paper: O(log^2 n) time w.p. >= 1 - 1/n^2; estimate within 5.7 of log n (within 2 in practice)\n");
 
     let mut rows = Vec::new();
@@ -28,10 +31,7 @@ fn main() {
             estimate_log_size(n as usize, seed, None)
         });
         let times: Vec<f64> = outcomes.iter().map(|o| o.value.time).collect();
-        let errors: Vec<f64> = outcomes
-            .iter()
-            .filter_map(|o| o.value.error(n))
-            .collect();
+        let errors: Vec<f64> = outcomes.iter().filter_map(|o| o.value.error(n)).collect();
         let converged = outcomes.iter().filter(|o| o.value.converged).count();
         let summary = pp_analysis::stats::Summary::of(&times);
         let max_abs_err = errors.iter().fold(0.0f64, |a, &e| a.max(e.abs()));

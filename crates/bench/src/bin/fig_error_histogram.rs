@@ -36,8 +36,17 @@ fn main() {
         println!("  [{left:>4.1},{:>4.1})  {c:>3}  {bar}", left + 1.0);
     }
     let s = pp_analysis::stats::Summary::of(&errors);
-    println!("\n  mean {:+.3} (predicted centering ≈ δ0 − ~0.3 rounding/role effects; δ0 = {:.3})", s.mean, delta0());
-    println!("  min {:+.2}, max {:+.2}, all within 5.7: {}", s.min, s.max, errors.iter().all(|e| e.abs() <= 5.7));
+    println!(
+        "\n  mean {:+.3} (predicted centering ≈ δ0 − ~0.3 rounding/role effects; δ0 = {:.3})",
+        s.mean,
+        delta0()
+    );
+    println!(
+        "  min {:+.2}, max {:+.2}, all within 5.7: {}",
+        s.min,
+        s.max,
+        errors.iter().all(|e| e.abs() <= 5.7)
+    );
 
     let rows: Vec<Vec<String>> = errors
         .iter()

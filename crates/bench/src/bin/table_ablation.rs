@@ -40,10 +40,7 @@ fn main() {
             args.threads,
             |_, seed| estimate_with(protocol, n as usize, seed, Some(1e7)),
         );
-        let errors: Vec<f64> = outcomes
-            .iter()
-            .filter_map(|o| o.value.error(n))
-            .collect();
+        let errors: Vec<f64> = outcomes.iter().filter_map(|o| o.value.error(n)).collect();
         let times: Vec<f64> = outcomes.iter().map(|o| o.value.time).collect();
         let converged = outcomes.iter().filter(|o| o.value.converged).count();
         let (mean_abs, max_abs) = if errors.is_empty() {

@@ -34,12 +34,18 @@ fn main() {
         let main = run_trials_threaded(args.seed ^ n ^ 3, args.trials, args.threads, |_, seed| {
             estimate_log_size(n as usize, seed, None)
         });
-        let backup = run_trials_threaded(args.seed ^ n ^ 4, args.trials.min(5), args.threads, |_, seed| {
-            run_backup(n, seed)
-        });
-        let exact = run_trials_threaded(args.seed ^ n ^ 6, args.trials.min(5), args.threads, |_, seed| {
-            run_exact_count(n as usize, seed, 1e9)
-        });
+        let backup = run_trials_threaded(
+            args.seed ^ n ^ 4,
+            args.trials.min(5),
+            args.threads,
+            |_, seed| run_backup(n, seed),
+        );
+        let exact = run_trials_threaded(
+            args.seed ^ n ^ 6,
+            args.trials.min(5),
+            args.threads,
+            |_, seed| run_exact_count(n as usize, seed, 1e9),
+        );
 
         let weak_err: Vec<f64> = weak
             .iter()

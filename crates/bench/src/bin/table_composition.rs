@@ -78,12 +78,20 @@ fn main() {
             fmt(s.mean),
         ]);
     }
-    print_table(&["n", "unique_leader", ">=1 contender", "mean_time"], &rows2);
+    print_table(
+        &["n", "unique_leader", ">=1 contender", "mean_time"],
+        &rows2,
+    );
     println!("\n(>=1 contender must be ALL trials — elimination can never kill the last one;");
     println!(" the uniform/nonuniform overhead should be a modest constant)");
     write_csv(
         "table_composition",
-        &["n", "uniform_majority_correct", "uniform_time", "nonuniform_time"],
+        &[
+            "n",
+            "uniform_majority_correct",
+            "uniform_time",
+            "nonuniform_time",
+        ],
         &csv,
     );
 }

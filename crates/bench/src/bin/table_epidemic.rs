@@ -24,9 +24,12 @@ fn main() {
         let full = run_trials_threaded(args.seed ^ n, args.trials, args.threads, |_, seed| {
             epidemic_completion_time(n, seed)
         });
-        let sub = run_trials_threaded(args.seed ^ n ^ 0xF00, args.trials, args.threads, |_, seed| {
-            subpopulation_epidemic_time(n, n / 3, seed)
-        });
+        let sub = run_trials_threaded(
+            args.seed ^ n ^ 0xF00,
+            args.trials,
+            args.threads,
+            |_, seed| subpopulation_epidemic_time(n, n / 3, seed),
+        );
         let full_times: Vec<f64> = full.iter().map(|o| o.value).collect();
         let sub_times: Vec<f64> = sub.iter().map(|o| o.value).collect();
         let sf = pp_analysis::stats::Summary::of(&full_times);
@@ -62,7 +65,9 @@ fn main() {
     );
     println!("\n(full epidemic here is one-way from a single source: ~2 ln n; A.1's form is the");
     println!(" expected completion of its epidemic process — same Theta(log n) shape.");
-    println!(" Corollary 3.5: the subpopulation epidemic should essentially never exceed 24 ln n.)");
+    println!(
+        " Corollary 3.5: the subpopulation epidemic should essentially never exceed 24 ln n.)"
+    );
     write_csv(
         "table_epidemic",
         &["n", "full_time", "subpopulation_time"],

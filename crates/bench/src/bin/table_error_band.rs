@@ -21,10 +21,7 @@ fn main() {
         let outcomes = run_trials_threaded(args.seed ^ n, args.trials, args.threads, |_, seed| {
             estimate_log_size(n as usize, seed, None)
         });
-        let errors: Vec<f64> = outcomes
-            .iter()
-            .filter_map(|o| o.value.error(n))
-            .collect();
+        let errors: Vec<f64> = outcomes.iter().filter_map(|o| o.value.error(n)).collect();
         let within_band = errors.iter().filter(|e| e.abs() <= 5.7).count();
         let within_2 = errors.iter().filter(|e| e.abs() <= 2.0).count();
         let s = pp_analysis::stats::Summary::of(&errors);

@@ -50,7 +50,11 @@ fn main() {
             format!("({},{})", fmt(lo), fmt(hi)),
             fmt(eis),
             format!("{k}"),
-            format!("{:.4} (<= {:.4})", fails as f64 / d10_trials as f64, 2.0 / n as f64),
+            format!(
+                "{:.4} (<= {:.4})",
+                fails as f64 / d10_trials as f64,
+                2.0 / n as f64
+            ),
             format!(
                 "{:.4} (<= {:.4})",
                 exceed as f64 / samples.len() as f64,
@@ -76,7 +80,10 @@ fn main() {
         ],
         &rows,
     );
-    println!("\n(delta0 = {:.4}: the centering constant E[M] - log N)", delta0());
+    println!(
+        "\n(delta0 = {:.4}: the centering constant E[M] - log N)",
+        delta0()
+    );
     write_csv(
         "table_geometric_maxima",
         &["N", "mc_mean", "eisenberg", "d10_fail_rate"],

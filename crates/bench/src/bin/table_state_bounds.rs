@@ -23,17 +23,16 @@ fn main() {
         let outcomes = run_trials_threaded(args.seed ^ n, args.trials, args.threads, |_, seed| {
             estimate_log_size(n as usize, seed, None).maxima
         });
-        let max = outcomes.iter().fold(
-            pp_core::log_size::FieldMaxima::default(),
-            |mut acc, o| {
+        let max = outcomes
+            .iter()
+            .fold(pp_core::log_size::FieldMaxima::default(), |mut acc, o| {
                 acc.log_size2 = acc.log_size2.max(o.value.log_size2);
                 acc.gr = acc.gr.max(o.value.gr);
                 acc.time = acc.time.max(o.value.time);
                 acc.epoch = acc.epoch.max(o.value.epoch);
                 acc.sum = acc.sum.max(o.value.sum);
                 acc
-            },
-        );
+            });
         let logn = (n as f64).log2();
         let states = max.state_count_estimate() as f64;
         let log4 = logn.powi(4);

@@ -26,12 +26,19 @@ fn main() {
     let mut csv = Vec::new();
     for &n in &args.sizes {
         let t_counter = run_trials_threaded(args.seed ^ n, args.trials, args.threads, |_, seed| {
-            signal_time(&counter, counter_dense_config(n), |&s| s == COUNTER_T, 1e5, seed)
-                .expect("counter terminates")
+            signal_time(
+                &counter,
+                counter_dense_config(n),
+                |&s| s == COUNTER_T,
+                1e5,
+                seed,
+            )
+            .expect("counter terminates")
         });
-        let t_fixed = run_trials_threaded(args.seed ^ n ^ 1, args.trials, args.threads, |_, seed| {
-            fixed_signal_time(n, 40, seed)
-        });
+        let t_fixed =
+            run_trials_threaded(args.seed ^ n ^ 1, args.trials, args.threads, |_, seed| {
+                fixed_signal_time(n, 40, seed)
+            });
         let t_geo = run_trials_threaded(args.seed ^ n ^ 2, args.trials, args.threads, |_, seed| {
             geometric_signal_time(n, 10, seed)
         });
@@ -52,16 +59,24 @@ fn main() {
         ]);
     }
     print_table(
-        &["n", "fig1_counter(8)", "fixed_counter(40)", "geo_timer(x10)"],
+        &[
+            "n",
+            "fig1_counter(8)",
+            "fixed_counter(40)",
+            "geo_timer(x10)",
+        ],
         &rows,
     );
     println!("\n(all three columns must stay flat as n grows 1000x — that is Theorem 4.1)");
 
-    println!("\nLemma 4.2: density of every m-rho-producible state at time 4 (counter(6), alpha=1/2)");
+    println!(
+        "\nLemma 4.2: density of every m-rho-producible state at time 4 (counter(6), alpha=1/2)"
+    );
     let rel = counter_protocol(6);
     let mut drows = Vec::new();
     for &n in &args.sizes {
-        let report = verify_density_lemma(&rel, counter_dense_config(n), 1.0, None, 4.0, args.seed ^ n);
+        let report =
+            verify_density_lemma(&rel, counter_dense_config(n), 1.0, None, 4.0, args.seed ^ n);
         let min_frac = report.min_fraction();
         let t_frac = report
             .states
@@ -76,7 +91,10 @@ fn main() {
             fmt(t_frac),
         ]);
     }
-    print_table(&["n", "closure_states", "min_fraction", "t_fraction"], &drows);
+    print_table(
+        &["n", "closure_states", "min_fraction", "t_fraction"],
+        &drows,
+    );
     println!("\n(min_fraction is Lemma 4.2's delta: it must NOT shrink as n grows)");
     write_csv(
         "table_termination_impossibility",

@@ -40,8 +40,14 @@ fn main() {
         &rows,
     );
     let (lin, quad) = pp_analysis::fit::compare_scaling_models(&means);
-    println!("\nfit t ~ a + b*log n:   b = {:.1}, R^2 = {:.5}", lin.slope, lin.r_squared);
-    println!("fit t ~ a + b*log^2 n: b = {:.2}, R^2 = {:.5}", quad.slope, quad.r_squared);
+    println!(
+        "\nfit t ~ a + b*log n:   b = {:.1}, R^2 = {:.5}",
+        lin.slope, lin.r_squared
+    );
+    println!(
+        "fit t ~ a + b*log^2 n: b = {:.2}, R^2 = {:.5}",
+        quad.slope, quad.r_squared
+    );
     println!(
         "verdict: {} (time/log^2 column should be ~constant)",
         if quad.r_squared >= lin.r_squared {

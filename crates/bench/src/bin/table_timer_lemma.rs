@@ -71,7 +71,11 @@ fn main() {
             format!("{}/{}", hits, args.trials),
             format!("{:.1e}", corollary_e3_bound(k)),
         ]);
-        csv.push(vec![n.to_string(), format!("{}", sm.mean), format!("{}", sm.min)]);
+        csv.push(vec![
+            n.to_string(),
+            format!("{}", sm.mean),
+            format!("{}", sm.min),
+        ]);
     }
     print_table(
         &[

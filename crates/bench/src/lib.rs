@@ -172,7 +172,9 @@ impl HarnessArgs {
                         .expect("threads must be an integer");
                 }
                 "--full" => full = true,
-                other => panic!("unknown argument {other}; supported: --sizes --trials --seed --threads --full"),
+                other => panic!(
+                    "unknown argument {other}; supported: --sizes --trials --seed --threads --full"
+                ),
             }
             i += 1;
         }

@@ -252,10 +252,15 @@ mod tests {
         // Time for 30 phases should scale ~log n: ratio between n=2000 and
         // n=200 should be近 ln(2000)/ln(200) ≈ 1.4, certainly < 3.
         let t_small: f64 = (0..3).map(|s| time_for_phases(200, 30, s)).sum::<f64>() / 3.0;
-        let t_large: f64 =
-            (0..3).map(|s| time_for_phases(2000, 30, 10 + s)).sum::<f64>() / 3.0;
+        let t_large: f64 = (0..3)
+            .map(|s| time_for_phases(2000, 30, 10 + s))
+            .sum::<f64>()
+            / 3.0;
         let ratio = t_large / t_small;
-        assert!(ratio < 3.0, "phase time not logarithmic: {t_small} -> {t_large}");
+        assert!(
+            ratio < 3.0,
+            "phase time not logarithmic: {t_small} -> {t_large}"
+        );
         // And a phase is at least a constant fraction of ln n.
         let per_phase = t_large / 30.0;
         assert!(
@@ -267,8 +272,7 @@ mod tests {
     #[test]
     fn aae_terminating_is_correct() {
         let n = 120;
-        let (time, output, correct) =
-            run_aae_terminating(n, 44, 1e8).expect("must terminate");
+        let (time, output, correct) = run_aae_terminating(n, 44, 1e8).expect("must terminate");
         assert!(correct, "estimate {output:?} out of band");
         // Must fire after the typical convergence time.
         let conv = crate::log_size::estimate_log_size(n, 45, None);

@@ -273,10 +273,8 @@ mod tests {
     #[test]
     fn stages_are_seen_in_order_by_every_agent() {
         let mut sim = composed_population(StageRecorder, 200, 5, |_| 0);
-        let out = sim.run_until_converged(
-            |states| states.iter().all(|c| c.stage >= 4),
-            1_000_000.0,
-        );
+        let out =
+            sim.run_until_converged(|states| states.iter().all(|c| c.stage >= 4), 1_000_000.0);
         assert!(out.converged, "composition never finished its stages");
         for c in sim.states() {
             let stages = &c.inner.seen_stages;

@@ -189,9 +189,7 @@ impl LogSizeEstimation {
     /// adopt one from any partner that has it.
     fn settle_output(&self, a: &mut MainState, b: &mut MainState) {
         for agent in [&mut *a, &mut *b] {
-            if agent.role == Role::S
-                && agent.epoch >= agent.epoch_target(self.epoch_multiplier)
-            {
+            if agent.role == Role::S && agent.epoch >= agent.epoch_target(self.epoch_multiplier) {
                 agent.protocol_done = true;
                 agent.output = agent.computed_output();
             }

@@ -105,7 +105,10 @@ mod tests {
     #[test]
     fn partition_completes_in_logarithmic_time() {
         let t_small: f64 = (0..5).map(|s| run_partition(200, s).time).sum::<f64>() / 5.0;
-        let t_large: f64 = (0..5).map(|s| run_partition(20_000, 50 + s).time).sum::<f64>() / 5.0;
+        let t_large: f64 = (0..5)
+            .map(|s| run_partition(20_000, 50 + s).time)
+            .sum::<f64>()
+            / 5.0;
         // 100x population, O(log n) ⇒ well under 3x time.
         assert!(
             t_large / t_small < 3.0,

@@ -1,0 +1,1073 @@
+//! Batched configuration-vector simulation: `o(1)` amortized work per
+//! interaction for deterministic protocols on large populations.
+//!
+//! This is the batching algorithm of Berenbrink, Hammer, Kaaser, Meyer,
+//! Penschuck & Tran (ESA 2020) — the engine inside Doty & Severson's `ppsim`
+//! tool — specialized to this crate's ordered receiver/sender scheduler.
+//! The key observation: as long as the uniformly drawn interaction pairs
+//! involve only agents not yet touched in the current batch, the interactions
+//! are exchangeable, so their *aggregate effect* can be sampled directly in
+//! terms of state counts without materializing individual pairs:
+//!
+//! 1. **Collision length.** The number `T` of consecutive interactions whose
+//!    agents are all distinct follows the birthday-collision distribution
+//!    `P(T ≥ t) = n! / ((n-2t)!·nᵗ·(n-1)ᵗ)`. `T` depends only on `n`, so its
+//!    survival function is precomputed once and inverted with a binary
+//!    search per batch. `E[T] = Θ(√n)`.
+//! 2. **Batch fill.** The `2T` distinct agents form a uniform
+//!    without-replacement draw from the population. Receiver states, sender
+//!    states, and the receiver↔sender pairing contingency table are realized
+//!    as iterated conditional hypergeometric draws
+//!    ([`crate::rng::hypergeometric`]), exactly — never approximately, so
+//!    counts can never go negative or oversample a state.
+//! 3. **Bulk application.** Deterministic transitions are applied as count
+//!    deltas through a lazily built dense `k×k` transition table over the
+//!    discovered state space — `O(k²)` per batch, independent of `T`.
+//! 4. **Collision interaction.** The first colliding interaction is
+//!    simulated individually: conditioned on colliding at position `T+1`,
+//!    the repeated agent is uniform over the batch's touched (already
+//!    updated) agents and its partner uniform over the appropriate
+//!    complement. The batch then merges and the process restarts — valid
+//!    because the underlying interaction sequence is memoryless.
+//!
+//! Per batch the simulator does `O(k² + √n·σ⁻¹)`-ish sampling work for
+//! `Θ(√n)` interactions, so amortized per-interaction cost *decreases* with
+//! population size — the `table_epidemic` sweep at `n = 10⁷` runs hundreds
+//! of times faster than the sequential [`CountSim`].
+//!
+//! 5. **Null-interaction skipping.** When the probability `p` that a uniform
+//!    ordered pair is *productive* (its transition changes a state) is so
+//!    small that a whole batch would contain fewer than a handful of
+//!    productive interactions, batching stops paying. The simulator then
+//!    switches to a Gillespie-style mode: the distance to the next
+//!    productive interaction is geometric with parameter `p`, so it samples
+//!    that run length in O(1), advances the interaction clock past the
+//!    skipped null interactions (which by definition do not change the
+//!    configuration), and applies the single productive interaction drawn
+//!    from the productive-pair distribution. Both phases of an epidemic tail
+//!    (`p = Θ(1/n)`) cost O(1) per *infection* instead of O(√n) per batch of
+//!    mostly-null interactions. The mode choice is re-evaluated before every
+//!    batch from the current configuration, so runs glide between modes as
+//!    density evolves.
+//!
+//! Randomized protocols cannot be bulk-applied (each interaction would need
+//! its own variates); they — and small populations, where batches are short
+//! and constants dominate — transparently fall back to the sequential
+//! simulator via the [`ConfigSim`] facade.
+
+use std::collections::BTreeMap;
+
+use rand::Rng;
+
+use crate::count_sim::{CountConfiguration, CountProtocol, CountSim};
+use crate::rng::{geometric, hypergeometric, rng_from_seed, SimRng};
+use crate::scheduler::parallel_time;
+use crate::sim::RunOutcome;
+
+/// A [`CountProtocol`] whose transition function is a pure function of the
+/// two input states. Implementing this trait (instead of `CountProtocol`
+/// directly) is the opt-in for batched simulation: a blanket impl provides
+/// `CountProtocol` with [`CountProtocol::is_deterministic`] returning
+/// `true`, which lets [`ConfigSim::new`] select [`BatchedCountSim`] at large
+/// population sizes.
+pub trait DeterministicCountProtocol {
+    /// Agent state; must be orderable so configurations have a canonical form.
+    type State: Copy + Ord + std::fmt::Debug;
+
+    /// Computes the post-interaction states `(rec', sen')` deterministically.
+    fn transition_det(&self, rec: Self::State, sen: Self::State) -> (Self::State, Self::State);
+}
+
+impl<P: DeterministicCountProtocol> CountProtocol for P {
+    type State = P::State;
+
+    fn transition(
+        &self,
+        rec: Self::State,
+        sen: Self::State,
+        _rng: &mut SimRng,
+    ) -> (Self::State, Self::State) {
+        self.transition_det(rec, sen)
+    }
+
+    fn is_deterministic(&self) -> bool {
+        true
+    }
+}
+
+/// Truncate the precomputed collision-survival table once `P(T ≥ t)` drops
+/// below this; deeper tail values are extended on the fly (practically
+/// never: one draw in ~10¹⁸).
+const SURVIVAL_CUTOFF: f64 = 1e-18;
+
+/// Sentinel marking a transition-table entry not yet computed.
+const UNCOMPUTED: u32 = u32::MAX;
+
+/// Switch to the null-skipping (Gillespie) mode when the expected number of
+/// productive interactions per batch drops below this. The value is the
+/// measured cost ratio between filling one batch (a few hypergeometric
+/// draws) and executing one skip step (a geometric draw plus a weighted
+/// pair pick); at the crossover both modes spend the same wall time per
+/// productive interaction.
+const NULL_SKIP_FACTOR: f64 = 6.0;
+
+/// Batched simulator over a configuration vector.
+///
+/// Realizes exactly the same stochastic process as [`CountSim`] (uniform
+/// ordered pairs of distinct agents), restricted to deterministic
+/// protocols. Construct directly, or let [`ConfigSim::new`] choose.
+pub struct BatchedCountSim<P: CountProtocol> {
+    protocol: P,
+    rng: SimRng,
+    /// RNG handed to `transition` while filling the table; deterministic
+    /// protocols never read it, and it is separate from `rng` so the
+    /// simulation stream does not depend on table fill order.
+    table_rng: SimRng,
+    n: u64,
+    interactions: u64,
+    /// Discovered states, id-indexed.
+    states: Vec<P::State>,
+    index: BTreeMap<P::State, usize>,
+    /// Current configuration counts, id-indexed.
+    counts: Vec<u64>,
+    /// Dense `k×k` transition table: entry `[a·k + b]` holds the output ids
+    /// of `transition(a, b)`, or [`UNCOMPUTED`] sentinels.
+    table: Vec<(u32, u32)>,
+    /// `survival[t] = P(T ≥ t)`: precomputed birthday-collision survival.
+    survival: Vec<f64>,
+    /// Whether `survival` ends because batches cannot exceed `⌊n/2⌋`
+    /// interactions (vs. the probability cutoff).
+    boundary_reached: bool,
+    /// `E[T]` (mean collision-free batch length), precomputed from
+    /// `survival`; drives the batch-vs-null-skip mode decision.
+    expected_batch_len: f64,
+    // Scratch buffers reused across batches (taken/restored to appease the
+    // borrow checker without per-batch allocation).
+    recv: Vec<u64>,
+    send: Vec<u64>,
+    touched: Vec<u64>,
+    row_reactive: Vec<bool>,
+    col_reactive: Vec<bool>,
+}
+
+impl<P: CountProtocol> BatchedCountSim<P> {
+    /// Creates a batched simulator from an initial configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has fewer than 2 agents or if the
+    /// protocol reports [`CountProtocol::is_deterministic`] `false`
+    /// (randomized transitions cannot be applied as bulk count deltas — use
+    /// [`CountSim`] or the [`ConfigSim`] facade).
+    pub fn new(protocol: P, config: CountConfiguration<P::State>, seed: u64) -> Self {
+        let n = config.population_size();
+        assert!(n >= 2, "population must have at least 2 agents, got {n}");
+        assert!(
+            n <= u32::MAX as u64,
+            "pair-weight arithmetic requires n² to fit in u64"
+        );
+        assert!(
+            protocol.is_deterministic(),
+            "BatchedCountSim requires a deterministic protocol; \
+             implement DeterministicCountProtocol or use CountSim"
+        );
+        let mut states = Vec::new();
+        let mut index = BTreeMap::new();
+        let mut counts = Vec::new();
+        for (&s, &c) in config.iter() {
+            index.insert(s, states.len());
+            states.push(s);
+            counts.push(c);
+        }
+        let k = states.len();
+        let (survival, boundary_reached) = collision_survival(n);
+        let expected_batch_len = survival.iter().skip(1).sum();
+        Self {
+            protocol,
+            rng: rng_from_seed(seed),
+            table_rng: rng_from_seed(seed ^ 0x7461_626c_655f_726e), // "table_rn"
+            n,
+            interactions: 0,
+            states,
+            index,
+            counts,
+            table: vec![(UNCOMPUTED, UNCOMPUTED); k * k],
+            survival,
+            boundary_reached,
+            expected_batch_len,
+            recv: vec![0; k],
+            send: vec![0; k],
+            touched: vec![0; k],
+            row_reactive: Vec::new(),
+            col_reactive: Vec::new(),
+        }
+    }
+
+    /// Population size.
+    pub fn population_size(&self) -> u64 {
+        self.n
+    }
+
+    /// Parallel time elapsed.
+    pub fn time(&self) -> f64 {
+        parallel_time(self.interactions, self.n as usize)
+    }
+
+    /// Total interactions executed.
+    pub fn interactions(&self) -> u64 {
+        self.interactions
+    }
+
+    /// Count of agents currently in `state`.
+    pub fn count(&self, state: &P::State) -> u64 {
+        self.index.get(state).map_or(0, |&id| self.counts[id])
+    }
+
+    /// Materializes the current configuration (O(k log k)).
+    pub fn config_view(&self) -> CountConfiguration<P::State> {
+        CountConfiguration::from_pairs(
+            self.states
+                .iter()
+                .zip(&self.counts)
+                .filter(|(_, &c)| c > 0)
+                .map(|(&s, &c)| (s, c)),
+        )
+    }
+
+    /// Executes at least one and at most `budget` interactions, choosing
+    /// between one collision-length batch and one null-skip (Gillespie)
+    /// step based on the current productive-pair density. Returns the
+    /// number executed.
+    pub fn advance(&mut self, budget: u64) -> u64 {
+        debug_assert!(budget >= 1);
+        let w_prod = self.productive_weight();
+        if w_prod == 0 {
+            // Silent configuration: every future interaction is a no-op.
+            self.interactions += budget;
+            return budget;
+        }
+        let p = w_prod as f64 / (self.n * (self.n - 1)) as f64;
+        if p * self.expected_batch_len < NULL_SKIP_FACTOR {
+            self.null_skip_step(budget, w_prod, p)
+        } else {
+            self.run_batch(budget)
+        }
+    }
+
+    /// Total weight `Σ c_a·(c_b - [a = b])` over productive ordered state
+    /// pairs — `n(n-1)` times the probability that the next interaction
+    /// changes the configuration.
+    fn productive_weight(&mut self) -> u64 {
+        let k = self.states.len();
+        let mut w = 0u64;
+        for a in 0..k {
+            let ca = self.counts[a];
+            if ca == 0 {
+                continue;
+            }
+            for b in 0..k {
+                let cb = self.counts[b];
+                if cb == 0 {
+                    continue;
+                }
+                let (c, d) = self.entry(a, b);
+                if (c, d) != (a, b) {
+                    w += ca * (cb - u64::from(a == b));
+                }
+            }
+        }
+        w
+    }
+
+    /// Gillespie-style step: samples the geometric run of null interactions
+    /// before the next productive one, skips it in O(1), and applies that
+    /// single productive interaction (drawn ∝ its pair weight). If the run
+    /// exceeds `budget`, exactly `budget` null interactions elapse instead —
+    /// valid because null interactions cannot change the configuration and
+    /// the underlying pair sequence is i.i.d.
+    fn null_skip_step(&mut self, budget: u64, w_prod: u64, p: f64) -> u64 {
+        let g = geometric(p, &mut self.rng);
+        if g > budget {
+            self.interactions += budget;
+            return budget;
+        }
+        let mut z = self.rng.gen_range(0..w_prod);
+        let k = self.states.len();
+        'outer: for a in 0..k {
+            let ca = self.counts[a];
+            if ca == 0 {
+                continue;
+            }
+            for b in 0..k {
+                let cb = self.counts[b];
+                if cb == 0 {
+                    continue;
+                }
+                let (c, d) = self.entry(a, b);
+                if (c, d) == (a, b) {
+                    continue;
+                }
+                let w = ca * (cb - u64::from(a == b));
+                if z < w {
+                    self.counts[a] -= 1;
+                    self.counts[b] -= 1;
+                    grow_to(&mut self.counts, self.states.len());
+                    self.counts[c] += 1;
+                    self.counts[d] += 1;
+                    break 'outer;
+                }
+                z -= w;
+            }
+        }
+        self.interactions += g;
+        g
+    }
+
+    /// Executes at least one and at most `budget` interactions (one batch,
+    /// possibly truncated to the budget). Returns the number executed.
+    pub fn run_batch(&mut self, budget: u64) -> u64 {
+        debug_assert!(budget >= 1);
+        let n = self.n;
+        let t_collision = self.sample_batch_len();
+        // Truncating a batch at a deterministic budget is exact: the
+        // collision-free prefix of a longer batch has the same law as a
+        // batch of the prefix length (without-replacement exchangeability).
+        let (t, with_collision) = if t_collision >= budget {
+            (budget, false)
+        } else {
+            (t_collision, true)
+        };
+        let k0 = self.states.len();
+        let mut recv = std::mem::take(&mut self.recv);
+        let mut send = std::mem::take(&mut self.send);
+        let mut touched = std::mem::take(&mut self.touched);
+        recv.clear();
+        recv.resize(k0, 0);
+        send.clear();
+        send.resize(k0, 0);
+        touched.clear();
+        touched.resize(k0, 0);
+
+        // Batch fill: receiver multiset, then sender multiset, drawn without
+        // replacement from the configuration (counts become the untouched
+        // pool U as draws are subtracted).
+        draw_without_replacement(&mut self.counts, n, t, &mut recv, &mut self.rng);
+        draw_without_replacement(&mut self.counts, n - t, t, &mut send, &mut self.rng);
+
+        // Classify the batch's rows and columns. A receiver row `a` is
+        // *reactive* if some present sender state reacts with it; a sender
+        // column `b` is reactive if some present receiver row reacts with
+        // it. Pairings involving a non-reactive side are identity for every
+        // counterpart in this batch, so their contingency entries never
+        // need to be drawn individually — the states are unchanged no
+        // matter how the matching falls.
+        let mut row_reactive = std::mem::take(&mut self.row_reactive);
+        let mut col_reactive = std::mem::take(&mut self.col_reactive);
+        row_reactive.clear();
+        row_reactive.resize(k0, false);
+        col_reactive.clear();
+        col_reactive.resize(k0, false);
+        for a in 0..k0 {
+            if recv[a] == 0 {
+                continue;
+            }
+            for b in 0..k0 {
+                if send[b] == 0 {
+                    continue;
+                }
+                let (c, d) = self.entry(a, b);
+                if (c, d) != (a, b) {
+                    row_reactive[a] = true;
+                    col_reactive[b] = true;
+                }
+            }
+        }
+
+        // Pairing contingency: reactive receiver rows draw their partner
+        // splits over the reactive sender columns — an iterated conditional
+        // hypergeometric realization of the uniform bipartite matching.
+        // Whatever a row still needs after the reactive columns comes from
+        // the pooled non-reactive columns: those pairings are identity, so
+        // only the pool's total (tracked via `send_total`) matters, never
+        // which non-reactive state each partner held. Non-reactive rows are
+        // processed implicitly last (the matching is exchangeable): their
+        // receivers keep their states and their partners — all of `send`'s
+        // leftovers — keep theirs, merged back wholesale below.
+        let mut send_total = t;
+        for a in 0..k0 {
+            let ra = recv[a];
+            if ra == 0 {
+                continue;
+            }
+            if !row_reactive[a] {
+                touched[a] += ra;
+                continue;
+            }
+            let mut need = ra;
+            let mut pool = send_total;
+            for b in 0..k0 {
+                if need == 0 {
+                    break;
+                }
+                let sb = send[b];
+                if sb == 0 || !col_reactive[b] {
+                    continue;
+                }
+                let m = if pool == sb {
+                    need
+                } else {
+                    hypergeometric(pool, sb, need, &mut self.rng)
+                };
+                pool -= sb;
+                if m == 0 {
+                    continue;
+                }
+                let (c, d) = self.entry(a, b);
+                grow_to(&mut touched, self.states.len());
+                touched[c] += m;
+                touched[d] += m;
+                send[b] -= m;
+                send_total -= m;
+                need -= m;
+            }
+            if need > 0 {
+                // Partners from the non-reactive pool: receiver unchanged,
+                // senders stay in `send` (their states are unchanged too).
+                touched[a] += need;
+                send_total -= need;
+            }
+        }
+
+        let mut executed = t;
+        if with_collision {
+            self.collision_interaction(t, &mut touched, &mut send);
+            executed += 1;
+        }
+
+        // Merge the touched (updated) agents and the undisturbed senders
+        // back into the configuration.
+        grow_to(&mut self.counts, self.states.len());
+        for (c, &d) in self.counts.iter_mut().zip(&touched) {
+            *c += d;
+        }
+        for (c, &s) in self.counts.iter_mut().zip(&send) {
+            *c += s;
+        }
+        self.interactions += executed;
+
+        self.recv = recv;
+        self.send = send;
+        self.touched = touched;
+        self.row_reactive = row_reactive;
+        self.col_reactive = col_reactive;
+        executed
+    }
+
+    /// Simulates the first colliding interaction exactly.
+    ///
+    /// Conditioned on the first repeated agent pick happening at interaction
+    /// `t+1` with `2t` agents touched, the repeat is at the receiver
+    /// position with probability `(n-1)/(2n-2t-1)`; the repeated agent is
+    /// uniform over the batch's `2t` agents — the `touched` multiset plus
+    /// the senders still sitting (state-unchanged) in `send` — and its
+    /// partner uniform over the appropriate complement.
+    fn collision_interaction(&mut self, t: u64, touched: &mut Vec<u64>, send: &mut [u64]) {
+        let n = self.n;
+        let untouched_total = n - 2 * t;
+        // P(collision at receiver | collision at interaction t+1).
+        let p_rec = (n - 1) as f64 / (2 * n - 2 * t - 1) as f64;
+        let u: f64 = self.rng.gen();
+        let (rec_id, sen_id) = if u < p_rec {
+            // Receiver is a batch agent; sender is uniform over the other
+            // n-1 agents (untouched or batch).
+            let rec = take_from_batch(touched, send, self.rng.gen_range(0..2 * t));
+            let z = self.rng.gen_range(0..n - 1);
+            let sen = if z < untouched_total {
+                let s = draw_one(&self.counts, z);
+                self.counts[s] -= 1;
+                s
+            } else {
+                take_from_batch(touched, send, z - untouched_total)
+            };
+            (rec, sen)
+        } else {
+            // Receiver is a fresh untouched agent; the colliding sender is a
+            // batch agent (distinct from the receiver automatically).
+            let rec = draw_one(&self.counts, self.rng.gen_range(0..untouched_total));
+            self.counts[rec] -= 1;
+            let sen = take_from_batch(touched, send, self.rng.gen_range(0..2 * t));
+            (rec, sen)
+        };
+        let (c, d) = self.entry(rec_id, sen_id);
+        grow_to(touched, self.states.len());
+        touched[c] += 1;
+        touched[d] += 1;
+    }
+
+    /// Samples the number of collision-free interactions before the next
+    /// repeated agent pick (capped at `⌊n/2⌋` where a repeat is certain).
+    fn sample_batch_len(&mut self) -> u64 {
+        let u: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+        // survival is decreasing with survival[0] = 1; T = max{t : P(T≥t) ≥ u}.
+        let idx = self.survival.partition_point(|&f| f >= u);
+        if idx < self.survival.len() || self.boundary_reached {
+            return (idx - 1) as u64;
+        }
+        // Tail beyond the precomputed cutoff (probability < SURVIVAL_CUTOFF):
+        // extend the recurrence on the fly.
+        let n = self.n;
+        let denom = (n as f64) * ((n - 1) as f64);
+        let mut t = (self.survival.len() - 1) as u64;
+        let mut f = *self.survival.last().expect("survival table is non-empty");
+        loop {
+            let remaining = n - 2 * t;
+            if remaining < 2 {
+                return t;
+            }
+            f *= (remaining as f64) * ((remaining - 1) as f64) / denom;
+            if f < u {
+                return t;
+            }
+            t += 1;
+        }
+    }
+
+    /// Looks up (computing on first use) the transition outputs for state
+    /// ids `(a, b)`, interning any newly discovered output states.
+    fn entry(&mut self, a: usize, b: usize) -> (usize, usize) {
+        let k = self.states.len();
+        let (c, d) = self.table[a * k + b];
+        if c != UNCOMPUTED {
+            return (c as usize, d as usize);
+        }
+        let (sc, sd) =
+            self.protocol
+                .transition(self.states[a], self.states[b], &mut self.table_rng);
+        let ci = self.intern(sc);
+        let di = self.intern(sd);
+        let k_new = self.states.len();
+        self.table[a * k_new + b] = (ci as u32, di as u32);
+        (ci, di)
+    }
+
+    /// Returns the id for `state`, discovering it (and growing the
+    /// transition table) if unseen.
+    fn intern(&mut self, state: P::State) -> usize {
+        if let Some(&id) = self.index.get(&state) {
+            return id;
+        }
+        let k_old = self.states.len();
+        let id = k_old;
+        self.states.push(state);
+        self.index.insert(state, id);
+        self.counts.push(0);
+        let k_new = k_old + 1;
+        let mut table = vec![(UNCOMPUTED, UNCOMPUTED); k_new * k_new];
+        for a in 0..k_old {
+            for b in 0..k_old {
+                table[a * k_new + b] = self.table[a * k_old + b];
+            }
+        }
+        self.table = table;
+        id
+    }
+
+    /// Executes at least `k` interactions (to the nearest batch truncation,
+    /// which lands exactly on `k`).
+    pub fn steps(&mut self, k: u64) {
+        let target = self.interactions + k;
+        while self.interactions < target {
+            self.advance(target - self.interactions);
+        }
+    }
+
+    /// Runs for `t` units of parallel time.
+    pub fn run_for_time(&mut self, t: f64) {
+        self.steps((t * self.n as f64).ceil() as u64);
+    }
+
+    /// Runs until `predicate(config)` holds, checking every `check_every`
+    /// interactions, within a parallel-time budget. Semantics match
+    /// [`CountSim::run_until`]; the predicate sees a materialized
+    /// configuration view at each checkpoint.
+    pub fn run_until(
+        &mut self,
+        mut predicate: impl FnMut(&CountConfiguration<P::State>) -> bool,
+        check_every: u64,
+        max_time: f64,
+    ) -> RunOutcome {
+        assert!(check_every > 0, "check_every must be positive");
+        let max_interactions = (max_time * self.n as f64).ceil() as u64;
+        if predicate(&self.config_view()) {
+            return RunOutcome {
+                converged: true,
+                time: self.time(),
+                interactions: self.interactions,
+            };
+        }
+        while self.interactions < max_interactions {
+            let target = (self.interactions + check_every).min(max_interactions);
+            while self.interactions < target {
+                self.advance(target - self.interactions);
+            }
+            if predicate(&self.config_view()) {
+                return RunOutcome {
+                    converged: true,
+                    time: self.time(),
+                    interactions: self.interactions,
+                };
+            }
+        }
+        RunOutcome {
+            converged: false,
+            time: self.time(),
+            interactions: self.interactions,
+        }
+    }
+}
+
+impl<P: CountProtocol> std::fmt::Debug for BatchedCountSim<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchedCountSim")
+            .field("n", &self.n)
+            .field("states", &self.states.len())
+            .field("interactions", &self.interactions)
+            .finish()
+    }
+}
+
+/// Precomputes the birthday-collision survival function
+/// `survival[t] = P(T ≥ t) = ∏_{i<t} (n-2i)(n-2i-1) / (n(n-1))`,
+/// truncated at [`SURVIVAL_CUTOFF`] or at the `⌊n/2⌋` boundary. Returns the
+/// table and whether the boundary was reached.
+fn collision_survival(n: u64) -> (Vec<f64>, bool) {
+    let denom = (n as f64) * ((n - 1) as f64);
+    let mut table = vec![1.0f64];
+    let mut f = 1.0f64;
+    let mut t = 0u64;
+    loop {
+        let remaining = n - 2 * t;
+        if remaining < 2 {
+            return (table, true);
+        }
+        f *= (remaining as f64) * ((remaining - 1) as f64) / denom;
+        if f <= 0.0 {
+            return (table, true);
+        }
+        table.push(f);
+        t += 1;
+        if f < SURVIVAL_CUTOFF {
+            return (table, false);
+        }
+    }
+}
+
+/// Draws `draws` items without replacement from the slot-count pool `src`
+/// (total mass `src_total`), adding the drawn counts to `dst` and removing
+/// them from `src`. Iterated conditional hypergeometric — exact.
+fn draw_without_replacement(
+    src: &mut [u64],
+    src_total: u64,
+    draws: u64,
+    dst: &mut [u64],
+    rng: &mut SimRng,
+) {
+    debug_assert!(draws <= src_total);
+    debug_assert_eq!(src.iter().sum::<u64>(), src_total);
+    let mut remaining_total = src_total;
+    let mut remaining_draws = draws;
+    for i in 0..src.len() {
+        if remaining_draws == 0 {
+            break;
+        }
+        let c = src[i];
+        if c == 0 {
+            continue;
+        }
+        let x = if remaining_total == c {
+            remaining_draws
+        } else {
+            hypergeometric(remaining_total, c, remaining_draws, rng)
+        };
+        dst[i] += x;
+        src[i] -= x;
+        remaining_total -= c;
+        remaining_draws -= x;
+    }
+    debug_assert_eq!(remaining_draws, 0);
+}
+
+/// Maps a uniform index below a slot-count pool's total to its slot.
+#[inline]
+fn draw_one(pool: &[u64], mut index: u64) -> usize {
+    for (i, &c) in pool.iter().enumerate() {
+        if index < c {
+            return i;
+        }
+        index -= c;
+    }
+    unreachable!("draw index exceeded pool total");
+}
+
+/// Draws (and removes) one agent from the batch's combined multiset: the
+/// `touched` slots first, then the state-unchanged senders left in `send`.
+#[inline]
+fn take_from_batch(touched: &mut [u64], send: &mut [u64], mut index: u64) -> usize {
+    for (i, c) in touched.iter_mut().enumerate() {
+        if index < *c {
+            *c -= 1;
+            return i;
+        }
+        index -= *c;
+    }
+    for (i, c) in send.iter_mut().enumerate() {
+        if index < *c {
+            *c -= 1;
+            return i;
+        }
+        index -= *c;
+    }
+    unreachable!("batch draw index exceeded touched + send total");
+}
+
+#[inline]
+fn grow_to(v: &mut Vec<u64>, len: usize) {
+    if v.len() < len {
+        v.resize(len, 0);
+    }
+}
+
+/// Facade choosing between [`CountSim`] and [`BatchedCountSim`].
+///
+/// [`ConfigSim::new`] picks the batched engine when the protocol is
+/// deterministic and the population is large enough for `Θ(√n)` batches to
+/// beat per-interaction simulation; everything else falls back to the
+/// sequential engine with identical semantics. Call sites hold a single
+/// type either way:
+///
+/// ```
+/// use pp_engine::batch::ConfigSim;
+/// use pp_engine::count_sim::CountConfiguration;
+/// use pp_engine::epidemic::InfectionEpidemic;
+///
+/// let config = CountConfiguration::from_pairs([(false, 99_999), (true, 1)]);
+/// let mut sim = ConfigSim::new(InfectionEpidemic, config, 7);
+/// assert!(sim.is_batched());
+/// let out = sim.run_until(|c| c.count(&true) == 100_000, 10_000, f64::MAX);
+/// assert!(out.converged);
+/// ```
+pub enum ConfigSim<P: CountProtocol> {
+    /// Per-interaction simulation ([`CountSim`]).
+    Sequential(CountSim<P>),
+    /// Batched simulation ([`BatchedCountSim`]).
+    Batched(BatchedCountSim<P>),
+}
+
+impl<P: CountProtocol> ConfigSim<P> {
+    /// Populations at least this large use the batched engine (when the
+    /// protocol allows). Below it, batches of `Θ(√n)` interactions are too
+    /// short to amortize their `O(k²)` sampling overhead.
+    pub const BATCH_THRESHOLD: u64 = 4096;
+
+    /// Chooses the fastest correct engine for this protocol and population.
+    pub fn new(protocol: P, config: CountConfiguration<P::State>, seed: u64) -> Self {
+        if protocol.is_deterministic() && config.population_size() >= Self::BATCH_THRESHOLD {
+            Self::Batched(BatchedCountSim::new(protocol, config, seed))
+        } else {
+            Self::Sequential(CountSim::new(protocol, config, seed))
+        }
+    }
+
+    /// Forces the sequential engine.
+    pub fn sequential(protocol: P, config: CountConfiguration<P::State>, seed: u64) -> Self {
+        Self::Sequential(CountSim::new(protocol, config, seed))
+    }
+
+    /// Forces the batched engine (panics for randomized protocols).
+    pub fn batched(protocol: P, config: CountConfiguration<P::State>, seed: u64) -> Self {
+        Self::Batched(BatchedCountSim::new(protocol, config, seed))
+    }
+
+    /// Whether the batched engine is active.
+    pub fn is_batched(&self) -> bool {
+        matches!(self, Self::Batched(_))
+    }
+
+    /// Population size.
+    pub fn population_size(&self) -> u64 {
+        match self {
+            Self::Sequential(s) => s.population_size(),
+            Self::Batched(b) => b.population_size(),
+        }
+    }
+
+    /// Parallel time elapsed.
+    pub fn time(&self) -> f64 {
+        match self {
+            Self::Sequential(s) => s.time(),
+            Self::Batched(b) => b.time(),
+        }
+    }
+
+    /// Total interactions executed.
+    pub fn interactions(&self) -> u64 {
+        match self {
+            Self::Sequential(s) => s.interactions(),
+            Self::Batched(b) => b.interactions(),
+        }
+    }
+
+    /// Count of agents currently in `state`.
+    pub fn count(&self, state: &P::State) -> u64 {
+        match self {
+            Self::Sequential(s) => s.config().count(state),
+            Self::Batched(b) => b.count(state),
+        }
+    }
+
+    /// Materializes the current configuration.
+    pub fn config_view(&self) -> CountConfiguration<P::State> {
+        match self {
+            Self::Sequential(s) => s.config().clone(),
+            Self::Batched(b) => b.config_view(),
+        }
+    }
+
+    /// Executes (at least) `k` interactions; the batched engine lands
+    /// exactly on `k` via batch truncation.
+    pub fn steps(&mut self, k: u64) {
+        match self {
+            Self::Sequential(s) => s.steps(k),
+            Self::Batched(b) => b.steps(k),
+        }
+    }
+
+    /// Runs for `t` units of parallel time.
+    pub fn run_for_time(&mut self, t: f64) {
+        match self {
+            Self::Sequential(s) => s.run_for_time(t),
+            Self::Batched(b) => b.run_for_time(t),
+        }
+    }
+
+    /// Runs until `predicate(config)` holds, checking every `check_every`
+    /// interactions, within a parallel-time budget.
+    pub fn run_until(
+        &mut self,
+        predicate: impl FnMut(&CountConfiguration<P::State>) -> bool,
+        check_every: u64,
+        max_time: f64,
+    ) -> RunOutcome {
+        match self {
+            Self::Sequential(s) => s.run_until(predicate, check_every, max_time),
+            Self::Batched(b) => b.run_until(predicate, check_every, max_time),
+        }
+    }
+}
+
+impl<P: CountProtocol> std::fmt::Debug for ConfigSim<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Sequential(s) => f.debug_tuple("ConfigSim::Sequential").field(s).finish(),
+            Self::Batched(b) => f.debug_tuple("ConfigSim::Batched").field(b).finish(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One-way infection epidemic (deterministic).
+    #[derive(Clone, Copy)]
+    struct Infection;
+
+    impl DeterministicCountProtocol for Infection {
+        type State = u8;
+
+        fn transition_det(&self, rec: u8, sen: u8) -> (u8, u8) {
+            (rec.max(sen), sen)
+        }
+    }
+
+    /// Pairwise annihilation: 1 + 2 -> 0 + 0 (checks transitions that shrink
+    /// the support and discover a state absent from the initial config).
+    #[derive(Clone, Copy)]
+    struct Annihilate;
+
+    impl DeterministicCountProtocol for Annihilate {
+        type State = u8;
+
+        fn transition_det(&self, rec: u8, sen: u8) -> (u8, u8) {
+            if (rec == 1 && sen == 2) || (rec == 2 && sen == 1) {
+                (0, 0)
+            } else {
+                (rec, sen)
+            }
+        }
+    }
+
+    #[test]
+    fn survival_table_is_decreasing_from_one() {
+        let (table, boundary) = collision_survival(10_000);
+        assert_eq!(table[0], 1.0);
+        assert_eq!(table[1], 1.0); // first interaction can never collide
+        for w in table.windows(2) {
+            assert!(w[1] <= w[0]);
+        }
+        assert!(!boundary);
+        // E[T] ≈ √(πn/8) ≈ 62.7 at n = 10⁴; the table must comfortably
+        // cover the bulk of the distribution.
+        assert!(table.len() > 300, "table too short: {}", table.len());
+    }
+
+    #[test]
+    fn survival_table_small_population_hits_boundary() {
+        let (table, boundary) = collision_survival(4);
+        // t can be 0, 1, or 2 (all 4 agents drawn); beyond that a repeat is
+        // certain.
+        assert!(boundary);
+        assert_eq!(table.len(), 3);
+        assert!((table[2] - 2.0 / 12.0).abs() < 1e-12); // 4!/ (4·3)² = 1/6
+    }
+
+    #[test]
+    fn batch_lengths_match_birthday_distribution() {
+        let n = 10_000u64;
+        let config = CountConfiguration::from_pairs([(0u8, n)]);
+        let mut sim = BatchedCountSim::new(Infection, config, 11);
+        let trials = 20_000;
+        let mean: f64 = (0..trials)
+            .map(|_| sim.sample_batch_len() as f64)
+            .sum::<f64>()
+            / trials as f64;
+        // E[T] = Σ_{t≥1} P(T ≥ t); compute from the table directly.
+        let expect: f64 = sim.survival.iter().skip(1).sum();
+        let sd = (expect).sqrt(); // rough scale; T has σ ≈ 0.5 E[T]
+        assert!(
+            (mean - expect).abs() < 3.0 * sd * (trials as f64).sqrt().recip() * 60.0,
+            "mean batch length {mean} vs expected {expect}"
+        );
+    }
+
+    #[test]
+    fn population_is_conserved_across_batches() {
+        let config = CountConfiguration::from_pairs([(0u8, 9_000), (1u8, 1_000)]);
+        let mut sim = BatchedCountSim::new(Infection, config, 3);
+        for _ in 0..50 {
+            sim.run_batch(u64::MAX);
+            let total: u64 = sim.counts.iter().sum();
+            assert_eq!(total, 10_000);
+        }
+        assert!(sim.interactions() > 0);
+    }
+
+    #[test]
+    fn batched_epidemic_infects_everyone() {
+        let n = 100_000u64;
+        let config = CountConfiguration::from_pairs([(0u8, n - 1), (1u8, 1)]);
+        let mut sim = BatchedCountSim::new(Infection, config, 5);
+        let out = sim.run_until(|c| c.count(&1) == n, n / 10, 200.0);
+        assert!(out.converged);
+        // Epidemic completes in ~2 ln n ≈ 23 parallel time.
+        assert!(out.time > 5.0 && out.time < 60.0, "time {}", out.time);
+    }
+
+    #[test]
+    fn batched_is_deterministic_given_seed() {
+        let run = |seed| {
+            let config = CountConfiguration::from_pairs([(0u8, 49_999), (1u8, 1)]);
+            let mut sim = BatchedCountSim::new(Infection, config, seed);
+            sim.run_until(|c| c.count(&1) == 50_000, 1_000, 100.0)
+                .interactions
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn steps_lands_exactly_on_target() {
+        let config = CountConfiguration::from_pairs([(0u8, 99_999), (1u8, 1)]);
+        let mut sim = BatchedCountSim::new(Infection, config, 9);
+        sim.steps(12_345);
+        assert_eq!(sim.interactions(), 12_345);
+        sim.steps(1);
+        assert_eq!(sim.interactions(), 12_346);
+    }
+
+    #[test]
+    fn transitions_discover_new_states() {
+        // Start without any state-0 agents; annihilation must discover 0.
+        let config = CountConfiguration::from_pairs([(1u8, 5_000), (2u8, 5_000)]);
+        let mut sim = BatchedCountSim::new(Annihilate, config, 17);
+        sim.steps(200_000);
+        let zeros = sim.count(&0);
+        assert!(zeros > 0, "annihilation never fired");
+        assert_eq!(zeros + sim.count(&1) + sim.count(&2), 10_000);
+        // Difference |#1 - #2| is invariant (they annihilate in pairs).
+        assert_eq!(sim.count(&1), sim.count(&2));
+    }
+
+    #[test]
+    fn tiny_population_batches_correctly() {
+        // n = 2: every batch is one bulk interaction plus a collision.
+        let config = CountConfiguration::from_pairs([(0u8, 1), (1u8, 1)]);
+        let mut sim = BatchedCountSim::new(Infection, config, 23);
+        sim.steps(100);
+        assert_eq!(sim.interactions(), 100);
+        assert_eq!(sim.count(&1), 2, "max-epidemic must spread to both agents");
+    }
+
+    #[test]
+    fn facade_dispatches_on_size_and_determinism() {
+        let big = CountConfiguration::from_pairs([(0u8, ConfigSim::<Infection>::BATCH_THRESHOLD)]);
+        assert!(ConfigSim::new(Infection, big, 1).is_batched());
+        let small = CountConfiguration::from_pairs([(0u8, 100)]);
+        assert!(!ConfigSim::new(Infection, small, 1).is_batched());
+
+        /// Randomized protocol: must never select the batched engine.
+        struct Lazy;
+        impl CountProtocol for Lazy {
+            type State = u8;
+            fn transition(&self, rec: u8, sen: u8, rng: &mut SimRng) -> (u8, u8) {
+                if rng.gen::<bool>() {
+                    (sen, sen)
+                } else {
+                    (rec, sen)
+                }
+            }
+        }
+        let big = CountConfiguration::from_pairs([(0u8, 1_000_000)]);
+        assert!(!ConfigSim::new(Lazy, big, 1).is_batched());
+    }
+
+    #[test]
+    #[should_panic(expected = "deterministic")]
+    fn batched_rejects_randomized_protocols() {
+        struct Lazy;
+        impl CountProtocol for Lazy {
+            type State = u8;
+            fn transition(&self, rec: u8, sen: u8, _rng: &mut SimRng) -> (u8, u8) {
+                (rec, sen)
+            }
+        }
+        let config = CountConfiguration::from_pairs([(0u8, 100)]);
+        let _ = BatchedCountSim::new(Lazy, config, 1);
+    }
+
+    #[test]
+    fn facade_run_until_matches_sequential_semantics() {
+        let n = 50_000u64;
+        let config = CountConfiguration::from_pairs([(0u8, n - 1), (1u8, 1)]);
+        let mut sim = ConfigSim::new(Infection, config, 31);
+        assert!(sim.is_batched());
+        let out = sim.run_until(|c| c.count(&1) == n, n / 10, 500.0);
+        assert!(out.converged);
+        assert_eq!(sim.count(&1), n);
+        assert_eq!(sim.config_view().population_size(), n);
+        // Already-converged predicate returns immediately.
+        let out2 = sim.run_until(|c| c.count(&1) == n, 1, 1.0);
+        assert!(out2.converged);
+        assert_eq!(out2.interactions, out.interactions);
+    }
+}

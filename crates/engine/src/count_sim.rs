@@ -12,6 +12,18 @@
 //! uniformly; since agents in the same state are interchangeable, drawing a
 //! pair of *states* weighted by counts (without replacement) is an identical
 //! distribution.
+//!
+//! ## Hot-path layout
+//!
+//! [`CountConfiguration`] stores counts in flat slot-indexed arrays (state
+//! table, count vector, and a lazily rebuilt cumulative-weight array) with a
+//! `BTreeMap` only for state→slot lookup. One interaction costs a single RNG
+//! draw mapped to an ordered agent pair plus two binary searches over the
+//! cumulative array; the array is rebuilt only when counts actually changed
+//! since the last draw, so no-op transitions (the common case late in most
+//! runs, e.g. infected→infected epidemic interactions) draw in `O(log k)`
+//! with zero mutation cost. For asymptotically faster simulation at large
+//! `n`, see [`crate::batch`].
 
 use std::collections::BTreeMap;
 
@@ -34,6 +46,15 @@ pub trait CountProtocol {
         sen: Self::State,
         rng: &mut SimRng,
     ) -> (Self::State, Self::State);
+
+    /// Whether [`CountProtocol::transition`] is a pure function of the two
+    /// states (never reads the RNG). Deterministic protocols are eligible
+    /// for the batched simulator ([`crate::batch::BatchedCountSim`]); the
+    /// [`crate::batch::DeterministicCountProtocol`] blanket impl reports
+    /// `true` automatically.
+    fn is_deterministic(&self) -> bool {
+        false
+    }
 }
 
 /// A configuration: a multiset of states with total count `n`.
@@ -47,18 +68,36 @@ pub trait CountProtocol {
 /// assert!(c.is_dense(0.4));   // every present state holds ≥ 40% of agents
 /// assert!(!c.is_dense(0.5));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Clone)]
 pub struct CountConfiguration<S: Copy + Ord> {
-    counts: BTreeMap<S, u64>,
+    /// Slot-indexed state table (insertion order; slots are never removed,
+    /// counts may drop to zero).
+    states: Vec<S>,
+    /// Slot-indexed counts.
+    counts: Vec<u64>,
+    /// State → slot lookup.
+    index: BTreeMap<S, usize>,
+    /// Total number of agents.
     total: u64,
+    /// Number of slots with positive count (the support size).
+    occupied: usize,
+    /// Inclusive prefix sums of `counts`; valid only when `!cum_dirty`.
+    cum: Vec<u64>,
+    /// Whether `cum` must be rebuilt before the next weighted draw.
+    cum_dirty: bool,
 }
 
 impl<S: Copy + Ord + std::fmt::Debug> CountConfiguration<S> {
     /// Creates an empty configuration.
     pub fn new() -> Self {
         Self {
-            counts: BTreeMap::new(),
+            states: Vec::new(),
+            counts: Vec::new(),
+            index: BTreeMap::new(),
             total: 0,
+            occupied: 0,
+            cum: Vec::new(),
+            cum_dirty: true,
         }
     }
 
@@ -71,12 +110,16 @@ impl<S: Copy + Ord + std::fmt::Debug> CountConfiguration<S> {
         let mut c = Self::new();
         for (s, k) in pairs {
             assert!(
-                c.counts.insert(s, k).is_none(),
+                !c.index.contains_key(&s),
                 "duplicate state {s:?} in configuration"
             );
+            let slot = c.register(s);
+            c.counts[slot] = k;
+            if k > 0 {
+                c.occupied += 1;
+            }
             c.total += k;
         }
-        c.prune();
         c
     }
 
@@ -85,8 +128,17 @@ impl<S: Copy + Ord + std::fmt::Debug> CountConfiguration<S> {
         Self::from_pairs([(state, n)])
     }
 
-    fn prune(&mut self) {
-        self.counts.retain(|_, &mut k| k > 0);
+    /// Returns the slot for `state`, creating one if needed.
+    fn register(&mut self, state: S) -> usize {
+        if let Some(&slot) = self.index.get(&state) {
+            return slot;
+        }
+        let slot = self.states.len();
+        self.states.push(state);
+        self.counts.push(0);
+        self.index.insert(state, slot);
+        self.cum_dirty = true;
+        slot
     }
 
     /// Total number of agents.
@@ -96,17 +148,21 @@ impl<S: Copy + Ord + std::fmt::Debug> CountConfiguration<S> {
 
     /// Count of a particular state (0 if absent).
     pub fn count(&self, state: &S) -> u64 {
-        self.counts.get(state).copied().unwrap_or(0)
+        self.index.get(state).map_or(0, |&slot| self.counts[slot])
     }
 
     /// Number of distinct states present.
     pub fn support_size(&self) -> usize {
-        self.counts.len()
+        self.occupied
     }
 
-    /// Iterates over `(state, count)` pairs with positive count.
+    /// Iterates over `(state, count)` pairs with positive count, in state
+    /// order.
     pub fn iter(&self) -> impl Iterator<Item = (&S, &u64)> {
-        self.counts.iter()
+        self.index.iter().filter_map(|(s, &slot)| {
+            let c = &self.counts[slot];
+            (*c > 0).then_some((s, c))
+        })
     }
 
     /// Adds `k` agents in `state`.
@@ -114,8 +170,13 @@ impl<S: Copy + Ord + std::fmt::Debug> CountConfiguration<S> {
         if k == 0 {
             return;
         }
-        *self.counts.entry(state).or_insert(0) += k;
+        let slot = self.register(state);
+        if self.counts[slot] == 0 {
+            self.occupied += 1;
+        }
+        self.counts[slot] += k;
         self.total += k;
+        self.cum_dirty = true;
     }
 
     /// Removes `k` agents in `state`.
@@ -127,16 +188,18 @@ impl<S: Copy + Ord + std::fmt::Debug> CountConfiguration<S> {
         if k == 0 {
             return;
         }
-        let c = self
-            .counts
-            .get_mut(&state)
-            .unwrap_or_else(|| panic!("removing {k} of absent state {state:?}"));
-        assert!(*c >= k, "removing {k} of state {state:?} with count {c}");
-        *c -= k;
-        if *c == 0 {
-            self.counts.remove(&state);
+        let slot = match self.index.get(&state) {
+            Some(&slot) if self.counts[slot] > 0 => slot,
+            _ => panic!("removing {k} of absent state {state:?}"),
+        };
+        let c = self.counts[slot];
+        assert!(c >= k, "removing {k} of state {state:?} with count {c}");
+        self.counts[slot] = c - k;
+        if c == k {
+            self.occupied -= 1;
         }
         self.total -= k;
+        self.cum_dirty = true;
     }
 
     /// True if every present state has count at least `alpha * n`.
@@ -145,26 +208,102 @@ impl<S: Copy + Ord + std::fmt::Debug> CountConfiguration<S> {
     /// state present occupies at least an α fraction of the population.
     pub fn is_dense(&self, alpha: f64) -> bool {
         let threshold = alpha * self.total as f64;
-        self.counts.values().all(|&k| k as f64 >= threshold)
+        self.counts.iter().all(|&k| k == 0 || k as f64 >= threshold)
     }
 
-    /// Samples one agent uniformly (returns its state) without removing it.
-    fn sample(&self, rng: &mut impl Rng) -> S {
-        debug_assert!(self.total > 0);
-        let mut u = rng.gen_range(0..self.total);
-        for (&s, &k) in &self.counts {
-            if u < k {
-                return s;
-            }
-            u -= k;
+    /// Rebuilds the cumulative-weight array if counts changed since the last
+    /// weighted draw.
+    fn ensure_cum(&mut self) {
+        if !self.cum_dirty {
+            return;
         }
-        unreachable!("sample index exceeded total count")
+        self.cum.clear();
+        let mut acc = 0u64;
+        self.cum.extend(self.counts.iter().map(|&c| {
+            acc += c;
+            acc
+        }));
+        self.cum_dirty = false;
+    }
+
+    /// Maps a uniform agent index in `0..total` to its slot via binary
+    /// search over the cumulative array (which must be current).
+    #[inline]
+    fn slot_of_agent(&self, agent: u64) -> usize {
+        debug_assert!(!self.cum_dirty && agent < self.total);
+        self.cum.partition_point(|&c| c <= agent)
+    }
+
+    /// Draws a uniform ordered pair of distinct agents and returns their
+    /// slots `(receiver, sender)` with one RNG draw and two binary searches.
+    ///
+    /// Interpreting `z ∈ [0, n(n-1))` as `(receiver_index, sender_offset)`
+    /// gives every ordered pair of distinct agent indices probability
+    /// exactly `1/(n(n-1))` — the same distribution [`crate::sim::AgentSim`]
+    /// realizes with explicit agents.
+    fn draw_pair_slots(&mut self, rng: &mut SimRng) -> (usize, usize) {
+        let n = self.total;
+        debug_assert!(n >= 2);
+        debug_assert!(
+            n <= u32::MAX as u64,
+            "pair-index arithmetic requires n(n-1) to fit in u64"
+        );
+        self.ensure_cum();
+        let z = rng.gen_range(0..n * (n - 1));
+        let receiver = z / (n - 1);
+        let mut sender = z % (n - 1);
+        if sender >= receiver {
+            sender += 1;
+        }
+        (self.slot_of_agent(receiver), self.slot_of_agent(sender))
+    }
+
+    /// Applies one interaction's state change at the slot level, skipping
+    /// all bookkeeping when the transition was a no-op.
+    fn apply_transition(&mut self, rec_slot: usize, sen_slot: usize, rec2: S, sen2: S) {
+        if self.states[rec_slot] == rec2 && self.states[sen_slot] == sen2 {
+            return;
+        }
+        self.counts[rec_slot] -= 1;
+        if self.counts[rec_slot] == 0 {
+            self.occupied -= 1;
+        }
+        self.counts[sen_slot] -= 1;
+        if self.counts[sen_slot] == 0 {
+            self.occupied -= 1;
+        }
+        self.total -= 2;
+        self.cum_dirty = true;
+        self.add(rec2, 1);
+        self.add(sen2, 1);
     }
 }
 
 impl<S: Copy + Ord + std::fmt::Debug> Default for CountConfiguration<S> {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+impl<S: Copy + Ord + std::fmt::Debug> std::fmt::Debug for CountConfiguration<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_map().entries(self.iter()).finish()
+    }
+}
+
+impl<S: Copy + Ord + std::fmt::Debug> PartialEq for CountConfiguration<S> {
+    /// Configurations are equal when they contain the same multiset of
+    /// states, regardless of internal slot order or zero-count slots.
+    fn eq(&self, other: &Self) -> bool {
+        self.total == other.total && self.occupied == other.occupied && self.iter().eq(other.iter())
+    }
+}
+
+impl<S: Copy + Ord + std::fmt::Debug> Eq for CountConfiguration<S> {}
+
+impl<S: Copy + Ord + std::fmt::Debug> FromIterator<(S, u64)> for CountConfiguration<S> {
+    fn from_iter<I: IntoIterator<Item = (S, u64)>>(iter: I) -> Self {
+        Self::from_pairs(iter)
     }
 }
 
@@ -182,10 +321,16 @@ impl<P: CountProtocol> CountSim<P> {
     ///
     /// # Panics
     ///
-    /// Panics if the configuration has fewer than 2 agents.
+    /// Panics if the configuration has fewer than 2 or more than
+    /// `u32::MAX` agents (the single-draw ordered-pair sampling needs
+    /// `n(n-1)` to fit in a `u64`).
     pub fn new(protocol: P, config: CountConfiguration<P::State>, seed: u64) -> Self {
         let n = config.population_size();
         assert!(n >= 2, "population must have at least 2 agents, got {n}");
+        assert!(
+            n <= u32::MAX as u64,
+            "pair-index arithmetic requires n(n-1) to fit in u64, got n = {n}"
+        );
         Self {
             protocol,
             config,
@@ -224,15 +369,11 @@ impl<P: CountProtocol> CountSim<P> {
     /// `(rec, sen, rec', sen')` — used by the Theorem 4.1 witness
     /// extraction, which needs the actual transitions of an execution.
     pub fn step_observed(&mut self) -> (P::State, P::State, P::State, P::State) {
-        // Draw the receiver, remove it, draw the sender from the remaining
-        // n-1 agents: exactly the uniform ordered-pair distribution.
-        let rec = self.config.sample(&mut self.rng);
-        self.config.remove(rec, 1);
-        let sen = self.config.sample(&mut self.rng);
-        self.config.remove(sen, 1);
+        let (rec_slot, sen_slot) = self.config.draw_pair_slots(&mut self.rng);
+        let rec = self.config.states[rec_slot];
+        let sen = self.config.states[sen_slot];
         let (rec2, sen2) = self.protocol.transition(rec, sen, &mut self.rng);
-        self.config.add(rec2, 1);
-        self.config.add(sen2, 1);
+        self.config.apply_transition(rec_slot, sen_slot, rec2, sen2);
         self.interactions += 1;
         (rec, sen, rec2, sen2)
     }
@@ -325,10 +466,32 @@ mod tests {
     }
 
     #[test]
+    fn zeroed_slots_behave_like_absent_states() {
+        let mut c = CountConfiguration::from_pairs([(0u8, 5), (1u8, 3)]);
+        c.remove(0, 5);
+        // The zeroed slot is invisible to iteration, equality, and density.
+        assert_eq!(c.iter().count(), 1);
+        assert_eq!(c, CountConfiguration::from_pairs([(1u8, 3)]));
+        assert!(c.is_dense(1.0));
+        // Re-adding reuses the slot and restores visibility.
+        c.add(0, 2);
+        assert_eq!(c.count(&0), 2);
+        assert_eq!(c.support_size(), 2);
+    }
+
+    #[test]
     #[should_panic(expected = "removing")]
     fn remove_too_many_panics() {
         let mut c = CountConfiguration::from_pairs([(0u8, 2)]);
         c.remove(0, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "removing")]
+    fn remove_from_zeroed_slot_panics() {
+        let mut c = CountConfiguration::from_pairs([(0u8, 2), (1u8, 1)]);
+        c.remove(0, 2);
+        c.remove(0, 1);
     }
 
     #[test]
@@ -345,6 +508,33 @@ mod tests {
         let d = CountConfiguration::from_pairs([(0u8, 99), (1u8, 1)]);
         assert!(!d.is_dense(0.1));
         assert!(d.is_dense(0.01));
+    }
+
+    #[test]
+    fn pair_draws_are_uniform_over_ordered_state_pairs() {
+        // 3 states with counts 2/3/5: the ordered state-pair distribution
+        // must match P[(a, b)] = c_a (c_b - [a = b]) / (n (n - 1)).
+        let mut config = CountConfiguration::from_pairs([(0u8, 2), (1u8, 3), (2u8, 5)]);
+        let mut rng = rng_from_seed(42);
+        let n = 10f64;
+        let trials = 300_000;
+        let mut counts = [[0u64; 3]; 3];
+        for _ in 0..trials {
+            let (r, s) = config.draw_pair_slots(&mut rng);
+            counts[r][s] += 1;
+        }
+        let c = [2f64, 3.0, 5.0];
+        for a in 0..3 {
+            for b in 0..3 {
+                let same = if a == b { 1.0 } else { 0.0 };
+                let p = c[a] * (c[b] - same) / (n * (n - 1.0));
+                let observed = counts[a][b] as f64 / trials as f64;
+                assert!(
+                    (observed - p).abs() < 0.01,
+                    "pair ({a},{b}): observed {observed}, expected {p}"
+                );
+            }
+        }
     }
 
     #[test]
@@ -394,7 +584,8 @@ mod tests {
         let run = |seed| {
             let config = CountConfiguration::from_pairs([(0u8, 99), (1u8, 1)]);
             let mut sim = CountSim::new(Epidemic, config, seed);
-            sim.run_until(|c| c.count(&1) == 100, 10, 100.0).interactions
+            sim.run_until(|c| c.count(&1) == 100, 10, 100.0)
+                .interactions
         };
         assert_eq!(run(42), run(42));
     }
@@ -419,11 +610,7 @@ mod tests {
         let config = CountConfiguration::from_pairs([(0u8, 50), (1u8, 50)]);
         let mut sim = CountSim::new(LazyCopy, config, 9);
         // Lazy copying is a consensus process; eventually one opinion wins.
-        let out = sim.run_until(
-            |c| c.count(&0) == 100 || c.count(&1) == 100,
-            100,
-            10_000.0,
-        );
+        let out = sim.run_until(|c| c.count(&0) == 100 || c.count(&1) == 100, 100, 10_000.0);
         assert!(out.converged);
     }
 }

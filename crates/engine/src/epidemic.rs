@@ -11,7 +11,8 @@
 //! This module provides the epidemic as a standalone protocol plus direct
 //! measurement helpers used by the `table_epidemic` harness.
 
-use crate::count_sim::{CountConfiguration, CountProtocol, CountSim};
+use crate::batch::{ConfigSim, DeterministicCountProtocol};
+use crate::count_sim::CountConfiguration;
 use crate::protocol::Protocol;
 use crate::rng::SimRng;
 
@@ -43,10 +44,10 @@ impl Protocol for MaxEpidemic {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct InfectionEpidemic;
 
-impl CountProtocol for InfectionEpidemic {
+impl DeterministicCountProtocol for InfectionEpidemic {
     type State = bool;
 
-    fn transition(&self, rec: bool, sen: bool, _rng: &mut SimRng) -> (bool, bool) {
+    fn transition_det(&self, rec: bool, sen: bool) -> (bool, bool) {
         (rec || sen, sen)
     }
 }
@@ -55,11 +56,13 @@ impl CountProtocol for InfectionEpidemic {
 /// infected agent to reach all `n` agents.
 ///
 /// Returns the completion time. Lemma A.1 gives
-/// `E[T] = (n-1)/n * H_{n-1} ~ ln n`.
+/// `E[T] = (n-1)/n * H_{n-1} ~ ln n`. Runs on the batched engine at large
+/// `n` (the protocol is deterministic), so `n = 10⁷` completes in
+/// milliseconds.
 pub fn epidemic_completion_time(n: u64, seed: u64) -> f64 {
     assert!(n >= 2);
     let config = CountConfiguration::from_pairs([(false, n - 1), (true, 1)]);
-    let mut sim = CountSim::new(InfectionEpidemic, config, seed);
+    let mut sim = ConfigSim::new(InfectionEpidemic, config, seed);
     let out = sim.run_until(|c| c.count(&true) == n, (n / 10).max(1), f64::MAX);
     debug_assert!(out.converged);
     out.time
@@ -82,10 +85,10 @@ pub struct SubState {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SubpopulationEpidemic;
 
-impl CountProtocol for SubpopulationEpidemic {
+impl DeterministicCountProtocol for SubpopulationEpidemic {
     type State = SubState;
 
-    fn transition(&self, rec: SubState, sen: SubState, _rng: &mut SimRng) -> (SubState, SubState) {
+    fn transition_det(&self, rec: SubState, sen: SubState) -> (SubState, SubState) {
         if rec.member && sen.member && sen.infected {
             (
                 SubState {
@@ -117,17 +120,10 @@ pub fn subpopulation_epidemic_time(n: u64, a: u64, seed: u64) -> f64 {
         member: false,
         infected: false,
     };
-    let config = CountConfiguration::from_pairs([
-        (member_inf, 1),
-        (member_sus, a - 1),
-        (outsider, n - a),
-    ]);
-    let mut sim = CountSim::new(SubpopulationEpidemic, config, seed);
-    let out = sim.run_until(
-        |c| c.count(&member_inf) == a,
-        (n / 10).max(1),
-        f64::MAX,
-    );
+    let config =
+        CountConfiguration::from_pairs([(member_inf, 1), (member_sus, a - 1), (outsider, n - a)]);
+    let mut sim = ConfigSim::new(SubpopulationEpidemic, config, seed);
+    let out = sim.run_until(|c| c.count(&member_inf) == a, (n / 10).max(1), f64::MAX);
     debug_assert!(out.converged);
     out.time
 }

@@ -10,7 +10,7 @@
 //! transition algorithm. *Parallel time* is the number of interactions divided
 //! by `n`.
 //!
-//! The crate provides two complementary simulators:
+//! The crate provides three complementary simulators:
 //!
 //! * [`sim::AgentSim`] — stores one state struct per agent. This is the
 //!   workhorse for the paper's protocols, whose per-agent state is a record of
@@ -20,10 +20,34 @@
 //!   space and lets experiments scale to millions of agents; it is used for
 //!   epidemics, the slow exact backup counter, and the density experiments of
 //!   Theorem 4.1.
+//! * [`batch::BatchedCountSim`] — the batched configuration simulator
+//!   (Berenbrink et al., ESA 2020; the engine inside `ppsim`). For
+//!   *deterministic* protocols it samples `Θ(√n)` interactions at a time:
+//!   the batch's state-count splits come from conditional hypergeometric
+//!   draws and transitions are applied as bulk count deltas through a dense
+//!   transition table, so amortized cost per interaction is `o(1)` — batches
+//!   get relatively cheaper as `n` grows. When the configuration goes
+//!   null-dominated (epidemic tails, converged runs) it switches to a
+//!   Gillespie-style skip mode that advances whole geometric runs of no-op
+//!   interactions in O(1). At `n = 10⁶`–`10⁷` the combination is tens to
+//!   hundreds of times faster than `CountSim` on the paper's `Θ(log n)`-time
+//!   experiments (see `BENCH_batch.json`) and is what makes the `log log n`
+//!   convergence bands observable at realistic population sizes.
 //!
-//! Both simulators draw interactions from the same [`scheduler`] abstraction,
+//! Use the [`batch::ConfigSim`] facade to get the right engine
+//! automatically: batched when the protocol implements
+//! [`batch::DeterministicCountProtocol`] and the population is at least
+//! [`batch::ConfigSim::BATCH_THRESHOLD`], sequential otherwise (randomized
+//! transitions need per-interaction randomness and always run
+//! sequentially). Both engines realize exactly the same stochastic process —
+//! the repository's statistical-equivalence suite
+//! (`tests/batched_equivalence.rs`) holds them to that.
+//!
+//! All simulators draw interactions from the same [`scheduler`] abstraction,
 //! are deterministic given a `u64` seed, and report time in parallel-time
-//! units. [`runner`] fans independent trials out over threads.
+//! units. [`runner`] fans independent trials out over threads; [`rng`]
+//! additionally provides the exact bulk samplers (binomial, hypergeometric,
+//! multivariate splits) the batched engine is built on.
 //!
 //! ## Example: a one-way epidemic
 //!
@@ -68,6 +92,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod count_sim;
 pub mod epidemic;
 pub mod protocol;
@@ -77,6 +102,7 @@ pub mod runner;
 pub mod scheduler;
 pub mod sim;
 
+pub use batch::{BatchedCountSim, ConfigSim, DeterministicCountProtocol};
 pub use count_sim::{CountConfiguration, CountProtocol, CountSim};
 pub use protocol::{Protocol, SeededInit};
 pub use record::{Trace, TracePoint};

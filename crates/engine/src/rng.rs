@@ -68,13 +68,287 @@ pub fn geometric(p: f64, rng: &mut impl Rng) -> u64 {
         return 1;
     }
     // Inversion method: ceil(ln U / ln(1-p)) is geometric on {1, 2, ...}.
+    // ln_1p keeps the denominator accurate for tiny p, where computing
+    // (1.0 - p).ln() would round to 0 and overflow the run length.
     let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
-    let g = (u.ln() / (1.0 - p).ln()).ceil();
+    let g = (u.ln() / (-p).ln_1p()).ceil();
     if g < 1.0 {
         1
     } else {
         g as u64
     }
+}
+
+/// Natural log of the gamma function for `x > 0` (Lanczos approximation,
+/// `g = 7`, 9 coefficients; relative error below `1e-13` over the range the
+/// samplers use).
+///
+/// Drives the log-binomial-coefficient computations of the bulk samplers
+/// below and the batched simulator's birthday-collision CDF.
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma requires x > 0, got {x}");
+    const G: f64 = 7.0;
+    #[allow(clippy::excessive_precision)] // published Lanczos constants, kept verbatim
+    const COEFFS: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_59,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_571_6e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula keeps the series in its accurate range.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let z = x - 1.0;
+    let mut sum = COEFFS[0];
+    for (i, &c) in COEFFS.iter().enumerate().skip(1) {
+        sum += c / (z + i as f64);
+    }
+    let base = z + G + 0.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (z + 0.5) * base.ln() - base + sum.ln()
+}
+
+/// Entries below this are served from the precomputed `ln k!` table; larger
+/// arguments use the Stirling series (whose error is far below f64 epsilon
+/// by then).
+const LN_FACT_TABLE_SIZE: usize = 4096;
+
+/// Lazily built table of `ln k!` for `k < LN_FACT_TABLE_SIZE`, each entry
+/// computed independently with [`ln_gamma`] so no rounding error accumulates.
+static LN_FACT: std::sync::OnceLock<Vec<f64>> = std::sync::OnceLock::new();
+
+#[inline]
+fn ln_fact_table() -> &'static [f64] {
+    LN_FACT.get_or_init(|| {
+        (0..LN_FACT_TABLE_SIZE)
+            .map(|k| ln_gamma(k as f64 + 1.0))
+            .collect()
+    })
+}
+
+/// `ln k!` in O(1): table lookup below 4096, Stirling series above.
+///
+/// This is the hot scalar under every batched-simulator hypergeometric draw
+/// (9 evaluations per pmf-at-mode), so it avoids the full Lanczos sum: the
+/// Stirling tail `1/(12x) - 1/(360x³)` already has relative error below
+/// `1e-16` for `x ≥ 4096`.
+#[inline]
+pub fn ln_factorial(k: u64) -> f64 {
+    let table = ln_fact_table();
+    if (k as usize) < table.len() {
+        table[k as usize]
+    } else {
+        const HALF_LN_TWO_PI: f64 = 0.918_938_533_204_672_7;
+        let x = k as f64 + 1.0;
+        let inv = 1.0 / x;
+        let inv2 = inv * inv;
+        (x - 0.5) * x.ln() - x + HALF_LN_TWO_PI + inv * (1.0 / 12.0 - inv2 * (1.0 / 360.0))
+    }
+}
+
+/// `ln C(n, k)`: log binomial coefficient.
+#[inline]
+fn ln_choose(n: u64, k: u64) -> f64 {
+    debug_assert!(k <= n);
+    ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+}
+
+/// Shared two-sided "chop-down from the mode" inversion.
+///
+/// Given the pmf value at the mode and multiplicative ratios
+/// `pmf(x+1)/pmf(x)` and `pmf(x-1)/pmf(x)`, walks outward from the mode
+/// accumulating probability until the uniform draw `u` is consumed. Expected
+/// work is `O(σ)` of the distribution, and no pmf is ever computed far from
+/// the mode, so nothing underflows even when the support is huge.
+pub(crate) fn chop_down_from_mode(
+    mode: u64,
+    pmf_mode: f64,
+    support: (u64, u64),
+    ratio_up: impl Fn(u64) -> f64,
+    ratio_down: impl Fn(u64) -> f64,
+    u: f64,
+) -> u64 {
+    let (lo_s, hi_s) = support;
+    debug_assert!((lo_s..=hi_s).contains(&mode));
+    let mut acc = pmf_mode;
+    if u < acc {
+        return mode;
+    }
+    let (mut lo, mut hi) = (mode, mode);
+    let (mut p_lo, mut p_hi) = (pmf_mode, pmf_mode);
+    loop {
+        let mut advanced = false;
+        if hi < hi_s {
+            p_hi *= ratio_up(hi);
+            hi += 1;
+            acc += p_hi;
+            if u < acc {
+                return hi;
+            }
+            advanced = true;
+        }
+        if lo > lo_s {
+            p_lo *= ratio_down(lo);
+            lo -= 1;
+            acc += p_lo;
+            if u < acc {
+                return lo;
+            }
+            advanced = true;
+        }
+        if !advanced {
+            // The walk covered the entire support; `u` exceeded the
+            // accumulated mass only through floating-point leakage
+            // (total ≈ 1 - 1e-15). Return the mode as the highest-mass value.
+            return mode;
+        }
+    }
+}
+
+/// Samples `Binomial(n, p)`: successes in `n` independent trials of
+/// probability `p`.
+///
+/// Exact inversion from the mode in `O(√(n p (1-p)))` expected time; no
+/// normal approximation is involved, so small counts are exactly
+/// distributed — the batched simulator relies on this to never oversample a
+/// state's population.
+pub fn binomial(n: u64, p: f64, rng: &mut impl Rng) -> u64 {
+    assert!((0.0..=1.0).contains(&p), "p must be in [0, 1], got {p}");
+    if n == 0 || p == 0.0 {
+        return 0;
+    }
+    if p == 1.0 {
+        return n;
+    }
+    if p > 0.5 {
+        return n - binomial(n, 1.0 - p, rng);
+    }
+    let mode = (((n + 1) as f64) * p) as u64;
+    let mode = mode.min(n);
+    let ln_pmf_mode =
+        ln_choose(n, mode) + mode as f64 * p.ln() + (n - mode) as f64 * (1.0 - p).ln();
+    let odds = p / (1.0 - p);
+    let u: f64 = rng.gen();
+    chop_down_from_mode(
+        mode,
+        ln_pmf_mode.exp(),
+        (0, n),
+        |x| ((n - x) as f64 / (x + 1) as f64) * odds,
+        |x| (x as f64 / (n - x + 1) as f64) / odds,
+        u,
+    )
+}
+
+/// Samples `Hypergeometric(total, successes, draws)`: the number of marked
+/// items among `draws` drawn without replacement from a population of
+/// `total` items of which `successes` are marked.
+///
+/// Exact inversion from the mode, `O(σ)` expected time. This is the
+/// workhorse of the batched simulator: every batch realizes its multivariate
+/// state-count splits as iterated conditional hypergeometric draws.
+pub fn hypergeometric(total: u64, successes: u64, draws: u64, rng: &mut impl Rng) -> u64 {
+    assert!(
+        successes <= total && draws <= total,
+        "hypergeometric parameters out of range: total {total}, successes {successes}, draws {draws}"
+    );
+    // Degenerate corners short-circuit (and keep the mode formula safe).
+    if draws == 0 || successes == 0 {
+        return 0;
+    }
+    if successes == total {
+        return draws;
+    }
+    if draws == total {
+        return successes;
+    }
+    let lo_s = (draws + successes).saturating_sub(total);
+    let hi_s = draws.min(successes);
+    let mode = ((draws + 1) as f64 * (successes + 1) as f64 / (total + 2) as f64) as u64;
+    let mode = mode.clamp(lo_s, hi_s);
+    let ln_pmf_mode = ln_choose(successes, mode) + ln_choose(total - successes, draws - mode)
+        - ln_choose(total, draws);
+    let misses = total - successes;
+    let u: f64 = rng.gen();
+    chop_down_from_mode(
+        mode,
+        ln_pmf_mode.exp(),
+        (lo_s, hi_s),
+        |x| {
+            ((successes - x) as f64 * (draws - x) as f64)
+                / ((x + 1) as f64 * (misses + x + 1 - draws) as f64)
+        },
+        |x| {
+            (x as f64 * (misses + x - draws) as f64)
+                / ((successes - x + 1) as f64 * (draws - x + 1) as f64)
+        },
+        u,
+    )
+}
+
+/// Samples a multivariate hypergeometric split: draws `draws` items without
+/// replacement from classes with sizes `counts` and returns how many came
+/// from each class.
+///
+/// Realized as iterated conditional (univariate) hypergeometric draws — the
+/// standard exact decomposition. Panics if `draws` exceeds the population.
+pub fn multinomial_hypergeometric(counts: &[u64], draws: u64, rng: &mut impl Rng) -> Vec<u64> {
+    let mut remaining_total: u64 = counts.iter().sum();
+    assert!(
+        draws <= remaining_total,
+        "cannot draw {draws} from population of {remaining_total}"
+    );
+    let mut remaining_draws = draws;
+    let mut out = vec![0u64; counts.len()];
+    for (i, &c) in counts.iter().enumerate() {
+        if remaining_draws == 0 {
+            break;
+        }
+        if remaining_total == c {
+            // Only this and later classes remain; the conditional draw over
+            // the final class is deterministic.
+            out[i] = remaining_draws;
+            break;
+        }
+        let x = hypergeometric(remaining_total, c, remaining_draws, rng);
+        out[i] = x;
+        remaining_draws -= x;
+        remaining_total -= c;
+    }
+    out
+}
+
+/// Samples a multinomial split with replacement: `draws` independent trials
+/// over categories with (unnormalized, non-negative) `weights`, realized as
+/// iterated conditional binomial draws.
+pub fn multinomial_conditional(draws: u64, weights: &[f64], rng: &mut impl Rng) -> Vec<u64> {
+    let mut weight_left: f64 = weights.iter().sum();
+    assert!(
+        weight_left > 0.0 && weights.iter().all(|&w| w >= 0.0),
+        "weights must be non-negative with positive sum"
+    );
+    let mut draws_left = draws;
+    let mut out = vec![0u64; weights.len()];
+    for (i, &w) in weights.iter().enumerate() {
+        if draws_left == 0 {
+            break;
+        }
+        if i + 1 == weights.len() {
+            out[i] = draws_left;
+            break;
+        }
+        let p = (w / weight_left).clamp(0.0, 1.0);
+        let x = binomial(draws_left, p, rng);
+        out[i] = x;
+        draws_left -= x;
+        weight_left -= w;
+    }
+    out
 }
 
 #[cfg(test)]
@@ -161,5 +435,210 @@ mod tests {
         for _ in 0..100 {
             assert_eq!(a.gen::<u64>(), b.gen::<u64>());
         }
+    }
+
+    #[test]
+    fn ln_gamma_matches_known_values() {
+        // Γ(1) = Γ(2) = 1, Γ(5) = 24, Γ(0.5) = √π.
+        assert!(ln_gamma(1.0).abs() < 1e-12);
+        assert!(ln_gamma(2.0).abs() < 1e-12);
+        assert!((ln_gamma(5.0) - 24f64.ln()).abs() < 1e-12);
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-12);
+        // ln 100! computed directly.
+        let direct: f64 = (1..=100u64).map(|k| (k as f64).ln()).sum();
+        assert!((ln_gamma(101.0) - direct).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ln_factorial_agrees_with_ln_gamma_across_boundary() {
+        // Spot-check the table region, the Stirling region, and the seam.
+        for k in [
+            0u64, 1, 2, 10, 100, 4094, 4095, 4096, 4097, 100_000, 10_000_000,
+        ] {
+            let exact = ln_gamma(k as f64 + 1.0);
+            let fast = ln_factorial(k);
+            let tol = 1e-11 * exact.abs().max(1.0);
+            assert!(
+                (fast - exact).abs() < tol,
+                "ln {k}! : fast {fast} vs ln_gamma {exact}"
+            );
+        }
+    }
+
+    /// Checks an empirical mean against its exact value within 3σ of the
+    /// sample-mean distribution (σ_mean = sd / √trials).
+    fn assert_mean_within_3_sigma(samples: &[f64], mean: f64, variance: f64, label: &str) {
+        let trials = samples.len() as f64;
+        let empirical = samples.iter().sum::<f64>() / trials;
+        let sigma_mean = (variance / trials).sqrt();
+        assert!(
+            (empirical - mean).abs() < 3.0 * sigma_mean.max(1e-12),
+            "{label}: empirical mean {empirical} vs expected {mean} ± {sigma_mean}"
+        );
+        // Variance sanity: within 20% (loose; 3σ bounds on sample variance
+        // would need fourth moments).
+        if variance > 0.0 {
+            let emp_var = samples
+                .iter()
+                .map(|x| (x - empirical) * (x - empirical))
+                .sum::<f64>()
+                / (trials - 1.0);
+            assert!(
+                (emp_var - variance).abs() < 0.2 * variance,
+                "{label}: empirical var {emp_var} vs expected {variance}"
+            );
+        }
+    }
+
+    #[test]
+    fn binomial_moments() {
+        let mut rng = rng_from_seed(101);
+        let (n, p) = (400u64, 0.3);
+        let samples: Vec<f64> = (0..20_000)
+            .map(|_| binomial(n, p, &mut rng) as f64)
+            .collect();
+        let mean = n as f64 * p;
+        let var = n as f64 * p * (1.0 - p);
+        assert_mean_within_3_sigma(&samples, mean, var, "binomial(400, 0.3)");
+    }
+
+    #[test]
+    fn binomial_high_p_uses_complement() {
+        let mut rng = rng_from_seed(103);
+        let (n, p) = (50u64, 0.9);
+        let samples: Vec<f64> = (0..20_000)
+            .map(|_| binomial(n, p, &mut rng) as f64)
+            .collect();
+        assert_mean_within_3_sigma(
+            &samples,
+            n as f64 * p,
+            n as f64 * p * (1.0 - p),
+            "binomial(50, 0.9)",
+        );
+    }
+
+    #[test]
+    fn binomial_edge_cases() {
+        let mut rng = rng_from_seed(105);
+        assert_eq!(binomial(0, 0.5, &mut rng), 0);
+        assert_eq!(binomial(10, 0.0, &mut rng), 0);
+        assert_eq!(binomial(10, 1.0, &mut rng), 10);
+        for _ in 0..1000 {
+            assert!(binomial(5, 0.5, &mut rng) <= 5);
+        }
+    }
+
+    #[test]
+    fn hypergeometric_moments() {
+        let mut rng = rng_from_seed(107);
+        let (total, successes, draws) = (1_000_000u64, 400_000u64, 900u64);
+        let samples: Vec<f64> = (0..20_000)
+            .map(|_| hypergeometric(total, successes, draws, &mut rng) as f64)
+            .collect();
+        let p = successes as f64 / total as f64;
+        let mean = draws as f64 * p;
+        let fpc = (total - draws) as f64 / (total - 1) as f64;
+        let var = draws as f64 * p * (1.0 - p) * fpc;
+        assert_mean_within_3_sigma(&samples, mean, var, "hypergeometric(1e6, 4e5, 900)");
+    }
+
+    #[test]
+    fn hypergeometric_small_population_moments() {
+        let mut rng = rng_from_seed(109);
+        let (total, successes, draws) = (60u64, 25u64, 40u64);
+        let samples: Vec<f64> = (0..20_000)
+            .map(|_| hypergeometric(total, successes, draws, &mut rng) as f64)
+            .collect();
+        let p = successes as f64 / total as f64;
+        let fpc = (total - draws) as f64 / (total - 1) as f64;
+        assert_mean_within_3_sigma(
+            &samples,
+            draws as f64 * p,
+            draws as f64 * p * (1.0 - p) * fpc,
+            "hypergeometric(60, 25, 40)",
+        );
+    }
+
+    #[test]
+    fn hypergeometric_respects_support() {
+        let mut rng = rng_from_seed(111);
+        for _ in 0..5_000 {
+            // Support is [draws + successes - total, min(draws, successes)] = [5, 10].
+            let x = hypergeometric(20, 15, 10, &mut rng);
+            assert!((5..=10).contains(&x), "out of support: {x}");
+        }
+        assert_eq!(hypergeometric(10, 10, 4, &mut rng), 4);
+        assert_eq!(hypergeometric(10, 4, 10, &mut rng), 4);
+        assert_eq!(hypergeometric(10, 0, 5, &mut rng), 0);
+        assert_eq!(hypergeometric(10, 5, 0, &mut rng), 0);
+    }
+
+    #[test]
+    fn multivariate_hypergeometric_is_conserving_and_unbiased() {
+        let mut rng = rng_from_seed(113);
+        let counts = [500u64, 300, 150, 50];
+        let draws = 200u64;
+        let trials = 20_000;
+        let mut sums = [0f64; 4];
+        for _ in 0..trials {
+            let split = multinomial_hypergeometric(&counts, draws, &mut rng);
+            assert_eq!(split.iter().sum::<u64>(), draws);
+            for (i, &x) in split.iter().enumerate() {
+                assert!(x <= counts[i], "class {i} oversampled: {x}");
+                sums[i] += x as f64;
+            }
+        }
+        let total: u64 = counts.iter().sum();
+        for (i, &c) in counts.iter().enumerate() {
+            let mean = sums[i] / trials as f64;
+            let p = c as f64 / total as f64;
+            let expect = draws as f64 * p;
+            let fpc = (total - draws) as f64 / (total - 1) as f64;
+            let sigma_mean = (draws as f64 * p * (1.0 - p) * fpc / trials as f64).sqrt();
+            assert!(
+                (mean - expect).abs() < 3.0 * sigma_mean,
+                "class {i}: mean {mean} vs {expect} ± {sigma_mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn multinomial_conditional_is_conserving_and_unbiased() {
+        let mut rng = rng_from_seed(115);
+        let weights = [2.0f64, 5.0, 3.0];
+        let draws = 120u64;
+        let trials = 20_000;
+        let mut sums = [0f64; 3];
+        for _ in 0..trials {
+            let split = multinomial_conditional(draws, &weights, &mut rng);
+            assert_eq!(split.iter().sum::<u64>(), draws);
+            for (i, &x) in split.iter().enumerate() {
+                sums[i] += x as f64;
+            }
+        }
+        let wsum: f64 = weights.iter().sum();
+        for (i, &w) in weights.iter().enumerate() {
+            let mean = sums[i] / trials as f64;
+            let p = w / wsum;
+            let expect = draws as f64 * p;
+            let sigma_mean = (draws as f64 * p * (1.0 - p) / trials as f64).sqrt();
+            assert!(
+                (mean - expect).abs() < 3.0 * sigma_mean,
+                "class {i}: mean {mean} vs {expect} ± {sigma_mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn samplers_are_deterministic_given_seed() {
+        let run = |seed| {
+            let mut rng = rng_from_seed(seed);
+            (
+                binomial(1000, 0.25, &mut rng),
+                hypergeometric(10_000, 3_000, 500, &mut rng),
+                multinomial_hypergeometric(&[10, 20, 30], 15, &mut rng),
+            )
+        };
+        assert_eq!(run(9), run(9));
     }
 }

@@ -25,7 +25,11 @@ pub struct TrialOutcome<T> {
 ///
 /// `f` receives `(trial_index, derived_seed)` and returns the trial result.
 /// Results are returned in trial order.
-pub fn run_trials<T>(base_seed: u64, trials: usize, mut f: impl FnMut(usize, u64) -> T) -> Vec<TrialOutcome<T>> {
+pub fn run_trials<T>(
+    base_seed: u64,
+    trials: usize,
+    mut f: impl FnMut(usize, u64) -> T,
+) -> Vec<TrialOutcome<T>> {
     (0..trials)
         .map(|i| {
             let seed = derive_seed(base_seed, i as u64);

@@ -293,10 +293,9 @@ mod tests {
         // this is the fair coin the synthetic-coin construction relies on.
         let mut sim = AgentSim::new(OrderSensitive, 20, 9);
         sim.steps(100_000);
-        let (total_rec, total_sen) = sim
-            .states()
-            .iter()
-            .fold((0u64, 0u64), |acc, s| (acc.0 + s.0 as u64, acc.1 + s.1 as u64));
+        let (total_rec, total_sen) = sim.states().iter().fold((0u64, 0u64), |acc, s| {
+            (acc.0 + s.0 as u64, acc.1 + s.1 as u64)
+        });
         assert_eq!(total_rec, 100_000);
         assert_eq!(total_sen, 100_000);
         for s in sim.states() {

@@ -240,8 +240,7 @@ mod tests {
         let n = 1_000_000u64;
         let config = CountConfiguration::uniform(0u32, n);
         let mut sim = AcceleratedSim::new(rel, config, 7);
-        let silent =
-            |c: &CountConfiguration<u32>| c.iter().all(|(&s, &k)| s >= 1000 || k <= 1);
+        let silent = |c: &CountConfiguration<u32>| c.iter().all(|(&s, &k)| s >= 1000 || k <= 1);
         assert!(sim.run_until(silent, f64::MAX));
         // kex = floor(log2 1e6) = 19.
         let max_level = sim
@@ -253,7 +252,11 @@ mod tests {
         assert_eq!(max_level, 19);
         // Θ(n) parallel time elapsed "virtually" — verify the skip engine
         // actually accounted for it.
-        assert!(sim.time() > 1_000.0, "time {} too small for Θ(n)", sim.time());
+        assert!(
+            sim.time() > 1_000.0,
+            "time {} too small for Θ(n)",
+            sim.time()
+        );
         // Surviving leader levels are exactly the set bits of n = 10^6.
         let total: u64 = sim
             .config()

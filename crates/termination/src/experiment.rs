@@ -41,10 +41,7 @@ pub struct DensityReport<S> {
 impl<S> DensityReport<S> {
     /// The minimum fraction over all closure states — Lemma 4.2's δ.
     pub fn min_fraction(&self) -> f64 {
-        self.states
-            .iter()
-            .map(|s| s.fraction)
-            .fold(1.0, f64::min)
+        self.states.iter().map(|s| s.fraction).fold(1.0, f64::min)
     }
 
     /// Whether every closure state reached at least `delta` density.
@@ -153,8 +150,14 @@ mod tests {
         let rel = counter_protocol(limit);
         let mut times = Vec::new();
         for (i, n) in [1_000u64, 10_000, 100_000].into_iter().enumerate() {
-            let t = signal_time(&rel, counter_dense_config(n), |&s| s == COUNTER_T, 1e4, i as u64)
-                .expect("counter must terminate");
+            let t = signal_time(
+                &rel,
+                counter_dense_config(n),
+                |&s| s == COUNTER_T,
+                1e4,
+                i as u64,
+            )
+            .expect("counter must terminate");
             times.push(t);
         }
         let spread = times.iter().fold(0.0f64, |a, &b| a.max(b))
@@ -193,8 +196,7 @@ mod tests {
     #[test]
     fn closure_levels_reported() {
         let rel = counter_protocol(4);
-        let report =
-            verify_density_lemma(&rel, counter_dense_config(5_000), 1.0, None, 2.0, 3);
+        let report = verify_density_lemma(&rel, counter_dense_config(5_000), 1.0, None, 2.0, 3);
         let t_level = report
             .states
             .iter()
@@ -216,10 +218,22 @@ mod tests {
     #[test]
     fn bigger_limit_delays_but_stays_constant_in_n() {
         let rel = counter_protocol(30);
-        let t_small =
-            signal_time(&rel, counter_dense_config(2_000), |&s| s == COUNTER_T, 1e4, 1).unwrap();
-        let t_large =
-            signal_time(&rel, counter_dense_config(50_000), |&s| s == COUNTER_T, 1e4, 2).unwrap();
+        let t_small = signal_time(
+            &rel,
+            counter_dense_config(2_000),
+            |&s| s == COUNTER_T,
+            1e4,
+            1,
+        )
+        .unwrap();
+        let t_large = signal_time(
+            &rel,
+            counter_dense_config(50_000),
+            |&s| s == COUNTER_T,
+            1e4,
+            2,
+        )
+        .unwrap();
         assert!(
             t_large / t_small < 3.0,
             "limit-30 counter: {t_small} -> {t_large}"

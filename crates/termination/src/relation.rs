@@ -67,7 +67,10 @@ impl<S: Copy + Ord + std::fmt::Debug> TransitionRelation<S> {
     pub fn new(transitions: impl IntoIterator<Item = Transition<S>>) -> Self {
         let mut by_input: BTreeMap<(S, S), Outcomes<S>> = BTreeMap::new();
         for t in transitions {
-            by_input.entry((t.a, t.b)).or_default().push((t.c, t.d, t.rate));
+            by_input
+                .entry((t.a, t.b))
+                .or_default()
+                .push((t.c, t.d, t.rate));
         }
         for ((a, b), outs) in &by_input {
             let total: f64 = outs.iter().map(|&(_, _, r)| r).sum();
@@ -84,7 +87,8 @@ impl<S: Copy + Ord + std::fmt::Debug> TransitionRelation<S> {
         self.by_input
             .iter()
             .flat_map(|(&(a, b), outs)| {
-                outs.iter().map(move |&(c, d, rate)| Transition { a, b, c, d, rate })
+                outs.iter()
+                    .map(move |&(c, d, rate)| Transition { a, b, c, d, rate })
             })
             .collect()
     }

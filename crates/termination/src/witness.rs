@@ -99,7 +99,7 @@ pub fn witness_certifies<S: Copy + Ord + std::fmt::Debug>(
         witness.min_rate,
         Some(witness.closure_depth()),
     );
-    closure.final_set().iter().any(|s| is_terminated(s))
+    closure.final_set().iter().any(is_terminated)
 }
 
 #[cfg(test)]
@@ -135,12 +135,7 @@ mod tests {
             2,
         )
         .unwrap();
-        assert!(witness_certifies(
-            &rel,
-            [0u16, COUNTER_X],
-            &w,
-            |&s| s == COUNTER_T
-        ));
+        assert!(witness_certifies(&rel, [0u16, COUNTER_X], &w, |&s| s == COUNTER_T));
     }
 
     #[test]
@@ -153,12 +148,7 @@ mod tests {
             min_rate: 1.0,
         };
         // Depth 1 cannot reach t (needs 5 increments).
-        assert!(!witness_certifies(
-            &rel,
-            [0u16, COUNTER_X],
-            &w,
-            |&s| s == COUNTER_T
-        ));
+        assert!(!witness_certifies(&rel, [0u16, COUNTER_X], &w, |&s| s == COUNTER_T));
     }
 
     #[test]

@@ -1,0 +1,302 @@
+//! Vendored stand-in for `criterion`: the subset of the API this workspace's
+//! benchmarks use, measuring wall-clock time with `std::time::Instant`.
+//!
+//! Statistical machinery (outlier rejection, bootstrap confidence intervals,
+//! HTML reports) is not reproduced: each benchmark runs a calibration pass to
+//! pick an iteration count targeting [`TARGET_SAMPLE_TIME`], takes
+//! `sample_size` samples, and reports the median time per iteration plus
+//! derived throughput. Results print to stdout in a stable aligned format.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Wall-clock budget per sample after calibration.
+const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(25);
+
+/// Re-export of the standard black box (criterion's is equivalent on modern
+/// toolchains).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Number of logical elements processed per iteration.
+    Elements(u64),
+    /// Number of bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Batch sizing hint for `iter_batched*` (accepted, not acted on: the
+/// stand-in always regenerates per sample, not per iteration batch).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration setup output.
+    SmallInput,
+    /// Large per-iteration setup output.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of samples taken per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        let name = name.into();
+        println!("\ngroup {name}");
+        BenchmarkGroup {
+            _name: name,
+            sample_size: self.sample_size,
+            throughput: None,
+        }
+    }
+
+    /// Registers a standalone benchmark (no group).
+    pub fn bench_function(&mut self, name: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        let sample_size = self.sample_size;
+        run_benchmark(&name.into(), sample_size, None, f);
+    }
+}
+
+/// A group of benchmarks sharing sample-size and throughput settings.
+pub struct BenchmarkGroup {
+    _name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Sets the number of samples for subsequent benchmarks in the group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Declares per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_benchmark(&name.into(), self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Ends the group (prints nothing extra; provided for API parity).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; drives the measured routine.
+pub struct Bencher {
+    /// Iterations to run in the current sample.
+    iters: u64,
+    /// Measured time for the current sample.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Measures `routine` back-to-back `iters` times.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Measures `routine` on a mutable value built by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched_ref<S, O>(
+        &mut self,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(&mut S) -> O,
+        _size: BatchSize,
+    ) {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let mut input = setup();
+            let start = Instant::now();
+            black_box(routine(&mut input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+
+    /// Like [`Bencher::iter_batched_ref`] but passing the input by value.
+    pub fn iter_batched<S, O>(
+        &mut self,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S) -> O,
+        _size: BatchSize,
+    ) {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+fn run_benchmark(
+    name: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    // Calibration: grow the iteration count until one sample costs at least
+    // the target sample time (or the count stops mattering).
+    let mut iters: u64 = 1;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed >= TARGET_SAMPLE_TIME || iters >= 1 << 24 {
+            break;
+        }
+        // Aim directly at the target from the observed per-iter cost.
+        let per_iter = b.elapsed.as_secs_f64() / iters as f64;
+        let goal = (TARGET_SAMPLE_TIME.as_secs_f64() / per_iter.max(1e-12)).ceil();
+        iters = (iters * 2).max(goal as u64).min(1 << 24);
+    }
+    let mut per_iter_ns: Vec<f64> = (0..sample_size.max(2))
+        .map(|_| {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            b.elapsed.as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+    let median = per_iter_ns[per_iter_ns.len() / 2];
+    let (lo, hi) = (per_iter_ns[0], per_iter_ns[per_iter_ns.len() - 1]);
+    let mut line = format!(
+        "  {name:<44} {} [{} .. {}]",
+        fmt_ns(median),
+        fmt_ns(lo),
+        fmt_ns(hi)
+    );
+    if let Some(t) = throughput {
+        let (count, unit) = match t {
+            Throughput::Elements(k) => (k, "elem/s"),
+            Throughput::Bytes(k) => (k, "B/s"),
+        };
+        let rate = count as f64 / (median * 1e-9);
+        line.push_str(&format!("  {} {unit}", fmt_rate(rate)));
+    }
+    println!("{line}");
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn fmt_rate(r: f64) -> String {
+    if r >= 1e9 {
+        format!("{:.2}G", r / 1e9)
+    } else if r >= 1e6 {
+        format!("{:.2}M", r / 1e6)
+    } else if r >= 1e3 {
+        format!("{:.2}K", r / 1e3)
+    } else {
+        format!("{r:.1}")
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = ::core::default::Default::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut ran = 0u64;
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut group = c.benchmark_group("group");
+        group.sample_size(2);
+        group.throughput(Throughput::Elements(10));
+        group.bench_function("counted", |b| {
+            b.iter_batched_ref(|| 0u64, |x| *x += 1, BatchSize::SmallInput);
+            ran += 1;
+        });
+        group.finish();
+        assert!(ran >= 2, "closure should run for calibration and samples");
+    }
+
+    #[test]
+    fn format_helpers() {
+        assert_eq!(fmt_ns(12.34), "12.3 ns");
+        assert!(fmt_ns(1.5e4).contains("µs"));
+        assert!(fmt_rate(2.5e7).ends_with('M'));
+    }
+}

@@ -1,0 +1,59 @@
+//! Vendored stand-in for the slice of `crossbeam` this workspace uses:
+//! [`scope`] for structured borrowing threads, backed by `std::thread::scope`
+//! (which landed in std after crossbeam popularized the pattern).
+//!
+//! Divergence from real crossbeam: a panicking spawned thread propagates its
+//! panic out of [`scope`] (std semantics) instead of surfacing through the
+//! returned `Result`; the workspace's callers `.expect()` the `Result`
+//! immediately, so observable behaviour — a panic — is the same.
+
+#![forbid(unsafe_code)]
+
+/// The error half of crossbeam's scope result (a boxed panic payload).
+pub type PanicPayload = Box<dyn std::any::Any + Send + 'static>;
+
+/// A scope handle passed to the closure given to [`scope`].
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives a placeholder argument
+    /// (real crossbeam passes the scope again for nested spawns, which this
+    /// workspace never does).
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(()) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        self.inner.spawn(move || f(()))
+    }
+}
+
+/// Creates a scope in which threads may borrow from the enclosing stack
+/// frame. All spawned threads are joined before `scope` returns.
+pub fn scope<'env, F, R>(f: F) -> Result<R, PanicPayload>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_locals() {
+        let data = [1u64, 2, 3, 4];
+        let sums = std::sync::Mutex::new(0u64);
+        super::scope(|s| {
+            for chunk in data.chunks(2) {
+                s.spawn(|_| {
+                    let local: u64 = chunk.iter().sum();
+                    *sums.lock().unwrap() += local;
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(sums.into_inner().unwrap(), 10);
+    }
+}

@@ -1,0 +1,11 @@
+//! Vendored stand-in for `serde`.
+//!
+//! Provides the `Serialize` / `Deserialize` *derive macros* (as no-ops) so
+//! that `#[derive(serde::Serialize, serde::Deserialize)]` annotations compile
+//! without network access. No trait machinery is provided because nothing in
+//! the workspace serializes at runtime; swapping in the real crates.io serde
+//! requires no call-site changes.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -26,8 +26,14 @@ fn main() {
 
     let out = run_terminating(n, 12, 1e8);
     assert!(out.terminated, "leader failed to terminate in budget");
-    println!("\nleader fires the termination signal at t = {:.0}", out.termination_time);
-    println!("every agent frozen by            t = {:.0}", out.all_frozen_time);
+    println!(
+        "\nleader fires the termination signal at t = {:.0}",
+        out.termination_time
+    );
+    println!(
+        "every agent frozen by            t = {:.0}",
+        out.all_frozen_time
+    );
     println!(
         "estimate at the freeze: {:?} (err {:+.2}), agreement {:.1}%",
         out.output,

@@ -18,7 +18,10 @@ fn main() {
     let logn = (n as f64).log2();
     let k = outcome.output.expect("converged run always has an output");
     println!("converged:        {}", outcome.converged);
-    println!("parallel time:    {:.0}  (Theorem 3.1: O(log^2 n))", outcome.time);
+    println!(
+        "parallel time:    {:.0}  (Theorem 3.1: O(log^2 n))",
+        outcome.time
+    );
     println!("estimate k:       {k}");
     println!("true log2(n):     {logn:.3}");
     println!(
@@ -35,5 +38,8 @@ fn main() {
         "  logSize2 {} | gr {} | time {} | epoch {} | sum {}",
         m.log_size2, m.gr, m.time, m.epoch, m.sum
     );
-    println!("  => roughly {} reachable states per agent", m.state_count_estimate());
+    println!(
+        "  => roughly {} reachable states per agent",
+        m.state_count_estimate()
+    );
 }

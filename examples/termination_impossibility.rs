@@ -29,9 +29,18 @@ fn main() {
     println!("=> Lemma 4.2 forces t to appear in bulk in O(1) time from any larger dense start:\n");
 
     println!("  {:>9}  {:>12}", "n", "signal time");
-    for (i, n) in [1_000u64, 10_000, 100_000, 1_000_000].into_iter().enumerate() {
-        let t = signal_time(&rel, counter_dense_config(n), |&s| s == COUNTER_T, 1e5, i as u64)
-            .expect("terminates");
+    for (i, n) in [1_000u64, 10_000, 100_000, 1_000_000]
+        .into_iter()
+        .enumerate()
+    {
+        let t = signal_time(
+            &rel,
+            counter_dense_config(n),
+            |&s| s == COUNTER_T,
+            1e5,
+            i as u64,
+        )
+        .expect("terminates");
         println!("  {n:>9}  {t:>12.2}");
     }
     println!("  (flat: the signal cannot outwait the population growing 1000x)\n");
@@ -51,7 +60,9 @@ fn main() {
         println!(
             "  {n:>9}  {:>12.0}  {:>10}",
             out.termination_time,
-            out.output.map(|k| k.to_string()).unwrap_or_else(|| "-".into())
+            out.output
+                .map(|k| k.to_string())
+                .unwrap_or_else(|| "-".into())
         );
     }
     println!("  (Theta(logSize2^2) = Theta(log^2 n) firing time — thousands of units, not O(1);");

@@ -10,7 +10,10 @@ use uniform_sizeest::protocols::trace::run_with_trace;
 
 fn main() {
     let n = 400;
-    println!("Tracing Log-Size-Estimation on n = {n} (log2 n = {:.2})\n", (n as f64).log2());
+    println!(
+        "Tracing Log-Size-Estimation on n = {n} (log2 n = {:.2})\n",
+        (n as f64).log2()
+    );
     let (trace, converged) = run_with_trace(n, 2024, 500.0, 1e7);
     assert!(converged);
 

@@ -16,9 +16,15 @@ use uniform_sizeest::baselines::majority::{run_nonuniform_majority, run_uniform_
 fn main() {
     let n = 500;
     let ones = 300; // 60% majority for opinion 1
-    println!("Majority on n = {n} agents, {ones} hold opinion 1, {} hold opinion 0\n", n - ones);
+    println!(
+        "Majority on n = {n} agents, {ones} hold opinion 1, {} hold opinion 0\n",
+        n - ones
+    );
 
-    println!("[nonuniform reference] every agent initialized with floor(log2 n) = {}", (n as f64).log2().floor());
+    println!(
+        "[nonuniform reference] every agent initialized with floor(log2 n) = {}",
+        (n as f64).log2().floor()
+    );
     let non = run_nonuniform_majority(n, ones, 7, 1e8);
     println!(
         "  winner: {:?}   time: {:.0}   converged: {}",

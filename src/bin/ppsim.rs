@@ -32,13 +32,10 @@ fn parse_args() -> (String, BTreeMap<String, u64>) {
             })
             .to_string();
         i += 1;
-        let value: u64 = rest
-            .get(i)
-            .and_then(|v| v.parse().ok())
-            .unwrap_or_else(|| {
-                eprintln!("--{key} needs an integer value");
-                std::process::exit(2);
-            });
+        let value: u64 = rest.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+            eprintln!("--{key} needs an integer value");
+            std::process::exit(2);
+        });
         opts.insert(key, value);
         i += 1;
     }
@@ -53,7 +50,10 @@ fn main() {
     match cmd.as_str() {
         "estimate" => {
             let out = uniform_sizeest::protocols::log_size::estimate_log_size(n, seed, None);
-            println!("converged: {} at parallel time {:.0}", out.converged, out.time);
+            println!(
+                "converged: {} at parallel time {:.0}",
+                out.converged, out.time
+            );
             match out.output {
                 Some(k) => println!(
                     "estimate k = {k} (log2 n = {logn:.3}, error {:+.3})",
@@ -107,9 +107,8 @@ fn main() {
         }
         "majority" => {
             let ones = *opts.get("ones").unwrap_or(&(n as u64 * 3 / 5)) as usize;
-            let out = uniform_sizeest::baselines::majority::run_uniform_majority(
-                n, ones, seed, 1e9,
-            );
+            let out =
+                uniform_sizeest::baselines::majority::run_uniform_majority(n, ones, seed, 1e9);
             println!(
                 "uniformized majority over {ones}/{n} ones: winner {:?} in time {:.0}",
                 out.winner, out.time

@@ -126,5 +126,8 @@ fn analysis_predictions_match_protocol_scale() {
     let shape = |f: fn(u64) -> f64| f(1_000_000) / f(1_000);
     let ours = shape(uniform_sizeest::protocols::log_size::default_time_budget);
     let papers = shape(analysis::subexp::corollary_3_10_time_budget);
-    assert!((ours / papers - 1.0).abs() < 0.5, "shapes diverge: {ours} vs {papers}");
+    assert!(
+        (ours / papers - 1.0).abs() < 0.5,
+        "shapes diverge: {ours} vs {papers}"
+    );
 }

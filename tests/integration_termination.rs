@@ -5,8 +5,7 @@ use uniform_sizeest::baselines::naive_terminating::{fixed_signal_time, geometric
 use uniform_sizeest::protocols::leader::run_terminating;
 use uniform_sizeest::termination::density::{density, even_dense_config, leader_config};
 use uniform_sizeest::termination::experiment::{
-    counter_dense_config, counter_protocol, signal_time, verify_density_lemma, COUNTER_T,
-    COUNTER_X,
+    counter_dense_config, counter_protocol, signal_time, verify_density_lemma, COUNTER_T, COUNTER_X,
 };
 use uniform_sizeest::termination::producible::{producible_closure, termination_is_producible};
 
@@ -14,9 +13,22 @@ use uniform_sizeest::termination::producible::{producible_closure, termination_i
 fn theorem_4_1_flat_signal_times() {
     // All three doomed protocols: 100x population, signal time ~flat.
     let rel = counter_protocol(8);
-    let t1 = signal_time(&rel, counter_dense_config(2_000), |&s| s == COUNTER_T, 1e4, 1).unwrap();
-    let t2 =
-        signal_time(&rel, counter_dense_config(200_000), |&s| s == COUNTER_T, 1e4, 2).unwrap();
+    let t1 = signal_time(
+        &rel,
+        counter_dense_config(2_000),
+        |&s| s == COUNTER_T,
+        1e4,
+        1,
+    )
+    .unwrap();
+    let t2 = signal_time(
+        &rel,
+        counter_dense_config(200_000),
+        |&s| s == COUNTER_T,
+        1e4,
+        2,
+    )
+    .unwrap();
     assert!(t2 / t1 < 3.0, "counter: {t1} -> {t2}");
 
     let f1 = fixed_signal_time(2_000, 40, 3);
@@ -103,8 +115,7 @@ fn leader_termination_waits_while_dense_signals_cannot() {
     // Dense contrast: the doomed counter signals three orders of magnitude
     // earlier at the same n.
     let rel = counter_protocol(8);
-    let dense =
-        signal_time(&rel, counter_dense_config(n), |&s| s == COUNTER_T, 1e4, 902).unwrap();
+    let dense = signal_time(&rel, counter_dense_config(n), |&s| s == COUNTER_T, 1e4, 902).unwrap();
     assert!(
         out.termination_time > 100.0 * dense,
         "leader {} vs dense {dense}",
