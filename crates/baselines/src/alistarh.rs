@@ -9,36 +9,64 @@
 //! This is the paper's *baseline*: constant multiplicative error versus the
 //! main protocol's constant additive error — and also its first stage
 //! (`logSize2`).
+//!
+//! Implemented as a [`CountProtocol`] over the unified count representation:
+//! the occupied state space is only `O(log n)` values, so the protocol runs
+//! on [`ConfigSim`] at millions of agents. It is *randomized* (the first
+//! interaction of each agent draws a geometric), yet still batches: once
+//! both participants have sampled, the pair's outcome is the deterministic
+//! max-merge, which the batched engine bulk-applies; only the short sampling
+//! prefix (unbounded geometric support) falls back to per-interaction
+//! sampling. This is the repository's showcase that randomized paper
+//! protocols now reach batched speed — see `bench_batch`.
 
+use pp_engine::batch::ConfigSim;
+use pp_engine::count_sim::{CountConfiguration, CountProtocol, Outcomes};
 use pp_engine::rng::{geometric_half, SimRng};
-use pp_engine::{AgentSim, Protocol};
 
 /// Per-agent state: the sampled/adopted maximum (0 = not yet sampled).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct WeakState {
     /// Current estimate: own sample merged with every partner's.
     pub value: u64,
     /// Whether this agent has sampled yet (sampling happens on the agent's
-    /// first interaction, keeping `initial_state` deterministic).
+    /// first interaction, keeping the initial state deterministic).
     pub sampled: bool,
+}
+
+impl WeakState {
+    /// The common initial state: unsampled, value 0.
+    pub fn initial() -> Self {
+        Self {
+            value: 0,
+            sampled: false,
+        }
+    }
 }
 
 /// The weak (multiplicative-error) estimator protocol.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct WeakEstimator;
 
-impl Protocol for WeakEstimator {
+impl WeakEstimator {
+    /// Agreement: a single occupied state, and it has sampled. The shared
+    /// convergence predicate for [`weak_estimate`], the equivalence tests,
+    /// and the `bench_batch` completion workload.
+    pub fn agreed(c: &CountConfiguration<WeakState>) -> bool {
+        c.support_size() == 1 && c.iter().all(|(s, _)| s.sampled)
+    }
+}
+
+impl CountProtocol for WeakEstimator {
     type State = WeakState;
 
-    fn initial_state(&self) -> WeakState {
-        WeakState {
-            value: 0,
-            sampled: false,
-        }
-    }
-
-    fn interact(&self, rec: &mut WeakState, sen: &mut WeakState, rng: &mut SimRng) {
-        for agent in [&mut *rec, &mut *sen] {
+    fn transition(
+        &self,
+        mut rec: WeakState,
+        mut sen: WeakState,
+        rng: &mut SimRng,
+    ) -> (WeakState, WeakState) {
+        for agent in [&mut rec, &mut sen] {
             if !agent.sampled {
                 agent.sampled = true;
                 agent.value = agent.value.max(geometric_half(rng));
@@ -47,6 +75,27 @@ impl Protocol for WeakEstimator {
         let m = rec.value.max(sen.value);
         rec.value = m;
         sen.value = m;
+        (rec, sen)
+    }
+
+    fn outcomes(&self, rec: WeakState, sen: WeakState) -> Option<Outcomes<WeakState>> {
+        if rec.sampled && sen.sampled {
+            // Both sampled: the pair is a deterministic max-merge.
+            let merged = WeakState {
+                value: rec.value.max(sen.value),
+                sampled: true,
+            };
+            Some(Outcomes::Deterministic(merged, merged))
+        } else {
+            // Geometric sampling has unbounded support — not enumerable.
+            None
+        }
+    }
+
+    fn prefers_batching(&self) -> bool {
+        // Occupied support is O(log n) values; only the sampling prefix is
+        // unenumerable, so batching wins at scale.
+        true
     }
 }
 
@@ -59,7 +108,8 @@ pub struct WeakOutcome {
     pub time: f64,
 }
 
-/// Runs the weak estimator to agreement.
+/// Runs the weak estimator to agreement on [`ConfigSim`] (batched at large
+/// populations).
 ///
 /// ```
 /// use pp_baselines::alistarh::weak_estimate;
@@ -70,16 +120,19 @@ pub struct WeakOutcome {
 /// assert!((out.estimate as f64) <= 3.0 * 200f64.log2());
 /// ```
 pub fn weak_estimate(n: usize, seed: u64) -> WeakOutcome {
-    let mut sim = AgentSim::new(WeakEstimator, n, seed);
-    let out = sim.run_until_converged(
-        |states| {
-            states.iter().all(|s| s.sampled) && states.windows(2).all(|w| w[0].value == w[1].value)
-        },
-        f64::MAX,
-    );
+    let n = n as u64;
+    let config = CountConfiguration::uniform(WeakState::initial(), n);
+    let mut sim = ConfigSim::new(WeakEstimator, config, seed);
+    let out = sim.run_until(WeakEstimator::agreed, n.max(2), f64::MAX);
     debug_assert!(out.converged);
+    let estimate = sim
+        .config_view()
+        .iter()
+        .map(|(s, _)| s.value)
+        .max()
+        .unwrap_or(0);
     WeakOutcome {
-        estimate: sim.states()[0].value,
+        estimate,
         time: out.time,
     }
 }
@@ -87,6 +140,9 @@ pub fn weak_estimate(n: usize, seed: u64) -> WeakOutcome {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pp_engine::batch::BatchedCountSim;
+    use pp_engine::count_sim::CountSim;
+    use pp_engine::rng::derive_seed;
 
     #[test]
     fn estimate_in_multiplicative_band() {
@@ -133,5 +189,52 @@ mod tests {
         let b = weak_estimate(500, 9);
         assert_eq!(a.estimate, b.estimate);
         assert!(a.estimate >= 1);
+    }
+
+    #[test]
+    fn batched_and_sequential_estimates_agree_statistically() {
+        // The mixed sampled/deterministic law structure must not bias the
+        // estimate: compare the batched and sequential estimate means.
+        let n = 30_000u64;
+        let trials = 40;
+        let mean = |batched: bool, stream: u64| -> f64 {
+            (0..trials)
+                .map(|t| {
+                    let config = CountConfiguration::uniform(WeakState::initial(), n);
+                    let seed = derive_seed(stream, t);
+                    let pred = WeakEstimator::agreed;
+                    if batched {
+                        let mut sim = BatchedCountSim::new(WeakEstimator, config, seed);
+                        let out = sim.run_until(pred, n, f64::MAX);
+                        assert!(out.converged);
+                        sim.config_view()
+                            .iter()
+                            .map(|(s, _)| s.value)
+                            .max()
+                            .unwrap() as f64
+                    } else {
+                        let mut sim = CountSim::new(WeakEstimator, config, seed);
+                        let out = sim.run_until(pred, n, f64::MAX);
+                        assert!(out.converged);
+                        sim.config().iter().map(|(s, _)| s.value).max().unwrap() as f64
+                    }
+                })
+                .sum::<f64>()
+                / trials as f64
+        };
+        let m_seq = mean(false, 0x11);
+        let m_bat = mean(true, 0x12);
+        // Max-of-geometrics has σ ≈ 1.9; means over 40 trials within ~1.2.
+        assert!(
+            (m_seq - m_bat).abs() < 1.2,
+            "estimate means diverge: sequential {m_seq} vs batched {m_bat}"
+        );
+    }
+
+    #[test]
+    fn facade_batches_at_scale() {
+        let config = CountConfiguration::uniform(WeakState::initial(), 100_000);
+        let sim = ConfigSim::new(WeakEstimator, config, 1);
+        assert!(sim.is_batched(), "weak estimator should batch at n = 10^5");
     }
 }

@@ -13,14 +13,17 @@
 //! probability 1 in `O(n)` expected time (the last two leaders of a level
 //! need `Θ(n)` time to find each other).
 //!
-//! Implemented as a [`CountProtocol`] so the `O(n)`-time experiments can
-//! still run at `n = 10^6`: the state space is only `O(log n)` values.
+//! Implemented as a [`DeterministicCountProtocol`] so the `O(n)`-time
+//! experiments run at `n = 10^6` and beyond: the state space is only
+//! `O(log n)` values, and the long null-dominated tail (the last two
+//! leaders of a level searching for each other) is exactly what the
+//! batched engine's Gillespie-style null skipping accelerates.
 
-use pp_engine::count_sim::{CountConfiguration, CountProtocol, CountSim};
-use pp_engine::rng::SimRng;
+use pp_engine::batch::{ConfigSim, DeterministicCountProtocol};
+use pp_engine::count_sim::CountConfiguration;
 
 /// Backup state: leader or follower at a level.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum BackupState {
     /// `l_level`: an unmerged leader of its level.
     Leader(u32),
@@ -41,15 +44,10 @@ impl BackupState {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ExactBackup;
 
-impl CountProtocol for ExactBackup {
+impl DeterministicCountProtocol for ExactBackup {
     type State = BackupState;
 
-    fn transition(
-        &self,
-        rec: BackupState,
-        sen: BackupState,
-        _rng: &mut SimRng,
-    ) -> (BackupState, BackupState) {
+    fn transition_det(&self, rec: BackupState, sen: BackupState) -> (BackupState, BackupState) {
         use BackupState::*;
         match (rec, sen) {
             (Leader(i), Leader(j)) if i == j => (Leader(i + 1), Follower(i + 1)),
@@ -74,10 +72,11 @@ pub struct BackupOutcome {
     pub leader_levels: Vec<u32>,
 }
 
-/// Runs the backup to silence (no same-level leader pair remains).
+/// Runs the backup to silence (no same-level leader pair remains) on
+/// [`ConfigSim`] — batched with null skipping at large `n`.
 pub fn run_backup(n: u64, seed: u64) -> BackupOutcome {
     let config = CountConfiguration::uniform(BackupState::Leader(0), n);
-    let mut sim = CountSim::new(ExactBackup, config, seed);
+    let mut sim = ConfigSim::new(ExactBackup, config, seed);
     let out = sim.run_until(
         |c| {
             // Silent when every leader level has count ≤ 1.
@@ -90,8 +89,8 @@ pub fn run_backup(n: u64, seed: u64) -> BackupOutcome {
         f64::MAX,
     );
     debug_assert!(out.converged);
-    let mut leader_levels: Vec<u32> = sim
-        .config()
+    let final_config = sim.config_view();
+    let mut leader_levels: Vec<u32> = final_config
         .iter()
         .filter_map(|(s, &k)| match s {
             BackupState::Leader(i) if k > 0 => Some(*i),
@@ -99,8 +98,7 @@ pub fn run_backup(n: u64, seed: u64) -> BackupOutcome {
         })
         .collect();
     leader_levels.sort_unstable();
-    let max_level = sim
-        .config()
+    let max_level = final_config
         .iter()
         .map(|(s, _)| s.level())
         .max()
@@ -156,8 +154,7 @@ mod tests {
     #[test]
     fn leaders_at_distinct_levels_never_interact() {
         let p = ExactBackup;
-        let mut rng = pp_engine::rng::rng_from_seed(0);
-        let (a, b) = p.transition(BackupState::Leader(2), BackupState::Leader(5), &mut rng);
+        let (a, b) = p.transition_det(BackupState::Leader(2), BackupState::Leader(5));
         assert_eq!(a, BackupState::Leader(2));
         assert_eq!(b, BackupState::Leader(5));
     }
@@ -184,8 +181,8 @@ mod tests {
     #[test]
     fn population_is_conserved_through_merges() {
         let config = CountConfiguration::uniform(BackupState::Leader(0), 500);
-        let mut sim = CountSim::new(ExactBackup, config, 3);
+        let mut sim = ConfigSim::new(ExactBackup, config, 3);
         sim.steps(10_000);
-        assert_eq!(sim.config().population_size(), 500);
+        assert_eq!(sim.config_view().population_size(), 500);
     }
 }

@@ -17,7 +17,7 @@ use pp_engine::rng::SimRng;
 use pp_engine::{AgentSim, Protocol};
 
 /// Per-agent state for leader-driven exact counting.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum CountState {
     /// Not yet counted by the leader.
     Unmarked,

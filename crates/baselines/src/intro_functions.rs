@@ -19,11 +19,11 @@
 //! `table_intro_functions` harness regenerates the `O(log n)` vs `Θ(n)`
 //! contrast.
 
-use pp_engine::count_sim::{CountConfiguration, CountProtocol, CountSim};
-use pp_engine::rng::SimRng;
+use pp_engine::batch::{ConfigSim, DeterministicCountProtocol};
+use pp_engine::count_sim::CountConfiguration;
 
 /// States for the intro protocols.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum FnState {
     /// Input token.
     X,
@@ -37,10 +37,10 @@ pub enum FnState {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Doubling;
 
-impl CountProtocol for Doubling {
+impl DeterministicCountProtocol for Doubling {
     type State = FnState;
 
-    fn transition(&self, rec: FnState, sen: FnState, _rng: &mut SimRng) -> (FnState, FnState) {
+    fn transition_det(&self, rec: FnState, sen: FnState) -> (FnState, FnState) {
         use FnState::*;
         match (rec, sen) {
             (X, Q) | (Q, X) => (Y, Y),
@@ -53,10 +53,10 @@ impl CountProtocol for Doubling {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Halving;
 
-impl CountProtocol for Halving {
+impl DeterministicCountProtocol for Halving {
     type State = FnState;
 
-    fn transition(&self, rec: FnState, sen: FnState, _rng: &mut SimRng) -> (FnState, FnState) {
+    fn transition_det(&self, rec: FnState, sen: FnState) -> (FnState, FnState) {
         use FnState::*;
         match (rec, sen) {
             (X, X) => (Y, Q),
@@ -70,10 +70,10 @@ impl CountProtocol for Halving {
 pub fn double_time(n: u64, x: u64, seed: u64) -> (u64, f64) {
     assert!(n >= 2 * x, "doubling needs at least as many q as x");
     let config = CountConfiguration::from_pairs([(FnState::X, x), (FnState::Q, n - x)]);
-    let mut sim = CountSim::new(Doubling, config, seed);
+    let mut sim = ConfigSim::new(Doubling, config, seed);
     let out = sim.run_until(|c| c.count(&FnState::X) == 0, (n / 20).max(1), f64::MAX);
     debug_assert!(out.converged);
-    (sim.config().count(&FnState::Y), out.time)
+    (sim.count(&FnState::Y), out.time)
 }
 
 /// Runs halving with input `x` in a population of `n`. Returns
@@ -86,10 +86,10 @@ pub fn halve_time(n: u64, x: u64, seed: u64) -> (u64, f64) {
     } else {
         CountConfiguration::from_pairs([(FnState::X, x), (FnState::Q, n - x)])
     };
-    let mut sim = CountSim::new(Halving, config, seed);
+    let mut sim = ConfigSim::new(Halving, config, seed);
     let out = sim.run_until(|c| c.count(&FnState::X) <= 1, (n / 20).max(1), f64::MAX);
     debug_assert!(out.converged);
-    (sim.config().count(&FnState::Y), out.time)
+    (sim.count(&FnState::Y), out.time)
 }
 
 #[cfg(test)]

@@ -18,7 +18,7 @@ use pp_engine::rng::SimRng;
 use rand::Rng;
 
 /// Downstream per-agent election state.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ElectionState {
     /// Still in the running.
     pub contender: bool,

@@ -22,12 +22,14 @@
 //! and the surviving strong opinion spreads to every agent's display.
 
 use pp_core::composition::Downstream;
+use pp_engine::batch::{ConfigSim, DeterministicCountProtocol};
+use pp_engine::count_sim::{CountConfiguration, CountSeededInit};
 use pp_engine::rng::SimRng;
 use pp_engine::{AgentSim, Protocol};
 use rand::Rng;
 
 /// Downstream per-agent majority state.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct MajorityState {
     /// Current opinion (0 or 1).
     pub opinion: u8,
@@ -151,7 +153,7 @@ impl NonuniformMajority {
 
 /// Per-agent state of the nonuniform variant: majority state plus its own
 /// stage clock fields.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NonuniformState {
     /// The majority payload.
     pub inner: MajorityState,
@@ -161,22 +163,23 @@ pub struct NonuniformState {
     pub stage: u64,
 }
 
-impl Protocol for NonuniformMajority {
-    type State = NonuniformState;
-
-    fn initial_state(&self) -> NonuniformState {
+impl NonuniformMajority {
+    /// The initial state of an agent holding `opinion`.
+    pub fn input_state(opinion: u8) -> NonuniformState {
         NonuniformState {
             inner: MajorityState {
-                opinion: 0,
+                opinion,
                 strong: true,
-                display: 0,
+                display: opinion,
             },
             count: 0,
             stage: 0,
         }
     }
 
-    fn interact(&self, rec: &mut NonuniformState, sen: &mut NonuniformState, _rng: &mut SimRng) {
+    /// One (deterministic) interaction, shared by the agent-level and
+    /// count-level representations.
+    fn step(&self, rec: &mut NonuniformState, sen: &mut NonuniformState) {
         let k = self.stage_factor * self.log_n;
         let threshold = self.clock_factor * self.log_n.max(1);
         for agent in [&mut *rec, &mut *sen] {
@@ -199,6 +202,84 @@ impl Protocol for NonuniformMajority {
         if rec.stage == sen.stage {
             majority_step(&mut rec.inner, &mut sen.inner, rec.stage);
         }
+    }
+}
+
+impl Protocol for NonuniformMajority {
+    type State = NonuniformState;
+
+    fn initial_state(&self) -> NonuniformState {
+        Self::input_state(0)
+    }
+
+    fn interact(&self, rec: &mut NonuniformState, sen: &mut NonuniformState, _rng: &mut SimRng) {
+        self.step(rec, sen);
+    }
+}
+
+impl DeterministicCountProtocol for NonuniformMajority {
+    type State = NonuniformState;
+
+    fn transition_det(
+        &self,
+        mut rec: NonuniformState,
+        mut sen: NonuniformState,
+    ) -> (NonuniformState, NonuniformState) {
+        self.step(&mut rec, &mut sen);
+        (rec, sen)
+    }
+
+    fn prefers_batching(&self) -> bool {
+        // Every interaction advances both agents' per-stage interaction
+        // counters, so the occupied state space is Theta(clock threshold)
+        // — too wide for O(k^2)-per-batch bulk application to pay off.
+        false
+    }
+}
+
+/// The nonuniform majority together with its input split: `ones` of the `n`
+/// agents start with opinion 1. This is the [`CountSeededInit`] analogue of
+/// planting inputs through [`AgentSim::set_state`], so majority splits run
+/// on [`ConfigSim`] directly.
+#[derive(Debug, Clone, Copy)]
+pub struct SeededNonuniformMajority {
+    /// The stage-clocked majority dynamics.
+    pub protocol: NonuniformMajority,
+    /// How many agents start with opinion 1.
+    pub ones: u64,
+}
+
+impl DeterministicCountProtocol for SeededNonuniformMajority {
+    type State = NonuniformState;
+
+    fn transition_det(
+        &self,
+        rec: NonuniformState,
+        sen: NonuniformState,
+    ) -> (NonuniformState, NonuniformState) {
+        self.protocol.transition_det(rec, sen)
+    }
+
+    fn prefers_batching(&self) -> bool {
+        DeterministicCountProtocol::prefers_batching(&self.protocol)
+    }
+}
+
+impl CountSeededInit for SeededNonuniformMajority {
+    fn initial_config(&self, n: u64) -> CountConfiguration<NonuniformState> {
+        assert!(
+            self.ones <= n,
+            "cannot seed {} ones into {n} agents",
+            self.ones
+        );
+        CountConfiguration::from_pairs(
+            [
+                (NonuniformMajority::input_state(1), self.ones),
+                (NonuniformMajority::input_state(0), n - self.ones),
+            ]
+            .into_iter()
+            .filter(|&(_, c)| c > 0),
+        )
     }
 }
 
@@ -245,26 +326,57 @@ pub fn run_uniform_majority(n: usize, ones: usize, seed: u64, max_time: f64) -> 
     }
 }
 
-/// Runs the **nonuniform** reference with hardwired `⌊log n⌋`.
+/// Runs the **nonuniform** reference with hardwired `⌊log n⌋` on the
+/// unified count representation ([`ConfigSim`] with a seeded input split).
 pub fn run_nonuniform_majority(n: usize, ones: usize, seed: u64, max_time: f64) -> MajorityOutcome {
+    assert!(ones <= n);
+    let protocol = NonuniformMajority::for_population(n);
+    let k = protocol.stage_factor * protocol.log_n;
+    let seeded = SeededNonuniformMajority {
+        protocol,
+        ones: ones as u64,
+    };
+    let mut sim = ConfigSim::from_seeded(seeded, n as u64, seed);
+    let out = sim.run_until(
+        |c| {
+            let mut display = None;
+            c.iter().all(|(s, _)| {
+                s.stage >= k && *display.get_or_insert(s.inner.display) == s.inner.display
+            })
+        },
+        n as u64,
+        max_time,
+    );
+    let winner = if out.converged {
+        sim.config_view()
+            .iter()
+            .next()
+            .map(|(s, _)| s.inner.display)
+    } else {
+        None
+    };
+    MajorityOutcome {
+        winner,
+        time: out.time,
+        converged: out.converged,
+    }
+}
+
+/// Runs the nonuniform reference on the per-agent simulator — retained for
+/// the statistical-equivalence suite, which holds the count-based
+/// [`run_nonuniform_majority`] to the same distribution.
+pub fn run_nonuniform_majority_agentwise(
+    n: usize,
+    ones: usize,
+    seed: u64,
+    max_time: f64,
+) -> MajorityOutcome {
     assert!(ones <= n);
     let protocol = NonuniformMajority::for_population(n);
     let k = protocol.stage_factor * protocol.log_n;
     let mut sim = AgentSim::new(protocol, n, seed);
     for i in 0..n {
-        let opinion = u8::from(i < ones);
-        sim.set_state(
-            i,
-            NonuniformState {
-                inner: MajorityState {
-                    opinion,
-                    strong: true,
-                    display: opinion,
-                },
-                count: 0,
-                stage: 0,
-            },
-        );
+        sim.set_state(i, NonuniformMajority::input_state(u8::from(i < ones)));
     }
     let out = sim.run_until_converged(
         |states| {

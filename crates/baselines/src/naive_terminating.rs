@@ -17,13 +17,19 @@
 //!   non-terminating: *some* agent's local randomness always looks
 //!   converged immediately.
 //!
-//! Both are [`CountProtocol`]s so the experiments scale to `n = 10^6`.
+//! Both live on the unified count representation so the experiments scale
+//! to `n = 10^6`: [`FixedCounter`] as a [`DeterministicCountProtocol`], and
+//! [`GeometricTimer`] as a randomized [`CountProtocol`] whose capped
+//! geometric sampling is exposed as an explicit finite outcome law
+//! ([`CountProtocol::outcomes`]) — the batched engine splits whole batches
+//! of fresh-agent interactions over it with single multinomial draws.
 
-use pp_engine::count_sim::{CountConfiguration, CountProtocol, CountSim};
+use pp_engine::batch::{ConfigSim, DeterministicCountProtocol};
+use pp_engine::count_sim::{CountConfiguration, CountProtocol, Outcomes};
 use pp_engine::rng::SimRng;
 
 /// State of the fixed-threshold counter: counting or terminated.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum FixedState {
     /// Counting interactions (value so far).
     Counting(u32),
@@ -38,15 +44,10 @@ pub struct FixedCounter {
     pub threshold: u32,
 }
 
-impl CountProtocol for FixedCounter {
+impl DeterministicCountProtocol for FixedCounter {
     type State = FixedState;
 
-    fn transition(
-        &self,
-        rec: FixedState,
-        sen: FixedState,
-        _rng: &mut SimRng,
-    ) -> (FixedState, FixedState) {
+    fn transition_det(&self, rec: FixedState, sen: FixedState) -> (FixedState, FixedState) {
         use FixedState::*;
         if rec == Terminated || sen == Terminated {
             return (Terminated, Terminated);
@@ -61,7 +62,7 @@ impl CountProtocol for FixedCounter {
 }
 
 /// State of the geometric-target timer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum GeoState {
     /// Not yet sampled a target.
     Fresh,
@@ -90,8 +91,83 @@ impl Default for GeometricTimer {
     }
 }
 
+impl GeometricTimer {
+    /// The capped-geometric target distribution an agent samples on its
+    /// first interaction: `target = min(G, 32)·scale` with `G ~ geometric(½)`,
+    /// so `P(k·scale) = 2^{-k}` for `k < 32` and the cap absorbs the tail.
+    fn fresh_outcomes(&self) -> Vec<(GeoState, f64)> {
+        (1u32..=32)
+            .map(|k| {
+                let p = if k < 32 {
+                    0.5f64.powi(k as i32)
+                } else {
+                    0.5f64.powi(31)
+                };
+                (
+                    GeoState::Counting {
+                        target: k as u16 * self.scale,
+                        count: 1,
+                    },
+                    p,
+                )
+            })
+            .collect()
+    }
+
+    /// The deterministic bump of a non-`Fresh`, non-terminated state.
+    fn bump_det(s: GeoState) -> GeoState {
+        match s {
+            GeoState::Counting { target, count } => {
+                if count + 1 >= target {
+                    GeoState::Terminated
+                } else {
+                    GeoState::Counting {
+                        target,
+                        count: count + 1,
+                    }
+                }
+            }
+            other => other,
+        }
+    }
+}
+
 impl CountProtocol for GeometricTimer {
     type State = GeoState;
+
+    fn outcomes(&self, rec: GeoState, sen: GeoState) -> Option<Outcomes<GeoState>> {
+        use GeoState::*;
+        if rec == Terminated || sen == Terminated {
+            return Some(Outcomes::Deterministic(Terminated, Terminated));
+        }
+        match (rec, sen) {
+            // Both sampling at once: a 32×32 product law — leave it to the
+            // per-interaction fallback rather than enumerate 1024 outcomes.
+            (Fresh, Fresh) => None,
+            (Fresh, s) => {
+                let bumped = Self::bump_det(s);
+                Some(Outcomes::Random(
+                    self.fresh_outcomes()
+                        .into_iter()
+                        .map(|(r, p)| (r, bumped, p))
+                        .collect(),
+                ))
+            }
+            (r, Fresh) => {
+                let bumped = Self::bump_det(r);
+                Some(Outcomes::Random(
+                    self.fresh_outcomes()
+                        .into_iter()
+                        .map(|(s, p)| (bumped, s, p))
+                        .collect(),
+                ))
+            }
+            (r, s) => Some(Outcomes::Deterministic(
+                Self::bump_det(r),
+                Self::bump_det(s),
+            )),
+        }
+    }
 
     fn transition(&self, rec: GeoState, sen: GeoState, rng: &mut SimRng) -> (GeoState, GeoState) {
         use GeoState::*;
@@ -126,7 +202,7 @@ impl CountProtocol for GeometricTimer {
 /// counter, on a population of size `n`.
 pub fn fixed_signal_time(n: u64, threshold: u32, seed: u64) -> f64 {
     let config = CountConfiguration::uniform(FixedState::Counting(0), n);
-    let mut sim = CountSim::new(FixedCounter { threshold }, config, seed);
+    let mut sim = ConfigSim::new(FixedCounter { threshold }, config, seed);
     let out = sim.run_until(
         |c| c.count(&FixedState::Terminated) > 0,
         (n / 100).max(1),
@@ -140,7 +216,7 @@ pub fn fixed_signal_time(n: u64, threshold: u32, seed: u64) -> f64 {
 /// timer.
 pub fn geometric_signal_time(n: u64, scale: u16, seed: u64) -> f64 {
     let config = CountConfiguration::uniform(GeoState::Fresh, n);
-    let mut sim = CountSim::new(GeometricTimer { scale }, config, seed);
+    let mut sim = ConfigSim::new(GeometricTimer { scale }, config, seed);
     let out = sim.run_until(
         |c| c.count(&GeoState::Terminated) > 0,
         (n / 100).max(1),
@@ -188,7 +264,7 @@ mod tests {
     #[test]
     fn termination_spreads_after_signal() {
         let config = CountConfiguration::uniform(FixedState::Counting(0), 1000);
-        let mut sim = CountSim::new(FixedCounter { threshold: 20 }, config, 3);
+        let mut sim = ConfigSim::new(FixedCounter { threshold: 20 }, config, 3);
         let out = sim.run_until(|c| c.count(&FixedState::Terminated) == 1000, 100, f64::MAX);
         assert!(out.converged);
     }
@@ -196,8 +272,7 @@ mod tests {
     #[test]
     fn terminated_pair_is_absorbing() {
         let p = FixedCounter { threshold: 5 };
-        let mut rng = pp_engine::rng::rng_from_seed(0);
-        let (a, b) = p.transition(FixedState::Terminated, FixedState::Counting(0), &mut rng);
+        let (a, b) = p.transition_det(FixedState::Terminated, FixedState::Counting(0));
         assert_eq!(a, FixedState::Terminated);
         assert_eq!(b, FixedState::Terminated);
     }
@@ -207,12 +282,12 @@ mod tests {
         // Targets cap at 32·scale, so the state space stays small even on
         // long runs (needed for CountSim efficiency).
         let config = CountConfiguration::uniform(GeoState::Fresh, 10_000);
-        let mut sim = CountSim::new(GeometricTimer { scale: 10 }, config, 4);
+        let mut sim = ConfigSim::new(GeometricTimer { scale: 10 }, config, 4);
         sim.run_for_time(3.0);
         assert!(
-            sim.config().support_size() < 400,
+            sim.config_view().support_size() < 400,
             "support {} too large",
-            sim.config().support_size()
+            sim.config_view().support_size()
         );
     }
 }

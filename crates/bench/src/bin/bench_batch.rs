@@ -1,26 +1,41 @@
 //! `BENCH_batch.json` emitter: sequential vs batched simulator throughput.
 //!
-//! Two one-way-epidemic workloads at `n ∈ {10⁴, 10⁶, 10⁷}`, single infected
-//! source, both engines seeded identically:
+//! Two protocols at `n ∈ {10⁴, 10⁶, 10⁷}`, both engines seeded identically:
+//!
+//! * **`epidemic`** — the one-way infection epidemic (deterministic, two
+//!   states): the batched engine's best case and the historical baseline.
+//! * **`weak_estimator`** — the Alistarh et al. max-geometric estimator, a
+//!   *randomized* paper protocol: each agent's first interaction draws a
+//!   geometric (unbounded support → per-interaction sampling inside the
+//!   batch), after which every pair is a deterministic max-merge that the
+//!   law table bulk-applies, and the converged tail is skipped by the
+//!   null-skip mode. This row is the acceptance check that randomized
+//!   protocols now reach batched speed.
+//!
+//! Two workloads per protocol:
 //!
 //! * **`fixed_time`** (primary): simulate exactly `8·ln n` parallel time —
-//!   the paper's `Θ(log n)`-time experiment shape (the epidemic completes
-//!   w.h.p. within it; Lemma A.1 gives `Pr[T > a ln n] < 4n^{-a/4+1}`).
-//!   Both engines execute exactly `⌈8 n ln n⌉` interactions.
-//! * **`completion`**: run until every agent is infected (no silent phase).
+//!   the paper's `Θ(log n)`-time experiment shape (both protocols converge
+//!   w.h.p. well within it, so the workload includes the converged tail
+//!   that null skipping accelerates). Both engines execute exactly
+//!   `⌈8 n ln n⌉` interactions.
+//! * **`completion`**: run until the protocol's convergence predicate
+//!   holds (every agent infected / all agents agree on the settled max).
 //!
 //! Interactions per second and the batched/sequential speedup are recorded
 //! per workload so future PRs have a perf trajectory. Results land in
 //! `BENCH_batch.json` in the current directory.
 //!
 //! Usage: `cargo run --release --bin bench_batch [-- --quick]`
-//! (`--quick` drops `n = 10⁷`, whose sequential fixed-time run takes ~10 s).
+//! (`--quick` drops `n = 10⁷`, whose sequential fixed-time runs take ~10 s
+//! each).
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
+use pp_baselines::alistarh::{WeakEstimator, WeakState};
 use pp_engine::batch::BatchedCountSim;
-use pp_engine::count_sim::{CountConfiguration, CountSim};
+use pp_engine::count_sim::{CountConfiguration, CountProtocol, CountSim};
 use pp_engine::epidemic::InfectionEpidemic;
 use pp_engine::rng::derive_seed;
 
@@ -36,33 +51,62 @@ impl Measurement {
     }
 }
 
-fn epidemic_config(n: u64) -> CountConfiguration<bool> {
-    CountConfiguration::from_pairs([(false, n - 1), (true, 1)])
+/// One benchmarkable protocol: initial configuration plus completion
+/// predicate.
+trait Workload: CountProtocol + Copy {
+    fn config(n: u64) -> CountConfiguration<Self::State>;
+    fn complete(c: &CountConfiguration<Self::State>, n: u64) -> bool;
 }
 
-/// Runs `trials` epidemics on the chosen engine; `fixed_time` selects the
+impl Workload for InfectionEpidemic {
+    fn config(n: u64) -> CountConfiguration<bool> {
+        CountConfiguration::from_pairs([(false, n - 1), (true, 1)])
+    }
+
+    fn complete(c: &CountConfiguration<bool>, n: u64) -> bool {
+        c.count(&true) == n
+    }
+}
+
+impl Workload for WeakEstimator {
+    fn config(n: u64) -> CountConfiguration<WeakState> {
+        CountConfiguration::uniform(WeakState::initial(), n)
+    }
+
+    fn complete(c: &CountConfiguration<WeakState>, _n: u64) -> bool {
+        WeakEstimator::agreed(c)
+    }
+}
+
+/// Runs `trials` runs of `P` on the chosen engine; `fixed_time` selects the
 /// `8 ln n`-parallel-time workload, otherwise run-to-completion.
-fn run(n: u64, trials: u64, batched: bool, fixed_time: bool, base_seed: u64) -> Measurement {
+fn run<P: Workload + Default>(
+    n: u64,
+    trials: u64,
+    batched: bool,
+    fixed_time: bool,
+    base_seed: u64,
+) -> Measurement {
     let sim_time = 8.0 * (n as f64).ln();
     let start = Instant::now();
     let mut interactions = 0;
     for t in 0..trials {
         let seed = derive_seed(base_seed, t);
         let done = if batched {
-            let mut sim = BatchedCountSim::new(InfectionEpidemic, epidemic_config(n), seed);
+            let mut sim = BatchedCountSim::new(P::default(), P::config(n), seed);
             if fixed_time {
                 sim.run_for_time(sim_time);
             } else {
-                let out = sim.run_until(|c| c.count(&true) == n, (n / 8).max(1), f64::MAX);
+                let out = sim.run_until(|c| P::complete(c, n), (n / 8).max(1), f64::MAX);
                 assert!(out.converged);
             }
             sim.interactions()
         } else {
-            let mut sim = CountSim::new(InfectionEpidemic, epidemic_config(n), seed);
+            let mut sim = CountSim::new(P::default(), P::config(n), seed);
             if fixed_time {
                 sim.run_for_time(sim_time);
             } else {
-                let out = sim.run_until(|c| c.count(&true) == n, (n / 8).max(1), f64::MAX);
+                let out = sim.run_until(|c| P::complete(c, n), (n / 8).max(1), f64::MAX);
                 assert!(out.converged);
             }
             sim.interactions()
@@ -76,22 +120,25 @@ fn run(n: u64, trials: u64, batched: bool, fixed_time: bool, base_seed: u64) -> 
     }
 }
 
-fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    // (n, sequential trials, batched trials)
-    let sizes: &[(u64, u64, u64)] = if quick {
-        &[(10_000, 20, 200), (1_000_000, 2, 100)]
-    } else {
-        &[(10_000, 50, 400), (1_000_000, 3, 200), (10_000_000, 1, 40)]
-    };
+struct Row {
+    protocol: &'static str,
+    n: u64,
+    workload: &'static str,
+    seq: Measurement,
+    bat: Measurement,
+}
 
-    let mut rows = Vec::new();
+fn bench_protocol<P: Workload + Default>(
+    name: &'static str,
+    sizes: &[(u64, u64, u64)],
+    rows: &mut Vec<Row>,
+) {
     for &(n, seq_trials, batch_trials) in sizes {
         for (workload, fixed_time) in [("fixed_time", true), ("completion", false)] {
-            let seq = run(n, seq_trials, false, fixed_time, 0xB0BA);
-            let bat = run(n, batch_trials, true, fixed_time, 0xB0BA);
+            let seq = run::<P>(n, seq_trials, false, fixed_time, 0xB0BA);
+            let bat = run::<P>(n, batch_trials, true, fixed_time, 0xB0BA);
             eprintln!(
-                "n = {:>9} {:>11}: sequential {:>12.0} int/s ({:.3}s) | batched {:>13.0} int/s ({:.3}s) | speedup {:.1}x",
+                "{name:>14} n = {:>9} {:>11}: sequential {:>12.0} int/s ({:.3}s) | batched {:>13.0} int/s ({:.3}s) | speedup {:.1}x",
                 n,
                 workload,
                 seq.rate(),
@@ -100,26 +147,53 @@ fn main() {
                 bat.seconds,
                 bat.rate() / seq.rate()
             );
-            rows.push((n, workload, seq, bat));
+            rows.push(Row {
+                protocol: name,
+                n,
+                workload,
+                seq,
+                bat,
+            });
         }
     }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    // (n, sequential trials, batched trials)
+    let sizes: &[(u64, u64, u64)] = if quick {
+        &[(10_000, 20, 200), (1_000_000, 2, 100)]
+    } else {
+        &[(10_000, 50, 400), (1_000_000, 3, 200), (10_000_000, 1, 40)]
+    };
+    let weak_sizes: &[(u64, u64, u64)] = if quick {
+        &[(10_000, 20, 50), (1_000_000, 2, 10)]
+    } else {
+        &[(10_000, 50, 100), (1_000_000, 3, 20), (10_000_000, 1, 5)]
+    };
+
+    let mut rows = Vec::new();
+    bench_protocol::<InfectionEpidemic>("epidemic", sizes, &mut rows);
+    bench_protocol::<WeakEstimator>("weak_estimator", weak_sizes, &mut rows);
 
     let mut json = String::from(
-        "{\n  \"benchmark\": \"one_way_epidemic\",\n  \"unit\": \"interactions_per_second\",\n  \
+        "{\n  \"benchmark\": \"sequential_vs_batched\",\n  \"unit\": \"interactions_per_second\",\n  \
          \"primary_workload\": \"fixed_time\",\n  \"results\": [\n",
     );
-    for (i, (n, workload, seq, bat)) in rows.iter().enumerate() {
+    for (i, row) in rows.iter().enumerate() {
         let _ = write!(
             json,
-            "    {{\"n\": {}, \"workload\": \"{}\", \"sequential\": {:.1}, \"batched\": {:.1}, \
-             \"speedup\": {:.2}, \"sequential_trials\": {}, \"batched_trials\": {}}}",
-            n,
-            workload,
-            seq.rate(),
-            bat.rate(),
-            bat.rate() / seq.rate(),
-            seq.trials,
-            bat.trials
+            "    {{\"protocol\": \"{}\", \"n\": {}, \"workload\": \"{}\", \"sequential\": {:.1}, \
+             \"batched\": {:.1}, \"speedup\": {:.2}, \"sequential_trials\": {}, \
+             \"batched_trials\": {}}}",
+            row.protocol,
+            row.n,
+            row.workload,
+            row.seq.rate(),
+            row.bat.rate(),
+            row.bat.rate() / row.seq.rate(),
+            row.seq.trials,
+            row.bat.trials
         );
         json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }

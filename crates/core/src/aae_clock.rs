@@ -23,7 +23,9 @@ use crate::log_size::LogSizeEstimation;
 use crate::state::MainState;
 
 /// Standalone AAE phase-clock state.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize, PartialOrd, Ord, Hash,
+)]
 pub struct AaeState {
     /// Current phase number.
     pub phase: u64,
@@ -93,7 +95,7 @@ pub fn time_for_phases(n: usize, phases: u64, seed: u64) -> f64 {
 }
 
 /// Per-agent state of the AAE-clock-driven terminating estimator.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct AaeTermState {
     /// Embedded main-protocol state.
     pub main: MainState,

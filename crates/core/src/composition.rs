@@ -62,7 +62,7 @@ pub trait Downstream {
 }
 
 /// Composed per-agent state: clock fields plus the downstream state.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ComposedState<S> {
     /// Weak size estimate `s` (max geometric+2, by epidemic).
     pub estimate: u64,

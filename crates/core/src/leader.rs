@@ -21,6 +21,8 @@
 //! The leader resets its clock whenever its `logSize2` is restarted, so the
 //! count that ultimately fires is paced by the settled estimate.
 
+use pp_engine::batch::ConfigSim;
+use pp_engine::interned::Interned;
 use pp_engine::rng::SimRng;
 use pp_engine::{AgentSim, Protocol};
 
@@ -29,7 +31,7 @@ use crate::phase_clock::LeaderClock;
 use crate::state::MainState;
 
 /// Per-agent state of the terminating variant.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct LeaderState {
     /// Embedded main-protocol state.
     pub main: MainState,
@@ -144,6 +146,12 @@ pub struct TerminatingOutcome {
 }
 
 /// Runs the terminating protocol: population of `n` with one planted leader.
+///
+/// Uses the per-agent simulator: every interaction advances interaction
+/// counters inside the states, so the occupied state space is `Θ(n)` and the
+/// count representation buys nothing here (a planted-leader start *can*
+/// still run on [`ConfigSim`] via [`run_terminating_counted`] — the
+/// statistical-equivalence suite holds the two to the same law).
 pub fn run_terminating(n: usize, seed: u64, max_time: f64) -> TerminatingOutcome {
     let protocol = LeaderTerminating::paper();
     let mut sim = AgentSim::new(protocol, n, seed);
@@ -164,9 +172,64 @@ pub fn run_terminating(n: usize, seed: u64, max_time: f64) -> TerminatingOutcome
     let mut counts = std::collections::BTreeMap::new();
     for s in sim.states() {
         if let Some(o) = s.main.output {
-            *counts.entry(o).or_insert(0usize) += 1;
+            *counts.entry(o).or_insert(0u64) += 1;
         }
     }
+    finish_outcome(counts, n, termination_time, frozen.time)
+}
+
+/// [`run_terminating`] on the unified count engine: the planted leader is
+/// expressed as a *non-uniform initial configuration* (one
+/// [`LeaderState::leader`] agent among `n - 1` followers) instead of a
+/// post-hoc `set_state`. Exact, but slower than the agent simulator for
+/// this protocol — the per-interaction counters inside the states keep the
+/// occupied support at `Θ(n)` — so use it for cross-engine validation, not
+/// sweeps.
+pub fn run_terminating_counted(n: usize, seed: u64, max_time: f64) -> TerminatingOutcome {
+    let interned = Interned::new(LeaderTerminating::paper());
+    let handle = interned.handle();
+    let config = interned.config_from_pairs([
+        (LeaderState::leader(), 1),
+        (LeaderState::initial(), n as u64 - 1),
+    ]);
+    let mut sim = ConfigSim::new(interned, config, seed);
+    let check = n as u64;
+    let fired = sim.run_until(
+        |c| handle.decode(c).iter().any(|(s, _)| s.terminated),
+        check,
+        max_time,
+    );
+    if !fired.converged {
+        return TerminatingOutcome {
+            termination_time: fired.time,
+            all_frozen_time: fired.time,
+            output: None,
+            agreement: 0.0,
+            terminated: false,
+        };
+    }
+    let termination_time = fired.time;
+    let frozen = sim.run_until(
+        |c| handle.decode(c).iter().all(|(s, _)| s.terminated),
+        check,
+        max_time,
+    );
+    // Majority output among agents (count-weighted).
+    let mut counts = std::collections::BTreeMap::new();
+    for (s, k) in handle.decode(&sim.config_view()) {
+        if let Some(o) = s.main.output {
+            *counts.entry(o).or_insert(0u64) += k;
+        }
+    }
+    finish_outcome(counts, n, termination_time, frozen.time)
+}
+
+fn finish_outcome(
+    counts: std::collections::BTreeMap<u64, u64>,
+    n: usize,
+    termination_time: f64,
+    all_frozen_time: f64,
+) -> TerminatingOutcome {
     let (output, agreement) = counts
         .into_iter()
         .max_by_key(|&(_, c)| c)
@@ -174,7 +237,7 @@ pub fn run_terminating(n: usize, seed: u64, max_time: f64) -> TerminatingOutcome
         .unwrap_or((None, 0.0));
     TerminatingOutcome {
         termination_time,
-        all_frozen_time: frozen.time,
+        all_frozen_time,
         output,
         agreement,
         terminated: true,

@@ -24,6 +24,8 @@
 //!    within 4.7 of `log |A| ≈ log n − 1`, giving the 5.7 band of
 //!    Lemma 3.11.
 
+use pp_engine::batch::ConfigSim;
+use pp_engine::interned::Interned;
 use pp_engine::rng::{geometric_half, SimRng};
 use pp_engine::{AgentSim, Protocol};
 
@@ -305,17 +307,33 @@ impl EstimateOutcome {
 pub fn is_converged(states: &[MainState]) -> bool {
     let mut common: Option<u64> = None;
     for s in states {
-        if !s.protocol_done {
+        if !converged_into(s, &mut common) {
             return false;
-        }
-        match (s.output, common) {
-            (None, _) => return false,
-            (Some(v), None) => common = Some(v),
-            (Some(v), Some(c)) if v != c => return false,
-            _ => {}
         }
     }
     true
+}
+
+/// Count-level convergence check over a decoded configuration: every
+/// *occupied* state is done with the same output (counts are irrelevant —
+/// convergence is a property of the occupied support).
+pub fn is_converged_counts(states: &[(MainState, u64)]) -> bool {
+    let mut common: Option<u64> = None;
+    states.iter().all(|(s, _)| converged_into(s, &mut common))
+}
+
+fn converged_into(s: &MainState, common: &mut Option<u64>) -> bool {
+    if !s.protocol_done {
+        return false;
+    }
+    match (s.output, *common) {
+        (None, _) => false,
+        (Some(v), None) => {
+            *common = Some(v);
+            true
+        }
+        (Some(v), Some(c)) => v == c,
+    }
 }
 
 /// The default convergence-time budget, from the phase-clock accounting.
@@ -352,6 +370,57 @@ pub fn default_time_budget(n: u64) -> f64 {
 /// ```
 pub fn estimate_log_size(n: usize, seed: u64, max_time: Option<f64>) -> EstimateOutcome {
     estimate_with(LogSizeEstimation::paper(), n, seed, max_time)
+}
+
+/// Runs `Log-Size-Estimation` on the unified count engine: the protocol is
+/// interned onto [`ConfigSim`], so the simulator stores one count per
+/// *occupied* state (`O(log⁴ n)` by Lemma 3.9) instead of one record per
+/// agent, and convergence checks cost `O(k)` instead of `O(n)`. Realizes
+/// exactly the same stochastic process as [`estimate_log_size`] — the
+/// statistical-equivalence suite (`tests/unified_equivalence.rs`) holds the
+/// two to the same output and time distributions.
+pub fn estimate_log_size_counted(n: usize, seed: u64, max_time: Option<f64>) -> EstimateOutcome {
+    estimate_counted(LogSizeEstimation::paper(), n, seed, max_time)
+}
+
+/// [`estimate_log_size_counted`] with explicit protocol constants.
+pub fn estimate_counted(
+    protocol: LogSizeEstimation,
+    n: usize,
+    seed: u64,
+    max_time: Option<f64>,
+) -> EstimateOutcome {
+    let budget = max_time.unwrap_or_else(|| default_time_budget(n as u64));
+    let interned = Interned::new(protocol);
+    let handle = interned.handle();
+    let config = interned.uniform_config(n as u64);
+    let mut sim = ConfigSim::new(interned, config, seed);
+    let mut maxima = FieldMaxima::default();
+    let out = sim.run_until(
+        |c| {
+            let decoded = handle.decode(c);
+            for (s, _) in &decoded {
+                maxima.absorb(s);
+            }
+            is_converged_counts(&decoded)
+        },
+        n as u64,
+        budget,
+    );
+    let output = if out.converged {
+        handle
+            .decode(&sim.config_view())
+            .first()
+            .and_then(|(s, _)| s.output)
+    } else {
+        None
+    };
+    EstimateOutcome {
+        output,
+        time: out.time,
+        converged: out.converged,
+        maxima,
+    }
 }
 
 /// [`estimate_log_size`] with explicit protocol constants.

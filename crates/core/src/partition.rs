@@ -15,31 +15,26 @@
 //! probability `≥ 1 − e^{−2a²/n}` (the deviation is stochastically dominated
 //! by a fair binomial's).
 
-use pp_engine::rng::SimRng;
-use pp_engine::{AgentSim, Protocol};
+use pp_engine::batch::{ConfigSim, DeterministicCountProtocol};
+use pp_engine::count_sim::CountConfiguration;
 
 use crate::state::Role;
 
-/// The partition-only protocol.
+/// The partition-only protocol, on the unified count representation: three
+/// states, deterministic transitions — ideal for the batched engine, which
+/// runs the `n = 10^6` sweeps of `table_partition` in milliseconds.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct PartitionOnly;
 
-impl Protocol for PartitionOnly {
+impl DeterministicCountProtocol for PartitionOnly {
     type State = Role;
 
-    fn initial_state(&self) -> Role {
-        Role::X
-    }
-
-    fn interact(&self, rec: &mut Role, sen: &mut Role, _rng: &mut SimRng) {
-        match (*sen, *rec) {
-            (Role::X, Role::X) => {
-                *sen = Role::A;
-                *rec = Role::S;
-            }
-            (Role::A, Role::X) => *rec = Role::S,
-            (Role::S, Role::X) => *rec = Role::A,
-            _ => {}
+    fn transition_det(&self, rec: Role, sen: Role) -> (Role, Role) {
+        match (sen, rec) {
+            (Role::X, Role::X) => (Role::S, Role::A),
+            (Role::A, Role::X) => (Role::S, Role::A),
+            (Role::S, Role::X) => (Role::A, Role::S),
+            _ => (rec, sen),
         }
     }
 }
@@ -55,12 +50,13 @@ pub struct PartitionOutcome {
     pub time: f64,
 }
 
-/// Runs the partition to completion.
+/// Runs the partition to completion on [`ConfigSim`] (batched at scale).
 pub fn run_partition(n: usize, seed: u64) -> PartitionOutcome {
-    let mut sim = AgentSim::new(PartitionOnly, n, seed);
-    let out = sim.run_until_converged(|s| s.iter().all(|&r| r != Role::X), f64::MAX);
+    let config = CountConfiguration::uniform(Role::X, n as u64);
+    let mut sim = ConfigSim::new(PartitionOnly, config, seed);
+    let out = sim.run_until(|c| c.count(&Role::X) == 0, n as u64, f64::MAX);
     debug_assert!(out.converged);
-    let a_count = sim.states().iter().filter(|&&r| r == Role::A).count();
+    let a_count = sim.count(&Role::A) as usize;
     PartitionOutcome {
         a_count,
         s_count: n - a_count,

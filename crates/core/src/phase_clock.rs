@@ -17,7 +17,7 @@ use pp_engine::rng::{geometric_half, SimRng};
 use pp_engine::Protocol;
 
 /// State of one agent of the standalone leaderless phase clock.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ClockState {
     /// Weak size estimate `s` (max of geometric+2 samples, by epidemic).
     pub estimate: u64,
@@ -127,7 +127,7 @@ pub fn stage_skew(states: &[ClockState]) -> u64 {
 /// State of the leader-driven clock used by the terminating variant
 /// (Theorem 3.13): only the leader counts, so a single plain Chernoff bound
 /// (no union over agents) controls the firing time.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct LeaderClock {
     /// Interactions the leader has witnessed since the last reset.
     pub count: u64,

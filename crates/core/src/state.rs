@@ -31,7 +31,7 @@ pub enum Role {
 /// Full per-agent state of the main protocol.
 ///
 /// Field names follow the pseudocode (`logSize2` → `log_size2`, etc.).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct MainState {
     /// Current role (`X` until partitioned).
     pub role: Role,

@@ -36,7 +36,7 @@ pub enum CoinRole {
 }
 
 /// Per-agent state of the synthetic-coin protocol (Protocol 10's fields).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SyntheticState {
     /// Current role.
     pub role: CoinRole,

@@ -14,7 +14,7 @@ use pp_engine::rng::SimRng;
 use pp_engine::{AgentSim, Protocol};
 
 /// Per-agent state: the Appendix-B fields plus the parity counter.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct AlternatingState {
     /// Interaction parity: acts as A when even, as F when odd.
     pub parity: u8,

@@ -32,7 +32,7 @@ use crate::log_size::{is_converged, LogSizeEstimation};
 use crate::state::MainState;
 
 /// Per-agent state: the main protocol's state plus the backup counter.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct UpperBoundState {
     /// Embedded main-protocol state.
     pub main: MainState,

@@ -20,9 +20,20 @@
 //!    as iterated conditional hypergeometric draws
 //!    ([`crate::rng::hypergeometric`]), exactly — never approximately, so
 //!    counts can never go negative or oversample a state.
-//! 3. **Bulk application.** Deterministic transitions are applied as count
-//!    deltas through a lazily built dense `k×k` transition table over the
-//!    discovered state space — `O(k²)` per batch, independent of `T`.
+//! 3. **Bulk application.** Transitions are applied as count deltas through
+//!    a lazily built dense `k×k` table of per-pair *outcome laws* over the
+//!    discovered state space — `O(k²)` per batch, independent of `T`. A
+//!    pair's law is one of three kinds (see `PairLaw`):
+//!    * **deterministic** — the classic case: one count delta per pair;
+//!    * **random with finite support** — the protocol enumerated the
+//!      outcome distribution via [`CountProtocol::outcomes`]; the pair's
+//!      whole batch count is split over the outcomes with one exact
+//!      multinomial draw ([`crate::rng::multinomial_conditional`]) — the
+//!      ppsim treatment of randomized transitions;
+//!    * **sampled** — unbounded or unenumerated support; only these pairs
+//!      fall back to one [`CountProtocol::transition`] call per
+//!      interaction, still exact and still cheaper than sequential
+//!      simulation (no pair draw, no per-interaction bookkeeping).
 //! 4. **Collision interaction.** The first colliding interaction is
 //!    simulated individually: conditioned on colliding at position `T+1`,
 //!    the repeated agent is uniform over the batch's touched (already
@@ -50,17 +61,20 @@
 //!    batch from the current configuration, so runs glide between modes as
 //!    density evolves.
 //!
-//! Randomized protocols cannot be bulk-applied (each interaction would need
-//! its own variates); they — and small populations, where batches are short
-//! and constants dominate — transparently fall back to the sequential
-//! simulator via the [`ConfigSim`] facade.
+//! The engine is exact for *every* [`CountProtocol`], randomized or not.
+//! Whether it is the *fast* choice depends on the occupied state count `k`
+//! (per-batch work grows with `k²`): protocols signal their preference via
+//! [`CountProtocol::prefers_batching`], which the [`ConfigSim`] facade
+//! consults together with the population size. Small populations, where
+//! batches are short and constants dominate, fall back to the sequential
+//! simulator.
 
 use std::collections::BTreeMap;
 
 use rand::Rng;
 
-use crate::count_sim::{CountConfiguration, CountProtocol, CountSim};
-use crate::rng::{geometric, hypergeometric, rng_from_seed, SimRng};
+use crate::count_sim::{CountConfiguration, CountProtocol, CountSeededInit, CountSim, Outcomes};
+use crate::rng::{geometric, hypergeometric, multinomial_conditional, rng_from_seed, SimRng};
 use crate::scheduler::parallel_time;
 use crate::sim::RunOutcome;
 
@@ -76,6 +90,14 @@ pub trait DeterministicCountProtocol {
 
     /// Computes the post-interaction states `(rec', sen')` deterministically.
     fn transition_det(&self, rec: Self::State, sen: Self::State) -> (Self::State, Self::State);
+
+    /// See [`CountProtocol::prefers_batching`]. Deterministic protocols
+    /// default to batching; ones whose *occupied* state space grows large
+    /// (per-batch work is `O(k²)`) should override to `false` and stay on
+    /// the sequential count engine.
+    fn prefers_batching(&self) -> bool {
+        true
+    }
 }
 
 impl<P: DeterministicCountProtocol> CountProtocol for P {
@@ -90,8 +112,17 @@ impl<P: DeterministicCountProtocol> CountProtocol for P {
         self.transition_det(rec, sen)
     }
 
+    fn outcomes(&self, rec: Self::State, sen: Self::State) -> Option<Outcomes<Self::State>> {
+        let (c, d) = self.transition_det(rec, sen);
+        Some(Outcomes::Deterministic(c, d))
+    }
+
     fn is_deterministic(&self) -> bool {
         true
+    }
+
+    fn prefers_batching(&self) -> bool {
+        DeterministicCountProtocol::prefers_batching(self)
     }
 }
 
@@ -100,8 +131,35 @@ impl<P: DeterministicCountProtocol> CountProtocol for P {
 /// never: one draw in ~10¹⁸).
 const SURVIVAL_CUTOFF: f64 = 1e-18;
 
-/// Sentinel marking a transition-table entry not yet computed.
+/// Sentinel marking a law-table entry not yet computed.
 const UNCOMPUTED: u32 = u32::MAX;
+
+/// Index of the shared [`PairLaw::Sampled`] law (always `laws[0]`).
+const LAW_SAMPLED: u32 = 0;
+
+/// The analyzed outcome law of one ordered state-id pair, as the batched
+/// engine applies it.
+#[derive(Debug, Clone)]
+enum PairLaw {
+    /// The transition always produces these output ids: a whole batch count
+    /// is applied as one delta.
+    Det(u32, u32),
+    /// Finite outcome support ([`Outcomes::Random`]): a batch count is split
+    /// over the outcomes with one exact multinomial draw. `silent` caches
+    /// whether every outcome maps the pair to itself (such pairs are
+    /// certainly-null and participate in null skipping).
+    Random {
+        /// Output id pairs with positive probability.
+        outs: Vec<(u32, u32)>,
+        /// Renormalized outcome probabilities (same order as `outs`).
+        probs: Vec<f64>,
+        /// All outcomes equal the input pair.
+        silent: bool,
+    },
+    /// Unbounded or unenumerated outcome support: each interaction of this
+    /// pair samples [`CountProtocol::transition`] individually.
+    Sampled,
+}
 
 /// Switch to the null-skipping (Gillespie) mode when the expected number of
 /// productive interactions per batch drops below this. The value is the
@@ -114,14 +172,17 @@ const NULL_SKIP_FACTOR: f64 = 6.0;
 /// Batched simulator over a configuration vector.
 ///
 /// Realizes exactly the same stochastic process as [`CountSim`] (uniform
-/// ordered pairs of distinct agents), restricted to deterministic
-/// protocols. Construct directly, or let [`ConfigSim::new`] choose.
+/// ordered pairs of distinct agents) for *any* protocol — deterministic
+/// transitions and finite outcome distributions are bulk-applied; pairs
+/// with unbounded outcome support are sampled per interaction inside the
+/// batch. Construct directly, or let [`ConfigSim::new`] choose.
 pub struct BatchedCountSim<P: CountProtocol> {
     protocol: P,
     rng: SimRng,
-    /// RNG handed to `transition` while filling the table; deterministic
-    /// protocols never read it, and it is separate from `rng` so the
-    /// simulation stream does not depend on table fill order.
+    /// RNG handed to `transition` while probing laws of protocols that
+    /// report [`CountProtocol::is_deterministic`] without enumerating
+    /// outcomes; such transitions never read it, and it is separate from
+    /// `rng` so the simulation stream does not depend on law fill order.
     table_rng: SimRng,
     n: u64,
     interactions: u64,
@@ -130,9 +191,14 @@ pub struct BatchedCountSim<P: CountProtocol> {
     index: BTreeMap<P::State, usize>,
     /// Current configuration counts, id-indexed.
     counts: Vec<u64>,
-    /// Dense `k×k` transition table: entry `[a·k + b]` holds the output ids
-    /// of `transition(a, b)`, or [`UNCOMPUTED`] sentinels.
-    table: Vec<(u32, u32)>,
+    /// Row stride (capacity) of `table`; grown geometrically so state
+    /// discovery costs `O(cap)` amortized per new state, not `O(cap²)`.
+    cap: usize,
+    /// Dense law-index table: entry `[a·cap + b]` points into `laws`, or is
+    /// [`UNCOMPUTED`].
+    table: Vec<u32>,
+    /// Analyzed pair laws; `laws[0]` is the shared [`PairLaw::Sampled`].
+    laws: Vec<PairLaw>,
     /// `survival[t] = P(T ≥ t)`: precomputed birthday-collision survival.
     survival: Vec<f64>,
     /// Whether `survival` ends because batches cannot exceed `⌊n/2⌋`
@@ -153,23 +219,19 @@ pub struct BatchedCountSim<P: CountProtocol> {
 impl<P: CountProtocol> BatchedCountSim<P> {
     /// Creates a batched simulator from an initial configuration.
     ///
+    /// Accepts any protocol: randomized transitions are bulk-applied when
+    /// the protocol enumerates their outcome distributions
+    /// ([`CountProtocol::outcomes`]) and sampled per interaction otherwise.
+    ///
     /// # Panics
     ///
-    /// Panics if the configuration has fewer than 2 agents or if the
-    /// protocol reports [`CountProtocol::is_deterministic`] `false`
-    /// (randomized transitions cannot be applied as bulk count deltas — use
-    /// [`CountSim`] or the [`ConfigSim`] facade).
+    /// Panics if the configuration has fewer than 2 agents.
     pub fn new(protocol: P, config: CountConfiguration<P::State>, seed: u64) -> Self {
         let n = config.population_size();
         assert!(n >= 2, "population must have at least 2 agents, got {n}");
         assert!(
             n <= u32::MAX as u64,
             "pair-weight arithmetic requires n² to fit in u64"
-        );
-        assert!(
-            protocol.is_deterministic(),
-            "BatchedCountSim requires a deterministic protocol; \
-             implement DeterministicCountProtocol or use CountSim"
         );
         let mut states = Vec::new();
         let mut index = BTreeMap::new();
@@ -180,6 +242,7 @@ impl<P: CountProtocol> BatchedCountSim<P> {
             counts.push(c);
         }
         let k = states.len();
+        let cap = k.max(4);
         let (survival, boundary_reached) = collision_survival(n);
         let expected_batch_len = survival.iter().skip(1).sum();
         Self {
@@ -191,7 +254,9 @@ impl<P: CountProtocol> BatchedCountSim<P> {
             states,
             index,
             counts,
-            table: vec![(UNCOMPUTED, UNCOMPUTED); k * k],
+            cap,
+            table: vec![UNCOMPUTED; cap * cap],
+            laws: vec![PairLaw::Sampled],
             survival,
             boundary_reached,
             expected_batch_len,
@@ -254,9 +319,11 @@ impl<P: CountProtocol> BatchedCountSim<P> {
         }
     }
 
-    /// Total weight `Σ c_a·(c_b - [a = b])` over productive ordered state
-    /// pairs — `n(n-1)` times the probability that the next interaction
-    /// changes the configuration.
+    /// Total weight `Σ c_a·(c_b - [a = b])` over *possibly-productive*
+    /// ordered state pairs — `n(n-1)` times the probability that the next
+    /// interaction lands on a pair whose law could change the configuration
+    /// (random laws with any non-identity outcome, and all sampled laws,
+    /// count as productive).
     fn productive_weight(&mut self) -> u64 {
         let k = self.states.len();
         let mut w = 0u64;
@@ -270,8 +337,8 @@ impl<P: CountProtocol> BatchedCountSim<P> {
                 if cb == 0 {
                     continue;
                 }
-                let (c, d) = self.entry(a, b);
-                if (c, d) != (a, b) {
+                let li = self.law_index(a, b);
+                if !self.law_is_null(li, a, b) {
                     w += ca * (cb - u64::from(a == b));
                 }
             }
@@ -279,12 +346,15 @@ impl<P: CountProtocol> BatchedCountSim<P> {
         w
     }
 
-    /// Gillespie-style step: samples the geometric run of null interactions
-    /// before the next productive one, skips it in O(1), and applies that
-    /// single productive interaction (drawn ∝ its pair weight). If the run
-    /// exceeds `budget`, exactly `budget` null interactions elapse instead —
-    /// valid because null interactions cannot change the configuration and
-    /// the underlying pair sequence is i.i.d.
+    /// Gillespie-style step: samples the geometric run of certainly-null
+    /// interactions before the next possibly-productive one, skips it in
+    /// O(1), and simulates that single interaction (pair drawn ∝ its
+    /// weight, outcome sampled from its law — which may itself turn out to
+    /// be a no-op for random laws with identity outcomes; that is still
+    /// exact). If the run exceeds `budget`, exactly `budget` null
+    /// interactions elapse instead — valid because certainly-null
+    /// interactions cannot change the configuration and the underlying pair
+    /// sequence is i.i.d.
     fn null_skip_step(&mut self, budget: u64, w_prod: u64, p: f64) -> u64 {
         let g = geometric(p, &mut self.rng);
         if g > budget {
@@ -303,12 +373,13 @@ impl<P: CountProtocol> BatchedCountSim<P> {
                 if cb == 0 {
                     continue;
                 }
-                let (c, d) = self.entry(a, b);
-                if (c, d) == (a, b) {
+                let li = self.law_index(a, b);
+                if self.law_is_null(li, a, b) {
                     continue;
                 }
                 let w = ca * (cb - u64::from(a == b));
                 if z < w {
+                    let (c, d) = self.apply_one(a, b);
                     self.counts[a] -= 1;
                     self.counts[b] -= 1;
                     grow_to(&mut self.counts, self.states.len());
@@ -357,9 +428,11 @@ impl<P: CountProtocol> BatchedCountSim<P> {
         // Classify the batch's rows and columns. A receiver row `a` is
         // *reactive* if some present sender state reacts with it; a sender
         // column `b` is reactive if some present receiver row reacts with
-        // it. Pairings involving a non-reactive side are identity for every
-        // counterpart in this batch, so their contingency entries never
-        // need to be drawn individually — the states are unchanged no
+        // it. A pair "reacts" unless its law is certainly null (identity
+        // deterministic outputs, or a random law whose every outcome is the
+        // identity). Pairings involving a non-reactive side are identity
+        // for every counterpart in this batch, so their contingency entries
+        // never need to be drawn individually — the states are unchanged no
         // matter how the matching falls.
         let mut row_reactive = std::mem::take(&mut self.row_reactive);
         let mut col_reactive = std::mem::take(&mut self.col_reactive);
@@ -375,8 +448,8 @@ impl<P: CountProtocol> BatchedCountSim<P> {
                 if send[b] == 0 {
                     continue;
                 }
-                let (c, d) = self.entry(a, b);
-                if (c, d) != (a, b) {
+                let li = self.law_index(a, b);
+                if !self.law_is_null(li, a, b) {
                     row_reactive[a] = true;
                     col_reactive[b] = true;
                 }
@@ -422,10 +495,8 @@ impl<P: CountProtocol> BatchedCountSim<P> {
                 if m == 0 {
                     continue;
                 }
-                let (c, d) = self.entry(a, b);
-                grow_to(&mut touched, self.states.len());
-                touched[c] += m;
-                touched[d] += m;
+                let li = self.law_index(a, b);
+                self.apply_bulk(li, a, b, m, &mut touched);
                 send[b] -= m;
                 send_total -= m;
                 need -= m;
@@ -498,7 +569,7 @@ impl<P: CountProtocol> BatchedCountSim<P> {
             let sen = take_from_batch(touched, send, self.rng.gen_range(0..2 * t));
             (rec, sen)
         };
-        let (c, d) = self.entry(rec_id, sen_id);
+        let (c, d) = self.apply_one(rec_id, sen_id);
         grow_to(touched, self.states.len());
         touched[c] += 1;
         touched[d] += 1;
@@ -532,43 +603,182 @@ impl<P: CountProtocol> BatchedCountSim<P> {
         }
     }
 
-    /// Looks up (computing on first use) the transition outputs for state
-    /// ids `(a, b)`, interning any newly discovered output states.
-    fn entry(&mut self, a: usize, b: usize) -> (usize, usize) {
-        let k = self.states.len();
-        let (c, d) = self.table[a * k + b];
-        if c != UNCOMPUTED {
-            return (c as usize, d as usize);
+    /// Looks up (analyzing on first use) the outcome law of the ordered
+    /// state-id pair `(a, b)`, interning any newly discovered output states.
+    /// Returns an index into `laws`.
+    fn law_index(&mut self, a: usize, b: usize) -> u32 {
+        let idx = self.table[a * self.cap + b];
+        if idx != UNCOMPUTED {
+            return idx;
         }
-        let (sc, sd) =
-            self.protocol
-                .transition(self.states[a], self.states[b], &mut self.table_rng);
-        let ci = self.intern(sc);
-        let di = self.intern(sd);
-        let k_new = self.states.len();
-        self.table[a * k_new + b] = (ci as u32, di as u32);
-        (ci, di)
+        let idx = self.analyze_pair(a, b);
+        // `analyze_pair` may have interned states and grown `cap`, so the
+        // table offset must be recomputed after it returns.
+        self.table[a * self.cap + b] = idx;
+        idx
     }
 
-    /// Returns the id for `state`, discovering it (and growing the
-    /// transition table) if unseen.
+    /// Builds the [`PairLaw`] for `(a, b)` from the protocol's outcome
+    /// enumeration (or a deterministic probe, or the shared sampled law).
+    fn analyze_pair(&mut self, a: usize, b: usize) -> u32 {
+        let (sa, sb) = (self.states[a], self.states[b]);
+        let law = match self.protocol.outcomes(sa, sb) {
+            Some(Outcomes::Deterministic(c, d)) => {
+                let ci = self.intern(c) as u32;
+                let di = self.intern(d) as u32;
+                PairLaw::Det(ci, di)
+            }
+            Some(Outcomes::Random(support)) => self.analyze_random(a, b, support),
+            None if self.protocol.is_deterministic() => {
+                // Deterministic without enumeration: one probe fixes the law.
+                let (c, d) = self.protocol.transition(sa, sb, &mut self.table_rng);
+                let ci = self.intern(c) as u32;
+                let di = self.intern(d) as u32;
+                PairLaw::Det(ci, di)
+            }
+            None => return LAW_SAMPLED,
+        };
+        self.laws.push(law);
+        (self.laws.len() - 1) as u32
+    }
+
+    /// Validates, renormalizes, and interns a finite outcome distribution.
+    fn analyze_random(
+        &mut self,
+        a: usize,
+        b: usize,
+        support: Vec<(P::State, P::State, f64)>,
+    ) -> PairLaw {
+        assert!(
+            !support.is_empty(),
+            "Outcomes::Random must have at least one outcome"
+        );
+        let total: f64 = support.iter().map(|&(_, _, p)| p).sum();
+        assert!(
+            support.iter().all(|&(_, _, p)| p >= 0.0) && (total - 1.0).abs() < 1e-6,
+            "outcome probabilities must be non-negative and sum to 1, got sum {total}"
+        );
+        let mut outs: Vec<(u32, u32)> = Vec::with_capacity(support.len());
+        let mut probs: Vec<f64> = Vec::with_capacity(support.len());
+        for (c, d, p) in support {
+            let ci = self.intern(c) as u32;
+            let di = self.intern(d) as u32;
+            // Merge duplicate outcome pairs so the multinomial split stays
+            // minimal.
+            if let Some(j) = outs.iter().position(|&o| o == (ci, di)) {
+                probs[j] += p / total;
+            } else {
+                outs.push((ci, di));
+                probs.push(p / total);
+            }
+        }
+        if outs.len() == 1 {
+            return PairLaw::Det(outs[0].0, outs[0].1);
+        }
+        let silent = outs.iter().all(|&o| o == (a as u32, b as u32));
+        PairLaw::Random {
+            outs,
+            probs,
+            silent,
+        }
+    }
+
+    /// Whether every outcome of the pair's law maps `(a, b)` to itself —
+    /// i.e. the pair is certainly null and eligible for skipping. Sampled
+    /// pairs are conservatively treated as productive.
+    fn law_is_null(&self, idx: u32, a: usize, b: usize) -> bool {
+        match &self.laws[idx as usize] {
+            PairLaw::Det(c, d) => (*c as usize, *d as usize) == (a, b),
+            PairLaw::Random { silent, .. } => *silent,
+            PairLaw::Sampled => false,
+        }
+    }
+
+    /// Applies `m` interactions of the input pair `(a, b)` in bulk, adding
+    /// the output states to `touched`. Deterministic laws apply one delta;
+    /// random laws split `m` over the outcomes with one exact multinomial
+    /// draw; sampled laws fall back to one `transition` call per
+    /// interaction (still exact — just not amortized).
+    fn apply_bulk(&mut self, idx: u32, a: usize, b: usize, m: u64, touched: &mut Vec<u64>) {
+        // Law analysis may have discovered states after `touched` was sized.
+        grow_to(touched, self.states.len());
+        match &self.laws[idx as usize] {
+            PairLaw::Det(c, d) => {
+                touched[*c as usize] += m;
+                touched[*d as usize] += m;
+            }
+            PairLaw::Random { outs, probs, .. } => {
+                let split = multinomial_conditional(m, probs, &mut self.rng);
+                for (&(c, d), x) in outs.iter().zip(split) {
+                    touched[c as usize] += x;
+                    touched[d as usize] += x;
+                }
+            }
+            PairLaw::Sampled => {
+                for _ in 0..m {
+                    let (sc, sd) =
+                        self.protocol
+                            .transition(self.states[a], self.states[b], &mut self.rng);
+                    let ci = self.intern(sc);
+                    let di = self.intern(sd);
+                    grow_to(touched, self.states.len());
+                    touched[ci] += 1;
+                    touched[di] += 1;
+                }
+            }
+        }
+    }
+
+    /// Simulates a single interaction of the input pair `(a, b)`: one
+    /// sampled outcome of its law. Used for the collision interaction and
+    /// the null-skip mode's productive interaction.
+    fn apply_one(&mut self, a: usize, b: usize) -> (usize, usize) {
+        let idx = self.law_index(a, b);
+        match &self.laws[idx as usize] {
+            PairLaw::Det(c, d) => (*c as usize, *d as usize),
+            PairLaw::Random { outs, probs, .. } => {
+                let u: f64 = self.rng.gen();
+                let mut acc = 0.0;
+                for (&(c, d), &p) in outs.iter().zip(probs) {
+                    acc += p;
+                    if u < acc {
+                        return (c as usize, d as usize);
+                    }
+                }
+                // Floating-point leakage (acc ≈ 1 - 1e-16): last outcome.
+                let &(c, d) = outs.last().expect("random law has outcomes");
+                (c as usize, d as usize)
+            }
+            PairLaw::Sampled => {
+                let (sc, sd) =
+                    self.protocol
+                        .transition(self.states[a], self.states[b], &mut self.rng);
+                (self.intern(sc), self.intern(sd))
+            }
+        }
+    }
+
+    /// Returns the id for `state`, discovering it (and growing the law
+    /// table's stride geometrically) if unseen.
     fn intern(&mut self, state: P::State) -> usize {
         if let Some(&id) = self.index.get(&state) {
             return id;
         }
-        let k_old = self.states.len();
-        let id = k_old;
+        let id = self.states.len();
         self.states.push(state);
         self.index.insert(state, id);
         self.counts.push(0);
-        let k_new = k_old + 1;
-        let mut table = vec![(UNCOMPUTED, UNCOMPUTED); k_new * k_new];
-        for a in 0..k_old {
-            for b in 0..k_old {
-                table[a * k_new + b] = self.table[a * k_old + b];
+        if self.states.len() > self.cap {
+            let new_cap = (self.cap * 2).max(self.states.len());
+            let mut table = vec![UNCOMPUTED; new_cap * new_cap];
+            for a in 0..id {
+                for b in 0..id {
+                    table[a * new_cap + b] = self.table[a * self.cap + b];
+                }
             }
+            self.table = table;
+            self.cap = new_cap;
         }
-        self.table = table;
         id
     }
 
@@ -739,9 +949,11 @@ fn grow_to(v: &mut Vec<u64>, len: usize) {
 
 /// Facade choosing between [`CountSim`] and [`BatchedCountSim`].
 ///
-/// [`ConfigSim::new`] picks the batched engine when the protocol is
-/// deterministic and the population is large enough for `Θ(√n)` batches to
-/// beat per-interaction simulation; everything else falls back to the
+/// [`ConfigSim::new`] picks the batched engine when the protocol asks for
+/// it ([`CountProtocol::prefers_batching`] — deterministic protocols by
+/// default, randomized ones that enumerate their outcome laws by opting
+/// in) and the population is large enough for `Θ(√n)` batches to beat
+/// per-interaction simulation; everything else falls back to the
 /// sequential engine with identical semantics. Call sites hold a single
 /// type either way:
 ///
@@ -771,11 +983,28 @@ impl<P: CountProtocol> ConfigSim<P> {
 
     /// Chooses the fastest correct engine for this protocol and population.
     pub fn new(protocol: P, config: CountConfiguration<P::State>, seed: u64) -> Self {
-        if protocol.is_deterministic() && config.population_size() >= Self::BATCH_THRESHOLD {
+        if protocol.prefers_batching() && config.population_size() >= Self::BATCH_THRESHOLD {
             Self::Batched(BatchedCountSim::new(protocol, config, seed))
         } else {
             Self::Sequential(CountSim::new(protocol, config, seed))
         }
+    }
+
+    /// [`ConfigSim::new`] with the protocol's own input-dependent initial
+    /// configuration ([`CountSeededInit`]) — the count-space counterpart of
+    /// [`crate::sim::AgentSim::with_inputs`] for majority splits, planted
+    /// leaders, and other non-uniform starts.
+    pub fn from_seeded(protocol: P, n: u64, seed: u64) -> Self
+    where
+        P: CountSeededInit,
+    {
+        let config = protocol.initial_config(n);
+        assert_eq!(
+            config.population_size(),
+            n,
+            "CountSeededInit::initial_config produced the wrong population size"
+        );
+        Self::new(protocol, config, seed)
     }
 
     /// Forces the sequential engine.
@@ -783,7 +1012,8 @@ impl<P: CountProtocol> ConfigSim<P> {
         Self::Sequential(CountSim::new(protocol, config, seed))
     }
 
-    /// Forces the batched engine (panics for randomized protocols).
+    /// Forces the batched engine (exact for randomized protocols too; fast
+    /// only when the occupied state count stays small).
     pub fn batched(protocol: P, config: CountConfiguration<P::State>, seed: u64) -> Self {
         Self::Batched(BatchedCountSim::new(protocol, config, seed))
     }
@@ -1018,41 +1248,106 @@ mod tests {
         assert_eq!(sim.count(&1), 2, "max-epidemic must spread to both agents");
     }
 
+    /// Lazy copying: the receiver adopts the sender's opinion with
+    /// probability 1/2 — a randomized protocol with an enumerable outcome
+    /// law that opts in to batching.
+    #[derive(Clone, Copy)]
+    struct LazyCopy;
+
+    impl CountProtocol for LazyCopy {
+        type State = u8;
+
+        fn transition(&self, rec: u8, sen: u8, rng: &mut SimRng) -> (u8, u8) {
+            if rng.gen::<bool>() {
+                (sen, sen)
+            } else {
+                (rec, sen)
+            }
+        }
+
+        fn outcomes(&self, rec: u8, sen: u8) -> Option<Outcomes<u8>> {
+            Some(Outcomes::Random(vec![(sen, sen, 0.5), (rec, sen, 0.5)]))
+        }
+
+        fn prefers_batching(&self) -> bool {
+            true
+        }
+    }
+
+    /// Randomized protocol with no outcome enumeration: every pair uses the
+    /// shared sampled law.
+    #[derive(Clone, Copy)]
+    struct LazyUnenumerated;
+
+    impl CountProtocol for LazyUnenumerated {
+        type State = u8;
+
+        fn transition(&self, rec: u8, sen: u8, rng: &mut SimRng) -> (u8, u8) {
+            if rng.gen::<bool>() {
+                (sen, sen)
+            } else {
+                (rec, sen)
+            }
+        }
+    }
+
     #[test]
-    fn facade_dispatches_on_size_and_determinism() {
+    fn facade_dispatches_on_size_and_batching_preference() {
         let big = CountConfiguration::from_pairs([(0u8, ConfigSim::<Infection>::BATCH_THRESHOLD)]);
         assert!(ConfigSim::new(Infection, big, 1).is_batched());
         let small = CountConfiguration::from_pairs([(0u8, 100)]);
         assert!(!ConfigSim::new(Infection, small, 1).is_batched());
 
-        /// Randomized protocol: must never select the batched engine.
-        struct Lazy;
-        impl CountProtocol for Lazy {
-            type State = u8;
-            fn transition(&self, rec: u8, sen: u8, rng: &mut SimRng) -> (u8, u8) {
-                if rng.gen::<bool>() {
-                    (sen, sen)
-                } else {
-                    (rec, sen)
-                }
-            }
-        }
-        let big = CountConfiguration::from_pairs([(0u8, 1_000_000)]);
-        assert!(!ConfigSim::new(Lazy, big, 1).is_batched());
+        // A randomized protocol that enumerates its outcomes and opts in
+        // batches at scale; one that does not stays sequential.
+        let big = CountConfiguration::from_pairs([(0u8, 500_000), (1u8, 500_000)]);
+        assert!(ConfigSim::new(LazyCopy, big.clone(), 1).is_batched());
+        assert!(!ConfigSim::new(LazyUnenumerated, big, 1).is_batched());
     }
 
     #[test]
-    #[should_panic(expected = "deterministic")]
-    fn batched_rejects_randomized_protocols() {
-        struct Lazy;
-        impl CountProtocol for Lazy {
+    fn batched_randomized_protocol_reaches_consensus() {
+        // Lazy copying is a consensus process; the batched engine must
+        // drive it to an absorbing state through the multinomial path.
+        let n = 20_000u64;
+        let config = CountConfiguration::from_pairs([(0u8, n / 2), (1u8, n / 2)]);
+        let mut sim = BatchedCountSim::new(LazyCopy, config, 99);
+        let out = sim.run_until(|c| c.count(&0) == n || c.count(&1) == n, n / 10, 100_000.0);
+        assert!(out.converged, "lazy copying never reached consensus");
+        assert_eq!(sim.count(&0) + sim.count(&1), n);
+    }
+
+    #[test]
+    fn sampled_fallback_randomized_protocol_is_exact_on_counts() {
+        // Without outcome enumeration every pair takes the per-interaction
+        // sampled path; population conservation and exact step landing must
+        // still hold.
+        let n = 6_000u64;
+        let config = CountConfiguration::from_pairs([(0u8, n / 2), (1u8, n / 2)]);
+        let mut sim = BatchedCountSim::new(LazyUnenumerated, config, 7);
+        sim.steps(50_000);
+        assert_eq!(sim.interactions(), 50_000);
+        assert_eq!(sim.count(&0) + sim.count(&1), n);
+    }
+
+    #[test]
+    fn random_law_probabilities_are_validated() {
+        struct BadLaw;
+        impl CountProtocol for BadLaw {
             type State = u8;
             fn transition(&self, rec: u8, sen: u8, _rng: &mut SimRng) -> (u8, u8) {
                 (rec, sen)
             }
+            fn outcomes(&self, rec: u8, sen: u8) -> Option<Outcomes<u8>> {
+                Some(Outcomes::Random(vec![(rec, sen, 0.4), (sen, sen, 0.4)]))
+            }
         }
-        let config = CountConfiguration::from_pairs([(0u8, 100)]);
-        let _ = BatchedCountSim::new(Lazy, config, 1);
+        let config = CountConfiguration::from_pairs([(0u8, 50), (1u8, 50)]);
+        let mut sim = BatchedCountSim::new(BadLaw, config, 1);
+        let panic = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            sim.steps(1_000);
+        }));
+        assert!(panic.is_err(), "probabilities summing to 0.8 must panic");
     }
 
     #[test]

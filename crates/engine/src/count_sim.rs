@@ -16,14 +16,14 @@
 //! ## Hot-path layout
 //!
 //! [`CountConfiguration`] stores counts in flat slot-indexed arrays (state
-//! table, count vector, and a lazily rebuilt cumulative-weight array) with a
+//! table, count vector, and a Fenwick tree mirroring the counts) with a
 //! `BTreeMap` only for state→slot lookup. One interaction costs a single RNG
-//! draw mapped to an ordered agent pair plus two binary searches over the
-//! cumulative array; the array is rebuilt only when counts actually changed
-//! since the last draw, so no-op transitions (the common case late in most
-//! runs, e.g. infected→infected epidemic interactions) draw in `O(log k)`
-//! with zero mutation cost. For asymptotically faster simulation at large
-//! `n`, see [`crate::batch`].
+//! draw mapped to an ordered agent pair plus two `O(log k)` Fenwick descents,
+//! and a mutation costs `O(log k)` point updates — so even protocols whose
+//! every interaction changes both agents (the interned paper protocols,
+//! whose states carry interaction counters) pay `O(log k)` per interaction
+//! rather than the `O(k)` a rebuilt prefix-sum array would. For
+//! asymptotically faster simulation at large `n`, see [`crate::batch`].
 
 use std::collections::BTreeMap;
 
@@ -32,6 +32,24 @@ use rand::Rng;
 use crate::rng::{rng_from_seed, SimRng};
 use crate::scheduler::parallel_time;
 use crate::sim::RunOutcome;
+
+/// The outcome law of one interaction for a fixed ordered pair of input
+/// states, as exposed to the batched simulator.
+///
+/// A protocol that can describe `transition(rec, sen, ·)` as an explicit
+/// finite distribution lets [`crate::batch::BatchedCountSim`] apply a whole
+/// batch of identical input pairs with a single multinomial split over the
+/// outcomes (the ppsim treatment of randomized transitions) instead of one
+/// RNG round-trip per interaction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcomes<S> {
+    /// The transition always produces `(rec', sen')`.
+    Deterministic(S, S),
+    /// Finite support: `(rec', sen', probability)` triples. Probabilities
+    /// must be non-negative and sum to 1 (within floating-point tolerance);
+    /// the batched engine validates and renormalizes.
+    Random(Vec<(S, S, f64)>),
+}
 
 /// A protocol over a small copyable state type, expressed as a transition
 /// function on (receiver, sender) state values.
@@ -47,14 +65,55 @@ pub trait CountProtocol {
         rng: &mut SimRng,
     ) -> (Self::State, Self::State);
 
+    /// The exact outcome distribution of `transition(rec, sen, ·)`, when it
+    /// is finite and the protocol can enumerate it.
+    ///
+    /// Returning `Some` lets [`crate::batch::BatchedCountSim`] bulk-apply
+    /// this pair (deterministically or via a multinomial split). Returning
+    /// `None` — the default — marks the pair's outcome support as unbounded
+    /// or unknown; the batched engine then falls back to sampling each such
+    /// interaction individually through [`CountProtocol::transition`], which
+    /// is still exact, just not amortized.
+    fn outcomes(&self, rec: Self::State, sen: Self::State) -> Option<Outcomes<Self::State>> {
+        let _ = (rec, sen);
+        None
+    }
+
     /// Whether [`CountProtocol::transition`] is a pure function of the two
-    /// states (never reads the RNG). Deterministic protocols are eligible
-    /// for the batched simulator ([`crate::batch::BatchedCountSim`]); the
+    /// states (never reads the RNG). The
     /// [`crate::batch::DeterministicCountProtocol`] blanket impl reports
     /// `true` automatically.
     fn is_deterministic(&self) -> bool {
         false
     }
+
+    /// Whether [`crate::batch::ConfigSim::new`] should pick the batched
+    /// engine at large populations. Batching pays off when the *occupied*
+    /// state count stays far below `√n` (per-batch work grows with the
+    /// square of the occupied support); protocols with large or unbounded
+    /// reachable state spaces should stay sequential even when their
+    /// outcomes are enumerable. Defaults to [`Self::is_deterministic`].
+    fn prefers_batching(&self) -> bool {
+        self.is_deterministic()
+    }
+}
+
+/// A count-space protocol whose initial configuration is input-dependent —
+/// the [`crate::protocol::SeededInit`] analogue for the configuration-vector
+/// engines.
+///
+/// `SeededInit` says "the i-th agent of n starts in state f(i)"; since the
+/// interaction process depends on the initial states only through their
+/// multiset (agents are exchangeable), the count-space counterpart is simply
+/// the multiset itself. Majority input splits, planted-leader starts
+/// (Theorem 3.13), and seeded-value populations all express their inputs
+/// here and run on [`crate::batch::ConfigSim`] instead of being forced onto
+/// the agent simulator. This is harness-level initialization (choosing the
+/// protocol's *input*), not part of the transition algorithm, so it does not
+/// violate uniformity.
+pub trait CountSeededInit: CountProtocol {
+    /// The initial configuration for a population of `n` agents.
+    fn initial_config(&self, n: u64) -> CountConfiguration<Self::State>;
 }
 
 /// A configuration: a multiset of states with total count `n`.
@@ -70,21 +129,27 @@ pub trait CountProtocol {
 /// ```
 #[derive(Clone)]
 pub struct CountConfiguration<S: Copy + Ord> {
-    /// Slot-indexed state table (insertion order; slots are never removed,
-    /// counts may drop to zero).
+    /// Slot-indexed state table (slots whose count returns to zero are
+    /// recycled through `free`, so the table stays at peak-support size
+    /// even for protocols whose states churn — e.g. interned record states
+    /// carrying interaction counters).
     states: Vec<S>,
     /// Slot-indexed counts.
     counts: Vec<u64>,
-    /// State → slot lookup.
+    /// State → slot lookup (live states only).
     index: BTreeMap<S, usize>,
     /// Total number of agents.
     total: u64,
     /// Number of slots with positive count (the support size).
     occupied: usize,
-    /// Inclusive prefix sums of `counts`; valid only when `!cum_dirty`.
-    cum: Vec<u64>,
-    /// Whether `cum` must be rebuilt before the next weighted draw.
-    cum_dirty: bool,
+    /// Fenwick (binary indexed) tree over `counts`, 1-indexed with
+    /// `tree[0]` unused: node `i` holds the sum of counts over slots
+    /// `(i - lowbit(i))..i`. Kept in sync incrementally on every mutation,
+    /// so weighted draws and point updates are both `O(log k)`.
+    tree: Vec<u64>,
+    /// Zero-count slots evicted from `index`, ready for reuse (their
+    /// Fenwick weight is already zero, so reuse costs nothing).
+    free: Vec<usize>,
 }
 
 impl<S: Copy + Ord + std::fmt::Debug> CountConfiguration<S> {
@@ -96,8 +161,8 @@ impl<S: Copy + Ord + std::fmt::Debug> CountConfiguration<S> {
             index: BTreeMap::new(),
             total: 0,
             occupied: 0,
-            cum: Vec::new(),
-            cum_dirty: true,
+            tree: vec![0],
+            free: Vec::new(),
         }
     }
 
@@ -114,11 +179,12 @@ impl<S: Copy + Ord + std::fmt::Debug> CountConfiguration<S> {
                 "duplicate state {s:?} in configuration"
             );
             let slot = c.register(s);
-            c.counts[slot] = k;
             if k > 0 {
+                c.counts[slot] = k;
+                c.tree_add(slot, k);
                 c.occupied += 1;
+                c.total += k;
             }
-            c.total += k;
         }
         c
     }
@@ -128,17 +194,78 @@ impl<S: Copy + Ord + std::fmt::Debug> CountConfiguration<S> {
         Self::from_pairs([(state, n)])
     }
 
-    /// Returns the slot for `state`, creating one if needed.
+    /// Returns the slot for `state`, creating (or recycling) one if needed.
     fn register(&mut self, state: S) -> usize {
         if let Some(&slot) = self.index.get(&state) {
+            return slot;
+        }
+        if let Some(slot) = self.free.pop() {
+            debug_assert_eq!(self.counts[slot], 0);
+            self.states[slot] = state;
+            self.index.insert(state, slot);
             return slot;
         }
         let slot = self.states.len();
         self.states.push(state);
         self.counts.push(0);
         self.index.insert(state, slot);
-        self.cum_dirty = true;
+        self.tree_append();
         slot
+    }
+
+    /// Evicts a slot whose count just returned to zero, making it available
+    /// for reuse. Slots that held a zero count from construction stay
+    /// indexed (so `from_pairs` can report duplicates), which is harmless:
+    /// they are invisible to iteration and re-addable through the index.
+    fn release_if_empty(&mut self, slot: usize) {
+        if self.counts[slot] == 0 {
+            self.index.remove(&self.states[slot]);
+            self.free.push(slot);
+        }
+    }
+
+    /// Appends the Fenwick node for a freshly pushed (zero-count) slot.
+    ///
+    /// The new node `i` covers slots `(i - lowbit(i))..i`; its value is
+    /// computable from the existing tree as a difference of prefix sums, so
+    /// appends are `O(log k)` instead of a full rebuild.
+    fn tree_append(&mut self) {
+        let i = self.tree.len();
+        let low = i & (i - 1); // i - lowbit(i)
+        let val = self.tree_prefix(i - 1) - self.tree_prefix(low);
+        self.tree.push(val);
+    }
+
+    /// Sum of counts over slots `0..slots` (Fenwick prefix query).
+    #[inline]
+    fn tree_prefix(&self, slots: usize) -> u64 {
+        let mut i = slots;
+        let mut acc = 0;
+        while i > 0 {
+            acc += self.tree[i];
+            i &= i - 1;
+        }
+        acc
+    }
+
+    /// Adds `k` to slot `slot` in the Fenwick tree.
+    #[inline]
+    fn tree_add(&mut self, slot: usize, k: u64) {
+        let mut i = slot + 1;
+        while i < self.tree.len() {
+            self.tree[i] += k;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Subtracts `k` from slot `slot` in the Fenwick tree.
+    #[inline]
+    fn tree_sub(&mut self, slot: usize, k: u64) {
+        let mut i = slot + 1;
+        while i < self.tree.len() {
+            self.tree[i] -= k;
+            i += i & i.wrapping_neg();
+        }
     }
 
     /// Total number of agents.
@@ -175,8 +302,8 @@ impl<S: Copy + Ord + std::fmt::Debug> CountConfiguration<S> {
             self.occupied += 1;
         }
         self.counts[slot] += k;
+        self.tree_add(slot, k);
         self.total += k;
-        self.cum_dirty = true;
     }
 
     /// Removes `k` agents in `state`.
@@ -195,11 +322,12 @@ impl<S: Copy + Ord + std::fmt::Debug> CountConfiguration<S> {
         let c = self.counts[slot];
         assert!(c >= k, "removing {k} of state {state:?} with count {c}");
         self.counts[slot] = c - k;
+        self.tree_sub(slot, k);
         if c == k {
             self.occupied -= 1;
+            self.release_if_empty(slot);
         }
         self.total -= k;
-        self.cum_dirty = true;
     }
 
     /// True if every present state has count at least `alpha * n`.
@@ -211,31 +339,33 @@ impl<S: Copy + Ord + std::fmt::Debug> CountConfiguration<S> {
         self.counts.iter().all(|&k| k == 0 || k as f64 >= threshold)
     }
 
-    /// Rebuilds the cumulative-weight array if counts changed since the last
-    /// weighted draw.
-    fn ensure_cum(&mut self) {
-        if !self.cum_dirty {
-            return;
-        }
-        self.cum.clear();
-        let mut acc = 0u64;
-        self.cum.extend(self.counts.iter().map(|&c| {
-            acc += c;
-            acc
-        }));
-        self.cum_dirty = false;
-    }
-
-    /// Maps a uniform agent index in `0..total` to its slot via binary
-    /// search over the cumulative array (which must be current).
+    /// Maps a uniform agent index in `0..total` to its slot via a Fenwick
+    /// descent (`O(log k)`).
     #[inline]
     fn slot_of_agent(&self, agent: u64) -> usize {
-        debug_assert!(!self.cum_dirty && agent < self.total);
-        self.cum.partition_point(|&c| c <= agent)
+        debug_assert!(agent < self.total);
+        let len = self.tree.len() - 1;
+        let mut step = len.next_power_of_two();
+        if step > len {
+            step >>= 1;
+        }
+        let mut pos = 0usize;
+        let mut rem = agent;
+        while step > 0 {
+            let next = pos + step;
+            if next <= len && self.tree[next] <= rem {
+                rem -= self.tree[next];
+                pos = next;
+            }
+            step >>= 1;
+        }
+        // `pos` slots are fully to the left of `agent`, so the agent sits in
+        // slot `pos` (its count is positive by construction).
+        pos
     }
 
     /// Draws a uniform ordered pair of distinct agents and returns their
-    /// slots `(receiver, sender)` with one RNG draw and two binary searches.
+    /// slots `(receiver, sender)` with one RNG draw and two Fenwick descents.
     ///
     /// Interpreting `z ∈ [0, n(n-1))` as `(receiver_index, sender_offset)`
     /// gives every ordered pair of distinct agent indices probability
@@ -248,7 +378,6 @@ impl<S: Copy + Ord + std::fmt::Debug> CountConfiguration<S> {
             n <= u32::MAX as u64,
             "pair-index arithmetic requires n(n-1) to fit in u64"
         );
-        self.ensure_cum();
         let z = rng.gen_range(0..n * (n - 1));
         let receiver = z / (n - 1);
         let mut sender = z % (n - 1);
@@ -265,15 +394,23 @@ impl<S: Copy + Ord + std::fmt::Debug> CountConfiguration<S> {
             return;
         }
         self.counts[rec_slot] -= 1;
+        self.tree_sub(rec_slot, 1);
         if self.counts[rec_slot] == 0 {
             self.occupied -= 1;
         }
         self.counts[sen_slot] -= 1;
+        self.tree_sub(sen_slot, 1);
         if self.counts[sen_slot] == 0 {
             self.occupied -= 1;
         }
+        // Release only after both decrements: the two agents may share a
+        // slot, and a slot must not be recycled while a decrement on it is
+        // still pending.
+        self.release_if_empty(rec_slot);
+        if sen_slot != rec_slot {
+            self.release_if_empty(sen_slot);
+        }
         self.total -= 2;
-        self.cum_dirty = true;
         self.add(rec2, 1);
         self.add(sen2, 1);
     }
@@ -508,6 +645,38 @@ mod tests {
         let d = CountConfiguration::from_pairs([(0u8, 99), (1u8, 1)]);
         assert!(!d.is_dense(0.1));
         assert!(d.is_dense(0.01));
+    }
+
+    #[test]
+    fn fenwick_tree_tracks_counts_through_mutations() {
+        // Exercise add/remove/register interleavings and check every prefix
+        // sum against the naive recomputation.
+        let mut c = CountConfiguration::from_pairs([(0u8, 3), (1u8, 7), (2u8, 1)]);
+        c.add(5, 4);
+        c.remove(1, 7);
+        c.add(1, 2);
+        c.add(9, 1);
+        c.remove(0, 1);
+        let naive: Vec<u64> = c
+            .counts
+            .iter()
+            .scan(0u64, |acc, &k| {
+                *acc += k;
+                Some(*acc)
+            })
+            .collect();
+        for (j, &want) in naive.iter().enumerate() {
+            assert_eq!(c.tree_prefix(j + 1), want, "prefix over {} slots", j + 1);
+        }
+        // Every agent index maps to a slot whose cumulative range covers it.
+        for agent in 0..c.population_size() {
+            let slot = c.slot_of_agent(agent);
+            let before = c.tree_prefix(slot);
+            assert!(
+                before <= agent && agent < before + c.counts[slot],
+                "agent {agent} mapped to slot {slot}"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,498 @@
+//! State interning: run any agent-level [`Protocol`] on the
+//! configuration-vector engines.
+//!
+//! The count engines ([`CountSim`](crate::count_sim::CountSim),
+//! [`crate::batch::BatchedCountSim`], and the
+//! [`ConfigSim`](crate::batch::ConfigSim) facade) require a `Copy + Ord`
+//! state type because they index configurations by state value. The paper's
+//! protocols instead use rich record states (`MainState` and friends) behind
+//! the agent-level [`Protocol`] trait. [`Interned`] closes the gap without
+//! touching either side: it lazily discovers the *occupied* state space at
+//! run time, assigns each distinct state a dense `u32` slot, and exposes the
+//! wrapped protocol as a [`CountProtocol`] over those slots. Any existing
+//! `Protocol` implementation therefore runs on `CountSim`/`ConfigSim`
+//! unchanged — the engine choice becomes an implementation detail instead of
+//! a per-protocol decision.
+//!
+//! Why this is often a big win: a population of `n = 10⁶` agents running
+//! `Log-Size-Estimation` occupies far fewer than `n` distinct states
+//! (Lemma 3.9 bounds the reachable space by `O(log⁴ n)`), so the
+//! configuration vector is tiny compared to the per-agent state array, and
+//! convergence predicates cost `O(k)` instead of `O(n)` per check.
+//!
+//! ## Decoding
+//!
+//! The id ↔ state mapping lives behind an [`InternerHandle`] (shared `Rc`),
+//! so harness code can keep a handle while the simulator owns the protocol
+//! and translate ids back into protocol states inside predicates:
+//!
+//! ```
+//! use pp_engine::batch::ConfigSim;
+//! use pp_engine::interned::Interned;
+//! use pp_engine::protocol::Protocol;
+//! use pp_engine::rng::SimRng;
+//!
+//! struct Epidemic;
+//! impl Protocol for Epidemic {
+//!     type State = bool;
+//!     fn initial_state(&self) -> bool {
+//!         false
+//!     }
+//!     fn interact(&self, rec: &mut bool, sen: &mut bool, _rng: &mut SimRng) {
+//!         *rec |= *sen;
+//!     }
+//! }
+//!
+//! let interned = Interned::new(Epidemic);
+//! let handle = interned.handle();
+//! let config = interned.config_from_pairs([(false, 999), (true, 1)]);
+//! let mut sim = ConfigSim::new(interned, config, 7);
+//! let infected = handle.id_of(&true).expect("interned at config build");
+//! let out = sim.run_until(|c| c.count(&infected) == 1000, 100, f64::MAX);
+//! assert!(out.converged);
+//! ```
+//!
+//! ## Non-uniform starts
+//!
+//! [`Interned`] implements [`CountSeededInit`] whenever the wrapped protocol
+//! implements [`SeededInit`], by collapsing the per-index assignment into
+//! its multiset (agents are exchangeable, so the interaction process depends
+//! on initial states only through their counts). Majority input splits and
+//! planted-leader starts thus no longer force the agent simulator.
+//!
+//! ## Randomness and batching
+//!
+//! The wrapped `interact` receives the simulation RNG, so randomized
+//! protocols are simulated faithfully. Because an arbitrary `interact`
+//! cannot enumerate its outcome distribution, `Interned` reports
+//! [`CountProtocol::outcomes`] `None` and stays on the sequential engine by
+//! default; wrap with [`Interned::deterministic`] to certify that the
+//! protocol never reads the RNG, which enables the batched engine through
+//! one transition probe per state pair.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt::Debug;
+use std::hash::Hash;
+use std::rc::Rc;
+
+use crate::count_sim::{CountConfiguration, CountProtocol, CountSeededInit};
+use crate::protocol::{Protocol, SeededInit};
+use crate::rng::SimRng;
+
+/// Dense id ↔ state table, grown lazily as states are discovered.
+#[derive(Debug)]
+pub struct StateTable<S> {
+    states: Vec<S>,
+    ids: HashMap<S, u32>,
+}
+
+impl<S: Clone + Eq + Hash> StateTable<S> {
+    fn new() -> Self {
+        Self {
+            states: Vec::new(),
+            ids: HashMap::new(),
+        }
+    }
+
+    /// Returns the id for `state`, assigning the next dense slot if unseen.
+    fn intern(&mut self, state: S) -> u32 {
+        if let Some(&id) = self.ids.get(&state) {
+            return id;
+        }
+        let id = u32::try_from(self.states.len()).expect("more than u32::MAX distinct states");
+        self.states.push(state.clone());
+        self.ids.insert(state, id);
+        id
+    }
+
+    fn get(&self, id: u32) -> &S {
+        &self.states[id as usize]
+    }
+}
+
+/// A cloneable handle onto an [`Interned`] adapter's id ↔ state table.
+///
+/// Lets harness code decode slot ids inside `run_until` predicates while the
+/// simulator owns the protocol (both share the table through an `Rc`).
+#[derive(Debug)]
+pub struct InternerHandle<S> {
+    table: Rc<RefCell<StateTable<S>>>,
+}
+
+impl<S> Clone for InternerHandle<S> {
+    fn clone(&self) -> Self {
+        Self {
+            table: Rc::clone(&self.table),
+        }
+    }
+}
+
+impl<S: Clone + Eq + Hash> InternerHandle<S> {
+    /// The state behind `id` (clone).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` has not been assigned.
+    pub fn state_of(&self, id: u32) -> S {
+        self.table.borrow().get(id).clone()
+    }
+
+    /// The id assigned to `state`, if it has been discovered.
+    pub fn id_of(&self, state: &S) -> Option<u32> {
+        self.table.borrow().ids.get(state).copied()
+    }
+
+    /// Number of distinct states discovered so far.
+    pub fn discovered(&self) -> usize {
+        self.table.borrow().states.len()
+    }
+
+    /// Decodes a slot-id configuration into `(state, count)` pairs.
+    pub fn decode(&self, config: &CountConfiguration<u32>) -> Vec<(S, u64)> {
+        let table = self.table.borrow();
+        config
+            .iter()
+            .map(|(&id, &count)| (table.get(id).clone(), count))
+            .collect()
+    }
+
+    /// The count of agents in `state` within a slot-id configuration
+    /// (0 if the state was never discovered).
+    pub fn count_of(&self, config: &CountConfiguration<u32>, state: &S) -> u64 {
+        self.id_of(state).map_or(0, |id| config.count(&id))
+    }
+}
+
+/// Adapter exposing an agent-level [`Protocol`] as a [`CountProtocol`] over
+/// dense `u32` state ids. See the [module docs](self) for the full story.
+#[derive(Debug)]
+pub struct Interned<P: Protocol>
+where
+    P::State: Eq + Hash,
+{
+    protocol: P,
+    table: Rc<RefCell<StateTable<P::State>>>,
+    deterministic: bool,
+}
+
+impl<P: Protocol> Interned<P>
+where
+    P::State: Eq + Hash,
+{
+    /// Wraps `protocol` for the count engines. The adapter assumes the
+    /// transition may read the RNG (always correct); use
+    /// [`Interned::deterministic`] to enable batching for RNG-free
+    /// protocols.
+    pub fn new(protocol: P) -> Self {
+        Self {
+            protocol,
+            table: Rc::new(RefCell::new(StateTable::new())),
+            deterministic: false,
+        }
+    }
+
+    /// Wraps a protocol whose `interact` is certified to never read the
+    /// RNG: pair outcomes are then probed once and bulk-applied by the
+    /// batched engine.
+    ///
+    /// Certifying a protocol that *does* read the RNG silently freezes each
+    /// pair's first sampled outcome into the law table — statistically
+    /// wrong, so only use this for genuinely deterministic transitions.
+    pub fn deterministic(protocol: P) -> Self {
+        Self {
+            deterministic: true,
+            ..Self::new(protocol)
+        }
+    }
+
+    /// A handle for decoding slot ids back into protocol states.
+    pub fn handle(&self) -> InternerHandle<P::State> {
+        InternerHandle {
+            table: Rc::clone(&self.table),
+        }
+    }
+
+    /// The wrapped protocol.
+    pub fn protocol(&self) -> &P {
+        &self.protocol
+    }
+
+    /// Interns `state` (idempotent) and returns its id.
+    pub fn intern_state(&self, state: P::State) -> u32 {
+        self.table.borrow_mut().intern(state)
+    }
+
+    /// The all-agents-identical initial configuration of `n` agents in
+    /// [`Protocol::initial_state`].
+    pub fn uniform_config(&self, n: u64) -> CountConfiguration<u32> {
+        CountConfiguration::uniform(self.intern_state(self.protocol.initial_state()), n)
+    }
+
+    /// Builds a slot-id configuration from protocol-state `(state, count)`
+    /// pairs — arbitrary non-uniform starts (planted leaders, input splits).
+    pub fn config_from_pairs(
+        &self,
+        pairs: impl IntoIterator<Item = (P::State, u64)>,
+    ) -> CountConfiguration<u32> {
+        CountConfiguration::from_pairs(
+            pairs
+                .into_iter()
+                .map(|(state, count)| (self.intern_state(state), count)),
+        )
+    }
+}
+
+impl<P: Protocol> CountProtocol for Interned<P>
+where
+    P::State: Eq + Hash,
+{
+    type State = u32;
+
+    fn transition(&self, rec: u32, sen: u32, rng: &mut SimRng) -> (u32, u32) {
+        let (mut r, mut s) = {
+            let table = self.table.borrow();
+            (table.get(rec).clone(), table.get(sen).clone())
+        };
+        self.protocol.interact(&mut r, &mut s, rng);
+        let mut table = self.table.borrow_mut();
+        let r_id = table.intern(r);
+        let s_id = table.intern(s);
+        (r_id, s_id)
+    }
+
+    fn is_deterministic(&self) -> bool {
+        self.deterministic
+    }
+}
+
+impl<P: Protocol + SeededInit> CountSeededInit for Interned<P>
+where
+    P::State: Eq + Hash,
+{
+    /// Collapses the per-index [`SeededInit`] assignment into its multiset:
+    /// agents are exchangeable, so the interaction process depends on the
+    /// initial states only through their counts.
+    fn initial_config(&self, n: u64) -> CountConfiguration<u32> {
+        let n_usize = usize::try_from(n).expect("population exceeds usize");
+        let mut counts: HashMap<u32, u64> = HashMap::new();
+        for i in 0..n_usize {
+            let id = self.intern_state(self.protocol.init_state(i, n_usize));
+            *counts.entry(id).or_insert(0) += 1;
+        }
+        CountConfiguration::from_pairs(counts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::ConfigSim;
+    use crate::count_sim::CountSim;
+    use crate::rng::derive_seed;
+    use rand::Rng;
+
+    /// Max-propagation epidemic with a record state (not `Copy`).
+    struct MaxRecord;
+
+    #[derive(Debug, Clone, PartialEq, Eq, Hash)]
+    struct Record {
+        value: u64,
+        touched: bool,
+    }
+
+    impl Protocol for MaxRecord {
+        type State = Record;
+
+        fn initial_state(&self) -> Record {
+            Record {
+                value: 0,
+                touched: false,
+            }
+        }
+
+        fn interact(&self, rec: &mut Record, sen: &mut Record, _rng: &mut SimRng) {
+            let m = rec.value.max(sen.value);
+            rec.value = m;
+            sen.value = m;
+            rec.touched = true;
+            sen.touched = true;
+        }
+    }
+
+    #[test]
+    fn interned_protocol_runs_on_count_sim() {
+        let interned = Interned::new(MaxRecord);
+        let handle = interned.handle();
+        let config = interned.config_from_pairs([
+            (
+                Record {
+                    value: 9,
+                    touched: false,
+                },
+                1,
+            ),
+            (
+                Record {
+                    value: 0,
+                    touched: false,
+                },
+                499,
+            ),
+        ]);
+        let mut sim = CountSim::new(interned, config, 3);
+        let out = sim.run_until(
+            |c| {
+                handle
+                    .decode(c)
+                    .iter()
+                    .all(|(s, _)| s.value == 9 && s.touched)
+            },
+            100,
+            10_000.0,
+        );
+        assert!(out.converged, "max never propagated");
+        assert_eq!(sim.config().population_size(), 500);
+    }
+
+    #[test]
+    fn deterministic_marker_enables_batching() {
+        let interned = Interned::deterministic(MaxRecord);
+        let config = interned.uniform_config(100_000);
+        let sim = ConfigSim::new(interned, config, 1);
+        assert!(sim.is_batched());
+
+        let interned = Interned::new(MaxRecord);
+        let config = interned.uniform_config(100_000);
+        let sim = ConfigSim::new(interned, config, 1);
+        assert!(!sim.is_batched());
+    }
+
+    #[test]
+    fn batched_interned_run_matches_sequential_statistically() {
+        // Completion-time means of the interned max epidemic must agree
+        // between engines within sampling error.
+        let n = 20_000u64;
+        let trials = 30;
+        let mean = |batched: bool, stream: u64| -> f64 {
+            (0..trials)
+                .map(|t| {
+                    let interned = Interned::deterministic(MaxRecord);
+                    let handle = interned.handle();
+                    let config = interned.config_from_pairs([
+                        (
+                            Record {
+                                value: 1,
+                                touched: false,
+                            },
+                            1,
+                        ),
+                        (
+                            Record {
+                                value: 0,
+                                touched: false,
+                            },
+                            n - 1,
+                        ),
+                    ]);
+                    let seed = derive_seed(stream, t);
+                    let mut sim = if batched {
+                        ConfigSim::batched(interned, config, seed)
+                    } else {
+                        ConfigSim::sequential(interned, config, seed)
+                    };
+                    let out = sim.run_until(
+                        |c| handle.decode(c).iter().all(|(s, _)| s.value == 1),
+                        n / 20,
+                        f64::MAX,
+                    );
+                    assert!(out.converged);
+                    out.time
+                })
+                .sum::<f64>()
+                / trials as f64
+        };
+        let m_seq = mean(false, 0x51);
+        let m_bat = mean(true, 0x52);
+        assert!(
+            (m_seq - m_bat).abs() < 0.25 * m_seq,
+            "interned engines diverge: sequential {m_seq} vs batched {m_bat}"
+        );
+    }
+
+    /// Randomized protocol through the interning layer.
+    struct CoinFlip;
+
+    impl Protocol for CoinFlip {
+        type State = Record;
+
+        fn initial_state(&self) -> Record {
+            Record {
+                value: 0,
+                touched: false,
+            }
+        }
+
+        fn interact(&self, rec: &mut Record, _sen: &mut Record, rng: &mut SimRng) {
+            rec.value = rng.gen_range(0..2);
+            rec.touched = true;
+        }
+    }
+
+    #[test]
+    fn randomized_interned_protocol_stays_sequential_and_runs() {
+        let interned = Interned::new(CoinFlip);
+        let handle = interned.handle();
+        let config = interned.uniform_config(10_000);
+        let mut sim = ConfigSim::new(interned, config, 11);
+        assert!(!sim.is_batched());
+        sim.steps(40_000);
+        let decoded = handle.decode(&sim.config_view());
+        let ones: u64 = decoded
+            .iter()
+            .filter(|(s, _)| s.value == 1)
+            .map(|(_, c)| c)
+            .sum();
+        assert!(
+            (3_000..7_000).contains(&ones),
+            "coin flips badly skewed: {ones}"
+        );
+    }
+
+    #[test]
+    fn seeded_init_collapses_to_multiset() {
+        struct Split;
+        impl Protocol for Split {
+            type State = Record;
+            fn initial_state(&self) -> Record {
+                Record {
+                    value: 0,
+                    touched: false,
+                }
+            }
+            fn interact(&self, _r: &mut Record, _s: &mut Record, _rng: &mut SimRng) {}
+        }
+        impl SeededInit for Split {
+            fn init_state(&self, index: usize, n: usize) -> Record {
+                Record {
+                    value: u64::from(index < n / 4),
+                    touched: false,
+                }
+            }
+        }
+        let interned = Interned::new(Split);
+        let handle = interned.handle();
+        let config = interned.initial_config(1000);
+        assert_eq!(config.population_size(), 1000);
+        assert_eq!(
+            handle.count_of(
+                &config,
+                &Record {
+                    value: 1,
+                    touched: false
+                }
+            ),
+            250
+        );
+    }
+}

@@ -21,27 +21,38 @@
 //!   epidemics, the slow exact backup counter, and the density experiments of
 //!   Theorem 4.1.
 //! * [`batch::BatchedCountSim`] — the batched configuration simulator
-//!   (Berenbrink et al., ESA 2020; the engine inside `ppsim`). For
-//!   *deterministic* protocols it samples `Θ(√n)` interactions at a time:
-//!   the batch's state-count splits come from conditional hypergeometric
-//!   draws and transitions are applied as bulk count deltas through a dense
-//!   transition table, so amortized cost per interaction is `o(1)` — batches
-//!   get relatively cheaper as `n` grows. When the configuration goes
-//!   null-dominated (epidemic tails, converged runs) it switches to a
-//!   Gillespie-style skip mode that advances whole geometric runs of no-op
-//!   interactions in O(1). At `n = 10⁶`–`10⁷` the combination is tens to
-//!   hundreds of times faster than `CountSim` on the paper's `Θ(log n)`-time
-//!   experiments (see `BENCH_batch.json`) and is what makes the `log log n`
-//!   convergence bands observable at realistic population sizes.
+//!   (Berenbrink et al., ESA 2020; the engine inside `ppsim`). It samples
+//!   `Θ(√n)` interactions at a time: the batch's state-count splits come
+//!   from conditional hypergeometric draws and transitions are applied as
+//!   bulk count deltas through a dense table of per-pair *outcome laws* —
+//!   deterministic pairs as single deltas, randomized pairs with
+//!   enumerable outcome distributions ([`count_sim::CountProtocol::outcomes`])
+//!   as one exact multinomial split per pair, and only unenumerable pairs
+//!   falling back to per-interaction sampling. Amortized cost per
+//!   interaction is `o(1)` — batches get relatively cheaper as `n` grows.
+//!   When the configuration goes null-dominated (epidemic tails, converged
+//!   runs) it switches to a Gillespie-style skip mode that advances whole
+//!   geometric runs of no-op interactions in O(1). At `n = 10⁶`–`10⁷` the
+//!   combination is tens to hundreds of times faster than `CountSim` on the
+//!   paper's `Θ(log n)`-time experiments (see `BENCH_batch.json`) and is
+//!   what makes the `log log n` convergence bands observable at realistic
+//!   population sizes.
+//!
+//! The [`interned::Interned`] adapter bridges the two protocol styles: it
+//! lazily interns rich record states into dense `u32` slots, so any
+//! agent-level [`protocol::Protocol`] implementation runs on the count
+//! engines unchanged (and non-uniform initial configurations come along via
+//! [`count_sim::CountSeededInit`]).
 //!
 //! Use the [`batch::ConfigSim`] facade to get the right engine
-//! automatically: batched when the protocol implements
-//! [`batch::DeterministicCountProtocol`] and the population is at least
-//! [`batch::ConfigSim::BATCH_THRESHOLD`], sequential otherwise (randomized
-//! transitions need per-interaction randomness and always run
-//! sequentially). Both engines realize exactly the same stochastic process —
-//! the repository's statistical-equivalence suite
-//! (`tests/batched_equivalence.rs`) holds them to that.
+//! automatically: batched when the protocol reports
+//! [`count_sim::CountProtocol::prefers_batching`] (deterministic protocols
+//! by default; randomized protocols with small state spaces and enumerable
+//! outcomes opt in) and the population is at least
+//! [`batch::ConfigSim::BATCH_THRESHOLD`], sequential otherwise. All engines
+//! realize exactly the same stochastic process — the repository's
+//! statistical-equivalence suites (`tests/batched_equivalence.rs`,
+//! `tests/unified_equivalence.rs`) hold them to that.
 //!
 //! All simulators draw interactions from the same [`scheduler`] abstraction,
 //! are deterministic given a `u64` seed, and report time in parallel-time
@@ -95,6 +106,7 @@
 pub mod batch;
 pub mod count_sim;
 pub mod epidemic;
+pub mod interned;
 pub mod protocol;
 pub mod record;
 pub mod rng;
@@ -103,7 +115,8 @@ pub mod scheduler;
 pub mod sim;
 
 pub use batch::{BatchedCountSim, ConfigSim, DeterministicCountProtocol};
-pub use count_sim::{CountConfiguration, CountProtocol, CountSim};
+pub use count_sim::{CountConfiguration, CountProtocol, CountSeededInit, CountSim, Outcomes};
+pub use interned::{Interned, InternerHandle};
 pub use protocol::{Protocol, SeededInit};
 pub use record::{Trace, TracePoint};
 pub use rng::{derive_seed, SimRng};

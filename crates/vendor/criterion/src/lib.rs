@@ -3,7 +3,7 @@
 //!
 //! Statistical machinery (outlier rejection, bootstrap confidence intervals,
 //! HTML reports) is not reproduced: each benchmark runs a calibration pass to
-//! pick an iteration count targeting [`TARGET_SAMPLE_TIME`], takes
+//! pick an iteration count targeting `TARGET_SAMPLE_TIME`, takes
 //! `sample_size` samples, and reports the median time per iteration plus
 //! derived throughput. Results print to stdout in a stable aligned format.
 

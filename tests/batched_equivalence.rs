@@ -17,33 +17,13 @@ use uniform_sizeest::engine::count_sim::{CountConfiguration, CountSim};
 use uniform_sizeest::engine::epidemic::InfectionEpidemic;
 use uniform_sizeest::engine::rng::derive_seed;
 
-/// Two-sample Kolmogorov–Smirnov statistic `sup |F₁ - F₂|`.
-fn ks_statistic(a: &mut [f64], b: &mut [f64]) -> f64 {
-    a.sort_by(|x, y| x.partial_cmp(y).unwrap());
-    b.sort_by(|x, y| x.partial_cmp(y).unwrap());
-    let (mut i, mut j, mut d) = (0usize, 0usize, 0f64);
-    while i < a.len() && j < b.len() {
-        if a[i] <= b[j] {
-            i += 1;
-        } else {
-            j += 1;
-        }
-        let gap = (i as f64 / a.len() as f64 - j as f64 / b.len() as f64).abs();
-        d = d.max(gap);
-    }
-    d
-}
-
-/// KS rejection threshold at significance α = 0.001 for samples of sizes
-/// `m` and `n`: `c(α)·√((m+n)/(m·n))` with `c(0.001) ≈ 1.949`.
-fn ks_threshold(m: usize, n: usize) -> f64 {
-    1.949 * ((m + n) as f64 / (m as f64 * n as f64)).sqrt()
-}
+mod common;
+use common::{eq_trials, ks_statistic, ks_threshold};
 
 #[test]
 fn epidemic_completion_times_agree() {
     let n = 10_000u64;
-    let trials = 200u64;
+    let trials = eq_trials(200);
     let config = || CountConfiguration::from_pairs([(false, n - 1), (true, 1)]);
     let mut seq: Vec<f64> = (0..trials)
         .map(|t| {
@@ -111,7 +91,7 @@ fn majority_outcome_distributions_agree() {
     // opinion wins is genuinely random and both engines must produce the
     // same win probability and the same consensus-time distribution.
     let n = 10_000u64;
-    let trials = 200u64;
+    let trials = eq_trials(200);
     let config = || CountConfiguration::from_pairs([(0u8, 5_050), (1u8, 4_950)]);
     let run = |batched: bool, stream: u64| {
         let mut wins = 0u64;

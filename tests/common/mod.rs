@@ -1,0 +1,40 @@
+//! Helpers shared by the statistical-equivalence suites
+//! (`batched_equivalence.rs`, `unified_equivalence.rs`).
+
+/// Trials per engine for KS/binomial distribution comparisons: the
+/// `PP_EQ_TRIALS` environment variable if set (CI uses a reduced value),
+/// else `default`. All thresholds derived from the count scale with it, so
+/// the bounds stay valid at any setting.
+#[allow(dead_code)]
+pub fn eq_trials(default: u64) -> u64 {
+    std::env::var("PP_EQ_TRIALS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+        .max(10)
+}
+
+/// Two-sample Kolmogorov–Smirnov statistic `sup |F₁ - F₂|`.
+#[allow(dead_code)]
+pub fn ks_statistic(a: &mut [f64], b: &mut [f64]) -> f64 {
+    a.sort_by(|x, y| x.partial_cmp(y).unwrap());
+    b.sort_by(|x, y| x.partial_cmp(y).unwrap());
+    let (mut i, mut j, mut d) = (0usize, 0usize, 0f64);
+    while i < a.len() && j < b.len() {
+        if a[i] <= b[j] {
+            i += 1;
+        } else {
+            j += 1;
+        }
+        let gap = (i as f64 / a.len() as f64 - j as f64 / b.len() as f64).abs();
+        d = d.max(gap);
+    }
+    d
+}
+
+/// KS rejection threshold at significance α = 0.001 for samples of sizes
+/// `m` and `n`: `c(α)·√((m+n)/(m·n))` with `c(0.001) ≈ 1.949`.
+#[allow(dead_code)]
+pub fn ks_threshold(m: usize, n: usize) -> f64 {
+    1.949 * ((m + n) as f64 / (m as f64 * n as f64)).sqrt()
+}
