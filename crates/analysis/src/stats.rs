@@ -94,6 +94,129 @@ impl std::fmt::Display for Summary {
     }
 }
 
+/// Streaming (single-pass) moment accumulator: Welford's online algorithm
+/// plus min/max tracking.
+///
+/// This is the incremental half of trial aggregation: sweep workers push
+/// results as they finish (in any order — the accumulated moments are
+/// order-insensitive up to floating-point rounding), and progress reports
+/// read mean/stddev without waiting for the full sample. Final table
+/// statistics (which include order statistics) come from [`Summary::of`]
+/// over the complete, deterministically ordered sample.
+///
+/// ```
+/// use pp_analysis::stats::Running;
+///
+/// let mut r = Running::new();
+/// for x in [1.0, 2.0, 3.0, 4.0] {
+///     r.push(x);
+/// }
+/// assert_eq!(r.count(), 4);
+/// assert_eq!(r.mean(), 2.5);
+/// assert_eq!((r.min(), r.max()), (1.0, 4.0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Running {
+    count: u64,
+    mean: f64,
+    /// Sum of squared deviations from the running mean (Welford's `M2`).
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Running {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on NaN (matching [`Summary::of`]).
+    pub fn push(&mut self, x: f64) {
+        assert!(!x.is_nan(), "observation is NaN");
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merges another accumulator into this one (Chan et al.'s parallel
+    /// variance combination) — the reduction step when each worker keeps a
+    /// local accumulator.
+    pub fn merge(&mut self, other: &Running) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        self.mean += delta * other.count as f64 / total as f64;
+        self.m2 +=
+            other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.count = total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations pushed so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Running mean (0 for an empty accumulator).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Bessel-corrected sample standard deviation (0 for count < 2).
+    pub fn stddev(&self) -> f64 {
+        if self.count > 1 {
+            (self.m2 / (self.count - 1) as f64).sqrt()
+        } else {
+            0.0
+        }
+    }
+
+    /// Minimum observation (+∞ for an empty accumulator).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Maximum observation (−∞ for an empty accumulator).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Standard error of the mean.
+    pub fn sem(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.stddev() / (self.count as f64).sqrt()
+        }
+    }
+
+    /// Normal-approximation 95% confidence half-width (`1.96 · SEM`).
+    pub fn ci95_half_width(&self) -> f64 {
+        1.96 * self.sem()
+    }
+}
+
 /// Empirical quantile (linear interpolation between order statistics).
 ///
 /// `q` in `[0, 1]`.
@@ -173,6 +296,55 @@ mod tests {
     #[should_panic(expected = "NaN")]
     fn nan_panics() {
         Summary::of(&[1.0, f64::NAN]);
+    }
+
+    #[test]
+    fn running_matches_batch_summary() {
+        let data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut r = Running::new();
+        for &x in &data {
+            r.push(x);
+        }
+        let s = Summary::of(&data);
+        assert_eq!(r.count() as usize, s.count);
+        assert!((r.mean() - s.mean).abs() < 1e-12);
+        assert!((r.stddev() - s.stddev).abs() < 1e-12);
+        assert_eq!((r.min(), r.max()), (s.min, s.max));
+        assert!((r.ci95_half_width() - s.ci95_half_width()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn running_merge_matches_single_stream() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64 * 0.37).sin() * 10.0).collect();
+        let mut whole = Running::new();
+        for &x in &data {
+            whole.push(x);
+        }
+        let mut left = Running::new();
+        let mut right = Running::new();
+        for (i, &x) in data.iter().enumerate() {
+            if i % 3 == 0 {
+                left.push(x);
+            } else {
+                right.push(x);
+            }
+        }
+        let mut merged = Running::new();
+        merged.merge(&left);
+        merged.merge(&right);
+        assert_eq!(merged.count(), whole.count());
+        assert!((merged.mean() - whole.mean()).abs() < 1e-9);
+        assert!((merged.stddev() - whole.stddev()).abs() < 1e-9);
+        assert_eq!((merged.min(), merged.max()), (whole.min(), whole.max()));
+        // Merging an empty accumulator is a no-op in both directions.
+        merged.merge(&Running::new());
+        assert_eq!(merged.count(), whole.count());
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn running_rejects_nan() {
+        Running::new().push(f64::NAN);
     }
 
     #[test]

@@ -26,9 +26,24 @@
 //! per workload so future PRs have a perf trajectory. Results land in
 //! `BENCH_batch.json` in the current directory.
 //!
-//! Usage: `cargo run --release --bin bench_batch [-- --quick]`
+//! Usage: `cargo run --release --bin bench_batch [-- --quick] [--gate BASELINE.json]`
 //! (`--quick` drops `n = 10⁷`, whose sequential fixed-time runs take ~10 s
 //! each).
+//!
+//! `--gate BASELINE.json` turns the run into a **regression gate**: every
+//! measured row whose `(protocol, n, workload)` appears in the baseline
+//! file must reach at least 70% of the baseline's batched/sequential
+//! *speedup*, or the process exits 1 listing the offenders. The speedup is
+//! the batched throughput in machine-normalized units — both engines run
+//! in the same process, so the ratio cancels raw hardware speed and the
+//! gate stays stable on shared CI runners that are faster or slower than
+//! the machine that committed the baseline, while still catching any
+//! real batched-engine throughput regression beyond 30%. CI runs
+//! `bench_batch --quick --gate BENCH_batch.json` on every push, so such a
+//! drop fails the job instead of slipping by as an "informational" number.
+//! In gate mode the fresh measurements are written to
+//! `BENCH_batch.latest.json`, leaving the committed baseline untouched
+//! (refresh it by re-running without `--gate`).
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -158,8 +173,131 @@ fn bench_protocol<P: Workload + Default>(
     }
 }
 
+/// Maximum tolerated drop in machine-normalized batched throughput
+/// (the batched/sequential speedup) vs the baseline (30%).
+const GATE_TOLERANCE: f64 = 0.30;
+
+/// One `(protocol, n, workload)` row of a baseline file: the batched rate
+/// (informational) and the batched/sequential speedup (the gated metric).
+struct BaselineRow {
+    protocol: String,
+    n: u64,
+    workload: String,
+    batched: f64,
+    speedup: f64,
+}
+
+/// Parses the rows of a previously emitted `BENCH_batch.json`.
+fn load_baseline(path: &str) -> Vec<BaselineRow> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+    let doc = pp_sweep::json::parse(&text)
+        .unwrap_or_else(|e| panic!("cannot parse baseline {path}: {e}"));
+    doc.get("results")
+        .and_then(pp_sweep::json::Value::as_arr)
+        .unwrap_or_else(|| panic!("baseline {path} has no \"results\" array"))
+        .iter()
+        .map(|row| BaselineRow {
+            protocol: row
+                .get("protocol")
+                .and_then(pp_sweep::json::Value::as_str)
+                .expect("baseline row protocol")
+                .to_string(),
+            n: row
+                .get("n")
+                .and_then(pp_sweep::json::Value::as_u64)
+                .expect("baseline row n"),
+            workload: row
+                .get("workload")
+                .and_then(pp_sweep::json::Value::as_str)
+                .expect("baseline row workload")
+                .to_string(),
+            batched: row
+                .get("batched")
+                .and_then(pp_sweep::json::Value::as_f64)
+                .expect("baseline row batched rate"),
+            speedup: row
+                .get("speedup")
+                .and_then(pp_sweep::json::Value::as_f64)
+                .expect("baseline row speedup"),
+        })
+        .collect()
+}
+
+/// Compares measured rows against the baseline; returns the failures.
+///
+/// The gated metric is the batched/sequential *speedup*: both engines run
+/// in the same process on the same machine, so the ratio cancels the raw
+/// hardware speed and the gate stays meaningful on shared CI runners whose
+/// absolute interactions/s differ from the machine that committed the
+/// baseline. Absolute batched rates are printed alongside as context.
+fn gate_failures(baseline: &[BaselineRow], rows: &[Row]) -> Vec<String> {
+    let mut failures = Vec::new();
+    let mut matched = 0usize;
+    for row in rows {
+        let Some(base) = baseline
+            .iter()
+            .find(|b| b.protocol == row.protocol && b.n == row.n && b.workload == row.workload)
+        else {
+            continue;
+        };
+        matched += 1;
+        let measured = row.bat.rate() / row.seq.rate();
+        let floor = base.speedup * (1.0 - GATE_TOLERANCE);
+        if measured < floor {
+            failures.push(format!(
+                "{} n={} {}: batched speedup {measured:.2}x is below 70% of baseline {:.2}x \
+                 (batched {:.3e} int/s, baseline {:.3e})",
+                row.protocol,
+                row.n,
+                row.workload,
+                base.speedup,
+                row.bat.rate(),
+                base.batched
+            ));
+        } else {
+            eprintln!(
+                "[gate] {} n={} {}: speedup {measured:.2}x vs baseline {:.2}x — ok ({:+.0}%; \
+                 batched {:.3e} int/s)",
+                row.protocol,
+                row.n,
+                row.workload,
+                base.speedup,
+                (measured / base.speedup - 1.0) * 100.0,
+                row.bat.rate()
+            );
+        }
+    }
+    assert!(
+        matched > 0,
+        "gate matched no baseline rows — wrong baseline file?"
+    );
+    failures
+}
+
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().collect();
+    let mut quick = false;
+    let mut gate: Option<String> = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => quick = true,
+            "--gate" => {
+                i += 1;
+                let value = args.get(i).unwrap_or_else(|| {
+                    panic!("--gate needs a baseline path (e.g. --gate BENCH_batch.json)")
+                });
+                assert!(
+                    !value.starts_with("--"),
+                    "--gate needs a baseline path, got flag-like {value:?}"
+                );
+                gate = Some(value.clone());
+            }
+            other => panic!("unknown argument {other}; supported: --quick --gate BASELINE.json"),
+        }
+        i += 1;
+    }
     // (n, sequential trials, batched trials)
     let sizes: &[(u64, u64, u64)] = if quick {
         &[(10_000, 20, 200), (1_000_000, 2, 100)]
@@ -198,6 +336,28 @@ fn main() {
         json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }
     json.push_str("  ]\n}\n");
-    std::fs::write("BENCH_batch.json", &json).expect("write BENCH_batch.json");
+    // Gate mode must not clobber the committed baseline it compares against.
+    let out_path = if gate.is_some() {
+        "BENCH_batch.latest.json"
+    } else {
+        "BENCH_batch.json"
+    };
+    std::fs::write(out_path, &json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
     println!("{json}");
+
+    if let Some(baseline_path) = gate {
+        let failures = gate_failures(&load_baseline(&baseline_path), &rows);
+        if failures.is_empty() {
+            eprintln!(
+                "[gate] all matched rows within {:.0}% of baseline",
+                GATE_TOLERANCE * 100.0
+            );
+        } else {
+            eprintln!("[gate] THROUGHPUT REGRESSION ({} rows):", failures.len());
+            for failure in &failures {
+                eprintln!("[gate]   {failure}");
+            }
+            std::process::exit(1);
+        }
+    }
 }

@@ -1,0 +1,117 @@
+//! Generic sweep runner: executes a TOML/JSON sweep spec over the
+//! experiment registry.
+//!
+//! ```text
+//! sweep <spec.toml|spec.json> [--threads N] [--trials T] [--seed S]
+//! sweep --list
+//! ```
+//!
+//! The spec names its experiments (see `sweep --list` for the catalogue),
+//! sizes, trials, engine policy, master seed, and optionally a journal
+//! path — with a journal, an interrupted sweep resumes instead of
+//! restarting, and re-running a completed spec just replays it. Output:
+//! the aggregated summary as an aligned table on stdout plus three files
+//! under `results/`: `<name>_summary.csv` (per-point statistics at full
+//! precision), `<name>_trials.csv` (every trial), and `<name>_sweep.json`.
+//! All three are byte-identical for a fixed spec and master seed,
+//! regardless of thread count or interruptions.
+//!
+//! Example spec: see `specs/table_epidemic.toml`.
+
+use pp_bench::{anchor_journal, experiments, print_table, results_dir, run_sweep_or_exit};
+use pp_sweep::{emit, SweepSpec};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--list") {
+        println!("available experiments:");
+        for name in experiments::names() {
+            let exp = experiments::experiment(name).expect("registered");
+            println!("  {name}  (metrics: {})", exp.metrics().join(", "));
+        }
+        return;
+    }
+    let mut spec_path = None;
+    let mut threads = None;
+    let mut trials = None;
+    let mut seed = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--threads" => {
+                i += 1;
+                threads = Some(parse_num(&args, i, "--threads"));
+            }
+            "--trials" => {
+                i += 1;
+                trials = Some(parse_num(&args, i, "--trials"));
+            }
+            "--seed" => {
+                i += 1;
+                seed = Some(parse_num(&args, i, "--seed"));
+            }
+            other if spec_path.is_none() && !other.starts_with("--") => {
+                spec_path = Some(other.to_string());
+            }
+            other => die(&format!(
+                "unknown argument {other}; usage: sweep <spec.toml|spec.json> \
+                 [--threads N] [--trials T] [--seed S] | sweep --list"
+            )),
+        }
+        i += 1;
+    }
+    let Some(spec_path) = spec_path else {
+        die("missing spec file; usage: sweep <spec.toml|spec.json> [--threads N] [--trials T] [--seed S]");
+    };
+
+    let mut spec = SweepSpec::from_file(&spec_path).unwrap_or_else(|e| die(&e));
+    if let Some(threads) = threads {
+        spec.threads = threads as usize;
+    }
+    if let Some(trials) = trials {
+        spec.trials = trials as usize;
+    }
+    if let Some(seed) = seed {
+        spec.master_seed = seed;
+    }
+    // Relative journal paths anchor at the workspace root (like the
+    // results/ outputs), so resume finds the journal regardless of the
+    // directory the CLI was invoked from.
+    anchor_journal(&mut spec);
+    let experiments = experiments::build(&spec.experiments).unwrap_or_else(|e| die(&e));
+    let report = run_sweep_or_exit(&spec, &experiments);
+
+    println!(
+        "sweep {:?}: {} points, {} trials (master seed {})",
+        report.name,
+        report.points.len(),
+        report.total_trials(),
+        report.master_seed
+    );
+    let rows = emit::summary_rows(&report);
+    print_table(&emit::SUMMARY_HEADER, &rows);
+
+    let dir = results_dir();
+    for (suffix, content) in [
+        ("summary.csv", emit::summary_csv(&report)),
+        ("trials.csv", emit::per_trial_csv(&report)),
+        ("sweep.json", emit::to_json(&report)),
+    ] {
+        let path = dir.join(format!("{}_{suffix}", report.name));
+        std::fs::write(&path, content)
+            .unwrap_or_else(|e| die(&format!("cannot write {}: {e}", path.display())));
+        println!("[out] {}", path.display());
+    }
+}
+
+fn parse_num(args: &[String], i: usize, flag: &str) -> u64 {
+    args.get(i)
+        .unwrap_or_else(|| die(&format!("{flag} needs a value")))
+        .parse()
+        .unwrap_or_else(|_| die(&format!("{flag} must be an unsigned integer")))
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("sweep: {msg}");
+    std::process::exit(1);
+}

@@ -8,79 +8,72 @@
 //! | Michail-style exact count \[32\] | exact `n` | `O(n log n)` | yes | **yes** |
 //!
 //! This harness measures all four side by side — who wins on what, at what
-//! cost — reproducing the paper's comparative claims.
+//! cost — reproducing the paper's comparative claims. Runs as one
+//! `pp-sweep` grid of four registry experiments (the two `Ω(n)`-time exact
+//! protocols are capped at 5 trials by the registry), resumable via
+//! `--journal`.
 
-use pp_baselines::alistarh::weak_estimate;
-use pp_baselines::exact_backup::run_backup;
-use pp_baselines::exact_leader::run_exact_count;
-use pp_bench::{fmt, print_table, write_csv, HarnessArgs};
-use pp_core::log_size::estimate_log_size;
-use pp_engine::runner::run_trials_threaded;
+use pp_bench::{experiments, fmt, print_table, run_sweep_or_exit, write_csv, HarnessArgs};
 
 fn main() {
     let args = HarnessArgs::parse(&[100, 1000, 10_000], 10);
+    let spec = args.sweep_spec("table_baseline_estimators");
     println!(
         "Estimator landscape (trials={}): error vs time across the four protocols",
-        args.trials
+        spec.effective_trials()
     );
 
+    let experiments = experiments::build(&[
+        "weak_estimator",
+        "logsize_estimate",
+        "exact_backup",
+        "exact_leader_count",
+    ])
+    .expect("registry names");
+    let report = run_sweep_or_exit(&spec, &experiments);
+
+    let mean_abs = |values: &[f64]| {
+        let abs: Vec<f64> = values.iter().map(|x| x.abs()).collect();
+        pp_analysis::stats::Summary::of(&abs).mean
+    };
     let mut rows = Vec::new();
     let mut csv = Vec::new();
     for &n in &args.sizes {
-        let logn = (n as f64).log2();
-        let weak = run_trials_threaded(args.seed ^ n, args.trials, args.threads, |_, seed| {
-            weak_estimate(n as usize, seed)
-        });
-        let main = run_trials_threaded(args.seed ^ n ^ 3, args.trials, args.threads, |_, seed| {
-            estimate_log_size(n as usize, seed, None)
-        });
-        let backup = run_trials_threaded(
-            args.seed ^ n ^ 4,
-            args.trials.min(5),
-            args.threads,
-            |_, seed| run_backup(n, seed),
-        );
-        let exact = run_trials_threaded(
-            args.seed ^ n ^ 6,
-            args.trials.min(5),
-            args.threads,
-            |_, seed| run_exact_count(n as usize, seed, 1e9),
-        );
+        let weak = report.point("weak_estimator", n);
+        let main = report.point("logsize_estimate", n);
+        let backup = report.point("exact_backup", n);
+        let exact = report.point("exact_leader_count", n);
 
-        let weak_err: Vec<f64> = weak
-            .iter()
-            .map(|o| (o.value.estimate as f64 - logn).abs())
-            .collect();
-        let main_err: Vec<f64> = main
-            .iter()
-            .filter_map(|o| o.value.error(n).map(f64::abs))
-            .collect();
-        let weak_t: Vec<f64> = weak.iter().map(|o| o.value.time).collect();
-        let main_t: Vec<f64> = main.iter().map(|o| o.value.time).collect();
-        let backup_t: Vec<f64> = backup.iter().map(|o| o.value.silent_time).collect();
-        let exact_t: Vec<f64> = exact.iter().map(|o| o.value.time).collect();
-        let backup_exact = backup
-            .iter()
-            .filter(|o| o.value.max_level as f64 == logn.floor())
-            .count();
-        let count_exact = exact.iter().filter(|o| o.value.count == n).count();
+        let weak_err = mean_abs(&weak.values("err"));
+        let main_err = mean_abs(&main.values("err"));
+        let backup_exact = backup.count_true("exact");
+        let count_exact = exact.count_true("exact");
 
-        let m = |v: &[f64]| pp_analysis::stats::Summary::of(v).mean;
         rows.push(vec![
             n.to_string(),
-            format!("{} / {}", fmt(m(&weak_err)), fmt(m(&weak_t))),
-            format!("{} / {}", fmt(m(&main_err)), fmt(m(&main_t))),
-            format!("{}/{} / {}", backup_exact, backup.len(), fmt(m(&backup_t))),
-            format!("{}/{} / {}", count_exact, exact.len(), fmt(m(&exact_t))),
+            format!("{} / {}", fmt(weak_err), fmt(weak.mean("time"))),
+            format!("{} / {}", fmt(main_err), fmt(main.mean("time"))),
+            format!(
+                "{}/{} / {}",
+                backup_exact,
+                backup.trials.len(),
+                fmt(backup.mean("time"))
+            ),
+            format!(
+                "{}/{} / {}",
+                count_exact,
+                exact.trials.len(),
+                fmt(exact.mean("time"))
+            ),
         ]);
         csv.push(vec![
             n.to_string(),
-            format!("{}", m(&weak_err)),
-            format!("{}", m(&main_err)),
-            format!("{}", m(&weak_t)),
-            format!("{}", m(&main_t)),
-            format!("{}", m(&backup_t)),
-            format!("{}", m(&exact_t)),
+            format!("{weak_err}"),
+            format!("{main_err}"),
+            format!("{}", weak.mean("time")),
+            format!("{}", main.mean("time")),
+            format!("{}", backup.mean("time")),
+            format!("{}", exact.mean("time")),
         ]);
     }
     print_table(

@@ -5,33 +5,30 @@
 //! `Pr[T > α·ln n] < 4n^{−α/4+1}`; an epidemic confined to a subpopulation
 //! of `n/c` agents slows down by roughly `c²` per-step (Corollary 3.4), and
 //! at `c = 3`, `Pr[T > 24 ln n] < 27 n^{−3}` (Corollary 3.5).
+//!
+//! Runs as a `pp-sweep` grid: two registry experiments × `--sizes`, trials
+//! fanned out over `--threads` workers, resumable via `--journal`.
 
 use pp_analysis::harmonic::{expected_epidemic_time, subpopulation_epidemic_tail};
-use pp_bench::{fmt, print_table, write_csv, HarnessArgs};
-use pp_engine::epidemic::{epidemic_completion_time, subpopulation_epidemic_time};
-use pp_engine::runner::run_trials_threaded;
+use pp_bench::{experiments, fmt, print_table, run_sweep_or_exit, write_csv, HarnessArgs};
 
 fn main() {
     let args = HarnessArgs::parse(&[1000, 10_000, 100_000], 20);
+    let spec = args.sweep_spec("table_epidemic");
     println!(
         "Lemma A.1 / Corollary 3.4 epidemics (trials={})",
-        args.trials
+        spec.effective_trials()
     );
+
+    let experiments =
+        experiments::build(&["epidemic_full", "epidemic_sub3"]).expect("registry names");
+    let report = run_sweep_or_exit(&spec, &experiments);
 
     let mut rows = Vec::new();
     let mut csv = Vec::new();
     for &n in &args.sizes {
-        let full = run_trials_threaded(args.seed ^ n, args.trials, args.threads, |_, seed| {
-            epidemic_completion_time(n, seed)
-        });
-        let sub = run_trials_threaded(
-            args.seed ^ n ^ 0xF00,
-            args.trials,
-            args.threads,
-            |_, seed| subpopulation_epidemic_time(n, n / 3, seed),
-        );
-        let full_times: Vec<f64> = full.iter().map(|o| o.value).collect();
-        let sub_times: Vec<f64> = sub.iter().map(|o| o.value).collect();
+        let full_times = report.point("epidemic_full", n).values("time");
+        let sub_times = report.point("epidemic_sub3", n).values("time");
         let sf = pp_analysis::stats::Summary::of(&full_times);
         let ss = pp_analysis::stats::Summary::of(&sub_times);
         let ln_n = (n as f64).ln();

@@ -4,55 +4,54 @@
 //! estimate has converged, in `O(log² n)` time overall, with the same
 //! accuracy band. Measured: termination times, freeze times, accuracy and
 //! agreement at the freeze.
+//!
+//! Runs as a `pp-sweep` grid over the `leader_termination` registry
+//! experiment, resumable via `--journal`.
 
-use pp_bench::{fmt, print_table, write_csv, HarnessArgs};
-use pp_core::leader::run_terminating;
-use pp_engine::runner::run_trials_threaded;
+use pp_bench::{experiments, fmt, print_table, run_sweep_or_exit, write_csv, HarnessArgs};
 
 fn main() {
     let args = HarnessArgs::parse(&[100, 300, 1000], 8);
+    let spec = args.sweep_spec("table_leader_termination");
     println!(
         "Theorem 3.13 leader-driven termination (trials={})",
-        args.trials
+        spec.effective_trials()
     );
+
+    let experiments = experiments::build(&["leader_termination"]).expect("registry names");
+    let report = run_sweep_or_exit(&spec, &experiments);
 
     let mut rows = Vec::new();
     let mut csv = Vec::new();
     for &n in &args.sizes {
-        let outcomes = run_trials_threaded(args.seed ^ n, args.trials, args.threads, |_, seed| {
-            run_terminating(n as usize, seed, 1e8)
-        });
-        let terminated = outcomes.iter().filter(|o| o.value.terminated).count();
-        let times: Vec<f64> = outcomes
-            .iter()
-            .filter(|o| o.value.terminated)
-            .map(|o| o.value.termination_time)
-            .collect();
-        let correct = outcomes
-            .iter()
-            .filter(|o| {
-                o.value
-                    .output
-                    .map(|k| (k as f64 - (n as f64).log2()).abs() <= 5.7)
-                    .unwrap_or(false)
-            })
-            .count();
-        let agreement: Vec<f64> = outcomes.iter().map(|o| o.value.agreement).collect();
-        let st = pp_analysis::stats::Summary::of(&times);
-        let sa = pp_analysis::stats::Summary::of(&agreement);
+        let point = report.point("leader_termination", n);
+        // `term_time` is NaN for trials whose signal never fired, so the
+        // summary covers exactly the terminated runs.
+        let st = point.summary("term_time");
+        let sa = point.summary("agreement");
         rows.push(vec![
             n.to_string(),
-            format!("{}/{}", terminated, outcomes.len()),
+            format!("{}/{}", point.count_true("terminated"), point.trials.len()),
             fmt(st.mean),
             fmt(st.mean / (n as f64).log2().powi(2)),
-            format!("{}/{}", correct, outcomes.len()),
+            format!("{}/{}", point.count_true("correct"), point.trials.len()),
             fmt(sa.mean),
         ]);
-        for o in &outcomes {
+        for (trial, (time, output)) in point
+            .raw_values("term_time")
+            .into_iter()
+            .zip(point.raw_values("output"))
+            .enumerate()
+        {
             csv.push(vec![
                 n.to_string(),
-                format!("{}", o.value.termination_time),
-                format!("{:?}", o.value.output.unwrap_or(0)),
+                if time.is_nan() {
+                    String::new()
+                } else {
+                    format!("{time}")
+                },
+                format!("{}", if output.is_nan() { 0 } else { output as u64 }),
+                point.trials[trial].seed.to_string(),
             ]);
         }
     }
@@ -71,7 +70,7 @@ fn main() {
     println!(" contrast with the flat O(1) signal times of table_termination_impossibility)");
     write_csv(
         "table_leader_termination",
-        &["n", "termination_time", "output"],
+        &["n", "termination_time", "output", "seed"],
         &csv,
     );
 }

@@ -5,26 +5,27 @@
 //! harness also reports Corollary 3.10's explicit budget
 //! `(11 log n + 1)·24 ln n` for comparison (the proof's constant is loose
 //! by design — measured times sit far below it).
+//!
+//! Runs as a `pp-sweep` grid over the `logsize_estimate` registry
+//! experiment, resumable via `--journal`.
 
-use pp_bench::{fmt, print_table, write_csv, HarnessArgs};
-use pp_core::log_size::estimate_log_size;
-use pp_engine::runner::run_trials_threaded;
+use pp_bench::{experiments, fmt, print_table, run_sweep_or_exit, write_csv, HarnessArgs};
 
 fn main() {
     let args = HarnessArgs::parse(&[100, 200, 400, 800, 1600, 3200, 6400], 8);
+    let spec = args.sweep_spec("table_time_scaling");
     println!(
         "Corollary 3.10 time scaling (trials={}): converges in O(log^2 n) w.p. >= 1 - 1/n^2",
-        args.trials
+        spec.effective_trials()
     );
+
+    let experiments = experiments::build(&["logsize_estimate"]).expect("registry names");
+    let report = run_sweep_or_exit(&spec, &experiments);
 
     let mut rows = Vec::new();
     let mut means = Vec::new();
     for &n in &args.sizes {
-        let outcomes = run_trials_threaded(args.seed ^ n, args.trials, args.threads, |_, seed| {
-            estimate_log_size(n as usize, seed, None).time
-        });
-        let times: Vec<f64> = outcomes.iter().map(|o| o.value).collect();
-        let s = pp_analysis::stats::Summary::of(&times);
+        let s = report.point("logsize_estimate", n).summary("time");
         let budget = pp_analysis::subexp::corollary_3_10_time_budget(n);
         means.push((n, s.mean));
         rows.push(vec![

@@ -1,0 +1,193 @@
+//! The experiment registry: every paper measurement as a named
+//! [`SweepExperiment`].
+//!
+//! This is the binding layer between the protocol crates and the sweep
+//! orchestrator: the migrated `table_*` binaries and the `sweep` CLI both
+//! resolve experiments here, so a measurement is defined exactly once. A
+//! registry experiment maps one [`pp_sweep::TrialCtx`] — grid population size,
+//! derived seed, engine policy — to a fixed vector of named metrics
+//! (NaN = the trial did not produce that metric).
+//!
+//! The engine policy reaches the experiments that expose an
+//! engine-selection hook (the epidemics); the others run on the engine
+//! their protocol helper picks (documented per entry below).
+
+use pp_baselines::alistarh::weak_estimate;
+use pp_baselines::exact_backup::run_backup;
+use pp_baselines::exact_leader::run_exact_count;
+use pp_core::leader::run_terminating;
+use pp_core::log_size::estimate_log_size;
+use pp_engine::epidemic::{epidemic_completion_time_with, subpopulation_epidemic_time_with};
+use pp_sweep::SweepExperiment;
+use pp_termination::experiment::counter_signal_trial;
+
+/// The `Log-Size-Estimation` accuracy band of Theorem 3.1 (`|output −
+/// log₂ n| ≤ 5.7` w.h.p.), shared by the estimator and termination
+/// experiments.
+pub const ACCURACY_BAND: f64 = 5.7;
+
+/// Names of every registered experiment, in registry order.
+pub fn names() -> &'static [&'static str] {
+    &[
+        "epidemic_full",
+        "epidemic_sub3",
+        "logsize_estimate",
+        "weak_estimator",
+        "exact_backup",
+        "exact_leader_count",
+        "leader_termination",
+        "counter_signal",
+    ]
+}
+
+/// Builds the registry experiment with the given name, or `None` for an
+/// unknown name.
+pub fn experiment(name: &str) -> Option<SweepExperiment> {
+    Some(match name {
+        // Full-population one-way epidemic (Lemma A.1): completion time.
+        // Honors the spec's engine policy.
+        "epidemic_full" => SweepExperiment::new("epidemic_full", &["time"], |ctx| {
+            vec![epidemic_completion_time_with(ctx.n, ctx.seed, ctx.engine)]
+        })
+        .with_engine_hook(),
+        // Epidemic confined to an n/3 subpopulation (Corollary 3.4).
+        // Honors the spec's engine policy.
+        "epidemic_sub3" => SweepExperiment::new("epidemic_sub3", &["time"], |ctx| {
+            vec![subpopulation_epidemic_time_with(
+                ctx.n,
+                ctx.n / 3,
+                ctx.seed,
+                ctx.engine,
+            )]
+        })
+        .with_engine_hook(),
+        // The paper's Log-Size-Estimation protocol (Theorem 3.1): signed
+        // additive error (NaN if the run did not converge to an output)
+        // and convergence time. Runs on `AgentSim` (per-interaction
+        // counters keep the occupied support Θ(n)).
+        "logsize_estimate" => {
+            SweepExperiment::new("logsize_estimate", &["err", "time", "converged"], |ctx| {
+                let out = estimate_log_size(ctx.n as usize, ctx.seed, None);
+                vec![
+                    out.error(ctx.n).unwrap_or(f64::NAN),
+                    out.time,
+                    f64::from(out.converged),
+                ]
+            })
+        }
+        // Alistarh et al.'s max-geometric weak estimator: signed error of
+        // the settled maximum vs log₂ n, and agreement time. Runs on
+        // `ConfigSim` (adaptive).
+        "weak_estimator" => SweepExperiment::new("weak_estimator", &["err", "time"], |ctx| {
+            let out = weak_estimate(ctx.n as usize, ctx.seed);
+            vec![out.estimate as f64 - (ctx.n as f64).log2(), out.time]
+        }),
+        // The §3.3 `l_i/f_i` exact backup: time to silence and whether the
+        // maximum level hit `⌊log₂ n⌋` exactly. Ω(n) time per trial, so
+        // capped at 5 trials per point.
+        "exact_backup" => SweepExperiment::new("exact_backup", &["time", "exact"], |ctx| {
+            let out = run_backup(ctx.n, ctx.seed);
+            let exact = out.max_level as f64 == (ctx.n as f64).log2().floor();
+            vec![out.silent_time, f64::from(exact)]
+        })
+        .with_max_trials(5),
+        // Michail-style exact leader count: time and exactness. Ω(n log n)
+        // time per trial, so capped at 5 trials per point.
+        "exact_leader_count" => {
+            SweepExperiment::new("exact_leader_count", &["time", "exact"], |ctx| {
+                let out = run_exact_count(ctx.n as usize, ctx.seed, 1e9);
+                vec![out.time, f64::from(out.count == ctx.n)]
+            })
+            .with_max_trials(5)
+        }
+        // Theorem 3.13 leader-driven terminating estimation: whether the
+        // signal fired, when (NaN if never), the majority output (NaN if
+        // none), whether it was within the accuracy band, and the
+        // agreement fraction at the freeze.
+        "leader_termination" => SweepExperiment::new(
+            "leader_termination",
+            &["terminated", "term_time", "output", "correct", "agreement"],
+            |ctx| {
+                let out = run_terminating(ctx.n as usize, ctx.seed, 1e8);
+                let correct = out
+                    .output
+                    .map(|k| (k as f64 - (ctx.n as f64).log2()).abs() <= ACCURACY_BAND)
+                    .unwrap_or(false);
+                vec![
+                    f64::from(out.terminated),
+                    if out.terminated {
+                        out.termination_time
+                    } else {
+                        f64::NAN
+                    },
+                    out.output.map(|k| k as f64).unwrap_or(f64::NAN),
+                    f64::from(correct),
+                    out.agreement,
+                ]
+            },
+        ),
+        // Theorem 4.1: signal time of the threshold-8 Figure-1 counter
+        // started dense — flat in n for any uniform protocol.
+        "counter_signal" => SweepExperiment::new("counter_signal", &["time"], |ctx| {
+            vec![counter_signal_trial(ctx.n, 8, ctx.seed)]
+        }),
+        _ => return None,
+    })
+}
+
+/// Resolves a list of registry names, failing with the full catalogue on
+/// the first unknown name.
+pub fn build(requested: &[impl AsRef<str>]) -> Result<Vec<SweepExperiment>, String> {
+    if requested.is_empty() {
+        return Err(format!(
+            "no experiments requested; available: {}",
+            names().join(", ")
+        ));
+    }
+    requested
+        .iter()
+        .map(|name| {
+            let name = name.as_ref();
+            experiment(name).ok_or_else(|| {
+                format!(
+                    "unknown experiment {name:?}; available: {}",
+                    names().join(", ")
+                )
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_registered_name_builds() {
+        for &name in names() {
+            let exp = experiment(name).expect(name);
+            assert_eq!(exp.name(), name);
+            assert!(!exp.metrics().is_empty());
+        }
+    }
+
+    #[test]
+    fn unknown_names_list_the_catalogue() {
+        assert!(experiment("nope").is_none());
+        let err = build(&["epidemic_full", "nope"]).unwrap_err();
+        assert!(
+            err.contains("nope") && err.contains("epidemic_full"),
+            "{err}"
+        );
+        assert!(build(&Vec::<String>::new()).is_err());
+    }
+
+    #[test]
+    fn epidemic_trial_produces_sane_time() {
+        let exp = experiment("epidemic_full").unwrap();
+        let report =
+            pp_sweep::run_sweep(&pp_sweep::SweepSpec::new("t", vec![1_000], 3), &[exp]).unwrap();
+        let mean = report.point("epidemic_full", 1_000).mean("time");
+        assert!(mean > 2.0 && mean < 60.0, "epidemic mean time {mean}");
+    }
+}

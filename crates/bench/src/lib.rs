@@ -6,8 +6,16 @@
 //!
 //! 1. prints the rows it generates to stdout (aligned table),
 //! 2. writes the same rows to `results/<name>.csv`,
-//! 3. accepts `--sizes n1,n2,...`, `--trials T`, `--seed S`, and `--full`
-//!    where meaningful.
+//! 3. accepts `--sizes n1,n2,...`, `--trials T`, `--seed S`, `--threads W`,
+//!    `--journal PATH`, and `--full` where meaningful.
+//!
+//! The sweep-shaped binaries (`table_epidemic`, `table_time_scaling`,
+//! `table_baseline_estimators`, `table_leader_termination`, and the generic
+//! `sweep` CLI) run on the `pp-sweep` orchestration layer: experiments come
+//! from the [`experiments`] registry, trials fan out over a seeded worker
+//! pool (output independent of thread count), `--journal` makes runs
+//! resumable, and the `PP_SWEEP_TRIALS` environment variable caps trial
+//! counts so CI can smoke-run every table.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -16,15 +24,36 @@ use std::fs;
 use std::io::Write as _;
 use std::path::PathBuf;
 
-/// Returns (and creates) the `results/` directory at the workspace root.
-pub fn results_dir() -> PathBuf {
-    // CARGO_MANIFEST_DIR = crates/bench; the workspace root is two up.
+use pp_sweep::SweepSpec;
+
+pub mod experiments;
+
+/// The workspace root (compile-time anchor: two levels above this
+/// crate's manifest).
+pub fn workspace_root() -> PathBuf {
     let mut dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
     dir.pop();
     dir.pop();
-    dir.push("results");
+    dir
+}
+
+/// Returns (and creates) the `results/` directory at the workspace root.
+pub fn results_dir() -> PathBuf {
+    let dir = workspace_root().join("results");
     fs::create_dir_all(&dir).expect("create results dir");
     dir
+}
+
+/// Rebases a relative journal path onto the workspace root, so journals
+/// land (and are found again on resume) next to the `results/` outputs no
+/// matter which directory the binary was invoked from. Absolute paths are
+/// left alone.
+pub fn anchor_journal(spec: &mut SweepSpec) {
+    if let Some(path) = &spec.journal {
+        if path.is_relative() {
+            spec.journal = Some(workspace_root().join(path));
+        }
+    }
 }
 
 /// Writes rows as CSV under `results/`.
@@ -121,6 +150,8 @@ pub struct HarnessArgs {
     pub full: bool,
     /// Worker threads (defaults to available parallelism, capped at 24).
     pub threads: usize,
+    /// Journal path for resumable sweeps (`--journal PATH`).
+    pub journal: Option<String>,
 }
 
 impl HarnessArgs {
@@ -135,6 +166,7 @@ impl HarnessArgs {
             .map(|p| p.get())
             .unwrap_or(4)
             .min(24);
+        let mut journal = None;
         let mut i = 1;
         while i < args.len() {
             match args[i].as_str() {
@@ -171,9 +203,14 @@ impl HarnessArgs {
                         .parse()
                         .expect("threads must be an integer");
                 }
+                "--journal" => {
+                    i += 1;
+                    journal = Some(args.get(i).expect("--journal needs a path").clone());
+                }
                 "--full" => full = true,
                 other => panic!(
-                    "unknown argument {other}; supported: --sizes --trials --seed --threads --full"
+                    "unknown argument {other}; supported: --sizes --trials --seed --threads \
+                     --journal --full"
                 ),
             }
             i += 1;
@@ -184,8 +221,35 @@ impl HarnessArgs {
             seed,
             full,
             threads,
+            journal,
         }
     }
+
+    /// Builds a [`SweepSpec`] named `name` from these arguments: the
+    /// harness grid, master seed, thread count, and journal path carry
+    /// over (relative journal paths are anchored at the workspace root,
+    /// like every other results file), and `PP_SWEEP_TRIALS` caps the
+    /// trial count via [`SweepSpec::effective_trials`].
+    pub fn sweep_spec(&self, name: &str) -> SweepSpec {
+        let mut spec = SweepSpec::new(name, self.sizes.clone(), self.trials);
+        spec.master_seed = self.seed;
+        spec.threads = self.threads;
+        spec.journal = self.journal.clone().map(PathBuf::from);
+        anchor_journal(&mut spec);
+        spec
+    }
+}
+
+/// Runs a sweep and exits with a readable error on failure — the shared
+/// entry point of the migrated `table_*` binaries.
+pub fn run_sweep_or_exit(
+    spec: &SweepSpec,
+    experiments: &[pp_sweep::SweepExperiment],
+) -> pp_sweep::SweepReport {
+    pp_sweep::run_sweep(spec, experiments).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(1);
+    })
 }
 
 /// Formats a float compactly for tables.

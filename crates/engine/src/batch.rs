@@ -268,6 +268,46 @@ impl<P: CountProtocol> BatchedCountSim<P> {
         }
     }
 
+    /// Rebuilds a batched simulator mid-run from its constituent parts,
+    /// carrying the RNG stream and interaction clock across an engine switch
+    /// (see [`ConfigSim`]'s adaptive re-selection). The law table is rebuilt
+    /// lazily from the protocol, exactly as in [`BatchedCountSim::new`].
+    pub(crate) fn from_parts(
+        protocol: P,
+        config: CountConfiguration<P::State>,
+        mut rng: SimRng,
+        interactions: u64,
+    ) -> Self {
+        // The table RNG only probes transitions that never read it; derive
+        // it from the carried stream so the whole run stays a deterministic
+        // function of the original seed.
+        let table_seed: u64 = rng.gen();
+        let mut sim = Self::new(protocol, config, 0);
+        sim.rng = rng;
+        sim.table_rng = rng_from_seed(table_seed);
+        sim.interactions = interactions;
+        sim
+    }
+
+    /// Decomposes the simulator into `(protocol, configuration, rng,
+    /// interactions)` so an engine switch can hand the run to [`CountSim`]
+    /// without losing state.
+    pub(crate) fn into_parts(self) -> (P, CountConfiguration<P::State>, SimRng, u64) {
+        let config = self.config_view();
+        (self.protocol, config, self.rng, self.interactions)
+    }
+
+    /// Number of *occupied* states (non-zero counts) — the `k` that drives
+    /// the `O(k²)` per-batch law-table work.
+    pub(crate) fn occupied_support(&self) -> usize {
+        self.counts.iter().filter(|&&c| c > 0).count()
+    }
+
+    /// Mean collision-free batch length `E[T] = Θ(√n)`.
+    pub(crate) fn mean_batch_len(&self) -> f64 {
+        self.expected_batch_len
+    }
+
     /// Population size.
     pub fn population_size(&self) -> u64 {
         self.n
@@ -947,15 +987,74 @@ fn grow_to(v: &mut Vec<u64>, len: usize) {
     }
 }
 
-/// Facade choosing between [`CountSim`] and [`BatchedCountSim`].
+/// How [`ConfigSim`] selects — and, mid-run, re-selects — its engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineMode {
+    /// Heuristic choice at construction plus adaptive re-selection: each
+    /// batch (or each `~√n` sequential chunk) the occupied support `k` is
+    /// compared against the mean batch length `E[T] = Θ(√n)`, and the run
+    /// switches batched↔sequential when the other engine wins. Exact either
+    /// way — only the wall-clock profile changes.
+    #[default]
+    Auto,
+    /// Sequential [`CountSim`], never switched.
+    Sequential,
+    /// Batched [`BatchedCountSim`], never switched.
+    Batched,
+}
+
+impl std::str::FromStr for EngineMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "auto" => Ok(Self::Auto),
+            "sequential" => Ok(Self::Sequential),
+            "batched" => Ok(Self::Batched),
+            other => Err(format!(
+                "unknown engine mode {other:?} (expected auto | sequential | batched)"
+            )),
+        }
+    }
+}
+
+/// The engine actually running inside a [`ConfigSim`].
+enum Engine<P: CountProtocol> {
+    /// Per-interaction simulation ([`CountSim`]).
+    Sequential(CountSim<P>),
+    /// Batched simulation ([`BatchedCountSim`]).
+    Batched(BatchedCountSim<P>),
+}
+
+/// In [`EngineMode::Auto`], leave the batched engine when the occupied
+/// support satisfies `k² > ADAPT_DOWN·E[T]` — the `O(k²)` per-batch law
+/// work then dominates the `Θ(√n)` interactions a batch executes — and
+/// (re-)enter it when `k² < ADAPT_UP·E[T]`. The factor-4 gap between the
+/// two thresholds is hysteresis against flapping near the crossover.
+const ADAPT_DOWN: f64 = 4.0;
+/// See [`ADAPT_DOWN`].
+const ADAPT_UP: f64 = 1.0;
+
+/// Message for the engine-slot invariant (`None` only transiently inside
+/// [`ConfigSim::switch_engine`]).
+const ENGINE_PRESENT: &str = "ConfigSim engine slot is always occupied";
+
+/// Facade choosing — and in [`EngineMode::Auto`], *re*-choosing mid-run —
+/// between [`CountSim`] and [`BatchedCountSim`].
 ///
-/// [`ConfigSim::new`] picks the batched engine when the protocol asks for
-/// it ([`CountProtocol::prefers_batching`] — deterministic protocols by
+/// [`ConfigSim::new`] starts on the batched engine when the protocol asks
+/// for it ([`CountProtocol::prefers_batching`] — deterministic protocols by
 /// default, randomized ones that enumerate their outcome laws by opting
 /// in) and the population is large enough for `Θ(√n)` batches to beat
-/// per-interaction simulation; everything else falls back to the
-/// sequential engine with identical semantics. Call sites hold a single
-/// type either way:
+/// per-interaction simulation; everything else starts sequential. The
+/// right choice also depends on the *current* occupied support `k`
+/// (per-batch work is `O(k²)`), which evolves as states are discovered and
+/// die out, so Auto mode re-evaluates `k²` against the mean batch length
+/// after every batch (or every `~√n` sequential interactions) and switches
+/// engines mid-run, carrying the protocol, configuration, RNG stream, and
+/// interaction clock across. Both engines realize exactly the same
+/// stochastic process, so switching never changes semantics. Call sites
+/// hold a single type either way:
 ///
 /// ```
 /// use pp_engine::batch::ConfigSim;
@@ -968,11 +1067,13 @@ fn grow_to(v: &mut Vec<u64>, len: usize) {
 /// let out = sim.run_until(|c| c.count(&true) == 100_000, 10_000, f64::MAX);
 /// assert!(out.converged);
 /// ```
-pub enum ConfigSim<P: CountProtocol> {
-    /// Per-interaction simulation ([`CountSim`]).
-    Sequential(CountSim<P>),
-    /// Batched simulation ([`BatchedCountSim`]).
-    Batched(BatchedCountSim<P>),
+pub struct ConfigSim<P: CountProtocol> {
+    /// `None` only transiently while [`ConfigSim::switch_engine`] rebuilds.
+    engine: Option<Engine<P>>,
+    /// Whether mid-run re-selection is active ([`EngineMode::Auto`]).
+    adaptive: bool,
+    /// Number of mid-run engine switches performed so far.
+    switches: u32,
 }
 
 impl<P: CountProtocol> ConfigSim<P> {
@@ -981,12 +1082,45 @@ impl<P: CountProtocol> ConfigSim<P> {
     /// short to amortize their `O(k²)` sampling overhead.
     pub const BATCH_THRESHOLD: u64 = 4096;
 
-    /// Chooses the fastest correct engine for this protocol and population.
+    /// Chooses the fastest correct engine for this protocol and population,
+    /// with adaptive mid-run re-selection ([`EngineMode::Auto`]).
     pub fn new(protocol: P, config: CountConfiguration<P::State>, seed: u64) -> Self {
-        if protocol.prefers_batching() && config.population_size() >= Self::BATCH_THRESHOLD {
-            Self::Batched(BatchedCountSim::new(protocol, config, seed))
-        } else {
-            Self::Sequential(CountSim::new(protocol, config, seed))
+        Self::with_mode(protocol, config, seed, EngineMode::Auto)
+    }
+
+    /// Builds a simulator with an explicit engine policy — the selection
+    /// hook used by the sweep orchestration layer (`pp-sweep`) to pin an
+    /// engine per experiment grid.
+    pub fn with_mode(
+        protocol: P,
+        config: CountConfiguration<P::State>,
+        seed: u64,
+        mode: EngineMode,
+    ) -> Self {
+        let (engine, adaptive) = match mode {
+            EngineMode::Auto => {
+                let batched = protocol.prefers_batching()
+                    && config.population_size() >= Self::BATCH_THRESHOLD;
+                let engine = if batched {
+                    Engine::Batched(BatchedCountSim::new(protocol, config, seed))
+                } else {
+                    Engine::Sequential(CountSim::new(protocol, config, seed))
+                };
+                (engine, true)
+            }
+            EngineMode::Sequential => (
+                Engine::Sequential(CountSim::new(protocol, config, seed)),
+                false,
+            ),
+            EngineMode::Batched => (
+                Engine::Batched(BatchedCountSim::new(protocol, config, seed)),
+                false,
+            ),
+        };
+        Self {
+            engine: Some(engine),
+            adaptive,
+            switches: 0,
         }
     }
 
@@ -1007,99 +1141,233 @@ impl<P: CountProtocol> ConfigSim<P> {
         Self::new(protocol, config, seed)
     }
 
-    /// Forces the sequential engine.
+    /// Forces the sequential engine ([`EngineMode::Sequential`]).
     pub fn sequential(protocol: P, config: CountConfiguration<P::State>, seed: u64) -> Self {
-        Self::Sequential(CountSim::new(protocol, config, seed))
+        Self::with_mode(protocol, config, seed, EngineMode::Sequential)
     }
 
-    /// Forces the batched engine (exact for randomized protocols too; fast
-    /// only when the occupied state count stays small).
+    /// Forces the batched engine ([`EngineMode::Batched`]; exact for
+    /// randomized protocols too; fast only when the occupied state count
+    /// stays small).
     pub fn batched(protocol: P, config: CountConfiguration<P::State>, seed: u64) -> Self {
-        Self::Batched(BatchedCountSim::new(protocol, config, seed))
+        Self::with_mode(protocol, config, seed, EngineMode::Batched)
+    }
+
+    fn eng(&self) -> &Engine<P> {
+        self.engine.as_ref().expect(ENGINE_PRESENT)
+    }
+
+    fn eng_mut(&mut self) -> &mut Engine<P> {
+        self.engine.as_mut().expect(ENGINE_PRESENT)
     }
 
     /// Whether the batched engine is active.
     pub fn is_batched(&self) -> bool {
-        matches!(self, Self::Batched(_))
+        matches!(self.eng(), Engine::Batched(_))
+    }
+
+    /// Number of mid-run engine switches performed so far (always 0 outside
+    /// [`EngineMode::Auto`]).
+    pub fn engine_switches(&self) -> u32 {
+        self.switches
     }
 
     /// Population size.
     pub fn population_size(&self) -> u64 {
-        match self {
-            Self::Sequential(s) => s.population_size(),
-            Self::Batched(b) => b.population_size(),
+        match self.eng() {
+            Engine::Sequential(s) => s.population_size(),
+            Engine::Batched(b) => b.population_size(),
         }
     }
 
     /// Parallel time elapsed.
     pub fn time(&self) -> f64 {
-        match self {
-            Self::Sequential(s) => s.time(),
-            Self::Batched(b) => b.time(),
+        match self.eng() {
+            Engine::Sequential(s) => s.time(),
+            Engine::Batched(b) => b.time(),
         }
     }
 
     /// Total interactions executed.
     pub fn interactions(&self) -> u64 {
-        match self {
-            Self::Sequential(s) => s.interactions(),
-            Self::Batched(b) => b.interactions(),
+        match self.eng() {
+            Engine::Sequential(s) => s.interactions(),
+            Engine::Batched(b) => b.interactions(),
         }
     }
 
     /// Count of agents currently in `state`.
     pub fn count(&self, state: &P::State) -> u64 {
-        match self {
-            Self::Sequential(s) => s.config().count(state),
-            Self::Batched(b) => b.count(state),
+        match self.eng() {
+            Engine::Sequential(s) => s.config().count(state),
+            Engine::Batched(b) => b.count(state),
         }
     }
 
     /// Materializes the current configuration.
     pub fn config_view(&self) -> CountConfiguration<P::State> {
-        match self {
-            Self::Sequential(s) => s.config().clone(),
-            Self::Batched(b) => b.config_view(),
+        match self.eng() {
+            Engine::Sequential(s) => s.config().clone(),
+            Engine::Batched(b) => b.config_view(),
         }
+    }
+
+    /// Re-evaluates the engine choice from the measured occupied support
+    /// `k` (Auto mode only) and switches mid-run when the other engine
+    /// wins. Leaving the batched engine needs only `k² > ADAPT_DOWN·E[T]`;
+    /// (re-)entering it additionally requires the population to clear
+    /// [`Self::BATCH_THRESHOLD`] and the protocol's laws to be bulk-applicable
+    /// ([`CountProtocol::prefers_batching`] or a deterministic transition) —
+    /// otherwise every pair falls into the sampled per-interaction path and
+    /// batching buys nothing.
+    fn maybe_adapt(&mut self) {
+        if !self.adaptive {
+            return;
+        }
+        match self.eng() {
+            Engine::Batched(b) => {
+                let k = b.occupied_support() as f64;
+                if k * k <= ADAPT_DOWN * b.mean_batch_len() {
+                    return;
+                }
+            }
+            Engine::Sequential(s) => {
+                let n = s.population_size();
+                if n < Self::BATCH_THRESHOLD {
+                    return;
+                }
+                let p = s.protocol();
+                if !(p.prefers_batching() || p.is_deterministic()) {
+                    return;
+                }
+                let k = s.config().support_size() as f64;
+                // E[T] ≈ √(πn/8): the √n-asymptotics of the exact survival
+                // table the batched engine would precompute.
+                let mean_batch = (std::f64::consts::PI * n as f64 / 8.0).sqrt();
+                if k * k >= ADAPT_UP * mean_batch {
+                    return;
+                }
+            }
+        }
+        self.switch_engine();
+    }
+
+    /// Moves the run to the other engine, carrying the protocol,
+    /// configuration, RNG stream, and interaction clock across. Exact:
+    /// both engines realize the same stochastic process, so switching at an
+    /// interaction boundary changes wall-clock cost only.
+    fn switch_engine(&mut self) {
+        let engine = self.engine.take().expect(ENGINE_PRESENT);
+        self.engine = Some(match engine {
+            Engine::Batched(b) => {
+                let (protocol, config, rng, interactions) = b.into_parts();
+                Engine::Sequential(CountSim::from_parts(protocol, config, rng, interactions))
+            }
+            Engine::Sequential(s) => {
+                let (protocol, config, rng, interactions) = s.into_parts();
+                Engine::Batched(BatchedCountSim::from_parts(
+                    protocol,
+                    config,
+                    rng,
+                    interactions,
+                ))
+            }
+        });
+        self.switches += 1;
+    }
+
+    /// Executes at most `budget` (and at least one) interactions on the
+    /// current engine — one batch or null-skip step when batched, a `~√n`
+    /// chunk when sequential — then re-evaluates the engine choice.
+    fn advance_adaptive(&mut self, budget: u64) -> u64 {
+        debug_assert!(budget >= 1);
+        let executed = match self.eng_mut() {
+            Engine::Batched(b) => b.advance(budget),
+            Engine::Sequential(s) => {
+                let chunk = budget.min(((s.population_size() as f64).sqrt() as u64).max(64));
+                s.steps(chunk);
+                chunk
+            }
+        };
+        self.maybe_adapt();
+        executed
     }
 
     /// Executes (at least) `k` interactions; the batched engine lands
     /// exactly on `k` via batch truncation.
     pub fn steps(&mut self, k: u64) {
-        match self {
-            Self::Sequential(s) => s.steps(k),
-            Self::Batched(b) => b.steps(k),
+        if !self.adaptive {
+            match self.eng_mut() {
+                Engine::Sequential(s) => s.steps(k),
+                Engine::Batched(b) => b.steps(k),
+            }
+            return;
+        }
+        let target = self.interactions() + k;
+        while self.interactions() < target {
+            self.advance_adaptive(target - self.interactions());
         }
     }
 
     /// Runs for `t` units of parallel time.
     pub fn run_for_time(&mut self, t: f64) {
-        match self {
-            Self::Sequential(s) => s.run_for_time(t),
-            Self::Batched(b) => b.run_for_time(t),
-        }
+        self.steps((t * self.population_size() as f64).ceil() as u64);
     }
 
     /// Runs until `predicate(config)` holds, checking every `check_every`
     /// interactions, within a parallel-time budget.
     pub fn run_until(
         &mut self,
-        predicate: impl FnMut(&CountConfiguration<P::State>) -> bool,
+        mut predicate: impl FnMut(&CountConfiguration<P::State>) -> bool,
         check_every: u64,
         max_time: f64,
     ) -> RunOutcome {
-        match self {
-            Self::Sequential(s) => s.run_until(predicate, check_every, max_time),
-            Self::Batched(b) => b.run_until(predicate, check_every, max_time),
+        if !self.adaptive {
+            return match self.eng_mut() {
+                Engine::Sequential(s) => s.run_until(predicate, check_every, max_time),
+                Engine::Batched(b) => b.run_until(predicate, check_every, max_time),
+            };
+        }
+        assert!(check_every > 0, "check_every must be positive");
+        let max_interactions = (max_time * self.population_size() as f64).ceil() as u64;
+        loop {
+            if self.check_predicate(&mut predicate) {
+                return RunOutcome {
+                    converged: true,
+                    time: self.time(),
+                    interactions: self.interactions(),
+                };
+            }
+            if self.interactions() >= max_interactions {
+                return RunOutcome {
+                    converged: false,
+                    time: self.time(),
+                    interactions: self.interactions(),
+                };
+            }
+            let target = (self.interactions() + check_every).min(max_interactions);
+            while self.interactions() < target {
+                self.advance_adaptive(target - self.interactions());
+            }
+        }
+    }
+
+    fn check_predicate(
+        &self,
+        predicate: &mut impl FnMut(&CountConfiguration<P::State>) -> bool,
+    ) -> bool {
+        match self.eng() {
+            Engine::Sequential(s) => predicate(s.config()),
+            Engine::Batched(b) => predicate(&b.config_view()),
         }
     }
 }
 
 impl<P: CountProtocol> std::fmt::Debug for ConfigSim<P> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            Self::Sequential(s) => f.debug_tuple("ConfigSim::Sequential").field(s).finish(),
-            Self::Batched(b) => f.debug_tuple("ConfigSim::Batched").field(b).finish(),
+        match self.eng() {
+            Engine::Sequential(s) => f.debug_tuple("ConfigSim::Sequential").field(s).finish(),
+            Engine::Batched(b) => f.debug_tuple("ConfigSim::Batched").field(b).finish(),
         }
     }
 }
@@ -1364,5 +1632,115 @@ mod tests {
         let out2 = sim.run_until(|c| c.count(&1) == n, 1, 1.0);
         assert!(out2.converged);
         assert_eq!(out2.interactions, out.interactions);
+    }
+
+    /// Counter protocol whose occupied support grows without bound (every
+    /// receiver increments): batching is the wrong engine once `k² ≫ √n`,
+    /// even though the protocol is deterministic and so asks for it.
+    #[derive(Clone, Copy)]
+    struct ChurningCounter;
+
+    impl DeterministicCountProtocol for ChurningCounter {
+        type State = u32;
+
+        fn transition_det(&self, rec: u32, sen: u32) -> (u32, u32) {
+            (rec + 1, sen)
+        }
+    }
+
+    #[test]
+    fn adaptive_abandons_batching_when_support_explodes() {
+        let n = 20_000u64;
+        let config = CountConfiguration::uniform(0u32, n);
+        let mut sim = ConfigSim::new(ChurningCounter, config, 5);
+        assert!(sim.is_batched(), "deterministic protocol starts batched");
+        // After 12n interactions the counters are ~Poisson(12): they occupy
+        // ~25 consecutive values, so k² ≈ 600 far exceeds
+        // 4·E[T] ≈ 4·√(πn/8) ≈ 354 and Auto must bail out.
+        sim.steps(12 * n);
+        assert!(
+            !sim.is_batched(),
+            "support of {} states should have forced a downswitch",
+            sim.config_view().support_size()
+        );
+        assert!(sim.engine_switches() >= 1);
+        assert_eq!(sim.config_view().population_size(), n);
+    }
+
+    /// Deterministic epidemic that *declines* batching: Auto starts it
+    /// sequential, measures the 2-state support, and upswitches.
+    #[derive(Clone, Copy)]
+    struct ShyInfection;
+
+    impl DeterministicCountProtocol for ShyInfection {
+        type State = u8;
+
+        fn transition_det(&self, rec: u8, sen: u8) -> (u8, u8) {
+            (rec.max(sen), sen)
+        }
+
+        fn prefers_batching(&self) -> bool {
+            false
+        }
+    }
+
+    #[test]
+    fn adaptive_adopts_batching_when_support_is_tiny() {
+        let n = 100_000u64;
+        let config = CountConfiguration::from_pairs([(0u8, n - 1), (1u8, 1)]);
+        let mut sim = ConfigSim::new(ShyInfection, config, 9);
+        assert!(
+            !sim.is_batched(),
+            "prefers_batching = false starts sequential"
+        );
+        let out = sim.run_until(|c| c.count(&1) == n, (n / 10).max(1), f64::MAX);
+        assert!(out.converged);
+        assert!(
+            sim.engine_switches() >= 1,
+            "2-state support at n = 10⁵ should have upswitched"
+        );
+        assert_eq!(sim.count(&1), n);
+    }
+
+    #[test]
+    fn forced_engines_never_switch() {
+        let n = 20_000u64;
+        let mut seq =
+            ConfigSim::sequential(ChurningCounter, CountConfiguration::uniform(0u32, n), 5);
+        seq.steps(5_000);
+        assert!(!seq.is_batched());
+        assert_eq!(seq.engine_switches(), 0);
+        let mut bat = ConfigSim::batched(ChurningCounter, CountConfiguration::uniform(0u32, n), 5);
+        bat.steps(5_000);
+        assert!(bat.is_batched());
+        assert_eq!(bat.engine_switches(), 0);
+    }
+
+    #[test]
+    fn engine_mode_parses_from_str() {
+        assert_eq!("auto".parse::<EngineMode>().unwrap(), EngineMode::Auto);
+        assert_eq!(
+            "sequential".parse::<EngineMode>().unwrap(),
+            EngineMode::Sequential
+        );
+        assert_eq!(
+            "batched".parse::<EngineMode>().unwrap(),
+            EngineMode::Batched
+        );
+        assert!("fast".parse::<EngineMode>().is_err());
+    }
+
+    #[test]
+    fn switching_preserves_population_and_clock() {
+        let n = 50_000u64;
+        let config = CountConfiguration::uniform(0u32, n);
+        let mut sim = ConfigSim::new(ChurningCounter, config, 11);
+        sim.steps(3 * n);
+        assert_eq!(sim.interactions(), 3 * n);
+        assert_eq!(sim.config_view().population_size(), n);
+        // Total increments equal interactions: each interaction bumps
+        // exactly one receiver by one, across any engine switches.
+        let total: u64 = sim.config_view().iter().map(|(&s, &c)| s as u64 * c).sum();
+        assert_eq!(total, 3 * n);
     }
 }

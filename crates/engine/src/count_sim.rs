@@ -477,6 +477,38 @@ impl<P: CountProtocol> CountSim<P> {
         }
     }
 
+    /// Rebuilds a simulator mid-run from its constituent parts, carrying the
+    /// RNG stream and interaction clock across an engine switch (see
+    /// [`crate::batch::ConfigSim`]'s adaptive re-selection).
+    pub(crate) fn from_parts(
+        protocol: P,
+        config: CountConfiguration<P::State>,
+        rng: SimRng,
+        interactions: u64,
+    ) -> Self {
+        let n = config.population_size();
+        assert!(n >= 2, "population must have at least 2 agents, got {n}");
+        Self {
+            protocol,
+            config,
+            rng,
+            interactions,
+            n,
+        }
+    }
+
+    /// Decomposes the simulator into `(protocol, configuration, rng,
+    /// interactions)` so an engine switch can hand the run to
+    /// [`crate::batch::BatchedCountSim`] without losing state.
+    pub(crate) fn into_parts(self) -> (P, CountConfiguration<P::State>, SimRng, u64) {
+        (self.protocol, self.config, self.rng, self.interactions)
+    }
+
+    /// The protocol being simulated.
+    pub(crate) fn protocol(&self) -> &P {
+        &self.protocol
+    }
+
     /// Current configuration.
     pub fn config(&self) -> &CountConfiguration<P::State> {
         &self.config

@@ -11,7 +11,7 @@
 //! This module provides the epidemic as a standalone protocol plus direct
 //! measurement helpers used by the `table_epidemic` harness.
 
-use crate::batch::{ConfigSim, DeterministicCountProtocol};
+use crate::batch::{ConfigSim, DeterministicCountProtocol, EngineMode};
 use crate::count_sim::CountConfiguration;
 use crate::protocol::Protocol;
 use crate::rng::SimRng;
@@ -60,9 +60,16 @@ impl DeterministicCountProtocol for InfectionEpidemic {
 /// `n` (the protocol is deterministic), so `n = 10⁷` completes in
 /// milliseconds.
 pub fn epidemic_completion_time(n: u64, seed: u64) -> f64 {
+    epidemic_completion_time_with(n, seed, EngineMode::Auto)
+}
+
+/// [`epidemic_completion_time`] with an explicit engine policy — the
+/// selection hook the sweep orchestration layer uses to pin an engine per
+/// experiment grid (e.g. a sequential-vs-batched comparison sweep).
+pub fn epidemic_completion_time_with(n: u64, seed: u64, mode: EngineMode) -> f64 {
     assert!(n >= 2);
     let config = CountConfiguration::from_pairs([(false, n - 1), (true, 1)]);
-    let mut sim = ConfigSim::new(InfectionEpidemic, config, seed);
+    let mut sim = ConfigSim::with_mode(InfectionEpidemic, config, seed, mode);
     let out = sim.run_until(|c| c.count(&true) == n, (n / 10).max(1), f64::MAX);
     debug_assert!(out.converged);
     out.time
@@ -107,6 +114,12 @@ impl DeterministicCountProtocol for SubpopulationEpidemic {
 /// size `a` inside a population of size `n` (Corollary 3.4: the slowdown is
 /// the factor `n(n-1)/(a(a-1))` in expectation).
 pub fn subpopulation_epidemic_time(n: u64, a: u64, seed: u64) -> f64 {
+    subpopulation_epidemic_time_with(n, a, seed, EngineMode::Auto)
+}
+
+/// [`subpopulation_epidemic_time`] with an explicit engine policy (see
+/// [`epidemic_completion_time_with`]).
+pub fn subpopulation_epidemic_time_with(n: u64, a: u64, seed: u64, mode: EngineMode) -> f64 {
     assert!(a >= 2 && a <= n);
     let member_inf = SubState {
         member: true,
@@ -122,7 +135,7 @@ pub fn subpopulation_epidemic_time(n: u64, a: u64, seed: u64) -> f64 {
     };
     let config =
         CountConfiguration::from_pairs([(member_inf, 1), (member_sus, a - 1), (outsider, n - a)]);
-    let mut sim = ConfigSim::new(SubpopulationEpidemic, config, seed);
+    let mut sim = ConfigSim::with_mode(SubpopulationEpidemic, config, seed, mode);
     let out = sim.run_until(|c| c.count(&member_inf) == a, (n / 10).max(1), f64::MAX);
     debug_assert!(out.converged);
     out.time

@@ -114,7 +114,7 @@ pub mod runner;
 pub mod scheduler;
 pub mod sim;
 
-pub use batch::{BatchedCountSim, ConfigSim, DeterministicCountProtocol};
+pub use batch::{BatchedCountSim, ConfigSim, DeterministicCountProtocol, EngineMode};
 pub use count_sim::{CountConfiguration, CountProtocol, CountSeededInit, CountSim, Outcomes};
 pub use interned::{Interned, InternerHandle};
 pub use protocol::{Protocol, SeededInit};

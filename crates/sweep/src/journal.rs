@@ -1,0 +1,318 @@
+//! JSONL trial journal: checkpointing and resume.
+//!
+//! With [`crate::SweepSpec::journal`] set, the runner appends one JSON
+//! line per completed trial, flushed immediately so a killed sweep loses
+//! at most the trial being written. On the next run with the same spec,
+//! the journaled trials are loaded instead of re-executed; because trial
+//! seeds are a pure function of the grid coordinates, the resumed sweep's
+//! aggregated output is identical to an uninterrupted run's.
+//!
+//! The first line is a header carrying a fingerprint of the spec and the
+//! experiment definitions. A journal whose fingerprint does not match the
+//! current spec is refused — silently mixing trials of two different
+//! grids would corrupt both — and a torn final line (crash mid-write) is
+//! dropped.
+//!
+//! Format (one JSON document per line):
+//!
+//! ```text
+//! {"sweep":"epidemic","version":1,"master_seed":1,"fingerprint":"9c0f…"}
+//! {"point":0,"exp":"epidemic_full","n":1000,"trial":0,"seed":17606558817767979835,"values":[13.294]}
+//! ```
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Write as _};
+use std::path::Path;
+
+use crate::json;
+
+/// Journal format version (bumped on incompatible line-format changes).
+const VERSION: u64 = 1;
+
+/// One journaled trial.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalEntry {
+    /// Grid-point index (experiment-major, then size).
+    pub point: usize,
+    /// Trial index within the point.
+    pub trial: usize,
+    /// The seed the trial ran with (validated against re-derivation on
+    /// load).
+    pub seed: u64,
+    /// Metric values in the experiment's metric order (NaN = missing).
+    pub values: Vec<f64>,
+}
+
+/// Append handle to an open journal.
+#[derive(Debug)]
+pub struct Journal {
+    writer: BufWriter<File>,
+}
+
+impl Journal {
+    /// Opens (or creates) the journal at `path` and returns the entries
+    /// already recorded for this spec fingerprint.
+    ///
+    /// A fresh journal gets a header line; an existing one must carry a
+    /// matching fingerprint or an error is returned. A final line that
+    /// fails to parse is treated as a torn write and dropped; malformed
+    /// lines elsewhere are errors.
+    pub fn open(
+        path: &Path,
+        sweep_name: &str,
+        master_seed: u64,
+        fingerprint: u64,
+    ) -> Result<(Self, Vec<JournalEntry>), String> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)
+                    .map_err(|e| format!("cannot create journal dir {}: {e}", parent.display()))?;
+            }
+        }
+        let existing = match std::fs::read_to_string(path) {
+            Ok(text) => Some(text),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
+            Err(e) => return Err(format!("cannot read journal {}: {e}", path.display())),
+        };
+        let mut entries = Vec::new();
+        let mut need_header = true;
+        if let Some(text) = &existing {
+            let lines: Vec<&str> = text.lines().collect();
+            if let Some((first, rest)) = lines.split_first() {
+                check_header(first, fingerprint)
+                    .map_err(|e| format!("journal {}: {e}", path.display()))?;
+                need_header = false;
+                for (i, line) in rest.iter().enumerate() {
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    match parse_entry(line) {
+                        Ok(entry) => entries.push(entry),
+                        // A torn final line is an interrupted write; any
+                        // earlier parse failure is real corruption.
+                        Err(_) if i + 1 == rest.len() => break,
+                        Err(e) => {
+                            return Err(format!(
+                                "journal {}: corrupt line {}: {e}",
+                                path.display(),
+                                i + 2
+                            ))
+                        }
+                    }
+                }
+            }
+        }
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(|e| format!("cannot open journal {}: {e}", path.display()))?;
+        let mut journal = Self {
+            writer: BufWriter::new(file),
+        };
+        if need_header {
+            let mut line = String::from("{\"sweep\":");
+            json::write_str(&mut line, sweep_name);
+            line.push_str(&format!(
+                ",\"version\":{VERSION},\"master_seed\":{master_seed},\"fingerprint\":\"{fingerprint:016x}\"}}"
+            ));
+            journal.write_line(&line)?;
+        }
+        Ok((journal, entries))
+    }
+
+    /// Appends one completed trial, flushing so at most the in-flight
+    /// trial is lost on a crash.
+    pub fn record(&mut self, exp: &str, n: u64, entry: &JournalEntry) -> Result<(), String> {
+        let mut line = format!("{{\"point\":{},\"exp\":", entry.point);
+        json::write_str(&mut line, exp);
+        line.push_str(&format!(
+            ",\"n\":{n},\"trial\":{},\"seed\":{},\"values\":[",
+            entry.trial, entry.seed
+        ));
+        for (i, &v) in entry.values.iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            json::write_f64(&mut line, v);
+        }
+        line.push_str("]}");
+        self.write_line(&line)
+    }
+
+    fn write_line(&mut self, line: &str) -> Result<(), String> {
+        writeln!(self.writer, "{line}")
+            .and_then(|()| self.writer.flush())
+            .map_err(|e| format!("journal write failed: {e}"))
+    }
+}
+
+fn check_header(line: &str, fingerprint: u64) -> Result<(), String> {
+    let doc = json::parse(line).map_err(|e| format!("corrupt header: {e}"))?;
+    let version = doc.get("version").and_then(json::Value::as_u64);
+    if version != Some(VERSION) {
+        return Err(format!("unsupported journal version {version:?}"));
+    }
+    let found = doc
+        .get("fingerprint")
+        .and_then(json::Value::as_str)
+        .and_then(|s| u64::from_str_radix(s, 16).ok())
+        .ok_or("header is missing the spec fingerprint")?;
+    if found != fingerprint {
+        return Err(format!(
+            "spec fingerprint mismatch (journal {found:016x}, current spec {fingerprint:016x}); \
+             the journal belongs to a different grid — delete it or point the spec elsewhere"
+        ));
+    }
+    Ok(())
+}
+
+fn parse_entry(line: &str) -> Result<JournalEntry, String> {
+    let doc = json::parse(line)?;
+    let field_u64 = |key: &str| {
+        doc.get(key)
+            .and_then(json::Value::as_u64)
+            .ok_or(format!("missing field {key:?}"))
+    };
+    let values = doc
+        .get("values")
+        .and_then(json::Value::as_arr)
+        .ok_or("missing field \"values\"")?
+        .iter()
+        .map(|v| v.as_f64().ok_or("non-numeric metric value".to_string()))
+        .collect::<Result<Vec<f64>, _>>()?;
+    Ok(JournalEntry {
+        point: field_u64("point")? as usize,
+        trial: field_u64("trial")? as usize,
+        seed: field_u64("seed")?,
+        values,
+    })
+}
+
+/// FNV-1a over a canonical description of the grid: spec fields plus the
+/// experiment names, metric lists, and trial caps. Two specs with the same
+/// fingerprint journal compatibly.
+pub fn fingerprint(parts: impl IntoIterator<Item = String>) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for part in parts {
+        for byte in part.as_bytes().iter().chain(&[0x1f]) {
+            hash ^= u64::from(*byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("pp-sweep-journal-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{tag}-{}.jsonl", std::process::id()))
+    }
+
+    #[test]
+    fn round_trips_entries() {
+        let path = temp_path("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        let entry = JournalEntry {
+            point: 3,
+            trial: 7,
+            seed: u64::MAX - 5,
+            values: vec![1.5, f64::NAN, f64::INFINITY, -0.25],
+        };
+        {
+            let (mut journal, existing) = Journal::open(&path, "t", 9, 0xABCD).unwrap();
+            assert!(existing.is_empty());
+            journal.record("exp", 100, &entry).unwrap();
+        }
+        let (_journal, loaded) = Journal::open(&path, "t", 9, 0xABCD).unwrap();
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(loaded[0].point, entry.point);
+        assert_eq!(loaded[0].trial, entry.trial);
+        assert_eq!(loaded[0].seed, entry.seed);
+        assert_eq!(loaded[0].values[0], 1.5);
+        assert!(loaded[0].values[1].is_nan());
+        assert_eq!(loaded[0].values[2], f64::INFINITY);
+        assert_eq!(loaded[0].values[3], -0.25);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn fingerprint_mismatch_is_refused() {
+        let path = temp_path("mismatch");
+        let _ = std::fs::remove_file(&path);
+        drop(Journal::open(&path, "t", 9, 1).unwrap());
+        let err = Journal::open(&path, "t", 9, 2).unwrap_err();
+        assert!(err.contains("fingerprint mismatch"), "{err}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_final_line_is_dropped() {
+        let path = temp_path("torn");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (mut journal, _) = Journal::open(&path, "t", 9, 7).unwrap();
+            journal
+                .record(
+                    "exp",
+                    10,
+                    &JournalEntry {
+                        point: 0,
+                        trial: 0,
+                        seed: 1,
+                        values: vec![1.0],
+                    },
+                )
+                .unwrap();
+        }
+        // Simulate a crash mid-write of the second entry.
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("{\"point\":0,\"exp\":\"exp\",\"n\":10,\"trial\":1,\"se");
+        std::fs::write(&path, &text).unwrap();
+        let (_journal, loaded) = Journal::open(&path, "t", 9, 7).unwrap();
+        assert_eq!(loaded.len(), 1);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corruption_before_the_end_is_an_error() {
+        let path = temp_path("corrupt");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (mut journal, _) = Journal::open(&path, "t", 9, 7).unwrap();
+            journal
+                .record(
+                    "exp",
+                    10,
+                    &JournalEntry {
+                        point: 0,
+                        trial: 0,
+                        seed: 1,
+                        values: vec![1.0],
+                    },
+                )
+                .unwrap();
+        }
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.insert_str(text.find('\n').unwrap() + 1, "garbage line\n");
+        std::fs::write(&path, &text).unwrap();
+        let err = Journal::open(&path, "t", 9, 7).unwrap_err();
+        assert!(err.contains("corrupt line"), "{err}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn fingerprints_separate_distinct_grids() {
+        let a = fingerprint(["x".to_string(), "y".to_string()]);
+        let b = fingerprint(["xy".to_string()]);
+        let c = fingerprint(["x".to_string(), "z".to_string()]);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, fingerprint(["x".to_string(), "y".to_string()]));
+    }
+}

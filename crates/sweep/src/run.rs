@@ -1,0 +1,528 @@
+//! The sweep runner: a crossbeam worker pool over a seeded trial grid.
+//!
+//! Trials are the unit of work. The grid is flattened into `(point,
+//! trial)` tasks that workers pull from a shared counter; each trial's
+//! seed is derived from the master seed and the trial's grid coordinates
+//! (never from thread identity or arrival order), and each result lands in
+//! a trial-indexed slot. Aggregated output is therefore **bit-identical**
+//! across thread counts and scheduling orders, and a journaled trial can
+//! be loaded instead of re-run without anyone downstream noticing.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+use pp_analysis::stats::Running;
+use pp_engine::rng::derive_seed;
+use pp_engine::EngineMode;
+
+use crate::agg::{PointResult, SweepReport, TrialRecord};
+use crate::journal::{fingerprint, Journal, JournalEntry};
+use crate::spec::SweepSpec;
+
+/// Everything a trial closure needs: its grid coordinates, derived seed,
+/// and the sweep's engine policy.
+#[derive(Debug, Clone, Copy)]
+pub struct TrialCtx {
+    /// Population size of this grid point.
+    pub n: u64,
+    /// Trial index in `0..trials`.
+    pub trial: usize,
+    /// Seed derived from `(master_seed, point, trial)`.
+    pub seed: u64,
+    /// Engine policy from the spec ([`SweepSpec::engine`]).
+    pub engine: EngineMode,
+}
+
+/// A named experiment: a closure mapping a [`TrialCtx`] to one value per
+/// declared metric.
+///
+/// Return NaN for a metric a trial did not produce (e.g. the termination
+/// time of a run that never terminated); summaries skip missing values.
+pub struct SweepExperiment {
+    name: String,
+    metrics: Vec<String>,
+    max_trials: Option<usize>,
+    engine_aware: bool,
+    #[allow(clippy::type_complexity)]
+    run: Box<dyn Fn(&TrialCtx) -> Vec<f64> + Send + Sync>,
+}
+
+impl SweepExperiment {
+    /// Defines an experiment producing the given metrics (in order).
+    pub fn new(
+        name: impl Into<String>,
+        metrics: &[&str],
+        run: impl Fn(&TrialCtx) -> Vec<f64> + Send + Sync + 'static,
+    ) -> Self {
+        let metrics: Vec<String> = metrics.iter().map(|&m| m.into()).collect();
+        assert!(
+            !metrics.is_empty(),
+            "an experiment needs at least one metric"
+        );
+        Self {
+            name: name.into(),
+            metrics,
+            max_trials: None,
+            engine_aware: false,
+            run: Box::new(run),
+        }
+    }
+
+    /// Caps this experiment's trials below the spec's count — for
+    /// experiments whose single trial is orders of magnitude more
+    /// expensive than the rest of the grid (e.g. the `Ω(n)`-time exact
+    /// baselines riding along in an `O(log² n)` sweep).
+    pub fn with_max_trials(mut self, cap: usize) -> Self {
+        assert!(cap >= 1, "max_trials must be at least 1");
+        self.max_trials = Some(cap);
+        self
+    }
+
+    /// Declares that the closure honors [`TrialCtx::engine`]. Sweeps whose
+    /// spec pins a non-Auto engine refuse experiments without this marker
+    /// — otherwise an `engine = "sequential"` vs `engine = "batched"`
+    /// comparison would silently produce identical numbers for experiments
+    /// that ignore the policy.
+    pub fn with_engine_hook(mut self) -> Self {
+        self.engine_aware = true;
+        self
+    }
+
+    /// Whether the experiment declared that it honors the engine policy.
+    pub fn is_engine_aware(&self) -> bool {
+        self.engine_aware
+    }
+
+    /// Experiment name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Declared metric names.
+    pub fn metrics(&self) -> &[String] {
+        &self.metrics
+    }
+}
+
+impl std::fmt::Debug for SweepExperiment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SweepExperiment")
+            .field("name", &self.name)
+            .field("metrics", &self.metrics)
+            .field("max_trials", &self.max_trials)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A sweep failure: spec/journal mismatches, journal IO, or an experiment
+/// returning the wrong number of metrics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepError(pub String);
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sweep failed: {}", self.0)
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+impl From<String> for SweepError {
+    fn from(msg: String) -> Self {
+        Self(msg)
+    }
+}
+
+/// One grid point: an experiment at a population size.
+struct GridPoint {
+    exp: usize,
+    n: u64,
+    trials: usize,
+}
+
+/// Shared worker state, guarded by one mutex (trials are orders of
+/// magnitude more expensive than the bookkeeping inside the lock).
+struct RunState {
+    /// Per point, per trial: the completed record.
+    slots: Vec<Vec<Option<TrialRecord>>>,
+    /// Per point, per metric: streaming stats for progress reporting.
+    progress: Vec<Vec<Running>>,
+    /// Per point: trials still outstanding.
+    remaining: Vec<usize>,
+    journal: Option<Journal>,
+    /// First failure; workers drain without starting new trials once set.
+    error: Option<String>,
+    completed: usize,
+    total: usize,
+}
+
+impl RunState {
+    /// Records one finished trial (from a worker or the journal).
+    fn record(
+        &mut self,
+        points: &[GridPoint],
+        experiments: &[SweepExperiment],
+        point: usize,
+        record: TrialRecord,
+        journal_it: bool,
+        quiet: bool,
+    ) {
+        let gp = &points[point];
+        let exp = &experiments[gp.exp];
+        if self.slots[point][record.trial].is_some() {
+            return; // duplicate journal line: first one wins
+        }
+        for (metric_idx, &v) in record.values.iter().enumerate() {
+            if !v.is_nan() {
+                self.progress[point][metric_idx].push(v);
+            }
+        }
+        if journal_it {
+            if let Some(journal) = &mut self.journal {
+                if let Err(e) = journal.record(
+                    &exp.name,
+                    gp.n,
+                    &JournalEntry {
+                        point,
+                        trial: record.trial,
+                        seed: record.seed,
+                        values: record.values.clone(),
+                    },
+                ) {
+                    self.error.get_or_insert(e);
+                }
+            }
+        }
+        let trial = record.trial;
+        self.slots[point][trial] = Some(record);
+        self.remaining[point] -= 1;
+        self.completed += 1;
+        if self.remaining[point] == 0 && !quiet {
+            let stats: Vec<String> = exp
+                .metrics
+                .iter()
+                .zip(&self.progress[point])
+                .map(|(m, r)| format!("{m} {:.4} ±{:.4}", r.mean(), r.ci95_half_width()))
+                .collect();
+            eprintln!(
+                "[sweep] {} n={}: {} trials done ({}) [{}/{} total]",
+                exp.name,
+                gp.n,
+                gp.trials,
+                stats.join(", "),
+                self.completed,
+                self.total,
+            );
+        }
+    }
+}
+
+/// Executes `spec` over `experiments` and returns the aggregated report.
+///
+/// The grid is experiments × [`SweepSpec::sizes`]; each point runs
+/// [`SweepSpec::effective_trials`] trials (further capped per experiment
+/// by [`SweepExperiment::with_max_trials`]) on
+/// [`SweepSpec::worker_threads`] workers. With a journal configured,
+/// already-recorded trials are loaded instead of re-run.
+pub fn run_sweep(
+    spec: &SweepSpec,
+    experiments: &[SweepExperiment],
+) -> Result<SweepReport, SweepError> {
+    if experiments.is_empty() {
+        return Err(SweepError("a sweep needs at least one experiment".into()));
+    }
+    if spec.sizes.is_empty() {
+        return Err(SweepError(
+            "a sweep needs at least one population size".into(),
+        ));
+    }
+    if spec.engine != EngineMode::Auto {
+        let deaf: Vec<&str> = experiments
+            .iter()
+            .filter(|e| !e.engine_aware)
+            .map(|e| e.name.as_str())
+            .collect();
+        if !deaf.is_empty() {
+            return Err(SweepError(format!(
+                "the spec pins engine = {:?}, but these experiments do not honor the engine \
+                 policy (no engine-selection hook): {}; drop the engine setting or restrict the \
+                 sweep to engine-aware experiments",
+                spec.engine,
+                deaf.join(", ")
+            )));
+        }
+    }
+    let trials = spec.effective_trials();
+    let mut points = Vec::new();
+    for (exp_idx, exp) in experiments.iter().enumerate() {
+        for &n in &spec.sizes {
+            points.push(GridPoint {
+                exp: exp_idx,
+                n,
+                trials: exp.max_trials.map_or(trials, |cap| trials.min(cap)),
+            });
+        }
+    }
+
+    // Fingerprint the full grid: any change to it makes old journals
+    // unresumable (refused, not silently mixed in).
+    let fp = fingerprint(
+        [
+            spec.name.clone(),
+            spec.master_seed.to_string(),
+            format!("{:?}", spec.engine),
+            format!("{:?}", spec.sizes),
+            trials.to_string(),
+        ]
+        .into_iter()
+        .chain(experiments.iter().flat_map(|e| {
+            [
+                e.name.clone(),
+                e.metrics.join(","),
+                format!("{:?}", e.max_trials),
+            ]
+        })),
+    );
+
+    let (journal, journaled) = match &spec.journal {
+        Some(path) => {
+            let (journal, entries) = Journal::open(path, &spec.name, spec.master_seed, fp)?;
+            (Some(journal), entries)
+        }
+        None => (None, Vec::new()),
+    };
+
+    let total: usize = points.iter().map(|p| p.trials).sum();
+    let mut state = RunState {
+        slots: points.iter().map(|p| vec![None; p.trials]).collect(),
+        progress: points
+            .iter()
+            .map(|p| vec![Running::new(); experiments[p.exp].metrics.len()])
+            .collect(),
+        remaining: points.iter().map(|p| p.trials).collect(),
+        journal,
+        error: None,
+        completed: 0,
+        total,
+    };
+
+    // Replay the journal into the slots, validating every entry against
+    // the current grid.
+    let mut resumed = 0usize;
+    for entry in journaled {
+        let gp = points.get(entry.point).ok_or_else(|| {
+            SweepError(format!("journal entry for unknown point {}", entry.point))
+        })?;
+        if entry.trial >= gp.trials {
+            return Err(SweepError(format!(
+                "journal entry for trial {} of point {}, which has only {} trials",
+                entry.trial, entry.point, gp.trials
+            )));
+        }
+        let expected_seed = trial_seed(spec.master_seed, entry.point, entry.trial);
+        if entry.seed != expected_seed {
+            return Err(SweepError(format!(
+                "journal seed {:#x} does not match the derived seed {expected_seed:#x} \
+                 for point {} trial {}",
+                entry.seed, entry.point, entry.trial
+            )));
+        }
+        if entry.values.len() != experiments[gp.exp].metrics.len() {
+            return Err(SweepError(format!(
+                "journal entry for point {} has {} metric values, experiment {:?} declares {}",
+                entry.point,
+                entry.values.len(),
+                experiments[gp.exp].name,
+                experiments[gp.exp].metrics.len()
+            )));
+        }
+        if state.slots[entry.point][entry.trial].is_none() {
+            resumed += 1;
+        }
+        state.record(
+            &points,
+            experiments,
+            entry.point,
+            TrialRecord {
+                trial: entry.trial,
+                seed: entry.seed,
+                values: entry.values,
+            },
+            false,
+            true,
+        );
+    }
+
+    let tasks: Vec<(usize, usize)> = points
+        .iter()
+        .enumerate()
+        .flat_map(|(p, gp)| (0..gp.trials).map(move |t| (p, t)))
+        .filter(|&(p, t)| state.slots[p][t].is_none())
+        .collect();
+    let threads = spec.worker_threads().min(tasks.len()).max(1);
+    eprintln!(
+        "[sweep] {:?}: {} points × up to {} trials = {} tasks on {} threads{}",
+        spec.name,
+        points.len(),
+        trials,
+        tasks.len(),
+        threads,
+        if resumed > 0 {
+            format!(" ({resumed} resumed from journal)")
+        } else {
+            String::new()
+        }
+    );
+
+    let state = Mutex::new(state);
+    let next = AtomicUsize::new(0);
+    let worker = |_: ()| loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        if i >= tasks.len() {
+            return;
+        }
+        let (point, trial) = tasks[i];
+        let gp = &points[point];
+        let exp = &experiments[gp.exp];
+        let ctx = TrialCtx {
+            n: gp.n,
+            trial,
+            seed: trial_seed(spec.master_seed, point, trial),
+            engine: spec.engine,
+        };
+        let values = (exp.run)(&ctx);
+        let mut guard = state.lock();
+        if values.len() != exp.metrics.len() {
+            guard.error.get_or_insert(format!(
+                "experiment {:?} returned {} values for {} declared metrics",
+                exp.name,
+                values.len(),
+                exp.metrics.len()
+            ));
+        }
+        if guard.error.is_some() {
+            return; // drain: stop picking up work after a failure
+        }
+        guard.record(
+            &points,
+            experiments,
+            point,
+            TrialRecord {
+                trial,
+                seed: ctx.seed,
+                values,
+            },
+            true,
+            false,
+        );
+    };
+    if threads == 1 || tasks.len() <= 1 {
+        worker(());
+    } else {
+        crossbeam::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(worker);
+            }
+        })
+        .expect("sweep worker panicked");
+    }
+
+    let state = state.into_inner();
+    if let Some(error) = state.error {
+        return Err(SweepError(error));
+    }
+    let results = points
+        .iter()
+        .zip(state.slots)
+        .map(|(gp, slots)| PointResult {
+            experiment: experiments[gp.exp].name.clone(),
+            n: gp.n,
+            metrics: experiments[gp.exp].metrics.clone(),
+            trials: slots
+                .into_iter()
+                .map(|s| s.expect("all trials completed"))
+                .collect(),
+        })
+        .collect();
+    Ok(SweepReport {
+        name: spec.name.clone(),
+        master_seed: spec.master_seed,
+        points: results,
+        resumed_trials: resumed,
+    })
+}
+
+/// The canonical per-trial seed: a pure function of the master seed and
+/// the trial's grid coordinates.
+fn trial_seed(master_seed: u64, point: usize, trial: usize) -> u64 {
+    derive_seed(derive_seed(master_seed, point as u64), trial as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_experiment() -> SweepExperiment {
+        // A deterministic function of (n, seed): distinguishable per trial.
+        SweepExperiment::new("toy", &["value", "seed_lo"], |ctx| {
+            vec![
+                ctx.n as f64 + ctx.trial as f64 / 100.0,
+                (ctx.seed % 1000) as f64,
+            ]
+        })
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_report() {
+        let mut spec = SweepSpec::new("t", vec![100, 200], 9);
+        spec.master_seed = 5;
+        spec.threads = 1;
+        let a = run_sweep(&spec, &[toy_experiment()]).unwrap();
+        spec.threads = 7;
+        let b = run_sweep(&spec, &[toy_experiment()]).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.point("toy", 100).trials.len(), 9);
+    }
+
+    #[test]
+    fn seeds_are_grid_derived_and_distinct() {
+        let spec = SweepSpec::new("t", vec![100, 200], 5);
+        let report = run_sweep(&spec, &[toy_experiment()]).unwrap();
+        let mut seeds: Vec<u64> = report
+            .points
+            .iter()
+            .flat_map(|p| p.trials.iter().map(|t| t.seed))
+            .collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 10, "all 2×5 trial seeds are distinct");
+    }
+
+    #[test]
+    fn max_trials_caps_one_experiment_only() {
+        let spec = SweepSpec::new("t", vec![100], 8);
+        let experiments = vec![
+            toy_experiment(),
+            SweepExperiment::new("slow", &["x"], |ctx| vec![ctx.seed as f64]).with_max_trials(3),
+        ];
+        let report = run_sweep(&spec, &experiments).unwrap();
+        assert_eq!(report.point("toy", 100).trials.len(), 8);
+        assert_eq!(report.point("slow", 100).trials.len(), 3);
+    }
+
+    #[test]
+    fn wrong_metric_count_is_an_error() {
+        let spec = SweepSpec::new("t", vec![100], 3);
+        let bad = SweepExperiment::new("bad", &["a", "b"], |_| vec![1.0]);
+        let err = run_sweep(&spec, &[bad]).unwrap_err();
+        assert!(err.0.contains("declared metrics"), "{err}");
+    }
+
+    #[test]
+    fn empty_grid_is_an_error() {
+        let spec = SweepSpec::new("t", vec![100], 3);
+        assert!(run_sweep(&spec, &[]).is_err());
+        let empty = SweepSpec::new("t", vec![], 3);
+        assert!(run_sweep(&empty, &[toy_experiment()]).is_err());
+    }
+}

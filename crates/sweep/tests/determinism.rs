@@ -1,0 +1,149 @@
+//! Sweep determinism and resume guarantees.
+//!
+//! * The same spec + master seed produces **byte-identical** aggregated
+//!   output (summary CSV, per-trial CSV, JSON) at 1 thread and at N
+//!   threads.
+//! * A sweep interrupted mid-run and resumed from its journal produces
+//!   exactly the output of an uninterrupted run.
+//! * A journal written by a different grid is refused.
+
+use std::path::PathBuf;
+
+use pp_engine::epidemic::epidemic_completion_time_with;
+use pp_sweep::{emit, run_sweep, SweepExperiment, SweepSpec};
+
+fn epidemic_experiment() -> SweepExperiment {
+    SweepExperiment::new("epidemic", &["time"], |ctx| {
+        vec![epidemic_completion_time_with(ctx.n, ctx.seed, ctx.engine)]
+    })
+    .with_engine_hook()
+}
+
+fn epidemic_experiments() -> Vec<SweepExperiment> {
+    vec![
+        epidemic_experiment(),
+        // Exercises the NaN-as-missing path: odd trials omit the metric.
+        SweepExperiment::new("flaky", &["maybe"], |ctx| {
+            vec![if ctx.trial % 2 == 0 {
+                ctx.seed as f64
+            } else {
+                f64::NAN
+            }]
+        }),
+    ]
+}
+
+fn emitted(report: &pp_sweep::SweepReport) -> (String, String, String) {
+    (
+        emit::summary_csv(report),
+        emit::per_trial_csv(report),
+        emit::to_json(report),
+    )
+}
+
+fn temp_journal(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("pp-sweep-determinism");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("{tag}-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+#[test]
+fn one_thread_and_many_threads_emit_identical_bytes() {
+    let mut spec = SweepSpec::new("det", vec![500, 2_000], 10);
+    spec.master_seed = 0xDECADE;
+    spec.threads = 1;
+    let single = run_sweep(&spec, &epidemic_experiments()).unwrap();
+    spec.threads = 8;
+    let parallel = run_sweep(&spec, &epidemic_experiments()).unwrap();
+    // NaN placeholders make Vec<f64> equality useless (NaN ≠ NaN), so the
+    // contract is asserted on the emitted bytes, where NaN renders
+    // deterministically.
+    assert_eq!(
+        emitted(&single),
+        emitted(&parallel),
+        "emitted bytes must be identical across thread counts"
+    );
+}
+
+#[test]
+fn resumed_run_matches_uninterrupted_run() {
+    let mut spec = SweepSpec::new("resume", vec![400, 900], 8);
+    spec.master_seed = 99;
+    spec.threads = 3;
+
+    // Ground truth: an uninterrupted, journal-free run.
+    let uninterrupted = run_sweep(&spec, &epidemic_experiments()).unwrap();
+
+    // A journaled run of the same grid...
+    let journal = temp_journal("resume");
+    spec.journal = Some(journal.clone());
+    let full = run_sweep(&spec, &epidemic_experiments()).unwrap();
+    assert_eq!(full.resumed_trials, 0);
+    assert_eq!(emitted(&full), emitted(&uninterrupted));
+
+    // ...then "interrupted": keep the header and roughly half the trial
+    // lines, as if the process died mid-sweep.
+    let text = std::fs::read_to_string(&journal).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    let keep = 1 + (lines.len() - 1) / 2;
+    let truncated: String = lines[..keep].iter().flat_map(|l| [*l, "\n"]).collect();
+    std::fs::write(&journal, truncated).unwrap();
+
+    let resumed = run_sweep(&spec, &epidemic_experiments()).unwrap();
+    assert_eq!(resumed.resumed_trials, keep - 1);
+    assert_eq!(
+        emitted(&resumed),
+        emitted(&uninterrupted),
+        "resume-from-journal must reproduce the uninterrupted output"
+    );
+
+    // A fully journaled grid resumes with zero work left.
+    let replayed = run_sweep(&spec, &epidemic_experiments()).unwrap();
+    assert_eq!(replayed.resumed_trials, replayed.total_trials());
+    assert_eq!(emitted(&replayed), emitted(&uninterrupted));
+    std::fs::remove_file(&journal).unwrap();
+}
+
+#[test]
+fn journal_of_a_different_grid_is_refused() {
+    let journal = temp_journal("refuse");
+    let mut spec = SweepSpec::new("refuse", vec![300], 4);
+    spec.journal = Some(journal.clone());
+    run_sweep(&spec, &epidemic_experiments()).unwrap();
+
+    // Same path, different trial count: must refuse, not silently mix.
+    spec.trials = 6;
+    let err = run_sweep(&spec, &epidemic_experiments()).unwrap_err();
+    assert!(err.0.contains("fingerprint mismatch"), "{err}");
+    std::fs::remove_file(&journal).unwrap();
+}
+
+#[test]
+fn forced_engine_modes_agree_on_small_grids() {
+    // Not a distribution test (the equivalence suites own that) — just
+    // that the engine hook plumbs through and both engines complete.
+    for engine in ["sequential", "batched"] {
+        let mut spec = SweepSpec::new("engine", vec![5_000], 6);
+        spec.engine = engine.parse().unwrap();
+        spec.threads = 2;
+        let report = run_sweep(&spec, &[epidemic_experiment()]).unwrap();
+        let mean = report.point("epidemic", 5_000).mean("time");
+        // One-way epidemic completes in ~2 ln n ≈ 17 parallel time.
+        assert!(mean > 5.0 && mean < 60.0, "{engine}: mean {mean}");
+    }
+}
+
+#[test]
+fn pinned_engine_refuses_engine_deaf_experiments() {
+    // The "flaky" experiment ignores ctx.engine, so pinning an engine
+    // over it must fail loudly instead of silently emitting identical
+    // numbers for both settings.
+    let mut spec = SweepSpec::new("deaf", vec![500], 2);
+    spec.engine = "sequential".parse().unwrap();
+    let err = run_sweep(&spec, &epidemic_experiments()).unwrap_err();
+    assert!(err.0.contains("flaky") && err.0.contains("engine"), "{err}");
+    spec.engine = "auto".parse().unwrap();
+    assert!(run_sweep(&spec, &epidemic_experiments()).is_ok());
+}

@@ -138,6 +138,23 @@ pub fn counter_dense_config(n: u64) -> CountConfiguration<u16> {
     crate::density::even_dense_config(&[0u16, COUNTER_X], n)
 }
 
+/// One seeded trial of the Figure-1 counter's termination-signal time: the
+/// threshold-`limit` counter started dense at population `n`, run until
+/// the first `T`-state agent appears. Theorem 4.1 predicts the result is
+/// `O(1)` in `n`; this is the sweep-registry form of the measurement the
+/// `table_termination_impossibility` harness makes.
+pub fn counter_signal_trial(n: u64, limit: u16, seed: u64) -> f64 {
+    let relation = counter_protocol(limit);
+    signal_time(
+        &relation,
+        counter_dense_config(n),
+        |&s| s == COUNTER_T,
+        1e5,
+        seed,
+    )
+    .expect("the dense counter always raises its signal within 10^5 parallel time")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

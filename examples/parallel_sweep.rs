@@ -1,0 +1,49 @@
+//! Programmatic sweep quickstart: the epidemic grid of `table_epidemic`,
+//! built in code instead of a spec file.
+//!
+//! ```text
+//! cargo run --release --example parallel_sweep
+//! ```
+//!
+//! Demonstrates the `pp-sweep` contract: trials fan out over all cores
+//! with per-trial seeds derived from the master seed and the grid
+//! coordinates, so this prints the *same numbers* at any thread count —
+//! re-run with `spec.threads = 1` to check.
+
+use pp_sweep::{emit, run_sweep, SweepExperiment, SweepSpec};
+
+fn main() {
+    let mut spec = SweepSpec::new("parallel_sweep", vec![10_000, 100_000, 1_000_000], 16);
+    spec.master_seed = 2019; // PODC 2019 — one seed reproduces the sweep
+    let experiments = vec![
+        SweepExperiment::new("epidemic", &["time"], |ctx| {
+            vec![pp_engine::epidemic::epidemic_completion_time_with(
+                ctx.n, ctx.seed, ctx.engine,
+            )]
+        }),
+        SweepExperiment::new("epidemic_sub3", &["time"], |ctx| {
+            vec![pp_engine::epidemic::subpopulation_epidemic_time_with(
+                ctx.n,
+                ctx.n / 3,
+                ctx.seed,
+                ctx.engine,
+            )]
+        }),
+    ];
+    let report = run_sweep(&spec, &experiments).expect("sweep runs");
+
+    println!("{}", emit::SUMMARY_HEADER.join("  "));
+    for row in emit::summary_rows(&report) {
+        println!("{}", row.join("  "));
+    }
+    for point in report.points_for("epidemic") {
+        let s = point.summary("time");
+        println!(
+            "epidemic n = {:>8}: mean {:.2} ≈ 2 ln n = {:.2} (ratio {:.2})",
+            point.n,
+            s.mean,
+            2.0 * (point.n as f64).ln(),
+            s.mean / (2.0 * (point.n as f64).ln())
+        );
+    }
+}
