@@ -12,7 +12,7 @@
 //!
 //! Implemented as a [`CountProtocol`] over the unified count representation:
 //! the occupied state space is only `O(log n)` values, so the protocol runs
-//! on [`ConfigSim`] at millions of agents. It is *randomized* (the first
+//! on the count engines at millions of agents. It is *randomized* (the first
 //! interaction of each agent draws a geometric), yet still batches: once
 //! both participants have sampled, the pair's outcome is the deterministic
 //! max-merge, which the batched engine bulk-applies; only the short sampling
@@ -20,9 +20,9 @@
 //! sampling. This is the repository's showcase that randomized paper
 //! protocols now reach batched speed — see `bench_batch`.
 
-use pp_engine::batch::ConfigSim;
 use pp_engine::count_sim::{CountConfiguration, CountProtocol, Outcomes};
 use pp_engine::rng::{geometric_half, SimRng};
+use pp_engine::Simulation;
 
 /// Per-agent state: the sampled/adopted maximum (0 = not yet sampled).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -54,6 +54,12 @@ impl WeakEstimator {
     /// and the `bench_batch` completion workload.
     pub fn agreed(c: &CountConfiguration<WeakState>) -> bool {
         c.support_size() == 1 && c.iter().all(|(s, _)| s.sampled)
+    }
+
+    /// [`WeakEstimator::agreed`] over a decoded `(state, count)` view —
+    /// the [`Simulation`] observation surface.
+    pub fn agreed_view(view: &[(WeakState, u64)]) -> bool {
+        view.len() == 1 && view.iter().all(|(s, _)| s.sampled)
     }
 }
 
@@ -108,8 +114,8 @@ pub struct WeakOutcome {
     pub time: f64,
 }
 
-/// Runs the weak estimator to agreement on [`ConfigSim`] (batched at large
-/// populations).
+/// Runs the weak estimator to agreement on the count engines (batched at
+/// large populations).
 ///
 /// ```
 /// use pp_baselines::alistarh::weak_estimate;
@@ -121,16 +127,15 @@ pub struct WeakOutcome {
 /// ```
 pub fn weak_estimate(n: usize, seed: u64) -> WeakOutcome {
     let n = n as u64;
-    let config = CountConfiguration::uniform(WeakState::initial(), n);
-    let mut sim = ConfigSim::new(WeakEstimator, config, seed);
-    let out = sim.run_until(WeakEstimator::agreed, n.max(2), f64::MAX);
+    let (out, sim) = Simulation::count_builder(WeakEstimator)
+        .size(n)
+        .uniform(WeakState::initial())
+        .seed(seed)
+        .check_every(n.max(2))
+        .until(WeakEstimator::agreed_view)
+        .run();
     debug_assert!(out.converged);
-    let estimate = sim
-        .config_view()
-        .iter()
-        .map(|(s, _)| s.value)
-        .max()
-        .unwrap_or(0);
+    let estimate = sim.view().iter().map(|(s, _)| s.value).max().unwrap_or(0);
     WeakOutcome {
         estimate,
         time: out.time,
@@ -140,6 +145,8 @@ pub fn weak_estimate(n: usize, seed: u64) -> WeakOutcome {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pp_engine::batch::ConfigSim;
+
     use pp_engine::batch::BatchedCountSim;
     use pp_engine::count_sim::CountSim;
     use pp_engine::rng::derive_seed;

@@ -19,8 +19,8 @@
 //! leaders of a level searching for each other) is exactly what the
 //! batched engine's Gillespie-style null skipping accelerates.
 
-use pp_engine::batch::{ConfigSim, DeterministicCountProtocol};
-use pp_engine::count_sim::CountConfiguration;
+use pp_engine::batch::DeterministicCountProtocol;
+use pp_engine::Simulation;
 
 /// Backup state: leader or follower at a level.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -72,37 +72,33 @@ pub struct BackupOutcome {
     pub leader_levels: Vec<u32>,
 }
 
-/// Runs the backup to silence (no same-level leader pair remains) on
-/// [`ConfigSim`] — batched with null skipping at large `n`.
+/// Runs the backup to silence (no same-level leader pair remains) on the
+/// count engines — batched with null skipping at large `n`.
 pub fn run_backup(n: u64, seed: u64) -> BackupOutcome {
-    let config = CountConfiguration::uniform(BackupState::Leader(0), n);
-    let mut sim = ConfigSim::new(ExactBackup, config, seed);
-    let out = sim.run_until(
-        |c| {
+    let (out, sim) = Simulation::count_builder(ExactBackup)
+        .size(n)
+        .uniform(BackupState::Leader(0))
+        .seed(seed)
+        .check_every((n / 4).max(1))
+        .until(|view| {
             // Silent when every leader level has count ≤ 1.
-            c.iter().all(|(s, &k)| match s {
-                BackupState::Leader(_) => k <= 1,
+            view.iter().all(|(s, k)| match s {
+                BackupState::Leader(_) => *k <= 1,
                 BackupState::Follower(_) => true,
             })
-        },
-        (n / 4).max(1),
-        f64::MAX,
-    );
+        })
+        .run();
     debug_assert!(out.converged);
-    let final_config = sim.config_view();
-    let mut leader_levels: Vec<u32> = final_config
+    let final_view = sim.view();
+    let mut leader_levels: Vec<u32> = final_view
         .iter()
-        .filter_map(|(s, &k)| match s {
-            BackupState::Leader(i) if k > 0 => Some(*i),
+        .filter_map(|(s, k)| match s {
+            BackupState::Leader(i) if *k > 0 => Some(*i),
             _ => None,
         })
         .collect();
     leader_levels.sort_unstable();
-    let max_level = final_config
-        .iter()
-        .map(|(s, _)| s.level())
-        .max()
-        .unwrap_or(0);
+    let max_level = final_view.iter().map(|(s, _)| s.level()).max().unwrap_or(0);
     BackupOutcome {
         max_level,
         silent_time: out.time,
@@ -119,6 +115,8 @@ pub fn expected_kex(n: u64) -> u32 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pp_engine::batch::ConfigSim;
+    use pp_engine::count_sim::CountConfiguration;
 
     #[test]
     fn expected_kex_is_floor_log2() {

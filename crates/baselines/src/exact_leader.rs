@@ -14,7 +14,7 @@
 //! non-leader states, matching the paper's description.
 
 use pp_engine::rng::SimRng;
-use pp_engine::{AgentSim, Protocol};
+use pp_engine::{Protocol, Simulation};
 
 /// Per-agent state for leader-driven exact counting.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -104,27 +104,27 @@ pub struct CountOutcome {
 
 /// Runs exact counting on `n` agents (agent 0 is the leader).
 pub fn run_exact_count(n: usize, seed: u64, max_time: f64) -> CountOutcome {
-    let mut sim = AgentSim::new(ExactLeaderCount::default(), n, seed);
-    sim.set_state(
-        0,
-        CountState::Leader {
-            count: 1,
-            run: 0,
-            done: false,
-        },
-    );
-    let out = sim.run_until_converged(
-        |states| {
-            states
-                .iter()
-                .any(|s| matches!(s, CountState::Leader { done: true, .. }))
-        },
-        max_time,
-    );
+    let (out, sim) = Simulation::builder(ExactLeaderCount::default())
+        .size(n as u64)
+        .seed(seed)
+        .init_planted([(
+            CountState::Leader {
+                count: 1,
+                run: 0,
+                done: false,
+            },
+            1,
+        )])
+        .max_time(max_time)
+        .until(|view: &[(CountState, u64)]| {
+            view.iter()
+                .any(|(s, _)| matches!(s, CountState::Leader { done: true, .. }))
+        })
+        .run();
     let count = sim
-        .states()
+        .view()
         .iter()
-        .find_map(|s| match s {
+        .find_map(|(s, _)| match s {
             CountState::Leader { count, .. } => Some(*count),
             _ => None,
         })
@@ -139,6 +139,7 @@ pub fn run_exact_count(n: usize, seed: u64, max_time: f64) -> CountOutcome {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pp_engine::AgentSim;
 
     #[test]
     fn counts_exactly_for_several_sizes() {

@@ -19,8 +19,8 @@
 //! `table_intro_functions` harness regenerates the `O(log n)` vs `Θ(n)`
 //! contrast.
 
-use pp_engine::batch::{ConfigSim, DeterministicCountProtocol};
-use pp_engine::count_sim::CountConfiguration;
+use pp_engine::batch::DeterministicCountProtocol;
+use pp_engine::{count_of, Simulation};
 
 /// States for the intro protocols.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -69,9 +69,12 @@ impl DeterministicCountProtocol for Halving {
 /// Returns `(output, completion_time)`; correct output is `2x`.
 pub fn double_time(n: u64, x: u64, seed: u64) -> (u64, f64) {
     assert!(n >= 2 * x, "doubling needs at least as many q as x");
-    let config = CountConfiguration::from_pairs([(FnState::X, x), (FnState::Q, n - x)]);
-    let mut sim = ConfigSim::new(Doubling, config, seed);
-    let out = sim.run_until(|c| c.count(&FnState::X) == 0, (n / 20).max(1), f64::MAX);
+    let (out, sim) = Simulation::count_builder(Doubling)
+        .config([(FnState::X, x), (FnState::Q, n - x)])
+        .seed(seed)
+        .check_every((n / 20).max(1))
+        .until(|view| count_of(view, &FnState::X) == 0)
+        .run();
     debug_assert!(out.converged);
     (sim.count(&FnState::Y), out.time)
 }
@@ -82,12 +85,16 @@ pub fn double_time(n: u64, x: u64, seed: u64) -> (u64, f64) {
 pub fn halve_time(n: u64, x: u64, seed: u64) -> (u64, f64) {
     assert!(n >= x);
     let config = if n == x {
-        CountConfiguration::from_pairs([(FnState::X, x)])
+        vec![(FnState::X, x)]
     } else {
-        CountConfiguration::from_pairs([(FnState::X, x), (FnState::Q, n - x)])
+        vec![(FnState::X, x), (FnState::Q, n - x)]
     };
-    let mut sim = ConfigSim::new(Halving, config, seed);
-    let out = sim.run_until(|c| c.count(&FnState::X) <= 1, (n / 20).max(1), f64::MAX);
+    let (out, sim) = Simulation::count_builder(Halving)
+        .config(config)
+        .seed(seed)
+        .check_every((n / 20).max(1))
+        .until(|view| count_of(view, &FnState::X) <= 1)
+        .run();
     debug_assert!(out.converged);
     (sim.count(&FnState::Y), out.time)
 }

@@ -125,17 +125,21 @@ pub struct ElectionOutcome {
 pub fn run_uniform_election(n: usize, seed: u64, max_time: f64) -> ElectionOutcome {
     let tournament = CoinTournament::default();
     let mut sim = pp_core::composition::composed_population(tournament, n, seed, |_| 0);
-    let out = sim.run_until_converged(
-        |states| {
-            states
-                .iter()
-                .all(|c| c.stage >= tournament.num_stages(c.estimate))
+    let out = sim.run_until(
+        |view| {
+            view.iter()
+                .all(|(c, _)| c.stage >= tournament.num_stages(c.estimate))
         },
         max_time,
     );
-    let contenders = sim.states().iter().filter(|c| c.inner.contender).count();
+    let contenders: u64 = sim
+        .view()
+        .iter()
+        .filter(|(c, _)| c.inner.contender)
+        .map(|(_, k)| k)
+        .sum();
     ElectionOutcome {
-        contenders,
+        contenders: contenders as usize,
         time: out.time,
         converged: out.converged,
     }

@@ -22,10 +22,10 @@
 //! and the surviving strong opinion spreads to every agent's display.
 
 use pp_core::composition::Downstream;
-use pp_engine::batch::{ConfigSim, DeterministicCountProtocol};
+use pp_engine::batch::DeterministicCountProtocol;
 use pp_engine::count_sim::{CountConfiguration, CountSeededInit};
 use pp_engine::rng::SimRng;
-use pp_engine::{AgentSim, Protocol};
+use pp_engine::{Protocol, Simulation};
 use rand::Rng;
 
 /// Downstream per-agent majority state.
@@ -239,8 +239,8 @@ impl DeterministicCountProtocol for NonuniformMajority {
 
 /// The nonuniform majority together with its input split: `ones` of the `n`
 /// agents start with opinion 1. This is the [`CountSeededInit`] analogue of
-/// planting inputs through [`AgentSim::set_state`], so majority splits run
-/// on [`ConfigSim`] directly.
+/// planting inputs agent by agent, so majority splits run on the count
+/// engines directly.
 #[derive(Debug, Clone, Copy)]
 pub struct SeededNonuniformMajority {
     /// The stage-clocked majority dynamics.
@@ -302,20 +302,20 @@ pub fn run_uniform_majority(n: usize, ones: usize, seed: u64, max_time: f64) -> 
         pp_core::composition::composed_population(MajorityDownstream::default(), n, seed, |i| {
             u64::from(i < ones)
         });
-    let out = sim.run_until_converged(
-        |states| {
+    let out = sim.run_until(
+        |view| {
             let k = |c: &pp_core::composition::ComposedState<MajorityState>| {
                 MajorityDownstream::default().num_stages(c.estimate)
             };
-            states.iter().all(|c| c.stage >= k(c))
-                && states
+            view.iter().all(|(c, _)| c.stage >= k(c))
+                && view
                     .windows(2)
-                    .all(|w| w[0].inner.display == w[1].inner.display)
+                    .all(|w| w[0].0.inner.display == w[1].0.inner.display)
         },
         max_time,
     );
     let winner = if out.converged {
-        Some(sim.states()[0].inner.display)
+        sim.view().first().map(|(c, _)| c.inner.display)
     } else {
         None
     };
@@ -327,7 +327,8 @@ pub fn run_uniform_majority(n: usize, ones: usize, seed: u64, max_time: f64) -> 
 }
 
 /// Runs the **nonuniform** reference with hardwired `⌊log n⌋` on the
-/// unified count representation ([`ConfigSim`] with a seeded input split).
+/// unified count representation (the count engines with a seeded input
+/// split).
 pub fn run_nonuniform_majority(n: usize, ones: usize, seed: u64, max_time: f64) -> MajorityOutcome {
     assert!(ones <= n);
     let protocol = NonuniformMajority::for_population(n);
@@ -336,22 +337,20 @@ pub fn run_nonuniform_majority(n: usize, ones: usize, seed: u64, max_time: f64) 
         protocol,
         ones: ones as u64,
     };
-    let mut sim = ConfigSim::from_seeded(seeded, n as u64, seed);
-    let out = sim.run_until(
-        |c| {
+    let (out, sim) = Simulation::count_builder(seeded)
+        .size(n as u64)
+        .init_seeded()
+        .seed(seed)
+        .max_time(max_time)
+        .until(move |view: &[(NonuniformState, u64)]| {
             let mut display = None;
-            c.iter().all(|(s, _)| {
+            view.iter().all(|(s, _)| {
                 s.stage >= k && *display.get_or_insert(s.inner.display) == s.inner.display
             })
-        },
-        n as u64,
-        max_time,
-    );
+        })
+        .run();
     let winner = if out.converged {
-        sim.config_view()
-            .iter()
-            .next()
-            .map(|(s, _)| s.inner.display)
+        sim.view().first().map(|(s, _)| s.inner.display)
     } else {
         None
     };
@@ -374,21 +373,20 @@ pub fn run_nonuniform_majority_agentwise(
     assert!(ones <= n);
     let protocol = NonuniformMajority::for_population(n);
     let k = protocol.stage_factor * protocol.log_n;
-    let mut sim = AgentSim::new(protocol, n, seed);
-    for i in 0..n {
-        sim.set_state(i, NonuniformMajority::input_state(u8::from(i < ones)));
-    }
-    let out = sim.run_until_converged(
-        |states| {
-            states.iter().all(|c| c.stage >= k)
-                && states
+    let (out, sim) = Simulation::builder(protocol)
+        .size(n as u64)
+        .seed(seed)
+        .init_with(move |i, _| NonuniformMajority::input_state(u8::from(i < ones)))
+        .max_time(max_time)
+        .until(move |view: &[(NonuniformState, u64)]| {
+            view.iter().all(|(c, _)| c.stage >= k)
+                && view
                     .windows(2)
-                    .all(|w| w[0].inner.display == w[1].inner.display)
-        },
-        max_time,
-    );
+                    .all(|w| w[0].0.inner.display == w[1].0.inner.display)
+        })
+        .run();
     let winner = if out.converged {
-        Some(sim.states()[0].inner.display)
+        sim.view().first().map(|(c, _)| c.inner.display)
     } else {
         None
     };

@@ -24,9 +24,10 @@
 //! ([`CountProtocol::outcomes`]) — the batched engine splits whole batches
 //! of fresh-agent interactions over it with single multinomial draws.
 
-use pp_engine::batch::{ConfigSim, DeterministicCountProtocol};
-use pp_engine::count_sim::{CountConfiguration, CountProtocol, Outcomes};
+use pp_engine::batch::DeterministicCountProtocol;
+use pp_engine::count_sim::{CountProtocol, Outcomes};
 use pp_engine::rng::SimRng;
+use pp_engine::{count_of, Simulation};
 
 /// State of the fixed-threshold counter: counting or terminated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -201,13 +202,13 @@ impl CountProtocol for GeometricTimer {
 /// Time at which the first termination signal appears, for the fixed
 /// counter, on a population of size `n`.
 pub fn fixed_signal_time(n: u64, threshold: u32, seed: u64) -> f64 {
-    let config = CountConfiguration::uniform(FixedState::Counting(0), n);
-    let mut sim = ConfigSim::new(FixedCounter { threshold }, config, seed);
-    let out = sim.run_until(
-        |c| c.count(&FixedState::Terminated) > 0,
-        (n / 100).max(1),
-        f64::MAX,
-    );
+    let (out, _) = Simulation::count_builder(FixedCounter { threshold })
+        .size(n)
+        .uniform(FixedState::Counting(0))
+        .seed(seed)
+        .check_every((n / 100).max(1))
+        .until(|view| count_of(view, &FixedState::Terminated) > 0)
+        .run();
     debug_assert!(out.converged);
     out.time
 }
@@ -215,13 +216,13 @@ pub fn fixed_signal_time(n: u64, threshold: u32, seed: u64) -> f64 {
 /// Time at which the first termination signal appears, for the geometric
 /// timer.
 pub fn geometric_signal_time(n: u64, scale: u16, seed: u64) -> f64 {
-    let config = CountConfiguration::uniform(GeoState::Fresh, n);
-    let mut sim = ConfigSim::new(GeometricTimer { scale }, config, seed);
-    let out = sim.run_until(
-        |c| c.count(&GeoState::Terminated) > 0,
-        (n / 100).max(1),
-        f64::MAX,
-    );
+    let (out, _) = Simulation::count_builder(GeometricTimer { scale })
+        .size(n)
+        .uniform(GeoState::Fresh)
+        .seed(seed)
+        .check_every((n / 100).max(1))
+        .until(|view| count_of(view, &GeoState::Terminated) > 0)
+        .run();
     debug_assert!(out.converged);
     out.time
 }
@@ -229,6 +230,9 @@ pub fn geometric_signal_time(n: u64, scale: u16, seed: u64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pp_engine::batch::ConfigSim;
+    use pp_engine::count_sim::CountConfiguration;
+
     use pp_analysis::stats::Summary;
 
     #[test]

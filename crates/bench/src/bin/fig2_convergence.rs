@@ -11,7 +11,7 @@
 
 use pp_bench::{ascii_scatter_logx, fmt, print_table, write_csv, HarnessArgs};
 use pp_core::log_size::estimate_log_size;
-use pp_engine::runner::run_trials_threaded;
+use pp_sweep::trials::run_trials_threaded;
 
 fn main() {
     let mut args = HarnessArgs::parse(&[100, 316, 1000, 3162, 10_000], 10);

@@ -10,7 +10,7 @@ use pp_analysis::stats::histogram;
 use pp_analysis::subexp::delta0;
 use pp_bench::{print_table, write_csv, HarnessArgs};
 use pp_core::log_size::estimate_log_size;
-use pp_engine::runner::run_trials_threaded;
+use pp_sweep::trials::run_trials_threaded;
 
 fn main() {
     let args = HarnessArgs::parse(&[1000], 60);

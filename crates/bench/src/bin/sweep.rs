@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! sweep <spec.toml|spec.json> [--threads N] [--trials T] [--seed S]
+//!                             [--merge a.jsonl b.jsonl ...]
 //! sweep --list
 //! ```
 //!
@@ -16,10 +17,20 @@
 //! All three are byte-identical for a fixed spec and master seed,
 //! regardless of thread count or interruptions.
 //!
+//! `--merge` combines journals produced on different machines (shards of
+//! the same spec, e.g. via disjoint `--trials` prefixes or split journal
+//! files) into one report: each listed journal must carry the spec's
+//! exact grid fingerprint (mismatches are refused before anything is
+//! written), their trials are folded into the spec's journal, and the
+//! sweep then runs whatever is still missing and emits the combined
+//! report.
+//!
 //! Example spec: see `specs/table_epidemic.toml`.
 
+use std::path::PathBuf;
+
 use pp_bench::{anchor_journal, experiments, print_table, results_dir, run_sweep_or_exit};
-use pp_sweep::{emit, SweepSpec};
+use pp_sweep::{emit, merge_journals, SweepSpec};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -35,6 +46,7 @@ fn main() {
     let mut threads = None;
     let mut trials = None;
     let mut seed = None;
+    let mut merge: Option<Vec<PathBuf>> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -50,18 +62,37 @@ fn main() {
                 i += 1;
                 seed = Some(parse_num(&args, i, "--seed"));
             }
+            "--merge" => {
+                let sources = merge.get_or_insert_with(Vec::new);
+                // Consume shard paths, but never swallow the spec file: a
+                // .toml/.json argument while the spec is still missing is
+                // the spec, not a shard.
+                while args.get(i + 1).is_some_and(|a| {
+                    !a.starts_with("--")
+                        && !(spec_path.is_none() && (a.ends_with(".toml") || a.ends_with(".json")))
+                }) {
+                    i += 1;
+                    sources.push(PathBuf::from(&args[i]));
+                }
+                if sources.is_empty() {
+                    die("--merge needs at least one journal file");
+                }
+            }
             other if spec_path.is_none() && !other.starts_with("--") => {
                 spec_path = Some(other.to_string());
             }
             other => die(&format!(
                 "unknown argument {other}; usage: sweep <spec.toml|spec.json> \
-                 [--threads N] [--trials T] [--seed S] | sweep --list"
+                 [--threads N] [--trials T] [--seed S] [--merge a.jsonl b.jsonl ...] | sweep --list"
             )),
         }
         i += 1;
     }
     let Some(spec_path) = spec_path else {
-        die("missing spec file; usage: sweep <spec.toml|spec.json> [--threads N] [--trials T] [--seed S]");
+        die(
+            "missing spec file; usage: sweep <spec.toml|spec.json> [--threads N] [--trials T] \
+             [--seed S] [--merge a.jsonl b.jsonl ...]",
+        );
     };
 
     let mut spec = SweepSpec::from_file(&spec_path).unwrap_or_else(|e| die(&e));
@@ -79,6 +110,19 @@ fn main() {
     // directory the CLI was invoked from.
     anchor_journal(&mut spec);
     let experiments = experiments::build(&spec.experiments).unwrap_or_else(|e| die(&e));
+    if let Some(sources) = merge {
+        // Shard journals without a journal-less spec have nowhere to land.
+        if spec.journal.is_none() {
+            spec.journal = Some(results_dir().join(format!("{}_merged.jsonl", spec.name)));
+        }
+        let available =
+            merge_journals(&spec, &experiments, &sources).unwrap_or_else(|e| die(&e.to_string()));
+        eprintln!(
+            "[sweep] merged {} journal(s) into {} ({available} trials available)",
+            sources.len(),
+            spec.journal.as_ref().expect("set above").display()
+        );
+    }
     let report = run_sweep_or_exit(&spec, &experiments);
 
     println!(

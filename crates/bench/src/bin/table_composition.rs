@@ -8,7 +8,7 @@
 use pp_baselines::leader_election::run_uniform_election;
 use pp_baselines::majority::{run_nonuniform_majority, run_uniform_majority};
 use pp_bench::{fmt, print_table, write_csv, HarnessArgs};
-use pp_engine::runner::run_trials_threaded;
+use pp_sweep::trials::run_trials_threaded;
 
 fn main() {
     let args = HarnessArgs::parse(&[200, 500, 1000], 8);

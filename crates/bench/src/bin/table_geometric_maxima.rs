@@ -4,43 +4,42 @@
 //! the average of `K ≥ 4 log N` such maxima is within 4.7 of `log N` with
 //! probability `≥ 1 − 2/N` (Corollary D.10); and the max is
 //! `3.31`-`2`-sub-exponential (Corollary D.6).
+//!
+//! Runs on the sweep registry (`geometric_maxima` experiment): each trial
+//! draws one max-of-N-geometrics sample plus one Corollary-D.10 average,
+//! fanned out over the seeded worker pool (`--journal PATH` resumes).
 
 use pp_analysis::geometric::{
-    expected_max_geometric, expected_max_geometric_half_bracket, max_geometric_sample,
-    GeometricMaxBounds,
+    expected_max_geometric, expected_max_geometric_half_bracket, GeometricMaxBounds,
 };
 use pp_analysis::subexp::{d10_min_k, delta0, D10_ADDITIVE_ERROR};
-use pp_bench::{fmt, print_table, write_csv, HarnessArgs};
-use pp_engine::rng::rng_from_seed;
+use pp_bench::{experiments, fmt, print_table, run_sweep_or_exit, write_csv, HarnessArgs};
 
 fn main() {
-    let args = HarnessArgs::parse(&[64, 1024, 65_536, 1_048_576], 50_000);
+    let args = HarnessArgs::parse(&[64, 1024, 65_536, 1_048_576], 20_000);
+    let spec = args.sweep_spec("table_geometric_maxima");
     println!(
         "Appendix D geometric maxima (Monte-Carlo samples per N = {})",
-        args.trials
+        spec.effective_trials()
     );
+    let experiments = experiments::build(&["geometric_maxima"]).expect("registered");
+    let report = run_sweep_or_exit(&spec, &experiments);
 
     let mut rows = Vec::new();
     let mut csv = Vec::new();
-    for &n in &args.sizes {
-        let mut rng = rng_from_seed(args.seed ^ n);
-        let samples: Vec<f64> = (0..args.trials)
-            .map(|_| max_geometric_sample(n, &mut rng) as f64)
-            .collect();
+    for point in report.points_for("geometric_maxima") {
+        let n = point.n;
+        let samples = point.values("max");
         let s = pp_analysis::stats::Summary::of(&samples);
         let (lo, hi) = expected_max_geometric_half_bracket(n);
         let eis = expected_max_geometric(n, 0.5);
-        // Corollary D.10: average K maxima, check the 4.7 band.
+        // Corollary D.10: average of K = ⌈4 log N⌉ maxima, check the 4.7 band.
         let k = d10_min_k(n);
-        let d10_trials = 2_000;
-        let mut fails = 0;
-        for _ in 0..d10_trials {
-            let sum: u64 = (0..k).map(|_| max_geometric_sample(n, &mut rng)).sum();
-            let avg = sum as f64 / k as f64;
-            if (avg - (n as f64).log2()).abs() >= D10_ADDITIVE_ERROR {
-                fails += 1;
-            }
-        }
+        let d10 = point.values("d10_avg");
+        let fails = d10
+            .iter()
+            .filter(|&&avg| (avg - (n as f64).log2()).abs() >= D10_ADDITIVE_ERROR)
+            .count();
         // Corollary D.6 at λ = 6.
         let lam = 6.0;
         let exceed = samples.iter().filter(|&&m| (m - eis).abs() >= lam).count();
@@ -52,7 +51,7 @@ fn main() {
             format!("{k}"),
             format!(
                 "{:.4} (<= {:.4})",
-                fails as f64 / d10_trials as f64,
+                fails as f64 / d10.len() as f64,
                 2.0 / n as f64
             ),
             format!(
@@ -65,7 +64,7 @@ fn main() {
             n.to_string(),
             format!("{}", s.mean),
             format!("{eis}"),
-            format!("{}", fails as f64 / d10_trials as f64),
+            format!("{}", fails as f64 / d10.len() as f64),
         ]);
     }
     print_table(

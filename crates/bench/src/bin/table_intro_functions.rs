@@ -7,7 +7,7 @@
 
 use pp_baselines::intro_functions::{double_time, halve_time};
 use pp_bench::{fmt, print_table, write_csv, HarnessArgs};
-use pp_engine::runner::run_trials_threaded;
+use pp_sweep::trials::run_trials_threaded;
 
 fn main() {
     // Halving takes Θ(n) *parallel* time = Θ(n²) interactions, so the

@@ -4,37 +4,34 @@
 //! (two-sided: `2e^{−2a²/n}`), and the partition finishes in `O(log n)`
 //! time. Measured: the deviation distribution at `a = √(n ln n)` and the
 //! completion times.
+//!
+//! Runs on the sweep registry (`partition` experiment): trials fan out
+//! over the seeded worker pool and `--journal PATH` makes runs resumable.
 
-use pp_bench::{fmt, print_table, write_csv, HarnessArgs};
-use pp_core::partition::run_partition;
-use pp_engine::runner::run_trials_threaded;
+use pp_bench::{experiments, fmt, print_table, run_sweep_or_exit, write_csv, HarnessArgs};
 
 fn main() {
     let args = HarnessArgs::parse(&[1000, 10_000, 100_000], 40);
+    let spec = args.sweep_spec("table_partition");
     println!(
         "Lemma 3.2 partition balance (trials={}): |A| in n/2 +- sqrt(n ln n) w.p. >= 1 - 2/n^2",
-        args.trials
+        spec.effective_trials()
     );
+    let experiments = experiments::build(&["partition"]).expect("registered");
+    let report = run_sweep_or_exit(&spec, &experiments);
 
     let mut rows = Vec::new();
     let mut csv = Vec::new();
-    for &n in &args.sizes {
-        let outcomes = run_trials_threaded(args.seed ^ n, args.trials, args.threads, |_, seed| {
-            run_partition(n as usize, seed)
-        });
-        let devs: Vec<f64> = outcomes
-            .iter()
-            .map(|o| (o.value.a_count as f64 - n as f64 / 2.0).abs())
-            .collect();
-        let times: Vec<f64> = outcomes.iter().map(|o| o.value.time).collect();
+    for point in report.points_for("partition") {
+        let n = point.n;
+        let devs = point.values("abs_dev");
+        let times = point.values("time");
         let a = ((n as f64) * (n as f64).ln()).sqrt();
         let within = devs.iter().filter(|&&d| d <= a).count();
-        let third = outcomes
+        let third = point
+            .values("a_count")
             .iter()
-            .filter(|o| {
-                let c = o.value.a_count as f64;
-                c >= n as f64 / 3.0 && c <= 2.0 * n as f64 / 3.0
-            })
+            .filter(|&&c| c >= n as f64 / 3.0 && c <= 2.0 * n as f64 / 3.0)
             .count();
         let sdev = pp_analysis::stats::Summary::of(&devs);
         let stime = pp_analysis::stats::Summary::of(&times);

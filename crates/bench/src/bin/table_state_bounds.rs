@@ -8,7 +8,7 @@
 
 use pp_bench::{fmt, print_table, write_csv, HarnessArgs};
 use pp_core::log_size::estimate_log_size;
-use pp_engine::runner::run_trials_threaded;
+use pp_sweep::trials::run_trials_threaded;
 
 fn main() {
     let args = HarnessArgs::parse(&[100, 1000, 10_000], 10);

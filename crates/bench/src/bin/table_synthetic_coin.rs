@@ -9,7 +9,7 @@
 use pp_bench::{fmt, print_table, write_csv, HarnessArgs};
 use pp_core::log_size::estimate_log_size;
 use pp_core::synthetic::estimate_log_size_synthetic;
-use pp_engine::runner::run_trials_threaded;
+use pp_sweep::trials::run_trials_threaded;
 
 fn main() {
     let args = HarnessArgs::parse(&[100, 300, 1000], 10);

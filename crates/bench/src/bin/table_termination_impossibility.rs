@@ -9,7 +9,7 @@
 
 use pp_baselines::naive_terminating::{fixed_signal_time, geometric_signal_time};
 use pp_bench::{fmt, print_table, write_csv, HarnessArgs};
-use pp_engine::runner::run_trials_threaded;
+use pp_sweep::trials::run_trials_threaded;
 use pp_termination::experiment::{
     counter_dense_config, counter_protocol, signal_time, verify_density_lemma, COUNTER_T,
 };
@@ -42,7 +42,7 @@ fn main() {
         let t_geo = run_trials_threaded(args.seed ^ n ^ 2, args.trials, args.threads, |_, seed| {
             geometric_signal_time(n, 10, seed)
         });
-        let mean = |v: &[pp_engine::runner::TrialOutcome<f64>]| {
+        let mean = |v: &[pp_sweep::trials::TrialOutcome<f64>]| {
             v.iter().map(|o| o.value).sum::<f64>() / v.len() as f64
         };
         rows.push(vec![

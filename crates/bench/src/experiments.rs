@@ -12,12 +12,17 @@
 //! engine-selection hook (the epidemics); the others run on the engine
 //! their protocol helper picks (documented per entry below).
 
+use pp_analysis::geometric::max_geometric_sample;
+use pp_analysis::subexp::d10_min_k;
 use pp_baselines::alistarh::weak_estimate;
 use pp_baselines::exact_backup::run_backup;
 use pp_baselines::exact_leader::run_exact_count;
 use pp_core::leader::run_terminating;
 use pp_core::log_size::estimate_log_size;
-use pp_engine::epidemic::{epidemic_completion_time_with, subpopulation_epidemic_time_with};
+use pp_core::partition::run_partition;
+use pp_engine::epidemic::{InfectionEpidemic, SubState, SubpopulationEpidemic};
+use pp_engine::rng::rng_from_seed;
+use pp_engine::{count_of, Simulation};
 use pp_sweep::SweepExperiment;
 use pp_termination::experiment::counter_signal_trial;
 
@@ -37,6 +42,8 @@ pub fn names() -> &'static [&'static str] {
         "exact_leader_count",
         "leader_termination",
         "counter_signal",
+        "partition",
+        "geometric_maxima",
     ]
 }
 
@@ -45,20 +52,45 @@ pub fn names() -> &'static [&'static str] {
 pub fn experiment(name: &str) -> Option<SweepExperiment> {
     Some(match name {
         // Full-population one-way epidemic (Lemma A.1): completion time.
-        // Honors the spec's engine policy.
+        // The spec's engine policy reaches the builder via `.mode(ctx.engine)`.
         "epidemic_full" => SweepExperiment::new("epidemic_full", &["time"], |ctx| {
-            vec![epidemic_completion_time_with(ctx.n, ctx.seed, ctx.engine)]
+            let n = ctx.n;
+            let (out, _) = Simulation::count_builder(InfectionEpidemic)
+                .config([(false, n - 1), (true, 1)])
+                .seed(ctx.seed)
+                .mode(ctx.engine)
+                .check_every((n / 10).max(1))
+                .until(move |view| count_of(view, &true) == n)
+                .run();
+            debug_assert!(out.converged);
+            vec![out.time]
         })
         .with_engine_hook(),
         // Epidemic confined to an n/3 subpopulation (Corollary 3.4).
-        // Honors the spec's engine policy.
+        // Honors the spec's engine policy through the same builder hook.
         "epidemic_sub3" => SweepExperiment::new("epidemic_sub3", &["time"], |ctx| {
-            vec![subpopulation_epidemic_time_with(
-                ctx.n,
-                ctx.n / 3,
-                ctx.seed,
-                ctx.engine,
-            )]
+            let (n, a) = (ctx.n, ctx.n / 3);
+            let member_inf = SubState {
+                member: true,
+                infected: true,
+            };
+            let member_sus = SubState {
+                member: true,
+                infected: false,
+            };
+            let outsider = SubState {
+                member: false,
+                infected: false,
+            };
+            let (out, _) = Simulation::count_builder(SubpopulationEpidemic)
+                .config([(member_inf, 1), (member_sus, a - 1), (outsider, n - a)])
+                .seed(ctx.seed)
+                .mode(ctx.engine)
+                .check_every((n / 10).max(1))
+                .until(move |view| count_of(view, &member_inf) == a)
+                .run();
+            debug_assert!(out.converged);
+            vec![out.time]
         })
         .with_engine_hook(),
         // The paper's Log-Size-Estimation protocol (Theorem 3.1): signed
@@ -131,6 +163,30 @@ pub fn experiment(name: &str) -> Option<SweepExperiment> {
         "counter_signal" => SweepExperiment::new("counter_signal", &["time"], |ctx| {
             vec![counter_signal_trial(ctx.n, 8, ctx.seed)]
         }),
+        // Lemma 3.2 / Corollary 3.3 role partition: |A|, its absolute
+        // deviation from n/2, and the completion time. Runs on the count
+        // engines (batched at scale).
+        "partition" => SweepExperiment::new("partition", &["a_count", "abs_dev", "time"], |ctx| {
+            let out = run_partition(ctx.n as usize, ctx.seed);
+            vec![
+                out.a_count as f64,
+                (out.a_count as f64 - ctx.n as f64 / 2.0).abs(),
+                out.time,
+            ]
+        }),
+        // Appendix D geometric maxima (Lemmas D.4/D.10): one trial = one
+        // max of N geometrics plus one Corollary-D.10 average of
+        // K = ⌈4 log N⌉ such maxima (`n` plays the role of N — no
+        // population is simulated).
+        "geometric_maxima" => {
+            SweepExperiment::new("geometric_maxima", &["max", "d10_avg"], |ctx| {
+                let mut rng = rng_from_seed(ctx.seed);
+                let max = max_geometric_sample(ctx.n, &mut rng) as f64;
+                let k = d10_min_k(ctx.n);
+                let sum: u64 = (0..k).map(|_| max_geometric_sample(ctx.n, &mut rng)).sum();
+                vec![max, sum as f64 / k as f64]
+            })
+        }
         _ => return None,
     })
 }

@@ -17,7 +17,7 @@
 //! [`crate::leader::LeaderTerminating`].
 
 use pp_engine::rng::SimRng;
-use pp_engine::{AgentSim, Protocol};
+use pp_engine::{Protocol, Simulation};
 
 use crate::log_size::LogSizeEstimation;
 use crate::state::MainState;
@@ -78,18 +78,21 @@ impl Protocol for AaePhaseClock {
 /// Measures the parallel time for the leader to advance through `phases`
 /// phases on `n` agents. \[9\]: expect `Θ(phases · log n)`.
 pub fn time_for_phases(n: usize, phases: u64, seed: u64) -> f64 {
-    let mut sim = AgentSim::new(AaePhaseClock, n, seed);
-    sim.set_state(
-        0,
-        AaeState {
-            phase: 0,
-            is_leader: true,
-        },
-    );
-    let out = sim.run_until_converged(
-        |states| states.iter().any(|s| s.is_leader && s.phase >= phases),
-        f64::MAX,
-    );
+    let (out, _) = Simulation::builder(AaePhaseClock)
+        .size(n as u64)
+        .seed(seed)
+        .init_planted([(
+            AaeState {
+                phase: 0,
+                is_leader: true,
+            },
+            1,
+        )])
+        .max_time(f64::MAX)
+        .until(move |view: &[(AaeState, u64)]| {
+            view.iter().any(|(s, _)| s.is_leader && s.phase >= phases)
+        })
+        .run();
     debug_assert!(out.converged);
     out.time
 }
@@ -187,8 +190,7 @@ impl Protocol for AaeTerminating {
 /// Runs the AAE-clock terminating protocol (agent 0 is the leader).
 /// Returns `(termination_time, output, correct_within_band)`.
 pub fn run_aae_terminating(n: usize, seed: u64, max_time: f64) -> Option<(f64, Option<u64>, bool)> {
-    let mut sim = AgentSim::new(AaeTerminating::paper(), n, seed);
-    let mut leader = AaeTermState {
+    let leader = AaeTermState {
         main: MainState::initial(),
         clock: AaeState {
             phase: 0,
@@ -196,16 +198,20 @@ pub fn run_aae_terminating(n: usize, seed: u64, max_time: f64) -> Option<(f64, O
         },
         terminated: false,
     };
-    leader.clock.is_leader = true;
-    sim.set_state(0, leader);
-    let fired = sim.run_until_converged(|s| s.iter().any(|a| a.terminated), max_time);
+    let (fired, sim) = Simulation::builder(AaeTerminating::paper())
+        .size(n as u64)
+        .seed(seed)
+        .init_planted([(leader, 1)])
+        .max_time(max_time)
+        .until(|view: &[(AaeTermState, u64)]| view.iter().any(|(a, _)| a.terminated))
+        .run();
     if !fired.converged {
         return None;
     }
     let mut counts = std::collections::BTreeMap::new();
-    for s in sim.states() {
+    for (s, k) in sim.view() {
         if let Some(o) = s.main.output {
-            *counts.entry(o).or_insert(0usize) += 1;
+            *counts.entry(o).or_insert(0u64) += k;
         }
     }
     let output = counts.into_iter().max_by_key(|&(_, c)| c).map(|(o, _)| o);
@@ -287,18 +293,21 @@ mod tests {
 
     #[test]
     fn phases_never_decrease_for_followers() {
-        let mut sim = AgentSim::new(AaePhaseClock, 100, 3);
-        sim.set_state(
-            0,
-            AaeState {
-                phase: 0,
-                is_leader: true,
-            },
-        );
+        let mut sim = Simulation::builder(AaePhaseClock)
+            .size(100)
+            .seed(3)
+            .init_planted([(
+                AaeState {
+                    phase: 0,
+                    is_leader: true,
+                },
+                1,
+            )])
+            .build();
         let mut prev_min = 0;
         for _ in 0..50 {
             sim.run_for_time(5.0);
-            let min = sim.states().iter().map(|s| s.phase).min().unwrap();
+            let min = sim.view().iter().map(|(s, _)| s.phase).min().unwrap();
             assert!(min >= prev_min, "a phase went backwards");
             prev_min = min;
         }

@@ -19,9 +19,10 @@
 //! compromise the paper shows is unavoidable.
 
 use std::fmt::Debug;
+use std::hash::Hash;
 
 use pp_engine::rng::{geometric_half, SimRng};
-use pp_engine::Protocol;
+use pp_engine::{Protocol, Simulation};
 
 /// A staged downstream protocol to be uniformized.
 ///
@@ -29,8 +30,9 @@ use pp_engine::Protocol;
 /// stage index on every interaction; it must behave correctly when stages
 /// are advanced by the clock and must tolerate full restarts.
 pub trait Downstream {
-    /// Downstream per-agent state.
-    type State: Clone + PartialEq + Debug;
+    /// Downstream per-agent state (`Eq + Hash` so composed populations can
+    /// run on any engine behind the unified simulation API).
+    type State: Clone + Eq + Hash + Debug;
 
     /// Number of stages to run given estimate `s` (the paper's `K`,
     /// e.g. `Θ(s)` for cancellation/doubling majority).
@@ -149,9 +151,9 @@ impl<D: Downstream> Protocol for Uniformize<D> {
     type State = ComposedState<D::State>;
 
     fn initial_state(&self) -> Self::State {
-        // Inputs default to 0; harnesses that need per-agent inputs plant
-        // them with `AgentSim::set_state` before running (harness-level
-        // input assignment, as with `SeededInit`).
+        // Inputs default to 0; harnesses that need per-agent inputs assign
+        // them through the simulation builder (`composed_population` —
+        // harness-level input assignment, as with `SeededInit`).
         ComposedState {
             estimate: 1,
             seeded: false,
@@ -189,32 +191,37 @@ fn seedless_rng() -> SimRng {
 }
 
 /// Builds a composed population of size `n` where agent `i` gets downstream
-/// input `inputs(i)`, then returns the simulator ready to run.
-pub fn composed_population<D: Downstream>(
+/// input `inputs(i)`, returning the configured [`Simulation`] ready to run
+/// (drive it with [`Simulation::run_until`] / [`Simulation::run_for_time`]).
+pub fn composed_population<'a, D: Downstream + 'a>(
     downstream: D,
     n: usize,
     seed: u64,
     inputs: impl Fn(usize) -> u64,
-) -> pp_engine::AgentSim<Uniformize<D>> {
+) -> Simulation<'a, ComposedState<D::State>> {
     let wrapper = Uniformize::new(downstream);
-    let mut sim = pp_engine::AgentSim::new(wrapper, n, seed);
+    // `fresh` may sample, and the legacy harness threaded one fixed-seed
+    // RNG through all agents in index order — precompute the states so the
+    // builder's (pure) per-index assignment reproduces that byte for byte.
     let mut rng = seedless_rng();
-    for i in 0..n {
-        let input = inputs(i);
-        let inner = sim.protocol().downstream.fresh(1, input, &mut rng);
-        sim.set_state(
-            i,
+    let states: Vec<ComposedState<D::State>> = (0..n)
+        .map(|i| {
+            let input = inputs(i);
             ComposedState {
                 estimate: 1,
                 seeded: false,
                 count: 0,
                 stage: 0,
                 input,
-                inner,
-            },
-        );
-    }
-    sim
+                inner: wrapper.downstream.fresh(1, input, &mut rng),
+            }
+        })
+        .collect();
+    Simulation::builder(wrapper)
+        .size(n as u64)
+        .seed(seed)
+        .init_with(move |i, _| states[i].clone())
+        .build()
 }
 
 #[cfg(test)]
@@ -227,7 +234,7 @@ mod tests {
     #[derive(Debug, Clone)]
     struct StageRecorder;
 
-    #[derive(Debug, Clone, PartialEq)]
+    #[derive(Debug, Clone, PartialEq, Eq, Hash)]
     struct RecState {
         seen_stages: Vec<u64>,
     }
@@ -273,10 +280,12 @@ mod tests {
     #[test]
     fn stages_are_seen_in_order_by_every_agent() {
         let mut sim = composed_population(StageRecorder, 200, 5, |_| 0);
-        let out =
-            sim.run_until_converged(|states| states.iter().all(|c| c.stage >= 4), 1_000_000.0);
+        let out = sim.run_until(
+            |view: &[(ComposedState<RecState>, u64)]| view.iter().all(|(c, _)| c.stage >= 4),
+            1_000_000.0,
+        );
         assert!(out.converged, "composition never finished its stages");
-        for c in sim.states() {
+        for (c, _) in sim.view() {
             let stages = &c.inner.seen_stages;
             assert!(
                 stages.windows(2).all(|w| w[0] < w[1]),
@@ -294,8 +303,9 @@ mod tests {
     fn estimates_converge_to_common_value() {
         let mut sim = composed_population(StageRecorder, 300, 6, |_| 0);
         sim.run_for_time(300.0);
-        let e0 = sim.states()[0].estimate;
-        assert!(sim.states().iter().all(|c| c.estimate == e0));
+        let view = sim.view();
+        let e0 = view[0].0.estimate;
+        assert!(view.iter().all(|(c, _)| c.estimate == e0));
         let n = 300f64;
         // Lemma 3.8 band (with slack for the small population).
         assert!(
@@ -308,7 +318,12 @@ mod tests {
     fn inputs_survive_restarts() {
         let mut sim = composed_population(StageRecorder, 100, 7, |i| i as u64 % 2);
         sim.run_for_time(2000.0);
-        let ones = sim.states().iter().filter(|c| c.input == 1).count();
+        let ones: u64 = sim
+            .view()
+            .iter()
+            .filter(|(c, _)| c.input == 1)
+            .map(|(_, k)| k)
+            .sum();
         assert_eq!(ones, 50, "inputs must be immutable across restarts");
     }
 
@@ -319,8 +334,9 @@ mod tests {
         sim.run_for_time(100.0);
         loop {
             sim.run_for_time(5.0);
-            let min = sim.states().iter().map(|c| c.stage).min().unwrap();
-            let max = sim.states().iter().map(|c| c.stage).max().unwrap();
+            let view = sim.view();
+            let min = view.iter().map(|(c, _)| c.stage).min().unwrap();
+            let max = view.iter().map(|(c, _)| c.stage).max().unwrap();
             assert!(max - min <= 1, "stage skew {} too large", max - min);
             if min >= 4 {
                 break;

@@ -21,10 +21,9 @@
 //! The leader resets its clock whenever its `logSize2` is restarted, so the
 //! count that ultimately fires is paced by the settled estimate.
 
-use pp_engine::batch::ConfigSim;
-use pp_engine::interned::Interned;
 use pp_engine::rng::SimRng;
-use pp_engine::{AgentSim, Protocol};
+use pp_engine::simulation::SimMode;
+use pp_engine::{EngineMode, Protocol, Simulation};
 
 use crate::log_size::LogSizeEstimation;
 use crate::phase_clock::LeaderClock;
@@ -147,58 +146,36 @@ pub struct TerminatingOutcome {
 
 /// Runs the terminating protocol: population of `n` with one planted leader.
 ///
-/// Uses the per-agent simulator: every interaction advances interaction
-/// counters inside the states, so the occupied state space is `Θ(n)` and the
-/// count representation buys nothing here (a planted-leader start *can*
-/// still run on [`ConfigSim`] via [`run_terminating_counted`] — the
-/// statistical-equivalence suite holds the two to the same law).
+/// Uses the per-agent engine: every interaction advances interaction
+/// counters inside the states, so the occupied state space is `Θ(n)` and
+/// the count representation buys nothing here (a planted-leader start
+/// *can* still run on the count engines via [`run_terminating_counted`] —
+/// the statistical-equivalence suite holds the two to the same law).
 pub fn run_terminating(n: usize, seed: u64, max_time: f64) -> TerminatingOutcome {
-    let protocol = LeaderTerminating::paper();
-    let mut sim = AgentSim::new(protocol, n, seed);
-    sim.set_state(0, LeaderState::leader());
-    let fired = sim.run_until_converged(|s| s.iter().any(|a| a.terminated), max_time);
-    if !fired.converged {
-        return TerminatingOutcome {
-            termination_time: fired.time,
-            all_frozen_time: fired.time,
-            output: None,
-            agreement: 0.0,
-            terminated: false,
-        };
-    }
-    let termination_time = fired.time;
-    let frozen = sim.run_until_converged(|s| s.iter().all(|a| a.terminated), max_time);
-    // Majority output among agents.
-    let mut counts = std::collections::BTreeMap::new();
-    for s in sim.states() {
-        if let Some(o) = s.main.output {
-            *counts.entry(o).or_insert(0u64) += 1;
-        }
-    }
-    finish_outcome(counts, n, termination_time, frozen.time)
+    terminating_in_mode(n, seed, max_time, SimMode::Agent)
 }
 
-/// [`run_terminating`] on the unified count engine: the planted leader is
-/// expressed as a *non-uniform initial configuration* (one
-/// [`LeaderState::leader`] agent among `n - 1` followers) instead of a
-/// post-hoc `set_state`. Exact, but slower than the agent simulator for
-/// this protocol — the per-interaction counters inside the states keep the
-/// occupied support at `Θ(n)` — so use it for cross-engine validation, not
-/// sweeps.
+/// [`run_terminating`] on the unified count engine: same builder, count
+/// mode — the planted leader becomes a *non-uniform initial configuration*
+/// (one [`LeaderState::leader`] agent among `n - 1` followers). Exact, but
+/// slower than the agent engine for this protocol — the per-interaction
+/// counters inside the states keep the occupied support at `Θ(n)` — so use
+/// it for cross-engine validation, not sweeps.
 pub fn run_terminating_counted(n: usize, seed: u64, max_time: f64) -> TerminatingOutcome {
-    let interned = Interned::new(LeaderTerminating::paper());
-    let handle = interned.handle();
-    let config = interned.config_from_pairs([
-        (LeaderState::leader(), 1),
-        (LeaderState::initial(), n as u64 - 1),
-    ]);
-    let mut sim = ConfigSim::new(interned, config, seed);
-    let check = n as u64;
-    let fired = sim.run_until(
-        |c| handle.decode(c).iter().any(|(s, _)| s.terminated),
-        check,
-        max_time,
-    );
+    terminating_in_mode(n, seed, max_time, EngineMode::Auto.into())
+}
+
+/// The one builder invocation behind both terminating runs: two predicate
+/// phases ("the signal fired" → "everyone froze") over one absolute time
+/// budget, differing only in engine mode.
+fn terminating_in_mode(n: usize, seed: u64, max_time: f64, mode: SimMode) -> TerminatingOutcome {
+    let mut sim = Simulation::builder(LeaderTerminating::paper())
+        .size(n as u64)
+        .seed(seed)
+        .mode(mode)
+        .init_planted([(LeaderState::leader(), 1)])
+        .build();
+    let fired = sim.run_until(|view| view.iter().any(|(s, _)| s.terminated), max_time);
     if !fired.converged {
         return TerminatingOutcome {
             termination_time: fired.time,
@@ -209,14 +186,10 @@ pub fn run_terminating_counted(n: usize, seed: u64, max_time: f64) -> Terminatin
         };
     }
     let termination_time = fired.time;
-    let frozen = sim.run_until(
-        |c| handle.decode(c).iter().all(|(s, _)| s.terminated),
-        check,
-        max_time,
-    );
+    let frozen = sim.run_until(|view| view.iter().all(|(s, _)| s.terminated), max_time);
     // Majority output among agents (count-weighted).
     let mut counts = std::collections::BTreeMap::new();
-    for (s, k) in handle.decode(&sim.config_view()) {
+    for (s, k) in sim.view() {
         if let Some(o) = s.main.output {
             *counts.entry(o).or_insert(0u64) += k;
         }
@@ -289,9 +262,12 @@ mod tests {
     fn no_leader_means_no_termination() {
         // Without the planted leader nobody counts, so the signal never
         // fires — the protocol is exactly the converging one.
-        let protocol = LeaderTerminating::paper();
-        let mut sim = AgentSim::new(protocol, 100, 5);
-        let out = sim.run_until_converged(|s| s.iter().any(|a| a.terminated), 2_000.0);
+        let (out, _) = Simulation::builder(LeaderTerminating::paper())
+            .size(100)
+            .seed(5)
+            .max_time(2_000.0)
+            .until(|view: &[(LeaderState, u64)]| view.iter().any(|(a, _)| a.terminated))
+            .run();
         assert!(!out.converged);
     }
 

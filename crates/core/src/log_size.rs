@@ -24,10 +24,8 @@
 //!    within 4.7 of `log |A| ≈ log n − 1`, giving the 5.7 band of
 //!    Lemma 3.11.
 
-use pp_engine::batch::ConfigSim;
-use pp_engine::interned::Interned;
 use pp_engine::rng::{geometric_half, SimRng};
-use pp_engine::{AgentSim, Protocol};
+use pp_engine::{EngineMode, Observer, Protocol, Simulation};
 
 use crate::state::{MainState, Role};
 
@@ -257,7 +255,8 @@ pub struct FieldMaxima {
 }
 
 impl FieldMaxima {
-    fn absorb(&mut self, s: &MainState) {
+    /// Folds one observed state into the running maxima.
+    pub fn absorb(&mut self, s: &MainState) {
         self.log_size2 = self.log_size2.max(s.log_size2);
         self.gr = self.gr.max(s.gr);
         self.time = self.time.max(s.time);
@@ -278,6 +277,16 @@ impl FieldMaxima {
         let s_states =
             (self.log_size2 as u128 + 1) * (self.epoch as u128 + 1) * (self.sum as u128 + 1);
         a_states + s_states
+    }
+}
+
+impl Observer<MainState> for FieldMaxima {
+    /// Absorbs every occupied state at each checkpoint (counts are
+    /// irrelevant — maxima are a property of the occupied support).
+    fn observe(&mut self, _time: f64, _interactions: u64, view: &[(MainState, u64)]) {
+        for (s, _) in view {
+            self.absorb(s);
+        }
     }
 }
 
@@ -373,7 +382,7 @@ pub fn estimate_log_size(n: usize, seed: u64, max_time: Option<f64>) -> Estimate
 }
 
 /// Runs `Log-Size-Estimation` on the unified count engine: the protocol is
-/// interned onto [`ConfigSim`], so the simulator stores one count per
+/// interned onto the count engines, so the simulator stores one count per
 /// *occupied* state (`O(log⁴ n)` by Lemma 3.9) instead of one record per
 /// agent, and convergence checks cost `O(k)` instead of `O(n)`. Realizes
 /// exactly the same stochastic process as [`estimate_log_size`] — the
@@ -390,37 +399,7 @@ pub fn estimate_counted(
     seed: u64,
     max_time: Option<f64>,
 ) -> EstimateOutcome {
-    let budget = max_time.unwrap_or_else(|| default_time_budget(n as u64));
-    let interned = Interned::new(protocol);
-    let handle = interned.handle();
-    let config = interned.uniform_config(n as u64);
-    let mut sim = ConfigSim::new(interned, config, seed);
-    let mut maxima = FieldMaxima::default();
-    let out = sim.run_until(
-        |c| {
-            let decoded = handle.decode(c);
-            for (s, _) in &decoded {
-                maxima.absorb(s);
-            }
-            is_converged_counts(&decoded)
-        },
-        n as u64,
-        budget,
-    );
-    let output = if out.converged {
-        handle
-            .decode(&sim.config_view())
-            .first()
-            .and_then(|(s, _)| s.output)
-    } else {
-        None
-    };
-    EstimateOutcome {
-        output,
-        time: out.time,
-        converged: out.converged,
-        maxima,
-    }
+    estimate_in_mode(protocol, n, seed, max_time, EngineMode::Auto.into())
 }
 
 /// [`estimate_log_size`] with explicit protocol constants.
@@ -430,22 +409,36 @@ pub fn estimate_with(
     seed: u64,
     max_time: Option<f64>,
 ) -> EstimateOutcome {
+    estimate_in_mode(protocol, n, seed, max_time, pp_engine::SimMode::Agent)
+}
+
+/// The one builder invocation behind every `Log-Size-Estimation` run:
+/// engine choice is the only thing the `estimate_*` conveniences differ
+/// in.
+fn estimate_in_mode(
+    protocol: LogSizeEstimation,
+    n: usize,
+    seed: u64,
+    max_time: Option<f64>,
+    mode: pp_engine::SimMode,
+) -> EstimateOutcome {
     let budget = max_time.unwrap_or_else(|| default_time_budget(n as u64));
-    let mut sim = AgentSim::new(protocol, n, seed);
     let mut maxima = FieldMaxima::default();
-    let out = sim.run_until_converged(
-        |states| {
-            for s in states {
-                maxima.absorb(s);
-            }
-            is_converged(states)
-        },
-        budget,
-    );
-    let output = if out.converged {
-        sim.states()[0].output
-    } else {
-        None
+    let (out, output) = {
+        let (out, sim) = Simulation::builder(protocol)
+            .size(n as u64)
+            .seed(seed)
+            .mode(mode)
+            .max_time(budget)
+            .observe(&mut maxima)
+            .until(|view: &[(MainState, u64)]| is_converged_counts(view))
+            .run();
+        let output = if out.converged {
+            sim.view().first().and_then(|(s, _)| s.output)
+        } else {
+            None
+        };
+        (out, output)
     };
     EstimateOutcome {
         output,

@@ -15,8 +15,8 @@
 //! probability `≥ 1 − e^{−2a²/n}` (the deviation is stochastically dominated
 //! by a fair binomial's).
 
-use pp_engine::batch::{ConfigSim, DeterministicCountProtocol};
-use pp_engine::count_sim::CountConfiguration;
+use pp_engine::batch::DeterministicCountProtocol;
+use pp_engine::{count_of, Simulation};
 
 use crate::state::Role;
 
@@ -50,11 +50,15 @@ pub struct PartitionOutcome {
     pub time: f64,
 }
 
-/// Runs the partition to completion on [`ConfigSim`] (batched at scale).
+/// Runs the partition to completion on the count engines (batched at
+/// scale).
 pub fn run_partition(n: usize, seed: u64) -> PartitionOutcome {
-    let config = CountConfiguration::uniform(Role::X, n as u64);
-    let mut sim = ConfigSim::new(PartitionOnly, config, seed);
-    let out = sim.run_until(|c| c.count(&Role::X) == 0, n as u64, f64::MAX);
+    let (out, sim) = Simulation::count_builder(PartitionOnly)
+        .size(n as u64)
+        .uniform(Role::X)
+        .seed(seed)
+        .until(|view| count_of(view, &Role::X) == 0)
+        .run();
     debug_assert!(out.converged);
     let a_count = sim.count(&Role::A) as usize;
     PartitionOutcome {

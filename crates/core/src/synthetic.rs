@@ -22,7 +22,7 @@
 //!   (Subprotocol 17).
 
 use pp_engine::rng::SimRng;
-use pp_engine::{AgentSim, Protocol};
+use pp_engine::{Protocol, Simulation};
 
 /// Roles of the synthetic-coin protocol.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -291,18 +291,19 @@ pub struct SyntheticOutcome {
 /// Runs the synthetic-coin protocol to convergence (every agent done/has an
 /// output).
 pub fn estimate_log_size_synthetic(n: usize, seed: u64, max_time: f64) -> SyntheticOutcome {
-    let mut sim = AgentSim::new(SyntheticCoinEstimation::paper(), n, seed);
-    let out = sim.run_until_converged(
-        |states| {
-            states.iter().all(|s| match s.role {
+    let (out, sim) = Simulation::builder(SyntheticCoinEstimation::paper())
+        .size(n as u64)
+        .seed(seed)
+        .max_time(max_time)
+        .until(|view: &[(SyntheticState, u64)]| {
+            view.iter().all(|(s, _)| match s.role {
                 CoinRole::A => s.protocol_done && s.output.is_some(),
                 CoinRole::F => s.output.is_some(),
                 CoinRole::X => false,
             })
-        },
-        max_time,
-    );
-    let outputs: Vec<u64> = sim.states().iter().filter_map(|s| s.output).collect();
+        })
+        .run();
+    let outputs: Vec<u64> = sim.view().iter().filter_map(|(s, _)| s.output).collect();
     let (min_output, max_output) = if outputs.is_empty() {
         (0, 0)
     } else {

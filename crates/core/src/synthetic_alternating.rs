@@ -11,7 +11,7 @@
 //! scheduler's order choice is independent of everything else).
 
 use pp_engine::rng::SimRng;
-use pp_engine::{AgentSim, Protocol};
+use pp_engine::{Protocol, Simulation};
 
 /// Per-agent state: the Appendix-B fields plus the parity counter.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -223,12 +223,16 @@ pub struct AlternatingOutcome {
 
 /// Runs the footnote-21 protocol to convergence.
 pub fn estimate_log_size_alternating(n: usize, seed: u64, max_time: f64) -> AlternatingOutcome {
-    let mut sim = AgentSim::new(AlternatingCoinEstimation::paper(), n, seed);
-    let out = sim.run_until_converged(
-        |states| states.iter().all(|s| s.protocol_done && s.output.is_some()),
-        max_time,
-    );
-    let outputs: Vec<u64> = sim.states().iter().filter_map(|s| s.output).collect();
+    let (out, sim) = Simulation::builder(AlternatingCoinEstimation::paper())
+        .size(n as u64)
+        .seed(seed)
+        .max_time(max_time)
+        .until(|view: &[(AlternatingState, u64)]| {
+            view.iter()
+                .all(|(s, _)| s.protocol_done && s.output.is_some())
+        })
+        .run();
+    let outputs: Vec<u64> = sim.view().iter().filter_map(|(s, _)| s.output).collect();
     let (min_output, max_output) = if outputs.is_empty() {
         (0, 0)
     } else {
@@ -296,14 +300,18 @@ mod tests {
         // Unlike the A/F split, every agent must end with an output derived
         // from its own sum (not just adopted). Check all agents finished
         // with nonzero epochs.
-        let mut sim = AgentSim::new(AlternatingCoinEstimation::paper(), 150, 23);
-        let out = sim.run_until_converged(
-            |states| states.iter().all(|s| s.protocol_done && s.output.is_some()),
-            1e8,
-        );
+        let (out, sim) = Simulation::builder(AlternatingCoinEstimation::paper())
+            .size(150)
+            .seed(23)
+            .max_time(1e8)
+            .until(|view: &[(AlternatingState, u64)]| {
+                view.iter()
+                    .all(|(s, _)| s.protocol_done && s.output.is_some())
+            })
+            .run();
         assert!(out.converged);
         assert!(
-            sim.states().iter().all(|s| s.epoch > 0 && s.sum > 0),
+            sim.view().iter().all(|(s, _)| s.epoch > 0 && s.sum > 0),
             "some agent never ran the algorithm"
         );
     }

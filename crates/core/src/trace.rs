@@ -6,9 +6,9 @@
 //! tests that assert dynamic invariants (the epoch front advances, restarts
 //! only happen while `logSize2` is still rising, skew stays bounded).
 
-use pp_engine::{AgentSim, Trace};
+use pp_engine::{Simulation, Trace};
 
-use crate::log_size::{is_converged, LogSizeEstimation};
+use crate::log_size::{is_converged_counts, LogSizeEstimation};
 use crate::state::{MainState, Role};
 
 /// One sampled snapshot of population progress.
@@ -31,14 +31,26 @@ pub struct ProgressSnapshot {
 impl ProgressSnapshot {
     /// Computes a snapshot from the agent states.
     pub fn of(states: &[MainState]) -> Self {
+        Self::accumulate(states.iter().map(|s| (s, 1)))
+    }
+
+    /// Computes a snapshot from a decoded `(state, count)` view — the
+    /// observation surface of [`Simulation`].
+    pub fn of_counts(view: &[(MainState, u64)]) -> Self {
+        Self::accumulate(view.iter().map(|(s, c)| (s, *c)))
+    }
+
+    fn accumulate<'s>(pairs: impl Iterator<Item = (&'s MainState, u64)>) -> Self {
         let mut min_epoch = u64::MAX;
         let mut max_epoch = 0;
         let mut ls_min = u64::MAX;
         let mut ls_max = 0;
-        let mut done = 0usize;
+        let mut done = 0u64;
+        let mut total = 0u64;
         let mut outputs = std::collections::BTreeSet::new();
         let mut any_a = false;
-        for s in states {
+        for (s, count) in pairs {
+            total += count;
             if s.role == Role::A {
                 any_a = true;
                 min_epoch = min_epoch.min(s.epoch);
@@ -47,7 +59,7 @@ impl ProgressSnapshot {
             ls_min = ls_min.min(s.log_size2);
             ls_max = ls_max.max(s.log_size2);
             if s.protocol_done {
-                done += 1;
+                done += count;
             }
             if let Some(o) = s.output {
                 outputs.insert(o);
@@ -58,7 +70,7 @@ impl ProgressSnapshot {
             max_epoch,
             log_size2: ls_max,
             log_size2_settled: ls_min == ls_max,
-            done_fraction: done as f64 / states.len() as f64,
+            done_fraction: done as f64 / total as f64,
             distinct_outputs: outputs.len(),
         }
     }
@@ -74,19 +86,19 @@ pub fn run_with_trace(
     max_time: f64,
 ) -> (Trace<ProgressSnapshot>, bool) {
     assert!(cadence > 0.0);
-    let mut sim = AgentSim::new(LogSizeEstimation::paper(), n, seed);
+    let check = ((cadence * n as f64).ceil() as u64).max(1);
     let mut trace = Trace::new();
-    trace.push(0.0, ProgressSnapshot::of(sim.states()));
-    let mut converged = false;
-    while sim.time() < max_time {
-        sim.run_for_time(cadence);
-        trace.push(sim.time(), ProgressSnapshot::of(sim.states()));
-        if is_converged(sim.states()) {
-            converged = true;
-            break;
-        }
-    }
-    (trace, converged)
+    let (out, _) = Simulation::builder(LogSizeEstimation::paper())
+        .size(n as u64)
+        .seed(seed)
+        .check_every(check)
+        .max_time(max_time)
+        .observe_with(|time, _interactions, view: &[(MainState, u64)]| {
+            trace.push(time, ProgressSnapshot::of_counts(view));
+        })
+        .until(|view: &[(MainState, u64)]| is_converged_counts(view))
+        .run();
+    (trace, out.converged)
 }
 
 #[cfg(test)]

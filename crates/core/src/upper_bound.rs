@@ -26,9 +26,9 @@
 //! W.h.p. the reported value is also `≤ log n + 9.7` (5.7 + 4).
 
 use pp_engine::rng::SimRng;
-use pp_engine::{AgentSim, Protocol};
+use pp_engine::Protocol;
 
-use crate::log_size::{is_converged, LogSizeEstimation};
+use crate::log_size::{is_converged_counts, LogSizeEstimation};
 use crate::state::MainState;
 
 /// Per-agent state: the main protocol's state plus the backup counter.
@@ -131,18 +131,23 @@ pub struct UpperBoundOutcome {
 /// unchanged over an `extra_time` window).
 pub fn estimate_upper_bound(n: usize, seed: u64, extra_time: f64) -> UpperBoundOutcome {
     let budget = 4.0 * pp_analysis::subexp::corollary_3_10_time_budget(n as u64);
-    let mut sim = AgentSim::new(UpperBoundEstimation::paper(), n, seed);
-    let out = sim.run_until_converged(
-        |states| {
-            let mains: Vec<MainState> = states.iter().map(|s| s.main.clone()).collect();
-            is_converged(&mains)
+    let mut sim = pp_engine::Simulation::builder(UpperBoundEstimation::paper())
+        .size(n as u64)
+        .seed(seed)
+        .build();
+    let out = sim.run_until(
+        |view| {
+            let mains: Vec<(MainState, u64)> =
+                view.iter().map(|(s, c)| (s.main.clone(), *c)).collect();
+            is_converged_counts(&mains)
         },
         budget,
     );
     // Let the backup finish its O(n)-time merges.
     sim.run_for_time(extra_time);
-    let kex = sim.states().iter().map(|s| s.kex).max().unwrap_or(0);
-    let report = sim.states().iter().map(|s| s.report()).max().unwrap_or(0);
+    let view = sim.view();
+    let kex = view.iter().map(|(s, _)| s.kex).max().unwrap_or(0);
+    let report = view.iter().map(|(s, _)| s.report()).max().unwrap_or(0);
     UpperBoundOutcome {
         report,
         kex,

@@ -1293,6 +1293,26 @@ impl<P: CountProtocol> ConfigSim<P> {
         executed
     }
 
+    /// Executes at least one and at most `budget` interactions on the
+    /// current engine (the [`crate::simulation::Engine`] advance
+    /// granularity): one batch or null-skip step when batched (followed by
+    /// adaptive re-selection in [`EngineMode::Auto`]), the full budget
+    /// when pinned sequential. Returns the number executed; never
+    /// overshoots, so run drivers land checkpoints exactly.
+    pub fn advance(&mut self, budget: u64) -> u64 {
+        debug_assert!(budget >= 1);
+        if self.adaptive {
+            return self.advance_adaptive(budget);
+        }
+        match self.eng_mut() {
+            Engine::Sequential(s) => {
+                s.steps(budget);
+                budget
+            }
+            Engine::Batched(b) => b.advance(budget),
+        }
+    }
+
     /// Executes (at least) `k` interactions; the batched engine lands
     /// exactly on `k` via batch truncation.
     pub fn steps(&mut self, k: u64) {

@@ -11,10 +11,10 @@
 //! This module provides the epidemic as a standalone protocol plus direct
 //! measurement helpers used by the `table_epidemic` harness.
 
-use crate::batch::{ConfigSim, DeterministicCountProtocol, EngineMode};
-use crate::count_sim::CountConfiguration;
+use crate::batch::{DeterministicCountProtocol, EngineMode};
 use crate::protocol::Protocol;
 use crate::rng::SimRng;
+use crate::simulation::{count_of, Simulation};
 
 /// Max-propagation epidemic over `u64` values: both agents adopt the max.
 ///
@@ -60,17 +60,28 @@ impl DeterministicCountProtocol for InfectionEpidemic {
 /// `n` (the protocol is deterministic), so `n = 10⁷` completes in
 /// milliseconds.
 pub fn epidemic_completion_time(n: u64, seed: u64) -> f64 {
-    epidemic_completion_time_with(n, seed, EngineMode::Auto)
+    completion_time_impl(n, seed, EngineMode::Auto)
 }
 
-/// [`epidemic_completion_time`] with an explicit engine policy — the
-/// selection hook the sweep orchestration layer uses to pin an engine per
-/// experiment grid (e.g. a sequential-vs-batched comparison sweep).
+/// [`epidemic_completion_time`] with an explicit engine policy.
+#[deprecated(
+    since = "0.2.0",
+    note = "build the epidemic with `Simulation::count_builder(InfectionEpidemic).mode(...)` — \
+            engine selection is a builder argument now"
+)]
 pub fn epidemic_completion_time_with(n: u64, seed: u64, mode: EngineMode) -> f64 {
+    completion_time_impl(n, seed, mode)
+}
+
+fn completion_time_impl(n: u64, seed: u64, mode: EngineMode) -> f64 {
     assert!(n >= 2);
-    let config = CountConfiguration::from_pairs([(false, n - 1), (true, 1)]);
-    let mut sim = ConfigSim::with_mode(InfectionEpidemic, config, seed, mode);
-    let out = sim.run_until(|c| c.count(&true) == n, (n / 10).max(1), f64::MAX);
+    let (out, _) = Simulation::count_builder(InfectionEpidemic)
+        .config([(false, n - 1), (true, 1)])
+        .seed(seed)
+        .mode(mode)
+        .check_every((n / 10).max(1))
+        .until(move |view| count_of(view, &true) == n)
+        .run();
     debug_assert!(out.converged);
     out.time
 }
@@ -114,12 +125,20 @@ impl DeterministicCountProtocol for SubpopulationEpidemic {
 /// size `a` inside a population of size `n` (Corollary 3.4: the slowdown is
 /// the factor `n(n-1)/(a(a-1))` in expectation).
 pub fn subpopulation_epidemic_time(n: u64, a: u64, seed: u64) -> f64 {
-    subpopulation_epidemic_time_with(n, a, seed, EngineMode::Auto)
+    subpopulation_time_impl(n, a, seed, EngineMode::Auto)
 }
 
-/// [`subpopulation_epidemic_time`] with an explicit engine policy (see
-/// [`epidemic_completion_time_with`]).
+/// [`subpopulation_epidemic_time`] with an explicit engine policy.
+#[deprecated(
+    since = "0.2.0",
+    note = "build the epidemic with `Simulation::count_builder(SubpopulationEpidemic).mode(...)` — \
+            engine selection is a builder argument now"
+)]
 pub fn subpopulation_epidemic_time_with(n: u64, a: u64, seed: u64, mode: EngineMode) -> f64 {
+    subpopulation_time_impl(n, a, seed, mode)
+}
+
+fn subpopulation_time_impl(n: u64, a: u64, seed: u64, mode: EngineMode) -> f64 {
     assert!(a >= 2 && a <= n);
     let member_inf = SubState {
         member: true,
@@ -133,10 +152,13 @@ pub fn subpopulation_epidemic_time_with(n: u64, a: u64, seed: u64, mode: EngineM
         member: false,
         infected: false,
     };
-    let config =
-        CountConfiguration::from_pairs([(member_inf, 1), (member_sus, a - 1), (outsider, n - a)]);
-    let mut sim = ConfigSim::with_mode(SubpopulationEpidemic, config, seed, mode);
-    let out = sim.run_until(|c| c.count(&member_inf) == a, (n / 10).max(1), f64::MAX);
+    let (out, _) = Simulation::count_builder(SubpopulationEpidemic)
+        .config([(member_inf, 1), (member_sus, a - 1), (outsider, n - a)])
+        .seed(seed)
+        .mode(mode)
+        .check_every((n / 10).max(1))
+        .until(move |view| count_of(view, &member_inf) == a)
+        .run();
     debug_assert!(out.converged);
     out.time
 }
@@ -152,16 +174,15 @@ pub fn max_propagation_time(
     seed: u64,
     mut sampler: impl FnMut(&mut SimRng) -> u64,
 ) -> (u64, f64) {
-    use crate::sim::AgentSim;
-    let mut sim = AgentSim::new(MaxEpidemic, n, seed);
     let mut init_rng = crate::rng::rng_from_seed(crate::rng::derive_seed(seed, 1));
-    let mut max = 0;
-    for i in 0..n {
-        let v = sampler(&mut init_rng);
-        max = max.max(v);
-        sim.set_state(i, v);
-    }
-    let out = sim.run_until_converged(|s| s.iter().all(|&v| v == max), f64::MAX);
+    let values: Vec<u64> = (0..n).map(|_| sampler(&mut init_rng)).collect();
+    let max = values.iter().copied().max().unwrap_or(0);
+    let (out, _) = Simulation::builder(MaxEpidemic)
+        .size(n as u64)
+        .seed(seed)
+        .init_with(move |i, _| values[i])
+        .until(move |view| view.iter().all(|&(v, _)| v == max))
+        .run();
     debug_assert!(out.converged);
     (max, out.time)
 }

@@ -272,10 +272,13 @@ where
 {
     /// Collapses the per-index [`SeededInit`] assignment into its multiset:
     /// agents are exchangeable, so the interaction process depends on the
-    /// initial states only through their counts.
+    /// initial states only through their counts. Slots are registered in
+    /// id (= first-seen) order, so the configuration layout — and with it
+    /// the whole seeded trajectory — is deterministic across processes
+    /// (a `HashMap` iteration here would randomize slot order per run).
     fn initial_config(&self, n: u64) -> CountConfiguration<u32> {
         let n_usize = usize::try_from(n).expect("population exceeds usize");
-        let mut counts: HashMap<u32, u64> = HashMap::new();
+        let mut counts: std::collections::BTreeMap<u32, u64> = std::collections::BTreeMap::new();
         for i in 0..n_usize {
             let id = self.intern_state(self.protocol.init_state(i, n_usize));
             *counts.entry(id).or_insert(0) += 1;

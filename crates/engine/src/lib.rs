@@ -10,61 +10,15 @@
 //! transition algorithm. *Parallel time* is the number of interactions divided
 //! by `n`.
 //!
-//! The crate provides three complementary simulators:
+//! ## The API: one builder, one trait
 //!
-//! * [`sim::AgentSim`] — stores one state struct per agent. This is the
-//!   workhorse for the paper's protocols, whose per-agent state is a record of
-//!   integer fields (`role`, `time`, `sum`, `epoch`, `gr`, `logSize2`, ...).
-//! * [`count_sim::CountSim`] — stores a configuration vector (a multiset of
-//!   states). This is asymptotically faster for protocols with a small state
-//!   space and lets experiments scale to millions of agents; it is used for
-//!   epidemics, the slow exact backup counter, and the density experiments of
-//!   Theorem 4.1.
-//! * [`batch::BatchedCountSim`] — the batched configuration simulator
-//!   (Berenbrink et al., ESA 2020; the engine inside `ppsim`). It samples
-//!   `Θ(√n)` interactions at a time: the batch's state-count splits come
-//!   from conditional hypergeometric draws and transitions are applied as
-//!   bulk count deltas through a dense table of per-pair *outcome laws* —
-//!   deterministic pairs as single deltas, randomized pairs with
-//!   enumerable outcome distributions ([`count_sim::CountProtocol::outcomes`])
-//!   as one exact multinomial split per pair, and only unenumerable pairs
-//!   falling back to per-interaction sampling. Amortized cost per
-//!   interaction is `o(1)` — batches get relatively cheaper as `n` grows.
-//!   When the configuration goes null-dominated (epidemic tails, converged
-//!   runs) it switches to a Gillespie-style skip mode that advances whole
-//!   geometric runs of no-op interactions in O(1). At `n = 10⁶`–`10⁷` the
-//!   combination is tens to hundreds of times faster than `CountSim` on the
-//!   paper's `Θ(log n)`-time experiments (see `BENCH_batch.json`) and is
-//!   what makes the `log log n` convergence bands observable at realistic
-//!   population sizes.
-//!
-//! The [`interned::Interned`] adapter bridges the two protocol styles: it
-//! lazily interns rich record states into dense `u32` slots, so any
-//! agent-level [`protocol::Protocol`] implementation runs on the count
-//! engines unchanged (and non-uniform initial configurations come along via
-//! [`count_sim::CountSeededInit`]).
-//!
-//! Use the [`batch::ConfigSim`] facade to get the right engine
-//! automatically: batched when the protocol reports
-//! [`count_sim::CountProtocol::prefers_batching`] (deterministic protocols
-//! by default; randomized protocols with small state spaces and enumerable
-//! outcomes opt in) and the population is at least
-//! [`batch::ConfigSim::BATCH_THRESHOLD`], sequential otherwise. All engines
-//! realize exactly the same stochastic process — the repository's
-//! statistical-equivalence suites (`tests/batched_equivalence.rs`,
-//! `tests/unified_equivalence.rs`) hold them to that.
-//!
-//! All simulators draw interactions from the same [`scheduler`] abstraction,
-//! are deterministic given a `u64` seed, and report time in parallel-time
-//! units. [`runner`] fans independent trials out over threads; [`rng`]
-//! additionally provides the exact bulk samplers (binomial, hypergeometric,
-//! multivariate splits) the batched engine is built on.
-//!
-//! ## Example: a one-way epidemic
+//! Every measurement in this repository is one sentence: *run protocol `P`
+//! on `n` agents from initial configuration `C` under engine `E` until
+//! predicate `Q`, observing metrics `M`.* The [`simulation`] module is that
+//! sentence as code — start there:
 //!
 //! ```
-//! use pp_engine::{AgentSim, Protocol};
-//! use pp_engine::rng::SimRng;
+//! use pp_engine::{Simulation, SimRng, Protocol};
 //!
 //! struct Epidemic;
 //!
@@ -80,13 +34,77 @@
 //!     }
 //! }
 //!
-//! let mut sim = AgentSim::new(Epidemic, 100, 42);
-//! sim.set_state(0, true); // patient zero
-//! let out = sim.run_until_converged(|s| s.iter().all(|&x| x), 1_000.0);
+//! let (out, sim) = Simulation::builder(Epidemic)
+//!     .size(100)
+//!     .seed(42)
+//!     .init_planted([(true, 1)]) // patient zero
+//!     .max_time(1_000.0)
+//!     .until(|view| view.iter().all(|&(infected, _)| infected))
+//!     .run();
 //! assert!(out.converged);
 //! // An epidemic completes in ~2 ln n parallel time.
 //! assert!(out.time < 30.0);
+//! assert_eq!(sim.count(&true), 100);
 //! ```
+//!
+//! [`Simulation::builder`] configures the protocol, population size, seed,
+//! initial configuration (`init_planted` / `init_config` / `init_seeded` /
+//! `init_with`), engine ([`simulation::SimMode`]), checkpoint cadence,
+//! time budget, convergence predicate (`until`), and
+//! [`simulation::Observer`] hooks (periodic snapshots, trace recording,
+//! interaction-count telemetry). [`Simulation::count_builder`] is the same
+//! surface for protocols expressed directly over configuration vectors
+//! ([`count_sim::CountProtocol`]). Engine selection is a builder argument
+//! — `.mode(EngineMode::Auto)` — not a per-call-site decision, and the
+//! sweep layer pins engines per experiment grid through the same hook.
+//!
+//! ## The engines
+//!
+//! Underneath the builder sit four simulators, unified behind the
+//! object-safe [`simulation::Engine`] trait (advance the interaction
+//! clock, decode the occupied-state multiset):
+//!
+//! * [`sim::AgentSim`] — one state struct per agent. The workhorse for the
+//!   paper's protocols, whose per-agent records carry interaction counters
+//!   (occupied support `Θ(n)`, where configuration vectors buy nothing).
+//! * [`count_sim::CountSim`] — a configuration vector (a multiset of
+//!   states): `O(log k)` per interaction, `O(k)` memory, for protocols
+//!   with small occupied support.
+//! * [`batch::BatchedCountSim`] — the batched configuration simulator
+//!   (Berenbrink et al., ESA 2020; the engine inside `ppsim`): `Θ(√n)`
+//!   interactions per batch via conditional hypergeometric fills and a
+//!   dense table of per-pair outcome laws, with a Gillespie-style
+//!   null-skip mode for null-dominated phases. `o(1)` amortized work per
+//!   interaction; tens to hundreds of times faster than `CountSim` at
+//!   `n = 10⁶`–`10⁷` (see `BENCH_batch.json`).
+//! * [`batch::ConfigSim`] — the adaptive facade: starts on the engine the
+//!   protocol prefers, re-evaluates occupied support vs batch length
+//!   mid-run ([`batch::EngineMode::Auto`]), and switches batched ↔
+//!   sequential carrying protocol, configuration, RNG stream, and
+//!   interaction clock across.
+//!
+//! The [`interned::Interned`] adapter runs any agent-level
+//! [`protocol::Protocol`] on the count engines by interning record states
+//! into dense `u32` slots; the builder applies it automatically for count
+//! modes. All engines realize exactly the same stochastic process — the
+//! statistical-equivalence suites (`tests/batched_equivalence.rs`,
+//! `tests/unified_equivalence.rs`), the byte-level builder suite
+//! (`tests/builder_equivalence.rs`), and the `Engine` conformance suite
+//! (`crates/engine/tests/engine_conformance.rs`) hold them to that.
+//!
+//! ## Deprecation path
+//!
+//! Before the builder, this workspace exposed ~20 bespoke free functions
+//! (`run_terminating_counted`, `estimate_log_size_counted`, …), each
+//! hard-coding its engine, init, stop rule, and observation. The surviving
+//! ones in `pp-core`/`pp-baselines` are now thin builder invocations kept
+//! as conveniences; functions superseded outright (the engine-hook
+//! variants `epidemic_completion_time_with` /
+//! `subpopulation_epidemic_time_with`, whose job `.mode(ctx.engine)` now
+//! does) are `#[deprecated]` and will be removed once external callers
+//! have migrated. Trial fan-out (`run_trials_threaded`) moved to the sweep
+//! orchestration layer: use `pp_sweep::trials` or, better, a
+//! `pp_sweep::SweepSpec` over the experiment registry.
 //!
 //! ## Model fidelity
 //!
@@ -99,6 +117,12 @@
 //! * Uniformity — the requirement that the transition algorithm not depend on
 //!   `n` — is enforced structurally: [`protocol::Protocol::interact`] receives
 //!   only the two agent states and the RNG, never the population size.
+//! * All simulators draw interactions from the same [`scheduler`]
+//!   abstraction and are deterministic given a `u64` seed; checkpoints
+//!   never consume engine randomness, so observers and predicates cannot
+//!   perturb a trajectory. [`rng`] additionally provides the exact bulk
+//!   samplers (binomial, hypergeometric, multivariate splits) the batched
+//!   engine is built on.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -110,9 +134,9 @@ pub mod interned;
 pub mod protocol;
 pub mod record;
 pub mod rng;
-pub mod runner;
 pub mod scheduler;
 pub mod sim;
+pub mod simulation;
 
 pub use batch::{BatchedCountSim, ConfigSim, DeterministicCountProtocol, EngineMode};
 pub use count_sim::{CountConfiguration, CountProtocol, CountSeededInit, CountSim, Outcomes};
@@ -120,6 +144,6 @@ pub use interned::{Interned, InternerHandle};
 pub use protocol::{Protocol, SeededInit};
 pub use record::{Trace, TracePoint};
 pub use rng::{derive_seed, SimRng};
-pub use runner::{run_trials, run_trials_threaded, TrialOutcome};
 pub use scheduler::{OrderedPair, PairScheduler};
-pub use sim::AgentSim;
+pub use sim::{AgentSim, RunOutcome};
+pub use simulation::{count_of, Engine, EngineKind, Observer, SimMode, Simulation};

@@ -1,0 +1,1242 @@
+//! The unified simulation API: one [`Engine`] trait, one [`Simulation`]
+//! builder.
+//!
+//! Every measurement in the paper reduces to the same sentence: *run
+//! protocol `P` on `n` agents from initial configuration `C` under engine
+//! `E` until predicate `Q`, observing metrics `M`.* This module makes that
+//! sentence the API:
+//!
+//! * [`Engine`] abstracts the four simulators ([`AgentSim`],
+//!   [`CountSim`], [`BatchedCountSim`], and
+//!   the adaptive [`ConfigSim`] facade) behind one object-safe interface —
+//!   advance the interaction clock, decode the occupied-state multiset —
+//!   so harness code (and the sweep layer) can select engines dynamically
+//!   behind a `Box<dyn Engine<S>>`.
+//! * [`Simulation`] owns a boxed engine plus the run policy (checkpoint
+//!   cadence, time budget, convergence predicate, observers) and provides
+//!   the *single* run driver that used to be quadruplicated across the
+//!   simulators' `run_until`/`run_for_time` surfaces.
+//! * [`Simulation::builder`] (agent-level [`Protocol`]s) and
+//!   [`Simulation::count_builder`] ([`CountProtocol`]s) assemble a
+//!   simulation declaratively:
+//!
+//! ```
+//! use pp_engine::epidemic::InfectionEpidemic;
+//! use pp_engine::simulation::{count_of, Simulation};
+//! use pp_engine::EngineMode;
+//!
+//! let n = 10_000u64;
+//! let mut sim = Simulation::count_builder(InfectionEpidemic)
+//!     .config([(false, n - 1), (true, 1)])
+//!     .seed(7)
+//!     .mode(EngineMode::Auto)
+//!     .check_every(n / 10)
+//!     .until(move |view| count_of(view, &true) == n)
+//!     .build();
+//! let out = sim.run();
+//! assert!(out.converged);
+//! // One-way epidemics complete in ~2 ln n parallel time.
+//! assert!(out.time < 40.0);
+//! ```
+//!
+//! ## The observation surface
+//!
+//! All engines report the population as a **decoded multiset**: a slice of
+//! `(state, count)` pairs covering every occupied state. Per-agent engines
+//! group equal states (first-seen order: the pair holding agent 0's state
+//! comes first); count engines decode their configuration (state order for
+//! native count protocols, discovery order for interned ones). Convergence
+//! is a property of the occupied support, so every predicate in this
+//! repository — "all agents infected", "all outputs agree", "no X left" —
+//! is expressible against this view, on any engine.
+//!
+//! ## Observer contract
+//!
+//! An [`Observer`] is called once on the initial configuration (time 0,
+//! before any interaction) and then at every checkpoint — every
+//! `check_every` interactions, plus the final checkpoint at which the run
+//! converges or exhausts its budget. At each call it receives the parallel
+//! time, the total interaction count (interaction-count telemetry), and
+//! the decoded view. Observers fire *before* the convergence predicate is
+//! evaluated at the same checkpoint, so a trace recorded by an observer
+//! always includes the converged snapshot. Observers see a decoded copy
+//! and cannot mutate the simulation; they are never called between
+//! checkpoints, so a `check_every` of `k` bounds the observation lag to
+//! `k` interactions. Checkpoints never consume engine randomness:
+//! attaching observers or predicates cannot perturb a trajectory.
+//! Closures attach via `observe_with`; named observers (implementing
+//! [`Observer`]) are borrowed mutably via `observe` and can be inspected
+//! by the caller after the run.
+//!
+//! ## Determinism and equivalence
+//!
+//! A built simulation is a deterministic function of `(protocol, init,
+//! seed, mode)`. The builder-vs-legacy equivalence suite
+//! (`tests/builder_equivalence.rs`) holds the builder to *byte-identical*
+//! outcomes against the pre-builder free-function bodies, and the
+//! `Engine`-trait conformance suite
+//! (`crates/engine/tests/engine_conformance.rs`) holds all four engines to
+//! the trait contract.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use crate::batch::{BatchedCountSim, ConfigSim, EngineMode};
+use crate::count_sim::{CountConfiguration, CountProtocol, CountSeededInit, CountSim};
+use crate::interned::{Interned, InternerHandle};
+use crate::protocol::{Protocol, SeededInit};
+use crate::sim::{AgentSim, RunOutcome};
+
+/// Which concrete simulator an [`Engine`] is currently running on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKind {
+    /// Per-agent state array ([`AgentSim`]).
+    Agent,
+    /// Sequential configuration vector ([`CountSim`]).
+    Sequential,
+    /// Batched configuration vector ([`BatchedCountSim`]).
+    Batched,
+}
+
+/// The unified, object-safe simulator interface.
+///
+/// One implementation per simulator; the run drivers ([`Simulation::run`],
+/// [`Simulation::run_until`]) are written once against this trait instead
+/// of once per engine. All methods are object-safe, so the sweep layer can
+/// hold a `Box<dyn Engine<S>>` and pick the engine at runtime.
+pub trait Engine<S> {
+    /// Population size `n`.
+    fn population_size(&self) -> u64;
+
+    /// Total interactions executed so far.
+    fn interactions(&self) -> u64;
+
+    /// Parallel time elapsed (interactions / `n`).
+    fn time(&self) -> f64;
+
+    /// Executes at least one and at most `budget` interactions (the engine
+    /// picks its natural granularity: single steps, one batch, one
+    /// null-skip run). Returns the number executed. Engines never
+    /// overshoot `budget`, so drivers land checkpoints exactly.
+    fn advance(&mut self, budget: u64) -> u64;
+
+    /// The decoded occupied-state multiset: `(state, count)` pairs with
+    /// positive counts summing to `n`. See the [module docs](self) for
+    /// per-engine ordering.
+    fn view(&self) -> Vec<(S, u64)>;
+
+    /// The concrete simulator currently executing interactions.
+    fn kind(&self) -> EngineKind;
+}
+
+/// Count of agents in `state` within a decoded view (0 if absent).
+pub fn count_of<S: PartialEq>(view: &[(S, u64)], state: &S) -> u64 {
+    view.iter()
+        .find_map(|(s, c)| (s == state).then_some(*c))
+        .unwrap_or(0)
+}
+
+/// Total population of a decoded view.
+pub fn view_population<S>(view: &[(S, u64)]) -> u64 {
+    view.iter().map(|(_, c)| c).sum()
+}
+
+impl<P: Protocol> Engine<P::State> for AgentSim<P>
+where
+    P::State: Eq + Hash,
+{
+    fn population_size(&self) -> u64 {
+        AgentSim::population_size(self) as u64
+    }
+
+    fn interactions(&self) -> u64 {
+        AgentSim::interactions(self)
+    }
+
+    fn time(&self) -> f64 {
+        AgentSim::time(self)
+    }
+
+    fn advance(&mut self, budget: u64) -> u64 {
+        self.steps(budget);
+        budget
+    }
+
+    /// Groups equal agent states; pairs appear in first-seen agent-index
+    /// order, so the first pair always holds agent 0's state.
+    fn view(&self) -> Vec<(P::State, u64)> {
+        let states = self.states();
+        let mut index: HashMap<&P::State, usize> = HashMap::with_capacity(16);
+        let mut pairs: Vec<(&P::State, u64)> = Vec::new();
+        for s in states {
+            match index.entry(s) {
+                std::collections::hash_map::Entry::Occupied(e) => pairs[*e.get()].1 += 1,
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(pairs.len());
+                    pairs.push((s, 1));
+                }
+            }
+        }
+        pairs.into_iter().map(|(s, c)| (s.clone(), c)).collect()
+    }
+
+    fn kind(&self) -> EngineKind {
+        EngineKind::Agent
+    }
+}
+
+impl<P: CountProtocol> Engine<P::State> for CountSim<P> {
+    fn population_size(&self) -> u64 {
+        CountSim::population_size(self)
+    }
+
+    fn interactions(&self) -> u64 {
+        CountSim::interactions(self)
+    }
+
+    fn time(&self) -> f64 {
+        CountSim::time(self)
+    }
+
+    fn advance(&mut self, budget: u64) -> u64 {
+        self.steps(budget);
+        budget
+    }
+
+    fn view(&self) -> Vec<(P::State, u64)> {
+        self.config().iter().map(|(&s, &c)| (s, c)).collect()
+    }
+
+    fn kind(&self) -> EngineKind {
+        EngineKind::Sequential
+    }
+}
+
+impl<P: CountProtocol> Engine<P::State> for BatchedCountSim<P> {
+    fn population_size(&self) -> u64 {
+        BatchedCountSim::population_size(self)
+    }
+
+    fn interactions(&self) -> u64 {
+        BatchedCountSim::interactions(self)
+    }
+
+    fn time(&self) -> f64 {
+        BatchedCountSim::time(self)
+    }
+
+    fn advance(&mut self, budget: u64) -> u64 {
+        BatchedCountSim::advance(self, budget)
+    }
+
+    fn view(&self) -> Vec<(P::State, u64)> {
+        self.config_view().iter().map(|(&s, &c)| (s, c)).collect()
+    }
+
+    fn kind(&self) -> EngineKind {
+        EngineKind::Batched
+    }
+}
+
+impl<P: CountProtocol> Engine<P::State> for ConfigSim<P> {
+    fn population_size(&self) -> u64 {
+        ConfigSim::population_size(self)
+    }
+
+    fn interactions(&self) -> u64 {
+        ConfigSim::interactions(self)
+    }
+
+    fn time(&self) -> f64 {
+        ConfigSim::time(self)
+    }
+
+    fn advance(&mut self, budget: u64) -> u64 {
+        ConfigSim::advance(self, budget)
+    }
+
+    fn view(&self) -> Vec<(P::State, u64)> {
+        self.config_view().iter().map(|(&s, &c)| (s, c)).collect()
+    }
+
+    fn kind(&self) -> EngineKind {
+        if self.is_batched() {
+            EngineKind::Batched
+        } else {
+            EngineKind::Sequential
+        }
+    }
+}
+
+/// An agent-level protocol running interned on the count engines, decoding
+/// slot ids back to protocol states at the observation boundary. This is
+/// what [`SimulationBuilder`] builds for every non-[`SimMode::Agent`]
+/// mode.
+struct InternedEngine<P: Protocol>
+where
+    P::State: Eq + Hash,
+{
+    sim: ConfigSim<Interned<P>>,
+    handle: InternerHandle<P::State>,
+}
+
+impl<P: Protocol> Engine<P::State> for InternedEngine<P>
+where
+    P::State: Eq + Hash,
+{
+    fn population_size(&self) -> u64 {
+        self.sim.population_size()
+    }
+
+    fn interactions(&self) -> u64 {
+        self.sim.interactions()
+    }
+
+    fn time(&self) -> f64 {
+        self.sim.time()
+    }
+
+    fn advance(&mut self, budget: u64) -> u64 {
+        ConfigSim::advance(&mut self.sim, budget)
+    }
+
+    fn view(&self) -> Vec<(P::State, u64)> {
+        self.handle.decode(&self.sim.config_view())
+    }
+
+    fn kind(&self) -> EngineKind {
+        if self.sim.is_batched() {
+            EngineKind::Batched
+        } else {
+            EngineKind::Sequential
+        }
+    }
+}
+
+/// Engine selection for [`Simulation::builder`].
+///
+/// Agent-level protocols can run either on the per-agent array
+/// ([`SimMode::Agent`] — the right choice for the paper's counter-churning
+/// record states, whose occupied support is `Θ(n)`) or interned onto the
+/// configuration-vector engines (`SimMode::Count` wrapping an
+/// [`EngineMode`]). `EngineMode` converts into `SimMode` directly, so
+/// `.mode(EngineMode::Auto)` and `.mode(ctx.engine)` both read naturally
+/// at call sites.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimMode {
+    /// Per-agent state array ([`AgentSim`]).
+    Agent,
+    /// Interned configuration-vector simulation under the given engine
+    /// policy ([`ConfigSim`] over [`Interned`]).
+    Count(EngineMode),
+}
+
+impl From<EngineMode> for SimMode {
+    fn from(mode: EngineMode) -> Self {
+        SimMode::Count(mode)
+    }
+}
+
+/// A checkpoint hook: sampled snapshots, trace recording, convergence
+/// telemetry. See the [module docs](self) for the full contract (when
+/// observers fire, what they see, and what they must not do).
+pub trait Observer<S> {
+    /// Called at each checkpoint with the parallel time, total interaction
+    /// count, and decoded `(state, count)` view.
+    fn observe(&mut self, time: f64, interactions: u64, view: &[(S, u64)]);
+}
+
+type BoxedObserver<'a, S> = Box<dyn FnMut(f64, u64, &[(S, u64)]) + 'a>;
+type BoxedPredicate<'a, S> = Box<dyn FnMut(&[(S, u64)]) -> bool + 'a>;
+
+/// Run-policy fields shared by both builders.
+struct Policy<'a, S> {
+    seed: u64,
+    check_every: Option<u64>,
+    max_time: f64,
+    predicate: Option<BoxedPredicate<'a, S>>,
+    observers: Vec<BoxedObserver<'a, S>>,
+}
+
+impl<S> Default for Policy<'_, S> {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            check_every: None,
+            max_time: f64::INFINITY,
+            predicate: None,
+            observers: Vec::new(),
+        }
+    }
+}
+
+/// The policy surface shared verbatim by [`SimulationBuilder`] and
+/// [`CountSimulationBuilder`].
+macro_rules! policy_methods {
+    ($state:ty) => {
+        /// Seed for all simulation randomness (default 0). Two simulations
+        /// with identical protocol, init, seed, and mode realize identical
+        /// trajectories.
+        pub fn seed(mut self, seed: u64) -> Self {
+            self.policy.seed = seed;
+            self
+        }
+
+        /// Checkpoint cadence in interactions (default: `n`, i.e. once per
+        /// unit of parallel time — the cadence every experiment in the
+        /// paper uses). Observers and the convergence predicate fire at
+        /// every checkpoint.
+        pub fn check_every(mut self, interactions: u64) -> Self {
+            assert!(interactions > 0, "check_every must be positive");
+            self.policy.check_every = Some(interactions);
+            self
+        }
+
+        /// Parallel-time budget for [`Simulation::run`] (default:
+        /// unbounded). The run stops unconverged once `ceil(max_time · n)`
+        /// interactions have executed.
+        pub fn max_time(mut self, t: f64) -> Self {
+            self.policy.max_time = t;
+            self
+        }
+
+        /// Sets the convergence predicate for [`Simulation::run`]: the run
+        /// stops (converged) at the first checkpoint whose decoded view
+        /// satisfies it. Evaluated once on the initial configuration too,
+        /// so an already-converged start reports `time == 0`.
+        pub fn until(mut self, predicate: impl FnMut(&[($state, u64)]) -> bool + 'a) -> Self {
+            self.policy.predicate = Some(Box::new(predicate));
+            self
+        }
+
+        /// Attaches a named [`Observer`], borrowed for the simulation's
+        /// lifetime so the caller can read what it accumulated after the
+        /// run.
+        pub fn observe(mut self, observer: &'a mut impl Observer<$state>) -> Self {
+            self.policy
+                .observers
+                .push(Box::new(move |t, i, v: &[($state, u64)]| {
+                    observer.observe(t, i, v)
+                }));
+            self
+        }
+
+        /// Attaches a closure observer `(time, interactions, view)`.
+        pub fn observe_with(
+            mut self,
+            observer: impl FnMut(f64, u64, &[($state, u64)]) + 'a,
+        ) -> Self {
+            self.policy.observers.push(Box::new(observer));
+            self
+        }
+    };
+}
+
+/// A configured simulation: a boxed [`Engine`] plus the run policy.
+///
+/// Built by [`Simulation::builder`] / [`Simulation::count_builder`]. Run
+/// it to completion with [`Simulation::run`], phase by phase with
+/// [`Simulation::run_until`], or drive it manually with
+/// [`Simulation::run_for_time`] / [`Simulation::advance`] and inspect
+/// [`Simulation::view`] between steps.
+pub struct Simulation<'a, S> {
+    engine: Box<dyn Engine<S> + 'a>,
+    check_every: u64,
+    max_time: f64,
+    predicate: Option<BoxedPredicate<'a, S>>,
+    observers: Vec<BoxedObserver<'a, S>>,
+}
+
+impl<'a, S: Clone> Simulation<'a, S> {
+    /// Starts a builder for an agent-level [`Protocol`].
+    pub fn builder<P>(protocol: P) -> SimulationBuilder<'a, P>
+    where
+        P: Protocol<State = S>,
+        S: Eq + Hash,
+    {
+        SimulationBuilder::new(protocol)
+    }
+
+    /// Starts a builder for a configuration-vector [`CountProtocol`].
+    pub fn count_builder<P>(protocol: P) -> CountSimulationBuilder<'a, P>
+    where
+        P: CountProtocol<State = S>,
+    {
+        CountSimulationBuilder::new(protocol)
+    }
+
+    /// Wraps an existing engine in a simulation with default policy — the
+    /// escape hatch for engines constructed outside the builders (e.g. the
+    /// `Engine`-trait conformance suite).
+    pub fn from_engine(engine: Box<dyn Engine<S> + 'a>) -> Self {
+        let n = engine.population_size().max(1);
+        Self {
+            engine,
+            check_every: n,
+            max_time: f64::INFINITY,
+            predicate: None,
+            observers: Vec::new(),
+        }
+    }
+
+    /// Population size `n`.
+    pub fn population_size(&self) -> u64 {
+        self.engine.population_size()
+    }
+
+    /// Parallel time elapsed.
+    pub fn time(&self) -> f64 {
+        self.engine.time()
+    }
+
+    /// Total interactions executed.
+    pub fn interactions(&self) -> u64 {
+        self.engine.interactions()
+    }
+
+    /// The decoded occupied-state multiset (see [`Engine::view`]).
+    pub fn view(&self) -> Vec<(S, u64)> {
+        self.engine.view()
+    }
+
+    /// Count of agents currently in `state`.
+    pub fn count(&self, state: &S) -> u64
+    where
+        S: PartialEq,
+    {
+        count_of(&self.engine.view(), state)
+    }
+
+    /// The concrete simulator currently executing interactions.
+    pub fn engine_kind(&self) -> EngineKind {
+        self.engine.kind()
+    }
+
+    /// Executes at least one and at most `budget` interactions (no
+    /// checkpoints fire). Returns the number executed.
+    pub fn advance(&mut self, budget: u64) -> u64 {
+        self.engine.advance(budget)
+    }
+
+    /// Executes exactly `k` further interactions (no checkpoints fire).
+    pub fn steps(&mut self, k: u64) {
+        let target = self.engine.interactions() + k;
+        while self.engine.interactions() < target {
+            self.engine.advance(target - self.engine.interactions());
+        }
+    }
+
+    /// Runs for `t` further units of parallel time (no checkpoints fire).
+    pub fn run_for_time(&mut self, t: f64) {
+        self.steps((t * self.engine.population_size() as f64).ceil() as u64);
+    }
+
+    /// Runs until the *configured* predicate holds (see the builders'
+    /// `until`), checkpointing every `check_every` interactions within the
+    /// configured time budget. Without a predicate, runs out the budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if neither a predicate nor a finite `max_time` was
+    /// configured — that run could only spin forever.
+    pub fn run(&mut self) -> RunOutcome {
+        assert!(
+            self.predicate.is_some() || self.max_time.is_finite(),
+            "Simulation::run needs a stopping condition: configure .until(predicate) \
+             and/or a finite .max_time(t)"
+        );
+        let mut predicate = self.predicate.take();
+        let out = self.drive(
+            |view| predicate.as_mut().is_some_and(|p| p(view)),
+            self.max_time,
+        );
+        self.predicate = predicate;
+        out
+    }
+
+    /// Runs until an ad-hoc `predicate` holds — the multi-phase driver
+    /// ("until the signal fires, then until everyone froze"). Uses the
+    /// configured checkpoint cadence; `max_time` is an **absolute**
+    /// parallel-time cap (matching the legacy `run_until` semantics), so
+    /// consecutive phases share one budget. Observers fire at every
+    /// checkpoint of every phase.
+    pub fn run_until(
+        &mut self,
+        mut predicate: impl FnMut(&[(S, u64)]) -> bool,
+        max_time: f64,
+    ) -> RunOutcome {
+        self.drive(&mut predicate, max_time)
+    }
+
+    /// The single run driver: initial checkpoint, then bursts of
+    /// `check_every` interactions, each followed by a checkpoint, until
+    /// the predicate holds or the absolute interaction budget
+    /// `ceil(max_time · n)` is exhausted.
+    fn drive(
+        &mut self,
+        mut predicate: impl FnMut(&[(S, u64)]) -> bool,
+        max_time: f64,
+    ) -> RunOutcome {
+        assert!(self.check_every > 0, "check_every must be positive");
+        let n = self.engine.population_size();
+        let max_interactions = (max_time * n as f64).ceil() as u64;
+        loop {
+            let view = self.engine.view();
+            let (time, interactions) = (self.engine.time(), self.engine.interactions());
+            for obs in &mut self.observers {
+                obs(time, interactions, &view);
+            }
+            if predicate(&view) {
+                return RunOutcome {
+                    converged: true,
+                    time,
+                    interactions,
+                };
+            }
+            if interactions >= max_interactions {
+                return RunOutcome {
+                    converged: false,
+                    time,
+                    interactions,
+                };
+            }
+            let target = (interactions + self.check_every).min(max_interactions);
+            while self.engine.interactions() < target {
+                self.engine.advance(target - self.engine.interactions());
+            }
+        }
+    }
+}
+
+impl<S> std::fmt::Debug for Simulation<'_, S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("n", &self.engine.population_size())
+            .field("interactions", &self.engine.interactions())
+            .field("kind", &self.engine.kind())
+            .field("check_every", &self.check_every)
+            .field("max_time", &self.max_time)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Initial-configuration policy for agent-level protocols.
+enum InitSpec<'a, S> {
+    /// All agents in the protocol's initial state.
+    Uniform,
+    /// Listed agents first (in order), remainder in the initial state —
+    /// planted leaders and other sparse non-uniform starts.
+    Planted(Vec<(S, u64)>),
+    /// The full multiset, explicitly; counts must sum to `n`.
+    Config(Vec<(S, u64)>),
+    /// Per-index assignment `f(i, n)` — the [`SeededInit`] shape.
+    Assign(Box<dyn Fn(usize, usize) -> S + 'a>),
+}
+
+/// Builder for agent-level [`Protocol`] simulations. Construct via
+/// [`Simulation::builder`]; see the [module docs](self) for the builder
+/// walkthrough.
+pub struct SimulationBuilder<'a, P: Protocol>
+where
+    P::State: Eq + Hash,
+{
+    protocol: P,
+    n: u64,
+    mode: SimMode,
+    deterministic: bool,
+    init: InitSpec<'a, P::State>,
+    policy: Policy<'a, P::State>,
+}
+
+impl<'a, P: Protocol> SimulationBuilder<'a, P>
+where
+    P::State: Eq + Hash,
+{
+    fn new(protocol: P) -> Self {
+        Self {
+            protocol,
+            n: 0,
+            mode: SimMode::Agent,
+            deterministic: false,
+            init: InitSpec::Uniform,
+            policy: Policy::default(),
+        }
+    }
+
+    /// Population size `n` (required).
+    pub fn size(mut self, n: u64) -> Self {
+        self.n = n;
+        self
+    }
+
+    /// Engine selection (default [`SimMode::Agent`]). Accepts an
+    /// [`EngineMode`] directly (`.mode(EngineMode::Auto)`,
+    /// `.mode(ctx.engine)`) for the interned count engines.
+    pub fn mode(mut self, mode: impl Into<SimMode>) -> Self {
+        self.mode = mode.into();
+        self
+    }
+
+    /// Certifies that [`Protocol::interact`] never reads its RNG, enabling
+    /// batched bulk application under the count modes (see
+    /// [`Interned::deterministic`] — certifying a randomized protocol is
+    /// statistically wrong).
+    pub fn deterministic(mut self) -> Self {
+        self.deterministic = true;
+        self
+    }
+
+    /// Explicit initial configuration as a `(state, count)` multiset; the
+    /// counts must sum to the configured size. On the agent engine the
+    /// states are laid out in listed order.
+    pub fn init_config(mut self, pairs: impl IntoIterator<Item = (P::State, u64)>) -> Self {
+        self.init = InitSpec::Config(pairs.into_iter().collect());
+        self
+    }
+
+    /// Plants the listed agents (in order, starting at index 0) and leaves
+    /// the remainder in [`Protocol::initial_state`] — the planted-leader
+    /// initialization of Theorem 3.13.
+    pub fn init_planted(mut self, pairs: impl IntoIterator<Item = (P::State, u64)>) -> Self {
+        self.init = InitSpec::Planted(pairs.into_iter().collect());
+        self
+    }
+
+    /// Assigns agent `i`'s initial state as `f(i, n)` — harness-level
+    /// input assignment with an ad-hoc closure.
+    pub fn init_with(mut self, f: impl Fn(usize, usize) -> P::State + 'a) -> Self {
+        self.init = InitSpec::Assign(Box::new(f));
+        self
+    }
+
+    /// Assigns initial states from the protocol's [`SeededInit`]
+    /// implementation.
+    pub fn init_seeded(self) -> Self
+    where
+        P: SeededInit + Clone + 'a,
+    {
+        let p = self.protocol.clone();
+        self.init_with(move |i, n| p.init_state(i, n))
+    }
+
+    policy_methods!(P::State);
+
+    /// Builds the configured [`Simulation`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the size was not set (or is below 2), an explicit
+    /// configuration does not sum to it, or a planted prefix exceeds it.
+    pub fn build(self) -> Simulation<'a, P::State>
+    where
+        P: 'a,
+    {
+        let n = self.n;
+        assert!(n >= 2, "simulation needs .size(n) with n >= 2");
+        let n_usize = usize::try_from(n).expect("population exceeds usize");
+        let seed = self.policy.seed;
+        let engine: Box<dyn Engine<P::State> + 'a> = match self.mode {
+            SimMode::Agent => {
+                let mut sim = AgentSim::new(self.protocol, n_usize, seed);
+                match self.init {
+                    InitSpec::Uniform => {}
+                    InitSpec::Planted(pairs) => {
+                        let mut i = 0usize;
+                        for (state, count) in pairs {
+                            for _ in 0..count {
+                                assert!(i < n_usize, "planted prefix exceeds population size");
+                                sim.set_state(i, state.clone());
+                                i += 1;
+                            }
+                        }
+                    }
+                    InitSpec::Config(pairs) => {
+                        let mut i = 0usize;
+                        for (state, count) in pairs {
+                            for _ in 0..count {
+                                assert!(i < n_usize, "init_config counts exceed population size");
+                                sim.set_state(i, state.clone());
+                                i += 1;
+                            }
+                        }
+                        assert!(
+                            i == n_usize,
+                            "init_config counts sum to {i}, expected {n_usize}"
+                        );
+                    }
+                    InitSpec::Assign(f) => {
+                        for i in 0..n_usize {
+                            sim.set_state(i, f(i, n_usize));
+                        }
+                    }
+                }
+                Box::new(sim)
+            }
+            SimMode::Count(engine_mode) => {
+                let interned = if self.deterministic {
+                    Interned::deterministic(self.protocol)
+                } else {
+                    Interned::new(self.protocol)
+                };
+                let handle = interned.handle();
+                let config = match self.init {
+                    InitSpec::Uniform => interned.uniform_config(n),
+                    InitSpec::Planted(pairs) => {
+                        let planted: u64 = pairs.iter().map(|(_, c)| c).sum();
+                        assert!(planted <= n, "planted prefix exceeds population size");
+                        let rest = n - planted;
+                        let initial = interned.protocol().initial_state();
+                        // Merge repeats (and a plant equal to the initial
+                        // state) into one entry per state, preserving
+                        // first-seen order so slot ids — and with them the
+                        // seeded trajectory — match the agent layout.
+                        let mut merged: Vec<(P::State, u64)> = Vec::new();
+                        for (state, count) in pairs
+                            .into_iter()
+                            .chain((rest > 0).then_some((initial, rest)))
+                        {
+                            match merged.iter_mut().find(|(s, _)| *s == state) {
+                                Some((_, c)) => *c += count,
+                                None => merged.push((state, count)),
+                            }
+                        }
+                        interned.config_from_pairs(merged)
+                    }
+                    InitSpec::Config(pairs) => {
+                        let total: u64 = pairs.iter().map(|(_, c)| c).sum();
+                        assert!(
+                            total == n,
+                            "init_config counts sum to {total}, expected {n}"
+                        );
+                        interned.config_from_pairs(pairs)
+                    }
+                    InitSpec::Assign(f) => {
+                        // Collapse the per-index assignment into its
+                        // multiset (agents are exchangeable), interning in
+                        // index order so slot ids are deterministic.
+                        let mut pairs: Vec<(P::State, u64)> = Vec::new();
+                        let mut index: HashMap<P::State, usize> = HashMap::new();
+                        for i in 0..n_usize {
+                            let s = f(i, n_usize);
+                            match index.entry(s) {
+                                std::collections::hash_map::Entry::Occupied(e) => {
+                                    pairs[*e.get()].1 += 1;
+                                }
+                                std::collections::hash_map::Entry::Vacant(e) => {
+                                    pairs.push((e.key().clone(), 1));
+                                    e.insert(pairs.len() - 1);
+                                }
+                            }
+                        }
+                        interned.config_from_pairs(pairs)
+                    }
+                };
+                let sim = ConfigSim::with_mode(interned, config, seed, engine_mode);
+                Box::new(InternedEngine { sim, handle })
+            }
+        };
+        let check_every = self.policy.check_every.unwrap_or(n);
+        Simulation {
+            engine,
+            check_every,
+            max_time: self.policy.max_time,
+            predicate: self.policy.predicate,
+            observers: self.policy.observers,
+        }
+    }
+
+    /// Builds and runs to the configured stopping condition, returning the
+    /// outcome and the finished simulation for inspection.
+    pub fn run(self) -> (RunOutcome, Simulation<'a, P::State>)
+    where
+        P: 'a,
+    {
+        let mut sim = self.build();
+        let out = sim.run();
+        (out, sim)
+    }
+}
+
+/// Initial-configuration policy for count protocols (which have no
+/// distinguished initial state, so a start must be given explicitly).
+enum CountInit<S: Copy + Ord> {
+    /// Not yet specified.
+    Unset,
+    /// All agents in one state.
+    Uniform(S),
+    /// Explicit multiset.
+    Config(Vec<(S, u64)>),
+    /// Captured eagerly from [`CountSeededInit::initial_config`].
+    Ready(CountConfiguration<S>),
+}
+
+/// Builder for [`CountProtocol`] simulations. Construct via
+/// [`Simulation::count_builder`]; see the [module docs](self) for the
+/// builder walkthrough.
+pub struct CountSimulationBuilder<'a, P: CountProtocol> {
+    protocol: P,
+    n: u64,
+    mode: EngineMode,
+    init: CountInit<P::State>,
+    policy: Policy<'a, P::State>,
+}
+
+impl<'a, P: CountProtocol> CountSimulationBuilder<'a, P> {
+    fn new(protocol: P) -> Self {
+        Self {
+            protocol,
+            n: 0,
+            mode: EngineMode::Auto,
+            init: CountInit::Unset,
+            policy: Policy::default(),
+        }
+    }
+
+    /// Population size `n` (required with [`CountSimulationBuilder::uniform`]
+    /// and [`CountSimulationBuilder::init_seeded`]; inferred from
+    /// [`CountSimulationBuilder::config`]).
+    pub fn size(mut self, n: u64) -> Self {
+        self.n = n;
+        self
+    }
+
+    /// Engine policy (default [`EngineMode::Auto`]; accepts
+    /// `.mode(ctx.engine)` from the sweep layer directly).
+    pub fn mode(mut self, mode: EngineMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// All agents start in `state` (requires a prior
+    /// [`CountSimulationBuilder::size`]).
+    pub fn uniform(mut self, state: P::State) -> Self {
+        self.init = CountInit::Uniform(state);
+        self
+    }
+
+    /// Explicit initial configuration; the population size is its total.
+    pub fn config(mut self, pairs: impl IntoIterator<Item = (P::State, u64)>) -> Self {
+        let pairs: Vec<(P::State, u64)> = pairs.into_iter().collect();
+        self.n = pairs.iter().map(|(_, c)| c).sum();
+        self.init = CountInit::Config(pairs);
+        self
+    }
+
+    /// Starts from a prebuilt [`CountConfiguration`] (the population size
+    /// is its total) — for harnesses that assemble configurations through
+    /// their own helpers.
+    pub fn initial(mut self, config: CountConfiguration<P::State>) -> Self {
+        self.n = config.population_size();
+        self.init = CountInit::Ready(config);
+        self
+    }
+
+    /// Initial configuration from the protocol's [`CountSeededInit`]
+    /// implementation at the configured size (call
+    /// [`CountSimulationBuilder::size`] first).
+    pub fn init_seeded(mut self) -> Self
+    where
+        P: CountSeededInit,
+    {
+        assert!(
+            self.n >= 2,
+            "call .size(n) with n >= 2 before .init_seeded()"
+        );
+        let config = self.protocol.initial_config(self.n);
+        assert_eq!(
+            config.population_size(),
+            self.n,
+            "CountSeededInit::initial_config produced the wrong population size"
+        );
+        self.init = CountInit::Ready(config);
+        self
+    }
+
+    policy_methods!(P::State);
+
+    /// Builds the configured [`Simulation`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if no initial configuration was given, or a uniform init has
+    /// no size.
+    pub fn build(self) -> Simulation<'a, P::State>
+    where
+        P: 'a,
+    {
+        let config = match self.init {
+            CountInit::Unset => panic!(
+                "count simulation needs an initial configuration \
+                 (.uniform / .config / .init_seeded)"
+            ),
+            CountInit::Uniform(state) => {
+                assert!(self.n >= 2, "uniform init needs .size(n) with n >= 2");
+                CountConfiguration::uniform(state, self.n)
+            }
+            CountInit::Config(pairs) => CountConfiguration::from_pairs(pairs),
+            CountInit::Ready(config) => config,
+        };
+        let n = config.population_size();
+        let sim = ConfigSim::with_mode(self.protocol, config, self.policy.seed, self.mode);
+        let check_every = self.policy.check_every.unwrap_or(n.max(1));
+        Simulation {
+            engine: Box::new(sim),
+            check_every,
+            max_time: self.policy.max_time,
+            predicate: self.policy.predicate,
+            observers: self.policy.observers,
+        }
+    }
+
+    /// Builds and runs to the configured stopping condition, returning the
+    /// outcome and the finished simulation for inspection.
+    pub fn run(self) -> (RunOutcome, Simulation<'a, P::State>)
+    where
+        P: 'a,
+    {
+        let mut sim = self.build();
+        let out = sim.run();
+        (out, sim)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::epidemic::InfectionEpidemic;
+    use crate::rng::SimRng;
+
+    /// Max epidemic over u64 values, agent-level.
+    struct MaxRecord;
+
+    impl Protocol for MaxRecord {
+        type State = u64;
+
+        fn initial_state(&self) -> u64 {
+            0
+        }
+
+        fn interact(&self, rec: &mut u64, sen: &mut u64, _rng: &mut SimRng) {
+            let m = (*rec).max(*sen);
+            *rec = m;
+            *sen = m;
+        }
+    }
+
+    #[test]
+    fn agent_builder_matches_direct_agent_sim() {
+        let direct = {
+            let mut sim = AgentSim::new(MaxRecord, 100, 5);
+            sim.set_state(0, 9);
+            sim.run_until_converged(|s| s.iter().all(|&v| v == 9), 500.0)
+        };
+        let (built, _) = Simulation::builder(MaxRecord)
+            .size(100)
+            .seed(5)
+            .init_planted([(9u64, 1)])
+            .max_time(500.0)
+            .until(|view: &[(u64, u64)]| view.iter().all(|&(s, _)| s == 9))
+            .run();
+        assert_eq!(direct, built);
+    }
+
+    #[test]
+    fn count_mode_runs_the_same_protocol_interned() {
+        let (out, sim) = Simulation::builder(MaxRecord)
+            .size(500)
+            .seed(5)
+            .mode(EngineMode::Sequential)
+            .init_planted([(9u64, 1)])
+            .until(|view: &[(u64, u64)]| view.iter().all(|&(s, _)| s == 9))
+            .run();
+        assert!(out.converged);
+        assert_eq!(sim.engine_kind(), EngineKind::Sequential);
+        assert_eq!(sim.count(&9), 500);
+    }
+
+    #[test]
+    fn count_builder_matches_direct_config_sim() {
+        let n = 3_000u64;
+        let direct = {
+            let config = CountConfiguration::from_pairs([(false, n - 1), (true, 1)]);
+            let mut sim = ConfigSim::new(InfectionEpidemic, config, 11);
+            sim.run_until(|c| c.count(&true) == n, n, f64::MAX)
+        };
+        let (built, _) = Simulation::count_builder(InfectionEpidemic)
+            .config([(false, n - 1), (true, 1)])
+            .seed(11)
+            .until(move |view| count_of(view, &true) == n)
+            .run();
+        assert_eq!(direct, built);
+    }
+
+    #[test]
+    fn observers_fire_at_every_checkpoint_without_perturbing_the_run() {
+        let n = 1_000u64;
+        let run = |with_observer: bool| {
+            let mut checkpoints = Vec::new();
+            let mut builder = Simulation::count_builder(InfectionEpidemic)
+                .config([(false, n - 1), (true, 1)])
+                .seed(3)
+                .check_every(n / 2)
+                .until(move |view| count_of(view, &true) == n);
+            if with_observer {
+                builder = builder.observe_with(|t, i, view| {
+                    checkpoints.push((t, i, count_of(view, &true)));
+                });
+            }
+            let (out, _) = builder.run();
+            (out, checkpoints)
+        };
+        let (plain, empty) = run(false);
+        let (observed, checkpoints) = run(true);
+        assert_eq!(plain, observed, "observer perturbed the trajectory");
+        assert!(empty.is_empty());
+        // Initial checkpoint at time 0 plus one per burst, infection counts
+        // non-decreasing, final checkpoint converged.
+        assert_eq!(checkpoints[0], (0.0, 0, 1));
+        assert!(checkpoints.windows(2).all(|w| w[0].2 <= w[1].2));
+        assert_eq!(checkpoints.last().unwrap().2, n);
+        assert_eq!(
+            checkpoints.len() as u64 - 1,
+            observed.interactions.div_ceil(n / 2)
+        );
+    }
+
+    #[test]
+    fn named_observer_is_readable_after_the_run() {
+        struct PeakSupport(usize);
+        impl Observer<bool> for PeakSupport {
+            fn observe(&mut self, _t: f64, _i: u64, view: &[(bool, u64)]) {
+                self.0 = self.0.max(view.len());
+            }
+        }
+        let mut peak = PeakSupport(0);
+        let n = 500u64;
+        let (out, _) = Simulation::count_builder(InfectionEpidemic)
+            .config([(false, n - 1), (true, 1)])
+            .seed(4)
+            .observe(&mut peak)
+            .until(move |view| count_of(view, &true) == n)
+            .run();
+        assert!(out.converged);
+        assert_eq!(peak.0, 2);
+    }
+
+    #[test]
+    fn run_until_phases_share_an_absolute_budget() {
+        let n = 400u64;
+        let mut sim = Simulation::count_builder(InfectionEpidemic)
+            .config([(false, n - 1), (true, 1)])
+            .seed(9)
+            .build();
+        let half = sim.run_until(move |view| count_of(view, &true) >= n / 2, 1e6);
+        assert!(half.converged);
+        let full = sim.run_until(move |view| count_of(view, &true) == n, 1e6);
+        assert!(full.converged);
+        assert!(full.interactions >= half.interactions);
+        assert_eq!(sim.count(&true), n);
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_not_converged() {
+        let n = 100u64;
+        let (out, sim) = Simulation::count_builder(InfectionEpidemic)
+            .config([(false, n)])
+            .seed(1)
+            .max_time(5.0)
+            .until(|view| count_of(view, &true) > 0)
+            .run();
+        assert!(!out.converged);
+        assert!(out.time >= 5.0);
+        assert_eq!(sim.count(&false), n);
+    }
+
+    #[test]
+    fn view_groups_agent_states_with_agent_zero_first() {
+        let sim = Simulation::builder(MaxRecord)
+            .size(10)
+            .init_config([(7u64, 4), (1u64, 6)])
+            .build();
+        let view = sim.view();
+        assert_eq!(view, vec![(7, 4), (1, 6)]);
+        assert_eq!(view_population(&view), 10);
+        assert_eq!(count_of(&view, &1), 6);
+        assert_eq!(count_of(&view, &2), 0);
+    }
+
+    #[test]
+    fn seeded_init_assigns_by_index() {
+        #[derive(Clone)]
+        struct Split;
+        impl Protocol for Split {
+            type State = u8;
+            fn initial_state(&self) -> u8 {
+                0
+            }
+            fn interact(&self, _r: &mut u8, _s: &mut u8, _rng: &mut SimRng) {}
+        }
+        impl SeededInit for Split {
+            fn init_state(&self, index: usize, n: usize) -> u8 {
+                u8::from(index < n / 3)
+            }
+        }
+        let sim = Simulation::builder(Split).size(9).init_seeded().build();
+        assert_eq!(sim.count(&1), 3);
+        // The same init collapses to the same multiset on a count engine.
+        let sim = Simulation::builder(Split)
+            .size(9)
+            .init_seeded()
+            .mode(EngineMode::Sequential)
+            .build();
+        assert_eq!(sim.count(&1), 3);
+    }
+
+    #[test]
+    fn builder_is_deterministic_given_seed() {
+        let run = |seed| {
+            let (out, _) = Simulation::builder(MaxRecord)
+                .size(200)
+                .seed(seed)
+                .init_planted([(3u64, 1)])
+                .until(|view: &[(u64, u64)]| view.iter().all(|&(s, _)| s == 3))
+                .run();
+            out
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7).interactions, run(8).interactions);
+    }
+
+    #[test]
+    #[should_panic(expected = "initial configuration")]
+    fn count_builder_requires_an_init() {
+        let _ = Simulation::count_builder(InfectionEpidemic)
+            .size(10)
+            .build();
+    }
+
+    #[test]
+    fn planted_state_equal_to_initial_works_on_every_mode() {
+        // A plant that coincides with the initial state (or repeats) must
+        // merge into the configuration, not trip the duplicate-state
+        // assert — the same builder spec has to build under every mode.
+        for mode in [SimMode::Agent, SimMode::Count(EngineMode::Sequential)] {
+            let sim = Simulation::builder(MaxRecord)
+                .size(10)
+                .mode(mode)
+                .init_planted([(0u64, 2), (9u64, 1), (9u64, 1)])
+                .build();
+            assert_eq!(sim.count(&0), 8, "{mode:?}");
+            assert_eq!(sim.count(&9), 2, "{mode:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "stopping condition")]
+    fn run_without_predicate_or_budget_is_refused() {
+        let mut sim = Simulation::count_builder(InfectionEpidemic)
+            .config([(false, 9), (true, 1)])
+            .build();
+        let _ = sim.run(); // would otherwise spin forever
+    }
+}

@@ -77,29 +77,9 @@ impl Journal {
         let mut entries = Vec::new();
         let mut need_header = true;
         if let Some(text) = &existing {
-            let lines: Vec<&str> = text.lines().collect();
-            if let Some((first, rest)) = lines.split_first() {
-                check_header(first, fingerprint)
-                    .map_err(|e| format!("journal {}: {e}", path.display()))?;
+            if !text.trim().is_empty() {
+                entries = parse_journal(text, path, fingerprint)?;
                 need_header = false;
-                for (i, line) in rest.iter().enumerate() {
-                    if line.trim().is_empty() {
-                        continue;
-                    }
-                    match parse_entry(line) {
-                        Ok(entry) => entries.push(entry),
-                        // A torn final line is an interrupted write; any
-                        // earlier parse failure is real corruption.
-                        Err(_) if i + 1 == rest.len() => break,
-                        Err(e) => {
-                            return Err(format!(
-                                "journal {}: corrupt line {}: {e}",
-                                path.display(),
-                                i + 2
-                            ))
-                        }
-                    }
-                }
             }
         }
         let file = OpenOptions::new()
@@ -145,6 +125,48 @@ impl Journal {
             .and_then(|()| self.writer.flush())
             .map_err(|e| format!("journal write failed: {e}"))
     }
+}
+
+/// Reads the entries of an existing journal **without** opening it for
+/// append — the loader behind `sweep --merge`. Validates the header
+/// fingerprint exactly like [`Journal::open`]; unlike `open`, a missing
+/// file is an error (merging an absent shard is a caller mistake, not a
+/// fresh journal).
+pub fn read_entries(path: &Path, fingerprint: u64) -> Result<Vec<JournalEntry>, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read journal {}: {e}", path.display()))?;
+    if text.trim().is_empty() {
+        return Err(format!("journal {} is empty (no header)", path.display()));
+    }
+    parse_journal(&text, path, fingerprint)
+}
+
+/// Parses a non-empty journal: header line (fingerprint-checked), entry
+/// lines, with a torn final line dropped.
+fn parse_journal(text: &str, path: &Path, fingerprint: u64) -> Result<Vec<JournalEntry>, String> {
+    let lines: Vec<&str> = text.lines().collect();
+    let (first, rest) = lines.split_first().expect("caller checked non-empty");
+    check_header(first, fingerprint).map_err(|e| format!("journal {}: {e}", path.display()))?;
+    let mut entries = Vec::new();
+    for (i, line) in rest.iter().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_entry(line) {
+            Ok(entry) => entries.push(entry),
+            // A torn final line is an interrupted write; any earlier
+            // parse failure is real corruption.
+            Err(_) if i + 1 == rest.len() => break,
+            Err(e) => {
+                return Err(format!(
+                    "journal {}: corrupt line {}: {e}",
+                    path.display(),
+                    i + 2
+                ))
+            }
+        }
+    }
+    Ok(entries)
 }
 
 fn check_header(line: &str, fingerprint: u64) -> Result<(), String> {

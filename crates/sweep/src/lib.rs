@@ -51,11 +51,20 @@
 //! let mut spec = SweepSpec::new("quickstart", vec![1_000, 2_000], 8);
 //! spec.master_seed = 42;
 //! spec.threads = 2;
-//! let experiments = vec![SweepExperiment::new(
-//!     "epidemic",
-//!     &["time"],
-//!     |ctx| vec![pp_engine::epidemic::epidemic_completion_time_with(ctx.n, ctx.seed, ctx.engine)],
-//! )];
+//! let experiments = vec![SweepExperiment::new("epidemic", &["time"], |ctx| {
+//!     // The spec's engine policy reaches the trial via `.mode(ctx.engine)`.
+//!     use pp_engine::epidemic::InfectionEpidemic;
+//!     use pp_engine::simulation::{count_of, Simulation};
+//!     let n = ctx.n;
+//!     let (out, _) = Simulation::count_builder(InfectionEpidemic)
+//!         .config([(false, n - 1), (true, 1)])
+//!         .seed(ctx.seed)
+//!         .mode(ctx.engine)
+//!         .check_every((n / 10).max(1))
+//!         .until(move |view| count_of(view, &true) == n)
+//!         .run();
+//!     vec![out.time]
+//! })];
 //! let report = run_sweep(&spec, &experiments).unwrap();
 //! let point = report.point("epidemic", 1_000);
 //! assert_eq!(point.trials.len(), 8);
@@ -72,7 +81,9 @@ pub mod journal;
 pub mod json;
 pub mod run;
 pub mod spec;
+pub mod trials;
 
 pub use agg::{PointResult, SweepReport, TrialRecord};
-pub use run::{run_sweep, SweepError, SweepExperiment, TrialCtx};
+pub use run::{merge_journals, run_sweep, SweepError, SweepExperiment, TrialCtx};
 pub use spec::SweepSpec;
+pub use trials::{run_trials, run_trials_threaded, TrialOutcome};

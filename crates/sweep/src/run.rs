@@ -140,6 +140,142 @@ struct GridPoint {
     trials: usize,
 }
 
+/// Flattens the grid (experiments × sizes, trial counts capped per
+/// experiment) in the canonical point order shared by the runner, the
+/// journal, and `--merge`.
+fn build_points(spec: &SweepSpec, experiments: &[SweepExperiment]) -> Vec<GridPoint> {
+    let trials = spec.effective_trials();
+    let mut points = Vec::new();
+    for (exp_idx, exp) in experiments.iter().enumerate() {
+        for &n in &spec.sizes {
+            points.push(GridPoint {
+                exp: exp_idx,
+                n,
+                trials: exp.max_trials.map_or(trials, |cap| trials.min(cap)),
+            });
+        }
+    }
+    points
+}
+
+/// Fingerprint of the full grid — spec fields plus the experiment names,
+/// metric lists, and trial caps. Journals carry it in their header: any
+/// change to the grid makes old journals unresumable (refused, not
+/// silently mixed in), and `sweep --merge` refuses shards whose
+/// fingerprint differs.
+pub fn grid_fingerprint(spec: &SweepSpec, experiments: &[SweepExperiment]) -> u64 {
+    fingerprint(
+        [
+            spec.name.clone(),
+            spec.master_seed.to_string(),
+            format!("{:?}", spec.engine),
+            format!("{:?}", spec.sizes),
+            spec.effective_trials().to_string(),
+        ]
+        .into_iter()
+        .chain(experiments.iter().flat_map(|e| {
+            [
+                e.name.clone(),
+                e.metrics.join(","),
+                format!("{:?}", e.max_trials),
+            ]
+        })),
+    )
+}
+
+/// Validates one journaled trial against the current grid: known point,
+/// in-range trial index, re-derivable seed, declared metric count.
+fn validate_entry(
+    spec: &SweepSpec,
+    points: &[GridPoint],
+    experiments: &[SweepExperiment],
+    entry: &JournalEntry,
+) -> Result<(), SweepError> {
+    let gp = points
+        .get(entry.point)
+        .ok_or_else(|| SweepError(format!("journal entry for unknown point {}", entry.point)))?;
+    if entry.trial >= gp.trials {
+        return Err(SweepError(format!(
+            "journal entry for trial {} of point {}, which has only {} trials",
+            entry.trial, entry.point, gp.trials
+        )));
+    }
+    let expected_seed = trial_seed(spec.master_seed, entry.point, entry.trial);
+    if entry.seed != expected_seed {
+        return Err(SweepError(format!(
+            "journal seed {:#x} does not match the derived seed {expected_seed:#x} \
+             for point {} trial {}",
+            entry.seed, entry.point, entry.trial
+        )));
+    }
+    if entry.values.len() != experiments[gp.exp].metrics.len() {
+        return Err(SweepError(format!(
+            "journal entry for point {} has {} metric values, experiment {:?} declares {}",
+            entry.point,
+            entry.values.len(),
+            experiments[gp.exp].name,
+            experiments[gp.exp].metrics.len()
+        )));
+    }
+    Ok(())
+}
+
+/// Merges the trial journals at `sources` — shards of one grid produced on
+/// different machines — into the spec's own journal, so the next
+/// [`run_sweep`] resumes from their union and produces a single report.
+///
+/// Every shard must carry the spec's exact grid fingerprint (name, master
+/// seed, engine, sizes, trials, experiment definitions); a mismatched
+/// shard is refused before anything is written, as is any entry that
+/// fails seed re-derivation. Duplicate `(point, trial)` entries collapse
+/// to the first occurrence (shards of a deterministic grid agree anyway).
+/// Returns the number of distinct trials available after the merge.
+pub fn merge_journals(
+    spec: &SweepSpec,
+    experiments: &[SweepExperiment],
+    sources: &[std::path::PathBuf],
+) -> Result<usize, SweepError> {
+    let target = spec.journal.as_ref().ok_or_else(|| {
+        SweepError(
+            "--merge needs a journal path: set `journal = ...` in the spec so the merged \
+             trials have somewhere to live"
+                .into(),
+        )
+    })?;
+    if sources.is_empty() {
+        return Err(SweepError("--merge needs at least one journal file".into()));
+    }
+    let points = build_points(spec, experiments);
+    let fp = grid_fingerprint(spec, experiments);
+    // Validate every shard fully before touching the target journal.
+    let mut shard_entries = Vec::new();
+    for path in sources {
+        let entries = crate::journal::read_entries(path, fp).map_err(SweepError)?;
+        for entry in &entries {
+            validate_entry(spec, &points, experiments, entry)
+                .map_err(|e| SweepError(format!("{}: {}", path.display(), e.0)))?;
+        }
+        shard_entries.push(entries);
+    }
+    let (mut journal, existing) =
+        Journal::open(target, &spec.name, spec.master_seed, fp).map_err(SweepError)?;
+    let mut seen: std::collections::BTreeSet<(usize, usize)> = existing
+        .iter()
+        .map(|entry| (entry.point, entry.trial))
+        .collect();
+    for entries in shard_entries {
+        for entry in entries {
+            if seen.insert((entry.point, entry.trial)) {
+                let gp = &points[entry.point];
+                journal
+                    .record(&experiments[gp.exp].name, gp.n, &entry)
+                    .map_err(SweepError)?;
+            }
+        }
+    }
+    Ok(seen.len())
+}
+
 /// Shared worker state, guarded by one mutex (trials are orders of
 /// magnitude more expensive than the bookkeeping inside the lock).
 struct RunState {
@@ -253,36 +389,11 @@ pub fn run_sweep(
         }
     }
     let trials = spec.effective_trials();
-    let mut points = Vec::new();
-    for (exp_idx, exp) in experiments.iter().enumerate() {
-        for &n in &spec.sizes {
-            points.push(GridPoint {
-                exp: exp_idx,
-                n,
-                trials: exp.max_trials.map_or(trials, |cap| trials.min(cap)),
-            });
-        }
-    }
+    let points = build_points(spec, experiments);
 
     // Fingerprint the full grid: any change to it makes old journals
     // unresumable (refused, not silently mixed in).
-    let fp = fingerprint(
-        [
-            spec.name.clone(),
-            spec.master_seed.to_string(),
-            format!("{:?}", spec.engine),
-            format!("{:?}", spec.sizes),
-            trials.to_string(),
-        ]
-        .into_iter()
-        .chain(experiments.iter().flat_map(|e| {
-            [
-                e.name.clone(),
-                e.metrics.join(","),
-                format!("{:?}", e.max_trials),
-            ]
-        })),
-    );
+    let fp = grid_fingerprint(spec, experiments);
 
     let (journal, journaled) = match &spec.journal {
         Some(path) => {
@@ -310,32 +421,7 @@ pub fn run_sweep(
     // the current grid.
     let mut resumed = 0usize;
     for entry in journaled {
-        let gp = points.get(entry.point).ok_or_else(|| {
-            SweepError(format!("journal entry for unknown point {}", entry.point))
-        })?;
-        if entry.trial >= gp.trials {
-            return Err(SweepError(format!(
-                "journal entry for trial {} of point {}, which has only {} trials",
-                entry.trial, entry.point, gp.trials
-            )));
-        }
-        let expected_seed = trial_seed(spec.master_seed, entry.point, entry.trial);
-        if entry.seed != expected_seed {
-            return Err(SweepError(format!(
-                "journal seed {:#x} does not match the derived seed {expected_seed:#x} \
-                 for point {} trial {}",
-                entry.seed, entry.point, entry.trial
-            )));
-        }
-        if entry.values.len() != experiments[gp.exp].metrics.len() {
-            return Err(SweepError(format!(
-                "journal entry for point {} has {} metric values, experiment {:?} declares {}",
-                entry.point,
-                entry.values.len(),
-                experiments[gp.exp].name,
-                experiments[gp.exp].metrics.len()
-            )));
-        }
+        validate_entry(spec, &points, experiments, &entry)?;
         if state.slots[entry.point][entry.trial].is_none() {
             resumed += 1;
         }

@@ -1,14 +1,23 @@
-//! Trial fan-out: run many independent seeded trials, optionally in parallel.
+//! Ad-hoc trial fan-out: run many independent seeded trials, optionally in
+//! parallel.
 //!
-//! Every experiment in the paper's evaluation (and ours) is "run T independent
-//! trials at each parameter point and aggregate". The runner derives one
-//! decorrelated seed per trial and, in the threaded variant, distributes
-//! trials over worker threads with `crossbeam::scope` (no unsafe, no 'static
-//! bound on the closure).
+//! This is the light-weight complement to [`crate::run_sweep`], retired
+//! here from `pp_engine::runner` now that all trial parallelism lives in
+//! the sweep orchestration layer. Harness binaries whose measurement does
+//! not (yet) fit the experiment registry — multi-protocol comparisons,
+//! derived statistics over raw outcome structs — fan their trials out
+//! through these functions; everything registry-shaped should define a
+//! [`crate::SweepExperiment`] and go through [`crate::run_sweep`] instead
+//! (journaling, resume, and spec files come for free there).
+//!
+//! Seeding matches the sweep runner's discipline: one decorrelated seed
+//! per trial, derived from the base seed and the trial index — never from
+//! thread identity or arrival order — so results are identical at any
+//! thread count.
 
 use parking_lot::Mutex;
 
-use crate::rng::derive_seed;
+use pp_engine::rng::derive_seed;
 
 /// Result of one trial together with its index and derived seed.
 #[derive(Debug, Clone, PartialEq)]

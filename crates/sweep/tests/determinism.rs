@@ -9,12 +9,21 @@
 
 use std::path::PathBuf;
 
-use pp_engine::epidemic::epidemic_completion_time_with;
+use pp_engine::epidemic::InfectionEpidemic;
+use pp_engine::simulation::{count_of, Simulation};
 use pp_sweep::{emit, run_sweep, SweepExperiment, SweepSpec};
 
 fn epidemic_experiment() -> SweepExperiment {
     SweepExperiment::new("epidemic", &["time"], |ctx| {
-        vec![epidemic_completion_time_with(ctx.n, ctx.seed, ctx.engine)]
+        let n = ctx.n;
+        let (out, _) = Simulation::count_builder(InfectionEpidemic)
+            .config([(false, n - 1), (true, 1)])
+            .seed(ctx.seed)
+            .mode(ctx.engine)
+            .check_every((n / 10).max(1))
+            .until(move |view| count_of(view, &true) == n)
+            .run();
+        vec![out.time]
     })
     .with_engine_hook()
 }
@@ -132,6 +141,79 @@ fn forced_engine_modes_agree_on_small_grids() {
         let mean = report.point("epidemic", 5_000).mean("time");
         // One-way epidemic completes in ~2 ln n ≈ 17 parallel time.
         assert!(mean > 5.0 && mean < 60.0, "{engine}: mean {mean}");
+    }
+}
+
+#[test]
+fn merged_shard_journals_reproduce_the_single_machine_run() {
+    use pp_sweep::merge_journals;
+
+    let mut spec = SweepSpec::new("merge", vec![400, 900], 6);
+    spec.master_seed = 0x5AAD;
+    spec.threads = 2;
+
+    // Ground truth: one uninterrupted single-machine run.
+    let uninterrupted = run_sweep(&spec, &epidemic_experiments()).unwrap();
+
+    // Simulate two machines: run the full grid journaled once, then split
+    // the journal's trial lines into two shard files (each with the
+    // header), as if each machine had completed half the grid.
+    let journal = temp_journal("merge-full");
+    spec.journal = Some(journal.clone());
+    run_sweep(&spec, &epidemic_experiments()).unwrap();
+    let text = std::fs::read_to_string(&journal).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    let (header, trials) = lines.split_first().unwrap();
+    let shard_a = temp_journal("merge-shard-a");
+    let shard_b = temp_journal("merge-shard-b");
+    let mid = trials.len() / 2;
+    // Overlap one line across the shards: duplicates must collapse.
+    let write_shard = |path: &PathBuf, body: &[&str]| {
+        let mut text = format!("{header}\n");
+        for line in body {
+            text.push_str(line);
+            text.push('\n');
+        }
+        std::fs::write(path, text).unwrap();
+    };
+    write_shard(&shard_a, &trials[..=mid]);
+    write_shard(&shard_b, &trials[mid..]);
+    std::fs::remove_file(&journal).unwrap();
+
+    // Merge the shards into a fresh target journal and re-run: every
+    // trial must come from the journals, and the emitted bytes must match
+    // the single-machine run exactly.
+    let target = temp_journal("merge-target");
+    spec.journal = Some(target.clone());
+    let available = merge_journals(
+        &spec,
+        &epidemic_experiments(),
+        &[shard_a.clone(), shard_b.clone()],
+    )
+    .unwrap();
+    assert_eq!(available, trials.len(), "all distinct trials merged");
+    let merged = run_sweep(&spec, &epidemic_experiments()).unwrap();
+    assert_eq!(merged.resumed_trials, merged.total_trials());
+    assert_eq!(
+        emitted(&merged),
+        emitted(&uninterrupted),
+        "merged shards must reproduce the single-machine output"
+    );
+
+    // A shard from a different grid is refused before anything is written.
+    let mut foreign_spec = SweepSpec::new("merge", vec![400, 900], 7); // trials differ
+    foreign_spec.master_seed = 0x5AAD;
+    foreign_spec.journal = Some(temp_journal("merge-foreign-target"));
+    let err = merge_journals(
+        &foreign_spec,
+        &epidemic_experiments(),
+        std::slice::from_ref(&shard_a),
+    )
+    .unwrap_err();
+    assert!(err.0.contains("fingerprint mismatch"), "{err}");
+
+    for path in [shard_a, shard_b, target] {
+        let _ = std::fs::remove_file(path);
     }
 }
 

@@ -9,7 +9,8 @@
 //!   — Theorem 4.1 predicts a curve that is flat in `n` for any uniform
 //!   protocol started dense.
 
-use pp_engine::count_sim::{CountConfiguration, CountSim};
+use pp_engine::count_sim::CountConfiguration;
+use pp_engine::Simulation;
 
 use crate::producible::producible_closure;
 use crate::relation::TransitionRelation;
@@ -64,13 +65,17 @@ pub fn verify_density_lemma<S: Copy + Ord + std::fmt::Debug>(
     let n = config.population_size();
     let initial: Vec<S> = config.iter().map(|(&s, _)| s).collect();
     let closure = producible_closure(relation, initial, rho, max_depth);
-    let mut sim = CountSim::new(relation.clone(), config, seed);
+    let mut sim = Simulation::count_builder(relation.clone())
+        .initial(config)
+        .seed(seed)
+        .build();
     sim.run_for_time(time);
+    let final_view = sim.view();
     let states = closure
         .final_set()
         .iter()
         .map(|&state| {
-            let count = sim.config().count(&state);
+            let count = pp_engine::count_of(&final_view, &state);
             StateDensity {
                 state,
                 level: closure.level_of(&state).expect("state is in closure"),
@@ -96,12 +101,13 @@ pub fn signal_time<S: Copy + Ord + std::fmt::Debug>(
     seed: u64,
 ) -> Option<f64> {
     let n = config.population_size();
-    let mut sim = CountSim::new(relation.clone(), config, seed);
-    let out = sim.run_until(
-        |c| c.iter().any(|(s, &k)| k > 0 && is_terminated(s)),
-        (n / 100).max(1),
-        max_time,
-    );
+    let (out, _) = Simulation::count_builder(relation.clone())
+        .initial(config)
+        .seed(seed)
+        .check_every((n / 100).max(1))
+        .max_time(max_time)
+        .until(|view| view.iter().any(|(s, k)| *k > 0 && is_terminated(s)))
+        .run();
     out.converged.then_some(out.time)
 }
 

@@ -16,28 +16,29 @@
 use std::time::Instant;
 
 use uniform_sizeest::engine::batch::ConfigSim;
-use uniform_sizeest::engine::count_sim::CountConfiguration;
 use uniform_sizeest::engine::epidemic::InfectionEpidemic;
+use uniform_sizeest::engine::simulation::{count_of, EngineKind, Simulation};
 
 fn main() {
     let n: u64 = 10_000_000;
     let seed = 42;
     println!("One-way epidemic, n = {n}, single infected source (seed {seed})...");
 
-    let config = CountConfiguration::from_pairs([(false, n - 1), (true, 1)]);
-    let mut sim = ConfigSim::new(InfectionEpidemic, config, seed);
+    let mut sim = Simulation::count_builder(InfectionEpidemic)
+        .config([(false, n - 1), (true, 1)])
+        .seed(seed)
+        .check_every(n / 8)
+        .until(move |view| count_of(view, &true) == n)
+        .build();
     println!(
-        "engine: {} (ConfigSim picks batched for deterministic protocols at n ≥ {})\n",
-        if sim.is_batched() {
-            "batched"
-        } else {
-            "sequential"
-        },
+        "engine: {:?} (EngineMode::Auto picks batched for deterministic protocols at n ≥ {})\n",
+        sim.engine_kind(),
         ConfigSim::<InfectionEpidemic>::BATCH_THRESHOLD,
     );
+    assert_eq!(sim.engine_kind(), EngineKind::Batched);
 
     let start = Instant::now();
-    let out = sim.run_until(|c| c.count(&true) == n, n / 8, f64::MAX);
+    let out = sim.run();
     let elapsed = start.elapsed();
 
     assert!(out.converged);

@@ -10,6 +10,8 @@
 //! coordinates, so this prints the *same numbers* at any thread count —
 //! re-run with `spec.threads = 1` to check.
 
+use pp_engine::epidemic::{InfectionEpidemic, SubState, SubpopulationEpidemic};
+use pp_engine::simulation::{count_of, Simulation};
 use pp_sweep::{emit, run_sweep, SweepExperiment, SweepSpec};
 
 fn main() {
@@ -17,17 +19,38 @@ fn main() {
     spec.master_seed = 2019; // PODC 2019 — one seed reproduces the sweep
     let experiments = vec![
         SweepExperiment::new("epidemic", &["time"], |ctx| {
-            vec![pp_engine::epidemic::epidemic_completion_time_with(
-                ctx.n, ctx.seed, ctx.engine,
-            )]
+            let n = ctx.n;
+            let (out, _) = Simulation::count_builder(InfectionEpidemic)
+                .config([(false, n - 1), (true, 1)])
+                .seed(ctx.seed)
+                .mode(ctx.engine) // the sweep's engine policy, straight into the builder
+                .check_every((n / 10).max(1))
+                .until(move |view| count_of(view, &true) == n)
+                .run();
+            vec![out.time]
         }),
         SweepExperiment::new("epidemic_sub3", &["time"], |ctx| {
-            vec![pp_engine::epidemic::subpopulation_epidemic_time_with(
-                ctx.n,
-                ctx.n / 3,
-                ctx.seed,
-                ctx.engine,
-            )]
+            let (n, a) = (ctx.n, ctx.n / 3);
+            let inf = SubState {
+                member: true,
+                infected: true,
+            };
+            let sus = SubState {
+                member: true,
+                infected: false,
+            };
+            let out_ = SubState {
+                member: false,
+                infected: false,
+            };
+            let (out, _) = Simulation::count_builder(SubpopulationEpidemic)
+                .config([(inf, 1), (sus, a - 1), (out_, n - a)])
+                .seed(ctx.seed)
+                .mode(ctx.engine)
+                .check_every((n / 10).max(1))
+                .until(move |view| count_of(view, &inf) == a)
+                .run();
+            vec![out.time]
         }),
     ];
     let report = run_sweep(&spec, &experiments).expect("sweep runs");

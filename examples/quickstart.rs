@@ -1,22 +1,48 @@
 //! Quickstart: estimate `log2 n` with the paper's uniform leaderless
-//! protocol.
+//! protocol, through the unified `Simulation` builder.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
+//!
+//! Every experiment in this repository is the same sentence — run
+//! protocol P on n agents from configuration C under engine E until
+//! predicate Q, observing metrics M — and the builder is that sentence as
+//! code. The convenience wrapper `estimate_log_size(n, seed, None)` does
+//! exactly what the explicit builder below does.
 
-use uniform_sizeest::protocols::log_size::estimate_log_size;
+use uniform_sizeest::engine::Simulation;
+use uniform_sizeest::protocols::log_size::{
+    default_time_budget, is_converged_counts, FieldMaxima, LogSizeEstimation,
+};
+use uniform_sizeest::protocols::state::MainState;
 
 fn main() {
-    let n = 1000;
+    let n = 1000u64;
     let seed = 42;
     println!("Running Log-Size-Estimation on a population of n = {n} agents (seed {seed})...");
     println!("No agent ever learns n; each starts in the identical state X.\n");
 
-    let outcome = estimate_log_size(n, seed, None);
+    // FieldMaxima is an Observer: at every checkpoint it absorbs the
+    // occupied states, giving the Lemma 3.9 state-bound empirics for free.
+    let mut maxima = FieldMaxima::default();
+    let mut support_peak = 0usize;
+    let (outcome, k) = {
+        let (outcome, sim) = Simulation::builder(LogSizeEstimation::paper())
+            .size(n)
+            .seed(seed)
+            .max_time(default_time_budget(n))
+            .observe(&mut maxima)
+            .observe_with(|_time, _interactions, view: &[(MainState, u64)]| {
+                support_peak = support_peak.max(view.len());
+            })
+            .until(|view: &[(MainState, u64)]| is_converged_counts(view))
+            .run();
+        let k = sim.view()[0].0.output.expect("converged run has an output");
+        (outcome, k)
+    };
 
     let logn = (n as f64).log2();
-    let k = outcome.output.expect("converged run always has an output");
     println!("converged:        {}", outcome.converged);
     println!(
         "parallel time:    {:.0}  (Theorem 3.1: O(log^2 n))",
@@ -33,13 +59,13 @@ fn main() {
         2u64.saturating_pow(k as u32)
     );
     println!("\nObserved field maxima (Lemma 3.9's O(log^4 n) state bound):");
-    let m = outcome.maxima;
     println!(
         "  logSize2 {} | gr {} | time {} | epoch {} | sum {}",
-        m.log_size2, m.gr, m.time, m.epoch, m.sum
+        maxima.log_size2, maxima.gr, maxima.time, maxima.epoch, maxima.sum
     );
     println!(
-        "  => roughly {} reachable states per agent",
-        m.state_count_estimate()
+        "  => roughly {} reachable states per agent; peak occupied support {}",
+        maxima.state_count_estimate(),
+        support_peak
     );
 }
