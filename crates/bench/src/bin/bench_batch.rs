@@ -12,6 +12,20 @@
 //!   null-skip mode. This row is the acceptance check that randomized
 //!   protocols now reach batched speed.
 //!
+//! Two further rows cover the *interned* count engine on the paper's
+//! counter-churning record protocols, the path interner GC unlocked as
+//! the default:
+//!
+//! * **`logsize_estimation`** / **`leader_terminating`** — fixed parallel
+//!   time on `Log-Size-Estimation` and the Theorem 3.13 terminating
+//!   variant. For these rows the "sequential" column is the **per-agent
+//!   engine** (the machine normalizer — both engines run in the same
+//!   process) and the "batched" column is the interned `ConfigSim` under
+//!   `EngineMode::Auto` with GC on; the gated speedup is their ratio, so
+//!   a regression in the GC'd count path (e.g. the table growing
+//!   unboundedly again) trips the gate even though the ratio sits below
+//!   1 by design.
+//!
 //! Two workloads per protocol:
 //!
 //! * **`fixed_time`** (primary): simulate exactly `8·ln n` parallel time —
@@ -49,10 +63,13 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use pp_baselines::alistarh::{WeakEstimator, WeakState};
+use pp_core::leader::{LeaderState, LeaderTerminating};
+use pp_core::log_size::LogSizeEstimation;
 use pp_engine::batch::BatchedCountSim;
 use pp_engine::count_sim::{CountConfiguration, CountProtocol, CountSim};
 use pp_engine::epidemic::InfectionEpidemic;
 use pp_engine::rng::derive_seed;
+use pp_engine::{EngineMode, Protocol, SimMode, Simulation};
 
 struct Measurement {
     trials: u64,
@@ -171,6 +188,69 @@ fn bench_protocol<P: Workload + Default>(
             });
         }
     }
+}
+
+/// Agent-engine vs interned-count-engine throughput for one of the
+/// paper's counter-churning record protocols, at a fixed parallel time.
+/// The agent engine fills the row's "sequential" slot as the machine
+/// normalizer; the interned `ConfigSim` (`EngineMode::Auto`, interner GC
+/// on — the default every `estimate_log_size` / `run_terminating` call
+/// takes) fills "batched". See the module docs for why the gate watches
+/// this ratio.
+fn bench_interned<P: Protocol + Clone>(
+    name: &'static str,
+    protocol: P,
+    planted: Option<P::State>,
+    n: u64,
+    sim_time: f64,
+    trials: u64,
+    rows: &mut Vec<Row>,
+) where
+    P::State: Eq + std::hash::Hash + Clone,
+{
+    let measure = |agent: bool| -> Measurement {
+        let start = Instant::now();
+        let mut interactions = 0;
+        for t in 0..trials {
+            let mode = if agent {
+                SimMode::Agent
+            } else {
+                EngineMode::Auto.into()
+            };
+            let mut builder = Simulation::builder(protocol.clone())
+                .size(n)
+                .seed(derive_seed(0xB0BB, t))
+                .mode(mode);
+            if let Some(state) = planted.clone() {
+                builder = builder.init_planted([(state, 1)]);
+            }
+            let mut sim = builder.build();
+            sim.run_for_time(sim_time);
+            interactions += sim.interactions();
+        }
+        Measurement {
+            trials,
+            interactions,
+            seconds: start.elapsed().as_secs_f64(),
+        }
+    };
+    let seq = measure(true);
+    let bat = measure(false);
+    eprintln!(
+        "{name:>18} n = {n:>9}  fixed_time: agent {:>12.0} int/s ({:.3}s) | counted {:>13.0} int/s ({:.3}s) | ratio {:.2}x",
+        seq.rate(),
+        seq.seconds,
+        bat.rate(),
+        bat.seconds,
+        bat.rate() / seq.rate()
+    );
+    rows.push(Row {
+        protocol: name,
+        n,
+        workload: "fixed_time",
+        seq,
+        bat,
+    });
 }
 
 /// Maximum tolerated drop in machine-normalized batched throughput
@@ -313,6 +393,27 @@ fn main() {
     let mut rows = Vec::new();
     bench_protocol::<InfectionEpidemic>("epidemic", sizes, &mut rows);
     bench_protocol::<WeakEstimator>("weak_estimator", weak_sizes, &mut rows);
+    // Same n in quick and full mode, so the --quick CI gate always covers
+    // the GC-unlocked interned paths.
+    let interned_trials = if quick { 3 } else { 5 };
+    bench_interned(
+        "logsize_estimation",
+        LogSizeEstimation::paper(),
+        None,
+        2_000,
+        300.0,
+        interned_trials,
+        &mut rows,
+    );
+    bench_interned(
+        "leader_terminating",
+        LeaderTerminating::paper(),
+        Some(LeaderState::leader()),
+        2_000,
+        300.0,
+        interned_trials,
+        &mut rows,
+    );
 
     let mut json = String::from(
         "{\n  \"benchmark\": \"sequential_vs_batched\",\n  \"unit\": \"interactions_per_second\",\n  \

@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! sweep <spec.toml|spec.json> [--threads N] [--trials T] [--seed S]
-//!                             [--merge a.jsonl b.jsonl ...]
+//!                             [--shard k/N] [--merge a.jsonl b.jsonl ...]
 //! sweep --list
 //! ```
 //!
@@ -17,20 +17,29 @@
 //! All three are byte-identical for a fixed spec and master seed,
 //! regardless of thread count or interruptions.
 //!
-//! `--merge` combines journals produced on different machines (shards of
-//! the same spec, e.g. via disjoint `--trials` prefixes or split journal
-//! files) into one report: each listed journal must carry the spec's
-//! exact grid fingerprint (mismatches are refused before anything is
-//! written), their trials are folded into the spec's journal, and the
-//! sweep then runs whatever is still missing and emits the combined
-//! report.
+//! `--shard k/N` turns the run into the *producer* half of a distributed
+//! sweep: only the trials with `trial % N == k` execute, journaled to a
+//! per-shard file (`<journal stem>_shard{k}of{N}.jsonl`, derived from the
+//! spec's journal or the spec name) and no report is emitted. Shards of
+//! one spec partition the grid exactly, and every trial seed is a pure
+//! function of its grid coordinates, so merging all N shard journals
+//! reproduces the single-machine report byte for byte (CI asserts this on
+//! every push).
+//!
+//! `--merge` is the *collector* half: it combines journals produced on
+//! different machines (`--shard` runs, disjoint `--trials` prefixes, or
+//! split journal files) into one report. Each listed journal must carry
+//! the spec's exact grid fingerprint (mismatches are refused before
+//! anything is written), their trials are folded into the spec's journal,
+//! and the sweep then runs whatever is still missing and emits the
+//! combined report.
 //!
 //! Example spec: see `specs/table_epidemic.toml`.
 
 use std::path::PathBuf;
 
 use pp_bench::{anchor_journal, experiments, print_table, results_dir, run_sweep_or_exit};
-use pp_sweep::{emit, merge_journals, SweepSpec};
+use pp_sweep::{emit, merge_journals, run_sweep_shard, Shard, SweepSpec};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -46,6 +55,7 @@ fn main() {
     let mut threads = None;
     let mut trials = None;
     let mut seed = None;
+    let mut shard: Option<Shard> = None;
     let mut merge: Option<Vec<PathBuf>> = None;
     let mut i = 1;
     while i < args.len() {
@@ -61,6 +71,13 @@ fn main() {
             "--seed" => {
                 i += 1;
                 seed = Some(parse_num(&args, i, "--seed"));
+            }
+            "--shard" => {
+                i += 1;
+                let value = args
+                    .get(i)
+                    .unwrap_or_else(|| die("--shard needs a value (k/N, e.g. 0/2)"));
+                shard = Some(value.parse().unwrap_or_else(|e: String| die(&e)));
             }
             "--merge" => {
                 let sources = merge.get_or_insert_with(Vec::new);
@@ -83,7 +100,8 @@ fn main() {
             }
             other => die(&format!(
                 "unknown argument {other}; usage: sweep <spec.toml|spec.json> \
-                 [--threads N] [--trials T] [--seed S] [--merge a.jsonl b.jsonl ...] | sweep --list"
+                 [--threads N] [--trials T] [--seed S] [--shard k/N] \
+                 [--merge a.jsonl b.jsonl ...] | sweep --list"
             )),
         }
         i += 1;
@@ -91,7 +109,7 @@ fn main() {
     let Some(spec_path) = spec_path else {
         die(
             "missing spec file; usage: sweep <spec.toml|spec.json> [--threads N] [--trials T] \
-             [--seed S] [--merge a.jsonl b.jsonl ...]",
+             [--seed S] [--shard k/N] [--merge a.jsonl b.jsonl ...]",
         );
     };
 
@@ -110,6 +128,26 @@ fn main() {
     // directory the CLI was invoked from.
     anchor_journal(&mut spec);
     let experiments = experiments::build(&spec.experiments).unwrap_or_else(|e| die(&e));
+    if let Some(shard) = shard {
+        if merge.is_some() {
+            die("--shard produces a journal and --merge consumes them; run them separately");
+        }
+        // The shard journal is a sibling of the spec's journal (or lands
+        // under results/), suffixed so N shards on one filesystem never
+        // collide — and so the collector knows what to list in --merge.
+        spec.journal = Some(shard_journal_path(&spec, shard));
+        let recorded =
+            run_sweep_shard(&spec, &experiments, shard).unwrap_or_else(|e| die(&e.to_string()));
+        println!(
+            "shard {}/{} of sweep {:?}: {recorded} trial(s) journaled at {}",
+            shard.index,
+            shard.count,
+            spec.name,
+            spec.journal.as_ref().expect("set above").display()
+        );
+        println!("merge the shards with: sweep {spec_path} --merge <shard journals ...>",);
+        return;
+    }
     if let Some(sources) = merge {
         // Shard journals without a journal-less spec have nowhere to land.
         if spec.journal.is_none() {
@@ -146,6 +184,21 @@ fn main() {
             .unwrap_or_else(|e| die(&format!("cannot write {}: {e}", path.display())));
         println!("[out] {}", path.display());
     }
+}
+
+/// The journal a `--shard k/N` run writes: the spec's journal path (or
+/// `results/<name>.jsonl` when the spec has none) with `_shard{k}of{N}`
+/// appended to the file stem.
+fn shard_journal_path(spec: &SweepSpec, shard: Shard) -> PathBuf {
+    let base = spec
+        .journal
+        .clone()
+        .unwrap_or_else(|| results_dir().join(format!("{}.jsonl", spec.name)));
+    let stem = base.file_stem().and_then(|s| s.to_str()).unwrap_or("sweep");
+    base.with_file_name(format!(
+        "{stem}_shard{}of{}.jsonl",
+        shard.index, shard.count
+    ))
 }
 
 fn parse_num(args: &[String], i: usize, flag: &str) -> u64 {

@@ -9,16 +9,19 @@
 //! (NaN = the trial did not produce that metric).
 //!
 //! The engine policy reaches the experiments that expose an
-//! engine-selection hook (the epidemics); the others run on the engine
-//! their protocol helper picks (documented per entry below).
+//! engine-selection hook (the epidemics and, since interner GC made the
+//! count engine the default for counter-churning protocols, the
+//! `logsize_estimate` / `leader_termination` paper measurements); the
+//! others run on the engine their protocol helper picks (documented per
+//! entry below).
 
 use pp_analysis::geometric::max_geometric_sample;
 use pp_analysis::subexp::d10_min_k;
 use pp_baselines::alistarh::weak_estimate;
 use pp_baselines::exact_backup::run_backup;
 use pp_baselines::exact_leader::run_exact_count;
-use pp_core::leader::run_terminating;
-use pp_core::log_size::estimate_log_size;
+use pp_core::leader::terminating_in_mode;
+use pp_core::log_size::{estimate_in_mode, LogSizeEstimation};
 use pp_core::partition::run_partition;
 use pp_engine::epidemic::{InfectionEpidemic, SubState, SubpopulationEpidemic};
 use pp_engine::rng::rng_from_seed;
@@ -95,17 +98,26 @@ pub fn experiment(name: &str) -> Option<SweepExperiment> {
         .with_engine_hook(),
         // The paper's Log-Size-Estimation protocol (Theorem 3.1): signed
         // additive error (NaN if the run did not converge to an output)
-        // and convergence time. Runs on `AgentSim` (per-interaction
-        // counters keep the occupied support Θ(n)).
+        // and convergence time. Runs on the count engine by default
+        // (interner GC keeps the table at live-support size despite the
+        // per-interaction counters); a spec's engine policy reaches it
+        // through `estimate_in_mode`.
         "logsize_estimate" => {
             SweepExperiment::new("logsize_estimate", &["err", "time", "converged"], |ctx| {
-                let out = estimate_log_size(ctx.n as usize, ctx.seed, None);
+                let out = estimate_in_mode(
+                    LogSizeEstimation::paper(),
+                    ctx.n as usize,
+                    ctx.seed,
+                    None,
+                    ctx.engine.into(),
+                );
                 vec![
                     out.error(ctx.n).unwrap_or(f64::NAN),
                     out.time,
                     f64::from(out.converged),
                 ]
             })
+            .with_engine_hook()
         }
         // Alistarh et al.'s max-geometric weak estimator: signed error of
         // the settled maximum vs log₂ n, and agreement time. Runs on
@@ -135,12 +147,14 @@ pub fn experiment(name: &str) -> Option<SweepExperiment> {
         // Theorem 3.13 leader-driven terminating estimation: whether the
         // signal fired, when (NaN if never), the majority output (NaN if
         // none), whether it was within the accuracy band, and the
-        // agreement fraction at the freeze.
+        // agreement fraction at the freeze. Count engine by default, like
+        // `logsize_estimate`; the spec's engine policy reaches it through
+        // `terminating_in_mode`.
         "leader_termination" => SweepExperiment::new(
             "leader_termination",
             &["terminated", "term_time", "output", "correct", "agreement"],
             |ctx| {
-                let out = run_terminating(ctx.n as usize, ctx.seed, 1e8);
+                let out = terminating_in_mode(ctx.n as usize, ctx.seed, 1e8, ctx.engine.into());
                 let correct = out
                     .output
                     .map(|k| (k as f64 - (ctx.n as f64).log2()).abs() <= ACCURACY_BAND)
@@ -157,7 +171,8 @@ pub fn experiment(name: &str) -> Option<SweepExperiment> {
                     out.agreement,
                 ]
             },
-        ),
+        )
+        .with_engine_hook(),
         // Theorem 4.1: signal time of the threshold-8 Figure-1 counter
         // started dense — flat in n for any uniform protocol.
         "counter_signal" => SweepExperiment::new("counter_signal", &["time"], |ctx| {

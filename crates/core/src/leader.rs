@@ -146,29 +146,44 @@ pub struct TerminatingOutcome {
 
 /// Runs the terminating protocol: population of `n` with one planted leader.
 ///
-/// Uses the per-agent engine: every interaction advances interaction
-/// counters inside the states, so the occupied state space is `Θ(n)` and
-/// the count representation buys nothing here (a planted-leader start
-/// *can* still run on the count engines via [`run_terminating_counted`] —
-/// the statistical-equivalence suite holds the two to the same law).
+/// Runs on the unified count engine ([`EngineMode::Auto`]): the planted
+/// leader becomes a *non-uniform initial configuration* (one
+/// [`LeaderState::leader`] agent among `n - 1` followers), and the
+/// interner GC keeps the state table at live-support size even though the
+/// per-interaction counters inside the states churn out fresh records
+/// constantly — the frozen termination epidemic additionally rides the
+/// interner's null fast path. Use [`run_terminating_agentwise`] to pin
+/// the per-agent engine for cross-engine validation.
 pub fn run_terminating(n: usize, seed: u64, max_time: f64) -> TerminatingOutcome {
-    terminating_in_mode(n, seed, max_time, SimMode::Agent)
+    terminating_in_mode(n, seed, max_time, EngineMode::Auto.into())
 }
 
-/// [`run_terminating`] on the unified count engine: same builder, count
-/// mode — the planted leader becomes a *non-uniform initial configuration*
-/// (one [`LeaderState::leader`] agent among `n - 1` followers). Exact, but
-/// slower than the agent engine for this protocol — the per-interaction
-/// counters inside the states keep the occupied support at `Θ(n)` — so use
-/// it for cross-engine validation, not sweeps.
+/// [`run_terminating`] — the count engine is the default now, so this is
+/// the same run; retained for callers written against the pre-GC surface,
+/// where the count engine was the opt-in.
 pub fn run_terminating_counted(n: usize, seed: u64, max_time: f64) -> TerminatingOutcome {
     terminating_in_mode(n, seed, max_time, EngineMode::Auto.into())
 }
 
-/// The one builder invocation behind both terminating runs: two predicate
+/// [`run_terminating`] pinned to the per-agent engine: one record per
+/// agent, no interning. The statistical-equivalence suite holds this and
+/// the count-engine default to the same law; protocol-property tests that
+/// don't care about engine selection also use it, as the per-agent array
+/// is faster at the small populations they run.
+pub fn run_terminating_agentwise(n: usize, seed: u64, max_time: f64) -> TerminatingOutcome {
+    terminating_in_mode(n, seed, max_time, SimMode::Agent)
+}
+
+/// The one builder invocation behind every terminating run: two predicate
 /// phases ("the signal fired" → "everyone froze") over one absolute time
-/// budget, differing only in engine mode.
-fn terminating_in_mode(n: usize, seed: u64, max_time: f64, mode: SimMode) -> TerminatingOutcome {
+/// budget, differing only in engine mode. Public as the registry's
+/// engine-selection hook.
+pub fn terminating_in_mode(
+    n: usize,
+    seed: u64,
+    max_time: f64,
+    mode: SimMode,
+) -> TerminatingOutcome {
     let mut sim = Simulation::builder(LeaderTerminating::paper())
         .size(n as u64)
         .seed(seed)
@@ -223,7 +238,8 @@ mod tests {
 
     #[test]
     fn leader_terminates_after_convergence() {
-        let n = 150;
+        // The default engine (count + interner GC) end to end.
+        let n = 100;
         let out = run_terminating(n, 31, 5_000_000.0);
         assert!(out.terminated, "leader never fired");
         let k = out.output.expect("outputs should exist at termination");
@@ -245,10 +261,18 @@ mod tests {
         // The whole point: the signal must not fire before the estimate has
         // converged. Compare with the non-terminating protocol's convergence
         // time on the same n.
+        // Agent engine: a protocol-property check, and the faster engine
+        // at this population size (cross-engine equivalence is covered by
+        // `tests/unified_equivalence.rs`).
         let n = 120;
-        let conv = crate::log_size::estimate_log_size(n, 77, None);
+        let conv = crate::log_size::estimate_agentwise(
+            crate::log_size::LogSizeEstimation::paper(),
+            n,
+            77,
+            None,
+        );
         assert!(conv.converged);
-        let term = run_terminating(n, 78, 5_000_000.0);
+        let term = run_terminating_agentwise(n, 78, 5_000_000.0);
         assert!(term.terminated);
         assert!(
             term.termination_time > conv.time,
@@ -273,7 +297,8 @@ mod tests {
 
     #[test]
     fn termination_epidemic_freezes_everyone() {
-        let out = run_terminating(100, 41, 5_000_000.0);
+        // Agent engine (protocol property; see above).
+        let out = run_terminating_agentwise(100, 41, 5_000_000.0);
         assert!(out.terminated);
         // Freeze should complete within ~O(log n) time of the signal.
         let spread = out.all_frozen_time - out.termination_time;

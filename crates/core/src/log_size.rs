@@ -366,6 +366,15 @@ pub fn default_time_budget(n: u64) -> f64 {
 /// Runs `Log-Size-Estimation` on `n` agents with the given seed and time
 /// budget, returning the converged estimate (Theorem 3.1's `k`).
 ///
+/// Runs on the unified count engine ([`EngineMode::Auto`]): the protocol
+/// is interned onto the configuration-vector simulators, which store one
+/// count per *occupied* state instead of one record per agent, check
+/// convergence in `O(k)` instead of `O(n)`, and garbage-collect the
+/// interned table as the per-interaction counters inside the states churn
+/// — so memory stays bounded by the live support (`O(log⁴ n)` by
+/// Lemma 3.9) on arbitrarily long runs. Use [`estimate_agentwise`] to pin
+/// the per-agent engine for cross-engine validation.
+///
 /// A budget of `None` uses [`default_time_budget`].
 ///
 /// ```
@@ -381,18 +390,15 @@ pub fn estimate_log_size(n: usize, seed: u64, max_time: Option<f64>) -> Estimate
     estimate_with(LogSizeEstimation::paper(), n, seed, max_time)
 }
 
-/// Runs `Log-Size-Estimation` on the unified count engine: the protocol is
-/// interned onto the count engines, so the simulator stores one count per
-/// *occupied* state (`O(log⁴ n)` by Lemma 3.9) instead of one record per
-/// agent, and convergence checks cost `O(k)` instead of `O(n)`. Realizes
-/// exactly the same stochastic process as [`estimate_log_size`] — the
-/// statistical-equivalence suite (`tests/unified_equivalence.rs`) holds the
-/// two to the same output and time distributions.
+/// [`estimate_log_size`] — the count engine is the default now, so this
+/// is the same run; retained for callers written against the pre-GC
+/// surface, where the count engine was the opt-in.
 pub fn estimate_log_size_counted(n: usize, seed: u64, max_time: Option<f64>) -> EstimateOutcome {
     estimate_counted(LogSizeEstimation::paper(), n, seed, max_time)
 }
 
-/// [`estimate_log_size_counted`] with explicit protocol constants.
+/// [`estimate_log_size_counted`] with explicit protocol constants (same
+/// engine as [`estimate_with`], kept for the pre-GC callers).
 pub fn estimate_counted(
     protocol: LogSizeEstimation,
     n: usize,
@@ -402,8 +408,25 @@ pub fn estimate_counted(
     estimate_in_mode(protocol, n, seed, max_time, EngineMode::Auto.into())
 }
 
-/// [`estimate_log_size`] with explicit protocol constants.
+/// [`estimate_log_size`] with explicit protocol constants (count engine,
+/// like every default run).
 pub fn estimate_with(
+    protocol: LogSizeEstimation,
+    n: usize,
+    seed: u64,
+    max_time: Option<f64>,
+) -> EstimateOutcome {
+    estimate_in_mode(protocol, n, seed, max_time, EngineMode::Auto.into())
+}
+
+/// [`estimate_with`] pinned to the per-agent engine
+/// ([`pp_engine::SimMode::Agent`]): one record per agent, no interning.
+/// The statistical-equivalence suite (`tests/unified_equivalence.rs`)
+/// holds this and the count-engine default to the same output and time
+/// distributions; protocol-property tests that don't care about engine
+/// selection also use it, as the per-agent array is faster at the small
+/// populations they run.
+pub fn estimate_agentwise(
     protocol: LogSizeEstimation,
     n: usize,
     seed: u64,
@@ -414,8 +437,9 @@ pub fn estimate_with(
 
 /// The one builder invocation behind every `Log-Size-Estimation` run:
 /// engine choice is the only thing the `estimate_*` conveniences differ
-/// in.
-fn estimate_in_mode(
+/// in. Public as the registry's engine-selection hook
+/// (`.mode(ctx.engine)` shaped).
+pub fn estimate_in_mode(
     protocol: LogSizeEstimation,
     n: usize,
     seed: u64,
@@ -581,12 +605,15 @@ mod tests {
     fn several_seeds_stay_in_band() {
         // Figure 2's companion claim: "in practice the estimate is always
         // within 2". Use the theorem band as the hard assertion and track
-        // the tight band loosely.
+        // the tight band loosely. Pinned to the agent engine — the claim
+        // is a protocol property, engine equivalence is covered by
+        // `tests/unified_equivalence.rs`, and the per-agent array is the
+        // faster engine at this population size.
         let n = 300;
         let mut within_2 = 0;
         let trials = 5;
         for seed in 0..trials {
-            let out = estimate_log_size(n, 1000 + seed, None);
+            let out = estimate_agentwise(LogSizeEstimation::paper(), n, 1000 + seed, None);
             assert!(out.converged);
             let err = out.error(n as u64).unwrap().abs();
             assert!(err <= 5.7, "seed {seed}: error {err} breaks Theorem 3.1");
@@ -610,8 +637,10 @@ mod tests {
 
     #[test]
     fn field_maxima_respect_lemma_3_9_ranges() {
+        // Agent engine: a protocol-property check (see
+        // `several_seeds_stay_in_band` for the pinning rationale).
         let n = 400u64;
-        let out = estimate_log_size(n as usize, 11, None);
+        let out = estimate_agentwise(LogSizeEstimation::paper(), n as usize, 11, None);
         assert!(out.converged);
         let logn = (n as f64).log2();
         let m = out.maxima;
@@ -640,6 +669,51 @@ mod tests {
         s2.output = Some(5);
         s2.protocol_done = false;
         assert!(!is_converged(&[s1, s2]));
+    }
+
+    #[test]
+    fn gc_bounds_interned_table_to_live_support() {
+        // The acceptance check behind running `estimate_log_size` on the
+        // count engine by default: the protocol's per-interaction counters
+        // mint fresh record states constantly (A agents bump `time` every
+        // interaction, even after convergence), so without GC the interned
+        // table grows without bound. With GC it must stay within a small
+        // multiple of the live support, for as long as the run continues.
+        use pp_engine::batch::ConfigSim;
+        use pp_engine::Interned;
+
+        let n = 200usize;
+        let interned = Interned::new(LogSizeEstimation::paper());
+        let handle = interned.handle();
+        let config = interned.uniform_config(n as u64);
+        let mut sim = ConfigSim::new(interned, config, 42);
+        let out = sim.run_until(
+            |c| is_converged_counts(&handle.decode(c)),
+            n as u64,
+            default_time_budget(n as u64),
+        );
+        assert!(out.converged);
+        // Keep churning well past convergence: the table bound must hold
+        // in steady state, not just at the convergence checkpoint.
+        sim.steps(out.interactions / 2);
+        let live = sim.config_view().support_size();
+        let table = handle.discovered();
+        assert!(
+            sim.gc_collections() >= 1,
+            "a full Log-Size-Estimation run must trigger interner GC"
+        );
+        assert!(
+            // The trigger fires past max(1024, 4·live) at a ~√n-chunk
+            // checkpoint; 6·live + 1200 dominates that with slack for
+            // between-checkpoint growth.
+            table <= 6 * live + 1_200,
+            "interned table ({table} slots) not bounded by live support ({live})"
+        );
+        assert!(
+            (handle.total_interned() as usize) > 2 * table,
+            "workload minted too few dead states ({} total) to prove the bound",
+            handle.total_interned()
+        );
     }
 
     #[test]

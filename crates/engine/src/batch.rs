@@ -303,6 +303,60 @@ impl<P: CountProtocol> BatchedCountSim<P> {
         self.counts.iter().filter(|&&c| c > 0).count()
     }
 
+    /// The protocol being simulated.
+    pub(crate) fn protocol(&self) -> &P {
+        &self.protocol
+    }
+
+    /// Runs one interner-GC pass ([`CountProtocol::collect_table`]) rooted
+    /// at the occupied states, dropping the dead discovered states from
+    /// the engine's own tables in the same pass: the state list and counts
+    /// are compacted to the occupied support (relative order preserved, so
+    /// the nonzero-slot sequence every fill loop walks is unchanged), and
+    /// the dense law table — whose entries point at evicted ids — is reset
+    /// to lazy re-analysis at live-support capacity. Returns whether the
+    /// protocol performed a collection. Consumes no randomness.
+    pub(crate) fn collect_table(&mut self) -> bool {
+        let roots: Vec<P::State> = self
+            .states
+            .iter()
+            .zip(&self.counts)
+            .filter(|(_, &c)| c > 0)
+            .map(|(&s, _)| s)
+            .collect();
+        let Some(renames) = self.protocol.collect_table(&roots) else {
+            return false;
+        };
+        let map: BTreeMap<P::State, P::State> = renames.into_iter().collect();
+        let mut states = Vec::with_capacity(roots.len());
+        let mut counts = Vec::with_capacity(roots.len());
+        let mut index = BTreeMap::new();
+        for (&old, &c) in self.states.iter().zip(&self.counts) {
+            if c == 0 {
+                continue;
+            }
+            let new = *map
+                .get(&old)
+                .unwrap_or_else(|| panic!("GC renaming is missing occupied state {old:?}"));
+            index.insert(new, states.len());
+            states.push(new);
+            counts.push(c);
+        }
+        let k = states.len();
+        self.states = states;
+        self.counts = counts;
+        self.index = index;
+        self.cap = k.max(4);
+        self.table = vec![UNCOMPUTED; self.cap * self.cap];
+        self.laws = vec![PairLaw::Sampled];
+        self.recv = vec![0; k];
+        self.send = vec![0; k];
+        self.touched = vec![0; k];
+        self.row_reactive.clear();
+        self.col_reactive.clear();
+        true
+    }
+
     /// Mean collision-free batch length `E[T] = Θ(√n)`.
     pub(crate) fn mean_batch_len(&self) -> f64 {
         self.expected_batch_len
@@ -1035,6 +1089,26 @@ const ADAPT_DOWN: f64 = 4.0;
 /// See [`ADAPT_DOWN`].
 const ADAPT_UP: f64 = 1.0;
 
+/// Trigger an interner-GC pass when the backing state table holds more
+/// than this many times the live support (the dead/live amplification).
+/// Collection costs `O(table)` and at least `(GC_DEAD_FACTOR - 1)·live`
+/// fresh states must be interned between passes, so the amortized cost is
+/// `O(1)` per newly discovered state.
+const GC_DEAD_FACTOR: usize = 4;
+/// Never trigger GC below this table size: small tables are free to keep,
+/// and the floor keeps trivial protocols from ever paying the check.
+const GC_MIN_TABLE: usize = 1024;
+
+/// Whether interner GC is enabled for newly built simulators: on unless
+/// the `PP_GC` environment variable says `off`/`0` (the kill switch the
+/// GC-equivalence suite flips to prove collection is trajectory-neutral).
+fn gc_enabled_from_env() -> bool {
+    !matches!(
+        std::env::var("PP_GC").as_deref(),
+        Ok("off") | Ok("0") | Ok("false")
+    )
+}
+
 /// Message for the engine-slot invariant (`None` only transiently inside
 /// [`ConfigSim::switch_engine`]).
 const ENGINE_PRESENT: &str = "ConfigSim engine slot is always occupied";
@@ -1054,7 +1128,18 @@ const ENGINE_PRESENT: &str = "ConfigSim engine slot is always occupied";
 /// engines mid-run, carrying the protocol, configuration, RNG stream, and
 /// interaction clock across. Both engines realize exactly the same
 /// stochastic process, so switching never changes semantics. Call sites
-/// hold a single type either way:
+/// hold a single type either way.
+///
+/// The same checkpoints drive **interner garbage collection** for
+/// table-backed protocols ([`CountProtocol::table_len`], i.e. the
+/// [`crate::interned::Interned`] adapter): once the backing state table
+/// holds more than a few times the live support, the dead entries are
+/// evicted and the survivors compacted,
+/// bounding memory by the live support instead of the states ever
+/// reached. Collection is trajectory-neutral — same multiset, same slot
+/// layout, no randomness — so it is on by default (`PP_GC=off` or
+/// [`ConfigSim::set_gc`] disable it, chiefly for the equivalence suite
+/// that proves the neutrality).
 ///
 /// ```
 /// use pp_engine::batch::ConfigSim;
@@ -1074,6 +1159,12 @@ pub struct ConfigSim<P: CountProtocol> {
     adaptive: bool,
     /// Number of mid-run engine switches performed so far.
     switches: u32,
+    /// Whether interner GC is active: the protocol is table-backed
+    /// ([`CountProtocol::table_len`]) and GC was not disabled (the
+    /// `PP_GC=off` environment knob or [`ConfigSim::set_gc`]).
+    gc: bool,
+    /// Number of interner-GC passes performed so far.
+    collections: u32,
 }
 
 impl<P: CountProtocol> ConfigSim<P> {
@@ -1117,10 +1208,16 @@ impl<P: CountProtocol> ConfigSim<P> {
                 false,
             ),
         };
+        let table_backed = match &engine {
+            Engine::Sequential(s) => s.protocol().table_len().is_some(),
+            Engine::Batched(b) => b.protocol().table_len().is_some(),
+        };
         Self {
             engine: Some(engine),
             adaptive,
             switches: 0,
+            gc: table_backed && gc_enabled_from_env(),
+            collections: 0,
         }
     }
 
@@ -1170,6 +1267,40 @@ impl<P: CountProtocol> ConfigSim<P> {
     /// [`EngineMode::Auto`]).
     pub fn engine_switches(&self) -> u32 {
         self.switches
+    }
+
+    /// Enables or disables interner GC for this simulator (on by default
+    /// for table-backed protocols; `PP_GC=off` in the environment disables
+    /// it globally). A no-op for protocols without a backing table.
+    pub fn set_gc(&mut self, enabled: bool) {
+        let table_backed = match self.eng() {
+            Engine::Sequential(s) => s.protocol().table_len().is_some(),
+            Engine::Batched(b) => b.protocol().table_len().is_some(),
+        };
+        self.gc = enabled && table_backed;
+    }
+
+    /// Number of interner-GC passes performed so far (always 0 for
+    /// protocols without a backing state table).
+    pub fn gc_collections(&self) -> u32 {
+        self.collections
+    }
+
+    /// Forces one interner-GC pass immediately, regardless of the
+    /// dead/live trigger — the testing/tooling hook behind the
+    /// eviction-invariance property suite. Returns whether the protocol
+    /// performed a collection (`false` for protocols without a backing
+    /// table). Like triggered collection, this never changes the
+    /// trajectory.
+    pub fn collect_now(&mut self) -> bool {
+        let collected = match self.eng_mut() {
+            Engine::Sequential(s) => s.collect_table(),
+            Engine::Batched(b) => b.collect_table(),
+        };
+        if collected {
+            self.collections += 1;
+        }
+        collected
     }
 
     /// Population size.
@@ -1252,6 +1383,40 @@ impl<P: CountProtocol> ConfigSim<P> {
         self.switch_engine();
     }
 
+    /// Re-checks the interner dead/live ratio (at the same adaptive
+    /// checkpoints as [`ConfigSim::maybe_adapt`]) and runs one GC pass —
+    /// evict dead table entries, compact, rename the configuration, reset
+    /// the batched law table — once the backing table exceeds
+    /// [`GC_DEAD_FACTOR`] times the live support. Collection preserves the
+    /// decoded multiset, the engine's slot layout, and the relative id
+    /// order, and consumes no randomness, so the trajectory is identical
+    /// with GC on and off (`tests/gc_equivalence.rs` holds it to that,
+    /// byte for byte).
+    fn maybe_collect(&mut self) {
+        if !self.gc {
+            return;
+        }
+        let collected = match self.eng_mut() {
+            Engine::Sequential(s) => {
+                let table = s.protocol().table_len().unwrap_or(0);
+                if table < GC_MIN_TABLE || table <= GC_DEAD_FACTOR * s.config().registered_len() {
+                    return;
+                }
+                s.collect_table()
+            }
+            Engine::Batched(b) => {
+                let table = b.protocol().table_len().unwrap_or(0);
+                if table < GC_MIN_TABLE || table <= GC_DEAD_FACTOR * b.occupied_support() {
+                    return;
+                }
+                b.collect_table()
+            }
+        };
+        if collected {
+            self.collections += 1;
+        }
+    }
+
     /// Moves the run to the other engine, carrying the protocol,
     /// configuration, RNG stream, and interaction clock across. Exact:
     /// both engines realize the same stochastic process, so switching at an
@@ -1276,47 +1441,42 @@ impl<P: CountProtocol> ConfigSim<P> {
         self.switches += 1;
     }
 
-    /// Executes at most `budget` (and at least one) interactions on the
-    /// current engine — one batch or null-skip step when batched, a `~√n`
-    /// chunk when sequential — then re-evaluates the engine choice.
-    fn advance_adaptive(&mut self, budget: u64) -> u64 {
+    /// Executes at least one and at most `budget` interactions on the
+    /// current engine (the [`crate::simulation::Engine`] advance
+    /// granularity): one batch or null-skip step when batched, a `~√n`
+    /// chunk when sequential under [`EngineMode::Auto`] or with interner
+    /// GC active (both re-check state at chunk boundaries), the full
+    /// budget when pinned sequential without GC. Each call ends with the
+    /// adaptive engine re-selection and the interner dead/live re-check
+    /// (the interner GC re-check) where applicable. Returns the number
+    /// executed; never overshoots, so run drivers land checkpoints
+    /// exactly.
+    pub fn advance(&mut self, budget: u64) -> u64 {
         debug_assert!(budget >= 1);
+        let chunked = self.adaptive || self.gc;
         let executed = match self.eng_mut() {
             Engine::Batched(b) => b.advance(budget),
             Engine::Sequential(s) => {
-                let chunk = budget.min(((s.population_size() as f64).sqrt() as u64).max(64));
+                let chunk = if chunked {
+                    budget.min(((s.population_size() as f64).sqrt() as u64).max(64))
+                } else {
+                    budget
+                };
                 s.steps(chunk);
                 chunk
             }
         };
-        self.maybe_adapt();
-        executed
-    }
-
-    /// Executes at least one and at most `budget` interactions on the
-    /// current engine (the [`crate::simulation::Engine`] advance
-    /// granularity): one batch or null-skip step when batched (followed by
-    /// adaptive re-selection in [`EngineMode::Auto`]), the full budget
-    /// when pinned sequential. Returns the number executed; never
-    /// overshoots, so run drivers land checkpoints exactly.
-    pub fn advance(&mut self, budget: u64) -> u64 {
-        debug_assert!(budget >= 1);
         if self.adaptive {
-            return self.advance_adaptive(budget);
+            self.maybe_adapt();
         }
-        match self.eng_mut() {
-            Engine::Sequential(s) => {
-                s.steps(budget);
-                budget
-            }
-            Engine::Batched(b) => b.advance(budget),
-        }
+        self.maybe_collect();
+        executed
     }
 
     /// Executes (at least) `k` interactions; the batched engine lands
     /// exactly on `k` via batch truncation.
     pub fn steps(&mut self, k: u64) {
-        if !self.adaptive {
+        if !self.adaptive && !self.gc {
             match self.eng_mut() {
                 Engine::Sequential(s) => s.steps(k),
                 Engine::Batched(b) => b.steps(k),
@@ -1325,7 +1485,7 @@ impl<P: CountProtocol> ConfigSim<P> {
         }
         let target = self.interactions() + k;
         while self.interactions() < target {
-            self.advance_adaptive(target - self.interactions());
+            self.advance(target - self.interactions());
         }
     }
 
@@ -1342,7 +1502,7 @@ impl<P: CountProtocol> ConfigSim<P> {
         check_every: u64,
         max_time: f64,
     ) -> RunOutcome {
-        if !self.adaptive {
+        if !self.adaptive && !self.gc {
             return match self.eng_mut() {
                 Engine::Sequential(s) => s.run_until(predicate, check_every, max_time),
                 Engine::Batched(b) => b.run_until(predicate, check_every, max_time),
@@ -1367,7 +1527,7 @@ impl<P: CountProtocol> ConfigSim<P> {
             }
             let target = (self.interactions() + check_every).min(max_interactions);
             while self.interactions() < target {
-                self.advance_adaptive(target - self.interactions());
+                self.advance(target - self.interactions());
             }
         }
     }

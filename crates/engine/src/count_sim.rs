@@ -96,6 +96,33 @@ pub trait CountProtocol {
     fn prefers_batching(&self) -> bool {
         self.is_deterministic()
     }
+
+    /// Number of slots allocated in the protocol's backing state table,
+    /// when its `State` values are handles into one (the
+    /// [`crate::interned::Interned`] adapter). `None` — the default —
+    /// marks self-contained state types, which never need garbage
+    /// collection.
+    ///
+    /// [`crate::batch::ConfigSim`] polls this at its adaptive checkpoints:
+    /// once the table holds several times more slots than the live support
+    /// it triggers [`CountProtocol::collect_table`], keeping
+    /// counter-churning protocols (whose dead interned states would
+    /// otherwise accumulate without bound) at live-support size.
+    fn table_len(&self) -> Option<usize> {
+        None
+    }
+
+    /// Interner garbage collection: evicts every backing-table entry not
+    /// in `live` and compacts the survivors into a dense prefix,
+    /// returning the old → new renaming of the live states (relative
+    /// order preserved, so id-ordered iteration sees the same state
+    /// sequence before and after). The caller — an engine — applies the
+    /// renaming to its configuration in the same pass. `None` (the
+    /// default) means the protocol is not table-backed.
+    fn collect_table(&self, live: &[Self::State]) -> Option<Vec<(Self::State, Self::State)>> {
+        let _ = live;
+        None
+    }
 }
 
 /// A count-space protocol whose initial configuration is input-dependent —
@@ -290,6 +317,41 @@ impl<S: Copy + Ord + std::fmt::Debug> CountConfiguration<S> {
             let c = &self.counts[slot];
             (*c > 0).then_some((s, c))
         })
+    }
+
+    /// Iterates over every *registered* state — occupied states plus any
+    /// zero-count states still holding a slot (possible only for states
+    /// given count 0 at construction) — in state order. These are the GC
+    /// roots: a registered state's id must survive collection even at
+    /// count 0, or a recycled id could collide with its slot.
+    pub(crate) fn registered(&self) -> impl Iterator<Item = &S> {
+        self.index.keys()
+    }
+
+    /// Number of registered states (see [`Self::registered`]).
+    pub(crate) fn registered_len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Renames every registered state in place through `map`, preserving
+    /// the slot layout exactly: slot order, counts, the Fenwick tree, and
+    /// the free list are untouched, so the agent-index → slot mapping —
+    /// and with it the whole seeded trajectory — is identical before and
+    /// after. This is the configuration half of an interner GC pass; `map`
+    /// must cover every registered state injectively.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a registered state has no entry in `map`.
+    pub(crate) fn rename_states(&mut self, map: &BTreeMap<S, S>) {
+        let index = std::mem::take(&mut self.index);
+        for (old, slot) in index {
+            let new = *map
+                .get(&old)
+                .unwrap_or_else(|| panic!("GC renaming is missing registered state {old:?}"));
+            self.states[slot] = new;
+            self.index.insert(new, slot);
+        }
     }
 
     /// Adds `k` agents in `state`.
@@ -507,6 +569,23 @@ impl<P: CountProtocol> CountSim<P> {
     /// The protocol being simulated.
     pub(crate) fn protocol(&self) -> &P {
         &self.protocol
+    }
+
+    /// Runs one interner-GC pass ([`CountProtocol::collect_table`]) rooted
+    /// at the configuration's registered states, renaming the
+    /// configuration in place (slot layout untouched — see
+    /// [`CountConfiguration::rename_states`] for why the trajectory is
+    /// unaffected). Returns whether the protocol performed a collection.
+    /// Consumes no randomness.
+    pub(crate) fn collect_table(&mut self) -> bool {
+        let roots: Vec<P::State> = self.config.registered().copied().collect();
+        match self.protocol.collect_table(&roots) {
+            Some(renames) => {
+                self.config.rename_states(&renames.into_iter().collect());
+                true
+            }
+            None => false,
+        }
     }
 
     /// Current configuration.

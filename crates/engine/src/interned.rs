@@ -47,8 +47,9 @@
 //! let handle = interned.handle();
 //! let config = interned.config_from_pairs([(false, 999), (true, 1)]);
 //! let mut sim = ConfigSim::new(interned, config, 7);
-//! let infected = handle.id_of(&true).expect("interned at config build");
-//! let out = sim.run_until(|c| c.count(&infected) == 1000, 100, f64::MAX);
+//! // Look states up through the handle per query — raw ids are
+//! // invalidated whenever a GC pass compacts the table (see below).
+//! let out = sim.run_until(|c| handle.count_of(c, &true) == 1000, 100, f64::MAX);
 //! assert!(out.converged);
 //! ```
 //!
@@ -69,29 +70,99 @@
 //! default; wrap with [`Interned::deterministic`] to certify that the
 //! protocol never reads the RNG, which enables the batched engine through
 //! one transition probe per state pair.
+//!
+//! ## Garbage collection
+//!
+//! Protocols whose states embed per-interaction counters (the paper's
+//! `Log-Size-Estimation` and `Leader-Terminating` record states) mint a
+//! fresh state on nearly every interaction, so the table accumulates
+//! *dead* entries — states no agent holds any more — without bound on
+//! long runs. `Interned` therefore implements the engine GC hooks
+//! ([`CountProtocol::table_len`] / [`CountProtocol::collect_table`]):
+//! when [`crate::batch::ConfigSim`] observes the table holding several
+//! times more slots than the live support at one of its adaptive
+//! checkpoints, it asks the adapter to evict every state absent from the
+//! configuration and compact the survivors into a dense id prefix,
+//! renaming the configuration (and, on the batched engine, resetting the
+//! law table) in the same pass. The table is thereby bounded by a small
+//! multiple of the *live* support instead of the number of states ever
+//! reached — which is what lets the count engines serve counter-churning
+//! protocols by default.
+//!
+//! Collection is invisible to the simulation: eviction preserves the
+//! decoded `(state, count)` multiset, renaming preserves the engine's
+//! slot layout and relative id order, and no randomness is consumed, so a
+//! run with GC is **trajectory-identical** to the same seed without it.
+//! The one observable consequence: raw ids obtained from
+//! [`InternerHandle::id_of`] are invalidated by a pass (detectable via
+//! [`InternerHandle::generation`]). Hold *states* across checkpoints and
+//! look ids up per query ([`InternerHandle::count_of`] does exactly
+//! that); don't cache raw ids.
 
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt::Debug;
-use std::hash::Hash;
+use std::hash::{BuildHasherDefault, Hash, Hasher};
 use std::rc::Rc;
 
 use crate::count_sim::{CountConfiguration, CountProtocol, CountSeededInit};
 use crate::protocol::{Protocol, SeededInit};
 use crate::rng::SimRng;
 
-/// Dense id ↔ state table, grown lazily as states are discovered.
+/// FNV-1a, the interner's hasher: the id lookup runs two to four times per
+/// interaction on record states with many integer fields, where SipHash's
+/// per-write overhead dominates the whole interning layer. FNV is
+/// deterministic across processes, which is also a feature here — nothing
+/// in the adapter may depend on iteration order anyway (see
+/// [`Interned::initial_config`]), and seeded trajectories must not vary
+/// with a process-random hash key.
+pub struct FnvHasher(u64);
+
+impl Default for FnvHasher {
+    fn default() -> Self {
+        Self(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Hasher for FnvHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        let mut hash = self.0;
+        for &b in bytes {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self.0 = hash;
+    }
+}
+
+type FnvMap<K, V> = HashMap<K, V, BuildHasherDefault<FnvHasher>>;
+
+/// Dense id ↔ state table, grown lazily as states are discovered and
+/// compacted (dead entries evicted, survivors renumbered) when the engine
+/// triggers a GC pass.
 #[derive(Debug)]
 pub struct StateTable<S> {
     states: Vec<S>,
-    ids: HashMap<S, u32>,
+    ids: FnvMap<S, u32>,
+    /// Bumped by every [`StateTable::compact`]: ids are only meaningful
+    /// within one generation.
+    generation: u64,
+    /// Total states ever assigned an id, across compactions — the
+    /// table-growth telemetry the GC tests assert against.
+    total_interned: u64,
 }
 
 impl<S: Clone + Eq + Hash> StateTable<S> {
     fn new() -> Self {
         Self {
             states: Vec::new(),
-            ids: HashMap::new(),
+            ids: FnvMap::default(),
+            generation: 0,
+            total_interned: 0,
         }
     }
 
@@ -103,11 +174,37 @@ impl<S: Clone + Eq + Hash> StateTable<S> {
         let id = u32::try_from(self.states.len()).expect("more than u32::MAX distinct states");
         self.states.push(state.clone());
         self.ids.insert(state, id);
+        self.total_interned += 1;
         id
     }
 
     fn get(&self, id: u32) -> &S {
         &self.states[id as usize]
+    }
+
+    /// Evicts every id not in `live` and compacts the survivors into the
+    /// dense prefix `0..live.len()`, preserving their relative order (the
+    /// new id is the old id's rank among the live ids). Returns the
+    /// old → new renaming and bumps the generation.
+    fn compact(&mut self, live: &[u32]) -> Vec<(u32, u32)> {
+        let mut ordered: Vec<u32> = live.to_vec();
+        ordered.sort_unstable();
+        ordered.dedup();
+        let mut states = Vec::with_capacity(ordered.len());
+        let mut ids = FnvMap::default();
+        ids.reserve(ordered.len());
+        let mut renames = Vec::with_capacity(ordered.len());
+        for (rank, &old) in ordered.iter().enumerate() {
+            let new = u32::try_from(rank).expect("live support fits the old table");
+            let state = self.states[old as usize].clone();
+            ids.insert(state.clone(), new);
+            states.push(state);
+            renames.push((old, new));
+        }
+        self.states = states;
+        self.ids = ids;
+        self.generation += 1;
+        renames
     }
 }
 
@@ -133,19 +230,36 @@ impl<S: Clone + Eq + Hash> InternerHandle<S> {
     ///
     /// # Panics
     ///
-    /// Panics if `id` has not been assigned.
+    /// Panics if `id` has not been assigned (or was evicted by a GC pass).
     pub fn state_of(&self, id: u32) -> S {
         self.table.borrow().get(id).clone()
     }
 
-    /// The id assigned to `state`, if it has been discovered.
+    /// The id *currently* assigned to `state`, if it is in the table.
+    /// Ids are only stable within one [`InternerHandle::generation`]: a GC
+    /// pass renumbers the survivors, so look ids up per query instead of
+    /// caching them across run checkpoints.
     pub fn id_of(&self, state: &S) -> Option<u32> {
         self.table.borrow().ids.get(state).copied()
     }
 
-    /// Number of distinct states discovered so far.
+    /// Number of distinct states currently in the table (live slots after
+    /// the last GC pass, plus everything discovered since).
     pub fn discovered(&self) -> usize {
         self.table.borrow().states.len()
+    }
+
+    /// Total states ever assigned an id, across GC passes. The gap to
+    /// [`InternerHandle::discovered`] is how much dead weight collection
+    /// has reclaimed.
+    pub fn total_interned(&self) -> u64 {
+        self.table.borrow().total_interned
+    }
+
+    /// The table's GC generation: bumped by every collection pass, so
+    /// harness code holding raw ids can detect that they went stale.
+    pub fn generation(&self) -> u64 {
+        self.table.borrow().generation
     }
 
     /// Decodes a slot-id configuration into `(state, count)` pairs.
@@ -255,6 +369,15 @@ where
             (table.get(rec).clone(), table.get(sen).clone())
         };
         self.protocol.interact(&mut r, &mut s, rng);
+        {
+            // Null fast path: an interaction that changed neither state
+            // (settled epidemics, frozen terminated pairs) keeps its input
+            // ids — no hashing, no table writes.
+            let table = self.table.borrow();
+            if *table.get(rec) == r && *table.get(sen) == s {
+                return (rec, sen);
+            }
+        }
         let mut table = self.table.borrow_mut();
         let r_id = table.intern(r);
         let s_id = table.intern(s);
@@ -263,6 +386,14 @@ where
 
     fn is_deterministic(&self) -> bool {
         self.deterministic
+    }
+
+    fn table_len(&self) -> Option<usize> {
+        Some(self.table.borrow().states.len())
+    }
+
+    fn collect_table(&self, live: &[u32]) -> Option<Vec<(u32, u32)>> {
+        Some(self.table.borrow_mut().compact(live))
     }
 }
 
@@ -460,6 +591,166 @@ mod tests {
             (3_000..7_000).contains(&ones),
             "coin flips badly skewed: {ones}"
         );
+    }
+
+    /// Counter churner: every interaction mints the receiver a fresh
+    /// record state, so dead table entries accumulate without bound — the
+    /// interner GC's target workload. Live support stays at the Poisson
+    /// spread of the per-agent counts while the table would otherwise grow
+    /// linearly with time.
+    struct Churner;
+
+    impl Protocol for Churner {
+        type State = Record;
+
+        fn initial_state(&self) -> Record {
+            Record {
+                value: 0,
+                touched: false,
+            }
+        }
+
+        fn interact(&self, rec: &mut Record, _sen: &mut Record, _rng: &mut SimRng) {
+            rec.value += 1;
+        }
+    }
+
+    fn sorted_decode(
+        handle: &InternerHandle<Record>,
+        config: &CountConfiguration<u32>,
+    ) -> Vec<(Record, u64)> {
+        let mut view = handle.decode(config);
+        view.sort_by_key(|(s, _)| (s.value, s.touched));
+        view
+    }
+
+    #[test]
+    fn collection_preserves_decoded_multiset_and_compacts_the_table() {
+        let interned = Interned::new(Churner);
+        let handle = interned.handle();
+        let config = interned.uniform_config(2_000);
+        let mut sim = CountSim::new(interned, config, 9);
+        sim.steps(400_000); // per-agent counts ≈ Poisson(200): heavy churn
+        let before = sorted_decode(&handle, sim.config());
+        let table_before = handle.discovered();
+        assert!(sim.collect_table(), "interned adapter must collect");
+        assert_eq!(handle.generation(), 1);
+        assert_eq!(
+            sorted_decode(&handle, sim.config()),
+            before,
+            "collection changed the decoded multiset"
+        );
+        assert!(
+            handle.discovered() < table_before / 2,
+            "table {} of {table_before} slots survived a full collection",
+            handle.discovered()
+        );
+        assert_eq!(handle.total_interned(), table_before as u64);
+        // The run continues seamlessly on the compacted ids.
+        sim.steps(50_000);
+        assert_eq!(sim.config().population_size(), 2_000);
+    }
+
+    #[test]
+    fn gc_is_trajectory_neutral_byte_for_byte() {
+        // The full claim behind GC-on-by-default: eviction + compaction
+        // preserves the slot layout and consumes no randomness, so the
+        // trajectory — not just the law — is identical with and without
+        // collection, checkpoint by checkpoint.
+        let run = |gc: bool| {
+            let interned = Interned::new(Churner);
+            let handle = interned.handle();
+            let config = interned.uniform_config(1_000);
+            let mut sim = ConfigSim::new(interned, config, 77);
+            sim.set_gc(gc);
+            let mut log = Vec::new();
+            for _ in 0..40 {
+                sim.steps(50_000);
+                log.push((
+                    sim.interactions(),
+                    sorted_decode(&handle, &sim.config_view()),
+                ));
+            }
+            (
+                log,
+                sim.gc_collections(),
+                handle.discovered(),
+                handle.total_interned(),
+            )
+        };
+        let (log_off, collections_off, table_off, total_off) = run(false);
+        let (log_on, collections_on, table_on, total_on) = run(true);
+        assert_eq!(log_off, log_on, "GC perturbed the trajectory");
+        assert_eq!(collections_off, 0);
+        assert!(collections_on >= 1, "churner run never triggered GC");
+        assert_eq!(total_off, table_off as u64, "no GC → nothing evicted");
+        // The GC run re-interns any state revived after its eviction, so
+        // its total is at least the GC-off run's.
+        assert!(total_on >= total_off);
+        assert!(
+            table_on < table_off / 2,
+            "GC left {table_on} of {table_off} slots"
+        );
+    }
+
+    /// Epoch counter with a *bounded* live support: equal-valued pairs
+    /// advance the receiver by one, unequal pairs max-merge, so the
+    /// population tracks the maximum closely (live support stays a handful
+    /// of values) while the table accrues one dead entry per epoch. The
+    /// deterministic marker keeps it on the batched engine, exercising the
+    /// law-table reset half of collection.
+    struct EpochMax;
+
+    impl Protocol for EpochMax {
+        type State = Record;
+
+        fn initial_state(&self) -> Record {
+            Record {
+                value: 0,
+                touched: false,
+            }
+        }
+
+        fn interact(&self, rec: &mut Record, sen: &mut Record, _rng: &mut SimRng) {
+            if rec.value == sen.value {
+                rec.value += 1;
+            } else {
+                let m = rec.value.max(sen.value);
+                rec.value = m;
+                sen.value = m;
+            }
+        }
+    }
+
+    #[test]
+    fn batched_engine_collects_and_resets_its_law_table() {
+        let interned = Interned::deterministic(EpochMax);
+        let handle = interned.handle();
+        let config = interned.uniform_config(4_096);
+        let mut sim = ConfigSim::batched(interned, config, 5);
+        sim.steps(6_000_000);
+        assert!(sim.is_batched(), "pinned engine must not switch");
+        assert!(
+            sim.gc_collections() >= 1,
+            "epoch churn never triggered a batched collection (table {}, total {})",
+            handle.discovered(),
+            handle.total_interned()
+        );
+        let view = sim.config_view();
+        assert_eq!(view.population_size(), 4_096);
+        assert!(
+            handle.total_interned() > 1_024,
+            "workload too small to exercise GC"
+        );
+        assert!(
+            handle.discovered() < handle.total_interned() as usize / 2,
+            "batched GC reclaimed too little: {} of {}",
+            handle.discovered(),
+            handle.total_interned()
+        );
+        // The compacted run keeps simulating correctly.
+        sim.steps(100_000);
+        assert_eq!(sim.config_view().population_size(), 4_096);
     }
 
     #[test]

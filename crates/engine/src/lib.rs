@@ -64,9 +64,11 @@
 //! object-safe [`simulation::Engine`] trait (advance the interaction
 //! clock, decode the occupied-state multiset):
 //!
-//! * [`sim::AgentSim`] — one state struct per agent. The workhorse for the
-//!   paper's protocols, whose per-agent records carry interaction counters
-//!   (occupied support `Θ(n)`, where configuration vectors buy nothing).
+//! * [`sim::AgentSim`] — one state struct per agent. Retained for
+//!   cross-engine validation (the `*_agentwise` helpers), trace tooling,
+//!   and the small-population regimes where its per-interaction constant
+//!   wins; since the interner GC landed it is no longer the *required*
+//!   engine for any protocol.
 //! * [`count_sim::CountSim`] — a configuration vector (a multiset of
 //!   states): `O(log k)` per interaction, `O(k)` memory, for protocols
 //!   with small occupied support.
@@ -86,11 +88,21 @@
 //! The [`interned::Interned`] adapter runs any agent-level
 //! [`protocol::Protocol`] on the count engines by interning record states
 //! into dense `u32` slots; the builder applies it automatically for count
-//! modes. All engines realize exactly the same stochastic process — the
-//! statistical-equivalence suites (`tests/batched_equivalence.rs`,
-//! `tests/unified_equivalence.rs`), the byte-level builder suite
-//! (`tests/builder_equivalence.rs`), and the `Engine` conformance suite
-//! (`crates/engine/tests/engine_conformance.rs`) hold them to that.
+//! modes. A generation-based **interner GC** (triggered at [`ConfigSim`]'s
+//! adaptive checkpoints) evicts states the configuration no longer holds
+//! and compacts the table, so even counter-churning protocols — the
+//! paper's `Log-Size-Estimation` and `Leader-Terminating` record states,
+//! which mint a fresh state on nearly every interaction — stay at
+//! live-support memory on arbitrarily long runs. That closed the last
+//! engine-selection carve-out: `EngineMode::Auto` on the count engines is
+//! the default for **every** protocol, and collection is
+//! trajectory-neutral (`tests/gc_equivalence.rs` holds sweeps with GC on
+//! and off to byte-identical output). All engines realize exactly the
+//! same stochastic process — the statistical-equivalence suites
+//! (`tests/batched_equivalence.rs`, `tests/unified_equivalence.rs`), the
+//! byte-level builder suite (`tests/builder_equivalence.rs`), and the
+//! `Engine` conformance suite (`crates/engine/tests/engine_conformance.rs`)
+//! hold them to that.
 //!
 //! ## Deprecation path
 //!

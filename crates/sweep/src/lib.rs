@@ -84,6 +84,8 @@ pub mod spec;
 pub mod trials;
 
 pub use agg::{PointResult, SweepReport, TrialRecord};
-pub use run::{merge_journals, run_sweep, SweepError, SweepExperiment, TrialCtx};
+pub use run::{
+    merge_journals, run_sweep, run_sweep_shard, Shard, SweepError, SweepExperiment, TrialCtx,
+};
 pub use spec::SweepSpec;
 pub use trials::{run_trials, run_trials_threaded, TrialOutcome};

@@ -133,6 +133,57 @@ impl From<String> for SweepError {
     }
 }
 
+/// A `k/N` shard assignment for distributed sweep production: the shard
+/// runs only the trials with `trial % N == k`, journaling them for a
+/// later `merge_journals` on the full spec. Shards of one spec partition
+/// the grid exactly (every trial is covered by exactly one shard), and
+/// each trial's seed is a pure function of its grid coordinates, so the
+/// merged report is byte-identical to a single-machine run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shard {
+    /// This shard's index, in `0..count`.
+    pub index: usize,
+    /// Total number of shards the grid is split across.
+    pub count: usize,
+}
+
+impl Shard {
+    /// A validated shard assignment (`index < count`, `count ≥ 1`).
+    pub fn new(index: usize, count: usize) -> Result<Self, String> {
+        if count == 0 {
+            return Err("shard count must be at least 1".into());
+        }
+        if index >= count {
+            return Err(format!(
+                "shard index {index} out of range for {count} shard(s) (expected 0..{count})"
+            ));
+        }
+        Ok(Self { index, count })
+    }
+
+    /// Whether this shard is responsible for `trial`.
+    fn covers(&self, trial: usize) -> bool {
+        trial % self.count == self.index
+    }
+}
+
+impl std::str::FromStr for Shard {
+    type Err = String;
+
+    /// Parses the CLI form `k/N` (e.g. `0/2`, `1/2`).
+    fn from_str(s: &str) -> Result<Self, String> {
+        let (index, count) = s
+            .split_once('/')
+            .ok_or_else(|| format!("invalid shard {s:?} (expected k/N, e.g. 0/2)"))?;
+        let parse = |part: &str| {
+            part.trim()
+                .parse::<usize>()
+                .map_err(|_| format!("invalid shard {s:?} (expected k/N with unsigned integers)"))
+        };
+        Shard::new(parse(index)?, parse(count)?)
+    }
+}
+
 /// One grid point: an experiment at a population size.
 struct GridPoint {
     exp: usize,
@@ -364,6 +415,68 @@ pub fn run_sweep(
     spec: &SweepSpec,
     experiments: &[SweepExperiment],
 ) -> Result<SweepReport, SweepError> {
+    let (points, slots, resumed) = execute(spec, experiments, None)?;
+    let results = points
+        .iter()
+        .zip(slots)
+        .map(|(gp, slots)| PointResult {
+            experiment: experiments[gp.exp].name.clone(),
+            n: gp.n,
+            metrics: experiments[gp.exp].metrics.clone(),
+            trials: slots
+                .into_iter()
+                .map(|s| s.expect("all trials completed"))
+                .collect(),
+        })
+        .collect();
+    Ok(SweepReport {
+        name: spec.name.clone(),
+        master_seed: spec.master_seed,
+        points: results,
+        resumed_trials: resumed,
+    })
+}
+
+/// Executes only this shard's slice of the grid (`trial % N == k`),
+/// journaling every completed trial — the producer half of a distributed
+/// sweep, paired with [`merge_journals`] on the collecting machine. The
+/// spec **must** carry a journal path (a shard's results live nowhere
+/// else). Returns the number of this shard's trials recorded in the
+/// journal after the run (including ones resumed from it).
+pub fn run_sweep_shard(
+    spec: &SweepSpec,
+    experiments: &[SweepExperiment],
+    shard: Shard,
+) -> Result<usize, SweepError> {
+    if spec.journal.is_none() {
+        return Err(SweepError(
+            "a shard run needs a journal path (set `journal = ...` in the spec or let the CLI \
+             derive one): its trials have nowhere else to live"
+                .into(),
+        ));
+    }
+    let (points, slots, _) = execute(spec, experiments, Some(shard))?;
+    Ok(points
+        .iter()
+        .enumerate()
+        .map(|(p, gp)| {
+            (0..gp.trials)
+                .filter(|&t| shard.covers(t) && slots[p][t].is_some())
+                .count()
+        })
+        .sum())
+}
+
+/// The shared grid executor: validation, journal resume, and the worker
+/// pool, over all tasks (`shard` = `None`) or one shard's slice. Returns
+/// the grid, the per-point trial slots (fully populated only for the
+/// covered tasks), and the number of trials resumed from the journal.
+#[allow(clippy::type_complexity)]
+fn execute(
+    spec: &SweepSpec,
+    experiments: &[SweepExperiment],
+    shard: Option<Shard>,
+) -> Result<(Vec<GridPoint>, Vec<Vec<Option<TrialRecord>>>, usize), SweepError> {
     if experiments.is_empty() {
         return Err(SweepError("a sweep needs at least one experiment".into()));
     }
@@ -443,16 +556,20 @@ pub fn run_sweep(
         .iter()
         .enumerate()
         .flat_map(|(p, gp)| (0..gp.trials).map(move |t| (p, t)))
-        .filter(|&(p, t)| state.slots[p][t].is_none())
+        .filter(|&(p, t)| state.slots[p][t].is_none() && shard.is_none_or(|s| s.covers(t)))
         .collect();
     let threads = spec.worker_threads().min(tasks.len()).max(1);
     eprintln!(
-        "[sweep] {:?}: {} points × up to {} trials = {} tasks on {} threads{}",
+        "[sweep] {:?}: {} points × up to {} trials = {} tasks on {} threads{}{}",
         spec.name,
         points.len(),
         trials,
         tasks.len(),
         threads,
+        match shard {
+            Some(s) => format!(" (shard {}/{})", s.index, s.count),
+            None => String::new(),
+        },
         if resumed > 0 {
             format!(" ({resumed} resumed from journal)")
         } else {
@@ -517,25 +634,7 @@ pub fn run_sweep(
     if let Some(error) = state.error {
         return Err(SweepError(error));
     }
-    let results = points
-        .iter()
-        .zip(state.slots)
-        .map(|(gp, slots)| PointResult {
-            experiment: experiments[gp.exp].name.clone(),
-            n: gp.n,
-            metrics: experiments[gp.exp].metrics.clone(),
-            trials: slots
-                .into_iter()
-                .map(|s| s.expect("all trials completed"))
-                .collect(),
-        })
-        .collect();
-    Ok(SweepReport {
-        name: spec.name.clone(),
-        master_seed: spec.master_seed,
-        points: results,
-        resumed_trials: resumed,
-    })
+    Ok((points, state.slots, resumed))
 }
 
 /// The canonical per-trial seed: a pure function of the master seed and

@@ -77,6 +77,76 @@ fn one_thread_and_many_threads_emit_identical_bytes() {
 }
 
 #[test]
+fn sharded_production_plus_merge_matches_single_machine_run() {
+    use pp_sweep::{merge_journals, run_sweep_shard, Shard};
+
+    // Reference: one machine runs the whole grid.
+    let mut spec = SweepSpec::new("shards", vec![500, 2_000], 9);
+    spec.master_seed = 0x5AAD;
+    spec.threads = 2;
+    let reference = run_sweep(&spec, &epidemic_experiments()).unwrap();
+
+    // Producers: three shard runs, each journaling its `trial % 3` slice.
+    let mut shard_paths = Vec::new();
+    for index in 0..3 {
+        let shard = Shard::new(index, 3).unwrap();
+        let mut shard_spec = spec.clone();
+        let path = temp_journal(&format!("shard{index}"));
+        shard_spec.journal = Some(path.clone());
+        let recorded = run_sweep_shard(&shard_spec, &epidemic_experiments(), shard).unwrap();
+        assert!(recorded > 0, "shard {index} ran nothing");
+        shard_paths.push(path);
+    }
+
+    // Collector: merge the shard journals into a fresh target and run the
+    // spec — every trial must replay from the merge, none re-execute, and
+    // the emitted bytes must match the single-machine reference exactly.
+    let mut collect_spec = spec.clone();
+    collect_spec.journal = Some(temp_journal("shard-merge-target"));
+    let available = merge_journals(&collect_spec, &epidemic_experiments(), &shard_paths).unwrap();
+    assert_eq!(
+        available,
+        reference.total_trials(),
+        "shards must cover the grid"
+    );
+    let merged = run_sweep(&collect_spec, &epidemic_experiments()).unwrap();
+    assert_eq!(merged.resumed_trials, reference.total_trials());
+    assert_eq!(
+        emitted(&reference),
+        emitted(&merged),
+        "merged shards must reproduce the single-machine bytes"
+    );
+
+    // A shard run without a journal has nowhere to put its trials.
+    let err =
+        run_sweep_shard(&spec, &epidemic_experiments(), Shard::new(0, 2).unwrap()).unwrap_err();
+    assert!(err.0.contains("journal"), "{err}");
+
+    for path in shard_paths {
+        let _ = std::fs::remove_file(path);
+    }
+    let _ = std::fs::remove_file(collect_spec.journal.unwrap());
+}
+
+#[test]
+fn shard_parsing_validates() {
+    use pp_sweep::Shard;
+
+    assert_eq!(
+        "0/2".parse::<Shard>().unwrap(),
+        Shard { index: 0, count: 2 }
+    );
+    assert_eq!(
+        "1/2".parse::<Shard>().unwrap(),
+        Shard { index: 1, count: 2 }
+    );
+    assert!("2/2".parse::<Shard>().is_err(), "index must be below count");
+    assert!("1".parse::<Shard>().is_err());
+    assert!("a/b".parse::<Shard>().is_err());
+    assert!("1/0".parse::<Shard>().is_err());
+}
+
+#[test]
 fn resumed_run_matches_uninterrupted_run() {
     let mut spec = SweepSpec::new("resume", vec![400, 900], 8);
     spec.master_seed = 99;

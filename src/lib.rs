@@ -11,6 +11,8 @@
 //!   contribution).
 //! * [`baselines`] — comparison protocols and downstream clients.
 //! * [`termination`] — Theorem 4.1 machinery (producibility, density).
+//! * [`sweep`] — the parallel sweep orchestrator (specs, journals,
+//!   shards).
 //!
 //! # Example
 //!
@@ -27,4 +29,5 @@ pub use pp_analysis as analysis;
 pub use pp_baselines as baselines;
 pub use pp_core as protocols;
 pub use pp_engine as engine;
+pub use pp_sweep as sweep;
 pub use pp_termination as termination;

@@ -29,16 +29,18 @@ use uniform_sizeest::engine::epidemic::{epidemic_completion_time, InfectionEpide
 use uniform_sizeest::engine::interned::Interned;
 use uniform_sizeest::engine::AgentSim;
 use uniform_sizeest::protocols::leader::{
-    run_terminating, run_terminating_counted, LeaderState, LeaderTerminating, TerminatingOutcome,
+    run_terminating_agentwise, run_terminating_counted, LeaderState, LeaderTerminating,
+    TerminatingOutcome,
 };
 use uniform_sizeest::protocols::log_size::{
-    estimate_log_size, is_converged, is_converged_counts, EstimateOutcome, FieldMaxima,
+    estimate_agentwise, is_converged, is_converged_counts, EstimateOutcome, FieldMaxima,
     LogSizeEstimation,
 };
 use uniform_sizeest::protocols::partition::{run_partition, PartitionOnly, PartitionOutcome};
 use uniform_sizeest::protocols::state::Role;
 
-/// The pre-builder body of `estimate_log_size` (agent engine), verbatim.
+/// The pre-builder body of `estimate_log_size` (then agent-engine), verbatim;
+/// `estimate_agentwise` is its builder-backed successor.
 fn legacy_estimate_log_size(n: usize, seed: u64, budget: f64) -> EstimateOutcome {
     let mut sim = AgentSim::new(LogSizeEstimation::paper(), n, seed);
     let mut maxima = FieldMaxima::default();
@@ -65,11 +67,11 @@ fn legacy_estimate_log_size(n: usize, seed: u64, budget: f64) -> EstimateOutcome
 }
 
 #[test]
-fn estimate_log_size_matches_legacy_agent_sim_byte_for_byte() {
+fn estimate_agentwise_matches_legacy_agent_sim_byte_for_byte() {
     for (n, seed) in [(100usize, 7u64), (150, 8), (200, 9)] {
         let budget = 1e7;
         let legacy = legacy_estimate_log_size(n, seed, budget);
-        let built = estimate_log_size(n, seed, Some(budget));
+        let built = estimate_agentwise(LogSizeEstimation::paper(), n, seed, Some(budget));
         assert!(legacy.converged);
         assert_eq!(legacy, built, "n={n} seed={seed}");
     }
@@ -142,7 +144,7 @@ fn finish_terminating(
     }
 }
 
-/// The pre-builder body of `run_terminating` (agent engine, planted
+/// The pre-builder body of `run_terminating` (then agent-engine, planted
 /// leader via `set_state`), verbatim.
 fn legacy_run_terminating(n: usize, seed: u64, max_time: f64) -> TerminatingOutcome {
     let mut sim = AgentSim::new(LeaderTerminating::paper(), n, seed);
@@ -161,10 +163,10 @@ fn legacy_run_terminating(n: usize, seed: u64, max_time: f64) -> TerminatingOutc
 }
 
 #[test]
-fn run_terminating_matches_legacy_agent_sim_byte_for_byte() {
+fn run_terminating_agentwise_matches_legacy_agent_sim_byte_for_byte() {
     let (n, seed) = (100usize, 31u64);
     let legacy = legacy_run_terminating(n, seed, 5e6);
-    let built = run_terminating(n, seed, 5e6);
+    let built = run_terminating_agentwise(n, seed, 5e6);
     assert_eq!(legacy, built);
 }
 

@@ -30,7 +30,9 @@ use uniform_sizeest::engine::batch::{BatchedCountSim, ConfigSim};
 use uniform_sizeest::engine::count_sim::{CountConfiguration, CountSim};
 use uniform_sizeest::engine::interned::Interned;
 use uniform_sizeest::engine::rng::derive_seed;
-use uniform_sizeest::protocols::log_size::{estimate_counted, estimate_with, LogSizeEstimation};
+use uniform_sizeest::protocols::log_size::{
+    estimate_agentwise, estimate_counted, LogSizeEstimation,
+};
 
 mod common;
 use common::{eq_trials, ks_statistic, ks_threshold};
@@ -58,7 +60,7 @@ fn log_size_estimation_agentwise_and_counted_agree() {
             let out = if counted {
                 estimate_counted(protocol, n, seed, None)
             } else {
-                estimate_with(protocol, n, seed, None)
+                estimate_agentwise(protocol, n, seed, None)
             };
             assert!(out.converged, "run failed to converge");
             times.push(out.time);
