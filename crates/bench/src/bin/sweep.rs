@@ -3,9 +3,18 @@
 //!
 //! ```text
 //! sweep <spec.toml|spec.json> [--threads N] [--trials T] [--seed S]
+//!                             [--max-retries R] [--fault kill@N]
 //!                             [--shard k/N] [--merge a.jsonl b.jsonl ...]
 //! sweep --list
 //! ```
+//!
+//! `--max-retries R` retries a panicking trial up to `R` times (with
+//! backoff) before recording it as failed; a sweep with failed trials
+//! still completes and reports the failure count. `--fault kill@N` arms
+//! the deterministic fault-injection harness: the process aborts (like a
+//! SIGKILL) after `N` trials complete — re-running the same spec then
+//! resumes from the journal, and the final outputs are byte-identical to
+//! an uninterrupted run (CI asserts this on every push).
 //!
 //! The spec names its experiments (see `sweep --list` for the catalogue),
 //! sizes, trials, engine policy, master seed, and optionally a journal
@@ -55,6 +64,8 @@ fn main() {
     let mut threads = None;
     let mut trials = None;
     let mut seed = None;
+    let mut max_retries = None;
+    let mut fault = None;
     let mut shard: Option<Shard> = None;
     let mut merge: Option<Vec<PathBuf>> = None;
     let mut i = 1;
@@ -71,6 +82,18 @@ fn main() {
             "--seed" => {
                 i += 1;
                 seed = Some(parse_num(&args, i, "--seed"));
+            }
+            "--max-retries" => {
+                i += 1;
+                max_retries = Some(parse_num(&args, i, "--max-retries"));
+            }
+            "--fault" => {
+                i += 1;
+                let value = args
+                    .get(i)
+                    .unwrap_or_else(|| die("--fault needs a value (kill@N)"));
+                pp_engine::env::parse_fault(value).unwrap_or_else(|e| die(&e));
+                fault = Some(value.clone());
             }
             "--shard" => {
                 i += 1;
@@ -100,8 +123,8 @@ fn main() {
             }
             other => die(&format!(
                 "unknown argument {other}; usage: sweep <spec.toml|spec.json> \
-                 [--threads N] [--trials T] [--seed S] [--shard k/N] \
-                 [--merge a.jsonl b.jsonl ...] | sweep --list"
+                 [--threads N] [--trials T] [--seed S] [--max-retries R] [--fault kill@N] \
+                 [--shard k/N] [--merge a.jsonl b.jsonl ...] | sweep --list"
             )),
         }
         i += 1;
@@ -122,6 +145,12 @@ fn main() {
     }
     if let Some(seed) = seed {
         spec.master_seed = seed;
+    }
+    if let Some(max_retries) = max_retries {
+        spec.max_retries = max_retries as usize;
+    }
+    if let Some(fault) = fault {
+        spec.fault = Some(fault);
     }
     // Relative journal paths anchor at the workspace root (like the
     // results/ outputs), so resume finds the journal regardless of the
@@ -170,6 +199,12 @@ fn main() {
         report.total_trials(),
         report.master_seed
     );
+    if report.failed_trials > 0 {
+        println!(
+            "WARNING: {} trial(s) failed permanently and are missing from the aggregates",
+            report.failed_trials
+        );
+    }
     let rows = emit::summary_rows(&report);
     print_table(&emit::SUMMARY_HEADER, &rows);
 

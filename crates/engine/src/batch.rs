@@ -297,6 +297,70 @@ impl<P: CountProtocol> BatchedCountSim<P> {
         (self.protocol, config, self.rng, self.interactions)
     }
 
+    /// Rebuilds a batched simulator from checkpoint parts. Unlike
+    /// [`BatchedCountSim::from_parts`] — which re-canonicalizes the slot
+    /// order and draws a fresh table seed from the simulation stream —
+    /// this restores the *internal* discovery-order slot layout and both
+    /// RNG streams verbatim, consuming nothing: a restored simulator
+    /// continues byte-for-byte identically to the snapshotted one. The
+    /// law table is rebuilt lazily, which is trajectory-neutral because
+    /// law probing only ever reads `table_rng`.
+    pub(crate) fn from_snapshot_parts(
+        protocol: P,
+        states: Vec<P::State>,
+        counts: Vec<u64>,
+        rng: SimRng,
+        table_rng: SimRng,
+        interactions: u64,
+    ) -> Self {
+        assert_eq!(states.len(), counts.len(), "snapshot slot tables disagree");
+        let n: u64 = counts.iter().sum();
+        assert!(n >= 2, "population must have at least 2 agents, got {n}");
+        let mut index = BTreeMap::new();
+        for (i, &s) in states.iter().enumerate() {
+            let prev = index.insert(s, i);
+            assert!(
+                prev.is_none(),
+                "snapshot has duplicate discovered state {s:?}"
+            );
+        }
+        let k = states.len();
+        let cap = k.max(4);
+        let (survival, boundary_reached) = collision_survival(n);
+        let expected_batch_len = survival.iter().skip(1).sum();
+        Self {
+            protocol,
+            rng,
+            table_rng,
+            n,
+            interactions,
+            states,
+            index,
+            counts,
+            cap,
+            table: vec![UNCOMPUTED; cap * cap],
+            laws: vec![PairLaw::Sampled],
+            survival,
+            boundary_reached,
+            expected_batch_len,
+            recv: vec![0; k],
+            send: vec![0; k],
+            touched: vec![0; k],
+            row_reactive: Vec::new(),
+            col_reactive: Vec::new(),
+        }
+    }
+
+    /// Checkpoint accessor: the internal discovery-order slot tables plus
+    /// both RNG streams. The returned counts are padded to the state-table
+    /// length (they can transiently lag it by construction), so the two
+    /// vectors always pair up slot for slot.
+    pub(crate) fn snapshot_parts(&self) -> (&[P::State], Vec<u64>, &SimRng, &SimRng) {
+        let mut counts = self.counts.clone();
+        counts.resize(self.states.len(), 0);
+        (&self.states, counts, &self.rng, &self.table_rng)
+    }
+
     /// Number of *occupied* states (non-zero counts) — the `k` that drives
     /// the `O(k²)` per-batch law-table work.
     pub(crate) fn occupied_support(&self) -> usize {
@@ -1100,13 +1164,11 @@ const GC_DEAD_FACTOR: usize = 4;
 const GC_MIN_TABLE: usize = 1024;
 
 /// Whether interner GC is enabled for newly built simulators: on unless
-/// the `PP_GC` environment variable says `off`/`0` (the kill switch the
-/// GC-equivalence suite flips to prove collection is trajectory-neutral).
+/// the `PP_GC` environment variable says `off`/`0`/`false` (the kill
+/// switch the GC-equivalence suite flips to prove collection is
+/// trajectory-neutral). Parsed by the shared [`crate::env`] helper.
 fn gc_enabled_from_env() -> bool {
-    !matches!(
-        std::env::var("PP_GC").as_deref(),
-        Ok("off") | Ok("0") | Ok("false")
-    )
+    crate::env::flag("PP_GC", true)
 }
 
 /// Message for the engine-slot invariant (`None` only transiently inside
@@ -1261,6 +1323,74 @@ impl<P: CountProtocol> ConfigSim<P> {
     /// Whether the batched engine is active.
     pub fn is_batched(&self) -> bool {
         matches!(self.eng(), Engine::Batched(_))
+    }
+
+    /// Checkpoint accessor: `(adaptive, gc, switches, collections)` — the
+    /// facade's own state beside the inner engine.
+    pub(crate) fn snapshot_flags(&self) -> (bool, bool, u32, u32) {
+        (self.adaptive, self.gc, self.switches, self.collections)
+    }
+
+    /// Checkpoint accessor: the inner sequential engine, if active.
+    pub(crate) fn inner_sequential(&self) -> Option<&CountSim<P>> {
+        match self.eng() {
+            Engine::Sequential(s) => Some(s),
+            Engine::Batched(_) => None,
+        }
+    }
+
+    /// Checkpoint accessor: the inner batched engine, if active.
+    pub(crate) fn inner_batched(&self) -> Option<&BatchedCountSim<P>> {
+        match self.eng() {
+            Engine::Sequential(_) => None,
+            Engine::Batched(b) => Some(b),
+        }
+    }
+
+    /// Checkpoint accessor: the protocol, whichever engine holds it.
+    pub(crate) fn protocol(&self) -> &P {
+        match self.eng() {
+            Engine::Sequential(s) => s.protocol(),
+            Engine::Batched(b) => b.protocol(),
+        }
+    }
+
+    /// Rebuilds a facade around a restored sequential engine, setting the
+    /// facade counters directly (never consulting the environment — a
+    /// restored run must match the snapshotted one even if `PP_GC`
+    /// changed in between).
+    pub(crate) fn from_restored_sequential(
+        sim: CountSim<P>,
+        adaptive: bool,
+        gc: bool,
+        switches: u32,
+        collections: u32,
+    ) -> Self {
+        Self {
+            engine: Some(Engine::Sequential(sim)),
+            adaptive,
+            switches,
+            gc,
+            collections,
+        }
+    }
+
+    /// Rebuilds a facade around a restored batched engine (see
+    /// [`ConfigSim::from_restored_sequential`]).
+    pub(crate) fn from_restored_batched(
+        sim: BatchedCountSim<P>,
+        adaptive: bool,
+        gc: bool,
+        switches: u32,
+        collections: u32,
+    ) -> Self {
+        Self {
+            engine: Some(Engine::Batched(sim)),
+            adaptive,
+            switches,
+            gc,
+            collections,
+        }
     }
 
     /// Number of mid-run engine switches performed so far (always 0 outside

@@ -295,6 +295,54 @@ impl<S: Copy + Ord + std::fmt::Debug> CountConfiguration<S> {
         }
     }
 
+    /// Checkpoint accessor: the raw slot tables `(states, counts, free)`.
+    /// Everything else — index, totals, Fenwick tree — is a pure function
+    /// of these three (see [`Self::from_snapshot_parts`]).
+    pub(crate) fn snapshot_parts(&self) -> (&[S], &[u64], &[usize]) {
+        (&self.states, &self.counts, &self.free)
+    }
+
+    /// Rebuilds a configuration from checkpoint parts, reconstructing the
+    /// derived fields deterministically: the index holds every slot not on
+    /// the free list, and the Fenwick tree is rebuilt bottom-up. The
+    /// incremental maintenance (`tree_add`/`tree_sub`/`tree_append`) keeps
+    /// every node at the exact sum of its slot range, so the rebuilt tree
+    /// is bit-identical to the one the snapshotted instance carried — a
+    /// restored configuration draws the same pairs from the same RNG
+    /// stream.
+    pub(crate) fn from_snapshot_parts(states: Vec<S>, counts: Vec<u64>, free: Vec<usize>) -> Self {
+        assert_eq!(states.len(), counts.len(), "snapshot slot tables disagree");
+        let freed: std::collections::BTreeSet<usize> = free.iter().copied().collect();
+        let mut index = BTreeMap::new();
+        for (slot, &s) in states.iter().enumerate() {
+            if !freed.contains(&slot) {
+                let prev = index.insert(s, slot);
+                assert!(prev.is_none(), "snapshot has duplicate live state {s:?}");
+            }
+        }
+        let total = counts.iter().sum();
+        let occupied = counts.iter().filter(|&&c| c > 0).count();
+        let k = counts.len();
+        let mut tree = vec![0u64; k + 1];
+        for i in 1..=k {
+            tree[i] += counts[i - 1];
+            let j = i + (i & i.wrapping_neg());
+            if j <= k {
+                let node = tree[i];
+                tree[j] += node;
+            }
+        }
+        Self {
+            states,
+            counts,
+            index,
+            total,
+            occupied,
+            tree,
+            free,
+        }
+    }
+
     /// Total number of agents.
     pub fn population_size(&self) -> u64 {
         self.total
@@ -569,6 +617,11 @@ impl<P: CountProtocol> CountSim<P> {
     /// The protocol being simulated.
     pub(crate) fn protocol(&self) -> &P {
         &self.protocol
+    }
+
+    /// Checkpoint accessor: the RNG stream.
+    pub(crate) fn rng(&self) -> &SimRng {
+        &self.rng
     }
 
     /// Runs one interner-GC pass ([`CountProtocol::collect_table`]) rooted

@@ -206,6 +206,26 @@ impl<S: Clone + Eq + Hash> StateTable<S> {
         self.generation += 1;
         renames
     }
+
+    /// Rebuilds a table from checkpoint parts: the id-ordered state list
+    /// plus the generation and telemetry counters. The reverse map is
+    /// derived, so the restored table interns and decodes exactly like the
+    /// snapshotted one.
+    fn from_snapshot_parts(states: Vec<S>, generation: u64, total_interned: u64) -> Self {
+        let mut ids = FnvMap::default();
+        ids.reserve(states.len());
+        for (i, s) in states.iter().enumerate() {
+            let id = u32::try_from(i).expect("more than u32::MAX distinct states");
+            let prev = ids.insert(s.clone(), id);
+            assert!(prev.is_none(), "snapshot has a duplicate interned state");
+        }
+        Self {
+            states,
+            ids,
+            generation,
+            total_interned,
+        }
+    }
 }
 
 /// A cloneable handle onto an [`Interned`] adapter's id ↔ state table.
@@ -341,6 +361,41 @@ where
     /// [`Protocol::initial_state`].
     pub fn uniform_config(&self, n: u64) -> CountConfiguration<u32> {
         CountConfiguration::uniform(self.intern_state(self.protocol.initial_state()), n)
+    }
+
+    /// Checkpoint accessor: `(id-ordered states, generation,
+    /// total_interned, deterministic)` — everything a snapshot needs to
+    /// rebuild the adapter exactly.
+    pub(crate) fn snapshot_parts(&self) -> (Vec<P::State>, u64, u64, bool) {
+        let table = self.table.borrow();
+        (
+            table.states.clone(),
+            table.generation,
+            table.total_interned,
+            self.deterministic,
+        )
+    }
+
+    /// Rebuilds an adapter from checkpoint parts (see
+    /// [`Interned::snapshot_parts`]). The state list keeps its exact
+    /// id-order layout, so a slot-id configuration captured alongside it
+    /// decodes — and interns new states — unchanged.
+    pub(crate) fn from_snapshot_parts(
+        protocol: P,
+        states: Vec<P::State>,
+        generation: u64,
+        total_interned: u64,
+        deterministic: bool,
+    ) -> Self {
+        Self {
+            protocol,
+            table: Rc::new(RefCell::new(StateTable::from_snapshot_parts(
+                states,
+                generation,
+                total_interned,
+            ))),
+            deterministic,
+        }
     }
 
     /// Builds a slot-id configuration from protocol-state `(state, count)`

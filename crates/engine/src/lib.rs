@@ -141,6 +141,7 @@
 
 pub mod batch;
 pub mod count_sim;
+pub mod env;
 pub mod epidemic;
 pub mod interned;
 pub mod protocol;
@@ -149,6 +150,7 @@ pub mod rng;
 pub mod scheduler;
 pub mod sim;
 pub mod simulation;
+pub mod snapshot;
 
 pub use batch::{BatchedCountSim, ConfigSim, DeterministicCountProtocol, EngineMode};
 pub use count_sim::{CountConfiguration, CountProtocol, CountSeededInit, CountSim, Outcomes};
@@ -159,3 +161,4 @@ pub use rng::{derive_seed, SimRng};
 pub use scheduler::{OrderedPair, PairScheduler};
 pub use sim::{AgentSim, RunOutcome};
 pub use simulation::{count_of, Engine, EngineKind, Observer, SimMode, Simulation};
+pub use snapshot::{crc32, Snapshot, SnapshotError, SnapshotState};

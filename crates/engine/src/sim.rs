@@ -58,6 +58,32 @@ impl<P: Protocol> AgentSim<P> {
         }
     }
 
+    /// Rebuilds a simulator from checkpoint parts. The pair scheduler is
+    /// stateless (rebuilt from the population size), so `(states, rng,
+    /// interactions)` is the simulator's entire mutable state: a restored
+    /// run continues byte-for-byte identically to the snapshotted one.
+    pub(crate) fn from_snapshot_parts(
+        protocol: P,
+        states: Vec<P::State>,
+        rng: SimRng,
+        interactions: u64,
+    ) -> Self {
+        let n = states.len();
+        assert!(n >= 2, "population must have at least 2 agents, got {n}");
+        Self {
+            protocol,
+            states,
+            scheduler: PairScheduler::new(n),
+            rng,
+            interactions,
+        }
+    }
+
+    /// Checkpoint accessor: the RNG stream.
+    pub(crate) fn rng(&self) -> &SimRng {
+        &self.rng
+    }
+
     /// Population size.
     pub fn population_size(&self) -> usize {
         self.states.len()

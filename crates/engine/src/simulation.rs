@@ -80,12 +80,14 @@
 
 use std::collections::HashMap;
 use std::hash::Hash;
+use std::path::{Path, PathBuf};
 
 use crate::batch::{BatchedCountSim, ConfigSim, EngineMode};
 use crate::count_sim::{CountConfiguration, CountProtocol, CountSeededInit, CountSim};
 use crate::interned::{Interned, InternerHandle};
 use crate::protocol::{Protocol, SeededInit};
 use crate::sim::{AgentSim, RunOutcome};
+use crate::snapshot::{self, Snapshot, SnapshotError, SnapshotState};
 
 /// Which concrete simulator an [`Engine`] is currently running on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -127,6 +129,17 @@ pub trait Engine<S> {
 
     /// The concrete simulator currently executing interactions.
     fn kind(&self) -> EngineKind;
+
+    /// Serializes the engine's full mutable state into a versioned
+    /// [`Snapshot`] (see [`crate::snapshot`] for the format guarantees).
+    ///
+    /// Supported by engines built with checkpointing enabled (the
+    /// builders' `checkpoint_to` / `resume`); the default implementation
+    /// reports [`SnapshotError::Unsupported`], so existing `Engine`
+    /// implementations are unaffected.
+    fn snapshot(&self) -> Result<Snapshot, SnapshotError> {
+        Err(SnapshotError::Unsupported)
+    }
 }
 
 /// Count of agents in `state` within a decoded view (0 if absent).
@@ -313,6 +326,124 @@ where
     }
 }
 
+/// [`AgentSim`] with checkpoint support: delegates every [`Engine`]
+/// method and overrides [`Engine::snapshot`] under the [`SnapshotState`]
+/// bound. The wrapper (rather than a bound on the plain `Engine` impls)
+/// keeps checkpointing opt-in: protocols whose states have no codec build
+/// and run exactly as before.
+struct CheckpointAgent<P: Protocol>(AgentSim<P>)
+where
+    P::State: Eq + Hash;
+
+impl<P: Protocol> Engine<P::State> for CheckpointAgent<P>
+where
+    P::State: Eq + Hash + SnapshotState,
+{
+    fn population_size(&self) -> u64 {
+        Engine::population_size(&self.0)
+    }
+
+    fn interactions(&self) -> u64 {
+        Engine::interactions(&self.0)
+    }
+
+    fn time(&self) -> f64 {
+        Engine::time(&self.0)
+    }
+
+    fn advance(&mut self, budget: u64) -> u64 {
+        Engine::advance(&mut self.0, budget)
+    }
+
+    fn view(&self) -> Vec<(P::State, u64)> {
+        Engine::view(&self.0)
+    }
+
+    fn kind(&self) -> EngineKind {
+        Engine::kind(&self.0)
+    }
+
+    fn snapshot(&self) -> Result<Snapshot, SnapshotError> {
+        Ok(snapshot::encode_agent(&self.0))
+    }
+}
+
+/// [`ConfigSim`] with checkpoint support (see [`CheckpointAgent`]).
+struct CheckpointConfig<P: CountProtocol>(ConfigSim<P>);
+
+impl<P: CountProtocol> Engine<P::State> for CheckpointConfig<P>
+where
+    P::State: SnapshotState,
+{
+    fn population_size(&self) -> u64 {
+        Engine::population_size(&self.0)
+    }
+
+    fn interactions(&self) -> u64 {
+        Engine::interactions(&self.0)
+    }
+
+    fn time(&self) -> f64 {
+        Engine::time(&self.0)
+    }
+
+    fn advance(&mut self, budget: u64) -> u64 {
+        Engine::advance(&mut self.0, budget)
+    }
+
+    fn view(&self) -> Vec<(P::State, u64)> {
+        Engine::view(&self.0)
+    }
+
+    fn kind(&self) -> EngineKind {
+        Engine::kind(&self.0)
+    }
+
+    fn snapshot(&self) -> Result<Snapshot, SnapshotError> {
+        Ok(snapshot::encode_config_sim(&self.0))
+    }
+}
+
+/// [`InternedEngine`] with checkpoint support (see [`CheckpointAgent`]):
+/// the snapshot additionally carries the interner table, its GC
+/// generation, and the deterministic certification.
+struct CheckpointInterned<P: Protocol>(InternedEngine<P>)
+where
+    P::State: Eq + Hash;
+
+impl<P: Protocol> Engine<P::State> for CheckpointInterned<P>
+where
+    P::State: Eq + Hash + SnapshotState,
+{
+    fn population_size(&self) -> u64 {
+        Engine::population_size(&self.0)
+    }
+
+    fn interactions(&self) -> u64 {
+        Engine::interactions(&self.0)
+    }
+
+    fn time(&self) -> f64 {
+        Engine::time(&self.0)
+    }
+
+    fn advance(&mut self, budget: u64) -> u64 {
+        Engine::advance(&mut self.0, budget)
+    }
+
+    fn view(&self) -> Vec<(P::State, u64)> {
+        Engine::view(&self.0)
+    }
+
+    fn kind(&self) -> EngineKind {
+        Engine::kind(&self.0)
+    }
+
+    fn snapshot(&self) -> Result<Snapshot, SnapshotError> {
+        Ok(snapshot::encode_interned(&self.0.sim))
+    }
+}
+
 /// Engine selection for [`Simulation::builder`].
 ///
 /// Agent-level protocols can run either on the per-agent array
@@ -356,6 +487,8 @@ struct Policy<'a, S> {
     max_time: f64,
     predicate: Option<BoxedPredicate<'a, S>>,
     observers: Vec<BoxedObserver<'a, S>>,
+    checkpoint_every: Option<u64>,
+    checkpoint_path: Option<PathBuf>,
 }
 
 impl<S> Default for Policy<'_, S> {
@@ -366,8 +499,21 @@ impl<S> Default for Policy<'_, S> {
             max_time: f64::INFINITY,
             predicate: None,
             observers: Vec::new(),
+            checkpoint_every: None,
+            checkpoint_path: None,
         }
     }
+}
+
+/// Active checkpoint policy inside a built [`Simulation`].
+struct CheckpointPlan {
+    /// Snapshot destination (written atomically, see
+    /// [`Snapshot::write_atomic`]).
+    path: PathBuf,
+    /// Minimum interactions between snapshot writes.
+    every: u64,
+    /// Interaction clock at the last write (0 = none yet).
+    last: u64,
 }
 
 /// The policy surface shared verbatim by [`SimulationBuilder`] and
@@ -429,6 +575,17 @@ macro_rules! policy_methods {
             self.policy.observers.push(Box::new(observer));
             self
         }
+
+        /// Minimum interactions between crash-recovery snapshots (default:
+        /// the `check_every` cadence). Snapshots fire at the existing
+        /// observer checkpoints — never between them, never consuming
+        /// engine randomness — so this is rounded up to checkpoint
+        /// boundaries. Effective only together with `checkpoint_to`.
+        pub fn checkpoint_every(mut self, interactions: u64) -> Self {
+            assert!(interactions > 0, "checkpoint_every must be positive");
+            self.policy.checkpoint_every = Some(interactions);
+            self
+        }
     };
 }
 
@@ -445,6 +602,7 @@ pub struct Simulation<'a, S> {
     max_time: f64,
     predicate: Option<BoxedPredicate<'a, S>>,
     observers: Vec<BoxedObserver<'a, S>>,
+    checkpoint: Option<CheckpointPlan>,
 }
 
 impl<'a, S: Clone> Simulation<'a, S> {
@@ -476,7 +634,62 @@ impl<'a, S: Clone> Simulation<'a, S> {
             max_time: f64::INFINITY,
             predicate: None,
             observers: Vec::new(),
+            checkpoint: None,
         }
+    }
+
+    /// Assembles a simulation from a restored or freshly built engine plus
+    /// the builder policy (the single construction path both builders and
+    /// both `resume` surfaces share).
+    fn assemble(engine: Box<dyn Engine<S> + 'a>, policy: Policy<'a, S>) -> Self {
+        let n = engine.population_size().max(1);
+        let check_every = policy.check_every.unwrap_or(n);
+        Self {
+            engine,
+            check_every,
+            max_time: policy.max_time,
+            predicate: policy.predicate,
+            observers: policy.observers,
+            checkpoint: policy.checkpoint_path.map(|path| CheckpointPlan {
+                path,
+                every: policy.checkpoint_every.unwrap_or(check_every),
+                last: 0,
+            }),
+        }
+    }
+
+    /// Resumes an agent-protocol run from a snapshot file under default
+    /// policy — shorthand for `Simulation::builder(protocol).resume(path)`;
+    /// use the builder form to configure predicates, budgets, observers,
+    /// or continued checkpointing on the resumed run.
+    pub fn resume<P>(protocol: P, path: impl AsRef<Path>) -> Result<Self, SnapshotError>
+    where
+        P: Protocol<State = S> + 'a,
+        S: Eq + Hash + SnapshotState + 'a,
+    {
+        SimulationBuilder::new(protocol).resume(path)
+    }
+
+    /// Resumes a count-protocol run from a snapshot file under default
+    /// policy (see [`Simulation::resume`]).
+    pub fn resume_count<P>(protocol: P, path: impl AsRef<Path>) -> Result<Self, SnapshotError>
+    where
+        P: CountProtocol<State = S> + 'a,
+        S: SnapshotState + 'a,
+    {
+        CountSimulationBuilder::new(protocol).resume(path)
+    }
+
+    /// Writes a snapshot of the engine's current state to `path`
+    /// immediately (atomically — see [`Snapshot::write_atomic`]).
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Unsupported`] unless the simulation was built with
+    /// checkpoint support (`checkpoint_to` or `resume`); I/O errors pass
+    /// through.
+    pub fn snapshot_to(&self, path: impl AsRef<Path>) -> Result<(), SnapshotError> {
+        self.engine.snapshot()?.write_atomic(path.as_ref())
     }
 
     /// Population size `n`.
@@ -572,6 +785,21 @@ impl<'a, S: Clone> Simulation<'a, S> {
     /// `check_every` interactions, each followed by a checkpoint, until
     /// the predicate holds or the absolute interaction budget
     /// `ceil(max_time · n)` is exhausted.
+    ///
+    /// Crash-recovery snapshots (when configured) are written at these
+    /// same checkpoints — after the observers, before the predicate — so
+    /// they never consume engine randomness and never observe a state
+    /// between checkpoints. The `PP_FAULT=kill@<interaction>` fault plan
+    /// (see [`crate::env`]) is honored here too: the process aborts —
+    /// modelling a SIGKILL — at the first checkpoint whose interaction
+    /// clock has reached the planned point, after writing any due
+    /// snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a configured snapshot cannot be produced or written —
+    /// a crash-recovery layer that silently drops checkpoints is worse
+    /// than none.
     fn drive(
         &mut self,
         mut predicate: impl FnMut(&[(S, u64)]) -> bool,
@@ -580,11 +808,41 @@ impl<'a, S: Clone> Simulation<'a, S> {
         assert!(self.check_every > 0, "check_every must be positive");
         let n = self.engine.population_size();
         let max_interactions = (max_time * n as f64).ceil() as u64;
+        let fault = crate::env::fault_plan();
         loop {
             let view = self.engine.view();
             let (time, interactions) = (self.engine.time(), self.engine.interactions());
             for obs in &mut self.observers {
                 obs(time, interactions, &view);
+            }
+            let exhausted = interactions >= max_interactions;
+            if let Some(cp) = &mut self.checkpoint {
+                // Due every `cp.every` interactions, and at the final
+                // budget boundary so an exhausted phase can be resumed
+                // from exactly where it stopped.
+                let due =
+                    interactions > cp.last && (interactions - cp.last >= cp.every || exhausted);
+                if due {
+                    let snap = self
+                        .engine
+                        .snapshot()
+                        .unwrap_or_else(|e| panic!("checkpoint failed: {e}"));
+                    snap.write_atomic(&cp.path).unwrap_or_else(|e| {
+                        panic!("checkpoint write to {} failed: {e}", cp.path.display())
+                    });
+                    cp.last = interactions;
+                }
+            }
+            if let Some(plan) = fault {
+                if interactions >= plan.kill_at {
+                    // Deterministic fault injection: die like a SIGKILL
+                    // would — no unwinding, no destructors, nonzero exit.
+                    eprintln!(
+                        "PP_FAULT: aborting at checkpoint {interactions} >= kill@{}",
+                        plan.kill_at
+                    );
+                    std::process::abort();
+                }
             }
             if predicate(&view) {
                 return RunOutcome {
@@ -593,7 +851,7 @@ impl<'a, S: Clone> Simulation<'a, S> {
                     interactions,
                 };
             }
-            if interactions >= max_interactions {
+            if exhausted {
                 return RunOutcome {
                     converged: false,
                     time,
@@ -633,6 +891,26 @@ enum InitSpec<'a, S> {
     Assign(Box<dyn Fn(usize, usize) -> S + 'a>),
 }
 
+/// What [`SimulationBuilder::build`] produces before boxing: the engine
+/// value with its concrete type still visible, so the checkpoint wrap
+/// closure (installed by [`SimulationBuilder::checkpoint_to`], which
+/// carries the [`SnapshotState`] bound `build` itself does not have) can
+/// wrap it in the matching snapshot-capable adapter.
+#[allow(clippy::large_enum_variant)] // transient: consumed by `build` immediately
+enum BuiltAgentEngine<P: Protocol>
+where
+    P::State: Eq + Hash,
+{
+    Agent(AgentSim<P>),
+    Interned(InternedEngine<P>),
+}
+
+/// Boxed closure turning a [`BuiltAgentEngine`] into the final boxed
+/// engine — identity boxing by default, checkpoint-adapter boxing when
+/// [`SimulationBuilder::checkpoint_to`] was called.
+type AgentWrap<'a, P> =
+    Box<dyn FnOnce(BuiltAgentEngine<P>) -> Box<dyn Engine<<P as Protocol>::State> + 'a> + 'a>;
+
 /// Builder for agent-level [`Protocol`] simulations. Construct via
 /// [`Simulation::builder`]; see the [module docs](self) for the builder
 /// walkthrough.
@@ -646,6 +924,7 @@ where
     deterministic: bool,
     init: InitSpec<'a, P::State>,
     policy: Policy<'a, P::State>,
+    wrap: Option<AgentWrap<'a, P>>,
 }
 
 impl<'a, P: Protocol> SimulationBuilder<'a, P>
@@ -660,6 +939,7 @@ where
             deterministic: false,
             init: InitSpec::Uniform,
             policy: Policy::default(),
+            wrap: None,
         }
     }
 
@@ -721,6 +1001,63 @@ where
 
     policy_methods!(P::State);
 
+    /// Enables crash-recovery checkpoints: a versioned, checksummed
+    /// snapshot of the full engine state is written atomically to `path`
+    /// at the cadence set by
+    /// [`checkpoint_every`](SimulationBuilder::checkpoint_every)
+    /// (default: the observer cadence). Resume later with
+    /// [`SimulationBuilder::resume`]; the resumed run continues
+    /// byte-for-byte identically to the uninterrupted one. Requires the
+    /// state type to implement [`SnapshotState`].
+    pub fn checkpoint_to(mut self, path: impl Into<PathBuf>) -> Self
+    where
+        P: 'a,
+        P::State: SnapshotState + 'a,
+    {
+        self.policy.checkpoint_path = Some(path.into());
+        self.wrap = Some(Box::new(|built| match built {
+            BuiltAgentEngine::Agent(sim) => Box::new(CheckpointAgent(sim)),
+            BuiltAgentEngine::Interned(sim) => Box::new(CheckpointInterned(sim)),
+        }));
+        self
+    }
+
+    /// Resumes a simulation from a snapshot written by a checkpointing
+    /// run of the same protocol. The engine state (population, mode,
+    /// RNG stream, interaction clock) comes entirely from the snapshot —
+    /// `size`/`mode`/`init`/`deterministic` settings on this builder are
+    /// ignored — while run policy (predicate, observers, budgets,
+    /// checkpoint cadence and destination) is taken from this builder,
+    /// so a resumed run can keep checkpointing.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the file cannot be read, fails its checksum, or holds a
+    /// snapshot of a count-protocol engine.
+    pub fn resume(self, path: impl AsRef<Path>) -> Result<Simulation<'a, P::State>, SnapshotError>
+    where
+        P: 'a,
+        P::State: SnapshotState + 'a,
+    {
+        let snap = Snapshot::read(path.as_ref())?;
+        let engine: Box<dyn Engine<P::State> + 'a> = match snap.kind {
+            snapshot::KIND_AGENT => Box::new(CheckpointAgent(snapshot::decode_agent(
+                self.protocol,
+                &snap.body,
+            )?)),
+            snapshot::KIND_INTERNED => {
+                let (sim, handle) = snapshot::decode_interned(self.protocol, &snap.body)?;
+                Box::new(CheckpointInterned(InternedEngine { sim, handle }))
+            }
+            k => {
+                return Err(SnapshotError::Corrupt(format!(
+                    "snapshot engine tag {k} cannot resume an agent-protocol simulation"
+                )))
+            }
+        };
+        Ok(Simulation::assemble(engine, self.policy))
+    }
+
     /// Builds the configured [`Simulation`].
     ///
     /// # Panics
@@ -735,7 +1072,7 @@ where
         assert!(n >= 2, "simulation needs .size(n) with n >= 2");
         let n_usize = usize::try_from(n).expect("population exceeds usize");
         let seed = self.policy.seed;
-        let engine: Box<dyn Engine<P::State> + 'a> = match self.mode {
+        let built = match self.mode {
             SimMode::Agent => {
                 let mut sim = AgentSim::new(self.protocol, n_usize, seed);
                 match self.init {
@@ -770,7 +1107,7 @@ where
                         }
                     }
                 }
-                Box::new(sim)
+                BuiltAgentEngine::Agent(sim)
             }
             SimMode::Count(engine_mode) => {
                 let interned = if self.deterministic {
@@ -832,17 +1169,17 @@ where
                     }
                 };
                 let sim = ConfigSim::with_mode(interned, config, seed, engine_mode);
-                Box::new(InternedEngine { sim, handle })
+                BuiltAgentEngine::Interned(InternedEngine { sim, handle })
             }
         };
-        let check_every = self.policy.check_every.unwrap_or(n);
-        Simulation {
-            engine,
-            check_every,
-            max_time: self.policy.max_time,
-            predicate: self.policy.predicate,
-            observers: self.policy.observers,
-        }
+        let engine: Box<dyn Engine<P::State> + 'a> = match self.wrap {
+            Some(wrap) => wrap(built),
+            None => match built {
+                BuiltAgentEngine::Agent(sim) => Box::new(sim),
+                BuiltAgentEngine::Interned(sim) => Box::new(sim),
+            },
+        };
+        Simulation::assemble(engine, self.policy)
     }
 
     /// Builds and runs to the configured stopping condition, returning the
@@ -870,6 +1207,12 @@ enum CountInit<S: Copy + Ord> {
     Ready(CountConfiguration<S>),
 }
 
+/// Boxed closure turning the built [`ConfigSim`] into the final boxed
+/// engine — identity boxing by default, [`CheckpointConfig`] boxing when
+/// [`CountSimulationBuilder::checkpoint_to`] was called.
+type CountWrap<'a, P> =
+    Box<dyn FnOnce(ConfigSim<P>) -> Box<dyn Engine<<P as CountProtocol>::State> + 'a> + 'a>;
+
 /// Builder for [`CountProtocol`] simulations. Construct via
 /// [`Simulation::count_builder`]; see the [module docs](self) for the
 /// builder walkthrough.
@@ -879,6 +1222,7 @@ pub struct CountSimulationBuilder<'a, P: CountProtocol> {
     mode: EngineMode,
     init: CountInit<P::State>,
     policy: Policy<'a, P::State>,
+    wrap: Option<CountWrap<'a, P>>,
 }
 
 impl<'a, P: CountProtocol> CountSimulationBuilder<'a, P> {
@@ -889,6 +1233,7 @@ impl<'a, P: CountProtocol> CountSimulationBuilder<'a, P> {
             mode: EngineMode::Auto,
             init: CountInit::Unset,
             policy: Policy::default(),
+            wrap: None,
         }
     }
 
@@ -954,6 +1299,57 @@ impl<'a, P: CountProtocol> CountSimulationBuilder<'a, P> {
 
     policy_methods!(P::State);
 
+    /// Enables crash-recovery checkpoints: a versioned, checksummed
+    /// snapshot of the full engine state (including the adaptive mode,
+    /// batching tables, and RNG streams) is written atomically to `path`
+    /// at the cadence set by
+    /// [`checkpoint_every`](CountSimulationBuilder::checkpoint_every)
+    /// (default: the observer cadence). Resume later with
+    /// [`CountSimulationBuilder::resume`]; the resumed run continues
+    /// byte-for-byte identically to the uninterrupted one. Requires the
+    /// state type to implement [`SnapshotState`].
+    pub fn checkpoint_to(mut self, path: impl Into<PathBuf>) -> Self
+    where
+        P: 'a,
+        P::State: SnapshotState + 'a,
+    {
+        self.policy.checkpoint_path = Some(path.into());
+        self.wrap = Some(Box::new(|sim| Box::new(CheckpointConfig(sim))));
+        self
+    }
+
+    /// Resumes a simulation from a snapshot written by a checkpointing
+    /// run of the same protocol. The engine state (population, engine
+    /// mode, RNG streams, interaction clock) comes entirely from the
+    /// snapshot — `size`/`mode`/init settings on this builder are
+    /// ignored — while run policy (predicate, observers, budgets,
+    /// checkpoint cadence and destination) is taken from this builder,
+    /// so a resumed run can keep checkpointing.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the file cannot be read, fails its checksum, or holds a
+    /// snapshot of an agent-protocol engine.
+    pub fn resume(self, path: impl AsRef<Path>) -> Result<Simulation<'a, P::State>, SnapshotError>
+    where
+        P: 'a,
+        P::State: SnapshotState + 'a,
+    {
+        let snap = Snapshot::read(path.as_ref())?;
+        let engine: Box<dyn Engine<P::State> + 'a> = match snap.kind {
+            snapshot::KIND_CONFIG => Box::new(CheckpointConfig(snapshot::decode_config_sim(
+                self.protocol,
+                &snap.body,
+            )?)),
+            k => {
+                return Err(SnapshotError::Corrupt(format!(
+                    "snapshot engine tag {k} cannot resume a count-protocol simulation"
+                )))
+            }
+        };
+        Ok(Simulation::assemble(engine, self.policy))
+    }
+
     /// Builds the configured [`Simulation`].
     ///
     /// # Panics
@@ -976,16 +1372,12 @@ impl<'a, P: CountProtocol> CountSimulationBuilder<'a, P> {
             CountInit::Config(pairs) => CountConfiguration::from_pairs(pairs),
             CountInit::Ready(config) => config,
         };
-        let n = config.population_size();
         let sim = ConfigSim::with_mode(self.protocol, config, self.policy.seed, self.mode);
-        let check_every = self.policy.check_every.unwrap_or(n.max(1));
-        Simulation {
-            engine: Box::new(sim),
-            check_every,
-            max_time: self.policy.max_time,
-            predicate: self.policy.predicate,
-            observers: self.policy.observers,
-        }
+        let engine: Box<dyn Engine<P::State> + 'a> = match self.wrap {
+            Some(wrap) => wrap(sim),
+            None => Box::new(sim),
+        };
+        Simulation::assemble(engine, self.policy)
     }
 
     /// Builds and runs to the configured stopping condition, returning the

@@ -106,6 +106,11 @@ pub struct SweepReport {
     pub points: Vec<PointResult>,
     /// How many trials were loaded from the journal instead of executed.
     pub resumed_trials: usize,
+    /// How many trials failed permanently (panicked through all retries)
+    /// and are therefore absent from their point's records. A sweep with
+    /// failures still completes; callers deciding whether to trust the
+    /// aggregates should check this.
+    pub failed_trials: usize,
 }
 
 impl SweepReport {
@@ -192,6 +197,7 @@ mod tests {
             master_seed: 1,
             points: vec![point()],
             resumed_trials: 0,
+            failed_trials: 0,
         };
         assert_eq!(report.point("e", 100).n, 100);
         assert_eq!(report.points_for("e").len(), 1);

@@ -209,6 +209,7 @@ mod tests {
                 ],
             }],
             resumed_trials: 0,
+            failed_trials: 0,
         }
     }
 

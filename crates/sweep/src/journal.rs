@@ -10,24 +10,48 @@
 //! The first line is a header carrying a fingerprint of the spec and the
 //! experiment definitions. A journal whose fingerprint does not match the
 //! current spec is refused — silently mixing trials of two different
-//! grids would corrupt both — and a torn final line (crash mid-write) is
-//! dropped.
+//! grids would corrupt both.
+//!
+//! ## Durability
+//!
+//! Every line (header included) carries a trailing CRC-32 of the line as
+//! it was originally composed, so corruption anywhere in the file —
+//! bit-flips, truncation, a torn write — is *detected*, not just
+//! mis-parsed. A final line that fails its check is treated as a torn
+//! write from a crash: it is dropped with a warning naming the line
+//! number. A failed check (or unparsable line) anywhere **before** the
+//! end is real corruption and a hard error, again with the line number.
+//! The header is additionally fsync'd when first written, so a resumable
+//! journal's identity survives a crash immediately after creation.
+//! Version-1 journals (written before the checksum scheme) are still
+//! read, with the legacy torn-final-line-only tolerance.
+//!
+//! Failed trials (a panicking experiment that exhausted its retries) are
+//! journaled too, with a `failed` message instead of `values`; on resume
+//! they are re-run rather than replayed.
 //!
 //! Format (one JSON document per line):
 //!
 //! ```text
-//! {"sweep":"epidemic","version":1,"master_seed":1,"fingerprint":"9c0f…"}
-//! {"point":0,"exp":"epidemic_full","n":1000,"trial":0,"seed":17606558817767979835,"values":[13.294]}
+//! {"sweep":"epidemic","version":2,"master_seed":1,"fingerprint":"9c0f…","crc":"5ab0c77d"}
+//! {"point":0,"exp":"epidemic_full","n":1000,"trial":0,"seed":17606558817767979835,"values":[13.294],"crc":"8e12f3a4"}
 //! ```
 
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Write as _};
 use std::path::Path;
 
+use pp_engine::snapshot::crc32;
+
 use crate::json;
 
 /// Journal format version (bumped on incompatible line-format changes).
-const VERSION: u64 = 1;
+/// Version 2 added the per-line CRC-32; version-1 journals are still
+/// readable.
+const VERSION: u64 = 2;
+
+/// Length of the fixed-width `,"crc":"xxxxxxxx"}` line suffix.
+const CRC_SUFFIX_LEN: usize = 18;
 
 /// One journaled trial.
 #[derive(Debug, Clone, PartialEq)]
@@ -39,8 +63,13 @@ pub struct JournalEntry {
     /// The seed the trial ran with (validated against re-derivation on
     /// load).
     pub seed: u64,
-    /// Metric values in the experiment's metric order (NaN = missing).
+    /// Metric values in the experiment's metric order (NaN = missing;
+    /// empty for failed trials).
     pub values: Vec<f64>,
+    /// `Some(message)` if the trial failed permanently (panicked through
+    /// all retries) instead of producing values. Failed entries are
+    /// re-run on resume, not replayed.
+    pub failed: Option<String>,
 }
 
 /// Append handle to an open journal.
@@ -96,27 +125,55 @@ impl Journal {
             line.push_str(&format!(
                 ",\"version\":{VERSION},\"master_seed\":{master_seed},\"fingerprint\":\"{fingerprint:016x}\"}}"
             ));
-            journal.write_line(&line)?;
+            journal.write_checked(line)?;
+            // The header is the journal's identity; make sure it survives
+            // a crash right after creation.
+            journal
+                .writer
+                .get_ref()
+                .sync_all()
+                .map_err(|e| format!("journal fsync failed: {e}"))?;
         }
         Ok((journal, entries))
     }
 
-    /// Appends one completed trial, flushing so at most the in-flight
-    /// trial is lost on a crash.
+    /// Appends one completed (or permanently failed) trial, flushing so
+    /// at most the in-flight trial is lost on a crash.
     pub fn record(&mut self, exp: &str, n: u64, entry: &JournalEntry) -> Result<(), String> {
         let mut line = format!("{{\"point\":{},\"exp\":", entry.point);
         json::write_str(&mut line, exp);
         line.push_str(&format!(
-            ",\"n\":{n},\"trial\":{},\"seed\":{},\"values\":[",
+            ",\"n\":{n},\"trial\":{},\"seed\":{}",
             entry.trial, entry.seed
         ));
-        for (i, &v) in entry.values.iter().enumerate() {
-            if i > 0 {
-                line.push(',');
+        match &entry.failed {
+            Some(msg) => {
+                line.push_str(",\"failed\":");
+                json::write_str(&mut line, msg);
+                line.push('}');
             }
-            json::write_f64(&mut line, v);
+            None => {
+                line.push_str(",\"values\":[");
+                for (i, &v) in entry.values.iter().enumerate() {
+                    if i > 0 {
+                        line.push(',');
+                    }
+                    json::write_f64(&mut line, v);
+                }
+                line.push_str("]}");
+            }
         }
-        line.push_str("]}");
+        self.write_checked(line)
+    }
+
+    /// Appends the line with its CRC-32 suffix spliced in before the
+    /// closing brace. The checksum covers the line as composed (with its
+    /// plain `}`), so readers reconstruct and verify exactly that.
+    fn write_checked(&mut self, mut line: String) -> Result<(), String> {
+        debug_assert!(line.ends_with('}'));
+        let crc = crc32(line.as_bytes());
+        line.pop();
+        line.push_str(&format!(",\"crc\":\"{crc:08x}\"}}"));
         self.write_line(&line)
     }
 
@@ -125,6 +182,34 @@ impl Journal {
             .and_then(|()| self.writer.flush())
             .map_err(|e| format!("journal write failed: {e}"))
     }
+}
+
+/// Whether the line ends in the fixed-width `,"crc":"xxxxxxxx"}` suffix.
+fn has_crc_suffix(line: &str) -> bool {
+    line.len() >= CRC_SUFFIX_LEN
+        && line.is_char_boundary(line.len() - CRC_SUFFIX_LEN)
+        && line[line.len() - CRC_SUFFIX_LEN..].starts_with(",\"crc\":\"")
+        && line.ends_with("\"}")
+}
+
+/// Strips and verifies the CRC suffix, returning the line as originally
+/// composed (closing `}` restored).
+fn strip_crc(line: &str) -> Result<String, String> {
+    if !has_crc_suffix(line) {
+        return Err("missing line checksum".into());
+    }
+    let split = line.len() - CRC_SUFFIX_LEN;
+    let hex = &line[split + 8..line.len() - 2];
+    let stored =
+        u32::from_str_radix(hex, 16).map_err(|_| format!("malformed line checksum {hex:?}"))?;
+    let original = format!("{}}}", &line[..split]);
+    let computed = crc32(original.as_bytes());
+    if computed != stored {
+        return Err(format!(
+            "line checksum mismatch (stored {stored:08x}, computed {computed:08x})"
+        ));
+    }
+    Ok(original)
 }
 
 /// Reads the entries of an existing journal **without** opening it for
@@ -141,22 +226,39 @@ pub fn read_entries(path: &Path, fingerprint: u64) -> Result<Vec<JournalEntry>, 
     parse_journal(&text, path, fingerprint)
 }
 
-/// Parses a non-empty journal: header line (fingerprint-checked), entry
-/// lines, with a torn final line dropped.
+/// Parses a non-empty journal: header line (version- and
+/// fingerprint-checked), then entry lines, each checksum-verified on
+/// version-2 journals. A final line that fails is a torn write — dropped
+/// with a warning naming the line number; a failure anywhere earlier is
+/// corruption and an error, also naming the line number.
 fn parse_journal(text: &str, path: &Path, fingerprint: u64) -> Result<Vec<JournalEntry>, String> {
     let lines: Vec<&str> = text.lines().collect();
     let (first, rest) = lines.split_first().expect("caller checked non-empty");
-    check_header(first, fingerprint).map_err(|e| format!("journal {}: {e}", path.display()))?;
+    let version =
+        check_header(first, fingerprint).map_err(|e| format!("journal {}: {e}", path.display()))?;
+    let checked = version >= 2;
     let mut entries = Vec::new();
     for (i, line) in rest.iter().enumerate() {
         if line.trim().is_empty() {
             continue;
         }
-        match parse_entry(line) {
+        let parsed = if checked {
+            strip_crc(line).and_then(|original| parse_entry(&original))
+        } else {
+            parse_entry(line)
+        };
+        match parsed {
             Ok(entry) => entries.push(entry),
             // A torn final line is an interrupted write; any earlier
-            // parse failure is real corruption.
-            Err(_) if i + 1 == rest.len() => break,
+            // failure is real corruption.
+            Err(e) if i + 1 == rest.len() => {
+                eprintln!(
+                    "[journal] {}: dropping torn final line {}: {e}",
+                    path.display(),
+                    i + 2
+                );
+                break;
+            }
             Err(e) => {
                 return Err(format!(
                     "journal {}: corrupt line {}: {e}",
@@ -169,11 +271,23 @@ fn parse_journal(text: &str, path: &Path, fingerprint: u64) -> Result<Vec<Journa
     Ok(entries)
 }
 
-fn check_header(line: &str, fingerprint: u64) -> Result<(), String> {
-    let doc = json::parse(line).map_err(|e| format!("corrupt header: {e}"))?;
+/// Validates the header line and returns the journal's format version.
+fn check_header(line: &str, fingerprint: u64) -> Result<u64, String> {
+    // The checksum (when present) is verified before anything else, so a
+    // corrupted-but-still-valid-JSON header cannot slip through.
+    let original = if has_crc_suffix(line) {
+        strip_crc(line).map_err(|e| format!("corrupt header: {e}"))?
+    } else {
+        line.to_string()
+    };
+    let doc = json::parse(&original).map_err(|e| format!("corrupt header: {e}"))?;
     let version = doc.get("version").and_then(json::Value::as_u64);
-    if version != Some(VERSION) {
-        return Err(format!("unsupported journal version {version:?}"));
+    let version = match version {
+        Some(v @ 1..=VERSION) => v,
+        other => return Err(format!("unsupported journal version {other:?}")),
+    };
+    if version >= 2 && !has_crc_suffix(line) {
+        return Err("version 2 header is missing its checksum".into());
     }
     let found = doc
         .get("fingerprint")
@@ -186,7 +300,7 @@ fn check_header(line: &str, fingerprint: u64) -> Result<(), String> {
              the journal belongs to a different grid — delete it or point the spec elsewhere"
         ));
     }
-    Ok(())
+    Ok(version)
 }
 
 fn parse_entry(line: &str) -> Result<JournalEntry, String> {
@@ -196,18 +310,30 @@ fn parse_entry(line: &str) -> Result<JournalEntry, String> {
             .and_then(json::Value::as_u64)
             .ok_or(format!("missing field {key:?}"))
     };
-    let values = doc
-        .get("values")
-        .and_then(json::Value::as_arr)
-        .ok_or("missing field \"values\"")?
-        .iter()
-        .map(|v| v.as_f64().ok_or("non-numeric metric value".to_string()))
-        .collect::<Result<Vec<f64>, _>>()?;
+    let failed = doc
+        .get("failed")
+        .map(|v| {
+            v.as_str()
+                .map(String::from)
+                .ok_or("non-string failure message".to_string())
+        })
+        .transpose()?;
+    let values = if failed.is_some() {
+        Vec::new()
+    } else {
+        doc.get("values")
+            .and_then(json::Value::as_arr)
+            .ok_or("missing field \"values\"")?
+            .iter()
+            .map(|v| v.as_f64().ok_or("non-numeric metric value".to_string()))
+            .collect::<Result<Vec<f64>, _>>()?
+    };
     Ok(JournalEntry {
         point: field_u64("point")? as usize,
         trial: field_u64("trial")? as usize,
         seed: field_u64("seed")?,
         values,
+        failed,
     })
 }
 
@@ -245,6 +371,7 @@ mod tests {
             trial: 7,
             seed: u64::MAX - 5,
             values: vec![1.5, f64::NAN, f64::INFINITY, -0.25],
+            failed: None,
         };
         {
             let (mut journal, existing) = Journal::open(&path, "t", 9, 0xABCD).unwrap();
@@ -288,6 +415,7 @@ mod tests {
                         trial: 0,
                         seed: 1,
                         values: vec![1.0],
+                        failed: None,
                     },
                 )
                 .unwrap();
@@ -316,6 +444,7 @@ mod tests {
                         trial: 0,
                         seed: 1,
                         values: vec![1.0],
+                        failed: None,
                     },
                 )
                 .unwrap();
@@ -325,6 +454,119 @@ mod tests {
         std::fs::write(&path, &text).unwrap();
         let err = Journal::open(&path, "t", 9, 7).unwrap_err();
         assert!(err.contains("corrupt line"), "{err}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn bit_flip_in_the_middle_is_detected() {
+        let path = temp_path("bitflip");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (mut journal, _) = Journal::open(&path, "t", 9, 7).unwrap();
+            for trial in 0..2 {
+                journal
+                    .record(
+                        "exp",
+                        10,
+                        &JournalEntry {
+                            point: 0,
+                            trial,
+                            seed: 1,
+                            values: vec![1.0],
+                            failed: None,
+                        },
+                    )
+                    .unwrap();
+            }
+        }
+        // Corrupt entry line 2 (not the final line) while keeping it
+        // valid JSON — only the checksum can catch this.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut lines: Vec<String> = text.lines().map(String::from).collect();
+        lines[1] = lines[1].replacen("\"n\":10", "\"n\":11", 1);
+        std::fs::write(&path, lines.join("\n") + "\n").unwrap();
+        let err = Journal::open(&path, "t", 9, 7).unwrap_err();
+        assert!(err.contains("corrupt line 2"), "{err}");
+        assert!(err.contains("checksum mismatch"), "{err}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn final_line_missing_checksum_is_dropped_as_torn() {
+        let path = temp_path("torn-nocrc");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (mut journal, _) = Journal::open(&path, "t", 9, 7).unwrap();
+            journal
+                .record(
+                    "exp",
+                    10,
+                    &JournalEntry {
+                        point: 0,
+                        trial: 0,
+                        seed: 1,
+                        values: vec![1.0],
+                        failed: None,
+                    },
+                )
+                .unwrap();
+        }
+        // A syntactically complete JSON line whose checksum never made
+        // it to disk is still a torn write when it is the final line.
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str(
+            "{\"point\":0,\"exp\":\"exp\",\"n\":10,\"trial\":1,\"seed\":2,\"values\":[2.0]}\n",
+        );
+        std::fs::write(&path, &text).unwrap();
+        let (_journal, loaded) = Journal::open(&path, "t", 9, 7).unwrap();
+        assert_eq!(loaded.len(), 1);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn legacy_v1_journals_still_parse() {
+        let path = temp_path("legacy-v1");
+        let _ = std::fs::remove_file(&path);
+        std::fs::write(
+            &path,
+            "{\"sweep\":\"t\",\"version\":1,\"master_seed\":9,\"fingerprint\":\"0000000000000007\"}\n\
+             {\"point\":0,\"exp\":\"e\",\"n\":10,\"trial\":0,\"seed\":1,\"values\":[1.5]}\n",
+        )
+        .unwrap();
+        let loaded = read_entries(&path, 7).unwrap();
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(loaded[0].values, vec![1.5]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn failed_trials_round_trip() {
+        let path = temp_path("failed");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (mut journal, _) = Journal::open(&path, "t", 9, 7).unwrap();
+            journal
+                .record(
+                    "exp",
+                    10,
+                    &JournalEntry {
+                        point: 0,
+                        trial: 3,
+                        seed: 1,
+                        values: Vec::new(),
+                        failed: Some("worker panicked: \"boom\"".into()),
+                    },
+                )
+                .unwrap();
+        }
+        let (_journal, loaded) = Journal::open(&path, "t", 9, 7).unwrap();
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(loaded[0].trial, 3);
+        assert_eq!(
+            loaded[0].failed.as_deref(),
+            Some("worker panicked: \"boom\"")
+        );
+        assert!(loaded[0].values.is_empty());
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -34,9 +34,25 @@
 //!   trial is appended to a JSONL journal keyed by a fingerprint of the
 //!   spec. Re-running the same spec skips the journaled trials and
 //!   produces exactly the output an uninterrupted run would have — a
-//!   `n = 10⁷` sweep killed at 80% restarts at 80%, not at zero. A torn
-//!   final line (crash mid-write) is dropped; a *different* spec behind
-//!   the same journal path is an error, not a silent restart.
+//!   `n = 10⁷` sweep killed at 80% restarts at 80%, not at zero. Every
+//!   journal line carries a CRC-32 of its content: a torn final line
+//!   (crash mid-write) is detected by its failed checksum and dropped
+//!   with a warning, while a corrupt line *before* the end — which only
+//!   bit rot, not a crash, can produce — is a hard error naming the line
+//!   number. A *different* spec behind the same journal path is an
+//!   error, not a silent restart.
+//!
+//! * **Panic isolation and fault injection.** A panicking trial no
+//!   longer poisons the sweep: it is caught, retried up to
+//!   [`SweepSpec::max_retries`] times with backoff, and — if it keeps
+//!   failing — journaled as a failed trial (re-run on the next resume)
+//!   while the rest of the grid completes.
+//!   [`SweepReport::failed_trials`](agg::SweepReport::failed_trials)
+//!   counts the permanent failures. [`SweepSpec::fault`] (`"kill@N"`,
+//!   also the `sweep --fault` flag and the engine-level `PP_FAULT`
+//!   variable) arms the deterministic fault-injection harness used by CI
+//!   to prove that kill + resume reproduces an uninterrupted run byte
+//!   for byte.
 //!
 //! * **Reduced-trials CI knob.** The `PP_SWEEP_TRIALS` environment
 //!   variable caps the trial count of any sweep (mirroring the equivalence

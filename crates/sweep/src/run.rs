@@ -8,10 +8,13 @@
 //! across thread counts and scheduling orders, and a journaled trial can
 //! be loaded instead of re-run without anyone downstream noticing.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
 
 use parking_lot::Mutex;
 use pp_analysis::stats::Running;
+use pp_engine::env::FaultPlan;
 use pp_engine::rng::derive_seed;
 use pp_engine::EngineMode;
 
@@ -235,7 +238,8 @@ pub fn grid_fingerprint(spec: &SweepSpec, experiments: &[SweepExperiment]) -> u6
 }
 
 /// Validates one journaled trial against the current grid: known point,
-/// in-range trial index, re-derivable seed, declared metric count.
+/// in-range trial index, re-derivable seed, declared metric count
+/// (skipped for failed-trial records, which carry no values).
 fn validate_entry(
     spec: &SweepSpec,
     points: &[GridPoint],
@@ -259,7 +263,7 @@ fn validate_entry(
             entry.seed, entry.point, entry.trial
         )));
     }
-    if entry.values.len() != experiments[gp.exp].metrics.len() {
+    if entry.failed.is_none() && entry.values.len() != experiments[gp.exp].metrics.len() {
         return Err(SweepError(format!(
             "journal entry for point {} has {} metric values, experiment {:?} declares {}",
             entry.point,
@@ -312,10 +316,16 @@ pub fn merge_journals(
         Journal::open(target, &spec.name, spec.master_seed, fp).map_err(SweepError)?;
     let mut seen: std::collections::BTreeSet<(usize, usize)> = existing
         .iter()
+        .filter(|entry| entry.failed.is_none())
         .map(|entry| (entry.point, entry.trial))
         .collect();
     for entries in shard_entries {
         for entry in entries {
+            // Failed-trial records are not results; merging them would
+            // only shadow a successful re-run from another shard.
+            if entry.failed.is_some() {
+                continue;
+            }
             if seen.insert((entry.point, entry.trial)) {
                 let gp = &points[entry.point];
                 journal
@@ -339,6 +349,15 @@ struct RunState {
     journal: Option<Journal>,
     /// First failure; workers drain without starting new trials once set.
     error: Option<String>,
+    /// Trials that panicked through all retries: one description each.
+    /// These do not stop the sweep — the report carries the count.
+    failures: Vec<String>,
+    /// Trials completed by THIS run (not resumed from the journal) — the
+    /// spec-level fault plan counts these.
+    fresh: usize,
+    /// Spec-level fault plan: abort the process (as a SIGKILL would)
+    /// after `kill_at` freshly completed trials.
+    fault: Option<FaultPlan>,
     completed: usize,
     total: usize,
 }
@@ -374,9 +393,24 @@ impl RunState {
                         trial: record.trial,
                         seed: record.seed,
                         values: record.values.clone(),
+                        failed: None,
                     },
                 ) {
                     self.error.get_or_insert(e);
+                }
+            }
+            self.fresh += 1;
+            if let Some(plan) = self.fault {
+                if self.fresh as u64 >= plan.kill_at {
+                    // Deterministic fault injection: die like a SIGKILL
+                    // would — no unwinding, no destructors, nonzero exit.
+                    // The trial just recorded is already flushed to the
+                    // journal, so a resume picks up exactly after it.
+                    eprintln!(
+                        "[sweep] fault plan: aborting after {} completed trials (kill@{})",
+                        self.fresh, plan.kill_at
+                    );
+                    std::process::abort();
                 }
             }
         }
@@ -402,6 +436,45 @@ impl RunState {
             );
         }
     }
+
+    /// Records a trial that panicked through all retries: a failed-trial
+    /// line in the journal (re-run on resume, never replayed as a result)
+    /// and a description for the end-of-sweep summary. The sweep itself
+    /// continues.
+    fn record_failure(
+        &mut self,
+        points: &[GridPoint],
+        experiments: &[SweepExperiment],
+        point: usize,
+        trial: usize,
+        seed: u64,
+        message: String,
+    ) {
+        let gp = &points[point];
+        let exp = &experiments[gp.exp];
+        if let Some(journal) = &mut self.journal {
+            if let Err(e) = journal.record(
+                &exp.name,
+                gp.n,
+                &JournalEntry {
+                    point,
+                    trial,
+                    seed,
+                    values: Vec::new(),
+                    failed: Some(message.clone()),
+                },
+            ) {
+                self.error.get_or_insert(e);
+            }
+        }
+        eprintln!(
+            "[sweep] {} n={} trial {trial} FAILED permanently: {message}",
+            exp.name, gp.n
+        );
+        self.failures
+            .push(format!("{} n={} trial {trial}: {message}", exp.name, gp.n));
+        self.remaining[point] -= 1;
+    }
 }
 
 /// Executes `spec` over `experiments` and returns the aggregated report.
@@ -411,11 +484,17 @@ impl RunState {
 /// by [`SweepExperiment::with_max_trials`]) on
 /// [`SweepSpec::worker_threads`] workers. With a journal configured,
 /// already-recorded trials are loaded instead of re-run.
+///
+/// A trial that panics is retried up to [`SweepSpec::max_retries`] times
+/// (with exponential backoff) and then recorded as failed — it does not
+/// abort the sweep. Failed trials are absent from their point's records,
+/// and the report carries their count in
+/// [`SweepReport::failed_trials`].
 pub fn run_sweep(
     spec: &SweepSpec,
     experiments: &[SweepExperiment],
 ) -> Result<SweepReport, SweepError> {
-    let (points, slots, resumed) = execute(spec, experiments, None)?;
+    let (points, slots, resumed, failed) = execute(spec, experiments, None)?;
     let results = points
         .iter()
         .zip(slots)
@@ -423,10 +502,7 @@ pub fn run_sweep(
             experiment: experiments[gp.exp].name.clone(),
             n: gp.n,
             metrics: experiments[gp.exp].metrics.clone(),
-            trials: slots
-                .into_iter()
-                .map(|s| s.expect("all trials completed"))
-                .collect(),
+            trials: slots.into_iter().flatten().collect(),
         })
         .collect();
     Ok(SweepReport {
@@ -434,6 +510,7 @@ pub fn run_sweep(
         master_seed: spec.master_seed,
         points: results,
         resumed_trials: resumed,
+        failed_trials: failed,
     })
 }
 
@@ -455,7 +532,7 @@ pub fn run_sweep_shard(
                 .into(),
         ));
     }
-    let (points, slots, _) = execute(spec, experiments, Some(shard))?;
+    let (points, slots, _, _) = execute(spec, experiments, Some(shard))?;
     Ok(points
         .iter()
         .enumerate()
@@ -470,13 +547,14 @@ pub fn run_sweep_shard(
 /// The shared grid executor: validation, journal resume, and the worker
 /// pool, over all tasks (`shard` = `None`) or one shard's slice. Returns
 /// the grid, the per-point trial slots (fully populated only for the
-/// covered tasks), and the number of trials resumed from the journal.
+/// covered tasks), the number of trials resumed from the journal, and
+/// the number of trials that failed permanently.
 #[allow(clippy::type_complexity)]
 fn execute(
     spec: &SweepSpec,
     experiments: &[SweepExperiment],
     shard: Option<Shard>,
-) -> Result<(Vec<GridPoint>, Vec<Vec<Option<TrialRecord>>>, usize), SweepError> {
+) -> Result<(Vec<GridPoint>, Vec<Vec<Option<TrialRecord>>>, usize, usize), SweepError> {
     if experiments.is_empty() {
         return Err(SweepError("a sweep needs at least one experiment".into()));
     }
@@ -516,6 +594,11 @@ fn execute(
         None => (None, Vec::new()),
     };
 
+    let fault = match &spec.fault {
+        Some(f) => Some(pp_engine::env::parse_fault(f).map_err(SweepError)?),
+        None => None,
+    };
+
     let total: usize = points.iter().map(|p| p.trials).sum();
     let mut state = RunState {
         slots: points.iter().map(|p| vec![None; p.trials]).collect(),
@@ -526,15 +609,22 @@ fn execute(
         remaining: points.iter().map(|p| p.trials).collect(),
         journal,
         error: None,
+        failures: Vec::new(),
+        fresh: 0,
+        fault,
         completed: 0,
         total,
     };
 
     // Replay the journal into the slots, validating every entry against
-    // the current grid.
+    // the current grid. Failed-trial records are validated but not
+    // replayed — their trials run again.
     let mut resumed = 0usize;
     for entry in journaled {
         validate_entry(spec, &points, experiments, &entry)?;
+        if entry.failed.is_some() {
+            continue;
+        }
         if state.slots[entry.point][entry.trial].is_none() {
             resumed += 1;
         }
@@ -593,31 +683,64 @@ fn execute(
             seed: trial_seed(spec.master_seed, point, trial),
             engine: spec.engine,
         };
-        let values = (exp.run)(&ctx);
-        let mut guard = state.lock();
-        if values.len() != exp.metrics.len() {
-            guard.error.get_or_insert(format!(
-                "experiment {:?} returned {} values for {} declared metrics",
-                exp.name,
-                values.len(),
-                exp.metrics.len()
-            ));
+        // Panic isolation: one panicking trial must not poison the
+        // sweep. Retry with exponential backoff up to the spec's cap,
+        // then record the failure and move on.
+        let attempts = spec.max_retries + 1;
+        let mut outcome: Result<Vec<f64>, String> = Err(String::new());
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                std::thread::sleep(Duration::from_millis(10u64 << (attempt - 1).min(6)));
+            }
+            match catch_unwind(AssertUnwindSafe(|| (exp.run)(&ctx))) {
+                Ok(values) => {
+                    outcome = Ok(values);
+                    break;
+                }
+                Err(payload) => {
+                    let msg = panic_message(payload.as_ref());
+                    eprintln!(
+                        "[sweep] {} n={} trial {trial} panicked (attempt {}/{attempts}): {msg}",
+                        exp.name,
+                        gp.n,
+                        attempt + 1,
+                    );
+                    outcome = Err(msg);
+                }
+            }
         }
+        let mut guard = state.lock();
         if guard.error.is_some() {
             return; // drain: stop picking up work after a failure
         }
-        guard.record(
-            &points,
-            experiments,
-            point,
-            TrialRecord {
-                trial,
-                seed: ctx.seed,
-                values,
-            },
-            true,
-            false,
-        );
+        match outcome {
+            Ok(values) => {
+                if values.len() != exp.metrics.len() {
+                    guard.error.get_or_insert(format!(
+                        "experiment {:?} returned {} values for {} declared metrics",
+                        exp.name,
+                        values.len(),
+                        exp.metrics.len()
+                    ));
+                    return;
+                }
+                guard.record(
+                    &points,
+                    experiments,
+                    point,
+                    TrialRecord {
+                        trial,
+                        seed: ctx.seed,
+                        values,
+                    },
+                    true,
+                    false,
+                );
+            }
+            Err(msg) => {
+                guard.record_failure(&points, experiments, point, trial, ctx.seed, msg);
+            }
+        }
     };
     if threads == 1 || tasks.len() <= 1 {
         worker(());
@@ -627,14 +750,34 @@ fn execute(
                 scope.spawn(worker);
             }
         })
-        .expect("sweep worker panicked");
+        .expect("sweep worker pool failed");
     }
 
     let state = state.into_inner();
     if let Some(error) = state.error {
         return Err(SweepError(error));
     }
-    Ok((points, state.slots, resumed))
+    if !state.failures.is_empty() {
+        eprintln!(
+            "[sweep] {} trial(s) FAILED permanently:",
+            state.failures.len()
+        );
+        for failure in &state.failures {
+            eprintln!("[sweep]   {failure}");
+        }
+    }
+    Ok((points, state.slots, resumed, state.failures.len()))
+}
+
+/// Best-effort human-readable message from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// The canonical per-trial seed: a pure function of the master seed and
@@ -693,6 +836,74 @@ mod tests {
         let report = run_sweep(&spec, &experiments).unwrap();
         assert_eq!(report.point("toy", 100).trials.len(), 8);
         assert_eq!(report.point("slow", 100).trials.len(), 3);
+    }
+
+    #[test]
+    fn panicking_trial_does_not_poison_the_sweep() {
+        let mut spec = SweepSpec::new("t", vec![100], 5);
+        spec.threads = 2;
+        let exploding = SweepExperiment::new("exploding", &["x"], |ctx| {
+            if ctx.trial == 2 {
+                panic!("injected trial panic");
+            }
+            vec![ctx.n as f64]
+        });
+        let report = run_sweep(&spec, &[exploding]).unwrap();
+        assert_eq!(report.failed_trials, 1);
+        let point = report.point("exploding", 100);
+        assert_eq!(point.trials.len(), 4);
+        assert!(point.trials.iter().all(|t| t.trial != 2));
+    }
+
+    #[test]
+    fn retries_recover_flaky_trials() {
+        use std::sync::atomic::AtomicUsize;
+        let mut spec = SweepSpec::new("t", vec![100], 4);
+        spec.threads = 1;
+        spec.max_retries = 2;
+        let attempts = AtomicUsize::new(0);
+        let flaky = SweepExperiment::new("flaky", &["x"], move |ctx| {
+            // Trial 1 panics on its first attempt only.
+            if ctx.trial == 1 && attempts.fetch_add(1, Ordering::Relaxed) == 0 {
+                panic!("transient failure");
+            }
+            vec![ctx.trial as f64]
+        });
+        let report = run_sweep(&spec, &[flaky]).unwrap();
+        assert_eq!(report.failed_trials, 0);
+        assert_eq!(report.point("flaky", 100).trials.len(), 4);
+    }
+
+    #[test]
+    fn failed_trials_are_rerun_on_resume() {
+        use std::sync::atomic::AtomicBool;
+        let dir = std::env::temp_dir().join("pp-sweep-run-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let journal = dir.join(format!("rerun-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&journal);
+        let mut spec = SweepSpec::new("t", vec![100], 3);
+        spec.threads = 1;
+        spec.journal = Some(journal.clone());
+        let healed = std::sync::Arc::new(AtomicBool::new(false));
+        let experiment = || {
+            let healed = healed.clone();
+            SweepExperiment::new("sometimes", &["x"], move |ctx| {
+                if ctx.trial == 1 && !healed.load(Ordering::Relaxed) {
+                    panic!("fails until healed");
+                }
+                vec![ctx.trial as f64]
+            })
+        };
+        let first = run_sweep(&spec, &[experiment()]).unwrap();
+        assert_eq!(first.failed_trials, 1);
+        assert_eq!(first.point("sometimes", 100).trials.len(), 2);
+        // The failure is journaled but must be re-run, not replayed.
+        healed.store(true, Ordering::Relaxed);
+        let second = run_sweep(&spec, &[experiment()]).unwrap();
+        assert_eq!(second.failed_trials, 0);
+        assert_eq!(second.resumed_trials, 2);
+        assert_eq!(second.point("sometimes", 100).trials.len(), 3);
+        std::fs::remove_file(&journal).unwrap();
     }
 
     #[test]

@@ -20,10 +20,15 @@
 //! engine = "auto"        # auto | sequential | batched
 //! experiments = ["epidemic_full", "epidemic_sub3"]
 //! journal = "results/table_epidemic.jsonl"
+//! max_retries = 2        # per-trial panic retries before recording a failure
+//! fault = "kill@3"       # fault injection: abort after 3 completed trials
 //! ```
 //!
 //! or the same keys as a JSON object (detected by a leading `{`). `name`,
 //! `sizes`, and `trials` are required; everything else defaults.
+//! `max_retries` and `fault` are run-policy knobs, not grid identity:
+//! they are excluded from the journal fingerprint, so changing them never
+//! invalidates recorded trials.
 
 use std::path::{Path, PathBuf};
 use std::str::FromStr;
@@ -59,6 +64,16 @@ pub struct SweepSpec {
     /// harness anchors relative journals at the workspace root, next to
     /// its `results/` outputs).
     pub journal: Option<PathBuf>,
+    /// How many times a panicking trial is retried (with exponential
+    /// backoff) before being recorded as a permanent failure. Not part
+    /// of the grid identity (excluded from the journal fingerprint).
+    pub max_retries: usize,
+    /// Deterministic fault plan (`"kill@N"`): abort the process — as a
+    /// SIGKILL would — after `N` trials have been completed by this run.
+    /// For crash-recovery testing; see [`pp_engine::env::parse_fault`].
+    /// Not part of the grid identity (excluded from the journal
+    /// fingerprint).
+    pub fault: Option<String>,
 }
 
 impl SweepSpec {
@@ -74,6 +89,8 @@ impl SweepSpec {
             engine: EngineMode::Auto,
             experiments: Vec::new(),
             journal: None,
+            max_retries: 0,
+            fault: None,
         }
     }
 
@@ -176,11 +193,10 @@ impl SweepSpec {
     }
 }
 
-/// Reads the `PP_SWEEP_TRIALS` reduced-trials knob from the environment.
+/// Reads the `PP_SWEEP_TRIALS` reduced-trials knob from the environment
+/// (via the workspace's shared [`pp_engine::env`] parsing).
 pub fn trials_env_cap() -> Option<usize> {
-    std::env::var("PP_SWEEP_TRIALS")
-        .ok()
-        .and_then(|v| v.parse().ok())
+    pp_engine::env::unsigned("PP_SWEEP_TRIALS").map(|v| v as usize)
 }
 
 /// Applies the reduced-trials cap (at least one trial always runs).
@@ -210,6 +226,8 @@ struct Builder {
     engine: Option<EngineMode>,
     experiments: Option<Vec<String>>,
     journal: Option<String>,
+    max_retries: Option<u64>,
+    fault: Option<String>,
 }
 
 impl Builder {
@@ -233,10 +251,17 @@ impl Builder {
             ("experiments", _) => return wrong("an array of strings"),
             ("journal", Field::Str(s)) => self.journal = Some(s),
             ("journal", _) => return wrong("a string"),
+            ("max_retries", Field::Int(x)) => self.max_retries = Some(x),
+            ("max_retries", _) => return wrong("an unsigned integer"),
+            ("fault", Field::Str(s)) => {
+                pp_engine::env::parse_fault(&s)?;
+                self.fault = Some(s);
+            }
+            ("fault", _) => return wrong("a string"),
             (other, _) => {
                 return Err(format!(
                     "unknown key {other:?} (expected name, master_seed, sizes, trials, \
-                     threads, engine, experiments, journal)"
+                     threads, engine, experiments, journal, max_retries, fault)"
                 ))
             }
         }
@@ -262,6 +287,8 @@ impl Builder {
             engine: self.engine.unwrap_or(EngineMode::Auto),
             experiments: self.experiments.unwrap_or_default(),
             journal: self.journal.map(PathBuf::from),
+            max_retries: self.max_retries.unwrap_or(0) as usize,
+            fault: self.fault,
         })
     }
 }
@@ -377,6 +404,25 @@ journal = "results/epidemic.jsonl"
         assert_eq!(spec.engine, EngineMode::Auto);
         assert!(spec.experiments.is_empty());
         assert!(spec.journal.is_none());
+        assert_eq!(spec.max_retries, 0);
+        assert!(spec.fault.is_none());
+    }
+
+    #[test]
+    fn parses_robustness_keys() {
+        let spec = SweepSpec::parse_str(
+            "name = \"x\"\nsizes = [10]\ntrials = 3\nmax_retries = 2\nfault = \"kill@5\"",
+        )
+        .unwrap();
+        assert_eq!(spec.max_retries, 2);
+        assert_eq!(spec.fault.as_deref(), Some("kill@5"));
+    }
+
+    #[test]
+    fn rejects_invalid_fault_plans() {
+        let err = SweepSpec::parse_str("name = \"x\"\nsizes = [10]\ntrials = 3\nfault = \"boom\"")
+            .unwrap_err();
+        assert!(err.contains("fault plan"), "{err}");
     }
 
     #[test]

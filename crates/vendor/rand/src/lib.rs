@@ -244,6 +244,32 @@ pub mod rngs {
         x ^ (x >> 31)
     }
 
+    impl SmallRng {
+        /// Returns the raw 256-bit generator state, for checkpointing.
+        /// Restoring it with [`SmallRng::from_state`] resumes the stream
+        /// exactly where it left off.
+        #[inline]
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a state captured by
+        /// [`SmallRng::state`].
+        ///
+        /// # Panics
+        ///
+        /// Panics on the all-zero state, which is not reachable from any
+        /// seed and would make xoshiro emit zeros forever.
+        #[inline]
+        pub fn from_state(s: [u64; 4]) -> Self {
+            assert!(
+                s.iter().any(|&w| w != 0),
+                "the all-zero state is not a valid xoshiro256++ state"
+            );
+            Self { s }
+        }
+    }
+
     impl SeedableRng for SmallRng {
         fn seed_from_u64(seed: u64) -> Self {
             // Standard xoshiro seeding: expand the seed with SplitMix64 so

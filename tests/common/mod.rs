@@ -4,12 +4,11 @@
 /// Trials per engine for KS/binomial distribution comparisons: the
 /// `PP_EQ_TRIALS` environment variable if set (CI uses a reduced value),
 /// else `default`. All thresholds derived from the count scale with it, so
-/// the bounds stay valid at any setting.
+/// the bounds stay valid at any setting. Parsed through the workspace's
+/// shared env-knob helper for consistent semantics with `PP_SWEEP_TRIALS`.
 #[allow(dead_code)]
 pub fn eq_trials(default: u64) -> u64 {
-    std::env::var("PP_EQ_TRIALS")
-        .ok()
-        .and_then(|v| v.parse().ok())
+    uniform_sizeest::engine::env::unsigned("PP_EQ_TRIALS")
         .unwrap_or(default)
         .max(10)
 }

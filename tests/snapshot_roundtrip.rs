@@ -1,0 +1,229 @@
+//! Crash-recovery round trips: a snapshot taken mid-run must restore an
+//! engine that continues **byte-for-byte identically** to the original —
+//! same configuration, same interaction clock, same time bits, same RNG
+//! stream — across all four engines (`AgentSim`, `CountSim`,
+//! `BatchedCountSim`, adaptive `ConfigSim`) and the interned adapter.
+//!
+//! The kill points are proptest-random, so snapshots land at arbitrary
+//! interactions (mid-batch schedules, post-GC interner tables, adaptive
+//! mode switches), not just friendly boundaries.
+
+use std::path::PathBuf;
+
+use proptest::prelude::*;
+use uniform_sizeest::engine::epidemic::{InfectionEpidemic, MaxEpidemic};
+use uniform_sizeest::engine::simulation::SimMode;
+use uniform_sizeest::engine::{EngineMode, Simulation};
+
+/// A unique scratch path per test case (cases run concurrently).
+fn temp_snapshot(tag: &str, case: u64) -> PathBuf {
+    let dir = std::env::temp_dir().join("pp-snapshot-roundtrip");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{tag}-{}-{case:016x}.ppsnap", std::process::id()))
+}
+
+/// Drives both simulations forward in lock-step chunks, asserting the
+/// decoded configuration, interaction clock, and exact time bits agree
+/// before every chunk. Sensitive to any RNG-stream divergence: a single
+/// differing draw desynchronizes the configurations within a chunk.
+fn assert_identical_continuation<S: Clone + Ord + std::fmt::Debug>(
+    a: &mut Simulation<S>,
+    b: &mut Simulation<S>,
+    chunk: u64,
+    chunks: usize,
+) {
+    for i in 0..=chunks {
+        assert_eq!(
+            a.interactions(),
+            b.interactions(),
+            "clock diverged at chunk {i}"
+        );
+        assert_eq!(
+            a.time().to_bits(),
+            b.time().to_bits(),
+            "time bits diverged at chunk {i}"
+        );
+        let mut va = a.view();
+        let mut vb = b.view();
+        va.sort();
+        vb.sort();
+        assert_eq!(va, vb, "configuration diverged at chunk {i}");
+        if i < chunks {
+            a.steps(chunk);
+            b.steps(chunk);
+        }
+    }
+}
+
+/// One count-engine case: warm up, snapshot, resume, continue both.
+fn count_case(mode: EngineMode, seed: u64, n: u64, warmup: u64, tag: &str) {
+    let path = temp_snapshot(tag, seed ^ (n << 32) ^ warmup);
+    let mut original = Simulation::count_builder(InfectionEpidemic)
+        .config([(true, 1), (false, n - 1)])
+        .seed(seed)
+        .mode(mode)
+        .checkpoint_to(&path)
+        .build();
+    if warmup > 0 {
+        original.steps(warmup);
+    }
+    original.snapshot_to(&path).unwrap();
+    let mut restored = Simulation::resume_count(InfectionEpidemic, &path).unwrap();
+    assert_identical_continuation(&mut original, &mut restored, n.max(16), 5);
+    let _ = std::fs::remove_file(&path);
+}
+
+/// One agent-protocol case (plain agent array or the interned count
+/// engines): distinct initial values keep the interner churning.
+fn agent_case(mode: SimMode, seed: u64, n: u64, warmup: u64, tag: &str) {
+    let path = temp_snapshot(tag, seed ^ (n << 32) ^ warmup);
+    let mut original = Simulation::builder(MaxEpidemic)
+        .size(n)
+        .seed(seed)
+        .mode(mode)
+        .init_with(|i, _| i as u64)
+        .checkpoint_to(&path)
+        .build();
+    if warmup > 0 {
+        original.steps(warmup);
+    }
+    original.snapshot_to(&path).unwrap();
+    let mut restored = Simulation::resume(MaxEpidemic, &path).unwrap();
+    assert_identical_continuation(&mut original, &mut restored, n.max(16), 5);
+    let _ = std::fs::remove_file(&path);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn sequential_count_engine_round_trips(seed in any::<u64>(), n in 20u64..300, warmup in 0u64..4000) {
+        count_case(EngineMode::Sequential, seed, n, warmup, "seq");
+    }
+
+    #[test]
+    fn batched_count_engine_round_trips(seed in any::<u64>(), n in 20u64..300, warmup in 0u64..4000) {
+        count_case(EngineMode::Batched, seed, n, warmup, "batched");
+    }
+
+    #[test]
+    fn adaptive_count_engine_round_trips(seed in any::<u64>(), n in 20u64..300, warmup in 0u64..4000) {
+        count_case(EngineMode::Auto, seed, n, warmup, "auto");
+    }
+
+    #[test]
+    fn agent_engine_round_trips(seed in any::<u64>(), n in 20u64..200, warmup in 0u64..2000) {
+        agent_case(SimMode::Agent, seed, n, warmup, "agent");
+    }
+
+    #[test]
+    fn interned_count_engine_round_trips(seed in any::<u64>(), n in 20u64..200, warmup in 0u64..2000) {
+        agent_case(SimMode::Count(EngineMode::Auto), seed, n, warmup, "interned");
+    }
+
+    // The in-process fault-injection drill: kill a checkpointing run at
+    // a random interaction (drop it — nothing outlives the snapshot
+    // file), resume from disk, and require the revived run to match an
+    // uninterrupted reference that never checkpointed at all.
+    #[test]
+    fn killed_at_random_interaction_resumes_to_the_uninterrupted_run(
+        seed in any::<u64>(),
+        n in 20u64..300,
+        kill_at in 1u64..5000,
+    ) {
+        let extra = 4 * n;
+        let mut reference = Simulation::count_builder(InfectionEpidemic)
+            .config([(true, 1), (false, n - 1)])
+            .seed(seed)
+            .build();
+        reference.steps(kill_at + extra);
+
+        let path = temp_snapshot("kill", seed ^ (n << 32) ^ kill_at);
+        let mut victim = Simulation::count_builder(InfectionEpidemic)
+            .config([(true, 1), (false, n - 1)])
+            .seed(seed)
+            .checkpoint_to(&path)
+            .build();
+        victim.steps(kill_at);
+        victim.snapshot_to(&path).unwrap();
+        drop(victim); // the "SIGKILL": only the snapshot file survives
+
+        let mut revived = Simulation::resume_count(InfectionEpidemic, &path).unwrap();
+        revived.steps(extra);
+
+        prop_assert_eq!(revived.interactions(), reference.interactions());
+        prop_assert_eq!(revived.time().to_bits(), reference.time().to_bits());
+        let mut va = revived.view();
+        let mut vb = reference.view();
+        va.sort();
+        vb.sort();
+        prop_assert_eq!(va, vb);
+        let _ = std::fs::remove_file(&path);
+    }
+}
+
+/// `run()` writes a snapshot at budget exhaustion, so a run that dies
+/// right after its time budget (or is simply stopped) resumes into a
+/// longer budget exactly where it left off — matching an uninterrupted
+/// run with the longer budget from the start.
+#[test]
+fn budget_exhaustion_checkpoint_resumes_into_a_longer_run() {
+    let n = 500u64;
+    let seed = 42;
+    let build = || {
+        Simulation::count_builder(InfectionEpidemic)
+            .config([(true, 1), (false, n - 1)])
+            .seed(seed)
+    };
+
+    let mut reference = build().max_time(8.0).build();
+    reference.run();
+
+    let path = temp_snapshot("budget", seed);
+    let mut victim = build().max_time(4.0).checkpoint_to(&path).build();
+    victim.run(); // exhausts the 4.0 budget and checkpoints there
+    drop(victim);
+
+    let mut revived = build().max_time(8.0).resume(&path).unwrap();
+    revived.run();
+
+    assert_eq!(revived.interactions(), reference.interactions());
+    assert_eq!(revived.time().to_bits(), reference.time().to_bits());
+    let mut va = revived.view();
+    let mut vb = reference.view();
+    va.sort();
+    vb.sort();
+    assert_eq!(va, vb);
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Corrupted snapshots are rejected loudly, never half-restored, and the
+/// engine tags are cross-checked against the resume surface.
+#[test]
+fn corrupt_and_mismatched_snapshots_are_refused() {
+    let n = 100u64;
+    let path = temp_snapshot("corrupt", 7);
+    let sim = Simulation::count_builder(InfectionEpidemic)
+        .config([(true, 1), (false, n - 1)])
+        .seed(3)
+        .checkpoint_to(&path)
+        .build();
+    sim.snapshot_to(&path).unwrap();
+
+    // Flip one body byte: the checksum must catch it.
+    let mut bytes = std::fs::read(&path).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x40;
+    std::fs::write(&path, &bytes).unwrap();
+    let err = Simulation::resume_count(InfectionEpidemic, &path).unwrap_err();
+    assert!(err.to_string().contains("checksum"), "{err}");
+
+    // Restore the valid snapshot: a count snapshot must not resume an
+    // agent-protocol simulation.
+    bytes[last] ^= 0x40;
+    std::fs::write(&path, &bytes).unwrap();
+    assert!(Simulation::resume_count(InfectionEpidemic, &path).is_ok());
+    let err = Simulation::resume(MaxEpidemic, &path).unwrap_err();
+    assert!(err.to_string().contains("cannot resume"), "{err}");
+    let _ = std::fs::remove_file(&path);
+}
