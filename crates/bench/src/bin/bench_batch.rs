@@ -18,13 +18,18 @@
 //!
 //! * **`logsize_estimation`** / **`leader_terminating`** — fixed parallel
 //!   time on `Log-Size-Estimation` and the Theorem 3.13 terminating
-//!   variant. For these rows the "sequential" column is the **per-agent
-//!   engine** (the machine normalizer — both engines run in the same
-//!   process) and the "batched" column is the interned `ConfigSim` under
-//!   `EngineMode::Auto` with GC on; the gated speedup is their ratio, so
-//!   a regression in the GC'd count path (e.g. the table growing
-//!   unboundedly again) trips the gate even though the ratio sits below
-//!   1 by design.
+//!   variant, at `n = 2000` (the paper-scale regime) and `n = 50000`
+//!   (the agent state array falls out of L2). For these rows the
+//!   "sequential" column is the **per-agent engine** (the machine
+//!   normalizer — both engines run in the same process) and the
+//!   "batched" column is the interned `ConfigSim` under
+//!   `EngineMode::Auto` with GC on. Once the occupied support crosses
+//!   the dense-lane floor, the count engine runs these churners through
+//!   the per-agent lane — the agent simulator's exact interaction loop
+//!   bracketed by an `O(n)` expand/collapse — so the gated ratio sits
+//!   near 1 instead of the ~0.14 the pre-lane intern-per-interaction
+//!   path managed, and a regression in the lane, the slot index, or the
+//!   GC'd count path trips the gate.
 //!
 //! Two workloads per protocol:
 //!
@@ -393,27 +398,36 @@ fn main() {
     let mut rows = Vec::new();
     bench_protocol::<InfectionEpidemic>("epidemic", sizes, &mut rows);
     bench_protocol::<WeakEstimator>("weak_estimator", weak_sizes, &mut rows);
-    // Same n in quick and full mode, so the --quick CI gate always covers
-    // the GC-unlocked interned paths.
-    let interned_trials = if quick { 3 } else { 5 };
-    bench_interned(
-        "logsize_estimation",
-        LogSizeEstimation::paper(),
-        None,
-        2_000,
-        300.0,
-        interned_trials,
-        &mut rows,
-    );
-    bench_interned(
-        "leader_terminating",
-        LeaderTerminating::paper(),
-        Some(LeaderState::leader()),
-        2_000,
-        300.0,
-        interned_trials,
-        &mut rows,
-    );
+    // Same sizes in quick and full mode, so the --quick CI gate always
+    // covers the interned paths: n = 2000 (the paper-scale regime both
+    // record protocols are measured at) and n = 50000 (big enough that
+    // the agent engine's state array falls out of L2 — the regime where
+    // the dense lane's compact table pays).
+    let interned_sizes: &[(u64, u64)] = if quick {
+        &[(2_000, 3), (50_000, 2)]
+    } else {
+        &[(2_000, 5), (50_000, 3)]
+    };
+    for &(n, trials) in interned_sizes {
+        bench_interned(
+            "logsize_estimation",
+            LogSizeEstimation::paper(),
+            None,
+            n,
+            300.0,
+            trials,
+            &mut rows,
+        );
+        bench_interned(
+            "leader_terminating",
+            LeaderTerminating::paper(),
+            Some(LeaderState::leader()),
+            n,
+            300.0,
+            trials,
+            &mut rows,
+        );
+    }
 
     let mut json = String::from(
         "{\n  \"benchmark\": \"sequential_vs_batched\",\n  \"unit\": \"interactions_per_second\",\n  \

@@ -7,22 +7,18 @@
 //! time: too-small clocks break epoch/epidemic synchronization (error
 //! grows); too-small epoch counts break the averaging (variance grows);
 //! larger values only cost time.
+//!
+//! Runs on the sweep registry (`ablation` experiment). The population is
+//! fixed at `experiments::ABLATION_N`; the sweep's size axis carries the
+//! `(clock, epochs)` pair encoded as `clock·100 + epochs`
+//! (`experiments::ablation_code`), so `--sizes` takes encoded pairs and
+//! `--journal PATH` makes runs resumable.
 
-use pp_bench::{fmt, print_table, write_csv, HarnessArgs};
-use pp_core::log_size::{estimate_with, LogSizeEstimation};
-use pp_sweep::trials::run_trials_threaded;
+use pp_bench::experiments::{ablation_code, ablation_decode, ABLATION_N};
+use pp_bench::{experiments, fmt, print_table, run_sweep_or_exit, write_csv, HarnessArgs};
 
 fn main() {
-    let args = HarnessArgs::parse(&[1000], 20);
-    let n = args.sizes[0];
-    println!(
-        "Constant ablation at n={n} (trials={}): paper uses clock=95, epochs=5",
-        args.trials
-    );
-
-    let mut rows = Vec::new();
-    let mut csv = Vec::new();
-    for (clock, epochs) in [
+    let grid: Vec<u64> = [
         (10u64, 5u64),
         (30, 5),
         (60, 5),
@@ -32,17 +28,34 @@ fn main() {
         (95, 2),
         (95, 3),
         (95, 10),
-    ] {
-        let protocol = LogSizeEstimation::with_constants(clock, epochs, 2);
-        let outcomes = run_trials_threaded(
-            args.seed ^ clock ^ (epochs << 32),
-            args.trials,
-            args.threads,
-            |_, seed| estimate_with(protocol, n as usize, seed, Some(1e7)),
-        );
-        let errors: Vec<f64> = outcomes.iter().filter_map(|o| o.value.error(n)).collect();
-        let times: Vec<f64> = outcomes.iter().map(|o| o.value.time).collect();
-        let converged = outcomes.iter().filter(|o| o.value.converged).count();
+    ]
+    .into_iter()
+    .map(|(clock, epochs)| ablation_code(clock, epochs))
+    .collect();
+    let args = HarnessArgs::parse(&grid, 20);
+    let spec = args.sweep_spec("table_ablation");
+    println!(
+        "Constant ablation at n={ABLATION_N} (trials={}): paper uses clock=95, epochs=5",
+        spec.effective_trials()
+    );
+    let experiments = experiments::build(&["ablation"]).expect("registered");
+    let report = run_sweep_or_exit(&spec, &experiments);
+
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for point in report.points_for("ablation") {
+        let (clock, epochs) = ablation_decode(point.n);
+        let errors: Vec<f64> = point
+            .values("err")
+            .into_iter()
+            .filter(|e| !e.is_nan())
+            .collect();
+        let times = point.values("time");
+        let converged = point
+            .values("converged")
+            .iter()
+            .filter(|&&c| c == 1.0)
+            .count();
         let (mean_abs, max_abs) = if errors.is_empty() {
             (f64::NAN, f64::NAN)
         } else {
@@ -56,7 +69,7 @@ fn main() {
         rows.push(vec![
             clock.to_string(),
             epochs.to_string(),
-            format!("{}/{}", converged, outcomes.len()),
+            format!("{}/{}", converged, times.len()),
             fmt(mean_abs),
             fmt(max_abs),
             format!("{}/{}", within, errors.len().max(1)),

@@ -4,37 +4,31 @@
 //! Paper: `x, q -> y, y` computes doubling in `O(log n)` expected time;
 //! `x, x -> y, q` computes halving in `Θ(n)` — the motivating example for
 //! why "efficient" means sublinear.
+//!
+//! Runs on the sweep registry (`intro_functions` experiment): trials fan
+//! out over the seeded worker pool and `--journal PATH` makes runs
+//! resumable.
 
-use pp_baselines::intro_functions::{double_time, halve_time};
-use pp_bench::{fmt, print_table, write_csv, HarnessArgs};
-use pp_sweep::trials::run_trials_threaded;
+use pp_bench::{experiments, fmt, print_table, run_sweep_or_exit, write_csv, HarnessArgs};
 
 fn main() {
     // Halving takes Θ(n) *parallel* time = Θ(n²) interactions, so the
     // default sweep stops at 3·10⁴ (≈10⁹ interactions per trial).
     let args = HarnessArgs::parse(&[500, 5_000, 30_000], 8);
+    let spec = args.sweep_spec("table_intro_functions");
     println!(
         "Section 1 intro example (trials={}): doubling O(log n) vs halving Theta(n)",
-        args.trials
+        spec.effective_trials()
     );
+    let experiments = experiments::build(&["intro_functions"]).expect("registered");
+    let report = run_sweep_or_exit(&spec, &experiments);
 
     let mut rows = Vec::new();
     let mut csv = Vec::new();
-    for &n in &args.sizes {
-        // x = n/4 keeps the doubling fuel q plentiful (q ≥ n/2 throughout),
-        // which is what the paper's O(log n) claim needs; halving gets the
-        // same input size.
-        let x = n / 4;
-        let d = run_trials_threaded(args.seed ^ n, args.trials, args.threads, |_, seed| {
-            double_time(n, x, seed).1
-        });
-        let h = run_trials_threaded(args.seed ^ n ^ 1, args.trials, args.threads, |_, seed| {
-            halve_time(n, x, seed).1
-        });
-        let dt: Vec<f64> = d.iter().map(|o| o.value).collect();
-        let ht: Vec<f64> = h.iter().map(|o| o.value).collect();
-        let ds = pp_analysis::stats::Summary::of(&dt);
-        let hs = pp_analysis::stats::Summary::of(&ht);
+    for point in report.points_for("intro_functions") {
+        let n = point.n;
+        let ds = pp_analysis::stats::Summary::of(&point.values("double_time"));
+        let hs = pp_analysis::stats::Summary::of(&point.values("halve_time"));
         rows.push(vec![
             n.to_string(),
             fmt(ds.mean),

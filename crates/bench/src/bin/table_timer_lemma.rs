@@ -5,40 +5,40 @@
 //! count `k` keeps count > `k/81` through one unit of time except with
 //! probability `≤ 2^{−k/81}` (E.3). Measured: survival statistics of the
 //! worst-case consumption process against the bounds.
+//!
+//! Runs on the sweep registry (`timer_lemma` experiment): one trial
+//! produces both the E.1 remaining-bin count (`k = m = n/2`) and the E.3
+//! survivor count; trials fan out over the seeded worker pool and
+//! `--journal PATH` makes runs resumable.
 
-use pp_analysis::balls_bins::{
-    corollary_e3_bound, expected_survival_fraction, lemma_e1_bound, simulate_balls_bins,
-    simulate_worst_case_consumption,
-};
-use pp_bench::{fmt, print_table, write_csv, HarnessArgs};
-use pp_engine::rng::rng_from_seed;
+use pp_analysis::balls_bins::{corollary_e3_bound, expected_survival_fraction, lemma_e1_bound};
+use pp_bench::{experiments, fmt, print_table, run_sweep_or_exit, write_csv, HarnessArgs};
 
 fn main() {
     let args = HarnessArgs::parse(&[1000, 10_000, 100_000], 300);
-    println!("Appendix E timer lemma (trials={})", args.trials);
+    let spec = args.sweep_spec("table_timer_lemma");
+    println!(
+        "Appendix E timer lemma (trials={})",
+        spec.effective_trials()
+    );
+    let experiments = experiments::build(&["timer_lemma"]).expect("registered");
+    let report = run_sweep_or_exit(&spec, &experiments);
 
     println!("\nLemma E.1: balls into bins (k = n/2 empty, m = n/2 balls, delta = 0.2)");
     let mut rows = Vec::new();
-    for &n in &args.sizes {
+    for point in report.points_for("timer_lemma") {
+        let n = point.n;
         let k = n / 2;
-        let m = n / 2;
         let delta = 0.2;
-        let mut rng = rng_from_seed(args.seed ^ n);
-        let mut hits = 0u64;
-        let mut min_remaining = u64::MAX;
-        for _ in 0..args.trials {
-            let remaining = simulate_balls_bins(n, k, m, &mut rng);
-            min_remaining = min_remaining.min(remaining);
-            if remaining as f64 <= delta * k as f64 {
-                hits += 1;
-            }
-        }
+        let remaining = point.values("e1_remaining");
+        let hits = remaining.iter().filter(|&&r| r <= delta * k as f64).count();
+        let min_remaining = remaining.iter().cloned().fold(f64::INFINITY, f64::min);
         rows.push(vec![
             n.to_string(),
-            format!("{}", min_remaining),
+            format!("{min_remaining}"),
             fmt(delta * k as f64),
-            format!("{}/{}", hits, args.trials),
-            format!("{:.1e}", lemma_e1_bound(n, k, m, delta)),
+            format!("{}/{}", hits, remaining.len()),
+            format!("{:.1e}", lemma_e1_bound(n, k, k, delta)),
         ]);
     }
     print_table(
@@ -49,26 +49,20 @@ fn main() {
     println!("\nCorollary E.3: worst-case consumption for time 1 (k = n/2)");
     let mut rows2 = Vec::new();
     let mut csv = Vec::new();
-    for &n in &args.sizes {
+    for point in report.points_for("timer_lemma") {
+        let n = point.n;
         let k = n / 2;
-        let mut rng = rng_from_seed(args.seed ^ n ^ 7);
-        let mut survivals = Vec::new();
-        let mut hits = 0u64;
-        for _ in 0..args.trials {
-            let s = simulate_worst_case_consumption(n, k, 1.0, &mut rng);
-            if s <= k / 81 {
-                hits += 1;
-            }
-            survivals.push(s as f64 / k as f64);
-        }
-        let sm = pp_analysis::stats::Summary::of(&survivals);
+        let survivors = point.values("e3_survivors");
+        let hits = survivors.iter().filter(|&&s| s <= (k / 81) as f64).count();
+        let fractions: Vec<f64> = survivors.iter().map(|&s| s / k as f64).collect();
+        let sm = pp_analysis::stats::Summary::of(&fractions);
         rows2.push(vec![
             n.to_string(),
             fmt(sm.mean),
             fmt(expected_survival_fraction(1.0)),
             fmt(sm.min),
             format!("1/81={:.4}", 1.0 / 81.0),
-            format!("{}/{}", hits, args.trials),
+            format!("{}/{}", hits, survivors.len()),
             format!("{:.1e}", corollary_e3_bound(k)),
         ]);
         csv.push(vec![

@@ -15,13 +15,15 @@
 //! others run on the engine their protocol helper picks (documented per
 //! entry below).
 
+use pp_analysis::balls_bins::{simulate_balls_bins, simulate_worst_case_consumption};
 use pp_analysis::geometric::max_geometric_sample;
 use pp_analysis::subexp::d10_min_k;
 use pp_baselines::alistarh::weak_estimate;
 use pp_baselines::exact_backup::run_backup;
 use pp_baselines::exact_leader::run_exact_count;
+use pp_baselines::intro_functions::{double_time, halve_time};
 use pp_core::leader::terminating_in_mode;
-use pp_core::log_size::{estimate_in_mode, LogSizeEstimation};
+use pp_core::log_size::{estimate_in_mode, estimate_with, LogSizeEstimation};
 use pp_core::partition::run_partition;
 use pp_engine::epidemic::{InfectionEpidemic, SubState, SubpopulationEpidemic};
 use pp_engine::rng::rng_from_seed;
@@ -33,6 +35,23 @@ use pp_termination::experiment::counter_signal_trial;
 /// log₂ n| ≤ 5.7` w.h.p.), shared by the estimator and termination
 /// experiments.
 pub const ACCURACY_BAND: f64 = 5.7;
+
+/// Fixed population for the `ablation` experiment — its grid axis
+/// carries the constant pair, not a population size.
+pub const ABLATION_N: u64 = 1_000;
+
+/// Encodes a `(clock multiplier, epoch multiplier)` constant pair onto
+/// the `ablation` experiment's size axis (`clock·100 + epochs` — epoch
+/// multipliers are single-digit-to-tens, so the encoding is unambiguous).
+pub fn ablation_code(clock: u64, epochs: u64) -> u64 {
+    debug_assert!(epochs < 100, "epoch multiplier overflows the encoding");
+    clock * 100 + epochs
+}
+
+/// Inverse of [`ablation_code`].
+pub fn ablation_decode(code: u64) -> (u64, u64) {
+    (code / 100, code % 100)
+}
 
 /// Names of every registered experiment, in registry order.
 pub fn names() -> &'static [&'static str] {
@@ -47,6 +66,9 @@ pub fn names() -> &'static [&'static str] {
         "counter_signal",
         "partition",
         "geometric_maxima",
+        "intro_functions",
+        "ablation",
+        "timer_lemma",
     ]
 }
 
@@ -200,6 +222,49 @@ pub fn experiment(name: &str) -> Option<SweepExperiment> {
                 let k = d10_min_k(ctx.n);
                 let sum: u64 = (0..k).map(|_| max_geometric_sample(ctx.n, &mut rng)).sum();
                 vec![max, sum as f64 / k as f64]
+            })
+        }
+        // The §1 intro example: `x, q → y, y` doubling completes in
+        // O(log n) time, `x, x → y, q` halving in Θ(n) — one trial runs
+        // both at input `x = n/4` (doubling's fuel stays plentiful).
+        // Halving is Θ(n²) interactions, so callers keep the size axis
+        // modest and the trial cap low.
+        "intro_functions" => {
+            SweepExperiment::new("intro_functions", &["double_time", "halve_time"], |ctx| {
+                let x = ctx.n / 4;
+                let (_, double) = double_time(ctx.n, x, ctx.seed);
+                let (_, halve) = halve_time(ctx.n, x, ctx.seed ^ 1);
+                vec![double, halve]
+            })
+            .with_max_trials(8)
+        }
+        // Constant ablation of `Log-Size-Estimation` at a fixed
+        // population of [`ABLATION_N`]: the grid axis carries the
+        // `(clock multiplier, epoch multiplier)` pair via
+        // [`ablation_code`]. Signed error (NaN if the run produced no
+        // output), convergence time, and the converged flag.
+        "ablation" => SweepExperiment::new("ablation", &["err", "time", "converged"], |ctx| {
+            let (clock, epochs) = ablation_decode(ctx.n);
+            let protocol = LogSizeEstimation::with_constants(clock, epochs, 2);
+            let out = estimate_with(protocol, ABLATION_N as usize, ctx.seed, Some(1e7));
+            vec![
+                out.error(ABLATION_N).unwrap_or(f64::NAN),
+                out.time,
+                f64::from(out.converged),
+            ]
+        }),
+        // Appendix E timer lemma (E.1 balls-into-bins, E.3 worst-case
+        // consumption): one trial throws `m = n/2` balls at `k = n/2`
+        // empty bins and reports the bins still empty, then runs the
+        // worst-case consumption process on a count-`k` state for one
+        // unit of time and reports the surviving count.
+        "timer_lemma" => {
+            SweepExperiment::new("timer_lemma", &["e1_remaining", "e3_survivors"], |ctx| {
+                let k = ctx.n / 2;
+                let mut rng = rng_from_seed(ctx.seed);
+                let remaining = simulate_balls_bins(ctx.n, k, k, &mut rng) as f64;
+                let survivors = simulate_worst_case_consumption(ctx.n, k, 1.0, &mut rng) as f64;
+                vec![remaining, survivors]
             })
         }
         _ => return None,

@@ -687,15 +687,22 @@ mod tests {
         let handle = interned.handle();
         let config = interned.uniform_config(n as u64);
         let mut sim = ConfigSim::new(interned, config, 42);
+        // Sub-`n` advance budgets keep the dense per-agent lane (which
+        // compacts the table itself, masking GC) disengaged, so this run
+        // exercises the per-interaction interning path the GC serves;
+        // the lane-active bound is covered by the `dense_lane_*` tests
+        // in pp-engine.
         let out = sim.run_until(
             |c| is_converged_counts(&handle.decode(c)),
-            n as u64,
+            (n / 2) as u64,
             default_time_budget(n as u64),
         );
         assert!(out.converged);
         // Keep churning well past convergence: the table bound must hold
         // in steady state, not just at the convergence checkpoint.
-        sim.steps(out.interactions / 2);
+        for _ in 0..out.interactions / (n as u64) {
+            sim.steps((n / 2) as u64);
+        }
         let live = sim.config_view().support_size();
         let table = handle.discovered();
         assert!(

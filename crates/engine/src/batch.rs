@@ -77,6 +77,7 @@ use crate::count_sim::{CountConfiguration, CountProtocol, CountSeededInit, Count
 use crate::rng::{geometric, hypergeometric, multinomial_conditional, rng_from_seed, SimRng};
 use crate::scheduler::parallel_time;
 use crate::sim::RunOutcome;
+use crate::slot_index::{fnv_hash, SlotIndex};
 
 /// A [`CountProtocol`] whose transition function is a pure function of the
 /// two input states. Implementing this trait (instead of `CountProtocol`
@@ -86,7 +87,7 @@ use crate::sim::RunOutcome;
 /// population sizes.
 pub trait DeterministicCountProtocol {
     /// Agent state; must be orderable so configurations have a canonical form.
-    type State: Copy + Ord + std::fmt::Debug;
+    type State: Copy + Ord + std::hash::Hash + std::fmt::Debug;
 
     /// Computes the post-interaction states `(rec', sen')` deterministically.
     fn transition_det(&self, rec: Self::State, sen: Self::State) -> (Self::State, Self::State);
@@ -188,7 +189,8 @@ pub struct BatchedCountSim<P: CountProtocol> {
     interactions: u64,
     /// Discovered states, id-indexed.
     states: Vec<P::State>,
-    index: BTreeMap<P::State, usize>,
+    /// Open-addressed state → id lookup (probes against `states`).
+    index: SlotIndex,
     /// Current configuration counts, id-indexed.
     counts: Vec<u64>,
     /// Row stride (capacity) of `table`; grown geometrically so state
@@ -234,12 +236,13 @@ impl<P: CountProtocol> BatchedCountSim<P> {
             "pair-weight arithmetic requires n² to fit in u64"
         );
         let mut states = Vec::new();
-        let mut index = BTreeMap::new();
+        let mut index = SlotIndex::with_capacity(config.support_size());
         let mut counts = Vec::new();
         for (&s, &c) in config.iter() {
-            index.insert(s, states.len());
+            let id = u32::try_from(states.len()).expect("more than u32::MAX states");
             states.push(s);
             counts.push(c);
+            index.insert(fnv_hash(&s), id, |i| fnv_hash(&states[i as usize]));
         }
         let k = states.len();
         let cap = k.max(4);
@@ -316,12 +319,17 @@ impl<P: CountProtocol> BatchedCountSim<P> {
         assert_eq!(states.len(), counts.len(), "snapshot slot tables disagree");
         let n: u64 = counts.iter().sum();
         assert!(n >= 2, "population must have at least 2 agents, got {n}");
-        let mut index = BTreeMap::new();
-        for (i, &s) in states.iter().enumerate() {
-            let prev = index.insert(s, i);
+        let mut index = SlotIndex::with_capacity(states.len());
+        for (i, s) in states.iter().enumerate() {
+            let hash = fnv_hash(s);
             assert!(
-                prev.is_none(),
+                index.get(hash, |c| states[c as usize] == *s).is_none(),
                 "snapshot has duplicate discovered state {s:?}"
+            );
+            index.insert(
+                hash,
+                u32::try_from(i).expect("more than u32::MAX states"),
+                |c| fnv_hash(&states[c as usize]),
             );
         }
         let k = states.len();
@@ -394,7 +402,7 @@ impl<P: CountProtocol> BatchedCountSim<P> {
         let map: BTreeMap<P::State, P::State> = renames.into_iter().collect();
         let mut states = Vec::with_capacity(roots.len());
         let mut counts = Vec::with_capacity(roots.len());
-        let mut index = BTreeMap::new();
+        let mut index = SlotIndex::with_capacity(roots.len());
         for (&old, &c) in self.states.iter().zip(&self.counts) {
             if c == 0 {
                 continue;
@@ -402,9 +410,10 @@ impl<P: CountProtocol> BatchedCountSim<P> {
             let new = *map
                 .get(&old)
                 .unwrap_or_else(|| panic!("GC renaming is missing occupied state {old:?}"));
-            index.insert(new, states.len());
+            let id = u32::try_from(states.len()).expect("more than u32::MAX states");
             states.push(new);
             counts.push(c);
+            index.insert(fnv_hash(&new), id, |i| fnv_hash(&states[i as usize]));
         }
         let k = states.len();
         self.states = states;
@@ -441,9 +450,17 @@ impl<P: CountProtocol> BatchedCountSim<P> {
         self.interactions
     }
 
+    /// Looks `state` up in the open-addressed index (`None` if undiscovered).
+    #[inline]
+    fn slot_lookup(&self, state: &P::State) -> Option<usize> {
+        self.index
+            .get(fnv_hash(state), |id| self.states[id as usize] == *state)
+            .map(|id| id as usize)
+    }
+
     /// Count of agents currently in `state`.
     pub fn count(&self, state: &P::State) -> u64 {
-        self.index.get(state).map_or(0, |&id| self.counts[id])
+        self.slot_lookup(state).map_or(0, |id| self.counts[id])
     }
 
     /// Materializes the current configuration (O(k log k)).
@@ -919,12 +936,19 @@ impl<P: CountProtocol> BatchedCountSim<P> {
     /// Returns the id for `state`, discovering it (and growing the law
     /// table's stride geometrically) if unseen.
     fn intern(&mut self, state: P::State) -> usize {
-        if let Some(&id) = self.index.get(&state) {
+        if let Some(id) = self.slot_lookup(&state) {
             return id;
         }
         let id = self.states.len();
         self.states.push(state);
-        self.index.insert(state, id);
+        {
+            let Self { index, states, .. } = self;
+            index.insert(
+                fnv_hash(&state),
+                u32::try_from(id).expect("more than u32::MAX states"),
+                |i| fnv_hash(&states[i as usize]),
+            );
+        }
         self.counts.push(0);
         if self.states.len() > self.cap {
             let new_cap = (self.cap * 2).max(self.states.len());
@@ -1202,6 +1226,15 @@ const ENGINE_PRESENT: &str = "ConfigSim engine slot is always occupied";
 /// layout, no randomness — so it is on by default (`PP_GC=off` or
 /// [`ConfigSim::set_gc`] disable it, chiefly for the equivalence suite
 /// that proves the neutrality).
+///
+/// Sequential advances additionally offer table-backed protocols the
+/// **dense per-agent lane** (`advance_dense` on the `Interned` adapter):
+/// a counter-churning record protocol — occupied support past the lane
+/// floor — takes the whole remaining budget as one per-agent episode at
+/// the agent simulator's cost model, collapsing back to a canonical
+/// configuration at the end. Like GC and engine switching, the lane is
+/// trajectory-neutral, so when it engages (and on which engine history)
+/// is unobservable in the decoded run.
 ///
 /// ```
 /// use pp_engine::batch::ConfigSim;
@@ -1587,13 +1620,26 @@ impl<P: CountProtocol> ConfigSim<P> {
         let executed = match self.eng_mut() {
             Engine::Batched(b) => b.advance(budget),
             Engine::Sequential(s) => {
-                let chunk = if chunked {
-                    budget.min(((s.population_size() as f64).sqrt() as u64).max(64))
+                // Offer the protocol's dense per-agent lane first
+                // ([`CountProtocol::advance_dense`]): table-backed
+                // protocols running at churn-scale support execute the
+                // budget at agent granularity — the counter-churn regime
+                // where the per-interaction configuration machinery
+                // costs more than it saves. The lane collapses to a
+                // canonical configuration before returning, so the
+                // adaptive / GC re-checks below see an ordinary
+                // sequential engine.
+                if let Some(done) = s.advance_dense(budget) {
+                    done
                 } else {
-                    budget
-                };
-                s.steps(chunk);
-                chunk
+                    let chunk = if chunked {
+                        budget.min(((s.population_size() as f64).sqrt() as u64).max(64))
+                    } else {
+                        budget
+                    };
+                    s.steps(chunk);
+                    chunk
+                }
             }
         };
         if self.adaptive {

@@ -16,22 +16,31 @@
 //! ## Hot-path layout
 //!
 //! [`CountConfiguration`] stores counts in flat slot-indexed arrays (state
-//! table, count vector, and a Fenwick tree mirroring the counts) with a
-//! `BTreeMap` only for state→slot lookup. One interaction costs a single RNG
-//! draw mapped to an ordered agent pair plus two `O(log k)` Fenwick descents,
-//! and a mutation costs `O(log k)` point updates — so even protocols whose
+//! table, count vector, and a Fenwick tree mirroring the counts) with an
+//! open-addressed [`SlotIndex`](crate::slot_index::SlotIndex) — FNV-seeded,
+//! power-of-two capacity, linear probing — for state→slot lookup. One
+//! interaction costs a single RNG draw mapped to an ordered agent pair plus
+//! two `O(log k)` Fenwick descents, and a mutation costs `O(log k)` point
+//! updates plus `O(1)` expected index probes — so even protocols whose
 //! every interaction changes both agents (the interned paper protocols,
 //! whose states carry interaction counters) pay `O(log k)` per interaction
-//! rather than the `O(k)` a rebuilt prefix-sum array would. For
-//! asymptotically faster simulation at large `n`, see [`crate::batch`].
+//! rather than the `O(k)` a rebuilt prefix-sum array would. Slot
+//! *assignment* is first-seen order with free-list recycling, and the index
+//! is derivable from the slot tables, so snapshots and GC renames rebuild
+//! it rather than serialize it. State-ordered views
+//! ([`CountConfiguration::iter`]) sort the occupied slots on demand — a
+//! checkpoint-level cost, off the per-interaction path. For asymptotically
+//! faster simulation at large `n`, see [`crate::batch`].
 
 use std::collections::BTreeMap;
+use std::hash::Hash;
 
 use rand::Rng;
 
 use crate::rng::{rng_from_seed, SimRng};
 use crate::scheduler::parallel_time;
 use crate::sim::RunOutcome;
+use crate::slot_index::{fnv_hash, SlotIndex};
 
 /// The outcome law of one interaction for a fixed ordered pair of input
 /// states, as exposed to the batched simulator.
@@ -54,8 +63,10 @@ pub enum Outcomes<S> {
 /// A protocol over a small copyable state type, expressed as a transition
 /// function on (receiver, sender) state values.
 pub trait CountProtocol {
-    /// Agent state; must be orderable so configurations have a canonical form.
-    type State: Copy + Ord + std::fmt::Debug;
+    /// Agent state; must be orderable so configurations have a canonical
+    /// form, and hashable so the engines' open-addressed slot indices can
+    /// probe it.
+    type State: Copy + Ord + Hash + std::fmt::Debug;
 
     /// Computes the post-interaction states `(rec', sen')`.
     fn transition(
@@ -123,6 +134,38 @@ pub trait CountProtocol {
         let _ = live;
         None
     }
+
+    /// Bulk per-agent execution: run up to `budget` interactions directly
+    /// against `config` and the engine RNG, returning the number executed,
+    /// or `None` to decline (the default, and always correct).
+    ///
+    /// This is the **dense lane** hook for table-backed protocols whose
+    /// occupied support approaches `n` (the paper's counter-churning record
+    /// states): when nearly every agent holds a unique state, the
+    /// configuration-vector machinery — weighted pair draws, state
+    /// hash-interning, count bookkeeping — degenerates into pure overhead
+    /// over the agent simulator it was supposed to beat. An implementation
+    /// may expand the configuration into a per-agent array, execute
+    /// interactions at agent granularity (mutating sole-owner backing
+    /// records in place, with no hashing at all), and collapse back into a
+    /// canonical configuration before returning.
+    ///
+    /// Contract: the decoded `(state, count)` multiset after the call must
+    /// be exactly what per-agent execution of that many interactions
+    /// produces; `config` must be left canonical (no duplicate states);
+    /// all randomness must come from `rng`; and the executed count must be
+    /// in `1..=budget` whenever `Some` is returned. Like the engines
+    /// themselves, the lane realizes the uniform ordered-pair process —
+    /// only the per-interaction constant may differ.
+    fn advance_dense(
+        &self,
+        config: &mut CountConfiguration<Self::State>,
+        rng: &mut SimRng,
+        budget: u64,
+    ) -> Option<u64> {
+        let _ = (config, rng, budget);
+        None
+    }
 }
 
 /// A count-space protocol whose initial configuration is input-dependent —
@@ -155,7 +198,7 @@ pub trait CountSeededInit: CountProtocol {
 /// assert!(!c.is_dense(0.5));
 /// ```
 #[derive(Clone)]
-pub struct CountConfiguration<S: Copy + Ord> {
+pub struct CountConfiguration<S: Copy + Ord + Hash> {
     /// Slot-indexed state table (slots whose count returns to zero are
     /// recycled through `free`, so the table stays at peak-support size
     /// even for protocols whose states churn — e.g. interned record states
@@ -163,8 +206,9 @@ pub struct CountConfiguration<S: Copy + Ord> {
     states: Vec<S>,
     /// Slot-indexed counts.
     counts: Vec<u64>,
-    /// State → slot lookup (live states only).
-    index: BTreeMap<S, usize>,
+    /// Open-addressed state → slot lookup (live states only; probes
+    /// against `states`, stores nothing but slot ids).
+    index: SlotIndex,
     /// Total number of agents.
     total: u64,
     /// Number of slots with positive count (the support size).
@@ -179,18 +223,35 @@ pub struct CountConfiguration<S: Copy + Ord> {
     free: Vec<usize>,
 }
 
-impl<S: Copy + Ord + std::fmt::Debug> CountConfiguration<S> {
+impl<S: Copy + Ord + Hash + std::fmt::Debug> CountConfiguration<S> {
     /// Creates an empty configuration.
     pub fn new() -> Self {
         Self {
             states: Vec::new(),
             counts: Vec::new(),
-            index: BTreeMap::new(),
+            index: SlotIndex::new(),
             total: 0,
             occupied: 0,
             tree: vec![0],
             free: Vec::new(),
         }
+    }
+
+    /// Looks `state` up in the open-addressed index (`None` if not live).
+    #[inline]
+    fn slot_lookup(&self, state: &S) -> Option<usize> {
+        self.index
+            .get(fnv_hash(state), |slot| self.states[slot as usize] == *state)
+            .map(|slot| slot as usize)
+    }
+
+    /// Inserts `slot` (holding `self.states[slot]`) into the index.
+    #[inline]
+    fn index_insert(&mut self, slot: usize) {
+        let Self { index, states, .. } = self;
+        index.insert(fnv_hash(&states[slot]), u32::try_from(slot).unwrap(), |s| {
+            fnv_hash(&states[s as usize])
+        });
     }
 
     /// Creates a configuration from `(state, count)` pairs.
@@ -202,7 +263,7 @@ impl<S: Copy + Ord + std::fmt::Debug> CountConfiguration<S> {
         let mut c = Self::new();
         for (s, k) in pairs {
             assert!(
-                !c.index.contains_key(&s),
+                c.slot_lookup(&s).is_none(),
                 "duplicate state {s:?} in configuration"
             );
             let slot = c.register(s);
@@ -223,19 +284,19 @@ impl<S: Copy + Ord + std::fmt::Debug> CountConfiguration<S> {
 
     /// Returns the slot for `state`, creating (or recycling) one if needed.
     fn register(&mut self, state: S) -> usize {
-        if let Some(&slot) = self.index.get(&state) {
+        if let Some(slot) = self.slot_lookup(&state) {
             return slot;
         }
         if let Some(slot) = self.free.pop() {
             debug_assert_eq!(self.counts[slot], 0);
             self.states[slot] = state;
-            self.index.insert(state, slot);
+            self.index_insert(slot);
             return slot;
         }
         let slot = self.states.len();
         self.states.push(state);
         self.counts.push(0);
-        self.index.insert(state, slot);
+        self.index_insert(slot);
         self.tree_append();
         slot
     }
@@ -246,7 +307,10 @@ impl<S: Copy + Ord + std::fmt::Debug> CountConfiguration<S> {
     /// they are invisible to iteration and re-addable through the index.
     fn release_if_empty(&mut self, slot: usize) {
         if self.counts[slot] == 0 {
-            self.index.remove(&self.states[slot]);
+            let Self { index, states, .. } = self;
+            index.remove(fnv_hash(&states[slot]), u32::try_from(slot).unwrap(), |s| {
+                fnv_hash(&states[s as usize])
+            });
             self.free.push(slot);
         }
     }
@@ -313,11 +377,17 @@ impl<S: Copy + Ord + std::fmt::Debug> CountConfiguration<S> {
     pub(crate) fn from_snapshot_parts(states: Vec<S>, counts: Vec<u64>, free: Vec<usize>) -> Self {
         assert_eq!(states.len(), counts.len(), "snapshot slot tables disagree");
         let freed: std::collections::BTreeSet<usize> = free.iter().copied().collect();
-        let mut index = BTreeMap::new();
-        for (slot, &s) in states.iter().enumerate() {
+        let mut index = SlotIndex::with_capacity(states.len());
+        for (slot, s) in states.iter().enumerate() {
             if !freed.contains(&slot) {
-                let prev = index.insert(s, slot);
-                assert!(prev.is_none(), "snapshot has duplicate live state {s:?}");
+                let hash = fnv_hash(s);
+                assert!(
+                    index.get(hash, |c| states[c as usize] == *s).is_none(),
+                    "snapshot has duplicate live state {s:?}"
+                );
+                index.insert(hash, u32::try_from(slot).unwrap(), |c| {
+                    fnv_hash(&states[c as usize])
+                });
             }
         }
         let total = counts.iter().sum();
@@ -350,7 +420,7 @@ impl<S: Copy + Ord + std::fmt::Debug> CountConfiguration<S> {
 
     /// Count of a particular state (0 if absent).
     pub fn count(&self, state: &S) -> u64 {
-        self.index.get(state).map_or(0, |&slot| self.counts[slot])
+        self.slot_lookup(state).map_or(0, |slot| self.counts[slot])
     }
 
     /// Number of distinct states present.
@@ -360,11 +430,19 @@ impl<S: Copy + Ord + std::fmt::Debug> CountConfiguration<S> {
 
     /// Iterates over `(state, count)` pairs with positive count, in state
     /// order.
+    ///
+    /// The open-addressed index has no intrinsic order, so this sorts the
+    /// occupied slots by state on each call — `O(k log k)`, a
+    /// checkpoint-level cost (predicates, snapshots, equality), never on
+    /// the per-interaction path.
     pub fn iter(&self) -> impl Iterator<Item = (&S, &u64)> {
-        self.index.iter().filter_map(|(s, &slot)| {
-            let c = &self.counts[slot];
-            (*c > 0).then_some((s, c))
-        })
+        let mut slots: Vec<usize> = (0..self.counts.len())
+            .filter(|&slot| self.counts[slot] > 0)
+            .collect();
+        slots.sort_unstable_by(|&a, &b| self.states[a].cmp(&self.states[b]));
+        slots
+            .into_iter()
+            .map(move |slot| (&self.states[slot], &self.counts[slot]))
     }
 
     /// Iterates over every *registered* state — occupied states plus any
@@ -373,7 +451,12 @@ impl<S: Copy + Ord + std::fmt::Debug> CountConfiguration<S> {
     /// roots: a registered state's id must survive collection even at
     /// count 0, or a recycled id could collide with its slot.
     pub(crate) fn registered(&self) -> impl Iterator<Item = &S> {
-        self.index.keys()
+        let freed: std::collections::BTreeSet<usize> = self.free.iter().copied().collect();
+        let mut slots: Vec<usize> = (0..self.states.len())
+            .filter(|slot| !freed.contains(slot))
+            .collect();
+        slots.sort_unstable_by(|&a, &b| self.states[a].cmp(&self.states[b]));
+        slots.into_iter().map(move |slot| &self.states[slot])
     }
 
     /// Number of registered states (see [`Self::registered`]).
@@ -392,14 +475,32 @@ impl<S: Copy + Ord + std::fmt::Debug> CountConfiguration<S> {
     ///
     /// Panics if a registered state has no entry in `map`.
     pub(crate) fn rename_states(&mut self, map: &BTreeMap<S, S>) {
-        let index = std::mem::take(&mut self.index);
-        for (old, slot) in index {
+        let freed: std::collections::BTreeSet<usize> = self.free.iter().copied().collect();
+        for slot in 0..self.states.len() {
+            if freed.contains(&slot) {
+                continue;
+            }
+            let old = self.states[slot];
             let new = *map
                 .get(&old)
                 .unwrap_or_else(|| panic!("GC renaming is missing registered state {old:?}"));
             self.states[slot] = new;
-            self.index.insert(new, slot);
         }
+        // Slot contents changed wholesale; rebuild the index in slot order
+        // (assignment untouched, so the trajectory is too).
+        let Self {
+            index,
+            states,
+            free,
+            ..
+        } = self;
+        let freed: std::collections::BTreeSet<usize> = free.iter().copied().collect();
+        index.rebuild(
+            (0..states.len())
+                .filter(|slot| !freed.contains(slot))
+                .map(|slot| u32::try_from(slot).unwrap()),
+            |s| fnv_hash(&states[s as usize]),
+        );
     }
 
     /// Adds `k` agents in `state`.
@@ -425,8 +526,8 @@ impl<S: Copy + Ord + std::fmt::Debug> CountConfiguration<S> {
         if k == 0 {
             return;
         }
-        let slot = match self.index.get(&state) {
-            Some(&slot) if self.counts[slot] > 0 => slot,
+        let slot = match self.slot_lookup(&state) {
+            Some(slot) if self.counts[slot] > 0 => slot,
             _ => panic!("removing {k} of absent state {state:?}"),
         };
         let c = self.counts[slot];
@@ -526,19 +627,19 @@ impl<S: Copy + Ord + std::fmt::Debug> CountConfiguration<S> {
     }
 }
 
-impl<S: Copy + Ord + std::fmt::Debug> Default for CountConfiguration<S> {
+impl<S: Copy + Ord + Hash + std::fmt::Debug> Default for CountConfiguration<S> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<S: Copy + Ord + std::fmt::Debug> std::fmt::Debug for CountConfiguration<S> {
+impl<S: Copy + Ord + Hash + std::fmt::Debug> std::fmt::Debug for CountConfiguration<S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_map().entries(self.iter()).finish()
     }
 }
 
-impl<S: Copy + Ord + std::fmt::Debug> PartialEq for CountConfiguration<S> {
+impl<S: Copy + Ord + Hash + std::fmt::Debug> PartialEq for CountConfiguration<S> {
     /// Configurations are equal when they contain the same multiset of
     /// states, regardless of internal slot order or zero-count slots.
     fn eq(&self, other: &Self) -> bool {
@@ -546,9 +647,9 @@ impl<S: Copy + Ord + std::fmt::Debug> PartialEq for CountConfiguration<S> {
     }
 }
 
-impl<S: Copy + Ord + std::fmt::Debug> Eq for CountConfiguration<S> {}
+impl<S: Copy + Ord + Hash + std::fmt::Debug> Eq for CountConfiguration<S> {}
 
-impl<S: Copy + Ord + std::fmt::Debug> FromIterator<(S, u64)> for CountConfiguration<S> {
+impl<S: Copy + Ord + Hash + std::fmt::Debug> FromIterator<(S, u64)> for CountConfiguration<S> {
     fn from_iter<I: IntoIterator<Item = (S, u64)>>(iter: I) -> Self {
         Self::from_pairs(iter)
     }
@@ -639,6 +740,26 @@ impl<P: CountProtocol> CountSim<P> {
             }
             None => false,
         }
+    }
+
+    /// Offers the protocol's dense per-agent lane
+    /// ([`CountProtocol::advance_dense`]) up to `budget` interactions,
+    /// crediting whatever it executes to the interaction clock. `None`
+    /// when the protocol declines (not table-backed, support too
+    /// concentrated, budget too small for the `O(n)` expand/collapse to
+    /// amortize).
+    pub(crate) fn advance_dense(&mut self, budget: u64) -> Option<u64> {
+        let Self {
+            protocol,
+            config,
+            rng,
+            interactions,
+            ..
+        } = self;
+        let executed = protocol.advance_dense(config, rng, budget)?;
+        debug_assert!(executed >= 1 && executed <= budget);
+        *interactions += executed;
+        Some(executed)
     }
 
     /// Current configuration.

@@ -63,16 +63,6 @@ pub fn epidemic_completion_time(n: u64, seed: u64) -> f64 {
     completion_time_impl(n, seed, EngineMode::Auto)
 }
 
-/// [`epidemic_completion_time`] with an explicit engine policy.
-#[deprecated(
-    since = "0.2.0",
-    note = "build the epidemic with `Simulation::count_builder(InfectionEpidemic).mode(...)` — \
-            engine selection is a builder argument now"
-)]
-pub fn epidemic_completion_time_with(n: u64, seed: u64, mode: EngineMode) -> f64 {
-    completion_time_impl(n, seed, mode)
-}
-
 fn completion_time_impl(n: u64, seed: u64, mode: EngineMode) -> f64 {
     assert!(n >= 2);
     let (out, _) = Simulation::count_builder(InfectionEpidemic)
@@ -91,7 +81,7 @@ fn completion_time_impl(n: u64, seed: u64, mode: EngineMode) -> f64 {
 /// Only interactions where *both* agents are in the subpopulation spread the
 /// infection, modelling Corollary 3.4's epidemic among the role-A agents
 /// while the role-S agents merely consume scheduler picks.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SubState {
     /// Member of the subpopulation running the epidemic.
     pub member: bool,
@@ -126,16 +116,6 @@ impl DeterministicCountProtocol for SubpopulationEpidemic {
 /// the factor `n(n-1)/(a(a-1))` in expectation).
 pub fn subpopulation_epidemic_time(n: u64, a: u64, seed: u64) -> f64 {
     subpopulation_time_impl(n, a, seed, EngineMode::Auto)
-}
-
-/// [`subpopulation_epidemic_time`] with an explicit engine policy.
-#[deprecated(
-    since = "0.2.0",
-    note = "build the epidemic with `Simulation::count_builder(SubpopulationEpidemic).mode(...)` — \
-            engine selection is a builder argument now"
-)]
-pub fn subpopulation_epidemic_time_with(n: u64, a: u64, seed: u64, mode: EngineMode) -> f64 {
-    subpopulation_time_impl(n, a, seed, mode)
 }
 
 fn subpopulation_time_impl(n: u64, a: u64, seed: u64, mode: EngineMode) -> f64 {

@@ -97,7 +97,15 @@
 //! engine-selection carve-out: `EngineMode::Auto` on the count engines is
 //! the default for **every** protocol, and collection is
 //! trajectory-neutral (`tests/gc_equivalence.rs` holds sweeps with GC on
-//! and off to byte-identical output). All engines realize exactly the
+//! and off to byte-identical output). Three hot-path layers make that
+//! default *free*: state → id lookups probe an open-addressed
+//! [`slot_index::SlotIndex`] instead of a `BTreeMap`; zero-randomness
+//! transitions replay from a generation-stamped pair-outcome cache; and
+//! when a record protocol churns at scale, the adapter's **dense
+//! per-agent lane** runs the budget at the agent simulator's own cost
+//! model and re-interns once at the end, closing the count engines' last
+//! throughput gap (`bench_batch`'s `logsize_estimation` /
+//! `leader_terminating` rows hold the count/agent ratio near 1). All engines realize exactly the
 //! same stochastic process — the statistical-equivalence suites
 //! (`tests/batched_equivalence.rs`, `tests/unified_equivalence.rs`), the
 //! byte-level builder suite (`tests/builder_equivalence.rs`), and the
@@ -110,11 +118,10 @@
 //! (`run_terminating_counted`, `estimate_log_size_counted`, …), each
 //! hard-coding its engine, init, stop rule, and observation. The surviving
 //! ones in `pp-core`/`pp-baselines` are now thin builder invocations kept
-//! as conveniences; functions superseded outright (the engine-hook
-//! variants `epidemic_completion_time_with` /
-//! `subpopulation_epidemic_time_with`, whose job `.mode(ctx.engine)` now
-//! does) are `#[deprecated]` and will be removed once external callers
-//! have migrated. Trial fan-out (`run_trials_threaded`) moved to the sweep
+//! as conveniences; functions superseded outright — most recently the
+//! engine-hook variants `epidemic_*_time_with`, whose job
+//! `.mode(ctx.engine)` does — go through one release as `#[deprecated]`
+//! and are then removed. Trial fan-out (`run_trials_threaded`) moved to the sweep
 //! orchestration layer: use `pp_sweep::trials` or, better, a
 //! `pp_sweep::SweepSpec` over the experiment registry.
 //!
@@ -150,6 +157,7 @@ pub mod rng;
 pub mod scheduler;
 pub mod sim;
 pub mod simulation;
+pub mod slot_index;
 pub mod snapshot;
 
 pub use batch::{BatchedCountSim, ConfigSim, DeterministicCountProtocol, EngineMode};

@@ -1196,7 +1196,7 @@ where
 
 /// Initial-configuration policy for count protocols (which have no
 /// distinguished initial state, so a start must be given explicitly).
-enum CountInit<S: Copy + Ord> {
+enum CountInit<S: Copy + Ord + std::hash::Hash> {
     /// Not yet specified.
     Unset,
     /// All agents in one state.

@@ -413,7 +413,7 @@ fn expect_empty(buf: &[u8]) -> Result<(), SnapshotError> {
 
 /// [`CountConfiguration`] body: slot-ordered `(state, count)` pairs plus
 /// the free list (its LIFO order matters — slot recycling pops it).
-fn encode_count_config<S: SnapshotState + Copy + Ord + std::fmt::Debug>(
+fn encode_count_config<S: SnapshotState + Copy + Ord + std::hash::Hash + std::fmt::Debug>(
     config: &CountConfiguration<S>,
     out: &mut Vec<u8>,
 ) {
@@ -423,7 +423,7 @@ fn encode_count_config<S: SnapshotState + Copy + Ord + std::fmt::Debug>(
     encode_seq(free, out);
 }
 
-fn decode_count_config<S: SnapshotState + Copy + Ord + std::fmt::Debug>(
+fn decode_count_config<S: SnapshotState + Copy + Ord + std::hash::Hash + std::fmt::Debug>(
     buf: &mut &[u8],
 ) -> Result<CountConfiguration<S>, SnapshotError> {
     let states: Vec<S> = decode_seq(buf)?;

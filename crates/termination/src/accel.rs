@@ -23,7 +23,7 @@ use rand::Rng;
 use crate::relation::TransitionRelation;
 
 /// Accelerated simulator over a [`TransitionRelation`].
-pub struct AcceleratedSim<S: Copy + Ord> {
+pub struct AcceleratedSim<S: Copy + Ord + std::hash::Hash> {
     relation: TransitionRelation<S>,
     config: CountConfiguration<S>,
     rng: SimRng,
@@ -31,7 +31,7 @@ pub struct AcceleratedSim<S: Copy + Ord> {
     n: u64,
 }
 
-impl<S: Copy + Ord + std::fmt::Debug> AcceleratedSim<S> {
+impl<S: Copy + Ord + std::hash::Hash + std::fmt::Debug> AcceleratedSim<S> {
     /// Creates the simulator.
     pub fn new(relation: TransitionRelation<S>, config: CountConfiguration<S>, seed: u64) -> Self {
         let n = config.population_size();
@@ -160,7 +160,7 @@ impl<S: Copy + Ord + std::fmt::Debug> AcceleratedSim<S> {
     }
 }
 
-impl<S: Copy + Ord + std::fmt::Debug> TransitionRelation<S> {
+impl<S: Copy + Ord + std::hash::Hash + std::fmt::Debug> TransitionRelation<S> {
     /// Distinct input pairs with listed transitions (used by the
     /// accelerated simulator's active-pair weighting).
     pub fn input_pairs(&self) -> Vec<(S, S)> {

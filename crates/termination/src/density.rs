@@ -14,7 +14,7 @@ use pp_engine::count_sim::CountConfiguration;
 /// # Panics
 ///
 /// Panics if `states` is empty or `n < states.len()`.
-pub fn even_dense_config<S: Copy + Ord + std::fmt::Debug>(
+pub fn even_dense_config<S: Copy + Ord + std::hash::Hash + std::fmt::Debug>(
     states: &[S],
     n: u64,
 ) -> CountConfiguration<S> {
@@ -37,7 +37,7 @@ pub fn even_dense_config<S: Copy + Ord + std::fmt::Debug>(
 
 /// Builds a dense configuration with explicit fractions (summing to 1, up to
 /// rounding; the remainder goes to the first state).
-pub fn weighted_dense_config<S: Copy + Ord + std::fmt::Debug>(
+pub fn weighted_dense_config<S: Copy + Ord + std::hash::Hash + std::fmt::Debug>(
     weights: &[(S, f64)],
     n: u64,
 ) -> CountConfiguration<S> {
@@ -58,7 +58,9 @@ pub fn weighted_dense_config<S: Copy + Ord + std::fmt::Debug>(
 
 /// The density α of a configuration: the minimum fraction over present
 /// states (0 for an empty configuration).
-pub fn density<S: Copy + Ord + std::fmt::Debug>(config: &CountConfiguration<S>) -> f64 {
+pub fn density<S: Copy + Ord + std::hash::Hash + std::fmt::Debug>(
+    config: &CountConfiguration<S>,
+) -> f64 {
     let n = config.population_size();
     if n == 0 {
         return 0.0;
@@ -72,7 +74,7 @@ pub fn density<S: Copy + Ord + std::fmt::Debug>(config: &CountConfiguration<S>) 
 /// A configuration with a planted leader: one agent in `leader`, the rest
 /// evenly over `states`. Its density is `1/n` → not i.o.-dense; the
 /// complement case of Theorem 4.1.
-pub fn leader_config<S: Copy + Ord + std::fmt::Debug>(
+pub fn leader_config<S: Copy + Ord + std::hash::Hash + std::fmt::Debug>(
     leader: S,
     states: &[S],
     n: u64,

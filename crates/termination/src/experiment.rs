@@ -54,7 +54,7 @@ impl<S> DensityReport<S> {
 /// Runs `relation` from `config` for `time` parallel time and reports the
 /// density of every state in `Λ^m_ρ` (`max_depth = None` → fixpoint
 /// closure from the states present in `config`).
-pub fn verify_density_lemma<S: Copy + Ord + std::fmt::Debug>(
+pub fn verify_density_lemma<S: Copy + Ord + std::hash::Hash + std::fmt::Debug>(
     relation: &TransitionRelation<S>,
     config: CountConfiguration<S>,
     rho: f64,
@@ -93,7 +93,7 @@ pub fn verify_density_lemma<S: Copy + Ord + std::fmt::Debug>(
 
 /// Measures the parallel time until the first agent satisfies
 /// `is_terminated`, running `relation` from `config`.
-pub fn signal_time<S: Copy + Ord + std::fmt::Debug>(
+pub fn signal_time<S: Copy + Ord + std::hash::Hash + std::fmt::Debug>(
     relation: &TransitionRelation<S>,
     config: CountConfiguration<S>,
     is_terminated: impl Fn(&S) -> bool,

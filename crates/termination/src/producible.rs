@@ -19,12 +19,12 @@ use crate::relation::TransitionRelation;
 
 /// Result of a producibility closure computation.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ClosureResult<S: Copy + Ord> {
+pub struct ClosureResult<S: Copy + Ord + std::hash::Hash> {
     /// `levels[i]` is `Λ^i_ρ` (so `levels[0]` is the initial state set).
     pub levels: Vec<BTreeSet<S>>,
 }
 
-impl<S: Copy + Ord> ClosureResult<S> {
+impl<S: Copy + Ord + std::hash::Hash> ClosureResult<S> {
     /// The final set `Λ^m_ρ`.
     pub fn final_set(&self) -> &BTreeSet<S> {
         self.levels.last().expect("closure has at least level 0")
@@ -68,7 +68,7 @@ impl<S: Copy + Ord> ClosureResult<S> {
 /// assert_eq!(closure.level_of(&2), Some(2));
 /// assert!(closure.is_fixpoint());
 /// ```
-pub fn producible_closure<S: Copy + Ord + std::fmt::Debug>(
+pub fn producible_closure<S: Copy + Ord + std::hash::Hash + std::fmt::Debug>(
     relation: &TransitionRelation<S>,
     initial: impl IntoIterator<Item = S>,
     rho: f64,
@@ -102,7 +102,7 @@ pub fn producible_closure<S: Copy + Ord + std::fmt::Debug>(
 /// Convenience: whether any state satisfying `is_terminated` is
 /// m-ρ-producible from `initial` — the hypothesis under which Theorem 4.1
 /// forces constant-time termination.
-pub fn termination_is_producible<S: Copy + Ord + std::fmt::Debug>(
+pub fn termination_is_producible<S: Copy + Ord + std::hash::Hash + std::fmt::Debug>(
     relation: &TransitionRelation<S>,
     initial: impl IntoIterator<Item = S>,
     rho: f64,

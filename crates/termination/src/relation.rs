@@ -53,11 +53,11 @@ type Outcomes<S> = Vec<(S, S, f64)>;
 /// A finite randomized transition relation, executable as a
 /// [`CountProtocol`].
 #[derive(Debug, Clone)]
-pub struct TransitionRelation<S: Copy + Ord> {
+pub struct TransitionRelation<S: Copy + Ord + std::hash::Hash> {
     by_input: BTreeMap<(S, S), Outcomes<S>>,
 }
 
-impl<S: Copy + Ord + std::fmt::Debug> TransitionRelation<S> {
+impl<S: Copy + Ord + std::hash::Hash + std::fmt::Debug> TransitionRelation<S> {
     /// Builds a relation from a transition list.
     ///
     /// # Panics
@@ -125,7 +125,7 @@ impl<S: Copy + Ord + std::fmt::Debug> TransitionRelation<S> {
     }
 }
 
-impl<S: Copy + Ord + std::fmt::Debug> CountProtocol for TransitionRelation<S> {
+impl<S: Copy + Ord + std::hash::Hash + std::fmt::Debug> CountProtocol for TransitionRelation<S> {
     type State = S;
 
     fn transition(&self, rec: S, sen: S, rng: &mut SimRng) -> (S, S) {

@@ -42,7 +42,7 @@ impl<S> Witness<S> {
 
 /// Runs `relation` from `config` until `is_terminated` holds for some
 /// agent, recording the witness. Returns `None` if the budget ends first.
-pub fn extract_witness<S: Copy + Ord + std::fmt::Debug>(
+pub fn extract_witness<S: Copy + Ord + std::hash::Hash + std::fmt::Debug>(
     relation: &TransitionRelation<S>,
     config: CountConfiguration<S>,
     is_terminated: impl Fn(&S) -> bool,
@@ -87,7 +87,7 @@ pub fn extract_witness<S: Copy + Ord + std::fmt::Debug>(
 /// Checks the proof's certificate: with the witness's `(depth, ρ)`, the
 /// producibility closure from the initial states contains a terminated
 /// state.
-pub fn witness_certifies<S: Copy + Ord + std::fmt::Debug>(
+pub fn witness_certifies<S: Copy + Ord + std::hash::Hash + std::fmt::Debug>(
     relation: &TransitionRelation<S>,
     initial_states: impl IntoIterator<Item = S>,
     witness: &Witness<S>,

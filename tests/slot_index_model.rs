@@ -1,0 +1,123 @@
+//! Model check for the open-addressed slot index.
+//!
+//! [`SlotIndex`] replaced the count engines' `BTreeMap` state → slot maps
+//! on the interaction hot path. This suite drives it through the exact
+//! life cycle those engines impose — insert on discovery, remove on
+//! release with LIFO free-slot recycling, and the wholesale
+//! renumber-and-rebuild of a GC compaction — against a `BTreeMap`
+//! reference model, under a deliberately collision-heavy hash (a handful
+//! of hash classes, so linear-probe chains and backward-shift deletion
+//! repair are exercised constantly, not just on rare collisions).
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+use uniform_sizeest::engine::slot_index::{fnv_hash, SlotIndex};
+
+/// Collision-heavy hash: values collapse onto 7 hash classes.
+fn h(value: u64) -> u64 {
+    fnv_hash(&(value % 7))
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Intern `value` if unseen, recycling the most recently freed slot.
+    Insert(u64),
+    /// Release `value`'s slot (no-op if absent).
+    Remove(u64),
+    /// Look `value` up and compare against the model.
+    Get(u64),
+    /// GC compaction: renumber live slots to `0..k` in slot order and
+    /// rebuild the index from scratch.
+    Compact,
+}
+
+/// Decodes a raw `(kind, value)` sample into an operation, weighted
+/// 4 : 3 : 3 : 1 insert/remove/get/compact. A small key space keeps
+/// hits, misses, and re-inserts all frequent.
+fn decode_op((kind, value): (u8, u64)) -> Op {
+    match kind {
+        0..=3 => Op::Insert(value),
+        4..=6 => Op::Remove(value),
+        7..=9 => Op::Get(value),
+        _ => Op::Compact,
+    }
+}
+
+proptest! {
+    #[test]
+    fn slot_index_matches_a_btreemap_model(
+        raw_ops in proptest::collection::vec((0u8..11, 0u64..40), 1..200)
+    ) {
+        let ops = raw_ops.into_iter().map(decode_op);
+        let mut index = SlotIndex::new();
+        // slot → value (the caller-owned state array the index probes into).
+        let mut store: Vec<Option<u64>> = Vec::new();
+        let mut free: Vec<u32> = Vec::new();
+        // value → slot: the reference model.
+        let mut model: BTreeMap<u64, u32> = BTreeMap::new();
+
+        for op in ops {
+            match op {
+                Op::Insert(value) => {
+                    if model.contains_key(&value) {
+                        continue;
+                    }
+                    let slot = match free.pop() {
+                        Some(slot) => {
+                            store[slot as usize] = Some(value);
+                            slot
+                        }
+                        None => {
+                            store.push(Some(value));
+                            u32::try_from(store.len() - 1).unwrap()
+                        }
+                    };
+                    index.insert(h(value), slot, |s| h(store[s as usize].unwrap()));
+                    model.insert(value, slot);
+                }
+                Op::Remove(value) => {
+                    let Some(slot) = model.remove(&value) else {
+                        continue;
+                    };
+                    prop_assert!(
+                        index.remove(h(value), slot, |s| h(store[s as usize].unwrap())),
+                        "remove({value}) lost a live entry"
+                    );
+                    store[slot as usize] = None;
+                    free.push(slot);
+                }
+                Op::Get(value) => {
+                    let got = index.get(h(value), |s| store[s as usize] == Some(value));
+                    prop_assert_eq!(got, model.get(&value).copied());
+                }
+                Op::Compact => {
+                    // Survivors keep their relative slot order and pack
+                    // into 0..k — the contract of a GC pass.
+                    let mut live: Vec<(u32, u64)> = model
+                        .iter()
+                        .map(|(&value, &slot)| (slot, value))
+                        .collect();
+                    live.sort_unstable();
+                    store = live.iter().map(|&(_, value)| Some(value)).collect();
+                    free.clear();
+                    model = live
+                        .iter()
+                        .enumerate()
+                        .map(|(rank, &(_, value))| (value, u32::try_from(rank).unwrap()))
+                        .collect();
+                    index.rebuild(
+                        0..u32::try_from(store.len()).unwrap(),
+                        |s| h(store[s as usize].unwrap()),
+                    );
+                }
+            }
+            prop_assert_eq!(index.len(), model.len());
+        }
+        // Final sweep: every key in the space agrees with the model.
+        for value in 0..40 {
+            let got = index.get(h(value), |s| store[s as usize] == Some(value));
+            prop_assert_eq!(got, model.get(&value).copied(), "final sweep at {}", value);
+        }
+    }
+}
