@@ -74,7 +74,7 @@ use pp_engine::batch::BatchedCountSim;
 use pp_engine::count_sim::{CountConfiguration, CountProtocol, CountSim};
 use pp_engine::epidemic::InfectionEpidemic;
 use pp_engine::rng::derive_seed;
-use pp_engine::{EngineMode, Protocol, SimMode, Simulation};
+use pp_engine::{EngineMode, Metrics, Protocol, SimMode, Simulation};
 
 struct Measurement {
     trials: u64,
@@ -116,13 +116,17 @@ impl Workload for WeakEstimator {
 }
 
 /// Runs `trials` runs of `P` on the chosen engine; `fixed_time` selects the
-/// `8 ln n`-parallel-time workload, otherwise run-to-completion.
+/// `8 ln n`-parallel-time workload, otherwise run-to-completion. The
+/// batched engine records into `metrics` (hooks are observation-only, so
+/// the gated throughput is measured with telemetry attached — exactly how
+/// production runs execute).
 fn run<P: Workload + Default>(
     n: u64,
     trials: u64,
     batched: bool,
     fixed_time: bool,
     base_seed: u64,
+    metrics: &Metrics,
 ) -> Measurement {
     let sim_time = 8.0 * (n as f64).ln();
     let start = Instant::now();
@@ -131,6 +135,7 @@ fn run<P: Workload + Default>(
         let seed = derive_seed(base_seed, t);
         let done = if batched {
             let mut sim = BatchedCountSim::new(P::default(), P::config(n), seed);
+            sim.set_metrics(metrics.clone());
             if fixed_time {
                 sim.run_for_time(sim_time);
             } else {
@@ -163,6 +168,10 @@ struct Row {
     workload: &'static str,
     seq: Measurement,
     bat: Measurement,
+    /// Nonzero telemetry counters accumulated over the batched/counted
+    /// engine's trials of this row (the machine-normalizer engine runs
+    /// uninstrumented).
+    counters: Vec<(&'static str, u64)>,
 }
 
 fn bench_protocol<P: Workload + Default>(
@@ -172,8 +181,9 @@ fn bench_protocol<P: Workload + Default>(
 ) {
     for &(n, seq_trials, batch_trials) in sizes {
         for (workload, fixed_time) in [("fixed_time", true), ("completion", false)] {
-            let seq = run::<P>(n, seq_trials, false, fixed_time, 0xB0BA);
-            let bat = run::<P>(n, batch_trials, true, fixed_time, 0xB0BA);
+            let metrics = Metrics::new();
+            let seq = run::<P>(n, seq_trials, false, fixed_time, 0xB0BA, &metrics);
+            let bat = run::<P>(n, batch_trials, true, fixed_time, 0xB0BA, &metrics);
             eprintln!(
                 "{name:>14} n = {:>9} {:>11}: sequential {:>12.0} int/s ({:.3}s) | batched {:>13.0} int/s ({:.3}s) | speedup {:.1}x",
                 n,
@@ -190,6 +200,7 @@ fn bench_protocol<P: Workload + Default>(
                 workload,
                 seq,
                 bat,
+                counters: metrics.nonzero_counters(),
             });
         }
     }
@@ -213,6 +224,7 @@ fn bench_interned<P: Protocol + Clone>(
 ) where
     P::State: Eq + std::hash::Hash + Clone,
 {
+    let metrics = Metrics::new();
     let measure = |agent: bool| -> Measurement {
         let start = Instant::now();
         let mut interactions = 0;
@@ -226,6 +238,12 @@ fn bench_interned<P: Protocol + Clone>(
                 .size(n)
                 .seed(derive_seed(0xB0BB, t))
                 .mode(mode);
+            if !agent {
+                // Only the gated (counted) engine records: the agent
+                // engine is the machine normalizer, and the row's
+                // counters should describe the engine under test.
+                builder = builder.metrics(&metrics);
+            }
             if let Some(state) = planted.clone() {
                 builder = builder.init_planted([(state, 1)]);
             }
@@ -255,6 +273,7 @@ fn bench_interned<P: Protocol + Clone>(
         workload: "fixed_time",
         seq,
         bat,
+        counters: metrics.nonzero_counters(),
     });
 }
 
@@ -438,7 +457,7 @@ fn main() {
             json,
             "    {{\"protocol\": \"{}\", \"n\": {}, \"workload\": \"{}\", \"sequential\": {:.1}, \
              \"batched\": {:.1}, \"speedup\": {:.2}, \"sequential_trials\": {}, \
-             \"batched_trials\": {}}}",
+             \"batched_trials\": {}",
             row.protocol,
             row.n,
             row.workload,
@@ -448,6 +467,21 @@ fn main() {
             row.seq.trials,
             row.bat.trials
         );
+        // Telemetry snapshot of the engine under test, cumulative over
+        // the row's batched trials. The gate's baseline loader matches
+        // rows by (protocol, n, workload) and ignores unknown fields, so
+        // pre-telemetry baselines stay valid.
+        if !row.counters.is_empty() {
+            json.push_str(", \"counters\": {");
+            for (j, (name, v)) in row.counters.iter().enumerate() {
+                if j > 0 {
+                    json.push_str(", ");
+                }
+                let _ = write!(json, "\"{name}\": {v}");
+            }
+            json.push('}');
+        }
+        json.push('}');
         json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }
     json.push_str("  ]\n}\n");

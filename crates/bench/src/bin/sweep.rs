@@ -167,14 +167,16 @@ fn main() {
         spec.journal = Some(shard_journal_path(&spec, shard));
         let recorded =
             run_sweep_shard(&spec, &experiments, shard).unwrap_or_else(|e| die(&e.to_string()));
-        println!(
-            "shard {}/{} of sweep {:?}: {recorded} trial(s) journaled at {}",
+        // Run diagnostics go to stderr: stdout is reserved for report
+        // content so `sweep ... > out.txt` captures exactly the tables.
+        eprintln!(
+            "[sweep] shard {}/{} of sweep {:?}: {recorded} trial(s) journaled at {}",
             shard.index,
             shard.count,
             spec.name,
             spec.journal.as_ref().expect("set above").display()
         );
-        println!("merge the shards with: sweep {spec_path} --merge <shard journals ...>",);
+        eprintln!("[sweep] merge the shards with: sweep {spec_path} --merge <shard journals ...>",);
         return;
     }
     if let Some(sources) = merge {
@@ -200,8 +202,9 @@ fn main() {
         report.master_seed
     );
     if report.failed_trials > 0 {
-        println!(
-            "WARNING: {} trial(s) failed permanently and are missing from the aggregates",
+        // Warnings go to stderr so stdout stays machine-parseable.
+        eprintln!(
+            "[sweep] WARNING: {} trial(s) failed permanently and are missing from the aggregates",
             report.failed_trials
         );
     }
@@ -209,15 +212,22 @@ fn main() {
     print_table(&emit::SUMMARY_HEADER, &rows);
 
     let dir = results_dir();
-    for (suffix, content) in [
+    let mut outputs = vec![
         ("summary.csv", emit::summary_csv(&report)),
         ("trials.csv", emit::per_trial_csv(&report)),
         ("sweep.json", emit::to_json(&report)),
-    ] {
+    ];
+    // Per-point telemetry aggregates ride along whenever trials carried
+    // counters (PP_METRICS=off or replaying a pre-telemetry journal
+    // leaves the file list exactly as it always was).
+    if report.has_counters() {
+        outputs.push(("counters.csv", emit::counters_csv(&report)));
+    }
+    for (suffix, content) in outputs {
         let path = dir.join(format!("{}_{suffix}", report.name));
         std::fs::write(&path, content)
             .unwrap_or_else(|e| die(&format!("cannot write {}: {e}", path.display())));
-        println!("[out] {}", path.display());
+        eprintln!("[out] {}", path.display());
     }
 }
 

@@ -3,25 +3,30 @@
 //! Claim: the converged output `k` satisfies `|k − log n| ≤ 5.7` with
 //! probability `≥ 1 − 9/n`; the Figure 2 caption adds that in practice the
 //! error is within 2. This harness measures the full error distribution.
+//!
+//! Runs as a `pp-sweep` grid over the registry's `logsize_estimate`
+//! experiment (the same measurement `table_baseline_estimators` and the
+//! `sweep` CLI resolve), so trials fan out over `--threads` workers,
+//! `--journal` makes the run resumable, and every trial carries its
+//! engine telemetry counters into the journal for free.
 
-use pp_bench::{fmt, print_table, write_csv, HarnessArgs};
-use pp_core::log_size::estimate_log_size;
-use pp_sweep::trials::run_trials_threaded;
+use pp_bench::{experiments, fmt, print_table, run_sweep_or_exit, write_csv, HarnessArgs};
 
 fn main() {
     let args = HarnessArgs::parse(&[100, 500, 1000, 5000], 30);
+    let spec = args.sweep_spec("table_error_band");
     println!(
         "Theorem 3.1 error band (trials={}): |k - log n| <= 5.7 w.p. >= 1 - 9/n; <= 2 in practice",
-        args.trials
+        spec.effective_trials()
     );
+
+    let experiments = experiments::build(&["logsize_estimate"]).expect("registry names");
+    let report = run_sweep_or_exit(&spec, &experiments);
 
     let mut rows = Vec::new();
     let mut csv = Vec::new();
     for &n in &args.sizes {
-        let outcomes = run_trials_threaded(args.seed ^ n, args.trials, args.threads, |_, seed| {
-            estimate_log_size(n as usize, seed, None)
-        });
-        let errors: Vec<f64> = outcomes.iter().filter_map(|o| o.value.error(n)).collect();
+        let errors = report.point("logsize_estimate", n).values("err");
         let within_band = errors.iter().filter(|e| e.abs() <= 5.7).count();
         let within_2 = errors.iter().filter(|e| e.abs() <= 2.0).count();
         let s = pp_analysis::stats::Summary::of(&errors);

@@ -3,34 +3,35 @@
 //! Claims: the reported `max(k_fast + 4, kex + 1)` is `≥ log n` with
 //! probability 1 (the `l_i/f_i` backup computes `kex = ⌊log2 n⌋` exactly),
 //! and stays `≤ log n + 9.7` w.h.p.
+//!
+//! Runs as a `pp-sweep` grid over the registry's `prob1_upper`
+//! experiment: trials fan out over `--threads` workers, `--journal`
+//! makes the run resumable, and each trial's engine telemetry counters
+//! land in the journal alongside its metrics.
 
-use pp_bench::{fmt, print_table, write_csv, HarnessArgs};
-use pp_core::upper_bound::estimate_upper_bound;
-use pp_sweep::trials::run_trials_threaded;
+use pp_bench::{experiments, fmt, print_table, run_sweep_or_exit, write_csv, HarnessArgs};
 
 fn main() {
     let args = HarnessArgs::parse(&[100, 300, 1000], 10);
+    let spec = args.sweep_spec("table_prob1_upper");
     println!(
         "Section 3.3 probability-1 upper bound (trials={})",
-        args.trials
+        spec.effective_trials()
     );
+
+    let experiments = experiments::build(&["prob1_upper"]).expect("registry names");
+    let report = run_sweep_or_exit(&spec, &experiments);
 
     let mut rows = Vec::new();
     let mut csv = Vec::new();
     for &n in &args.sizes {
-        // The backup needs O(n) extra time after the fast part converges.
-        let extra = 30.0 * n as f64;
-        let outcomes = run_trials_threaded(args.seed ^ n, args.trials, args.threads, |_, seed| {
-            estimate_upper_bound(n as usize, seed, extra)
-        });
+        let point = report.point("prob1_upper", n);
         let logn = (n as f64).log2();
-        let reports: Vec<f64> = outcomes.iter().map(|o| o.value.report as f64).collect();
+        let reports = point.values("report");
+        let kexes = point.values("kex");
         let at_least = reports.iter().filter(|&&r| r >= logn).count();
         let within = reports.iter().filter(|&&r| r <= logn + 10.0).count();
-        let kex_ok = outcomes
-            .iter()
-            .filter(|o| o.value.kex == logn.floor() as u64)
-            .count();
+        let kex_ok = kexes.iter().filter(|&&k| k == logn.floor()).count();
         let s = pp_analysis::stats::Summary::of(&reports);
         rows.push(vec![
             n.to_string(),
@@ -40,14 +41,10 @@ fn main() {
             fmt(s.max),
             format!("{}/{}", at_least, reports.len()),
             format!("{}/{}", within, reports.len()),
-            format!("{}/{}", kex_ok, reports.len()),
+            format!("{}/{}", kex_ok, kexes.len()),
         ]);
-        for o in &outcomes {
-            csv.push(vec![
-                n.to_string(),
-                o.value.report.to_string(),
-                o.value.kex.to_string(),
-            ]);
+        for (r, k) in reports.iter().zip(&kexes) {
+            csv.push(vec![n.to_string(), format!("{r}"), format!("{k}")]);
         }
     }
     print_table(

@@ -25,6 +25,7 @@ use pp_baselines::intro_functions::{double_time, halve_time};
 use pp_core::leader::terminating_in_mode;
 use pp_core::log_size::{estimate_in_mode, estimate_with, LogSizeEstimation};
 use pp_core::partition::run_partition;
+use pp_core::upper_bound::estimate_upper_bound;
 use pp_engine::epidemic::{InfectionEpidemic, SubState, SubpopulationEpidemic};
 use pp_engine::rng::rng_from_seed;
 use pp_engine::{count_of, Simulation};
@@ -61,6 +62,7 @@ pub fn names() -> &'static [&'static str] {
         "logsize_estimate",
         "weak_estimator",
         "exact_backup",
+        "prob1_upper",
         "exact_leader_count",
         "leader_termination",
         "counter_signal",
@@ -157,6 +159,15 @@ pub fn experiment(name: &str) -> Option<SweepExperiment> {
             vec![out.silent_time, f64::from(exact)]
         })
         .with_max_trials(5),
+        // The §3.3 probability-1 upper bound: the reported
+        // `max(k_fast + 4, kex + 1)` and the backup's exact `kex`. The
+        // backup needs Ω(n) extra time after the fast part converges, so
+        // capped at 10 trials per point.
+        "prob1_upper" => SweepExperiment::new("prob1_upper", &["report", "kex"], |ctx| {
+            let out = estimate_upper_bound(ctx.n as usize, ctx.seed, 30.0 * ctx.n as f64);
+            vec![out.report as f64, out.kex as f64]
+        })
+        .with_max_trials(10),
         // Michail-style exact leader count: time and exactness. Ω(n log n)
         // time per trial, so capped at 5 trials per point.
         "exact_leader_count" => {

@@ -10,12 +10,14 @@
 //!    `--journal PATH`, and `--full` where meaningful.
 //!
 //! The sweep-shaped binaries (`table_epidemic`, `table_time_scaling`,
-//! `table_baseline_estimators`, `table_leader_termination`, and the generic
-//! `sweep` CLI) run on the `pp-sweep` orchestration layer: experiments come
-//! from the [`experiments`] registry, trials fan out over a seeded worker
-//! pool (output independent of thread count), `--journal` makes runs
-//! resumable, and the `PP_SWEEP_TRIALS` environment variable caps trial
-//! counts so CI can smoke-run every table.
+//! `table_baseline_estimators`, `table_leader_termination`,
+//! `table_error_band`, `table_prob1_upper`, and the generic `sweep` CLI)
+//! run on the `pp-sweep` orchestration layer: experiments come from the
+//! [`experiments`] registry, trials fan out over a seeded worker pool
+//! (output independent of thread count), `--journal` makes runs
+//! resumable — carrying each trial's engine telemetry counters (rendered
+//! by the `pp-report` binary) — and the `PP_SWEEP_TRIALS` environment
+//! variable caps trial counts so CI can smoke-run every table.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

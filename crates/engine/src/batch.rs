@@ -68,16 +68,51 @@
 //! consults together with the population size. Small populations, where
 //! batches are short and constants dominate, fall back to the sequential
 //! simulator.
+//!
+//! ## Observability
+//!
+//! Attach a [`pp_telemetry::Metrics`] registry
+//! ([`BatchedCountSim::set_metrics`] / [`ConfigSim::set_metrics`], or let
+//! the `Simulation` builders thread one through) and the engines record at
+//! their existing decision points — never creating new ones:
+//!
+//! * `batches` + the `batch_len` histogram — every completed batch in
+//!   [`BatchedCountSim::run_batch`], with its executed length (truncation
+//!   and the collision interaction included).
+//! * `null_skip_runs` / `null_skipped` + the `null_skip_len` histogram —
+//!   every Gillespie null-skip step (and the silent-configuration fast
+//!   path), with the span of certainly-null interactions it skipped.
+//! * `mode_switches` / `switches_to_batched` / `switches_to_sequential`,
+//!   plus `adapt_support` / `adapt_mean_batch` histograms — the Auto-mode
+//!   re-selection checkpoint: each decision logs the occupied support and
+//!   the `E[T]` it was weighed against; each actual switch bumps the
+//!   direction counter and emits a `mode_switch` trace event.
+//! * `gc_passes` / `gc_evicted` + `gc_table_len` / `gc_live` histograms —
+//!   each interner-GC pass, with the pre-pass table size and the live
+//!   survivor count (`gc_pass` trace event).
+//! * `dense_lane_episodes` / `dense_lane_interactions` + the
+//!   `dense_lane_n` histogram — each per-agent lane episode taken by a
+//!   sequential advance (`dense_lane` trace event).
+//! * `pair_cache_*` / `slot_*` — the wrapped adapter's cumulative
+//!   tallies, flushed as deltas at the same checkpoints.
+//!
+//! Every hook is observation-only: no counter is read back into a branch
+//! and no hook touches the RNG, so a run with telemetry attached is
+//! byte-for-byte identical to the same run without it
+//! (`tests/telemetry_neutrality.rs` enforces this across all engines).
 
 use std::collections::BTreeMap;
 
+use pp_telemetry::{Counter, Hist, Metrics, TraceValue};
 use rand::Rng;
 
-use crate::count_sim::{CountConfiguration, CountProtocol, CountSeededInit, CountSim, Outcomes};
+use crate::count_sim::{
+    AdapterStats, CountConfiguration, CountProtocol, CountSeededInit, CountSim, Outcomes,
+};
 use crate::rng::{geometric, hypergeometric, multinomial_conditional, rng_from_seed, SimRng};
 use crate::scheduler::parallel_time;
 use crate::sim::RunOutcome;
-use crate::slot_index::{fnv_hash, SlotIndex};
+use crate::slot_index::{fnv_hash, SlotIndex, SlotIndexStats};
 
 /// A [`CountProtocol`] whose transition function is a pure function of the
 /// two input states. Implementing this trait (instead of `CountProtocol`
@@ -216,6 +251,10 @@ pub struct BatchedCountSim<P: CountProtocol> {
     touched: Vec<u64>,
     row_reactive: Vec<bool>,
     col_reactive: Vec<bool>,
+    /// Observability: attached counter registry, if any. Recording is
+    /// observation-only — no branch reads a counter back and no hook
+    /// touches the RNG — so attached and detached runs are byte-identical.
+    metrics: Option<Metrics>,
 }
 
 impl<P: CountProtocol> BatchedCountSim<P> {
@@ -268,6 +307,7 @@ impl<P: CountProtocol> BatchedCountSim<P> {
             touched: vec![0; k],
             row_reactive: Vec::new(),
             col_reactive: Vec::new(),
+            metrics: None,
         }
     }
 
@@ -356,6 +396,7 @@ impl<P: CountProtocol> BatchedCountSim<P> {
             touched: vec![0; k],
             row_reactive: Vec::new(),
             col_reactive: Vec::new(),
+            metrics: None,
         }
     }
 
@@ -435,6 +476,21 @@ impl<P: CountProtocol> BatchedCountSim<P> {
         self.expected_batch_len
     }
 
+    /// Attaches a telemetry registry: every batch records its executed
+    /// length (`batches` / `batch_len`) and every null-skip run its skipped
+    /// span (`null_skip_runs` / `null_skipped` / `null_skip_len`).
+    /// Recording never reads the RNG or influences a branch, so attached
+    /// and detached runs stay byte-identical.
+    pub fn set_metrics(&mut self, metrics: Metrics) {
+        self.metrics = Some(metrics);
+    }
+
+    /// Observability: cumulative stats from the engine's own state → id
+    /// index (reset when a GC pass or engine switch rebuilds the tables).
+    pub(crate) fn index_stats(&self) -> SlotIndexStats {
+        self.index.stats()
+    }
+
     /// Population size.
     pub fn population_size(&self) -> u64 {
         self.n
@@ -484,6 +540,11 @@ impl<P: CountProtocol> BatchedCountSim<P> {
         if w_prod == 0 {
             // Silent configuration: every future interaction is a no-op.
             self.interactions += budget;
+            if let Some(m) = &self.metrics {
+                m.incr(Counter::NullSkipRuns);
+                m.add(Counter::NullSkipped, budget);
+                m.record(Hist::NullSkipLen, budget);
+            }
             return budget;
         }
         let p = w_prod as f64 / (self.n * (self.n - 1)) as f64;
@@ -534,6 +595,11 @@ impl<P: CountProtocol> BatchedCountSim<P> {
         let g = geometric(p, &mut self.rng);
         if g > budget {
             self.interactions += budget;
+            if let Some(m) = &self.metrics {
+                m.incr(Counter::NullSkipRuns);
+                m.add(Counter::NullSkipped, budget);
+                m.record(Hist::NullSkipLen, budget);
+            }
             return budget;
         }
         let mut z = self.rng.gen_range(0..w_prod);
@@ -566,6 +632,13 @@ impl<P: CountProtocol> BatchedCountSim<P> {
             }
         }
         self.interactions += g;
+        if let Some(m) = &self.metrics {
+            m.incr(Counter::NullSkipRuns);
+            // `g - 1` of the run were skipped nulls; the last interaction
+            // was simulated individually above.
+            m.add(Counter::NullSkipped, g.saturating_sub(1));
+            m.record(Hist::NullSkipLen, g);
+        }
         g
     }
 
@@ -700,6 +773,10 @@ impl<P: CountProtocol> BatchedCountSim<P> {
             *c += s;
         }
         self.interactions += executed;
+        if let Some(m) = &self.metrics {
+            m.incr(Counter::Batches);
+            m.record(Hist::BatchLen, executed);
+        }
 
         self.recv = recv;
         self.send = send;
@@ -1260,6 +1337,17 @@ pub struct ConfigSim<P: CountProtocol> {
     gc: bool,
     /// Number of interner-GC passes performed so far.
     collections: u32,
+    /// Observability: attached counter registry, if any (see
+    /// [`ConfigSim::set_metrics`]).
+    metrics: Option<Metrics>,
+    /// Adapter counters already flushed into `metrics` (the adapter's
+    /// tallies are cumulative; only the deltas are added, so one registry
+    /// can serve several simulators without double counting).
+    flushed_adapter: AdapterStats,
+    /// Engine-side slot-index counters already flushed (the engine's index
+    /// is rebuilt — and its tallies reset — on switches and GC passes;
+    /// [`ConfigSim::flush_telemetry`] runs right before both).
+    flushed_index: SlotIndexStats,
 }
 
 impl<P: CountProtocol> ConfigSim<P> {
@@ -1313,6 +1401,9 @@ impl<P: CountProtocol> ConfigSim<P> {
             switches: 0,
             gc: table_backed && gc_enabled_from_env(),
             collections: 0,
+            metrics: None,
+            flushed_adapter: AdapterStats::default(),
+            flushed_index: SlotIndexStats::default(),
         }
     }
 
@@ -1405,6 +1496,9 @@ impl<P: CountProtocol> ConfigSim<P> {
             switches,
             gc,
             collections,
+            metrics: None,
+            flushed_adapter: AdapterStats::default(),
+            flushed_index: SlotIndexStats::default(),
         }
     }
 
@@ -1423,6 +1517,9 @@ impl<P: CountProtocol> ConfigSim<P> {
             switches,
             gc,
             collections,
+            metrics: None,
+            flushed_adapter: AdapterStats::default(),
+            flushed_index: SlotIndexStats::default(),
         }
     }
 
@@ -1430,6 +1527,67 @@ impl<P: CountProtocol> ConfigSim<P> {
     /// [`EngineMode::Auto`]).
     pub fn engine_switches(&self) -> u32 {
         self.switches
+    }
+
+    /// Attaches a telemetry registry: the facade records mode switches,
+    /// adaptive support-vs-`E[T]` readings, GC passes, and dense-lane
+    /// episodes, flushes the wrapped adapter's pair-cache / interner-index
+    /// deltas, and forwards the registry to the inner batched engine for
+    /// its batch / null-skip tallies (re-attached across engine switches).
+    /// Recording never consumes randomness and influences no decision, so
+    /// attached and detached runs are byte-identical
+    /// (`tests/telemetry_neutrality.rs`).
+    pub fn set_metrics(&mut self, metrics: Metrics) {
+        if let Engine::Batched(b) = self.eng_mut() {
+            b.set_metrics(metrics.clone());
+        }
+        self.metrics = Some(metrics);
+    }
+
+    /// Flushes the cumulative adapter (pair cache + interner index) and
+    /// engine slot-index tallies into the attached registry as deltas
+    /// since the last flush. Called at every advance checkpoint and right
+    /// before the operations that rebuild — and thereby reset — the
+    /// engine-side index (engine switches, GC passes).
+    fn flush_telemetry(&mut self) {
+        let Some(m) = self.metrics.clone() else {
+            return;
+        };
+        if let Some(stats) = self.protocol().telemetry_stats() {
+            let last = self.flushed_adapter;
+            m.add(Counter::PairCacheHits, stats.cache_hits - last.cache_hits);
+            m.add(
+                Counter::PairCacheMisses,
+                stats.cache_misses - last.cache_misses,
+            );
+            m.add(
+                Counter::PairCacheGenDrops,
+                stats.cache_gen_drops - last.cache_gen_drops,
+            );
+            m.add(
+                Counter::SlotLookups,
+                stats.index_lookups - last.index_lookups,
+            );
+            m.add(Counter::SlotProbes, stats.index_probes - last.index_probes);
+            m.add(
+                Counter::SlotRebuilds,
+                stats.index_rebuilds - last.index_rebuilds,
+            );
+            self.flushed_adapter = stats;
+        }
+        let index = match self.eng() {
+            Engine::Sequential(s) => s.config().index_stats(),
+            Engine::Batched(b) => b.index_stats(),
+        };
+        // The engine index is rebuilt from scratch on switches and GC
+        // passes; a current tally below the flushed baseline means a reset
+        // happened since (the pre-reset tail was flushed just before it).
+        let last = self.flushed_index;
+        let delta = |cur: u64, last: u64| cur.saturating_sub(last);
+        m.add(Counter::SlotLookups, delta(index.lookups, last.lookups));
+        m.add(Counter::SlotProbes, delta(index.probes, last.probes));
+        m.add(Counter::SlotRebuilds, delta(index.rebuilds, last.rebuilds));
+        self.flushed_index = index;
     }
 
     /// Enables or disables interner GC for this simulator (on by default
@@ -1456,12 +1614,18 @@ impl<P: CountProtocol> ConfigSim<P> {
     /// table). Like triggered collection, this never changes the
     /// trajectory.
     pub fn collect_now(&mut self) -> bool {
+        let table = match self.eng() {
+            Engine::Sequential(s) => s.protocol().table_len().unwrap_or(0),
+            Engine::Batched(b) => b.protocol().table_len().unwrap_or(0),
+        };
+        self.flush_telemetry();
         let collected = match self.eng_mut() {
             Engine::Sequential(s) => s.collect_table(),
             Engine::Batched(b) => b.collect_table(),
         };
         if collected {
             self.collections += 1;
+            self.record_gc_pass(table);
         }
         collected
     }
@@ -1518,12 +1682,11 @@ impl<P: CountProtocol> ConfigSim<P> {
         if !self.adaptive {
             return;
         }
-        match self.eng() {
+        let (support, mean_batch, switch) = match self.eng() {
             Engine::Batched(b) => {
                 let k = b.occupied_support() as f64;
-                if k * k <= ADAPT_DOWN * b.mean_batch_len() {
-                    return;
-                }
+                let mean_batch = b.mean_batch_len();
+                (k, mean_batch, k * k > ADAPT_DOWN * mean_batch)
             }
             Engine::Sequential(s) => {
                 let n = s.population_size();
@@ -1538,12 +1701,38 @@ impl<P: CountProtocol> ConfigSim<P> {
                 // E[T] ≈ √(πn/8): the √n-asymptotics of the exact survival
                 // table the batched engine would precompute.
                 let mean_batch = (std::f64::consts::PI * n as f64 / 8.0).sqrt();
-                if k * k >= ADAPT_UP * mean_batch {
-                    return;
-                }
+                (k, mean_batch, k * k < ADAPT_UP * mean_batch)
             }
+        };
+        if let Some(m) = &self.metrics {
+            // The support-vs-E[T] reading behind every Auto-mode decision,
+            // switch or not — the histograms show where a run sat relative
+            // to the crossover.
+            m.record(Hist::AdaptSupport, support as u64);
+            m.record(Hist::AdaptMeanBatch, mean_batch as u64);
+        }
+        if !switch {
+            return;
         }
         self.switch_engine();
+        if let Some(m) = &self.metrics {
+            m.trace_event(
+                "mode_switch",
+                &[
+                    (
+                        "to",
+                        TraceValue::Str(if self.is_batched() {
+                            "batched"
+                        } else {
+                            "sequential"
+                        }),
+                    ),
+                    ("support", TraceValue::U64(support as u64)),
+                    ("mean_batch", TraceValue::F64(mean_batch)),
+                    ("interactions", TraceValue::U64(self.interactions())),
+                ],
+            );
+        }
     }
 
     /// Re-checks the interner dead/live ratio (at the same adaptive
@@ -1559,25 +1748,60 @@ impl<P: CountProtocol> ConfigSim<P> {
         if !self.gc {
             return;
         }
-        let collected = match self.eng_mut() {
+        let table = match self.eng() {
             Engine::Sequential(s) => {
                 let table = s.protocol().table_len().unwrap_or(0);
                 if table < GC_MIN_TABLE || table <= GC_DEAD_FACTOR * s.config().registered_len() {
                     return;
                 }
-                s.collect_table()
+                table
             }
             Engine::Batched(b) => {
                 let table = b.protocol().table_len().unwrap_or(0);
                 if table < GC_MIN_TABLE || table <= GC_DEAD_FACTOR * b.occupied_support() {
                     return;
                 }
-                b.collect_table()
+                table
             }
+        };
+        // A GC pass rebuilds the batched engine's slot index (resetting its
+        // tallies); flush the pre-pass tail first.
+        self.flush_telemetry();
+        let collected = match self.eng_mut() {
+            Engine::Sequential(s) => s.collect_table(),
+            Engine::Batched(b) => b.collect_table(),
         };
         if collected {
             self.collections += 1;
+            self.record_gc_pass(table);
         }
+    }
+
+    /// Records one completed GC pass into the attached registry: pass
+    /// count, evicted-entry count (pre-pass table minus survivors), the
+    /// pre/post table sizes, and — when a tracer is attached — a
+    /// `gc_pass` trace event.
+    fn record_gc_pass(&self, table_before: usize) {
+        let Some(m) = &self.metrics else {
+            return;
+        };
+        let live = self.protocol().table_len().unwrap_or(0);
+        m.incr(Counter::GcPasses);
+        m.add(Counter::GcEvicted, table_before.saturating_sub(live) as u64);
+        m.record(Hist::GcTableLen, table_before as u64);
+        m.record(Hist::GcLive, live as u64);
+        m.trace_event(
+            "gc_pass",
+            &[
+                ("table", TraceValue::U64(table_before as u64)),
+                ("live", TraceValue::U64(live as u64)),
+                (
+                    "evicted",
+                    TraceValue::U64(table_before.saturating_sub(live) as u64),
+                ),
+                ("interactions", TraceValue::U64(self.interactions())),
+            ],
+        );
     }
 
     /// Moves the run to the other engine, carrying the protocol,
@@ -1585,6 +1809,9 @@ impl<P: CountProtocol> ConfigSim<P> {
     /// both engines realize the same stochastic process, so switching at an
     /// interaction boundary changes wall-clock cost only.
     fn switch_engine(&mut self) {
+        // The new engine re-canonicalizes its slot tables (resetting the
+        // index tallies); flush the outgoing engine's tail first.
+        self.flush_telemetry();
         let engine = self.engine.take().expect(ENGINE_PRESENT);
         self.engine = Some(match engine {
             Engine::Batched(b) => {
@@ -1593,15 +1820,23 @@ impl<P: CountProtocol> ConfigSim<P> {
             }
             Engine::Sequential(s) => {
                 let (protocol, config, rng, interactions) = s.into_parts();
-                Engine::Batched(BatchedCountSim::from_parts(
-                    protocol,
-                    config,
-                    rng,
-                    interactions,
-                ))
+                let mut b = BatchedCountSim::from_parts(protocol, config, rng, interactions);
+                if let Some(m) = &self.metrics {
+                    b.set_metrics(m.clone());
+                }
+                Engine::Batched(b)
             }
         });
         self.switches += 1;
+        self.flushed_index = SlotIndexStats::default();
+        if let Some(m) = &self.metrics {
+            m.incr(Counter::ModeSwitches);
+            m.incr(if self.is_batched() {
+                Counter::SwitchesToBatched
+            } else {
+                Counter::SwitchesToSequential
+            });
+        }
     }
 
     /// Executes at least one and at most `budget` interactions on the
@@ -1617,6 +1852,7 @@ impl<P: CountProtocol> ConfigSim<P> {
     pub fn advance(&mut self, budget: u64) -> u64 {
         debug_assert!(budget >= 1);
         let chunked = self.adaptive || self.gc;
+        let mut lane = None;
         let executed = match self.eng_mut() {
             Engine::Batched(b) => b.advance(budget),
             Engine::Sequential(s) => {
@@ -1630,6 +1866,7 @@ impl<P: CountProtocol> ConfigSim<P> {
                 // adaptive / GC re-checks below see an ordinary
                 // sequential engine.
                 if let Some(done) = s.advance_dense(budget) {
+                    lane = Some((s.population_size(), done, s.interactions()));
                     done
                 } else {
                     let chunk = if chunked {
@@ -1642,10 +1879,26 @@ impl<P: CountProtocol> ConfigSim<P> {
                 }
             }
         };
+        if let (Some((n, done, interactions)), Some(m)) = (lane, &self.metrics) {
+            m.incr(Counter::DenseLaneEpisodes);
+            m.add(Counter::DenseLaneInteractions, done);
+            m.record(Hist::DenseLaneN, n);
+            m.trace_event(
+                "dense_lane",
+                &[
+                    ("n", TraceValue::U64(n)),
+                    ("episode_interactions", TraceValue::U64(done)),
+                    ("interactions", TraceValue::U64(interactions)),
+                ],
+            );
+        }
         if self.adaptive {
             self.maybe_adapt();
         }
         self.maybe_collect();
+        if self.metrics.is_some() {
+            self.flush_telemetry();
+        }
         executed
     }
 
@@ -1656,6 +1909,9 @@ impl<P: CountProtocol> ConfigSim<P> {
             match self.eng_mut() {
                 Engine::Sequential(s) => s.steps(k),
                 Engine::Batched(b) => b.steps(k),
+            }
+            if self.metrics.is_some() {
+                self.flush_telemetry();
             }
             return;
         }
@@ -1679,10 +1935,14 @@ impl<P: CountProtocol> ConfigSim<P> {
         max_time: f64,
     ) -> RunOutcome {
         if !self.adaptive && !self.gc {
-            return match self.eng_mut() {
+            let out = match self.eng_mut() {
                 Engine::Sequential(s) => s.run_until(predicate, check_every, max_time),
                 Engine::Batched(b) => b.run_until(predicate, check_every, max_time),
             };
+            if self.metrics.is_some() {
+                self.flush_telemetry();
+            }
+            return out;
         }
         assert!(check_every > 0, "check_every must be positive");
         let max_interactions = (max_time * self.population_size() as f64).ceil() as u64;

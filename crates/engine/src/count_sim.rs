@@ -17,7 +17,7 @@
 //!
 //! [`CountConfiguration`] stores counts in flat slot-indexed arrays (state
 //! table, count vector, and a Fenwick tree mirroring the counts) with an
-//! open-addressed [`SlotIndex`](crate::slot_index::SlotIndex) — FNV-seeded,
+//! open-addressed [`SlotIndex`] — FNV-seeded,
 //! power-of-two capacity, linear probing — for state→slot lookup. One
 //! interaction costs a single RNG draw mapped to an ordered agent pair plus
 //! two `O(log k)` Fenwick descents, and a mutation costs `O(log k)` point
@@ -166,6 +166,37 @@ pub trait CountProtocol {
         let _ = (config, rng, budget);
         None
     }
+
+    /// Observability: cumulative counters from the protocol's own machinery
+    /// (the [`crate::interned::Interned`] adapter's pair cache and interner
+    /// index). `None` — the default — for self-contained protocols.
+    ///
+    /// [`crate::batch::ConfigSim`] polls this at its adaptive checkpoints
+    /// and flushes the *deltas* into the attached
+    /// [`pp_telemetry::Metrics`] registry, so reading it must be cheap and
+    /// must observe nothing the trajectory depends on.
+    fn telemetry_stats(&self) -> Option<AdapterStats> {
+        None
+    }
+}
+
+/// Cumulative adapter-level telemetry counters (see
+/// [`CountProtocol::telemetry_stats`]). All fields are monotone totals
+/// since adapter construction; consumers diff successive reads.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AdapterStats {
+    /// Pair-outcome cache probes that replayed a memoized outcome.
+    pub cache_hits: u64,
+    /// Pair-outcome cache probes that fell through to the full path.
+    pub cache_misses: u64,
+    /// Whole-cache drops on interner generation bumps.
+    pub cache_gen_drops: u64,
+    /// Interner state → id index lookups.
+    pub index_lookups: u64,
+    /// Total probe steps those lookups walked.
+    pub index_probes: u64,
+    /// Interner index growth/rebuild sweeps.
+    pub index_rebuilds: u64,
 }
 
 /// A count-space protocol whose initial configuration is input-dependent —
@@ -243,6 +274,13 @@ impl<S: Copy + Ord + Hash + std::fmt::Debug> CountConfiguration<S> {
         self.index
             .get(fnv_hash(state), |slot| self.states[slot as usize] == *state)
             .map(|slot| slot as usize)
+    }
+
+    /// Observability: cumulative lookup/probe/rebuild tallies from the
+    /// configuration's own state → slot index (distinct from the interner's
+    /// index; this one tracks the engine-side slot table).
+    pub(crate) fn index_stats(&self) -> crate::slot_index::SlotIndexStats {
+        self.index.stats()
     }
 
     /// Inserts `slot` (holding `self.states[slot]`) into the index.

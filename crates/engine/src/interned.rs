@@ -104,7 +104,7 @@
 //! Three layers keep the adapter off the engines' critical path:
 //!
 //! * The reverse state → id map is an open-addressed
-//!   [`SlotIndex`](crate::slot_index::SlotIndex) probing FNV-hashed
+//!   [`SlotIndex`] probing FNV-hashed
 //!   slots directly into the id-ordered state array — one flat
 //!   power-of-two table instead of the `BTreeMap`'s pointer-chasing
 //!   node walk, rebuilt wholesale on compaction.
@@ -125,6 +125,29 @@
 //!   thereby matches the agent simulator's throughput on exactly the
 //!   workloads that used to be ~7× slower, while every quiet phase
 //!   stays on the cached configuration path.
+//!
+//! ## Observability
+//!
+//! The adapter maintains cumulative tallies at its own decision points and
+//! exposes them through [`CountProtocol::telemetry_stats`]; the
+//! [`ConfigSim`](crate::batch::ConfigSim) facade flushes deltas into any
+//! attached [`pp_telemetry::Metrics`] registry. Counters and the decision
+//! points they observe:
+//!
+//! * `pair_cache_hits` / `pair_cache_misses` — the cache probe at the top
+//!   of every `transition` call (hit replays a memoized outcome, miss runs
+//!   the full decode/interact path).
+//! * `pair_cache_gen_drops` — the generation check in the same probe:
+//!   a mismatch (GC pass or dense-lane collapse renumbered the ids) drops
+//!   the whole cache before the probe proceeds.
+//! * `slot_lookups` / `slot_probes` — every interner reverse lookup
+//!   (`id_of` / `intern`) and the open-addressed buckets it walked.
+//! * `slot_rebuilds` — index growth doublings plus the wholesale rebuilds
+//!   a GC compaction or lane collapse performs.
+//!
+//! All of these are observation-only: reading or bumping them consumes no
+//! randomness and influences no branch, so telemetry-on and telemetry-off
+//! runs stay byte-identical (`tests/telemetry_neutrality.rs`).
 
 use std::cell::RefCell;
 use std::fmt::Debug;
@@ -133,7 +156,7 @@ use std::rc::Rc;
 
 use rand::Rng;
 
-use crate::count_sim::{CountConfiguration, CountProtocol, CountSeededInit};
+use crate::count_sim::{AdapterStats, CountConfiguration, CountProtocol, CountSeededInit};
 use crate::protocol::{Protocol, SeededInit};
 use crate::rng::SimRng;
 use crate::slot_index::{fnv_hash, SlotIndex};
@@ -303,6 +326,9 @@ struct PairCache {
     hits: u64,
     /// Telemetry: probes that fell through to the full transition path.
     misses: u64,
+    /// Telemetry: whole-cache drops on generation bumps (GC passes and
+    /// dense-lane collapses both renumber ids and land here lazily).
+    gen_drops: u64,
 }
 
 impl PairCache {
@@ -313,6 +339,7 @@ impl PairCache {
             generation: 0,
             hits: 0,
             misses: 0,
+            gen_drops: 0,
         }
     }
 
@@ -339,6 +366,7 @@ impl PairCache {
     fn reset(&mut self, generation: u64) {
         self.keys.fill(PAIR_EMPTY);
         self.generation = generation;
+        self.gen_drops += 1;
     }
 }
 
@@ -639,6 +667,22 @@ where
         Some(self.table.borrow_mut().compact(live))
     }
 
+    /// Observability: the adapter's cumulative pair-cache and interner
+    /// slot-index counters (see the module docs' Observability section).
+    /// Pure reads of already-maintained tallies — no trajectory effect.
+    fn telemetry_stats(&self) -> Option<AdapterStats> {
+        let cache = self.cache.borrow();
+        let index = self.table.borrow().ids.stats();
+        Some(AdapterStats {
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+            cache_gen_drops: cache.gen_drops,
+            index_lookups: index.lookups,
+            index_probes: index.probes,
+            index_rebuilds: index.rebuilds,
+        })
+    }
+
     /// The dense per-agent lane. A churning record protocol — the paper's
     /// `Log-Size-Estimation` and `Leader-Terminating`, whose receiver
     /// mints a fresh record on nearly every interaction — pays the full
@@ -663,7 +707,7 @@ where
     ///   byte-for-byte the agent simulator's.
     /// * **Collapse**: scan the agent array once; each *record value*
     ///   gets the next rank at its first occurrence (a temporary
-    ///   [`SlotIndex`] dedupes). [`StateTable::replace_states`] installs
+    ///   [`SlotIndex`] dedupes). `StateTable::replace_states` installs
     ///   the ranked records as the new table `0..k`, bumping the
     ///   generation (which lazily drops the now-stale pair cache), and
     ///   the configuration is rebuilt as `(rank, count)`. At rest the

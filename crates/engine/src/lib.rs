@@ -112,6 +112,43 @@
 //! `Engine` conformance suite (`crates/engine/tests/engine_conformance.rs`)
 //! hold them to that.
 //!
+//! ## Observability
+//!
+//! The engines are instrumented at their existing decision points — and
+//! only there. Attach a [`pp_telemetry::Metrics`] registry (the builders'
+//! `.metrics(&m)`, the ambient per-thread registry the sweep runner
+//! installs per trial, or just run with `PP_TRACE=run.jsonl` set) and the
+//! run records, per counter and decision point:
+//!
+//! * `batches` / `batch_len` — each completed batch in
+//!   [`batch::BatchedCountSim`]'s advance, with its executed length;
+//! * `null_skip_runs` / `null_skipped` / `null_skip_len` — each
+//!   Gillespie null-skip step and the span it skipped;
+//! * `mode_switches` (`switches_to_batched` / `switches_to_sequential`)
+//!   plus the `adapt_support` / `adapt_mean_batch` histograms — the
+//!   Auto-mode re-selection checkpoint in [`batch::ConfigSim`];
+//! * `gc_passes` / `gc_evicted` / `gc_table_len` / `gc_live` — each
+//!   interner-GC pass at those same checkpoints;
+//! * `dense_lane_episodes` / `dense_lane_interactions` / `dense_lane_n`
+//!   — each per-agent lane episode ([`interned::Interned`]);
+//! * `pair_cache_hits` / `pair_cache_misses` / `pair_cache_gen_drops` —
+//!   the adapter's pair-outcome cache probe in every transition;
+//! * `slot_lookups` / `slot_probes` / `slot_rebuilds` — every
+//!   open-addressed [`slot_index::SlotIndex`] lookup (interner and
+//!   engine-side), its probe walk, and each growth/compaction rebuild;
+//! * `snapshot_writes` / `snapshot_bytes` / `snapshot_nanos` /
+//!   `snapshot_write_bytes` — each crash-recovery checkpoint the run
+//!   driver writes.
+//!
+//! Every hook is observation-only: no counter feeds back into a branch
+//! and none touches the RNG, so a run with telemetry on is byte-for-byte
+//! identical to the same run with it off —
+//! `tests/telemetry_neutrality.rs` holds all four engines to that, GC,
+//! dense lane, and snapshot/resume included. `PP_METRICS=off` is the kill
+//! switch; `PP_TRACE=path.jsonl` additionally appends a CRC-checked JSONL
+//! event trace (mode switches, GC passes, lane episodes, checkpoints, and
+//! a final counters line) that `pp-report` renders into a summary table.
+//!
 //! ## Deprecation path
 //!
 //! Before the builder, this workspace exposed ~20 bespoke free functions
@@ -170,3 +207,7 @@ pub use scheduler::{OrderedPair, PairScheduler};
 pub use sim::{AgentSim, RunOutcome};
 pub use simulation::{count_of, Engine, EngineKind, Observer, SimMode, Simulation};
 pub use snapshot::{crc32, Snapshot, SnapshotError, SnapshotState};
+
+// Telemetry vocabulary, re-exported so engine users need no direct
+// `pp-telemetry` dependency to attach a registry or read counters.
+pub use pp_telemetry::{Counter, Hist, Metrics, MetricsSnapshot, TraceValue};

@@ -82,6 +82,8 @@ use std::collections::HashMap;
 use std::hash::Hash;
 use std::path::{Path, PathBuf};
 
+use pp_telemetry::{Counter, Hist, Metrics, TraceValue};
+
 use crate::batch::{BatchedCountSim, ConfigSim, EngineMode};
 use crate::count_sim::{CountConfiguration, CountProtocol, CountSeededInit, CountSim};
 use crate::interned::{Interned, InternerHandle};
@@ -139,6 +141,17 @@ pub trait Engine<S> {
     /// implementations are unaffected.
     fn snapshot(&self) -> Result<Snapshot, SnapshotError> {
         Err(SnapshotError::Unsupported)
+    }
+
+    /// Attaches a telemetry counter registry (see [`pp_telemetry`]).
+    /// Engines record at their existing decision points — batch lengths,
+    /// null-skip runs, mode switches, GC passes, dense-lane episodes —
+    /// without consuming randomness or influencing any branch, so
+    /// attaching a registry never perturbs the trajectory. The default is
+    /// a no-op for engines with nothing engine-specific to record (the
+    /// per-agent and plain sequential simulators).
+    fn set_metrics(&mut self, metrics: Metrics) {
+        let _ = metrics;
     }
 }
 
@@ -249,6 +262,10 @@ impl<P: CountProtocol> Engine<P::State> for BatchedCountSim<P> {
     fn kind(&self) -> EngineKind {
         EngineKind::Batched
     }
+
+    fn set_metrics(&mut self, metrics: Metrics) {
+        BatchedCountSim::set_metrics(self, metrics);
+    }
 }
 
 impl<P: CountProtocol> Engine<P::State> for ConfigSim<P> {
@@ -278,6 +295,10 @@ impl<P: CountProtocol> Engine<P::State> for ConfigSim<P> {
         } else {
             EngineKind::Sequential
         }
+    }
+
+    fn set_metrics(&mut self, metrics: Metrics) {
+        ConfigSim::set_metrics(self, metrics);
     }
 }
 
@@ -324,6 +345,10 @@ where
             EngineKind::Sequential
         }
     }
+
+    fn set_metrics(&mut self, metrics: Metrics) {
+        self.sim.set_metrics(metrics);
+    }
 }
 
 /// [`AgentSim`] with checkpoint support: delegates every [`Engine`]
@@ -366,6 +391,10 @@ where
     fn snapshot(&self) -> Result<Snapshot, SnapshotError> {
         Ok(snapshot::encode_agent(&self.0))
     }
+
+    fn set_metrics(&mut self, metrics: Metrics) {
+        Engine::set_metrics(&mut self.0, metrics);
+    }
 }
 
 /// [`ConfigSim`] with checkpoint support (see [`CheckpointAgent`]).
@@ -401,6 +430,10 @@ where
 
     fn snapshot(&self) -> Result<Snapshot, SnapshotError> {
         Ok(snapshot::encode_config_sim(&self.0))
+    }
+
+    fn set_metrics(&mut self, metrics: Metrics) {
+        Engine::set_metrics(&mut self.0, metrics);
     }
 }
 
@@ -441,6 +474,10 @@ where
 
     fn snapshot(&self) -> Result<Snapshot, SnapshotError> {
         Ok(snapshot::encode_interned(&self.0.sim))
+    }
+
+    fn set_metrics(&mut self, metrics: Metrics) {
+        Engine::set_metrics(&mut self.0, metrics);
     }
 }
 
@@ -489,6 +526,8 @@ struct Policy<'a, S> {
     observers: Vec<BoxedObserver<'a, S>>,
     checkpoint_every: Option<u64>,
     checkpoint_path: Option<PathBuf>,
+    metrics: Option<Metrics>,
+    trace_path: Option<PathBuf>,
 }
 
 impl<S> Default for Policy<'_, S> {
@@ -501,6 +540,8 @@ impl<S> Default for Policy<'_, S> {
             observers: Vec::new(),
             checkpoint_every: None,
             checkpoint_path: None,
+            metrics: None,
+            trace_path: None,
         }
     }
 }
@@ -586,6 +627,37 @@ macro_rules! policy_methods {
             self.policy.checkpoint_every = Some(interactions);
             self
         }
+
+        /// Attaches a telemetry counter registry
+        /// ([`pp_telemetry::Metrics`]): the engines record batch lengths,
+        /// null-skip runs, mode switches, GC passes, dense-lane episodes,
+        /// cache/index tallies, and snapshot writes into it. Recording is
+        /// observation-only — it never consumes randomness or influences a
+        /// decision — so the trajectory is byte-identical with and without
+        /// a registry. When no explicit registry is given, builds pick up
+        /// the ambient per-thread registry
+        /// ([`pp_telemetry::Metrics::install_current`]) if one is
+        /// installed; `PP_METRICS=off` suppresses both.
+        pub fn metrics(mut self, metrics: &pp_telemetry::Metrics) -> Self {
+            self.policy.metrics = Some(metrics.clone());
+            self
+        }
+
+        /// Writes a structured JSONL event trace (mode switches, GC
+        /// passes, dense-lane episodes, checkpoints, final counters) to
+        /// `path`, appending if the file exists. Equivalent to setting
+        /// `PP_TRACE=path` in the environment for this simulation only.
+        /// Implies a metrics registry (one is created if none is attached)
+        /// unless `PP_METRICS=off`.
+        ///
+        /// # Panics
+        ///
+        /// The build panics if the trace file cannot be opened — a tracing
+        /// run that silently drops its trace is worse than none.
+        pub fn trace_to(mut self, path: impl Into<std::path::PathBuf>) -> Self {
+            self.policy.trace_path = Some(path.into());
+            self
+        }
     };
 }
 
@@ -603,6 +675,11 @@ pub struct Simulation<'a, S> {
     predicate: Option<BoxedPredicate<'a, S>>,
     observers: Vec<BoxedObserver<'a, S>>,
     checkpoint: Option<CheckpointPlan>,
+    /// The effective telemetry registry ([`Simulation::assemble`] resolves
+    /// the builder's `.metrics()` / the ambient per-thread registry /
+    /// `PP_TRACE`, gated by `PP_METRICS`). The engine holds a clone; this
+    /// copy serves the run driver's snapshot-write instrumentation.
+    metrics: Option<Metrics>,
 }
 
 impl<'a, S: Clone> Simulation<'a, S> {
@@ -635,15 +712,39 @@ impl<'a, S: Clone> Simulation<'a, S> {
             predicate: None,
             observers: Vec::new(),
             checkpoint: None,
+            metrics: None,
         }
     }
 
     /// Assembles a simulation from a restored or freshly built engine plus
     /// the builder policy (the single construction path both builders and
     /// both `resume` surfaces share).
-    fn assemble(engine: Box<dyn Engine<S> + 'a>, policy: Policy<'a, S>) -> Self {
+    fn assemble(mut engine: Box<dyn Engine<S> + 'a>, policy: Policy<'a, S>) -> Self {
         let n = engine.population_size().max(1);
         let check_every = policy.check_every.unwrap_or(n);
+        // Resolve the effective telemetry registry: an explicit `.metrics()`
+        // wins, else the ambient per-thread registry (installed by e.g. the
+        // sweep runner around each trial); `PP_METRICS=off` suppresses
+        // both. A trace destination (`.trace_to()` or `PP_TRACE`) implies a
+        // registry, creating one if needed.
+        let mut metrics = if crate::env::metrics_enabled() {
+            policy.metrics.or_else(Metrics::current)
+        } else {
+            None
+        };
+        if crate::env::metrics_enabled() {
+            if let Some(path) = policy.trace_path.or_else(crate::env::trace_path) {
+                let m = metrics.get_or_insert_with(Metrics::new);
+                if !m.is_tracing() {
+                    m.trace_to(&path).unwrap_or_else(|e| {
+                        panic!("cannot open trace file {}: {e}", path.display())
+                    });
+                }
+            }
+        }
+        if let Some(m) = &metrics {
+            engine.set_metrics(m.clone());
+        }
         Self {
             engine,
             check_every,
@@ -655,6 +756,7 @@ impl<'a, S: Clone> Simulation<'a, S> {
                 every: policy.checkpoint_every.unwrap_or(check_every),
                 last: 0,
             }),
+            metrics,
         }
     }
 
@@ -723,6 +825,14 @@ impl<'a, S: Clone> Simulation<'a, S> {
     /// The concrete simulator currently executing interactions.
     pub fn engine_kind(&self) -> EngineKind {
         self.engine.kind()
+    }
+
+    /// The effective telemetry registry, if one was attached (explicitly
+    /// via the builders' `.metrics()`, ambiently via
+    /// [`pp_telemetry::Metrics::install_current`], or implied by a trace
+    /// destination). Read counters from it after — or during — the run.
+    pub fn metrics(&self) -> Option<&Metrics> {
+        self.metrics.as_ref()
     }
 
     /// Executes at least one and at most `budget` interactions (no
@@ -823,6 +933,9 @@ impl<'a, S: Clone> Simulation<'a, S> {
                 let due =
                     interactions > cp.last && (interactions - cp.last >= cp.every || exhausted);
                 if due {
+                    // Wall-clock timing of the write is observation-only:
+                    // it feeds counters, never a decision.
+                    let started = std::time::Instant::now();
                     let snap = self
                         .engine
                         .snapshot()
@@ -830,6 +943,22 @@ impl<'a, S: Clone> Simulation<'a, S> {
                     snap.write_atomic(&cp.path).unwrap_or_else(|e| {
                         panic!("checkpoint write to {} failed: {e}", cp.path.display())
                     });
+                    if let Some(m) = &self.metrics {
+                        let bytes = snap.byte_len();
+                        let nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                        m.incr(Counter::SnapshotWrites);
+                        m.add(Counter::SnapshotBytes, bytes);
+                        m.add(Counter::SnapshotNanos, nanos);
+                        m.record(Hist::SnapshotWriteBytes, bytes);
+                        m.trace_event(
+                            "checkpoint",
+                            &[
+                                ("bytes", TraceValue::U64(bytes)),
+                                ("nanos", TraceValue::U64(nanos)),
+                                ("interactions", TraceValue::U64(interactions)),
+                            ],
+                        );
+                    }
                     cp.last = interactions;
                 }
             }
@@ -845,6 +974,7 @@ impl<'a, S: Clone> Simulation<'a, S> {
                 }
             }
             if predicate(&view) {
+                self.trace_final_counters();
                 return RunOutcome {
                     converged: true,
                     time,
@@ -852,6 +982,7 @@ impl<'a, S: Clone> Simulation<'a, S> {
                 };
             }
             if exhausted {
+                self.trace_final_counters();
                 return RunOutcome {
                     converged: false,
                     time,
@@ -861,6 +992,19 @@ impl<'a, S: Clone> Simulation<'a, S> {
             let target = (interactions + self.check_every).min(max_interactions);
             while self.engine.interactions() < target {
                 self.engine.advance(target - self.engine.interactions());
+            }
+        }
+    }
+
+    /// Emits the full counter/histogram snapshot as one `counters` trace
+    /// event when a tracer is attached — the line `pp-report` renders its
+    /// summary tables from. Fired at the end of every driven phase, so
+    /// multi-phase runs carry one counters line per phase (each
+    /// cumulative; the last one is the run's total).
+    fn trace_final_counters(&self) {
+        if let Some(m) = &self.metrics {
+            if m.is_tracing() {
+                m.trace_counters();
             }
         }
     }

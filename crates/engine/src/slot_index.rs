@@ -17,7 +17,17 @@
 //! Crucially the index is *derivable* state — a pure function of the
 //! caller's `(states, free)` arrays — so snapshots never serialize it and
 //! GC renames rebuild it in rank order without touching slot assignment.
+//!
+//! # Observability
+//!
+//! Each index keeps three plain counters — lookups, total probe steps, and
+//! growth/rebuild sweeps ([`SlotIndex::stats`]) — that the owning engine
+//! flushes into a [`pp_telemetry::Metrics`] registry at its adaptive
+//! checkpoints. They are `Cell`s bumped on paths the index already walks,
+//! so counting costs one untyped add per probe and observes nothing the
+//! trajectory depends on.
 
+use std::cell::Cell;
 use std::hash::{Hash, Hasher};
 
 /// The count engines' hasher: slot lookups run a few times per interaction
@@ -127,6 +137,25 @@ pub struct SlotIndex {
     buckets: Vec<u32>,
     mask: usize,
     len: usize,
+    /// Telemetry: [`SlotIndex::get`] calls since construction.
+    lookups: Cell<u64>,
+    /// Telemetry: total buckets inspected by those lookups (≥ `lookups`;
+    /// the ratio is the mean probe length).
+    probes: Cell<u64>,
+    /// Telemetry: growth doublings plus wholesale [`SlotIndex::rebuild`]s.
+    rebuilds: Cell<u64>,
+}
+
+/// A point-in-time copy of one index's telemetry counters (see
+/// [`SlotIndex::stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SlotIndexStats {
+    /// [`SlotIndex::get`] calls.
+    pub lookups: u64,
+    /// Total buckets inspected across those calls.
+    pub probes: u64,
+    /// Growth + rebuild sweeps.
+    pub rebuilds: u64,
 }
 
 impl Default for SlotIndex {
@@ -148,6 +177,18 @@ impl SlotIndex {
             buckets: vec![EMPTY; cap],
             mask: cap - 1,
             len: 0,
+            lookups: Cell::new(0),
+            probes: Cell::new(0),
+            rebuilds: Cell::new(0),
+        }
+    }
+
+    /// Telemetry counters accumulated since construction.
+    pub fn stats(&self) -> SlotIndexStats {
+        SlotIndexStats {
+            lookups: self.lookups.get(),
+            probes: self.probes.get(),
+            rebuilds: self.rebuilds.get(),
         }
     }
 
@@ -166,8 +207,10 @@ impl SlotIndex {
     /// `slot`.
     #[inline]
     pub fn get(&self, hash: u64, mut eq: impl FnMut(u32) -> bool) -> Option<u32> {
+        self.lookups.set(self.lookups.get() + 1);
         let mut i = (hash as usize) & self.mask;
         loop {
+            self.probes.set(self.probes.get() + 1);
             let slot = self.buckets[i];
             if slot == EMPTY {
                 return None;
@@ -253,6 +296,7 @@ impl SlotIndex {
         slots: impl Iterator<Item = u32>,
         mut rehash: impl FnMut(u32) -> u64,
     ) {
+        self.rebuilds.set(self.rebuilds.get() + 1);
         self.clear();
         for slot in slots {
             debug_assert_ne!(slot, EMPTY, "slot id {slot} is the empty sentinel");
@@ -270,6 +314,7 @@ impl SlotIndex {
 
     /// Doubles capacity and reinserts every entry (tombstone-free growth).
     fn grow(&mut self, mut rehash: impl FnMut(u32) -> u64) {
+        self.rebuilds.set(self.rebuilds.get() + 1);
         let cap = (self.buckets.len() * 2).max(8);
         let old = std::mem::replace(&mut self.buckets, vec![EMPTY; cap]);
         self.mask = cap - 1;
@@ -369,6 +414,26 @@ mod tests {
             let gone = [3u64, 17, 4, 30, 0, 11].contains(&k);
             assert_eq!(h.get(k).is_none(), gone, "key {k}");
         }
+    }
+
+    #[test]
+    fn stats_count_lookups_probes_and_rebuilds() {
+        let mut h = Harness::new();
+        for k in 0..100u64 {
+            h.insert(k * 977); // each insert runs one assert-absent get
+        }
+        let s = h.index.stats();
+        assert_eq!(s.lookups, 100);
+        assert!(s.probes >= s.lookups, "every lookup probes at least once");
+        assert!(
+            s.rebuilds >= 1,
+            "100 inserts must outgrow the initial 8 buckets"
+        );
+        let before = h.index.stats();
+        assert_eq!(h.get(977), Some(1));
+        let after = h.index.stats();
+        assert_eq!(after.lookups, before.lookups + 1);
+        assert!(after.probes > before.probes);
     }
 
     #[test]

@@ -59,37 +59,10 @@ pub(crate) const KIND_CONFIG: u8 = 4;
 /// Engine tag: [`ConfigSim`] over an [`Interned`] agent-level protocol.
 pub(crate) const KIND_INTERNED: u8 = 5;
 
-/// CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`) lookup table,
-/// built at compile time.
-const CRC_TABLE: [u32; 256] = {
-    let mut table = [0u32; 256];
-    let mut i = 0;
-    while i < 256 {
-        let mut c = i as u32;
-        let mut k = 0;
-        while k < 8 {
-            c = if c & 1 != 0 {
-                0xedb8_8320 ^ (c >> 1)
-            } else {
-                c >> 1
-            };
-            k += 1;
-        }
-        table[i] = c;
-        i += 1;
-    }
-    table
-};
-
-/// CRC-32 (IEEE) of `bytes` — the checksum guarding both snapshot bodies
-/// and the sweep journal's JSONL lines.
-pub fn crc32(bytes: &[u8]) -> u32 {
-    let mut c = 0xffff_ffffu32;
-    for &b in bytes {
-        c = CRC_TABLE[((c ^ b as u32) & 0xff) as usize] ^ (c >> 8);
-    }
-    c ^ 0xffff_ffff
-}
+/// CRC-32 (IEEE) of `bytes` — the checksum guarding snapshot bodies, the
+/// sweep journal's JSONL lines, and telemetry event traces. One
+/// implementation for the whole workspace, owned by `pp-telemetry`.
+pub use pp_telemetry::crc32;
 
 /// Why a snapshot could not be produced, written, read, or restored.
 #[derive(Debug)]
@@ -157,6 +130,13 @@ impl Snapshot {
         out.extend_from_slice(&crc.to_le_bytes());
         out.extend_from_slice(&checked);
         out
+    }
+
+    /// Serialized size in bytes (the [`Snapshot::to_bytes`] layout:
+    /// 16-byte header + kind + body length + body) — the number telemetry
+    /// reports per checkpoint write without serializing twice.
+    pub(crate) fn byte_len(&self) -> u64 {
+        (16 + 9 + self.body.len()) as u64
     }
 
     /// Parses and validates the `SnapshotV1` layout (magic, version,

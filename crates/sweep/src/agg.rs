@@ -18,6 +18,12 @@ pub struct TrialRecord {
     pub seed: u64,
     /// Metric values, in the experiment's metric order (NaN = missing).
     pub values: Vec<f64>,
+    /// Nonzero engine telemetry counters observed during the trial
+    /// (name → cumulative count), sorted by name. Empty when the trial
+    /// predates telemetry, ran with `PP_METRICS=off`, or simply touched
+    /// no instrumented engine path. Counters are a deterministic function
+    /// of the trial's trajectory, so resumed and fresh runs agree.
+    pub counters: Vec<(String, u64)>,
 }
 
 /// All trials of one experiment at one population size.
@@ -93,6 +99,48 @@ impl PointResult {
     pub fn count_true(&self, metric: &str) -> usize {
         self.values(metric).iter().filter(|&&x| x > 0.5).count()
     }
+
+    /// Trials that carried a telemetry snapshot (nonzero counters).
+    pub fn instrumented_trials(&self) -> usize {
+        self.trials
+            .iter()
+            .filter(|t| !t.counters.is_empty())
+            .count()
+    }
+
+    /// Every counter name seen at this point, sorted (the union over
+    /// instrumented trials).
+    pub fn counter_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self
+            .trials
+            .iter()
+            .flat_map(|t| t.counters.iter().map(|(k, _)| k.as_str()))
+            .collect();
+        names.sort_unstable();
+        names.dedup();
+        names
+    }
+
+    /// Sum of a counter across all instrumented trials (a trial that
+    /// carried counters but not this one contributes zero).
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.trials
+            .iter()
+            .flat_map(|t| &t.counters)
+            .filter(|(k, _)| k == name)
+            .map(|&(_, v)| v)
+            .sum()
+    }
+
+    /// Mean of a counter over the instrumented trials, or NaN if no trial
+    /// was instrumented.
+    pub fn counter_mean(&self, name: &str) -> f64 {
+        let trials = self.instrumented_trials();
+        if trials == 0 {
+            return f64::NAN;
+        }
+        self.counter_total(name) as f64 / trials as f64
+    }
 }
 
 /// The aggregated outcome of one sweep.
@@ -143,6 +191,13 @@ impl SweepReport {
     pub fn total_trials(&self) -> usize {
         self.points.iter().map(|p| p.trials.len()).sum()
     }
+
+    /// Whether any trial in the report carried telemetry counters —
+    /// callers gate the counter emitters on this so uninstrumented sweeps
+    /// produce exactly the bytes they always did.
+    pub fn has_counters(&self) -> bool {
+        self.points.iter().any(|p| p.instrumented_trials() > 0)
+    }
 }
 
 #[cfg(test)]
@@ -159,16 +214,19 @@ mod tests {
                     trial: 0,
                     seed: 1,
                     values: vec![2.0, 1.0],
+                    counters: vec![("batches".into(), 4), ("gc_passes".into(), 1)],
                 },
                 TrialRecord {
                     trial: 1,
                     seed: 2,
                     values: vec![f64::NAN, 0.0],
+                    counters: Vec::new(),
                 },
                 TrialRecord {
                     trial: 2,
                     seed: 3,
                     values: vec![4.0, 1.0],
+                    counters: vec![("batches".into(), 8)],
                 },
             ],
         }
@@ -188,6 +246,24 @@ mod tests {
     #[should_panic(expected = "no metric")]
     fn unknown_metric_panics_with_context() {
         point().values("nope");
+    }
+
+    #[test]
+    fn counter_aggregation_skips_uninstrumented_trials() {
+        let p = point();
+        assert_eq!(p.instrumented_trials(), 2);
+        assert_eq!(p.counter_names(), vec!["batches", "gc_passes"]);
+        assert_eq!(p.counter_total("batches"), 12);
+        assert_eq!(p.counter_mean("batches"), 6.0);
+        // A counter only some instrumented trials saw averages over all
+        // instrumented trials (absent = 0 for that trial).
+        assert_eq!(p.counter_mean("gc_passes"), 0.5);
+        assert_eq!(p.counter_total("nope"), 0);
+        let empty = PointResult {
+            trials: Vec::new(),
+            ..point()
+        };
+        assert!(empty.counter_mean("batches").is_nan());
     }
 
     #[test]

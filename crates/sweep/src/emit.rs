@@ -168,6 +168,61 @@ pub fn to_json(report: &SweepReport) -> String {
     out
 }
 
+/// Header of the per-point telemetry-counter table/CSV.
+pub const COUNTER_HEADER: [&str; 6] = ["experiment", "n", "counter", "trials", "mean", "total"];
+
+/// One row per (grid point, observed counter): how many trials carried a
+/// telemetry snapshot, the counter's mean over those trials, and its
+/// total. Points whose trials carried no counters (pre-telemetry
+/// journals, `PP_METRICS=off`) produce no rows, and a derived
+/// `pair_cache_hit_rate` row (hits ÷ probes, total column `-`) is
+/// appended wherever the pair-outcome cache was exercised.
+pub fn counter_rows(report: &SweepReport) -> Vec<Vec<String>> {
+    let mut rows = Vec::new();
+    for point in &report.points {
+        let trials = point.instrumented_trials();
+        if trials == 0 {
+            continue;
+        }
+        for name in point.counter_names() {
+            rows.push(vec![
+                point.experiment.clone(),
+                point.n.to_string(),
+                name.to_string(),
+                trials.to_string(),
+                format!("{}", point.counter_mean(name)),
+                point.counter_total(name).to_string(),
+            ]);
+        }
+        let hits = point.counter_total("pair_cache_hits");
+        let misses = point.counter_total("pair_cache_misses");
+        if hits + misses > 0 {
+            rows.push(vec![
+                point.experiment.clone(),
+                point.n.to_string(),
+                "pair_cache_hit_rate".to_string(),
+                trials.to_string(),
+                format!("{}", hits as f64 / (hits + misses) as f64),
+                "-".to_string(),
+            ]);
+        }
+    }
+    rows
+}
+
+/// The counter aggregates as a CSV document. Empty (header only) when no
+/// trial was instrumented — gate on [`SweepReport::has_counters`] to skip
+/// writing the file entirely.
+pub fn counters_csv(report: &SweepReport) -> String {
+    let mut out = COUNTER_HEADER.join(",");
+    out.push('\n');
+    for row in counter_rows(report) {
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    out
+}
+
 /// Compact float formatting for terminal tables (mirrors the bench
 /// harness's `fmt`).
 fn compact(x: f64) -> String {
@@ -200,11 +255,17 @@ mod tests {
                         trial: 0,
                         seed: 11,
                         values: vec![1.5, 1.0],
+                        counters: vec![
+                            ("gc_passes".into(), 2),
+                            ("pair_cache_hits".into(), 3),
+                            ("pair_cache_misses".into(), 1),
+                        ],
                     },
                     TrialRecord {
                         trial: 1,
                         seed: 12,
                         values: vec![f64::NAN, 0.0],
+                        counters: vec![("gc_passes".into(), 4)],
                     },
                 ],
             }],
@@ -238,6 +299,25 @@ mod tests {
         let times = times.as_arr().unwrap();
         assert_eq!(times[0].as_f64(), Some(1.5));
         assert!(times[1].as_f64().unwrap().is_nan());
+    }
+
+    #[test]
+    fn counter_rows_aggregate_per_point() {
+        let csv = counters_csv(&report());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], COUNTER_HEADER.join(","));
+        assert_eq!(lines[1], "e,50,gc_passes,2,3,6");
+        assert_eq!(lines[2], "e,50,pair_cache_hits,2,1.5,3");
+        assert_eq!(lines[3], "e,50,pair_cache_misses,2,0.5,1");
+        assert_eq!(lines[4], "e,50,pair_cache_hit_rate,2,0.75,-");
+        assert_eq!(lines.len(), 5);
+        // Uninstrumented reports produce no rows at all.
+        let mut bare = report();
+        for t in &mut bare.points[0].trials {
+            t.counters.clear();
+        }
+        assert!(!bare.has_counters());
+        assert_eq!(counters_csv(&bare).lines().count(), 1);
     }
 
     #[test]

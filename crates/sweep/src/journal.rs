@@ -35,7 +35,12 @@
 //! ```text
 //! {"sweep":"epidemic","version":2,"master_seed":1,"fingerprint":"9c0f…","crc":"5ab0c77d"}
 //! {"point":0,"exp":"epidemic_full","n":1000,"trial":0,"seed":17606558817767979835,"values":[13.294],"crc":"8e12f3a4"}
+//! {"point":0,"exp":"epidemic_full","n":1000,"trial":1,"seed":4086511333960186760,"values":[13.551],"counters":{"batches":96,"null_skip_runs":3},"crc":"1d40b2c6"}
 //! ```
+//!
+//! The optional `counters` object (added with the telemetry layer)
+//! carries the trial's nonzero engine counters; entries without it —
+//! every pre-telemetry journal — parse exactly as before.
 
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Write as _};
@@ -70,6 +75,12 @@ pub struct JournalEntry {
     /// all retries) instead of producing values. Failed entries are
     /// re-run on resume, not replayed.
     pub failed: Option<String>,
+    /// Nonzero telemetry counters observed during the trial, sorted by
+    /// name. Serialized as an optional `"counters"` object; an entry
+    /// without one (any pre-telemetry journal, or a run with
+    /// `PP_METRICS=off`) parses as empty, so the field is fully
+    /// version-2-compatible in both directions.
+    pub counters: Vec<(String, u64)>,
 }
 
 /// Append handle to an open journal.
@@ -160,7 +171,19 @@ impl Journal {
                     }
                     json::write_f64(&mut line, v);
                 }
-                line.push_str("]}");
+                line.push(']');
+                if !entry.counters.is_empty() {
+                    line.push_str(",\"counters\":{");
+                    for (i, (name, v)) in entry.counters.iter().enumerate() {
+                        if i > 0 {
+                            line.push(',');
+                        }
+                        json::write_str(&mut line, name);
+                        line.push_str(&format!(":{v}"));
+                    }
+                    line.push('}');
+                }
+                line.push('}');
             }
         }
         self.write_checked(line)
@@ -328,12 +351,26 @@ fn parse_entry(line: &str) -> Result<JournalEntry, String> {
             .map(|v| v.as_f64().ok_or("non-numeric metric value".to_string()))
             .collect::<Result<Vec<f64>, _>>()?
     };
+    // Optional: entries written before telemetry landed simply lack it.
+    let counters = match doc.get("counters") {
+        None => Vec::new(),
+        Some(json::Value::Obj(fields)) => fields
+            .iter()
+            .map(|(k, v)| {
+                v.as_u64()
+                    .map(|v| (k.clone(), v))
+                    .ok_or(format!("non-integer counter {k:?}"))
+            })
+            .collect::<Result<Vec<(String, u64)>, _>>()?,
+        Some(_) => return Err("non-object \"counters\" field".into()),
+    };
     Ok(JournalEntry {
         point: field_u64("point")? as usize,
         trial: field_u64("trial")? as usize,
         seed: field_u64("seed")?,
         values,
         failed,
+        counters,
     })
 }
 
@@ -372,6 +409,7 @@ mod tests {
             seed: u64::MAX - 5,
             values: vec![1.5, f64::NAN, f64::INFINITY, -0.25],
             failed: None,
+            counters: vec![("batches".into(), 31), ("null_skip_runs".into(), 2)],
         };
         {
             let (mut journal, existing) = Journal::open(&path, "t", 9, 0xABCD).unwrap();
@@ -387,6 +425,7 @@ mod tests {
         assert!(loaded[0].values[1].is_nan());
         assert_eq!(loaded[0].values[2], f64::INFINITY);
         assert_eq!(loaded[0].values[3], -0.25);
+        assert_eq!(loaded[0].counters, entry.counters);
         std::fs::remove_file(&path).unwrap();
     }
 
@@ -416,6 +455,7 @@ mod tests {
                         seed: 1,
                         values: vec![1.0],
                         failed: None,
+                        counters: Vec::new(),
                     },
                 )
                 .unwrap();
@@ -445,6 +485,7 @@ mod tests {
                         seed: 1,
                         values: vec![1.0],
                         failed: None,
+                        counters: Vec::new(),
                     },
                 )
                 .unwrap();
@@ -474,6 +515,7 @@ mod tests {
                             seed: 1,
                             values: vec![1.0],
                             failed: None,
+                            counters: Vec::new(),
                         },
                     )
                     .unwrap();
@@ -507,6 +549,7 @@ mod tests {
                         seed: 1,
                         values: vec![1.0],
                         failed: None,
+                        counters: Vec::new(),
                     },
                 )
                 .unwrap();
@@ -536,6 +579,7 @@ mod tests {
         let loaded = read_entries(&path, 7).unwrap();
         assert_eq!(loaded.len(), 1);
         assert_eq!(loaded[0].values, vec![1.5]);
+        assert!(loaded[0].counters.is_empty(), "absent field parses empty");
         std::fs::remove_file(&path).unwrap();
     }
 
@@ -555,6 +599,7 @@ mod tests {
                         seed: 1,
                         values: Vec::new(),
                         failed: Some("worker panicked: \"boom\"".into()),
+                        counters: Vec::new(),
                     },
                 )
                 .unwrap();

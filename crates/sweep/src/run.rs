@@ -394,6 +394,7 @@ impl RunState {
                         seed: record.seed,
                         values: record.values.clone(),
                         failed: None,
+                        counters: record.counters.clone(),
                     },
                 ) {
                     self.error.get_or_insert(e);
@@ -462,6 +463,7 @@ impl RunState {
                     seed,
                     values: Vec::new(),
                     failed: Some(message.clone()),
+                    counters: Vec::new(),
                 },
             ) {
                 self.error.get_or_insert(e);
@@ -636,6 +638,7 @@ fn execute(
                 trial: entry.trial,
                 seed: entry.seed,
                 values: entry.values,
+                counters: entry.counters,
             },
             false,
             true,
@@ -687,14 +690,29 @@ fn execute(
         // sweep. Retry with exponential backoff up to the spec's cap,
         // then record the failure and move on.
         let attempts = spec.max_retries + 1;
-        let mut outcome: Result<Vec<f64>, String> = Err(String::new());
+        let mut outcome: Result<(Vec<f64>, Vec<(String, u64)>), String> = Err(String::new());
         for attempt in 0..attempts {
             if attempt > 0 {
                 std::thread::sleep(Duration::from_millis(10u64 << (attempt - 1).min(6)));
             }
-            match catch_unwind(AssertUnwindSafe(|| (exp.run)(&ctx))) {
+            // A fresh per-trial registry, installed as the ambient one so
+            // any engine the closure builds records into it without the
+            // experiment signature knowing about telemetry. Fresh per
+            // attempt: a panicked attempt's counters must not leak into
+            // its retry. Hooks are observation-only, so the trajectory —
+            // and therefore `values` — is byte-identical either way.
+            let metrics = pp_telemetry::Metrics::new();
+            match catch_unwind(AssertUnwindSafe(|| {
+                let _ambient = metrics.install_current();
+                (exp.run)(&ctx)
+            })) {
                 Ok(values) => {
-                    outcome = Ok(values);
+                    let counters = metrics
+                        .nonzero_counters()
+                        .into_iter()
+                        .map(|(k, v)| (k.to_string(), v))
+                        .collect();
+                    outcome = Ok((values, counters));
                     break;
                 }
                 Err(payload) => {
@@ -714,7 +732,7 @@ fn execute(
             return; // drain: stop picking up work after a failure
         }
         match outcome {
-            Ok(values) => {
+            Ok((values, counters)) => {
                 if values.len() != exp.metrics.len() {
                     guard.error.get_or_insert(format!(
                         "experiment {:?} returned {} values for {} declared metrics",
@@ -732,6 +750,7 @@ fn execute(
                         trial,
                         seed: ctx.seed,
                         values,
+                        counters,
                     },
                     true,
                     false,
@@ -903,6 +922,38 @@ mod tests {
         assert_eq!(second.failed_trials, 0);
         assert_eq!(second.resumed_trials, 2);
         assert_eq!(second.point("sometimes", 100).trials.len(), 3);
+        std::fs::remove_file(&journal).unwrap();
+    }
+
+    #[test]
+    fn trial_counters_flow_into_report_and_journal() {
+        use pp_telemetry::{Counter, Metrics};
+        let dir = std::env::temp_dir().join("pp-sweep-run-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let journal = dir.join(format!("counters-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&journal);
+        let mut spec = SweepSpec::new("t", vec![100], 3);
+        spec.threads = 2;
+        spec.journal = Some(journal.clone());
+        let experiment = || {
+            SweepExperiment::new("counting", &["x"], |ctx| {
+                // Engines pick up the runner's ambient per-trial registry
+                // automatically; recording into it directly exercises the
+                // same plumbing without spinning one up.
+                let m = Metrics::current().expect("runner installs an ambient registry");
+                m.add(Counter::Batches, ctx.trial as u64 + 1);
+                vec![ctx.trial as f64]
+            })
+        };
+        let fresh = run_sweep(&spec, &[experiment()]).unwrap();
+        let point = fresh.point("counting", 100);
+        assert_eq!(point.instrumented_trials(), 3);
+        assert_eq!(point.counter_total("batches"), 1 + 2 + 3);
+        // A resumed run replays the journaled counters, not fresh ones:
+        // the aggregated points must come out identical.
+        let resumed = run_sweep(&spec, &[experiment()]).unwrap();
+        assert_eq!(resumed.resumed_trials, 3);
+        assert_eq!(fresh.points, resumed.points);
         std::fs::remove_file(&journal).unwrap();
     }
 
