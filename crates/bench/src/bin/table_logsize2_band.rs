@@ -3,21 +3,26 @@
 //! Claim: the settled `logSize2` (max of |A| geometric samples, plus 2) is
 //! in `[log n − log ln n, 2 log n + 1]` with probability
 //! `≥ 1 − 1/n − e^{−n/18}`. Measured two ways: direct Monte-Carlo of the
-//! maximum (fast, many trials) and the value the full protocol actually
-//! settles on (protocol-in-the-loop).
+//! maximum (fast, many trials, stays inline — it samples raw geometrics,
+//! not a population) and the value the full protocol actually settles on,
+//! which runs as a `pp-sweep` grid over the registry's `logsize2_band`
+//! experiment — so trials fan out over `--threads` workers, `--journal`
+//! makes the run resumable, and the spec is servable by `pp-server`.
 
 use pp_analysis::geometric::{logsize2_band, max_geometric_sample};
-use pp_bench::{fmt, print_table, write_csv, HarnessArgs};
-use pp_core::log_size::estimate_log_size;
+use pp_bench::{experiments, fmt, print_table, run_sweep_or_exit, write_csv, HarnessArgs};
 use pp_engine::rng::rng_from_seed;
-use pp_sweep::trials::run_trials_threaded;
 
 fn main() {
     let args = HarnessArgs::parse(&[100, 1000, 10_000], 10);
+    let spec = args.sweep_spec("table_logsize2_band");
     println!(
         "Lemma 3.8 logSize2 band (protocol trials={}): log n - log ln n <= logSize2 <= 2 log n + 1",
-        args.trials
+        spec.effective_trials()
     );
+
+    let experiments = experiments::build(&["logsize2_band"]).expect("registry names");
+    let report = run_sweep_or_exit(&spec, &experiments);
 
     let mut rows = Vec::new();
     let mut csv = Vec::new();
@@ -35,12 +40,10 @@ fn main() {
                 mc_within += 1;
             }
         }
-        // Protocol-in-the-loop.
-        let outcomes = run_trials_threaded(args.seed ^ n, args.trials, args.threads, |_, seed| {
-            estimate_log_size(n as usize, seed, None).maxima.log_size2
-        });
-        let proto_vals: Vec<f64> = outcomes.iter().map(|o| o.value as f64).collect();
-        let proto_within = proto_vals.iter().filter(|&&v| v >= lo && v <= hi).count();
+        // Protocol-in-the-loop, from the sweep report.
+        let point = report.point("logsize2_band", n);
+        let proto_vals = point.values("logsize2");
+        let proto_within = point.values("in_band").iter().filter(|&&v| v > 0.0).count();
         let s = pp_analysis::stats::Summary::of(&proto_vals);
         rows.push(vec![
             n.to_string(),

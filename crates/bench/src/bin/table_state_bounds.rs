@@ -5,34 +5,46 @@
 //! `epoch ≤ 11 log n`, `sum ≤ 22 log² n`; with space multiplexing the
 //! number of states is `O(log⁴ n)`. This harness reports the observed
 //! maxima and the implied state-count estimate.
+//!
+//! Runs as a `pp-sweep` grid over the registry's `state_bounds`
+//! experiment, so trials fan out over `--threads` workers, `--journal`
+//! makes the run resumable, and the same measurement is servable by
+//! `pp-server`. The across-trial field maxima are folded back into a
+//! `FieldMaxima` here, so the reported state estimate is computed from
+//! the componentwise maxima (an upper bound on any single trial's).
 
-use pp_bench::{fmt, print_table, write_csv, HarnessArgs};
-use pp_core::log_size::estimate_log_size;
-use pp_sweep::trials::run_trials_threaded;
+use pp_bench::{experiments, fmt, print_table, run_sweep_or_exit, write_csv, HarnessArgs};
+use pp_core::log_size::FieldMaxima;
 
 fn main() {
     let args = HarnessArgs::parse(&[100, 1000, 10_000], 10);
+    let spec = args.sweep_spec("table_state_bounds");
     println!(
         "Lemma 3.9 field ranges and O(log^4 n) state bound (trials={})",
-        args.trials
+        spec.effective_trials()
     );
+
+    let experiments = experiments::build(&["state_bounds"]).expect("registry names");
+    let report = run_sweep_or_exit(&spec, &experiments);
 
     let mut rows = Vec::new();
     let mut csv = Vec::new();
     for &n in &args.sizes {
-        let outcomes = run_trials_threaded(args.seed ^ n, args.trials, args.threads, |_, seed| {
-            estimate_log_size(n as usize, seed, None).maxima
-        });
-        let max = outcomes
-            .iter()
-            .fold(pp_core::log_size::FieldMaxima::default(), |mut acc, o| {
-                acc.log_size2 = acc.log_size2.max(o.value.log_size2);
-                acc.gr = acc.gr.max(o.value.gr);
-                acc.time = acc.time.max(o.value.time);
-                acc.epoch = acc.epoch.max(o.value.epoch);
-                acc.sum = acc.sum.max(o.value.sum);
-                acc
-            });
+        let point = report.point("state_bounds", n);
+        let field_max = |metric: &str| {
+            point
+                .values(metric)
+                .into_iter()
+                .fold(0.0f64, f64::max)
+                .round() as u64
+        };
+        let max = FieldMaxima {
+            log_size2: field_max("log_size2"),
+            gr: field_max("gr"),
+            time: field_max("time"),
+            epoch: field_max("epoch"),
+            sum: field_max("sum"),
+        };
         let logn = (n as f64).log2();
         let states = max.state_count_estimate() as f64;
         let log4 = logn.powi(4);

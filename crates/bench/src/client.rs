@@ -1,0 +1,178 @@
+//! Minimal HTTP client for the `pp-server` sweep service.
+//!
+//! Backs the `sweep submit|status|watch|fetch` subcommands. Hand-rolled
+//! on `std::net::TcpStream` like the server itself: one request per
+//! connection, `Connection: close`, no external dependencies. Server
+//! addresses are accepted as `http://host:port` or bare `host:port`.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+
+use pp_sweep::json;
+
+/// Normalizes a server argument to a `host:port` dial string.
+pub fn server_addr(url: &str) -> String {
+    url.trim_start_matches("http://")
+        .trim_end_matches('/')
+        .to_string()
+}
+
+/// One-shot request; returns `(status code, body)`.
+///
+/// # Errors
+///
+/// Connection or protocol failures, described for the CLI user.
+pub fn request(addr: &str, method: &str, path: &str, body: &str) -> Result<(u16, String), String> {
+    let mut stream =
+        TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .map_err(|e| format!("cannot send request: {e}"))?;
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .map_err(|e| format!("cannot read response: {e}"))?;
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("malformed response from {addr}"))?;
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    Ok((status, body))
+}
+
+fn expect_ok(result: (u16, String)) -> Result<String, String> {
+    let (status, body) = result;
+    if (200..300).contains(&status) {
+        Ok(body)
+    } else {
+        Err(format!("server said {status}: {}", body.trim()))
+    }
+}
+
+/// Submits a spec file; returns the job id (already-existing jobs count
+/// as success — submission is idempotent on the grid fingerprint).
+///
+/// # Errors
+///
+/// Unreadable spec files, connection failures, or server rejections.
+pub fn submit(addr: &str, spec_path: &str) -> Result<String, String> {
+    let spec =
+        std::fs::read_to_string(spec_path).map_err(|e| format!("cannot read {spec_path}: {e}"))?;
+    let body = expect_ok(request(addr, "POST", "/jobs", &spec)?)?;
+    let doc = json::parse(&body)?;
+    doc.get("id")
+        .and_then(|v| v.as_str())
+        .map(str::to_string)
+        .ok_or_else(|| format!("response has no job id: {body}"))
+}
+
+/// Fetches a job's status document (raw JSON).
+///
+/// # Errors
+///
+/// Connection failures or unknown jobs.
+pub fn status(addr: &str, id: &str) -> Result<String, String> {
+    expect_ok(request(addr, "GET", &format!("/jobs/{id}"), "")?)
+}
+
+/// Follows a job's SSE stream until the terminal event, echoing frames
+/// to stderr. Returns the job's final state (`done`, `failed`,
+/// `cancelled`).
+///
+/// # Errors
+///
+/// Connection failures or a stream that ends without a terminal event.
+pub fn watch(addr: &str, id: &str) -> Result<String, String> {
+    let mut stream =
+        TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    write!(
+        stream,
+        "GET /jobs/{id}/events HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )
+    .map_err(|e| format!("cannot send request: {e}"))?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    // Status line + headers.
+    reader
+        .read_line(&mut line)
+        .map_err(|e| format!("cannot read response: {e}"))?;
+    if !line.contains("200") {
+        return Err(format!("server refused the stream: {}", line.trim()));
+    }
+    loop {
+        line.clear();
+        reader
+            .read_line(&mut line)
+            .map_err(|e| format!("cannot read headers: {e}"))?;
+        if line.trim_end().is_empty() {
+            break;
+        }
+    }
+    // SSE frames: `event:` names the frame, `data:` carries its payload.
+    let mut event = String::new();
+    loop {
+        line.clear();
+        let n = reader
+            .read_line(&mut line)
+            .map_err(|e| format!("stream read failed: {e}"))?;
+        if n == 0 {
+            return Err("stream closed without a terminal event".into());
+        }
+        let trimmed = line.trim_end();
+        if let Some(name) = trimmed.strip_prefix("event: ") {
+            event = name.to_string();
+            continue;
+        }
+        let Some(data) = trimmed.strip_prefix("data: ") else {
+            continue; // blank separators and `: hb` heartbeats
+        };
+        eprintln!("[{event}] {data}");
+        if event == "done" {
+            let doc = json::parse(data)?;
+            return doc
+                .get("state")
+                .and_then(|v| v.as_str())
+                .map(str::to_string)
+                .ok_or_else(|| format!("terminal event has no state: {data}"));
+        }
+    }
+}
+
+/// Downloads a finished job's report artifacts into `out_dir`
+/// (`summary.csv`, `trials.csv`, `report.json`, and `counters.csv` when
+/// the job carried telemetry). Returns the written paths.
+///
+/// # Errors
+///
+/// Connection failures, jobs that are not done yet (`409`), or IO.
+pub fn fetch(addr: &str, id: &str, out_dir: &Path) -> Result<Vec<PathBuf>, String> {
+    std::fs::create_dir_all(out_dir)
+        .map_err(|e| format!("cannot create {}: {e}", out_dir.display()))?;
+    let mut written = Vec::new();
+    for (file, required) in [
+        ("summary.csv", true),
+        ("trials.csv", true),
+        ("report.json", true),
+        ("counters.csv", false),
+    ] {
+        let (code, body) = request(addr, "GET", &format!("/jobs/{id}/{file}"), "")?;
+        if !(200..300).contains(&code) {
+            if required {
+                return Err(format!("cannot fetch {file}: server said {code}: {body}"));
+            }
+            continue; // counters are optional (PP_METRICS=off jobs)
+        }
+        let path = out_dir.join(file);
+        std::fs::write(&path, body).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        written.push(path);
+    }
+    Ok(written)
+}

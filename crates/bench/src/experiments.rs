@@ -16,14 +16,14 @@
 //! entry below).
 
 use pp_analysis::balls_bins::{simulate_balls_bins, simulate_worst_case_consumption};
-use pp_analysis::geometric::max_geometric_sample;
+use pp_analysis::geometric::{logsize2_band, max_geometric_sample};
 use pp_analysis::subexp::d10_min_k;
 use pp_baselines::alistarh::weak_estimate;
 use pp_baselines::exact_backup::run_backup;
 use pp_baselines::exact_leader::run_exact_count;
 use pp_baselines::intro_functions::{double_time, halve_time};
 use pp_core::leader::terminating_in_mode;
-use pp_core::log_size::{estimate_in_mode, estimate_with, LogSizeEstimation};
+use pp_core::log_size::{estimate_in_mode, estimate_log_size, estimate_with, LogSizeEstimation};
 use pp_core::partition::run_partition;
 use pp_core::upper_bound::estimate_upper_bound;
 use pp_engine::epidemic::{InfectionEpidemic, SubState, SubpopulationEpidemic};
@@ -66,6 +66,8 @@ pub fn names() -> &'static [&'static str] {
         "exact_leader_count",
         "leader_termination",
         "counter_signal",
+        "logsize2_band",
+        "state_bounds",
         "partition",
         "geometric_maxima",
         "intro_functions",
@@ -211,6 +213,37 @@ pub fn experiment(name: &str) -> Option<SweepExperiment> {
         "counter_signal" => SweepExperiment::new("counter_signal", &["time"], |ctx| {
             vec![counter_signal_trial(ctx.n, 8, ctx.seed)]
         }),
+        // Lemma 3.8 logSize2 band, protocol-in-the-loop: the value the
+        // full protocol settles on and whether it landed inside
+        // `[log n − log ln n, 2 log n + 1]` (the fast Monte-Carlo half of
+        // the lemma's table stays in its harness binary — it samples raw
+        // geometrics, not a population).
+        "logsize2_band" => SweepExperiment::new("logsize2_band", &["logsize2", "in_band"], |ctx| {
+            let v = estimate_log_size(ctx.n as usize, ctx.seed, None)
+                .maxima
+                .log_size2 as f64;
+            let (lo, hi) = logsize2_band(ctx.n);
+            vec![v, f64::from(v >= lo && v <= hi)]
+        }),
+        // Lemma 3.9 field ranges: the per-trial maxima of every
+        // `Log-Size-Estimation` field plus the implied state-count
+        // estimate. The harness binary folds the across-trial maxima back
+        // into a `FieldMaxima` for the `O(log⁴ n)` table.
+        "state_bounds" => SweepExperiment::new(
+            "state_bounds",
+            &["log_size2", "gr", "time", "epoch", "sum", "states"],
+            |ctx| {
+                let maxima = estimate_log_size(ctx.n as usize, ctx.seed, None).maxima;
+                vec![
+                    maxima.log_size2 as f64,
+                    maxima.gr as f64,
+                    maxima.time as f64,
+                    maxima.epoch as f64,
+                    maxima.sum as f64,
+                    maxima.state_count_estimate() as f64,
+                ]
+            },
+        ),
         // Lemma 3.2 / Corollary 3.3 role partition: |A|, its absolute
         // deviation from n/2, and the completion time. Runs on the count
         // engines (batched at scale).

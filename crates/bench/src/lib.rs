@@ -28,6 +28,7 @@ use std::path::PathBuf;
 
 use pp_sweep::SweepSpec;
 
+pub mod client;
 pub mod experiments;
 
 /// The workspace root (compile-time anchor: two levels above this
@@ -69,8 +70,9 @@ pub fn write_csv(name: &str, header: &[&str], rows: &[Vec<String>]) {
     println!("\n[csv] {}", path.display());
 }
 
-/// Prints an aligned text table.
-pub fn print_table(header: &[&str], rows: &[Vec<String>]) {
+/// Renders an aligned text table to a string (the form the report
+/// renderers unit-test against).
+pub fn table_string(header: &[&str], rows: &[Vec<String>]) -> String {
     let cols = header.len();
     let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
     for row in rows {
@@ -78,20 +80,27 @@ pub fn print_table(header: &[&str], rows: &[Vec<String>]) {
             widths[i] = widths[i].max(cell.len());
         }
     }
-    let print_row = |cells: &[String]| {
+    let mut out = String::new();
+    let mut push_row = |cells: &[String]| {
         let line: Vec<String> = cells
             .iter()
             .enumerate()
             .map(|(i, c)| format!("{c:>width$}", width = widths[i]))
             .collect();
-        println!("  {}", line.join("  "));
+        out.push_str(&format!("  {}\n", line.join("  ")));
     };
-    print_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    push_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>());
     let rule: Vec<String> = widths.iter().map(|&w| "-".repeat(w)).collect();
-    print_row(&rule);
+    push_row(&rule);
     for row in rows {
-        print_row(row);
+        push_row(row);
     }
+    out
+}
+
+/// Prints an aligned text table.
+pub fn print_table(header: &[&str], rows: &[Vec<String>]) {
+    print!("{}", table_string(header, rows));
 }
 
 /// Renders a scatter of `(x, y)` points as ASCII art with a log-scaled x

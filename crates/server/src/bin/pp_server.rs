@@ -1,0 +1,120 @@
+//! `pp-server` — the durable sweep job service daemon.
+//!
+//! ```text
+//! pp-server [--port N] [--port-file PATH] [--jobs-dir DIR]
+//!           [--workers N] [--http-pool N] [--max-retries N]
+//! ```
+//!
+//! * `--port 0` (the default) binds an ephemeral loopback port;
+//!   `--port-file` writes the bound port as decimal text once listening,
+//!   so scripts can start the server and discover the address racelessly.
+//! * `--jobs-dir` sets the store root; defaults to `PP_JOBS_DIR`
+//!   (see `pp_engine::env::jobs_dir`) and then `<workspace>/jobs`.
+//! * `--workers` sweep workers (default 1 — jobs run one at a time, in
+//!   submission order; each sweep still parallelizes per its spec).
+//! * `--max-retries` applied to specs that do not set their own.
+//!
+//! Experiments are resolved through the shared `pp_bench::experiments`
+//! registry, so any spec the `sweep` CLI accepts is accepted here too.
+
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::process::exit;
+
+use pp_server::{http, Service, ServiceConfig};
+
+fn die(msg: &str) -> ! {
+    eprintln!("pp-server: {msg}");
+    exit(2);
+}
+
+struct Args {
+    port: u16,
+    port_file: Option<PathBuf>,
+    jobs_dir: PathBuf,
+    workers: usize,
+    http_pool: usize,
+    max_retries: usize,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: pp-server [--port N] [--port-file PATH] [--jobs-dir DIR] \
+         [--workers N] [--http-pool N] [--max-retries N]"
+    );
+    exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        port: 0,
+        port_file: None,
+        jobs_dir: pp_engine::env::jobs_dir()
+            .unwrap_or_else(|| pp_bench::workspace_root().join("jobs")),
+        workers: 1,
+        http_pool: 8,
+        max_retries: 0,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| die(&format!("{name} needs a value")))
+        };
+        match flag.as_str() {
+            "--port" => {
+                args.port = value("--port")
+                    .parse()
+                    .unwrap_or_else(|_| die("--port must be a u16"));
+            }
+            "--port-file" => args.port_file = Some(PathBuf::from(value("--port-file"))),
+            "--jobs-dir" => args.jobs_dir = PathBuf::from(value("--jobs-dir")),
+            "--workers" => {
+                args.workers = value("--workers")
+                    .parse()
+                    .unwrap_or_else(|_| die("--workers must be a positive integer"));
+            }
+            "--http-pool" => {
+                args.http_pool = value("--http-pool")
+                    .parse()
+                    .unwrap_or_else(|_| die("--http-pool must be a positive integer"));
+            }
+            "--max-retries" => {
+                args.max_retries = value("--max-retries")
+                    .parse()
+                    .unwrap_or_else(|_| die("--max-retries must be an integer"));
+            }
+            "--help" | "-h" => usage(),
+            other => die(&format!("unknown flag {other:?}")),
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let service = Service::open(
+        ServiceConfig {
+            jobs_dir: args.jobs_dir.clone(),
+            workers: args.workers,
+            default_max_retries: args.max_retries,
+        },
+        Box::new(|spec| pp_bench::experiments::build(&spec.experiments)),
+    )
+    .unwrap_or_else(|e| die(&e));
+    service.start();
+    let listener = TcpListener::bind(("127.0.0.1", args.port))
+        .unwrap_or_else(|e| die(&format!("cannot bind 127.0.0.1:{}: {e}", args.port)));
+    let addr = listener
+        .local_addr()
+        .unwrap_or_else(|e| die(&format!("cannot read bound address: {e}")));
+    if let Some(port_file) = &args.port_file {
+        std::fs::write(port_file, format!("{}\n", addr.port()))
+            .unwrap_or_else(|e| die(&format!("cannot write port file: {e}")));
+    }
+    eprintln!(
+        "[server] listening on http://{addr} (jobs dir {})",
+        args.jobs_dir.display()
+    );
+    http::serve(service, listener, args.http_pool);
+}

@@ -1,0 +1,267 @@
+//! Hand-rolled HTTP/1.1 front end for the job service.
+//!
+//! `std::net::TcpListener` + a small fixed thread pool; no async runtime,
+//! no external dependencies. Every response is `Connection: close` — one
+//! request per connection keeps the parser trivial and is plenty for a
+//! lab service. Server-sent-event streams hold their pool thread until
+//! the job reaches a terminal state (the `done` event closes the stream),
+//! so the pool is sized larger than the worker pool.
+//!
+//! # Routes
+//!
+//! | Method + path            | Meaning                                         |
+//! |--------------------------|-------------------------------------------------|
+//! | `GET /healthz`           | liveness probe (`ok`)                           |
+//! | `GET /metrics`           | telemetry + service gauges, greppable text      |
+//! | `POST /jobs`             | submit a TOML/JSON sweep spec (idempotent)      |
+//! | `GET /jobs`              | list jobs in submission order                   |
+//! | `GET /jobs/:id`          | full status: state, Welford progress, counters  |
+//! | `GET /jobs/:id/events`   | SSE: `progress` catch-up, `trial`s, `done`      |
+//! | `GET /jobs/:id/report.json` | the job's `sweep.json` report                |
+//! | `GET /jobs/:id/report.csv`  | the job's summary CSV (alias `summary.csv`)  |
+//! | `GET /jobs/:id/trials.csv`  | the per-trial CSV                            |
+//! | `GET /jobs/:id/counters.csv`| the counters CSV (only if instrumented)      |
+//! | `DELETE /jobs/:id`       | cancel a live job / delete a terminal one       |
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crate::service::{CancelOutcome, Service};
+use crate::store::JobState;
+use pp_sweep::json;
+
+/// Heartbeat cadence for idle SSE streams (comment frames keep proxies
+/// and half-dead clients honest).
+const SSE_HEARTBEAT: Duration = Duration::from_millis(1000);
+
+/// A parsed request: method, path (query string stripped), and body.
+#[derive(Debug)]
+struct Request {
+    method: String,
+    path: String,
+    body: String,
+}
+
+/// Reads one HTTP/1.1 request. Only `Content-Length` bodies are
+/// supported (no chunked encoding — our clients never send it).
+fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .map_err(|e| format!("read request line: {e}"))?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next().unwrap_or("").to_string();
+    let path = parts.next().unwrap_or("").to_string();
+    if method.is_empty() || path.is_empty() {
+        return Err("malformed request line".into());
+    }
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        reader
+            .read_line(&mut header)
+            .map_err(|e| format!("read header: {e}"))?;
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| "bad Content-Length".to_string())?;
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader
+        .read_exact(&mut body)
+        .map_err(|e| format!("read body: {e}"))?;
+    let body = String::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+    let path = path.split('?').next().unwrap_or("").to_string();
+    Ok(Request { method, path, body })
+}
+
+/// Writes a complete response and flushes. Errors are ignored — a client
+/// that hung up mid-response is its own problem.
+fn respond(stream: &mut TcpStream, status: &str, content_type: &str, body: &str) {
+    let _ = write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.flush();
+}
+
+fn respond_json(stream: &mut TcpStream, status: &str, body: &str) {
+    respond(stream, status, "application/json", body);
+}
+
+fn error_body(message: &str) -> String {
+    let mut out = String::from("{\"error\":");
+    json::write_str(&mut out, message);
+    out.push('}');
+    out
+}
+
+/// Serves `listener` until the process exits. `pool` threads handle
+/// connections; the accept loop itself never does protocol work.
+pub fn serve(service: Arc<Service>, listener: TcpListener, pool: usize) -> ! {
+    let (tx, rx) = mpsc::channel::<TcpStream>();
+    let rx = Arc::new(Mutex::new(rx));
+    for worker in 0..pool.max(2) {
+        let service = Arc::clone(&service);
+        let rx = Arc::clone(&rx);
+        std::thread::Builder::new()
+            .name(format!("pp-http-{worker}"))
+            .spawn(move || loop {
+                let stream = {
+                    let rx = rx.lock().unwrap_or_else(|e| e.into_inner());
+                    rx.recv()
+                };
+                let Ok(stream) = stream else { return };
+                handle_connection(&service, stream);
+            })
+            .expect("cannot spawn http worker");
+    }
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if tx.send(stream).is_err() {
+                    unreachable!("http pool receiver outlives the accept loop");
+                }
+            }
+            Err(e) => eprintln!("[server] accept: {e}"),
+        }
+    }
+}
+
+/// Parses and dispatches one connection; never panics outward.
+fn handle_connection(service: &Arc<Service>, mut stream: TcpStream) {
+    let request = match read_request(&mut stream) {
+        Ok(request) => request,
+        Err(e) => {
+            respond_json(&mut stream, "400 Bad Request", &error_body(&e));
+            return;
+        }
+    };
+    route(service, &mut stream, &request);
+}
+
+fn route(service: &Arc<Service>, stream: &mut TcpStream, request: &Request) {
+    let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (request.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => respond(stream, "200 OK", "text/plain", "ok\n"),
+        ("GET", ["metrics"]) => {
+            respond(stream, "200 OK", "text/plain", &service.metrics_text());
+        }
+        ("POST", ["jobs"]) => match service.submit(&request.body) {
+            Ok((job, created)) => {
+                let status = if created { "201 Created" } else { "200 OK" };
+                respond_json(stream, status, &job.status_json());
+            }
+            Err(e) => respond_json(stream, "400 Bad Request", &error_body(&e)),
+        },
+        ("GET", ["jobs"]) => {
+            let mut out = String::from("{\"jobs\":[");
+            for (i, job) in service.jobs().iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&job.list_json());
+            }
+            out.push_str("]}");
+            respond_json(stream, "200 OK", &out);
+        }
+        ("GET", ["jobs", id]) => match service.job(id) {
+            Some(job) => respond_json(stream, "200 OK", &job.status_json()),
+            None => respond_json(stream, "404 Not Found", &error_body("no such job")),
+        },
+        ("GET", ["jobs", id, "events"]) => match service.job(id) {
+            Some(job) => stream_events(stream, &job),
+            None => respond_json(stream, "404 Not Found", &error_body("no such job")),
+        },
+        ("GET", ["jobs", id, file]) => serve_report(service, stream, id, file),
+        ("DELETE", ["jobs", id]) => match service.cancel_or_delete(id) {
+            CancelOutcome::Cancelled => {
+                respond_json(stream, "202 Accepted", "{\"state\":\"cancelling\"}");
+            }
+            CancelOutcome::Deleted => respond_json(stream, "200 OK", "{\"deleted\":true}"),
+            CancelOutcome::NotFound => {
+                respond_json(stream, "404 Not Found", &error_body("no such job"));
+            }
+        },
+        _ => respond_json(stream, "404 Not Found", &error_body("no such route")),
+    }
+}
+
+/// Serves one of the job's report artifacts. Reports exist only once the
+/// job is `done`; earlier requests get `409 Conflict` so pollers can
+/// distinguish "not yet" from "never".
+fn serve_report(service: &Arc<Service>, stream: &mut TcpStream, id: &str, file: &str) {
+    let Some(job) = service.job(id) else {
+        respond_json(stream, "404 Not Found", &error_body("no such job"));
+        return;
+    };
+    let (disk_name, content_type) = match file {
+        "report.json" => ("report.json", "application/json"),
+        "report.csv" | "summary.csv" => ("summary.csv", "text/csv"),
+        "trials.csv" => ("trials.csv", "text/csv"),
+        "counters.csv" => ("counters.csv", "text/csv"),
+        _ => {
+            respond_json(stream, "404 Not Found", &error_body("no such report"));
+            return;
+        }
+    };
+    if job.state() != JobState::Done {
+        respond_json(
+            stream,
+            "409 Conflict",
+            &error_body("job is not done; no report yet"),
+        );
+        return;
+    }
+    match std::fs::read_to_string(job.dir.join(disk_name)) {
+        Ok(body) => respond(stream, "200 OK", content_type, &body),
+        Err(_) => respond_json(stream, "404 Not Found", &error_body("report file missing")),
+    }
+}
+
+/// Streams a job's events until it reaches a terminal state or the
+/// client hangs up. Frames come pre-rendered from the service; idle gaps
+/// are filled with comment heartbeats.
+fn stream_events(stream: &mut TcpStream, job: &Arc<crate::service::JobHandle>) {
+    let (rx, _terminal) = job.subscribe();
+    if write!(
+        stream,
+        "HTTP/1.1 200 OK\r\nContent-Type: text/event-stream\r\nCache-Control: no-store\r\nConnection: close\r\n\r\n"
+    )
+    .is_err()
+    {
+        return;
+    }
+    loop {
+        let frame = match rx.recv_timeout(SSE_HEARTBEAT) {
+            Ok(frame) => frame,
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if stream.write_all(b": hb\n\n").is_err() || stream.flush().is_err() {
+                    return;
+                }
+                continue;
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => return,
+        };
+        let is_done = frame.starts_with("event: done\n");
+        if stream.write_all(frame.as_bytes()).is_err() || stream.flush().is_err() {
+            return;
+        }
+        if is_done {
+            return;
+        }
+    }
+}

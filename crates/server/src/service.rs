@@ -1,0 +1,627 @@
+//! The job service: queue, worker pool, and per-job runtime state.
+//!
+//! A [`Service`] owns the [`JobStore`], an in-memory index of
+//! [`JobHandle`]s, and a FIFO queue drained by a pool of worker threads.
+//! Workers drive [`pp_sweep::run_sweep_with`] with hooks: every landed
+//! trial updates the job's Welford progress and counter aggregates and is
+//! broadcast to SSE subscribers; the job's cancel flag is honored at
+//! trial boundaries. The experiment registry is injected as a
+//! [`Resolver`] so the service layer stays independent of any particular
+//! experiment catalogue (the `pp-server` binary wires
+//! `pp_bench::experiments::build`; tests wire toy closures).
+
+use std::collections::{BTreeMap, VecDeque};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+use pp_analysis::stats::Running;
+use pp_sweep::{
+    emit, grid_fingerprint, grid_total_trials, json, run_sweep_with, RunHooks, SweepExperiment,
+    SweepSpec, TrialEvent,
+};
+use pp_telemetry::{Counter, Metrics};
+
+use crate::store::{JobState, JobStore, StoredJob};
+
+/// Maps a parsed spec to its experiment closures. Must be deterministic:
+/// it is called at submit (validation + fingerprint) and again at run.
+pub type Resolver = dyn Fn(&SweepSpec) -> Result<Vec<SweepExperiment>, String> + Send + Sync;
+
+/// Service construction parameters.
+pub struct ServiceConfig {
+    /// Root of the directory-per-job store.
+    pub jobs_dir: PathBuf,
+    /// Job worker threads (each runs one sweep at a time; the sweep
+    /// itself parallelizes across trials per its spec).
+    pub workers: usize,
+    /// `max_retries` applied to specs that do not set their own.
+    pub default_max_retries: usize,
+}
+
+/// Formats one server-sent event frame.
+pub fn sse_event(event: &str, data: &str) -> String {
+    format!("event: {event}\ndata: {data}\n\n")
+}
+
+/// Per-grid-point labels, fixed at run start: experiment, size, metrics.
+type PointMeta = (String, u64, Vec<String>);
+
+/// Mutable per-job state, guarded by the handle's mutex.
+struct JobInner {
+    state: JobState,
+    detail: Option<String>,
+    completed: usize,
+    resumed: usize,
+    failed: usize,
+    /// Point labels in canonical grid order (filled at run start).
+    points_meta: Vec<PointMeta>,
+    /// Welford accumulators keyed by `(point, metric index)`.
+    progress: BTreeMap<(usize, usize), Running>,
+    /// Counter totals across landed trials, keyed by counter name.
+    counters: BTreeMap<String, u64>,
+}
+
+/// One job's identity plus runtime state. Shared between the queue,
+/// the workers, and the HTTP layer via `Arc`.
+pub struct JobHandle {
+    /// `<seq:06>-<fingerprint:016x>`.
+    pub id: String,
+    /// Submission sequence number.
+    pub seq: u64,
+    /// Grid fingerprint of the spec.
+    pub fingerprint: u64,
+    /// Sweep name.
+    pub name: String,
+    /// Total trials in the grid.
+    pub total: usize,
+    /// The submitted spec body.
+    pub spec_text: String,
+    /// The job's directory in the store.
+    pub dir: PathBuf,
+    /// Cooperative cancellation; checked at trial boundaries.
+    pub cancel: AtomicBool,
+    inner: Mutex<JobInner>,
+    subscribers: Mutex<Vec<mpsc::Sender<String>>>,
+}
+
+impl JobHandle {
+    fn new(stored: StoredJob) -> Self {
+        Self {
+            id: stored.id,
+            seq: stored.seq,
+            fingerprint: stored.fingerprint,
+            name: stored.name,
+            total: stored.total,
+            spec_text: stored.spec_text,
+            dir: stored.dir,
+            cancel: AtomicBool::new(false),
+            inner: Mutex::new(JobInner {
+                state: stored.state,
+                detail: stored.detail,
+                completed: 0,
+                resumed: 0,
+                failed: 0,
+                points_meta: Vec::new(),
+                progress: BTreeMap::new(),
+                counters: BTreeMap::new(),
+            }),
+            subscribers: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn lock_inner(&self) -> MutexGuard<'_, JobInner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The job's current lifecycle state.
+    pub fn state(&self) -> JobState {
+        self.lock_inner().state
+    }
+
+    /// One-line list entry: `{"id":…,"name":…,"state":…,"completed":…,"total":…}`.
+    pub fn list_json(&self) -> String {
+        let inner = self.lock_inner();
+        let mut out = String::from("{\"id\":");
+        json::write_str(&mut out, &self.id);
+        out.push_str(",\"name\":");
+        json::write_str(&mut out, &self.name);
+        out.push_str(&format!(
+            ",\"state\":\"{}\",\"completed\":{},\"total\":{}}}",
+            inner.state.name(),
+            inner.completed,
+            self.total
+        ));
+        out
+    }
+
+    /// Full status document: identity, state, progress (per-metric
+    /// Welford mean ± CI95), and aggregated nonzero counters.
+    pub fn status_json(&self) -> String {
+        let inner = self.lock_inner();
+        self.status_json_locked(&inner)
+    }
+
+    fn status_json_locked(&self, inner: &JobInner) -> String {
+        let mut out = String::from("{\"id\":");
+        json::write_str(&mut out, &self.id);
+        out.push_str(",\"name\":");
+        json::write_str(&mut out, &self.name);
+        out.push_str(&format!(
+            ",\"state\":\"{}\",\"fingerprint\":\"{:016x}\",\"total\":{},\"completed\":{},\
+             \"resumed\":{},\"failed\":{}",
+            inner.state.name(),
+            self.fingerprint,
+            self.total,
+            inner.completed,
+            inner.resumed,
+            inner.failed
+        ));
+        if let Some(detail) = &inner.detail {
+            out.push_str(",\"detail\":");
+            json::write_str(&mut out, detail);
+        }
+        out.push_str(",\"progress\":[");
+        let mut first = true;
+        for (&(point, metric_idx), running) in &inner.progress {
+            let Some((exp, n, metrics)) = inner.points_meta.get(point) else {
+                continue;
+            };
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str("{\"experiment\":");
+            json::write_str(&mut out, exp);
+            out.push_str(&format!(",\"n\":{n},\"metric\":"));
+            json::write_str(&mut out, &metrics[metric_idx]);
+            out.push_str(&format!(",\"count\":{},\"mean\":", running.count()));
+            json::write_f64(&mut out, running.mean());
+            out.push_str(",\"ci95\":");
+            json::write_f64(&mut out, running.ci95_half_width());
+            out.push('}');
+        }
+        out.push_str("],\"counters\":{");
+        for (i, (name, v)) in inner.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::write_str(&mut out, name);
+            out.push_str(&format!(":{v}"));
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Registers an SSE subscriber. The returned receiver is primed with
+    /// a `progress` catch-up event (and, for already-terminal jobs, the
+    /// terminal `done` event). Returns `(receiver, already_terminal)`.
+    pub fn subscribe(&self) -> (mpsc::Receiver<String>, bool) {
+        let (tx, rx) = mpsc::channel();
+        // Lock order subscribers → inner, the reverse of the broadcast
+        // path (which drops `inner` before taking `subscribers`): holding
+        // the subscriber list here means no terminal event can slip
+        // between the catch-up snapshot and the registration.
+        let mut subs = self.subscribers.lock().unwrap_or_else(|e| e.into_inner());
+        let inner = self.lock_inner();
+        let status = self.status_json_locked(&inner);
+        let terminal = inner.state.is_terminal();
+        drop(inner);
+        let _ = tx.send(sse_event("progress", &status));
+        if terminal {
+            let _ = tx.send(sse_event("done", &status));
+        } else {
+            subs.push(tx);
+        }
+        (rx, terminal)
+    }
+
+    /// Sends one pre-rendered frame to every live subscriber, dropping
+    /// the ones that hung up. Never called with `inner` held.
+    fn broadcast(&self, msg: &str) {
+        let mut subs = self.subscribers.lock().unwrap_or_else(|e| e.into_inner());
+        subs.retain(|tx| tx.send(msg.to_string()).is_ok());
+    }
+
+    /// Applies one landed trial: progress, counters, and the SSE frame.
+    fn observe(&self, ev: &TrialEvent<'_>, service: &Service) {
+        {
+            let mut inner = self.lock_inner();
+            inner.completed = ev.completed;
+            if ev.resumed {
+                inner.resumed += 1;
+            }
+            for (idx, &v) in ev.values.iter().enumerate() {
+                if !v.is_nan() {
+                    inner.progress.entry((ev.point, idx)).or_default().push(v);
+                }
+            }
+            for (name, v) in ev.counters {
+                *inner.counters.entry(name.clone()).or_insert(0) += v;
+            }
+        }
+        if !ev.resumed {
+            // Only freshly executed trials feed the service-wide /metrics
+            // registry: it measures work this process actually did.
+            service.trials_executed.fetch_add(1, Ordering::Relaxed);
+            for (name, v) in ev.counters {
+                if let Some(c) = Counter::from_name(name) {
+                    service.metrics.add(c, *v);
+                }
+            }
+        }
+        let mut data = String::from("{\"experiment\":");
+        json::write_str(&mut data, ev.experiment);
+        data.push_str(&format!(
+            ",\"n\":{},\"trial\":{},\"seed\":{},\"values\":[",
+            ev.n, ev.trial, ev.seed
+        ));
+        for (i, &v) in ev.values.iter().enumerate() {
+            if i > 0 {
+                data.push(',');
+            }
+            json::write_f64(&mut data, v);
+        }
+        data.push_str(&format!(
+            "],\"resumed\":{},\"completed\":{},\"total\":{}}}",
+            ev.resumed, ev.completed, ev.total
+        ));
+        self.broadcast(&sse_event("trial", &data));
+    }
+}
+
+/// Outcome of a `DELETE /jobs/:id`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelOutcome {
+    /// The job was queued or running and is now cancelled (journal kept).
+    Cancelled,
+    /// The job was already terminal; its directory was deleted.
+    Deleted,
+    /// No such job.
+    NotFound,
+}
+
+/// The long-running sweep job service.
+pub struct Service {
+    store: JobStore,
+    resolver: Box<Resolver>,
+    jobs: Mutex<BTreeMap<String, Arc<JobHandle>>>,
+    queue: Mutex<VecDeque<String>>,
+    queue_cv: Condvar,
+    next_seq: AtomicU64,
+    workers: usize,
+    default_max_retries: usize,
+    metrics: Metrics,
+    jobs_submitted: AtomicU64,
+    trials_executed: AtomicU64,
+}
+
+impl Service {
+    /// Opens the store, restores every job, and re-enqueues the ones a
+    /// previous process left `queued` or `running` (their journals make
+    /// the re-run a resume). Does **not** start workers; call
+    /// [`Service::start`].
+    ///
+    /// # Errors
+    ///
+    /// Store IO failures.
+    pub fn open(config: ServiceConfig, resolver: Box<Resolver>) -> Result<Arc<Self>, String> {
+        let store = JobStore::open(config.jobs_dir)?;
+        let restored = store.load_all()?;
+        let mut jobs = BTreeMap::new();
+        let mut queue = VecDeque::new();
+        let mut next_seq = 1;
+        for stored in restored {
+            next_seq = next_seq.max(stored.seq + 1);
+            let interrupted = !stored.state.is_terminal();
+            let id = stored.id.clone();
+            let handle = Arc::new(JobHandle::new(stored));
+            if interrupted {
+                // Make the recovery durable so a crash loop converges.
+                if handle.state() != JobState::Queued {
+                    store.append_state(&id, JobState::Queued, None)?;
+                    handle.lock_inner().state = JobState::Queued;
+                }
+                eprintln!("[server] recovered interrupted job {id}; re-queued");
+                queue.push_back(id.clone());
+            }
+            jobs.insert(id, handle);
+        }
+        Ok(Arc::new(Self {
+            store,
+            resolver,
+            jobs: Mutex::new(jobs),
+            queue: Mutex::new(queue),
+            queue_cv: Condvar::new(),
+            next_seq: AtomicU64::new(next_seq),
+            workers: config.workers.max(1),
+            default_max_retries: config.default_max_retries,
+            metrics: Metrics::new(),
+            jobs_submitted: AtomicU64::new(0),
+            trials_executed: AtomicU64::new(0),
+        }))
+    }
+
+    /// Spawns the worker pool (detached threads; they live as long as the
+    /// process).
+    pub fn start(self: &Arc<Self>) {
+        for worker in 0..self.workers {
+            let service = Arc::clone(self);
+            std::thread::Builder::new()
+                .name(format!("pp-job-worker-{worker}"))
+                .spawn(move || service.worker_loop())
+                .expect("cannot spawn job worker");
+        }
+    }
+
+    /// The store root (for logs and tests).
+    pub fn jobs_dir(&self) -> PathBuf {
+        self.store.root().to_path_buf()
+    }
+
+    /// Submits a spec body (TOML or JSON). Idempotent on the grid
+    /// fingerprint: an identical spec returns the existing job
+    /// (`created = false`); a `failed`/`cancelled` twin is re-queued so
+    /// the resubmission resumes it from its journal.
+    ///
+    /// # Errors
+    ///
+    /// Unparsable specs, unknown experiments, empty grids, store IO.
+    pub fn submit(&self, body: &str) -> Result<(Arc<JobHandle>, bool), String> {
+        let spec = SweepSpec::parse_str(body)?;
+        if spec.experiments.is_empty() {
+            return Err("spec names no experiments".into());
+        }
+        let experiments = (self.resolver)(&spec)?;
+        let fingerprint = grid_fingerprint(&spec, &experiments);
+        let total = grid_total_trials(&spec, &experiments);
+        self.jobs_submitted.fetch_add(1, Ordering::Relaxed);
+        let mut jobs = self.jobs.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(job) = jobs.values().find(|j| j.fingerprint == fingerprint) {
+            let job = Arc::clone(job);
+            let requeue = {
+                let mut inner = job.lock_inner();
+                if matches!(inner.state, JobState::Failed | JobState::Cancelled) {
+                    inner.state = JobState::Queued;
+                    inner.detail = None;
+                    true
+                } else {
+                    false
+                }
+            };
+            if requeue {
+                job.cancel.store(false, Ordering::Relaxed);
+                self.store.append_state(&job.id, JobState::Queued, None)?;
+                self.enqueue(job.id.clone());
+            }
+            return Ok((job, false));
+        }
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        let stored = self
+            .store
+            .create_job(seq, fingerprint, &spec.name, body, total)?;
+        let id = stored.id.clone();
+        let job = Arc::new(JobHandle::new(stored));
+        jobs.insert(id.clone(), Arc::clone(&job));
+        drop(jobs);
+        self.enqueue(id);
+        Ok((job, true))
+    }
+
+    fn enqueue(&self, id: String) {
+        self.queue
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push_back(id);
+        self.queue_cv.notify_one();
+    }
+
+    /// Every job, in submission order.
+    pub fn jobs(&self) -> Vec<Arc<JobHandle>> {
+        let jobs = self.jobs.lock().unwrap_or_else(|e| e.into_inner());
+        let mut all: Vec<Arc<JobHandle>> = jobs.values().cloned().collect();
+        all.sort_by_key(|j| j.seq);
+        all
+    }
+
+    /// Looks up one job.
+    pub fn job(&self, id: &str) -> Option<Arc<JobHandle>> {
+        self.jobs
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(id)
+            .cloned()
+    }
+
+    /// Cancels a live job (flag honored at the next trial boundary; the
+    /// journal stays a valid resume point) or deletes a terminal one.
+    pub fn cancel_or_delete(&self, id: &str) -> CancelOutcome {
+        let Some(job) = self.job(id) else {
+            return CancelOutcome::NotFound;
+        };
+        if job.state().is_terminal() {
+            if let Err(e) = self.store.delete(id) {
+                eprintln!("[server] {e}");
+            }
+            self.jobs
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .remove(id);
+            return CancelOutcome::Deleted;
+        }
+        job.cancel.store(true, Ordering::Relaxed);
+        // Still queued (no worker picked it up): finalize immediately.
+        let dequeued = {
+            let mut queue = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+            match queue.iter().position(|queued| queued == id) {
+                Some(pos) => {
+                    queue.remove(pos);
+                    true
+                }
+                None => false,
+            }
+        };
+        if dequeued {
+            self.finish(
+                &job,
+                JobState::Cancelled,
+                Some("cancelled while queued".into()),
+            );
+        }
+        CancelOutcome::Cancelled
+    }
+
+    /// The `GET /metrics` body: the engine-telemetry registry aggregated
+    /// over every trial this process executed, plus service-level gauges.
+    pub fn metrics_text(&self) -> String {
+        let mut out = self.metrics.render_text();
+        out.push_str(&format!(
+            "pp_server_jobs_submitted {}\n",
+            self.jobs_submitted.load(Ordering::Relaxed)
+        ));
+        out.push_str(&format!(
+            "pp_server_trials_executed {}\n",
+            self.trials_executed.load(Ordering::Relaxed)
+        ));
+        let mut by_state = [0usize; 5];
+        for job in self.jobs() {
+            by_state[job.state() as usize] += 1;
+        }
+        for (state, count) in [
+            JobState::Queued,
+            JobState::Running,
+            JobState::Done,
+            JobState::Failed,
+            JobState::Cancelled,
+        ]
+        .into_iter()
+        .zip(by_state)
+        {
+            out.push_str(&format!("pp_server_jobs_{} {count}\n", state.name()));
+        }
+        out
+    }
+
+    /// Worker thread body: pop a job id, run it, repeat.
+    fn worker_loop(self: Arc<Self>) {
+        loop {
+            let id = {
+                let mut queue = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+                loop {
+                    if let Some(id) = queue.pop_front() {
+                        break id;
+                    }
+                    queue = self.queue_cv.wait(queue).unwrap_or_else(|e| e.into_inner());
+                }
+            };
+            let Some(job) = self.job(&id) else { continue };
+            // A panic anywhere in the job driver must not kill the
+            // worker thread; record the job as failed instead.
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                self.run_job(&job);
+            }));
+            if result.is_err() {
+                self.finish(&job, JobState::Failed, Some("job driver panicked".into()));
+            }
+        }
+    }
+
+    /// Durable terminal/bookkeeping transition + `done` broadcast.
+    fn finish(&self, job: &Arc<JobHandle>, state: JobState, detail: Option<String>) {
+        let status = {
+            let mut inner = job.lock_inner();
+            inner.state = state;
+            inner.detail = detail.clone();
+            job.status_json_locked(&inner)
+        };
+        if let Err(e) = self.store.append_state(&job.id, state, detail.as_deref()) {
+            eprintln!("[server] job {}: cannot record state: {e}", job.id);
+        }
+        if state.is_terminal() {
+            job.broadcast(&sse_event("done", &status));
+        }
+    }
+
+    /// Drives one job to a terminal state.
+    fn run_job(&self, job: &Arc<JobHandle>) {
+        let mut spec = match SweepSpec::parse_str(&job.spec_text) {
+            Ok(spec) => spec,
+            Err(e) => return self.finish(job, JobState::Failed, Some(e)),
+        };
+        // The journal lives in the job directory regardless of what the
+        // spec asked for: the job directory IS the durable unit.
+        spec.journal = Some(job.dir.join("journal.jsonl"));
+        if spec.max_retries == 0 {
+            spec.max_retries = self.default_max_retries;
+        }
+        let experiments = match (self.resolver)(&spec) {
+            Ok(experiments) => experiments,
+            Err(e) => return self.finish(job, JobState::Failed, Some(e)),
+        };
+        let points_meta = points_meta(&spec, &experiments);
+        {
+            let mut inner = job.lock_inner();
+            inner.state = JobState::Running;
+            inner.detail = None;
+            inner.completed = 0;
+            inner.resumed = 0;
+            inner.failed = 0;
+            inner.points_meta = points_meta;
+            inner.progress.clear();
+            inner.counters.clear();
+        }
+        if let Err(e) = self.store.append_state(&job.id, JobState::Running, None) {
+            eprintln!("[server] job {}: cannot record state: {e}", job.id);
+        }
+        let on_trial = |ev: &TrialEvent<'_>| job.observe(ev, self);
+        let hooks = RunHooks {
+            on_trial: Some(&on_trial),
+            cancel: Some(&job.cancel),
+        };
+        match run_sweep_with(&spec, &experiments, &hooks) {
+            Ok(report) => {
+                // The report files are the same pure functions of the
+                // report the `sweep` CLI writes — that is the whole
+                // determinism story: fetched bytes ≡ local bytes.
+                let mut outputs = vec![
+                    ("summary.csv", emit::summary_csv(&report)),
+                    ("trials.csv", emit::per_trial_csv(&report)),
+                    ("report.json", emit::to_json(&report)),
+                ];
+                if report.has_counters() {
+                    outputs.push(("counters.csv", emit::counters_csv(&report)));
+                }
+                for (file, content) in outputs {
+                    if let Err(e) = std::fs::write(job.dir.join(file), content) {
+                        let detail = format!("cannot write {file}: {e}");
+                        return self.finish(job, JobState::Failed, Some(detail));
+                    }
+                }
+                job.lock_inner().failed = report.failed_trials;
+                let detail = (report.failed_trials > 0)
+                    .then(|| format!("{} trial(s) failed permanently", report.failed_trials));
+                self.finish(job, JobState::Done, detail);
+            }
+            Err(e) if job.cancel.load(Ordering::Relaxed) => {
+                self.finish(job, JobState::Cancelled, Some(e.0));
+            }
+            Err(e) => {
+                self.finish(job, JobState::Failed, Some(e.0));
+            }
+        }
+    }
+}
+
+/// Point labels in the canonical grid order (experiment-major, then
+/// size) — the same order [`pp_sweep`] flattens the grid in, so
+/// [`TrialEvent::point`] indexes this directly.
+fn points_meta(spec: &SweepSpec, experiments: &[SweepExperiment]) -> Vec<PointMeta> {
+    let mut meta = Vec::new();
+    for exp in experiments {
+        for &n in &spec.sizes {
+            meta.push((exp.name().to_string(), n, exp.metrics().to_vec()));
+        }
+    }
+    meta
+}

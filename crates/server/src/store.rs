@@ -1,0 +1,442 @@
+//! The directory-per-job persistent store.
+//!
+//! One directory per job under the store root:
+//!
+//! ```text
+//! jobs/
+//!   000001-8c5f3a2e91b04d17/
+//!     spec.toml        # the submitted spec body, byte-for-byte
+//!     meta.jsonl       # job identity + state transitions (CRC'd JSONL)
+//!     journal.jsonl    # the sweep runner's trial journal (CRC'd JSONL)
+//!     summary.csv      # emitted on completion (same bytes as `sweep <spec>`)
+//!     trials.csv
+//!     report.json
+//! ```
+//!
+//! Job ids are `<seq:06>-<fingerprint:016x>`: the submission sequence
+//! number plus the grid fingerprint ([`pp_sweep::grid_fingerprint`]), so
+//! resubmitting an identical spec finds the existing job instead of
+//! duplicating work.
+//!
+//! `meta.jsonl` uses the same line discipline as the sweep journal and
+//! the telemetry trace: one JSON document per line, each carrying a
+//! trailing CRC-32 of the line as composed (the fixed-width
+//! `,"crc":"xxxxxxxx"}` suffix). [`pp_telemetry::read_trace`] is the
+//! reader — a torn final line from a crash is dropped, earlier corruption
+//! is a hard error. The first line identifies the job; every state
+//! transition appends one `{"event":"state",...}` line and is fsync'd, so
+//! a job's lifecycle survives a `kill -9` at any point:
+//!
+//! ```text
+//! {"event":"job","id":"000001-…","seq":1,"name":"epidemic","fingerprint":"8c5f…","spec":"spec.toml","total":8,"crc":"…"}
+//! {"event":"state","state":"queued","crc":"…"}
+//! {"event":"state","state":"running","crc":"…"}
+//! {"event":"state","state":"done","crc":"…"}
+//! ```
+//!
+//! Recovery reads the **last** state line (torn tails fall back to the
+//! previous state): a job found `queued` or `running` was interrupted and
+//! is re-enqueued; the sweep runner then resumes from `journal.jsonl`,
+//! so no completed trial is ever re-executed. No line carries a wall
+//! clock — the store is a pure function of the submissions it accepted,
+//! which is what makes kill/restart byte-identity testable.
+
+use std::fs::OpenOptions;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use pp_engine::snapshot::crc32;
+use pp_sweep::json;
+
+/// A job's lifecycle state. `queued → running → done|failed|cancelled`;
+/// `failed` and `cancelled` jobs may be re-queued by resubmitting their
+/// spec (the journal makes the re-run a resume).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Accepted and waiting for a worker.
+    Queued,
+    /// A worker is driving the sweep.
+    Running,
+    /// Completed; report files are in the job directory.
+    Done,
+    /// The run errored (journal conflict, resolver failure, …).
+    Failed,
+    /// Cancelled at a trial boundary; the journal is a valid resume point.
+    Cancelled,
+}
+
+impl JobState {
+    /// Stable lowercase name (wire format and `meta.jsonl` key).
+    pub fn name(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+            JobState::Cancelled => "cancelled",
+        }
+    }
+
+    /// Inverse of [`JobState::name`].
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "queued" => Some(JobState::Queued),
+            "running" => Some(JobState::Running),
+            "done" => Some(JobState::Done),
+            "failed" => Some(JobState::Failed),
+            "cancelled" => Some(JobState::Cancelled),
+            _ => None,
+        }
+    }
+
+    /// Whether the state is final (no worker will touch the job again).
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            JobState::Done | JobState::Failed | JobState::Cancelled
+        )
+    }
+}
+
+/// A job restored from (or just written to) its directory.
+#[derive(Debug, Clone)]
+pub struct StoredJob {
+    /// `<seq:06>-<fingerprint:016x>`.
+    pub id: String,
+    /// Submission sequence number.
+    pub seq: u64,
+    /// Grid fingerprint of the parsed spec.
+    pub fingerprint: u64,
+    /// Sweep name (from the spec).
+    pub name: String,
+    /// Total trials in the grid.
+    pub total: usize,
+    /// Last durably recorded state.
+    pub state: JobState,
+    /// Failure/cancellation detail from the last state line, if any.
+    pub detail: Option<String>,
+    /// The submitted spec body, byte-for-byte.
+    pub spec_text: String,
+    /// The job's directory.
+    pub dir: PathBuf,
+}
+
+/// Handle on the store root; all operations are path-relative to it.
+#[derive(Debug)]
+pub struct JobStore {
+    root: PathBuf,
+}
+
+impl JobStore {
+    /// Opens (creating if needed) the store rooted at `root`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failures.
+    pub fn open(root: impl Into<PathBuf>) -> Result<Self, String> {
+        let root = root.into();
+        std::fs::create_dir_all(&root)
+            .map_err(|e| format!("cannot create jobs dir {}: {e}", root.display()))?;
+        Ok(Self { root })
+    }
+
+    /// The store root.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The directory of job `id`.
+    pub fn job_dir(&self, id: &str) -> PathBuf {
+        self.root.join(id)
+    }
+
+    /// Creates a new job directory: the spec body (written verbatim, so
+    /// the job can be re-parsed forever), the identity line, and a
+    /// `queued` state line.
+    ///
+    /// # Errors
+    ///
+    /// IO failures; an already-existing directory for the id.
+    pub fn create_job(
+        &self,
+        seq: u64,
+        fingerprint: u64,
+        name: &str,
+        spec_text: &str,
+        total: usize,
+    ) -> Result<StoredJob, String> {
+        let id = job_id(seq, fingerprint);
+        let dir = self.job_dir(&id);
+        if dir.exists() {
+            return Err(format!("job dir {} already exists", dir.display()));
+        }
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| format!("cannot create job dir {}: {e}", dir.display()))?;
+        let spec_file = spec_file_name(spec_text);
+        std::fs::write(dir.join(spec_file), spec_text)
+            .map_err(|e| format!("cannot write job spec: {e}"))?;
+        let mut line = String::from("{\"event\":\"job\",\"id\":");
+        json::write_str(&mut line, &id);
+        line.push_str(&format!(",\"seq\":{seq},\"name\":"));
+        json::write_str(&mut line, name);
+        line.push_str(&format!(
+            ",\"fingerprint\":\"{fingerprint:016x}\",\"spec\":\"{spec_file}\",\"total\":{total}}}"
+        ));
+        append_meta(&dir, line)?;
+        self.append_state(&id, JobState::Queued, None)?;
+        Ok(StoredJob {
+            id,
+            seq,
+            fingerprint,
+            name: name.to_string(),
+            total,
+            state: JobState::Queued,
+            detail: None,
+            spec_text: spec_text.to_string(),
+            dir,
+        })
+    }
+
+    /// Durably appends one state transition to the job's `meta.jsonl`.
+    ///
+    /// # Errors
+    ///
+    /// IO failures (including an unknown job id).
+    pub fn append_state(
+        &self,
+        id: &str,
+        state: JobState,
+        detail: Option<&str>,
+    ) -> Result<(), String> {
+        let mut line = format!("{{\"event\":\"state\",\"state\":\"{}\"", state.name());
+        if let Some(detail) = detail {
+            line.push_str(",\"detail\":");
+            json::write_str(&mut line, detail);
+        }
+        line.push('}');
+        append_meta(&self.job_dir(id), line)
+    }
+
+    /// Restores one job from its directory.
+    ///
+    /// # Errors
+    ///
+    /// Missing/corrupt `meta.jsonl` or spec file.
+    pub fn load_job(&self, id: &str) -> Result<StoredJob, String> {
+        let dir = self.job_dir(id);
+        let meta_path = dir.join("meta.jsonl");
+        let lines = pp_telemetry::read_trace(&meta_path)?;
+        let first = lines
+            .first()
+            .ok_or_else(|| format!("{}: empty meta journal", meta_path.display()))?;
+        let doc = json::parse(first).map_err(|e| format!("{}: {e}", meta_path.display()))?;
+        if doc.get("event").and_then(json::Value::as_str) != Some("job") {
+            return Err(format!(
+                "{}: first line is not a job identity line",
+                meta_path.display()
+            ));
+        }
+        let field_str = |key: &str| {
+            doc.get(key)
+                .and_then(json::Value::as_str)
+                .ok_or_else(|| format!("{}: missing field {key:?}", meta_path.display()))
+        };
+        let field_u64 = |key: &str| {
+            doc.get(key)
+                .and_then(json::Value::as_u64)
+                .ok_or_else(|| format!("{}: missing field {key:?}", meta_path.display()))
+        };
+        let fingerprint = u64::from_str_radix(field_str("fingerprint")?, 16)
+            .map_err(|_| format!("{}: malformed fingerprint", meta_path.display()))?;
+        let spec_file = field_str("spec")?.to_string();
+        let spec_text = std::fs::read_to_string(dir.join(&spec_file))
+            .map_err(|e| format!("cannot read {}/{spec_file}: {e}", dir.display()))?;
+        // Last state line wins; a torn tail was already dropped by the
+        // reader, so we fall back to the previous durable state.
+        let mut state = JobState::Queued;
+        let mut detail = None;
+        for line in &lines[1..] {
+            let doc = json::parse(line).map_err(|e| format!("{}: {e}", meta_path.display()))?;
+            if doc.get("event").and_then(json::Value::as_str) != Some("state") {
+                continue;
+            }
+            let name = doc
+                .get("state")
+                .and_then(json::Value::as_str)
+                .ok_or_else(|| format!("{}: state line without state", meta_path.display()))?;
+            state = JobState::parse(name)
+                .ok_or_else(|| format!("{}: unknown state {name:?}", meta_path.display()))?;
+            detail = doc
+                .get("detail")
+                .and_then(json::Value::as_str)
+                .map(String::from);
+        }
+        Ok(StoredJob {
+            id: field_str("id")?.to_string(),
+            seq: field_u64("seq")?,
+            fingerprint,
+            name: field_str("name")?.to_string(),
+            total: field_u64("total")? as usize,
+            state,
+            detail,
+            spec_text,
+            dir,
+        })
+    }
+
+    /// Restores every job in the store, in submission (seq) order.
+    /// Directories without a readable `meta.jsonl` are skipped with a
+    /// warning — one corrupt job must not take the service down.
+    ///
+    /// # Errors
+    ///
+    /// Only root-level IO failures.
+    pub fn load_all(&self) -> Result<Vec<StoredJob>, String> {
+        let mut jobs = Vec::new();
+        let entries = std::fs::read_dir(&self.root)
+            .map_err(|e| format!("cannot read jobs dir {}: {e}", self.root.display()))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| format!("jobs dir read error: {e}"))?;
+            if !entry.path().is_dir() {
+                continue;
+            }
+            let id = entry.file_name().to_string_lossy().into_owned();
+            if !entry.path().join("meta.jsonl").exists() {
+                continue;
+            }
+            match self.load_job(&id) {
+                Ok(job) => jobs.push(job),
+                Err(e) => eprintln!("[store] skipping unreadable job {id}: {e}"),
+            }
+        }
+        jobs.sort_by_key(|j| j.seq);
+        Ok(jobs)
+    }
+
+    /// Removes a job directory entirely.
+    ///
+    /// # Errors
+    ///
+    /// IO failures.
+    pub fn delete(&self, id: &str) -> Result<(), String> {
+        let dir = self.job_dir(id);
+        std::fs::remove_dir_all(&dir)
+            .map_err(|e| format!("cannot delete job dir {}: {e}", dir.display()))
+    }
+}
+
+/// The canonical job id: submission sequence + grid fingerprint.
+pub fn job_id(seq: u64, fingerprint: u64) -> String {
+    format!("{seq:06}-{fingerprint:016x}")
+}
+
+/// `spec.json` for a JSON body (leading `{`), `spec.toml` otherwise —
+/// the same dispatch [`pp_sweep::SweepSpec::parse_str`] uses.
+fn spec_file_name(spec_text: &str) -> &'static str {
+    if spec_text.trim_start().starts_with('{') {
+        "spec.json"
+    } else {
+        "spec.toml"
+    }
+}
+
+/// Appends one composed line to `dir/meta.jsonl` with the workspace's
+/// CRC-32 suffix spliced in before the closing brace, then fsyncs: state
+/// transitions are rare and must survive a crash immediately after being
+/// acknowledged.
+fn append_meta(dir: &Path, mut line: String) -> Result<(), String> {
+    debug_assert!(line.ends_with('}'));
+    let crc = crc32(line.as_bytes());
+    line.pop();
+    line.push_str(&format!(",\"crc\":\"{crc:08x}\"}}"));
+    let path = dir.join("meta.jsonl");
+    let mut file = OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .map_err(|e| format!("cannot open {}: {e}", path.display()))?;
+    writeln!(file, "{line}").map_err(|e| format!("meta write failed: {e}"))?;
+    file.sync_all()
+        .map_err(|e| format!("meta fsync failed: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_store(tag: &str) -> JobStore {
+        let root =
+            std::env::temp_dir().join(format!("pp-server-store-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        JobStore::open(root).unwrap()
+    }
+
+    #[test]
+    fn create_and_reload_round_trips() {
+        let store = temp_store("roundtrip");
+        let spec = "name = \"t\"\nsizes = [100]\ntrials = 2\nexperiments = [\"epidemic_full\"]\n";
+        let job = store.create_job(1, 0xABCD, "t", spec, 2).unwrap();
+        assert_eq!(job.id, "000001-000000000000abcd");
+        assert_eq!(job.state, JobState::Queued);
+        store
+            .append_state(&job.id, JobState::Running, None)
+            .unwrap();
+        store
+            .append_state(&job.id, JobState::Failed, Some("boom \"quoted\""))
+            .unwrap();
+        let loaded = store.load_job(&job.id).unwrap();
+        assert_eq!(loaded.seq, 1);
+        assert_eq!(loaded.fingerprint, 0xABCD);
+        assert_eq!(loaded.name, "t");
+        assert_eq!(loaded.total, 2);
+        assert_eq!(loaded.state, JobState::Failed);
+        assert_eq!(loaded.detail.as_deref(), Some("boom \"quoted\""));
+        assert_eq!(loaded.spec_text, spec);
+        let all = store.load_all().unwrap();
+        assert_eq!(all.len(), 1);
+        std::fs::remove_dir_all(store.root()).unwrap();
+    }
+
+    #[test]
+    fn torn_final_state_line_falls_back() {
+        let store = temp_store("torn");
+        let job = store.create_job(1, 7, "t", "name = \"t\"\n", 4).unwrap();
+        store
+            .append_state(&job.id, JobState::Running, None)
+            .unwrap();
+        store.append_state(&job.id, JobState::Done, None).unwrap();
+        // Tear the final (done) line mid-write: recovery must fall back
+        // to `running`, i.e. the job is re-enqueued and resumes.
+        let meta = job.dir.join("meta.jsonl");
+        let text = std::fs::read_to_string(&meta).unwrap();
+        std::fs::write(&meta, &text[..text.len() - 9]).unwrap();
+        let loaded = store.load_job(&job.id).unwrap();
+        assert_eq!(loaded.state, JobState::Running);
+        std::fs::remove_dir_all(store.root()).unwrap();
+    }
+
+    #[test]
+    fn json_specs_get_a_json_file() {
+        let store = temp_store("json");
+        let job = store
+            .create_job(2, 1, "j", "{\"name\":\"j\",\"sizes\":[10],\"trials\":1}", 1)
+            .unwrap();
+        assert!(job.dir.join("spec.json").exists());
+        assert!(!job.dir.join("spec.toml").exists());
+        std::fs::remove_dir_all(store.root()).unwrap();
+    }
+
+    #[test]
+    fn load_all_orders_by_seq_and_skips_junk() {
+        let store = temp_store("order");
+        store.create_job(2, 2, "b", "name = \"b\"\n", 1).unwrap();
+        store.create_job(1, 1, "a", "name = \"a\"\n", 1).unwrap();
+        // A stray directory without meta.jsonl is ignored.
+        std::fs::create_dir_all(store.root().join("not-a-job")).unwrap();
+        let all = store.load_all().unwrap();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].seq, 1);
+        assert_eq!(all[1].seq, 2);
+        std::fs::remove_dir_all(store.root()).unwrap();
+    }
+}

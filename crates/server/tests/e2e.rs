@@ -1,0 +1,263 @@
+//! End-to-end tests against the real `pp-server` binary: HTTP submit /
+//! poll / fetch with byte-identity against a local run, and the
+//! torn-write drill — kill the server mid-trial with `PP_FAULT`,
+//! restart it, and watch the job resume from its journal to the same
+//! bytes.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use pp_sweep::{emit, json, run_sweep, SweepSpec};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pp_server_e2e_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A running server child; killed on drop so failed tests don't leak
+/// processes.
+struct Server {
+    child: Child,
+    addr: String,
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Starts `pp-server` on an ephemeral port and waits for the port file.
+/// `fault` becomes the child's `PP_FAULT` (the engine honors it in every
+/// trial, which is exactly how the drill kills the server mid-trial).
+fn start_server(jobs_dir: &Path, fault: Option<&str>) -> Server {
+    let port_file = jobs_dir.with_extension("port");
+    let _ = std::fs::remove_file(&port_file);
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_pp-server"));
+    cmd.args([
+        "--port",
+        "0",
+        "--port-file",
+        port_file.to_str().unwrap(),
+        "--jobs-dir",
+        jobs_dir.to_str().unwrap(),
+    ])
+    .env_remove("PP_FAULT")
+    .env_remove("PP_JOBS_DIR")
+    .env_remove("PP_SWEEP_TRIALS")
+    .stdout(Stdio::null())
+    .stderr(Stdio::null());
+    if let Some(fault) = fault {
+        cmd.env("PP_FAULT", fault);
+    }
+    let mut child = cmd.spawn().expect("cannot spawn pp-server");
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let port = loop {
+        if let Ok(text) = std::fs::read_to_string(&port_file) {
+            if let Ok(port) = text.trim().parse::<u16>() {
+                break port;
+            }
+        }
+        if let Some(status) = child.try_wait().unwrap() {
+            panic!("pp-server exited before listening: {status}");
+        }
+        assert!(Instant::now() < deadline, "pp-server never wrote its port");
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    Server {
+        child,
+        addr: format!("127.0.0.1:{port}"),
+    }
+}
+
+/// One-shot HTTP/1.1 request; returns (status code, body).
+fn http(addr: &str, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("send request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let status = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("malformed response: {response:?}"));
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn wait_done(addr: &str, id: &str) -> String {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let (status, body) = http(addr, "GET", &format!("/jobs/{id}"), "");
+        assert_eq!(status, 200, "status poll failed: {body}");
+        let doc = json::parse(&body).unwrap();
+        match doc.get("state").and_then(|v| v.as_str()).unwrap() {
+            "done" => return body,
+            "failed" | "cancelled" => panic!("job ended badly: {body}"),
+            _ => {}
+        }
+        assert!(Instant::now() < deadline, "job never finished: {body}");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+/// Local reference run of the same spec through the same registry — the
+/// bytes the server must reproduce.
+fn local_reference(spec_text: &str) -> (String, String) {
+    let spec = SweepSpec::parse_str(spec_text).unwrap();
+    let experiments = pp_bench::experiments::build(&spec.experiments).unwrap();
+    let report = run_sweep(&spec, &experiments).unwrap();
+    (emit::summary_csv(&report), emit::per_trial_csv(&report))
+}
+
+const FAST_SPEC: &str = r#"
+name = "e2e_epidemic"
+master_seed = 9
+sizes = [300]
+trials = 2
+threads = 1
+engine = "batched"
+experiments = ["epidemic_full"]
+"#;
+
+#[test]
+fn submit_poll_fetch_matches_a_local_run() {
+    let jobs_dir = temp_dir("basic");
+    let server = start_server(&jobs_dir, None);
+    let addr = &server.addr;
+
+    let (status, body) = http(addr, "GET", "/healthz", "");
+    assert_eq!((status, body.as_str()), (200, "ok\n"));
+
+    let (status, body) = http(addr, "POST", "/jobs", FAST_SPEC);
+    assert_eq!(status, 201, "submit failed: {body}");
+    let id = json::parse(&body)
+        .unwrap()
+        .get("id")
+        .and_then(|v| v.as_str())
+        .unwrap()
+        .to_string();
+
+    // Identical resubmission is idempotent (200, same id).
+    let (status, body) = http(addr, "POST", "/jobs", FAST_SPEC);
+    assert_eq!(status, 200);
+    assert!(body.contains(&id));
+
+    // A report request before the job is done is 409, not 404 — but the
+    // job may legitimately already be done, so accept both outcomes.
+    let (status, _) = http(addr, "GET", &format!("/jobs/{id}/report.csv"), "");
+    assert!(status == 409 || status == 200);
+
+    wait_done(addr, &id);
+    let (want_summary, want_trials) = local_reference(FAST_SPEC);
+    let (status, summary) = http(addr, "GET", &format!("/jobs/{id}/report.csv"), "");
+    assert_eq!(status, 200);
+    assert_eq!(summary, want_summary, "summary.csv differs from local run");
+    let (status, trials) = http(addr, "GET", &format!("/jobs/{id}/trials.csv"), "");
+    assert_eq!(status, 200);
+    assert_eq!(trials, want_trials, "trials.csv differs from local run");
+
+    let (status, list) = http(addr, "GET", "/jobs", "");
+    assert_eq!(status, 200);
+    assert!(list.contains(&id));
+    let (status, metrics) = http(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    assert!(metrics.contains("pp_server_jobs_done 1"));
+
+    // The SSE stream of a finished job: catch-up progress, then done.
+    let (status, events) = http(addr, "GET", &format!("/jobs/{id}/events"), "");
+    assert_eq!(status, 200);
+    assert!(events.contains("event: progress\n"));
+    assert!(events.contains("event: done\n"));
+
+    let (status, _) = http(addr, "GET", "/jobs/nope", "");
+    assert_eq!(status, 404);
+    let (status, _) = http(addr, "POST", "/jobs", "not a spec at all = [");
+    assert_eq!(status, 400);
+}
+
+/// The torn-write drill. `PP_FAULT=kill@8000` makes the engine abort the
+/// whole server process at the first checkpoint past 8000 interactions:
+/// the n=400 trials (≈6½k interactions each) complete and are journaled,
+/// then the first n=20000 trial kills the server mid-run. A restart
+/// without the fault re-queues the job, resumes the journaled trials,
+/// and produces byte-identical reports.
+#[test]
+fn killed_server_resumes_the_job_after_restart() {
+    let spec = r#"
+name = "e2e_kill"
+master_seed = 21
+sizes = [400, 20000]
+trials = 2
+threads = 1
+engine = "batched"
+experiments = ["epidemic_full"]
+"#;
+    let jobs_dir = temp_dir("kill");
+    let server = start_server(&jobs_dir, Some("kill@8000"));
+    // The submit response may be lost if the abort races it; the job is
+    // durable either way, so ignore the response entirely.
+    let mut stream = TcpStream::connect(&server.addr).unwrap();
+    let _ = write!(
+        stream,
+        "POST /jobs HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{spec}",
+        spec.len()
+    );
+    let mut _response = String::new();
+    let _ = stream.read_to_string(&mut _response);
+
+    // The server must die on its own (abort inside the doomed trial).
+    let mut server = server;
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let status = loop {
+        if let Some(status) = server.child.try_wait().unwrap() {
+            break status;
+        }
+        assert!(Instant::now() < deadline, "fault never fired");
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    assert!(
+        !status.success(),
+        "server should have aborted, got {status}"
+    );
+    drop(server);
+
+    // The journal recorded the completed n=400 trials before the crash.
+    let restarted = start_server(&jobs_dir, None);
+    let addr = &restarted.addr;
+    let (code, list) = http(addr, "GET", "/jobs", "");
+    assert_eq!(code, 200);
+    let doc = json::parse(&list).unwrap();
+    let jobs = doc.get("jobs").and_then(|v| v.as_arr()).unwrap();
+    assert_eq!(jobs.len(), 1, "recovered job list: {list}");
+    let id = jobs[0].get("id").and_then(|v| v.as_str()).unwrap();
+
+    let final_status = wait_done(addr, id);
+    let doc = json::parse(&final_status).unwrap();
+    let resumed = doc.get("resumed").and_then(|v| v.as_u64()).unwrap();
+    assert!(
+        resumed >= 1,
+        "restart should replay journaled trials: {final_status}"
+    );
+
+    let (want_summary, want_trials) = local_reference(spec);
+    let (code, summary) = http(addr, "GET", &format!("/jobs/{id}/report.csv"), "");
+    assert_eq!(code, 200);
+    assert_eq!(summary, want_summary, "post-crash summary.csv differs");
+    let (code, trials) = http(addr, "GET", &format!("/jobs/{id}/trials.csv"), "");
+    assert_eq!(code, 200);
+    assert_eq!(trials, want_trials, "post-crash trials.csv differs");
+}

@@ -1,0 +1,259 @@
+//! In-process integration tests for the job service: idempotent submit,
+//! end-to-end determinism of the report artifacts, cancellation at trial
+//! boundaries, restart recovery, and terminal-job deletion.
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use pp_server::{CancelOutcome, JobHandle, JobState, Service, ServiceConfig};
+use pp_sweep::{emit, json, run_sweep, SweepExperiment, SweepSpec};
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "pp_server_svc_{tag}_{}_{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn toy() -> SweepExperiment {
+    SweepExperiment::new("toy", &["value", "seed_lo"], |ctx| {
+        vec![
+            ctx.n as f64 + ctx.trial as f64 / 100.0,
+            (ctx.seed % 1000) as f64,
+        ]
+    })
+}
+
+/// A gate shared between the test and a "gated" experiment: trials 0 and
+/// 1 return immediately, later trials block until [`Gate::open`].
+#[derive(Default)]
+struct Gate {
+    open: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Gate {
+    fn open(&self) {
+        *self.open.lock().unwrap() = true;
+        self.cv.notify_all();
+    }
+
+    fn wait(&self) {
+        let mut open = self.open.lock().unwrap();
+        while !*open {
+            open = self.cv.wait(open).unwrap();
+        }
+    }
+}
+
+fn open_service(tag: &str) -> Arc<Service> {
+    let service = Service::open(
+        ServiceConfig {
+            jobs_dir: temp_dir(tag),
+            workers: 1,
+            default_max_retries: 0,
+        },
+        Box::new(|_spec| Ok(vec![toy()])),
+    )
+    .unwrap();
+    service.start();
+    service
+}
+
+fn wait_state(job: &Arc<JobHandle>, want: JobState) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while job.state() != want {
+        assert!(
+            Instant::now() < deadline,
+            "timed out waiting for {want:?}; job is {:?}",
+            job.state()
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+fn status_field_u64(job: &Arc<JobHandle>, field: &str) -> u64 {
+    let status = json::parse(&job.status_json()).unwrap();
+    status.get(field).and_then(|v| v.as_u64()).unwrap()
+}
+
+const TOY_SPEC: &str = r#"
+name = "svc_toy"
+master_seed = 11
+sizes = [100, 200]
+trials = 4
+threads = 1
+experiments = ["toy"]
+"#;
+
+#[test]
+fn submit_is_idempotent_on_the_grid_fingerprint() {
+    let service = open_service("idem");
+    let (job, created) = service.submit(TOY_SPEC).unwrap();
+    assert!(created);
+    let (again, created_again) = service.submit(TOY_SPEC).unwrap();
+    assert!(!created_again, "identical spec resolves to the same job");
+    assert_eq!(job.id, again.id);
+    // A different grid (new seed) is a different job.
+    let (other, created_other) = service
+        .submit(&TOY_SPEC.replace("master_seed = 11", "master_seed = 12"))
+        .unwrap();
+    assert!(created_other);
+    assert_ne!(job.id, other.id);
+    assert!(service.submit("definitely not a spec").is_err());
+    assert!(service.submit("{\"name\": \"x\"").is_err());
+}
+
+#[test]
+fn jobs_run_to_done_with_byte_identical_reports() {
+    let service = open_service("done");
+    let (job, _) = service.submit(TOY_SPEC).unwrap();
+    wait_state(&job, JobState::Done);
+
+    // The fetched artifacts must equal a local run of the same spec —
+    // the same purity claim the CI smoke asserts over HTTP.
+    let spec = SweepSpec::parse_str(TOY_SPEC).unwrap();
+    let report = run_sweep(&spec, &[toy()]).unwrap();
+    let read = |f: &str| std::fs::read_to_string(job.dir.join(f)).unwrap();
+    assert_eq!(read("summary.csv"), emit::summary_csv(&report));
+    assert_eq!(read("trials.csv"), emit::per_trial_csv(&report));
+    assert_eq!(read("report.json"), emit::to_json(&report));
+
+    assert_eq!(status_field_u64(&job, "completed"), 8);
+    let metrics = service.metrics_text();
+    assert!(metrics.contains("pp_server_jobs_done 1"));
+    assert!(metrics.contains("pp_server_trials_executed 8"));
+}
+
+#[test]
+fn cancelled_jobs_resume_on_resubmission() {
+    let gate = Arc::new(Gate::default());
+    let resolver_gate = Arc::clone(&gate);
+    let service = Service::open(
+        ServiceConfig {
+            jobs_dir: temp_dir("cancel"),
+            workers: 1,
+            default_max_retries: 0,
+        },
+        Box::new(move |_spec| {
+            let gate = Arc::clone(&resolver_gate);
+            Ok(vec![SweepExperiment::new("gated", &["x"], move |ctx| {
+                if ctx.trial >= 2 {
+                    gate.wait();
+                }
+                vec![ctx.seed as f64]
+            })])
+        }),
+    )
+    .unwrap();
+    service.start();
+
+    let spec = r#"
+name = "svc_gated"
+master_seed = 3
+sizes = [50]
+trials = 4
+threads = 1
+experiments = ["gated"]
+"#;
+    let (job, _) = service.submit(spec).unwrap();
+    // Trials 0 and 1 land; trial 2 parks on the gate.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while status_field_u64(&job, "completed") < 2 {
+        assert!(Instant::now() < deadline, "first two trials never landed");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(service.cancel_or_delete(&job.id), CancelOutcome::Cancelled);
+    gate.open();
+    wait_state(&job, JobState::Cancelled);
+    // The in-flight trial finished and was journaled before the boundary
+    // check stopped the run; trial 3 never ran.
+    assert_eq!(status_field_u64(&job, "completed"), 3);
+
+    // Resubmitting the identical spec re-queues the same job, which
+    // resumes from its journal instead of starting over.
+    let (resumed, created) = service.submit(spec).unwrap();
+    assert!(!created);
+    assert_eq!(resumed.id, job.id);
+    wait_state(&job, JobState::Done);
+    assert_eq!(status_field_u64(&job, "completed"), 4);
+    assert_eq!(status_field_u64(&job, "resumed"), 3);
+}
+
+#[test]
+fn restart_requeues_interrupted_jobs() {
+    let dir = temp_dir("restart");
+    let config = || ServiceConfig {
+        jobs_dir: dir.clone(),
+        workers: 1,
+        default_max_retries: 0,
+    };
+    // First process: accept the job but never start workers, then "crash".
+    let first = Service::open(config(), Box::new(|_spec| Ok(vec![toy()]))).unwrap();
+    let (job, created) = first.submit(TOY_SPEC).unwrap();
+    assert!(created);
+    assert_eq!(job.state(), JobState::Queued);
+    let id = job.id.clone();
+    drop((job, first));
+
+    // Second process: recovery re-queues it and the worker finishes it.
+    let second = Service::open(config(), Box::new(|_spec| Ok(vec![toy()]))).unwrap();
+    let job = second.job(&id).expect("job survives the restart");
+    second.start();
+    wait_state(&job, JobState::Done);
+    assert_eq!(status_field_u64(&job, "completed"), 8);
+}
+
+#[test]
+fn deleting_a_terminal_job_removes_its_directory() {
+    let service = open_service("delete");
+    let (job, _) = service.submit(TOY_SPEC).unwrap();
+    wait_state(&job, JobState::Done);
+    assert!(job.dir.is_dir());
+    assert_eq!(service.cancel_or_delete(&job.id), CancelOutcome::Deleted);
+    assert!(!job.dir.exists());
+    assert!(service.job(&job.id).is_none());
+    assert_eq!(service.cancel_or_delete(&job.id), CancelOutcome::NotFound);
+}
+
+#[test]
+fn sse_subscribers_get_catchup_trials_and_done() {
+    let service = open_service("sse");
+    let (job, _) = service.submit(TOY_SPEC).unwrap();
+    let (rx, _) = job.subscribe();
+    let mut trials = 0usize;
+    let mut saw_progress = false;
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        assert!(Instant::now() < deadline, "stream never reached done");
+        let frame = rx
+            .recv_timeout(Duration::from_secs(5))
+            .expect("stream stalled");
+        if frame.starts_with("event: progress\n") {
+            saw_progress = true;
+        } else if frame.starts_with("event: trial\n") {
+            trials += 1;
+            let data = frame
+                .lines()
+                .find_map(|l| l.strip_prefix("data: "))
+                .unwrap();
+            let trial = json::parse(data).unwrap();
+            assert!(trial.get("seed").and_then(|v| v.as_u64()).is_some());
+        } else if frame.starts_with("event: done\n") {
+            break;
+        }
+    }
+    assert!(saw_progress, "catch-up progress frame arrives first");
+    // Subscribing early sees every trial; subscribing after the end sees
+    // the terminal state immediately.
+    assert!(trials <= 8);
+    let (late, terminal) = job.subscribe();
+    assert!(terminal);
+    let catchup = late.recv_timeout(Duration::from_secs(1)).unwrap();
+    assert!(catchup.starts_with("event: progress\n"));
+    let done = late.recv_timeout(Duration::from_secs(1)).unwrap();
+    assert!(done.starts_with("event: done\n"));
+}

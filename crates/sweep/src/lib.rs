@@ -101,7 +101,8 @@ pub mod trials;
 
 pub use agg::{PointResult, SweepReport, TrialRecord};
 pub use run::{
-    merge_journals, run_sweep, run_sweep_shard, Shard, SweepError, SweepExperiment, TrialCtx,
+    grid_fingerprint, grid_total_trials, merge_journals, run_sweep, run_sweep_shard,
+    run_sweep_with, RunHooks, Shard, SweepError, SweepExperiment, TrialCtx, TrialEvent,
 };
 pub use spec::SweepSpec;
 pub use trials::{run_trials, run_trials_threaded, TrialOutcome};

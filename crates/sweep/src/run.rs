@@ -9,7 +9,7 @@
 //! be loaded instead of re-run without anyone downstream noticing.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::Duration;
 
 use parking_lot::Mutex;
@@ -34,6 +34,58 @@ pub struct TrialCtx {
     pub seed: u64,
     /// Engine policy from the spec ([`SweepSpec::engine`]).
     pub engine: EngineMode,
+}
+
+/// One trial landing in its result slot — freshly executed by a worker or
+/// replayed from the journal. Borrowed views into the runner's state; copy
+/// out what you need.
+#[derive(Debug, Clone, Copy)]
+pub struct TrialEvent<'a> {
+    /// Grid-point index (canonical experiment-major order).
+    pub point: usize,
+    /// Experiment name of the point.
+    pub experiment: &'a str,
+    /// Population size of the point.
+    pub n: u64,
+    /// Trial index in `0..trials`.
+    pub trial: usize,
+    /// The trial's derived seed.
+    pub seed: u64,
+    /// Metric values, in the experiment's declared order.
+    pub values: &'a [f64],
+    /// Nonzero telemetry counters the trial recorded.
+    pub counters: &'a [(String, u64)],
+    /// Whether the trial was replayed from the journal instead of run.
+    pub resumed: bool,
+    /// Trials landed so far (including this one).
+    pub completed: usize,
+    /// Total trials in the grid.
+    pub total: usize,
+}
+
+/// Observation and control hooks for [`run_sweep_with`].
+///
+/// `on_trial` fires under the runner's lock for every trial that lands —
+/// journal replays included (`resumed = true`) — so implementations must
+/// be cheap and non-blocking (push to a channel, bump an accumulator).
+/// `cancel`, once set, stops workers from picking up new trials; trials
+/// already in flight finish and are journaled, so the journal remains a
+/// valid resume point — the run then returns a "cancelled" error.
+#[derive(Default, Clone, Copy)]
+pub struct RunHooks<'a> {
+    /// Called for every trial that lands in its slot.
+    pub on_trial: Option<&'a (dyn Fn(&TrialEvent<'_>) + Sync)>,
+    /// Checked at every trial boundary; `true` drains the worker pool.
+    pub cancel: Option<&'a AtomicBool>,
+}
+
+impl std::fmt::Debug for RunHooks<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunHooks")
+            .field("on_trial", &self.on_trial.map(|_| ".."))
+            .field("cancel", &self.cancel)
+            .finish()
+    }
 }
 
 /// A named experiment: a closure mapping a [`TrialCtx`] to one value per
@@ -237,6 +289,16 @@ pub fn grid_fingerprint(spec: &SweepSpec, experiments: &[SweepExperiment]) -> u6
     )
 }
 
+/// Total trials across the grid (experiments × sizes, per-experiment
+/// caps applied) — what a fresh run of `spec` would execute, and the
+/// denominator for progress reporting over [`TrialEvent::completed`].
+pub fn grid_total_trials(spec: &SweepSpec, experiments: &[SweepExperiment]) -> usize {
+    build_points(spec, experiments)
+        .iter()
+        .map(|p| p.trials)
+        .sum()
+}
+
 /// Validates one journaled trial against the current grid: known point,
 /// in-range trial index, re-derivable seed, declared metric count
 /// (skipped for failed-trial records, which carry no values).
@@ -364,10 +426,12 @@ struct RunState {
 
 impl RunState {
     /// Records one finished trial (from a worker or the journal).
+    #[allow(clippy::too_many_arguments)] // internal plumbing, one call site per source
     fn record(
         &mut self,
         points: &[GridPoint],
         experiments: &[SweepExperiment],
+        hooks: &RunHooks<'_>,
         point: usize,
         record: TrialRecord,
         journal_it: bool,
@@ -416,9 +480,23 @@ impl RunState {
             }
         }
         let trial = record.trial;
-        self.slots[point][trial] = Some(record);
         self.remaining[point] -= 1;
         self.completed += 1;
+        if let Some(on_trial) = hooks.on_trial {
+            on_trial(&TrialEvent {
+                point,
+                experiment: &exp.name,
+                n: gp.n,
+                trial,
+                seed: record.seed,
+                values: &record.values,
+                counters: &record.counters,
+                resumed: !journal_it,
+                completed: self.completed,
+                total: self.total,
+            });
+        }
+        self.slots[point][trial] = Some(record);
         if self.remaining[point] == 0 && !quiet {
             let stats: Vec<String> = exp
                 .metrics
@@ -496,7 +574,19 @@ pub fn run_sweep(
     spec: &SweepSpec,
     experiments: &[SweepExperiment],
 ) -> Result<SweepReport, SweepError> {
-    let (points, slots, resumed, failed) = execute(spec, experiments, None)?;
+    run_sweep_with(spec, experiments, &RunHooks::default())
+}
+
+/// [`run_sweep`] with observation/control hooks: a per-trial progress
+/// callback and a cooperative cancellation flag (see [`RunHooks`]). The
+/// service tier drives this; the plain CLI path is `run_sweep` with
+/// default (inert) hooks — the two produce byte-identical reports.
+pub fn run_sweep_with(
+    spec: &SweepSpec,
+    experiments: &[SweepExperiment],
+    hooks: &RunHooks<'_>,
+) -> Result<SweepReport, SweepError> {
+    let (points, slots, resumed, failed) = execute(spec, experiments, None, hooks)?;
     let results = points
         .iter()
         .zip(slots)
@@ -534,7 +624,7 @@ pub fn run_sweep_shard(
                 .into(),
         ));
     }
-    let (points, slots, _, _) = execute(spec, experiments, Some(shard))?;
+    let (points, slots, _, _) = execute(spec, experiments, Some(shard), &RunHooks::default())?;
     Ok(points
         .iter()
         .enumerate()
@@ -556,6 +646,7 @@ fn execute(
     spec: &SweepSpec,
     experiments: &[SweepExperiment],
     shard: Option<Shard>,
+    hooks: &RunHooks<'_>,
 ) -> Result<(Vec<GridPoint>, Vec<Vec<Option<TrialRecord>>>, usize, usize), SweepError> {
     if experiments.is_empty() {
         return Err(SweepError("a sweep needs at least one experiment".into()));
@@ -633,6 +724,7 @@ fn execute(
         state.record(
             &points,
             experiments,
+            hooks,
             entry.point,
             TrialRecord {
                 trial: entry.trial,
@@ -673,6 +765,11 @@ fn execute(
     let state = Mutex::new(state);
     let next = AtomicUsize::new(0);
     let worker = |_: ()| loop {
+        // Cooperative cancellation, checked at trial boundaries only:
+        // the trial in flight finishes and is journaled first.
+        if hooks.cancel.is_some_and(|c| c.load(Ordering::Relaxed)) {
+            return;
+        }
         let i = next.fetch_add(1, Ordering::Relaxed);
         if i >= tasks.len() {
             return;
@@ -745,6 +842,7 @@ fn execute(
                 guard.record(
                     &points,
                     experiments,
+                    hooks,
                     point,
                     TrialRecord {
                         trial,
@@ -775,6 +873,15 @@ fn execute(
     let state = state.into_inner();
     if let Some(error) = state.error {
         return Err(SweepError(error));
+    }
+    if hooks.cancel.is_some_and(|c| c.load(Ordering::Relaxed))
+        && state.remaining.iter().any(|&r| r > 0)
+    {
+        return Err(SweepError(
+            "cancelled at a trial boundary; completed trials are journaled, so the journal \
+             is a valid resume point"
+                .into(),
+        ));
     }
     if !state.failures.is_empty() {
         eprintln!(
@@ -955,6 +1062,88 @@ mod tests {
         assert_eq!(resumed.resumed_trials, 3);
         assert_eq!(fresh.points, resumed.points);
         std::fs::remove_file(&journal).unwrap();
+    }
+
+    #[test]
+    fn hooks_fire_for_fresh_and_resumed_trials() {
+        let dir = std::env::temp_dir().join("pp-sweep-run-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let journal = dir.join(format!("hooks-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&journal);
+        let mut spec = SweepSpec::new("t", vec![100, 200], 3);
+        spec.threads = 2;
+        spec.journal = Some(journal.clone());
+        let events = Mutex::new(Vec::new());
+        let on_trial = |ev: &TrialEvent<'_>| {
+            events
+                .lock()
+                .push((ev.point, ev.trial, ev.resumed, ev.completed, ev.total));
+        };
+        let hooks = RunHooks {
+            on_trial: Some(&on_trial),
+            cancel: None,
+        };
+        let fresh = run_sweep_with(&spec, &[toy_experiment()], &hooks).unwrap();
+        {
+            let mut seen = events.lock();
+            assert_eq!(seen.len(), 6);
+            assert!(seen.iter().all(|&(.., resumed, _, _)| !resumed));
+            assert!(seen.iter().all(|&(.., total)| total == 6));
+            let completed: Vec<usize> = seen.iter().map(|&(.., c, _)| c).collect();
+            assert_eq!(completed.iter().max(), Some(&6));
+            seen.clear();
+        }
+        // A resumed run replays every trial through the same hook.
+        let resumed = run_sweep_with(&spec, &[toy_experiment()], &hooks).unwrap();
+        assert_eq!(fresh.points, resumed.points);
+        assert_eq!(resumed.resumed_trials, 6);
+        let seen = events.lock();
+        assert_eq!(seen.len(), 6);
+        assert!(seen.iter().all(|&(.., resumed, _, _)| resumed));
+        drop(seen);
+        std::fs::remove_file(&journal).unwrap();
+    }
+
+    #[test]
+    fn cancellation_leaves_a_resumable_journal() {
+        let dir = std::env::temp_dir().join("pp-sweep-run-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let journal = dir.join(format!("cancel-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&journal);
+        let mut spec = SweepSpec::new("t", vec![100], 6);
+        spec.threads = 1;
+        spec.journal = Some(journal.clone());
+        let cancel = AtomicBool::new(false);
+        // Cancel from inside the progress hook after the second trial: the
+        // flag is only honored at trial boundaries, so trials 0 and 1 land
+        // in the journal and the rest never start.
+        let on_trial = |ev: &TrialEvent<'_>| {
+            if ev.completed == 2 {
+                cancel.store(true, Ordering::Relaxed);
+            }
+        };
+        let hooks = RunHooks {
+            on_trial: Some(&on_trial),
+            cancel: Some(&cancel),
+        };
+        let err = run_sweep_with(&spec, &[toy_experiment()], &hooks).unwrap_err();
+        assert!(err.0.contains("cancelled"), "{err}");
+        // The journal is a valid resume point: a plain re-run replays the
+        // journaled trials and finishes the grid.
+        let report = run_sweep(&spec, &[toy_experiment()]).unwrap();
+        assert_eq!(report.resumed_trials, 2);
+        assert_eq!(report.point("toy", 100).trials.len(), 6);
+        std::fs::remove_file(&journal).unwrap();
+    }
+
+    #[test]
+    fn grid_total_counts_capped_trials() {
+        let spec = SweepSpec::new("t", vec![100, 200], 8);
+        let experiments = vec![
+            toy_experiment(),
+            SweepExperiment::new("slow", &["x"], |ctx| vec![ctx.seed as f64]).with_max_trials(3),
+        ];
+        assert_eq!(grid_total_trials(&spec, &experiments), 2 * 8 + 2 * 3);
     }
 
     #[test]
