@@ -1,5 +1,9 @@
 //! # pp-analysis — probability and statistics toolkit
 //!
+//! *A supporting toolkit beside the five-layer workspace — see `ARCHITECTURE.md` at the
+//! repository root for the layer map and the three determinism
+//! invariants every layer is held to.*
+//!
 //! The quantitative backbone of the reproduction of Doty & Eftekhari
 //! (PODC 2019). The paper's protocol analysis rests on a chain of
 //! probability lemmas; this crate implements each of them as executable

@@ -1,5 +1,9 @@
 //! # pp-baselines — baseline and downstream population protocols
 //!
+//! *Layer 1 (protocols) of the five-layer workspace — see `ARCHITECTURE.md` at the
+//! repository root for the layer map and the three determinism
+//! invariants every layer is held to.*
+//!
 //! The protocols the paper compares against, builds on, or motivates:
 //!
 //! * [`alistarh`] — the Alistarh–Aspnes–Eisenstat–Gelashvili–Rivest

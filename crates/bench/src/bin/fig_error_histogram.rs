@@ -5,25 +5,32 @@
 //! harness draws it: an ASCII histogram of `k − log2 n` over many trials,
 //! showing the +1.33-centered bell predicted by Corollary D.9's centering
 //! constant `δ₀ = 1/2 + γ/ln 2 − ε₂`.
+//!
+//! Runs on the sweep registry (the `logsize_estimate` experiment — the
+//! same per-trial measurement Table 1 uses), fanned out over the seeded
+//! worker pool (`--journal PATH` resumes, `--shard k/N` splits across
+//! machines).
 
 use pp_analysis::stats::histogram;
 use pp_analysis::subexp::delta0;
-use pp_bench::{print_table, write_csv, HarnessArgs};
-use pp_core::log_size::estimate_log_size;
-use pp_sweep::trials::run_trials_threaded;
+use pp_bench::{experiments, print_table, run_sweep_or_exit, write_csv, HarnessArgs};
 
 fn main() {
     let args = HarnessArgs::parse(&[1000], 60);
-    let n = args.sizes[0];
+    let spec = args.sweep_spec("fig_error_histogram");
+    let n = spec.sizes[0];
     println!(
         "Error distribution at n = {n} over {} trials (claimed: |err| <= 5.7, practical <= 2)",
-        args.trials
+        spec.effective_trials()
     );
 
-    let outcomes = run_trials_threaded(args.seed ^ n, args.trials, args.threads, |_, seed| {
-        estimate_log_size(n as usize, seed, None)
-    });
-    let errors: Vec<f64> = outcomes.iter().filter_map(|o| o.value.error(n)).collect();
+    let experiments = experiments::build(&["logsize_estimate"]).expect("registered");
+    let report = run_sweep_or_exit(&spec, &experiments);
+    let errors: Vec<f64> = report
+        .points_for("logsize_estimate")
+        .iter()
+        .flat_map(|point| point.values("err"))
+        .collect();
 
     let (lo, hi) = (-6.0, 6.0);
     let bins = 12;

@@ -5,59 +5,68 @@
 //! time and error behaviour, using `O(log⁶ n)` states (Lemma B.5).
 //! Measured: per-agent output spread, error band, and convergence time
 //! side by side with the randomized main protocol.
+//!
+//! Runs on the sweep registry (`synthetic_coin` experiment): each trial
+//! runs the synthetic and the main protocol on disjoint seed streams,
+//! fanned out over the seeded worker pool (`--journal PATH` resumes,
+//! `--shard k/N` splits across machines).
 
-use pp_bench::{fmt, print_table, write_csv, HarnessArgs};
-use pp_core::log_size::estimate_log_size;
-use pp_core::synthetic::estimate_log_size_synthetic;
-use pp_sweep::trials::run_trials_threaded;
+use pp_bench::{experiments, fmt, print_table, run_sweep_or_exit, write_csv, HarnessArgs};
 
 fn main() {
     let args = HarnessArgs::parse(&[100, 300, 1000], 10);
+    let spec = args.sweep_spec("table_synthetic_coin");
     println!(
         "Appendix B synthetic-coin variant vs main protocol (trials={})",
-        args.trials
+        spec.effective_trials()
     );
+    let experiments = experiments::build(&["synthetic_coin"]).expect("registered");
+    let report = run_sweep_or_exit(&spec, &experiments);
 
     let mut rows = Vec::new();
     let mut csv = Vec::new();
-    for &n in &args.sizes {
+    for point in report.points_for("synthetic_coin") {
+        let n = point.n;
         let logn = (n as f64).log2();
-        let synth = run_trials_threaded(args.seed ^ n, args.trials, args.threads, |_, seed| {
-            estimate_log_size_synthetic(n as usize, seed, 1e8)
-        });
-        let main = run_trials_threaded(args.seed ^ n ^ 5, args.trials, args.threads, |_, seed| {
-            estimate_log_size(n as usize, seed, None)
-        });
-        let s_times: Vec<f64> = synth.iter().map(|o| o.value.time).collect();
-        let m_times: Vec<f64> = main.iter().map(|o| o.value.time).collect();
-        let s_in_band = synth
+        let st = pp_analysis::stats::Summary::of(&point.values("synth_time"));
+        let mt = pp_analysis::stats::Summary::of(&point.values("main_time"));
+        // Per-trial (min, max) pairs: raw_values keeps trial order, and
+        // the two output metrics are present or absent together.
+        let mins = point.raw_values("min_output");
+        let maxs = point.raw_values("max_output");
+        let pairs: Vec<(f64, f64)> = mins
             .iter()
-            .filter(|o| {
-                (o.value.min_output as f64 - logn).abs() <= 6.7
-                    && (o.value.max_output as f64 - logn).abs() <= 6.7
-            })
+            .zip(&maxs)
+            .filter(|(lo, hi)| !lo.is_nan() && !hi.is_nan())
+            .map(|(&lo, &hi)| (lo, hi))
+            .collect();
+        let in_band = pairs
+            .iter()
+            .filter(|(lo, hi)| (lo - logn).abs() <= 6.7 && (hi - logn).abs() <= 6.7)
             .count();
-        let max_spread = synth
+        let max_spread = pairs
             .iter()
-            .map(|o| o.value.max_output - o.value.min_output)
+            .map(|(lo, hi)| (hi - lo) as u64)
             .max()
             .unwrap_or(0);
-        let st = pp_analysis::stats::Summary::of(&s_times);
-        let mt = pp_analysis::stats::Summary::of(&m_times);
         rows.push(vec![
             n.to_string(),
             fmt(st.mean),
             fmt(mt.mean),
             fmt(st.mean / mt.mean),
-            format!("{}/{}", s_in_band, synth.len()),
+            format!("{}/{}", in_band, pairs.len()),
             max_spread.to_string(),
         ]);
-        for o in &synth {
+        let times = point.raw_values("synth_time");
+        for ((lo, hi), time) in mins.iter().zip(&maxs).zip(&times) {
+            if lo.is_nan() || hi.is_nan() {
+                continue;
+            }
             csv.push(vec![
                 n.to_string(),
-                o.value.min_output.to_string(),
-                o.value.max_output.to_string(),
-                format!("{}", o.value.time),
+                (*lo as u64).to_string(),
+                (*hi as u64).to_string(),
+                format!("{time}"),
             ]);
         }
     }

@@ -25,6 +25,7 @@ use pp_baselines::intro_functions::{double_time, halve_time};
 use pp_core::leader::terminating_in_mode;
 use pp_core::log_size::{estimate_in_mode, estimate_log_size, estimate_with, LogSizeEstimation};
 use pp_core::partition::run_partition;
+use pp_core::synthetic::estimate_log_size_synthetic;
 use pp_core::upper_bound::estimate_upper_bound;
 use pp_engine::epidemic::{InfectionEpidemic, SubState, SubpopulationEpidemic};
 use pp_engine::rng::rng_from_seed;
@@ -73,6 +74,7 @@ pub fn names() -> &'static [&'static str] {
         "intro_functions",
         "ablation",
         "timer_lemma",
+        "synthetic_coin",
     ]
 }
 
@@ -311,6 +313,27 @@ pub fn experiment(name: &str) -> Option<SweepExperiment> {
                 vec![remaining, survivors]
             })
         }
+        // Appendix B synthetic-coin variant (Lemma B.5) vs the randomized
+        // main protocol: one trial runs both (disjoint seed streams),
+        // reporting the synthetic run's convergence time and per-agent
+        // output range beside the main protocol's time. Outputs are
+        // per-agent, so `min_output`/`max_output` bound the spread;
+        // coin harvesting costs an extra epidemic per geometric, so
+        // callers keep the size axis modest.
+        "synthetic_coin" => SweepExperiment::new(
+            "synthetic_coin",
+            &["synth_time", "main_time", "min_output", "max_output"],
+            |ctx| {
+                let synth = estimate_log_size_synthetic(ctx.n as usize, ctx.seed, 1e8);
+                let main = estimate_log_size(ctx.n as usize, ctx.seed ^ 1, None);
+                vec![
+                    synth.time,
+                    main.time,
+                    synth.min_output as f64,
+                    synth.max_output as f64,
+                ]
+            },
+        ),
         _ => return None,
     })
 }

@@ -1,5 +1,9 @@
 //! # pp-bench — experiment harness utilities
 //!
+//! *Layer 5 (sweep & service) of the five-layer workspace — see `ARCHITECTURE.md` at the
+//! repository root for the layer map and the three determinism
+//! invariants every layer is held to.*
+//!
 //! Shared plumbing for the harness binaries in `src/bin/`, each of which
 //! regenerates one figure or table of the paper's evaluation (see
 //! `DESIGN.md` §3 for the experiment index). Every binary:

@@ -1,5 +1,9 @@
 //! # pp-core — the paper's uniform size-estimation protocols
 //!
+//! *Layer 1 (protocols) of the five-layer workspace — see `ARCHITECTURE.md` at the
+//! repository root for the layer map and the three determinism
+//! invariants every layer is held to.*
+//!
 //! This crate implements the central contribution of Doty & Eftekhari,
 //! *"Efficient size estimation and impossibility of termination in uniform
 //! dense population protocols"* (PODC 2019):

@@ -1,5 +1,9 @@
 //! # pp-engine — population protocol simulation engine
 //!
+//! *Layers 2–4 (interned count semantics, engines, simulation surface) of the five-layer workspace — see `ARCHITECTURE.md` at the
+//! repository root for the layer map and the three determinism
+//! invariants every layer is held to.*
+//!
 //! This crate is the execution substrate for the reproduction of
 //! Doty & Eftekhari, *"Efficient size estimation and impossibility of
 //! termination in uniform dense population protocols"* (PODC 2019).
@@ -188,6 +192,7 @@ pub mod count_sim;
 pub mod env;
 pub mod epidemic;
 pub mod interned;
+pub mod parallel;
 pub mod protocol;
 pub mod record;
 pub mod rng;

@@ -1,0 +1,298 @@
+//! Deterministic fixed-partition parallelism for the batched engine's
+//! batch fill.
+//!
+//! The batched engine's per-batch work — the receiver/sender pairing
+//! contingency and its per-pair multinomial splits — is independent across
+//! disjoint receiver rows *given* the senders each row group is allocated.
+//! This module provides the machinery [`crate::batch::BatchedCountSim`]
+//! uses to exploit that:
+//!
+//! * a **work-stealing-free scoped map** ([`par_map_indexed`] and the
+//!   rayon-shaped [`par_map_chunks`]) built on `crossbeam::scope`
+//!   (`std::thread::scope` underneath) plus `crossbeam::channel` fan-in —
+//!   zero new dependencies, `#![forbid(unsafe_code)]`-clean;
+//! * a **deterministic contiguous partition** of the reactive receiver
+//!   rows ([`partition_by_mass`]), balanced by receiver mass;
+//! * a **process-global worker cap** ([`set_fill_thread_cap`]) the sweep
+//!   runner uses to keep `trial_threads × fill_threads` at the machine.
+//!
+//! ## The determinism contract
+//!
+//! Everything observable about a parallel fill is independent of the
+//! worker count:
+//!
+//! * the *partition* into subranges depends only on the batch's receiver
+//!   multiset (never on how many threads execute it);
+//! * each subrange draws from its **own RNG stream**, seeded
+//!   `derive_seed(batch_seed, subrange_index)` — the same discipline
+//!   `pp-sweep` uses for per-trial seeds — so no draw ever migrates
+//!   between streams;
+//! * subrange results are **merged in subrange order** on the caller's
+//!   thread.
+//!
+//! Thread count (and the [`set_fill_thread_cap`] clamp) therefore affect
+//! wall clock only: a fill at 1, 2, or 8 workers produces byte-identical
+//! deltas, which `tests/parallel_determinism.rs` holds the whole engine
+//! to, trajectory for trajectory. Worker threads are *scoped* per fill —
+//! there is no persistent pool and no work stealing, so execution order
+//! cannot leak into results even in principle.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Subranges a parallel fill is split into (when at least that many
+/// reactive rows exist). Fixed — **never** derived from the worker count,
+/// or the partition (and with it the per-subrange RNG streams) would
+/// change with the thread knob and break byte identity.
+pub const PAR_SUBRANGES: usize = 8;
+
+/// Process-global upper bound on fill workers (`u64::MAX` = machine
+/// limit). See [`set_fill_thread_cap`].
+static FILL_THREAD_CAP: AtomicU64 = AtomicU64::new(u64::MAX);
+
+/// Caps the number of worker threads any single parallel fill may use,
+/// process-wide. The sweep runner sets this to
+/// `max(1, machine_cores / trial_workers)` so `trial_threads ×
+/// fill_threads` never oversubscribes the machine. The cap clamps the
+/// *worker count only* — never whether the parallel discipline is enabled —
+/// so setting it is trajectory-neutral (a cap of 1 runs the same
+/// subrange streams inline).
+pub fn set_fill_thread_cap(cap: u64) {
+    FILL_THREAD_CAP.store(cap.max(1), Ordering::Relaxed);
+}
+
+/// The current process-global fill-worker cap (see
+/// [`set_fill_thread_cap`]).
+pub fn fill_thread_cap() -> u64 {
+    FILL_THREAD_CAP.load(Ordering::Relaxed)
+}
+
+/// The machine's available parallelism (1 if unknown).
+pub fn machine_parallelism() -> u64 {
+    std::thread::available_parallelism()
+        .map(|p| p.get() as u64)
+        .unwrap_or(1)
+}
+
+thread_local! {
+    /// Per-thread ambient fill-thread override (the sweep runner installs
+    /// a spec's `fill_threads` around each trial, mirroring the ambient
+    /// telemetry registry).
+    static AMBIENT_FILL_THREADS: std::cell::Cell<Option<u64>> = const { std::cell::Cell::new(None) };
+}
+
+/// Installs (or with `None` clears) this thread's ambient fill-thread
+/// count, consulted by engine constructors after the builder's explicit
+/// `.threads(k)` and before the `PP_THREADS` environment knob. Returns the
+/// previous value so scoped installers can restore it. `Some(0)` means
+/// "explicitly serial" (it beats a set `PP_THREADS`).
+pub fn install_fill_threads(threads: Option<u64>) -> Option<u64> {
+    AMBIENT_FILL_THREADS.with(|c| c.replace(threads))
+}
+
+/// Resolves the effective fill-thread setting for a newly built engine:
+/// the thread's ambient override ([`install_fill_threads`]) if installed,
+/// else the `PP_THREADS` environment knob. `None` = the classic serial
+/// fill; `Some(k)` (`k ≥ 1`) = the parallel-fill discipline, whose bytes
+/// do not depend on `k`.
+pub(crate) fn resolve_fill_threads() -> Option<u64> {
+    match AMBIENT_FILL_THREADS.with(|c| c.get()) {
+        Some(0) => None,
+        Some(k) => Some(k),
+        None => crate::env::fill_threads(),
+    }
+}
+
+/// The number of worker threads a parallel region of `tasks` tasks
+/// actually spawns under a request for `threads`: clamped by the task
+/// count, the process-global cap, and the machine. At most 1 means "run
+/// inline on the caller's thread".
+pub fn effective_workers(threads: u64, tasks: usize) -> u64 {
+    threads
+        .min(tasks as u64)
+        .min(fill_thread_cap())
+        .min(machine_parallelism())
+        .max(1)
+}
+
+/// Maps `f` over the index range `0..count` on at most `threads` scoped
+/// worker threads and returns the results **in index order**. Workers take
+/// strided indices (worker `w` runs `w, w + W, w + 2W, …`), results fan in
+/// over a channel, and the caller reassembles them by index — so the
+/// output is independent of scheduling. With an effective worker count of
+/// 1 (small `count`, the global cap, or a single-core machine) the map
+/// runs inline with no thread spawned at all.
+///
+/// Panics in `f` propagate to the caller (std scope semantics).
+pub fn par_map_indexed<R, F>(count: usize, threads: u64, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    if count == 0 {
+        return Vec::new();
+    }
+    let workers = effective_workers(threads, count);
+    if workers <= 1 {
+        return (0..count).map(f).collect();
+    }
+    let (tx, rx) = crossbeam::channel::unbounded::<(usize, R)>();
+    crossbeam::scope(|s| {
+        for w in 0..workers as usize {
+            let tx = tx.clone();
+            let f = &f;
+            s.spawn(move |_| {
+                let mut i = w;
+                while i < count {
+                    let r = f(i);
+                    tx.send((i, r)).expect("fill result receiver dropped");
+                    i += workers as usize;
+                }
+            });
+        }
+        drop(tx);
+        let mut slots: Vec<Option<R>> = (0..count).map(|_| None).collect();
+        for (i, r) in rx {
+            slots[i] = Some(r);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("worker dropped an index"))
+            .collect()
+    })
+    .expect("scoped fill worker panicked")
+}
+
+/// Rayon-shaped `par_chunks` helper: splits `items` into at most
+/// [`PAR_SUBRANGES`] contiguous chunks of (near-)equal length and maps
+/// each through `f(chunk_index, chunk)` on at most `threads` scoped
+/// workers, returning results in chunk order. The chunk boundaries depend
+/// only on `items.len()` — never on the worker count — so output is
+/// byte-stable across thread counts, matching the fill discipline.
+pub fn par_map_chunks<T, R, F>(items: &[T], threads: u64, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &[T]) -> R + Sync,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let chunks = PAR_SUBRANGES.min(items.len());
+    let ranges = partition_by_mass(&vec![1u64; items.len()], chunks);
+    par_map_indexed(ranges.len(), threads, |g| f(g, &items[ranges[g].clone()]))
+}
+
+/// Partitions `0..masses.len()` into at most `groups` contiguous,
+/// non-empty index ranges with (approximately) balanced total mass:
+/// group `g` ends at the first index whose cumulative mass reaches
+/// `(g + 1)·total / groups`. Deterministic — a pure function of the mass
+/// vector — and exhaustive (every index lands in exactly one range).
+/// Zero-mass prefixes/suffixes stay attached to their neighbouring group.
+pub fn partition_by_mass(masses: &[u64], groups: usize) -> Vec<std::ops::Range<usize>> {
+    let len = masses.len();
+    if len == 0 {
+        return Vec::new();
+    }
+    let groups = groups.clamp(1, len);
+    let total: u128 = masses.iter().map(|&m| m as u128).sum();
+    let mut ranges = Vec::with_capacity(groups);
+    let mut start = 0usize;
+    let mut acc: u128 = 0;
+    for g in 0..groups {
+        // Remaining groups after this one each need at least one index.
+        let last_allowed = len - (groups - 1 - g);
+        let target = (g as u128 + 1) * total / groups as u128;
+        let mut end = start;
+        while end < len && (acc < target || end < start + 1) && end < last_allowed {
+            acc += masses[end] as u128;
+            end += 1;
+        }
+        if g == groups - 1 {
+            end = len;
+        }
+        ranges.push(start..end);
+        start = end;
+        if start >= len {
+            break;
+        }
+    }
+    ranges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_covers_exhaustively_and_contiguously() {
+        for (masses, groups) in [
+            (vec![1u64; 10], 3),
+            (vec![5, 1, 1, 1, 1, 1], 2),
+            (vec![0, 0, 7, 0, 3], 4),
+            (vec![9], 8),
+            (vec![1, 1], 8),
+        ] {
+            let ranges = partition_by_mass(&masses, groups);
+            assert!(!ranges.is_empty());
+            assert!(ranges.len() <= groups.max(1).min(masses.len()));
+            assert_eq!(ranges[0].start, 0);
+            assert_eq!(ranges.last().unwrap().end, masses.len());
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].end, w[1].start, "ranges must be contiguous");
+                assert!(!w[1].is_empty(), "ranges must be non-empty");
+            }
+            assert!(!ranges[0].is_empty());
+        }
+    }
+
+    #[test]
+    fn partition_balances_uniform_mass() {
+        let ranges = partition_by_mass(&[1u64; 100], 4);
+        assert_eq!(ranges.len(), 4);
+        for r in &ranges {
+            assert_eq!(r.len(), 25);
+        }
+    }
+
+    #[test]
+    fn par_map_indexed_is_order_stable() {
+        let serial: Vec<u64> = (0..100).map(|i| (i as u64) * 3 + 1).collect();
+        for threads in [1, 2, 8, 64] {
+            let mapped = par_map_indexed(100, threads, |i| (i as u64) * 3 + 1);
+            assert_eq!(mapped, serial, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_chunks_matches_serial_chunking() {
+        let items: Vec<u64> = (0..37).collect();
+        let expect: Vec<(usize, u64)> = {
+            let ranges = partition_by_mass(&vec![1u64; items.len()], PAR_SUBRANGES);
+            ranges
+                .iter()
+                .enumerate()
+                .map(|(g, r)| (g, items[r.clone()].iter().sum()))
+                .collect()
+        };
+        for threads in [1, 3, 8] {
+            let got = par_map_chunks(&items, threads, |g, chunk| (g, chunk.iter().sum::<u64>()));
+            assert_eq!(got, expect, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn effective_workers_clamps() {
+        assert_eq!(effective_workers(8, 3), 3.min(machine_parallelism()));
+        assert_eq!(effective_workers(0, 10), 1);
+        assert_eq!(effective_workers(1, 10), 1);
+    }
+
+    #[test]
+    fn ambient_override_wins_and_restores() {
+        let prev = install_fill_threads(Some(3));
+        assert_eq!(resolve_fill_threads(), Some(3));
+        install_fill_threads(Some(0));
+        assert_eq!(resolve_fill_threads(), None, "Some(0) = explicitly serial");
+        install_fill_threads(prev);
+    }
+}

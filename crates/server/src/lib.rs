@@ -1,5 +1,9 @@
 //! `pp-server`: a durable sweep job service over the `pp-sweep` runner.
 //!
+//! *Layer 5 (sweep & service) of the five-layer workspace — see `ARCHITECTURE.md` at the
+//! repository root for the layer map and the three determinism
+//! invariants every layer is held to.*
+//!
 //! Submit a sweep spec once, watch it stream trial-by-trial progress,
 //! fetch byte-identical reports later — and lose nothing to a crash. The
 //! whole crate is hand-rolled on `std` (TCP, threads, condvars); there is
@@ -62,7 +66,17 @@
 //! Job identity is the grid fingerprint: resubmitting a byte-different
 //! spec with the same effective grid resolves to the same job
 //! (idempotent submits), while any change to the grid — sizes, trials,
-//! seeds, engine, experiments — makes a new job.
+//! seeds, engine, experiments, or the parallel-fill discipline — makes a
+//! new job.
+//!
+//! A spec's `fill_threads` key gives each job its own intra-trial
+//! parallelism: trials run the batched engine's deterministic parallel
+//! batch fill with up to that many workers (`0` = explicitly serial; the
+//! runner clamps `trial workers × fill workers` at the machine). Because
+//! enabling the discipline changes trial trajectories (the worker count
+//! never does), its enabled-ness is part of the grid fingerprint — a
+//! journal recorded under one discipline refuses to resume under the
+//! other, and jobs differing only in that bit are distinct.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

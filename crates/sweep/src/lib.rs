@@ -1,5 +1,9 @@
 //! # pp-sweep — parallel experiment-sweep orchestration
 //!
+//! *Layer 5 (sweep & service) of the five-layer workspace — see `ARCHITECTURE.md` at the
+//! repository root for the layer map and the three determinism
+//! invariants every layer is held to.*
+//!
 //! Every result in the paper's evaluation — completion times, estimate
 //! errors, termination probabilities — is a *sweep*: run `T` independent
 //! trials at each point of a parameter grid (protocol × population size)

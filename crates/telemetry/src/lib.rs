@@ -1,5 +1,9 @@
 //! Trajectory-neutral observability primitives for the simulation stack.
 //!
+//! *Part of layer 4 (the simulation surface) of the five-layer workspace — see `ARCHITECTURE.md` at the
+//! repository root for the layer map and the three determinism
+//! invariants every layer is held to.*
+//!
 //! The engines' adaptive machinery — batched↔sequential mode switching,
 //! interner GC, the dense per-agent lane, the pair-outcome cache, null-skip
 //! runs, snapshot checkpoints — is deliberately unobservable in the decoded
@@ -88,6 +92,11 @@ pub enum Counter {
     GcEvicted,
     /// Dense per-agent lane episodes (`ConfigSim::advance`, sequential arm).
     DenseLaneEpisodes,
+    /// Batches filled under the deterministic parallel subrange-fill
+    /// discipline (`BatchedCountSim::fill_parallel`, `PP_THREADS`).
+    ParallelFills,
+    /// Subranges those parallel fills were split into.
+    FillSubranges,
     /// Interactions executed inside dense-lane episodes.
     DenseLaneInteractions,
     /// Pair-outcome cache probes that replayed a memoized outcome.
@@ -112,7 +121,7 @@ pub enum Counter {
 
 impl Counter {
     /// Every counter, in display order.
-    pub const ALL: [Counter; 19] = [
+    pub const ALL: [Counter; 21] = [
         Counter::Batches,
         Counter::NullSkipRuns,
         Counter::NullSkipped,
@@ -123,6 +132,8 @@ impl Counter {
         Counter::GcEvicted,
         Counter::DenseLaneEpisodes,
         Counter::DenseLaneInteractions,
+        Counter::ParallelFills,
+        Counter::FillSubranges,
         Counter::PairCacheHits,
         Counter::PairCacheMisses,
         Counter::PairCacheGenDrops,
@@ -147,6 +158,8 @@ impl Counter {
             Counter::GcEvicted => "gc_evicted",
             Counter::DenseLaneEpisodes => "dense_lane_episodes",
             Counter::DenseLaneInteractions => "dense_lane_interactions",
+            Counter::ParallelFills => "parallel_fills",
+            Counter::FillSubranges => "fill_subranges",
             Counter::PairCacheHits => "pair_cache_hits",
             Counter::PairCacheMisses => "pair_cache_misses",
             Counter::PairCacheGenDrops => "pair_cache_gen_drops",
@@ -186,13 +199,16 @@ pub enum Hist {
     GcLive,
     /// Population expanded per dense-lane episode.
     DenseLaneN,
+    /// Wall-clock nanoseconds per parallel batch fill (spawn + draw +
+    /// merge; observation-only, never read back into a decision).
+    FillNanos,
     /// Bytes per snapshot write.
     SnapshotWriteBytes,
 }
 
 impl Hist {
     /// Every histogram, in display order.
-    pub const ALL: [Hist; 8] = [
+    pub const ALL: [Hist; 9] = [
         Hist::BatchLen,
         Hist::NullSkipLen,
         Hist::AdaptSupport,
@@ -200,6 +216,7 @@ impl Hist {
         Hist::GcTableLen,
         Hist::GcLive,
         Hist::DenseLaneN,
+        Hist::FillNanos,
         Hist::SnapshotWriteBytes,
     ];
 
@@ -213,6 +230,7 @@ impl Hist {
             Hist::GcTableLen => "gc_table_len",
             Hist::GcLive => "gc_live",
             Hist::DenseLaneN => "dense_lane_n",
+            Hist::FillNanos => "fill_nanos",
             Hist::SnapshotWriteBytes => "snapshot_write_bytes",
         }
     }

@@ -1,5 +1,9 @@
 //! # pp-termination — the machinery of the impossibility theorem
 //!
+//! *Layer 1 (protocols) of the five-layer workspace — see `ARCHITECTURE.md` at the
+//! repository root for the layer map and the three determinism
+//! invariants every layer is held to.*
+//!
 //! Theorem 4.1 of Doty & Eftekhari (PODC 2019): a uniform population
 //! protocol whose valid initial configurations include infinitely many
 //! *α-dense* ones (every state present occupies ≥ αn agents) cannot delay a

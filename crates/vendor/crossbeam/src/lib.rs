@@ -1,13 +1,33 @@
 //! Vendored stand-in for the slice of `crossbeam` this workspace uses:
 //! [`scope`] for structured borrowing threads, backed by `std::thread::scope`
-//! (which landed in std after crossbeam popularized the pattern).
+//! (which landed in std after crossbeam popularized the pattern), and
+//! [`channel`] for MPSC result collection, backed by `std::sync::mpsc`.
 //!
 //! Divergence from real crossbeam: a panicking spawned thread propagates its
 //! panic out of [`scope`] (std semantics) instead of surfacing through the
 //! returned `Result`; the workspace's callers `.expect()` the `Result`
-//! immediately, so observable behaviour — a panic — is the same.
+//! immediately, so observable behaviour — a panic — is the same. The
+//! [`channel`] module exposes only the multi-producer/single-consumer slice
+//! of crossbeam-channel's API (`unbounded`, `Sender`, `Receiver`), which is
+//! exactly what `std::sync::mpsc` provides.
 
 #![forbid(unsafe_code)]
+
+/// The `crossbeam-channel` subset this workspace uses: an unbounded MPSC
+/// channel for collecting results from scoped worker threads.
+pub mod channel {
+    /// Receiving half of an unbounded channel.
+    pub use std::sync::mpsc::Receiver;
+    /// Sending half of an unbounded channel (clone one per producer).
+    pub use std::sync::mpsc::Sender;
+
+    /// Creates an unbounded MPSC channel (crossbeam-channel's `unbounded`
+    /// shape; the consumer side is single-receiver, which is all the
+    /// workspace's fan-in call sites need).
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
 
 /// The error half of crossbeam's scope result (a boxed panic payload).
 pub type PanicPayload = Box<dyn std::any::Any + Send + 'static>;

@@ -1,0 +1,379 @@
+//! Parallel batch fill determinism: the batched engine's fixed-partition
+//! parallel fill must be **byte-for-byte identical at every thread
+//! count**, and resumable mid-run like any other engine state.
+//!
+//! The contract under test (see `pp_engine::parallel`):
+//!
+//! 1. **Thread-count independence.** A run with `.threads(1)`,
+//!    `.threads(2)`, and `.threads(8)` realizes the same trajectory —
+//!    partition, per-subrange RNG streams, and merge order are pure
+//!    functions of the batch, never of the worker count. Checked by
+//!    proptest over random multi-row protocols (deterministic *and*
+//!    finite-random outcome laws), sizes, and seeds.
+//! 2. **Serial is untouched.** `.threads(0)` (explicitly serial) is
+//!    byte-identical to a build that never mentions threads: the knob
+//!    must not perturb the classic fill path.
+//! 3. **Crash recovery.** A checkpoint → kill → resume drill under
+//!    4 fill threads continues byte-for-byte — and resuming under a
+//!    *different* worker count (8) still matches, because enabled-ness,
+//!    not count, is the trajectory bit.
+//! 4. **Same process, same law.** The parallel discipline draws a
+//!    different trajectory family than the serial fill, but from the
+//!    same distribution: a three-state epidemic's mean completion time
+//!    must agree between disciplines.
+
+use proptest::prelude::*;
+use rand::Rng;
+use uniform_sizeest::engine::count_sim::{CountProtocol, Outcomes};
+use uniform_sizeest::engine::rng::SimRng;
+use uniform_sizeest::engine::{Counter, EngineMode, Metrics, Simulation};
+
+/// One per-pair outcome law of a randomly generated protocol.
+#[derive(Debug, Clone)]
+enum Law {
+    /// `(rec, sen) -> (rec', sen')`, always.
+    Det(u8, u8),
+    /// `(rec, sen) -> (a_r, a_s)` with probability `p`, else `(b_r, b_s)`.
+    Coin(u8, u8, u8, u8, f64),
+}
+
+/// A protocol over states `0..k` whose transition law is a random table —
+/// the adversarial shape for the fill: many reactive rows, a mix of
+/// deterministic and finite-random pairs, nothing the engine can
+/// special-case.
+#[derive(Debug, Clone)]
+struct TableProtocol {
+    k: u8,
+    laws: Vec<Law>,
+}
+
+impl TableProtocol {
+    fn law(&self, rec: u8, sen: u8) -> &Law {
+        &self.laws[rec as usize * self.k as usize + sen as usize]
+    }
+}
+
+impl CountProtocol for TableProtocol {
+    type State = u8;
+
+    fn transition(&self, rec: u8, sen: u8, rng: &mut SimRng) -> (u8, u8) {
+        match *self.law(rec, sen) {
+            Law::Det(r, s) => (r, s),
+            Law::Coin(ar, as_, br, bs, p) => {
+                if rng.gen_bool(p) {
+                    (ar, as_)
+                } else {
+                    (br, bs)
+                }
+            }
+        }
+    }
+
+    fn outcomes(&self, rec: u8, sen: u8) -> Option<Outcomes<u8>> {
+        Some(match *self.law(rec, sen) {
+            Law::Det(r, s) => Outcomes::Deterministic(r, s),
+            Law::Coin(ar, as_, br, bs, p) => {
+                Outcomes::Random(vec![(ar, as_, p), (br, bs, 1.0 - p)])
+            }
+        })
+    }
+}
+
+/// A random `TableProtocol` over `k` states, derived from `seed`: each
+/// pair gets either a deterministic outcome or a two-outcome coin law.
+/// Outcome states stay in `0..k` so the occupied support is bounded and
+/// batching stays profitable.
+fn random_protocol(k: u8, seed: u64) -> TableProtocol {
+    let mut rng = uniform_sizeest::engine::rng::rng_from_seed(seed);
+    let laws = (0..(k as usize).pow(2))
+        .map(|_| {
+            if rng.gen_bool(0.5) {
+                Law::Det(rng.gen_range(0..k), rng.gen_range(0..k))
+            } else {
+                Law::Coin(
+                    rng.gen_range(0..k),
+                    rng.gen_range(0..k),
+                    rng.gen_range(0..k),
+                    rng.gen_range(0..k),
+                    rng.gen_range(0.05..0.95),
+                )
+            }
+        })
+        .collect();
+    TableProtocol { k, laws }
+}
+
+/// An initial configuration spreading `n` agents over all `k` states
+/// (every row occupied, so the fill has the full table to partition).
+fn spread_init(k: u8, n: u64) -> Vec<(u8, u64)> {
+    let k64 = k as u64;
+    (0..k)
+        .map(|s| {
+            let share = n / k64 + u64::from((s as u64) < n % k64);
+            (s, share)
+        })
+        .filter(|&(_, c)| c > 0)
+        .collect()
+}
+
+fn build_sim(
+    p: &TableProtocol,
+    n: u64,
+    seed: u64,
+    threads: Option<u64>,
+) -> Simulation<'static, u8> {
+    let b = Simulation::count_builder(p.clone())
+        .config(spread_init(p.k, n))
+        .seed(seed)
+        .mode(EngineMode::Batched);
+    match threads {
+        Some(k) => b.threads(k),
+        None => b,
+    }
+    .build()
+}
+
+/// Drives all simulations forward in lock-step chunks, asserting decoded
+/// configuration, interaction clock, and exact time bits agree before
+/// every chunk — sensitive to a single diverging draw.
+fn assert_lockstep(sims: &mut [Simulation<u8>], chunk: u64, chunks: usize) {
+    for i in 0..=chunks {
+        let (first, rest) = sims.split_first_mut().unwrap();
+        let mut v0 = first.view();
+        v0.sort();
+        for (j, sim) in rest.iter_mut().enumerate() {
+            assert_eq!(
+                first.interactions(),
+                sim.interactions(),
+                "clock diverged from sim {} at chunk {i}",
+                j + 1
+            );
+            assert_eq!(
+                first.time().to_bits(),
+                sim.time().to_bits(),
+                "time bits diverged from sim {} at chunk {i}",
+                j + 1
+            );
+            let mut v = sim.view();
+            v.sort();
+            assert_eq!(
+                v0,
+                v,
+                "configuration diverged from sim {} at chunk {i}",
+                j + 1
+            );
+        }
+        if i < chunks {
+            for sim in sims.iter_mut() {
+                sim.steps(chunk);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // Contract 1: 1, 2, and 8 fill threads are byte-identical.
+    #[test]
+    fn thread_count_never_changes_the_trajectory(
+        k in 3u8..7,
+        proto_seed in any::<u64>(),
+        n in 200u64..3000,
+        seed in any::<u64>(),
+    ) {
+        let p = random_protocol(k, proto_seed);
+        let mut sims = [
+            build_sim(&p, n, seed, Some(1)),
+            build_sim(&p, n, seed, Some(2)),
+            build_sim(&p, n, seed, Some(8)),
+        ];
+        assert_lockstep(&mut sims, n.max(64), 6);
+    }
+
+    // Contract 2: `.threads(0)` is the classic serial fill, bit for bit.
+    #[test]
+    fn explicit_zero_matches_the_default_serial_build(
+        k in 3u8..7,
+        proto_seed in any::<u64>(),
+        n in 200u64..3000,
+        seed in any::<u64>(),
+    ) {
+        let p = random_protocol(k, proto_seed);
+        let mut sims = [
+            build_sim(&p, n, seed, None),
+            build_sim(&p, n, seed, Some(0)),
+        ];
+        assert_lockstep(&mut sims, n.max(64), 6);
+    }
+}
+
+/// The parallel discipline must actually engage — otherwise the proptest
+/// identities above would pass vacuously. A dense random protocol at
+/// `n = 10⁵` records parallel fills in the telemetry registry.
+#[test]
+fn parallel_fills_engage_and_are_counted() {
+    let k = 5u8;
+    let laws = (0..k as usize * k as usize)
+        .map(|i| {
+            let r = (i as u8).wrapping_mul(7) % k;
+            let s = (i as u8).wrapping_mul(11).wrapping_add(3) % k;
+            Law::Det(r, s)
+        })
+        .collect();
+    let p = TableProtocol { k, laws };
+    let n = 100_000;
+    let m = Metrics::new();
+    let mut sim = Simulation::count_builder(p)
+        .config(spread_init(k, n))
+        .seed(9)
+        .mode(EngineMode::Batched)
+        .threads(2)
+        .metrics(&m)
+        .build();
+    sim.steps(20 * n);
+    assert!(
+        m.counter(Counter::ParallelFills) > 0,
+        "no parallel fill ran: the determinism suite would be vacuous"
+    );
+    assert!(m.counter(Counter::FillSubranges) >= m.counter(Counter::ParallelFills));
+    let total: u64 = sim.view().iter().map(|&(_, c)| c).sum();
+    assert_eq!(total, n, "population must be conserved by parallel fills");
+}
+
+/// Contract 3: checkpoint → kill → resume under 4 fill threads continues
+/// byte-for-byte; resuming under a *different* worker count (8) also
+/// matches, because the trajectory depends on the discipline bit, not
+/// the count.
+#[test]
+fn killed_parallel_run_resumes_byte_identically() {
+    let k = 5u8;
+    let laws = (0..k as usize * k as usize)
+        .map(|i| {
+            if i % 3 == 0 {
+                Law::Coin(
+                    (i as u8).wrapping_mul(5) % k,
+                    (i as u8).wrapping_mul(3) % k,
+                    (i as u8) % k,
+                    (i as u8).wrapping_add(1) % k,
+                    0.25,
+                )
+            } else {
+                Law::Det(
+                    (i as u8).wrapping_mul(7) % k,
+                    (i as u8).wrapping_mul(11) % k,
+                )
+            }
+        })
+        .collect();
+    let p = TableProtocol { k, laws };
+    let n = 5_000u64;
+    let seed = 17;
+    let kill_at = 12 * n;
+    let extra = 8 * n;
+
+    let dir = std::env::temp_dir().join("pp-parallel-determinism");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("kill-{}.ppsnap", std::process::id()));
+
+    // The uninterrupted reference, 4 fill threads throughout. It follows
+    // the victim's step schedule: a batch truncates exactly at each
+    // `steps` target (that is how checkpoints land on exact interaction
+    // counts), so the trajectory is a function of the budget sequence.
+    let mut reference = Simulation::count_builder(p.clone())
+        .config(spread_init(k, n))
+        .seed(seed)
+        .mode(EngineMode::Batched)
+        .threads(4)
+        .build();
+    reference.steps(kill_at);
+    reference.steps(extra);
+
+    // The victim: checkpoint at the kill point, then drop — the
+    // in-process SIGKILL; only the snapshot file survives.
+    let mut victim = Simulation::count_builder(p.clone())
+        .config(spread_init(k, n))
+        .seed(seed)
+        .mode(EngineMode::Batched)
+        .threads(4)
+        .checkpoint_to(&path)
+        .build();
+    victim.steps(kill_at);
+    victim.snapshot_to(&path).unwrap();
+    drop(victim);
+
+    // Resume under a *different* worker count: 8 must match 4.
+    let mut revived = Simulation::count_builder(p)
+        .threads(8)
+        .resume(&path)
+        .unwrap();
+    revived.steps(extra);
+
+    assert_eq!(revived.interactions(), reference.interactions());
+    assert_eq!(revived.time().to_bits(), reference.time().to_bits());
+    let mut va = revived.view();
+    let mut vb = reference.view();
+    va.sort();
+    vb.sort();
+    assert_eq!(va, vb);
+    let _ = std::fs::remove_file(&path);
+}
+
+/// A three-state max-epidemic: receiver adopts the larger value. Two
+/// reactive rows (`0` catches `1`/`2`, `1` catches `2`), so the parallel
+/// fill engages; completion is "everyone holds 2".
+#[derive(Debug, Clone)]
+struct MaxThree;
+
+impl CountProtocol for MaxThree {
+    type State = u8;
+
+    fn transition(&self, rec: u8, sen: u8, _rng: &mut SimRng) -> (u8, u8) {
+        (rec.max(sen), sen)
+    }
+
+    fn outcomes(&self, rec: u8, sen: u8) -> Option<Outcomes<u8>> {
+        Some(Outcomes::Deterministic(rec.max(sen), sen))
+    }
+
+    fn is_deterministic(&self) -> bool {
+        true
+    }
+}
+
+/// Contract 4: serial and parallel fills draw different trajectories from
+/// the **same law**. Mean completion time of the three-state epidemic
+/// (≈ `2 ln n` + lower-order) must agree between disciplines across
+/// seeds; a bias in the parallel allocation (wrong hypergeometric
+/// marginals, a dropped row, a double-counted rest pool) would shift it.
+#[test]
+fn parallel_discipline_preserves_the_completion_time_law() {
+    let n = 20_000u64;
+    let trials = 24;
+    let complete = |view: &[(u8, u64)]| view.iter().all(|&(s, c)| s == 2 || c == 0);
+    let mean_time = |threads: u64| -> f64 {
+        let mut sum = 0.0;
+        for t in 0..trials {
+            let (out, _sim) = Simulation::count_builder(MaxThree)
+                .config([(0, n - 2), (1, 1), (2, 1)])
+                .seed(1000 + t)
+                .mode(EngineMode::Batched)
+                .threads(threads)
+                .max_time(200.0)
+                .until(complete)
+                .run();
+            assert!(out.converged, "epidemic must complete (threads={threads})");
+            sum += out.time;
+        }
+        sum / trials as f64
+    };
+    let serial = mean_time(0);
+    let parallel = mean_time(4);
+    let rel = (serial - parallel).abs() / serial;
+    assert!(
+        rel < 0.10,
+        "mean completion time diverged between disciplines: \
+         serial {serial:.3} vs parallel {parallel:.3} ({:.2}% relative)",
+        rel * 100.0
+    );
+}
